@@ -1,0 +1,67 @@
+// Reproduces Figure 3: km-Purity and km-NMI of KMeans clusters over the
+// inferred document-topic distributions on the labelled datasets (20NG and
+// Yahoo analogues), sweeping the number of clusters.
+//
+// Paper sweep: 20..100 clusters over 100 topics; harness scale sweeps the
+// same 20%..100% of the topic count.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "eval/clustering.h"
+#include "util/string_util.h"
+
+using namespace contratopic;  // NOLINT
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bench::BenchConfig bench_config = bench::ParseBenchConfig(flags);
+  const auto datasets =
+      util::Split(flags.GetString("datasets", "20ng-sim,yahoo-sim"), ",");
+  const auto models = util::Split(
+      flags.GetString("models", util::Join(core::PaperModelNames(), ",")),
+      ",");
+
+  // Cluster counts at 20%..100% of the topic count (paper: 20..100 of 100).
+  std::vector<int> cluster_counts;
+  std::vector<std::string> header = {"Model"};
+  for (int pct : {20, 40, 60, 80, 100}) {
+    cluster_counts.push_back(
+        std::max(2, bench_config.train.num_topics * pct / 100));
+    header.push_back(util::StrFormat("%d clusters", cluster_counts.back()));
+  }
+
+  for (const auto& dataset_name : datasets) {
+    std::printf("\n### dataset %s ###\n", dataset_name.c_str());
+    const bench::ExperimentContext context =
+        bench::LoadExperiment(dataset_name, bench_config.doc_scale);
+    std::vector<int> all_docs(context.dataset.test.num_docs());
+    for (size_t i = 0; i < all_docs.size(); ++i) all_docs[i] = static_cast<int>(i);
+    const std::vector<int> labels = context.dataset.test.Labels(all_docs);
+
+    util::TableWriter purity_table(header);
+    util::TableWriter nmi_table(header);
+    for (const auto& model_name : models) {
+      const bench::TrainedModel model =
+          bench::TrainModel(model_name, context, bench_config);
+      std::vector<double> purities;
+      std::vector<double> nmis;
+      for (int clusters : cluster_counts) {
+        util::Rng rng(91);
+        const eval::ClusteringScore score = eval::EvaluateClustering(
+            model.test_theta, labels, clusters, rng);
+        purities.push_back(score.purity);
+        nmis.push_back(score.nmi);
+      }
+      purity_table.AddRow(model.display_name, purities);
+      nmi_table.AddRow(model.display_name, nmis);
+      std::printf("  evaluated %-18s\n", model.display_name.c_str());
+      std::fflush(stdout);
+    }
+    bench::EmitTable("Figure 3a: km-Purity on " + dataset_name,
+                     "fig3_purity_" + dataset_name, purity_table);
+    bench::EmitTable("Figure 3b: km-NMI on " + dataset_name,
+                     "fig3_nmi_" + dataset_name, nmi_table);
+  }
+  return 0;
+}

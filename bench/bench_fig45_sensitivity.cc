@@ -1,0 +1,122 @@
+// Reproduces Figures 4 and 5: sensitivity of lambda (regularizer weight)
+// and v (words sampled per topic). As in the paper, we report the highest
+// and lowest percentile scores (TC/TD at the max and min selected-topic
+// proportions, km-Purity at the max and min cluster counts).
+//
+// Reproduced shape: coherence rises with lambda then the coherence /
+// diversity trade-off appears at large lambda; v shows a fast rise then a
+// plateau and is much less dataset-sensitive than lambda.
+//
+// Figure 4 datasets: 20ng-sim + yahoo-sim; Figure 5: nytimes-sim
+// (include it via --datasets=...,nytimes-sim; its lambda axis is larger,
+// mirroring the paper's larger-scale NYTimes sweep).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "eval/clustering.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+
+using namespace contratopic;  // NOLINT
+
+namespace {
+
+struct SweepPoint {
+  std::string label;
+  double tc_max, tc_min;  // coherence at 10% / 100% topics
+  double td_max, td_min;  // diversity at 10% / 100% topics
+  double purity_max, purity_min;
+};
+
+SweepPoint Evaluate(const std::string& label,
+                    const bench::TrainedModel& model,
+                    const bench::ExperimentContext& context,
+                    const std::vector<int>& labels, int num_topics) {
+  const auto coherence =
+      eval::PerTopicCoherence(model.beta, *context.test_npmi);
+  SweepPoint point;
+  point.label = label;
+  point.tc_max = eval::CoherenceAtProportion(coherence, 0.1);
+  point.tc_min = eval::CoherenceAtProportion(coherence, 1.0);
+  point.td_max = eval::DiversityAtProportion(model.beta, coherence, 0.1);
+  point.td_min = eval::DiversityAtProportion(model.beta, coherence, 1.0);
+  util::Rng rng_a(91);
+  util::Rng rng_b(91);
+  point.purity_max =
+      eval::EvaluateClustering(model.test_theta, labels,
+                               std::max(2, num_topics), rng_a)
+          .purity;
+  point.purity_min =
+      eval::EvaluateClustering(model.test_theta, labels,
+                               std::max(2, num_topics / 5), rng_b)
+          .purity;
+  return point;
+}
+
+void EmitSweep(const std::string& title, const std::string& stem,
+               const std::vector<SweepPoint>& points,
+               const std::string& axis_name) {
+  util::TableWriter table({axis_name, "TC(max)", "TC(min)", "TD(max)",
+                           "TD(min)", "km-Purity(max)", "km-Purity(min)"});
+  for (const auto& p : points) {
+    table.AddRow(p.label, {p.tc_max, p.tc_min, p.td_max, p.td_min,
+                           p.purity_max, p.purity_min});
+  }
+  bench::EmitTable(title, stem, table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bench::BenchConfig bench_config = bench::ParseBenchConfig(flags);
+  const auto datasets =
+      util::Split(flags.GetString("datasets", "20ng-sim,yahoo-sim"), ",");
+
+  for (const auto& dataset_name : datasets) {
+    std::printf("\n### dataset %s ###\n", dataset_name.c_str());
+    const bench::ExperimentContext context =
+        bench::LoadExperiment(dataset_name, bench_config.doc_scale);
+    std::vector<int> all_docs(context.dataset.test.num_docs());
+    for (size_t i = 0; i < all_docs.size(); ++i) {
+      all_docs[i] = static_cast<int>(i);
+    }
+    const std::vector<int> labels = context.dataset.test.Labels(all_docs);
+    const int k = bench_config.train.num_topics;
+
+    // Lambda sweep (the NYTimes analogue uses a larger axis, like Fig. 5).
+    std::vector<double> lambdas = {0, 10, 20, 40, 80, 160};
+    if (dataset_name == "nytimes-sim") lambdas = {0, 40, 100, 200, 400, 800};
+    std::vector<SweepPoint> lambda_points;
+    for (double lambda : lambdas) {
+      core::ContraTopicOptions options;
+      options.lambda = static_cast<float>(lambda);
+      const bench::TrainedModel model =
+          bench::TrainModel("contratopic", context, bench_config, options);
+      lambda_points.push_back(
+          Evaluate(util::StrFormat("%g", lambda), model, context, labels, k));
+      std::printf("  lambda=%g done\n", lambda);
+      std::fflush(stdout);
+    }
+    EmitSweep("Figure 4/5: lambda sensitivity on " + dataset_name,
+              "fig45_lambda_" + dataset_name, lambda_points, "lambda");
+
+    // v sweep (paper: 1..19).
+    std::vector<SweepPoint> v_points;
+    for (int v : {1, 3, 5, 10, 15, 19}) {
+      core::ContraTopicOptions options;
+      options.lambda = bench::LambdaForDataset(dataset_name);
+      options.v = v;
+      const bench::TrainedModel model =
+          bench::TrainModel("contratopic", context, bench_config, options);
+      v_points.push_back(
+          Evaluate(util::StrFormat("%d", v), model, context, labels, k));
+      std::printf("  v=%d done\n", v);
+      std::fflush(stdout);
+    }
+    EmitSweep("Figure 4/5: v sensitivity on " + dataset_name,
+              "fig45_v_" + dataset_name, v_points, "v");
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the substrate kernels that
+// dominate training time, plus the ablation called out in DESIGN.md §5:
+// the candidate-vocabulary restriction of the contrastive term versus the
+// full-vocabulary version.
+
+#include <benchmark/benchmark.h>
+
+#include "core/contrastive_loss.h"
+#include "core/subset_sampler.h"
+#include "eval/npmi.h"
+#include "tensor/autodiff.h"
+#include "tensor/kernels.h"
+#include "text/synthetic.h"
+#include "util/rng.h"
+
+namespace {
+
+using contratopic::tensor::Tensor;
+namespace ad = contratopic::autodiff;
+namespace core = contratopic::core;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  contratopic::util::Rng rng(1);
+  const Tensor a = Tensor::RandNormal(n, n, rng);
+  const Tensor b = Tensor::RandNormal(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contratopic::tensor::MatMulNew(a, false, b, false));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  contratopic::util::Rng rng(2);
+  Tensor x = Tensor::RandNormal(256, state.range(0), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contratopic::tensor::SoftmaxRows(x));
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(1000)->Arg(4000);
+
+void BM_NpmiCompute(benchmark::State& state) {
+  const auto dataset = contratopic::text::GenerateSynthetic(
+      contratopic::text::Preset20NG(0.1 * state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        contratopic::eval::NpmiMatrix::Compute(dataset.train));
+  }
+}
+BENCHMARK(BM_NpmiCompute)->Arg(1)->Arg(3);
+
+void BM_SubsetSamplerForwardBackward(benchmark::State& state) {
+  const int candidates = static_cast<int>(state.range(0));
+  contratopic::util::Rng rng(3);
+  const Tensor logits = Tensor::RandNormal(20, candidates, rng);
+  const Tensor kernel = Tensor::RandNormal(candidates, candidates, rng, 0, 0.3f);
+  for (auto _ : state) {
+    ad::Var leaf = ad::Var::Leaf(logits, true);
+    core::SubsetSample sample =
+        core::SampleTopVWithoutReplacement(leaf, 10, 0.5f, rng);
+    ad::Var loss = core::TopicContrastiveLoss(sample.steps, kernel);
+    ad::Backward(loss);
+    benchmark::DoNotOptimize(leaf.grad());
+  }
+}
+BENCHMARK(BM_SubsetSamplerForwardBackward)->Arg(128)->Arg(512)->Arg(1024);
+
+// The DESIGN.md §5 ablation: contrastive term on the candidate union vs
+// the full vocabulary. Arg = vocabulary size; candidate set fixed at 512.
+void BM_ContrastiveFullVocab(benchmark::State& state) {
+  const int vocab = static_cast<int>(state.range(0));
+  contratopic::util::Rng rng(4);
+  const Tensor logits = Tensor::RandNormal(20, vocab, rng);
+  const Tensor kernel = Tensor::RandNormal(vocab, vocab, rng, 0, 0.3f);
+  for (auto _ : state) {
+    ad::Var leaf = ad::Var::Leaf(logits, true);
+    core::SubsetSample sample =
+        core::SampleTopVWithoutReplacement(leaf, 10, 0.5f, rng);
+    ad::Var loss = core::TopicContrastiveLoss(sample.steps, kernel);
+    ad::Backward(loss);
+    benchmark::DoNotOptimize(leaf.grad());
+  }
+}
+BENCHMARK(BM_ContrastiveFullVocab)->Arg(1000)->Arg(2000);
+
+void BM_KernelSubMatrixGather(benchmark::State& state) {
+  const auto dataset = contratopic::text::GenerateSynthetic(
+      contratopic::text::Preset20NG(0.1));
+  const auto npmi = contratopic::eval::NpmiMatrix::Compute(dataset.train);
+  std::vector<int> indices;
+  for (int i = 0; i < npmi.vocab_size(); i += 2) indices.push_back(i);
+  if (static_cast<int>(indices.size()) > 512) indices.resize(512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(npmi.SubMatrix(indices));
+  }
+}
+BENCHMARK(BM_KernelSubMatrixGather);
+
+}  // namespace
+
+BENCHMARK_MAIN();

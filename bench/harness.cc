@@ -1,0 +1,187 @@
+#include "bench/harness.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <functional>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+
+namespace contratopic {
+namespace bench {
+namespace {
+
+std::string CacheKey(const std::string& zoo_name,
+                     const ExperimentContext& context,
+                     const topicmodel::TrainConfig& train,
+                     const core::ContraTopicOptions& contra) {
+  // Hash the experiment-defining knobs; collisions across genuinely
+  // different configs are what we care about, not adversarial inputs.
+  std::string blob = util::StrFormat(
+      "%s|%s|%d|%d|%d|%d|%d|%g|%llu|%g|%d|%g|%g|%d|%d|%g",
+      zoo_name.c_str(), context.config.name.c_str(), context.config.num_docs,
+      train.num_topics, train.epochs, train.batch_size, train.encoder_hidden,
+      static_cast<double>(train.learning_rate),
+      static_cast<unsigned long long>(train.seed),
+      static_cast<double>(contra.lambda), contra.v,
+      static_cast<double>(contra.tau_gumbel),
+      static_cast<double>(contra.tau_contrast), contra.candidate_words,
+      static_cast<int>(contra.variant),
+      static_cast<double>(contra.warmup_fraction));
+  const size_t hash = std::hash<std::string>{}(blob);
+  return util::StrFormat("%s-%s-%016zx", context.config.name.c_str(),
+                         zoo_name.c_str(), hash);
+}
+
+bool LoadCached(const std::string& path, TrainedModel* out) {
+  util::BinaryReader reader(path);
+  if (!reader.ok()) return false;
+  const uint64_t beta_rows = reader.ReadU64();
+  const uint64_t beta_cols = reader.ReadU64();
+  std::vector<float> beta = reader.ReadFloatVector();
+  const uint64_t theta_rows = reader.ReadU64();
+  const uint64_t theta_cols = reader.ReadU64();
+  std::vector<float> theta = reader.ReadFloatVector();
+  out->stats.total_seconds = reader.ReadF32();
+  out->stats.seconds_per_epoch = reader.ReadF32();
+  out->stats.final_loss = reader.ReadF32();
+  out->stats.extra_memory_bytes = static_cast<int64_t>(reader.ReadU64());
+  if (!reader.status().ok()) return false;
+  if (beta.size() != beta_rows * beta_cols ||
+      theta.size() != theta_rows * theta_cols) {
+    return false;
+  }
+  out->beta = tensor::Tensor(static_cast<int64_t>(beta_rows),
+                             static_cast<int64_t>(beta_cols), std::move(beta));
+  out->test_theta =
+      tensor::Tensor(static_cast<int64_t>(theta_rows),
+                     static_cast<int64_t>(theta_cols), std::move(theta));
+  return true;
+}
+
+void SaveCached(const std::string& path, const TrainedModel& model) {
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) return;
+  writer.WriteU64(static_cast<uint64_t>(model.beta.rows()));
+  writer.WriteU64(static_cast<uint64_t>(model.beta.cols()));
+  writer.WriteFloatVector(std::vector<float>(
+      model.beta.data(), model.beta.data() + model.beta.numel()));
+  writer.WriteU64(static_cast<uint64_t>(model.test_theta.rows()));
+  writer.WriteU64(static_cast<uint64_t>(model.test_theta.cols()));
+  writer.WriteFloatVector(std::vector<float>(
+      model.test_theta.data(),
+      model.test_theta.data() + model.test_theta.numel()));
+  writer.WriteF32(static_cast<float>(model.stats.total_seconds));
+  writer.WriteF32(static_cast<float>(model.stats.seconds_per_epoch));
+  writer.WriteF32(static_cast<float>(model.stats.final_loss));
+  writer.WriteU64(static_cast<uint64_t>(model.stats.extra_memory_bytes));
+  if (!writer.Close().ok()) {
+    LOG(WARNING) << "failed to write model cache " << path;
+  }
+}
+
+}  // namespace
+
+ExperimentContext LoadExperiment(const std::string& preset_name,
+                                 double scale) {
+  ExperimentContext context;
+  context.config = text::PresetByName(preset_name, scale);
+  context.dataset = text::GenerateSynthetic(context.config);
+  text::BowCorpus reference = text::GenerateReferenceCorpus(
+      context.config, context.dataset.train.vocab());
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 48;
+  context.embeddings = embed::WordEmbeddings::Train(reference, embed_config);
+  context.train_npmi = std::make_unique<eval::NpmiMatrix>(
+      eval::NpmiMatrix::Compute(context.dataset.train));
+  context.test_npmi = std::make_unique<eval::NpmiMatrix>(
+      eval::NpmiMatrix::Compute(context.dataset.test));
+  return context;
+}
+
+BenchConfig ParseBenchConfig(const util::Flags& flags) {
+  BenchConfig bench;
+  const std::string scale = flags.GetString("scale", "small");
+  if (scale == "paper") {
+    // Paper-magnitude settings: K=100 topics, 100 epochs, 800-unit encoder.
+    bench.doc_scale = 2.0;
+    bench.train.num_topics = 100;
+    bench.train.epochs = 100;
+    bench.train.encoder_hidden = 800;
+    bench.train.encoder_layers = 3;
+    bench.train.batch_size = 1000;
+  } else {
+    bench.doc_scale = 0.75;
+    bench.train.num_topics = 20;
+    bench.train.epochs = 16;
+    bench.train.encoder_hidden = 96;
+    bench.train.encoder_layers = 2;
+    bench.train.batch_size = 256;
+  }
+  bench.doc_scale = flags.GetDouble("docs", bench.doc_scale);
+  bench.train.num_topics = flags.GetInt("topics", bench.train.num_topics);
+  bench.train.epochs = flags.GetInt("epochs", bench.train.epochs);
+  bench.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  bench.use_cache = flags.GetBool("cache", true);
+  return bench;
+}
+
+float LambdaForDataset(const std::string& preset_name) {
+  // Paper: 40 / 40 / 300. The NYTimes value scales with its larger corpus;
+  // at harness scale a milder boost reproduces the same relative emphasis.
+  if (preset_name == "nytimes-sim") return 100.0f;
+  return 40.0f;
+}
+
+TrainedModel TrainModel(const std::string& zoo_name,
+                        const ExperimentContext& context,
+                        const BenchConfig& bench,
+                        core::ContraTopicOptions contra_options) {
+  TrainedModel result;
+  result.zoo_name = zoo_name;
+  result.display_name = core::DisplayName(zoo_name);
+
+  ::mkdir(kResultsDir, 0755);
+  ::mkdir((std::string(kResultsDir) + "/cache").c_str(), 0755);
+  const std::string cache_path =
+      std::string(kResultsDir) + "/cache/" +
+      CacheKey(zoo_name, context, bench.train, contra_options) + ".bin";
+  if (bench.use_cache && LoadCached(cache_path, &result)) {
+    return result;
+  }
+
+  auto model = core::CreateModel(zoo_name, bench.train, context.embeddings,
+                                 contra_options);
+  result.stats = model->Train(context.dataset.train);
+  result.beta = model->Beta();
+  result.test_theta = model->InferTheta(context.dataset.test);
+  if (bench.use_cache) SaveCached(cache_path, result);
+  return result;
+}
+
+TrainedModel TrainModel(const std::string& zoo_name,
+                        const ExperimentContext& context,
+                        const BenchConfig& bench) {
+  core::ContraTopicOptions options;
+  options.lambda = LambdaForDataset(context.config.name);
+  return TrainModel(zoo_name, context, bench, options);
+}
+
+void EmitTable(const std::string& title, const std::string& stem,
+               const util::TableWriter& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.ToString().c_str());
+  const std::string path = std::string(kResultsDir) + "/" + stem + ".tsv";
+  const util::Status status = table.WriteTsv(path);
+  if (!status.ok()) {
+    LOG(WARNING) << "could not write " << path << ": " << status;
+  } else {
+    std::printf("[tsv: %s]\n", path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace contratopic

@@ -1,0 +1,86 @@
+#ifndef CONTRATOPIC_BENCH_HARNESS_H_
+#define CONTRATOPIC_BENCH_HARNESS_H_
+
+// Shared machinery for the table/figure reproduction benches. Each bench
+// binary regenerates one table or figure of the paper (see DESIGN.md §4):
+// it loads a dataset preset, trains the relevant models, prints a
+// paper-style table, and mirrors it as TSV under bench_results/.
+//
+// Trained models are cached on disk keyed by (dataset, model, config), so
+// the binaries can share training work: running bench_fig2 first makes
+// bench_fig3 / bench_table3 nearly free.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "eval/npmi.h"
+#include "text/synthetic.h"
+#include "topicmodel/topic_model.h"
+#include "util/flags.h"
+#include "util/table_writer.h"
+
+namespace contratopic {
+namespace bench {
+
+inline constexpr char kResultsDir[] = "bench_results";
+
+// Everything needed to run one dataset's experiments.
+struct ExperimentContext {
+  text::SyntheticConfig config;
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;  // reference-corpus PPMI-SVD (frozen)
+  std::unique_ptr<eval::NpmiMatrix> train_npmi;
+  std::unique_ptr<eval::NpmiMatrix> test_npmi;
+};
+
+// Generates the preset dataset, the reference-corpus embeddings, and both
+// NPMI matrices. `scale` multiplies document counts.
+ExperimentContext LoadExperiment(const std::string& preset_name,
+                                 double scale);
+
+// Benchmark-wide knobs derived from the command line:
+//   --scale=small|paper   (paper restores K=100/100-epoch magnitudes)
+//   --docs=<f>            dataset document-count multiplier
+//   --epochs, --topics, --seed overrides
+struct BenchConfig {
+  double doc_scale = 0.5;
+  topicmodel::TrainConfig train;
+  bool use_cache = true;
+};
+BenchConfig ParseBenchConfig(const util::Flags& flags);
+
+// The paper's per-dataset lambda (40 / 40 / 300, scaled for the harness).
+float LambdaForDataset(const std::string& preset_name);
+
+// Trained-model artifacts the benches consume.
+struct TrainedModel {
+  std::string zoo_name;
+  std::string display_name;
+  tensor::Tensor beta;        // K x V
+  tensor::Tensor test_theta;  // num_test_docs x K
+  topicmodel::TrainStats stats;
+};
+
+// Trains (or loads from bench_results/cache) one model on the context's
+// training split. `contra_options` applies to contratopic* models.
+TrainedModel TrainModel(const std::string& zoo_name,
+                        const ExperimentContext& context,
+                        const BenchConfig& bench,
+                        core::ContraTopicOptions contra_options);
+
+// Same, with the dataset-appropriate default ContraTopic options.
+TrainedModel TrainModel(const std::string& zoo_name,
+                        const ExperimentContext& context,
+                        const BenchConfig& bench);
+
+// Prints `table` and writes it to bench_results/<stem>.tsv.
+void EmitTable(const std::string& title, const std::string& stem,
+               const util::TableWriter& table);
+
+}  // namespace bench
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_BENCH_HARNESS_H_

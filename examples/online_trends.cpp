@@ -1,0 +1,91 @@
+// The paper's §VI future-work scenario: streaming topic modeling over time
+// slices ("documents are partitioned into time slices", citing On-line
+// LDA). A dynamic corpus with drifting theme popularity is fed slice by
+// slice to OnlineContraTopic, which decays its co-occurrence statistics,
+// refreshes the contrastive kernel, and warm-starts training -- then we
+// chart each topic's share of the stream over time (trend detection).
+//
+// Run: ./online_trends [--slices=N] [--docs=N] [--drift=D]
+
+#include <cstdio>
+
+#include "core/online.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/dynamic.h"
+#include "util/flags.h"
+
+using namespace contratopic;  // NOLINT
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  // 1. The stream.
+  text::DynamicConfig config;
+  config.base = text::Preset20NG(1.0);
+  config.base.num_themes = 16;
+  config.base.preprocess.min_doc_frequency = 3;
+  config.num_slices = flags.GetInt("slices", 4);
+  config.docs_per_slice = flags.GetInt("docs", 500);
+  config.drift = flags.GetDouble("drift", 0.9);
+  const text::DynamicDataset stream = text::GenerateDynamic(config);
+  std::printf("stream: %d slices, vocab %d\n", config.num_slices,
+              stream.vocab.size());
+
+  // 2. Embeddings from the history available at t=0 (the first slice).
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 32;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(stream.slices[0], embed_config);
+
+  // 3. Online model.
+  core::OnlineContraTopic::Options options;
+  options.train.num_topics = flags.GetInt("topics", 12);
+  options.train.epochs = 10;
+  options.train.encoder_hidden = 64;
+  options.contra.lambda = 30.0f;
+  options.epochs_per_slice = flags.GetInt("epochs_per_slice", 5);
+  options.decay = flags.GetDouble("decay", 0.7);
+  core::OnlineContraTopic online(embeddings, options);
+
+  // 4. Consume the stream, reporting per-slice topic shares.
+  std::vector<std::vector<double>> shares;  // slice x topic
+  for (int s = 0; s < config.num_slices; ++s) {
+    const auto report = online.FitSlice(stream.slices[s]);
+    const tensor::Tensor theta = online.InferTheta(stream.slices[s]);
+    std::vector<double> share(options.train.num_topics, 0.0);
+    for (int64_t d = 0; d < theta.rows(); ++d) {
+      for (int k = 0; k < options.train.num_topics; ++k) {
+        share[k] += theta.at(d, k);
+      }
+    }
+    for (auto& v : share) v /= theta.rows();
+    shares.push_back(share);
+    std::printf("slice %d: trained %.1fs, effective docs %lld\n", s,
+                report.stats.total_seconds,
+                static_cast<long long>(report.accumulated_docs));
+  }
+
+  // 5. Trend chart: share of each topic per slice, with its top words.
+  const eval::NpmiMatrix npmi =
+      eval::NpmiMatrix::Compute(stream.slices.back());
+  const tensor::Tensor beta = online.Beta();
+  const auto coherence = eval::PerTopicCoherence(beta, npmi);
+  std::printf("\n%-5s", "topic");
+  for (int s = 0; s < config.num_slices; ++s) std::printf("  t%-4d", s);
+  std::printf(" trend   top words\n");
+  for (int k = 0; k < options.train.num_topics; ++k) {
+    std::printf("%-5d", k);
+    for (int s = 0; s < config.num_slices; ++s) {
+      std::printf(" %5.1f%%", 100.0 * shares[s][k]);
+    }
+    const double delta = shares.back()[k] - shares.front()[k];
+    std::printf(" %s ", delta > 0.01 ? "rising " : delta < -0.01 ? "falling" : "stable ");
+    for (int w : beta.TopKIndicesOfRow(k, 5)) {
+      std::printf(" %s", stream.vocab.Word(w).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

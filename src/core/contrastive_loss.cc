@@ -1,0 +1,100 @@
+#include "core/contrastive_loss.h"
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace core {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+namespace {
+
+// Masks for M = K*v samples where row index i = j*K + k belongs to topic k.
+struct Masks {
+  Tensor positive;     // same topic, i != j
+  Tensor denominator;  // everything except self
+};
+
+Masks BuildMasks(int num_topics, int v) {
+  const int m = num_topics * v;
+  Masks masks{Tensor(m, m), Tensor(m, m)};
+  for (int i = 0; i < m; ++i) {
+    const int topic_i = i % num_topics;
+    for (int j = 0; j < m; ++j) {
+      if (i == j) continue;
+      masks.denominator.at(i, j) = 1.0f;
+      if (j % num_topics == topic_i) masks.positive.at(i, j) = 1.0f;
+    }
+  }
+  return masks;
+}
+
+}  // namespace
+
+Var TopicContrastiveLoss(const std::vector<Var>& samples, const Tensor& kernel,
+                         ContrastVariant variant, float temperature) {
+  CHECK_GT(temperature, 0.0f);
+  CHECK(!samples.empty());
+  const int num_topics = static_cast<int>(samples[0].rows());
+  const int v = static_cast<int>(samples.size());
+  CHECK_EQ(samples[0].cols(), kernel.rows());
+  CHECK_EQ(kernel.rows(), kernel.cols());
+
+  // Stack the v draws: row j*K + k is draw j of topic k.
+  Var p = ConcatRows(samples);                       // M x C
+  Var kernel_var = Var::Constant(kernel);            // C x C
+  Var s = MulScalar(MatMul(MatMul(p, kernel_var), p, false, true),
+                    1.0f / temperature);             // M x M
+
+  const Masks masks = BuildMasks(num_topics, v);
+  const int m = num_topics * v;
+  const float inv_m = 1.0f / static_cast<float>(m);
+
+  switch (variant) {
+    case ContrastVariant::kFull: {
+      Var log_pos = MaskedLogSumExpRows(s, masks.positive);
+      Var log_all = MaskedLogSumExpRows(s, masks.denominator);
+      return MulScalar(SumAll(Sub(log_all, log_pos)), inv_m);
+    }
+    case ContrastVariant::kPositiveOnly: {
+      // Maximize the mean positive similarity.
+      const float positives_per_anchor = static_cast<float>(v - 1);
+      if (positives_per_anchor <= 0.0f) {
+        // v == 1: no positive pairs exist; the term vanishes.
+        return Var::Constant(Tensor::Scalar(0.0f));
+      }
+      Var pos_sum = SumAll(Mul(s, Var::Constant(masks.positive)));
+      return MulScalar(Neg(pos_sum), inv_m / positives_per_anchor);
+    }
+    case ContrastVariant::kNegativeOnly: {
+      // Minimize the (soft-max-weighted) negative similarity.
+      Tensor negative = masks.denominator;
+      negative.AddScaledInPlace(masks.positive, -1.0f);
+      Var log_neg = MaskedLogSumExpRows(s, negative);
+      return MulScalar(SumAll(log_neg), inv_m);
+    }
+  }
+  LOG(FATAL) << "unreachable";
+  return Var();
+}
+
+Var ExpectationContrastiveLoss(const Var& topic_word_probs,
+                               const Tensor& kernel, float temperature) {
+  CHECK_GT(temperature, 0.0f);
+  const int k = static_cast<int>(topic_word_probs.rows());
+  CHECK_EQ(topic_word_probs.cols(), kernel.rows());
+  Var kernel_var = Var::Constant(kernel);
+  Var s = MulScalar(MatMul(MatMul(topic_word_probs, kernel_var),
+                           topic_word_probs, false, true),
+                    1.0f / temperature);  // K x K
+  // Positive mass: the diagonal (expected within-topic similarity);
+  // denominator: the full row.
+  Tensor pos_mask(k, k);
+  for (int i = 0; i < k; ++i) pos_mask.at(i, i) = 1.0f;
+  Var log_pos = MaskedLogSumExpRows(s, pos_mask);
+  Var log_all = LogSumExpRows(s);
+  return MulScalar(SumAll(Sub(log_all, log_pos)), 1.0f / static_cast<float>(k));
+}
+
+}  // namespace core
+}  // namespace contratopic

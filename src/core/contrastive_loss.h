@@ -1,0 +1,55 @@
+#ifndef CONTRATOPIC_CORE_CONTRASTIVE_LOSS_H_
+#define CONTRATOPIC_CORE_CONTRASTIVE_LOSS_H_
+
+// The topic-wise supervised-contrastive regularizer (paper §IV.A, Eq. 2).
+//
+// Samples are words drawn from topics: words from the same topic are
+// positives, words from different topics are negatives. With relaxed
+// one-hot samples P (M x C, M = K*v rows over a candidate vocabulary of
+// size C) and a fixed similarity kernel Kmat (C x C, pre-computed NPMI or
+// embedding inner products), pairwise sample similarities are
+//     S = P Kmat P^T          (M x M)
+// and the loss is
+//     L = sum_i -log( sum_{p in P(i)} exp(S_ip) / sum_{a != i} exp(S_ia) ).
+// Maximizing within-topic similarity optimizes coherence; the denominator
+// pushes cross-topic similarity down, optimizing diversity.
+
+#include <vector>
+
+#include "tensor/autodiff.h"
+
+namespace contratopic {
+namespace core {
+
+using autodiff::Var;
+using tensor::Tensor;
+
+enum class ContrastVariant {
+  kFull,          // ContraTopic: positives and negatives (Eq. 2)
+  kPositiveOnly,  // ContraTopic-P: maximize positive-pair similarity only
+  kNegativeOnly,  // ContraTopic-N: minimize negative-pair similarity only
+};
+
+// `samples` holds v relaxed one-hot matrices of shape K x C (one per
+// Gumbel draw); row k of each belongs to topic k. `kernel` is the constant
+// C x C similarity matrix. Returns the scalar loss, normalized by the
+// number of anchors M = K*v.
+// `temperature` divides the similarities before the log-sum-exp (the
+// usual contrastive sharpening; NPMI lives in [-1, 1], so tau well below 1
+// is needed for the hardest negatives to dominate the denominator).
+Var TopicContrastiveLoss(const std::vector<Var>& samples,
+                         const Tensor& kernel,
+                         ContrastVariant variant = ContrastVariant::kFull,
+                         float temperature = 0.2f);
+
+// Expectation variant (ContraTopic-S): uses each topic's candidate-word
+// probability row directly (K x C) instead of sampled subsets; within-topic
+// similarity is the diagonal of B Kmat B^T, cross-topic the off-diagonal.
+Var ExpectationContrastiveLoss(const Var& topic_word_probs,
+                               const Tensor& kernel,
+                               float temperature = 0.2f);
+
+}  // namespace core
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_CORE_CONTRASTIVE_LOSS_H_

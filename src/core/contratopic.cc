@@ -1,0 +1,223 @@
+#include "core/contratopic.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/kernels.h"
+#include "topicmodel/augment.h"
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace core {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+using topicmodel::NeuralTopicModel;
+
+std::string VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kFull:
+      return "ContraTopic";
+    case Variant::kPositiveOnly:
+      return "ContraTopic-P";
+    case Variant::kNegativeOnly:
+      return "ContraTopic-N";
+    case Variant::kInnerProduct:
+      return "ContraTopic-I";
+    case Variant::kExpectation:
+      return "ContraTopic-S";
+  }
+  return "ContraTopic";
+}
+
+namespace {
+
+std::string ModelName(const ContraTopicOptions& options,
+                      const NeuralTopicModel& backbone) {
+  std::string name = VariantName(options.variant);
+  if (backbone.name() != "ETM") name += "(" + backbone.name() + ")";
+  return name;
+}
+
+}  // namespace
+
+ContraTopicModel::ContraTopicModel(
+    std::unique_ptr<NeuralTopicModel> backbone,
+    const topicmodel::TrainConfig& config, ContraTopicOptions options,
+    const embed::WordEmbeddings* embeddings)
+    : NeuralTopicModel(ModelName(options, *backbone), config),
+      backbone_(std::move(backbone)),
+      options_(options),
+      embeddings_(embeddings) {
+  if (options_.variant == Variant::kInnerProduct) {
+    CHECK(embeddings_ != nullptr)
+        << "ContraTopic-I needs word embeddings for its kernel";
+  }
+  CHECK_GT(options_.v, 0);
+}
+
+void ContraTopicModel::Prepare(const text::BowCorpus& corpus) {
+  backbone_->Prepare(corpus);
+  if (options_.document_contrast_weight > 0.0f) {
+    doc_freq_ = corpus.DocumentFrequencies();
+  }
+  if (options_.variant == Variant::kInnerProduct) {
+    // Embedding-cosine kernel (the NTM-R style similarity; Table II row
+    // ContraTopic-I). Rows normalized so values live in [-1, 1] like NPMI.
+    embedding_cosine_ = tensor::PairwiseCosine(embeddings_->vectors(),
+                                               embeddings_->vectors());
+  } else if (train_npmi_ == nullptr) {
+    // The paper's kernel: NPMI pre-computed on the *training* corpus.
+    // (Skipped when a kernel was injected via SetKernel, as in the online
+    // extension where co-occurrence statistics accumulate across slices.)
+    train_npmi_ =
+        std::make_unique<eval::NpmiMatrix>(eval::NpmiMatrix::Compute(corpus));
+  }
+}
+
+std::vector<int> ContraTopicModel::CandidateWords(
+    const Tensor& beta_value) const {
+  const int vocab = static_cast<int>(beta_value.cols());
+  if (options_.candidate_words <= 0 || options_.candidate_words >= vocab) {
+    std::vector<int> all(vocab);
+    for (int i = 0; i < vocab; ++i) all[i] = i;
+    return all;
+  }
+  std::unordered_set<int> unioned;
+  for (int64_t k = 0; k < beta_value.rows(); ++k) {
+    for (int w : beta_value.TopKIndicesOfRow(k, options_.candidate_words)) {
+      unioned.insert(w);
+    }
+  }
+  std::vector<int> words(unioned.begin(), unioned.end());
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+Tensor ContraTopicModel::KernelSubMatrix(const std::vector<int>& words) const {
+  Tensor sub;
+  if (options_.variant == Variant::kInnerProduct) {
+    const int n = static_cast<int>(words.size());
+    sub = Tensor(n, n);
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        sub.at(a, b) = embedding_cosine_.at(words[a], words[b]);
+      }
+    }
+  } else {
+    CHECK(train_npmi_ != nullptr) << "Prepare() was not called";
+    sub = train_npmi_->SubMatrix(words);
+  }
+  if (options_.clip_kernel_at_zero) {
+    sub.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  }
+  return sub;
+}
+
+NeuralTopicModel::BatchGraph ContraTopicModel::BuildBatch(
+    const topicmodel::Batch& batch) {
+  BatchGraph base = backbone_->BuildBatch(batch);
+  CHECK(base.beta.defined());
+
+  // Restrict to the candidate vocabulary (DESIGN.md §5 #1).
+  const std::vector<int> words = CandidateWords(base.beta.value());
+  Var beta_candidates = SelectColumns(base.beta, words);
+  const Tensor kernel = KernelSubMatrix(words);
+
+  Var contrast;
+  switch (options_.variant) {
+    case Variant::kExpectation:
+      contrast = ExpectationContrastiveLoss(beta_candidates, kernel,
+                                            options_.tau_contrast);
+      break;
+    case Variant::kPositiveOnly:
+    case Variant::kNegativeOnly:
+    case Variant::kFull:
+    case Variant::kInnerProduct: {
+      SubsetSample sample = SampleTopVWithoutReplacement(
+          Log(beta_candidates, 1e-20f), options_.v, options_.tau_gumbel,
+          rng_, options_.straight_through);
+      ContrastVariant cv = ContrastVariant::kFull;
+      if (options_.variant == Variant::kPositiveOnly) {
+        cv = ContrastVariant::kPositiveOnly;
+      } else if (options_.variant == Variant::kNegativeOnly) {
+        cv = ContrastVariant::kNegativeOnly;
+      }
+      contrast = TopicContrastiveLoss(sample.steps, kernel, cv,
+                                      options_.tau_contrast);
+      break;
+    }
+  }
+  last_contrastive_loss_ = contrast.value().scalar();
+
+  // Linear lambda warmup (0 at step 0, full after warmup_fraction).
+  float lambda = options_.lambda;
+  if (options_.warmup_fraction > 0.0f) {
+    const float ramp = static_cast<float>(TrainingProgress()) /
+                       options_.warmup_fraction;
+    lambda *= std::min(1.0f, ramp);
+  }
+  Var loss = Add(base.loss, MulScalar(contrast, lambda));
+  if (options_.document_contrast_weight > 0.0f) {
+    Var doc_term = DocumentContrastTerm(batch);
+    if (doc_term.defined()) {
+      loss = Add(loss,
+                 MulScalar(doc_term, options_.document_contrast_weight));
+    }
+  }
+  return {loss, base.beta};
+}
+
+Var ContraTopicModel::DocumentContrastTerm(const topicmodel::Batch& batch) {
+  Var h = backbone_->EncodeRepresentation(batch.normalized);
+  if (!h.defined()) return Var();  // Backbone has no document encoder.
+  CHECK(batch.corpus != nullptr);
+  Tensor positive;
+  Tensor negative;
+  const Tensor tfidf = batch.corpus->TfIdfBatch(batch.indices, doc_freq_);
+  topicmodel::BuildTfIdfViews(batch.normalized, tfidf,
+                              /*salient_fraction=*/0.25f, &positive,
+                              &negative);
+  Var hn = RowL2Normalize(h);
+  Var h_pos = RowL2Normalize(backbone_->EncodeRepresentation(positive));
+  Var h_neg = RowL2Normalize(backbone_->EncodeRepresentation(negative));
+  const float inv_tau = 1.0f / options_.document_contrast_temperature;
+  Var s_pos = MulScalar(RowSum(Mul(hn, h_pos)), inv_tau);
+  Var s_neg = MulScalar(RowSum(Mul(hn, h_neg)), inv_tau);
+  // InfoNCE with one positive / one negative: softplus(s_neg - s_pos).
+  return MeanAll(Softplus(Sub(s_neg, s_pos)));
+}
+
+Tensor ContraTopicModel::InferThetaBatch(const Tensor& x_normalized) {
+  return backbone_->InferThetaBatch(x_normalized);
+}
+
+std::vector<nn::Parameter> ContraTopicModel::Parameters() {
+  return backbone_->Parameters();
+}
+
+void ContraTopicModel::SetTraining(bool training) {
+  training_ = training;
+  backbone_->SetTraining(training);
+}
+
+void ContraTopicModel::SetKernel(std::unique_ptr<eval::NpmiMatrix> npmi) {
+  CHECK(options_.variant != Variant::kInnerProduct)
+      << "ContraTopic-I uses an embedding kernel";
+  train_npmi_ = std::move(npmi);
+}
+
+int64_t ContraTopicModel::ExtraMemoryBytes() const {
+  if (train_npmi_ != nullptr) return train_npmi_->MemoryBytes();
+  return embedding_cosine_.numel() * static_cast<int64_t>(sizeof(float));
+}
+
+std::unique_ptr<ContraTopicModel> MakeContraTopicEtm(
+    const topicmodel::TrainConfig& config,
+    const embed::WordEmbeddings& embeddings, ContraTopicOptions options) {
+  auto backbone = std::make_unique<topicmodel::EtmModel>(config, embeddings);
+  return std::make_unique<ContraTopicModel>(std::move(backbone), config,
+                                            options, &embeddings);
+}
+
+}  // namespace core
+}  // namespace contratopic

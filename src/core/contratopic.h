@@ -1,0 +1,133 @@
+#ifndef CONTRATOPIC_CORE_CONTRATOPIC_H_
+#define CONTRATOPIC_CORE_CONTRATOPIC_H_
+
+// ContraTopic (the paper's contribution): any neural topic model backbone
+// plus the topic-wise contrastive regularizer,
+//     L = L_rec + L_kl + lambda * L_con        (Eq. 6)
+// where L_con contrasts words sampled differentiably from each topic's
+// word distribution (Gumbel relaxed top-v, §IV.B) under a pre-computed
+// NPMI similarity kernel (§IV.A).
+//
+// The backbone is pluggable (ETM by default; WLDA / WeTe for the paper's
+// Figure 6 backbone-substitution study). Ablation variants (Table II):
+//   kFull         ContraTopic
+//   kPositiveOnly ContraTopic-P   positive pairs only
+//   kNegativeOnly ContraTopic-N   negative pairs only
+//   kInnerProduct ContraTopic-I   embedding-cosine kernel instead of NPMI
+//   kExpectation  ContraTopic-S   beta expectation instead of sampling
+
+#include <memory>
+#include <string>
+
+#include "core/contrastive_loss.h"
+#include "core/subset_sampler.h"
+#include "embed/word_embeddings.h"
+#include "eval/npmi.h"
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace core {
+
+enum class Variant {
+  kFull,
+  kPositiveOnly,
+  kNegativeOnly,
+  kInnerProduct,
+  kExpectation,
+};
+
+// Human-readable suffix, e.g. "ContraTopic-P".
+std::string VariantName(Variant variant);
+
+struct ContraTopicOptions {
+  // Regularizer weight (paper: 40 on 20NG/Yahoo, 300 on NYTimes).
+  float lambda = 40.0f;
+  // Words sampled per topic (paper: v = 10).
+  int v = 10;
+  // Gumbel-softmax temperature (paper: tau_g = 0.5).
+  float tau_gumbel = 0.5f;
+  // Contrastive sharpening temperature dividing the pairwise similarities.
+  float tau_contrast = 0.7f;
+  // CPU optimization: restrict the contrastive term to the union of each
+  // topic's top-`candidate_words` words (0 = full vocabulary). See
+  // DESIGN.md §5; gradients only reach words that can appear in a top-v
+  // draw, so the restriction is lossless in practice.
+  int candidate_words = 64;
+  Variant variant = Variant::kFull;
+  // Clip kernel similarities at zero (PPMI-style). Without clipping, word
+  // pairs that never co-occur score NPMI = -1 with *everything*, making
+  // "topics of mutually rare junk words" a strong attractor for the
+  // negative-pair term; clipping caps the negatives' payoff at
+  // independence so the loss can only be lowered by genuine coherence
+  // and genuine diversity. See DESIGN.md §5.
+  bool clip_kernel_at_zero = true;
+  // Fraction of training during which lambda ramps linearly from 0. The
+  // contrastive term needs a meaningful beta to sample from; applied to a
+  // randomly initialized model it amplifies arbitrary early structure.
+  float warmup_fraction = 0.4f;
+  // Straight-through hard sampling (off = fully relaxed, like the paper).
+  bool straight_through = false;
+  // Paper §VI future work: a unified multi-level objective that adds a
+  // *document-wise* InfoNCE term (CLNTM-style tf-idf views on the
+  // document representations) on top of the topic-wise term. 0 disables.
+  float document_contrast_weight = 0.0f;
+  float document_contrast_temperature = 0.5f;
+};
+
+class ContraTopicModel : public topicmodel::NeuralTopicModel {
+ public:
+  // `backbone` supplies the base objective and the differentiable beta.
+  // `embeddings` is only required for the kInnerProduct variant (may be
+  // null otherwise).
+  ContraTopicModel(std::unique_ptr<topicmodel::NeuralTopicModel> backbone,
+                   const topicmodel::TrainConfig& config,
+                   ContraTopicOptions options,
+                   const embed::WordEmbeddings* embeddings = nullptr);
+
+  void Prepare(const text::BowCorpus& corpus) override;
+  BatchGraph BuildBatch(const topicmodel::Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+  int64_t ExtraMemoryBytes() const override;
+
+  const ContraTopicOptions& options() const { return options_; }
+
+  // The regularizer value of the most recent batch (for diagnostics).
+  float last_contrastive_loss() const { return last_contrastive_loss_; }
+
+  // Access to the wrapped backbone (e.g. for the multi-level term).
+  topicmodel::NeuralTopicModel* backbone() { return backbone_.get(); }
+
+  // Replaces the NPMI kernel (online extension: the co-occurrence
+  // statistics evolve as new time slices arrive).
+  void SetKernel(std::unique_ptr<eval::NpmiMatrix> npmi);
+
+ private:
+  // Union of each topic's top candidate words under the current beta.
+  std::vector<int> CandidateWords(const Tensor& beta_value) const;
+  // Kernel submatrix over `words` (NPMI or embedding cosine).
+  Tensor KernelSubMatrix(const std::vector<int>& words) const;
+
+  // Optional CLNTM-style document-wise InfoNCE term (multi-level variant).
+  Var DocumentContrastTerm(const topicmodel::Batch& batch);
+
+  std::unique_ptr<topicmodel::NeuralTopicModel> backbone_;
+  std::vector<int> doc_freq_;  // for the multi-level tf-idf views
+  ContraTopicOptions options_;
+  const embed::WordEmbeddings* embeddings_;
+  std::unique_ptr<eval::NpmiMatrix> train_npmi_;
+  Tensor embedding_cosine_;  // V x V, only for kInnerProduct
+  float last_contrastive_loss_ = 0.0f;
+};
+
+// Convenience factory: ETM backbone with the paper's defaults.
+std::unique_ptr<ContraTopicModel> MakeContraTopicEtm(
+    const topicmodel::TrainConfig& config,
+    const embed::WordEmbeddings& embeddings,
+    ContraTopicOptions options = ContraTopicOptions());
+
+}  // namespace core
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_CORE_CONTRATOPIC_H_

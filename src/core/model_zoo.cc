@@ -1,0 +1,120 @@
+#include "core/model_zoo.h"
+
+#include "topicmodel/clntm.h"
+#include "topicmodel/etm.h"
+#include "topicmodel/lda.h"
+#include "topicmodel/nstm.h"
+#include "topicmodel/ntmr.h"
+#include "topicmodel/prodlda.h"
+#include "topicmodel/vtmrl.h"
+#include "topicmodel/wete.h"
+#include "topicmodel/wlda.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace core {
+
+using topicmodel::TopicModel;
+using topicmodel::TrainConfig;
+
+std::vector<std::string> PaperModelNames() {
+  return {"lda",  "prodlda", "wlda",  "etm",   "nstm",
+          "wete", "ntmr",    "vtmrl", "clntm", "contratopic"};
+}
+
+std::vector<std::string> AblationModelNames() {
+  return {"contratopic", "contratopic-p", "contratopic-n", "contratopic-i",
+          "contratopic-s"};
+}
+
+std::unique_ptr<TopicModel> CreateModel(
+    const std::string& raw_name, const TrainConfig& config,
+    const embed::WordEmbeddings& embeddings,
+    const ContraTopicOptions& contra_options) {
+  const std::string name = util::ToLower(raw_name);
+  const int vocab = embeddings.vocab_size();
+
+  if (name == "lda") {
+    return std::make_unique<topicmodel::LdaModel>(config.num_topics,
+                                                  config.seed);
+  }
+  if (name == "prodlda") {
+    return std::make_unique<topicmodel::ProdLdaModel>(config, vocab);
+  }
+  if (name == "wlda") {
+    return std::make_unique<topicmodel::WldaModel>(config, vocab);
+  }
+  if (name == "etm") {
+    return std::make_unique<topicmodel::EtmModel>(config, embeddings);
+  }
+  if (name == "nstm") {
+    return std::make_unique<topicmodel::NstmModel>(config, embeddings);
+  }
+  if (name == "wete") {
+    return std::make_unique<topicmodel::WeTeModel>(config, embeddings);
+  }
+  if (name == "ntmr") {
+    return std::make_unique<topicmodel::NtmrModel>(config, embeddings);
+  }
+  if (name == "vtmrl") {
+    return std::make_unique<topicmodel::VtmrlModel>(config, embeddings);
+  }
+  if (name == "clntm") {
+    return std::make_unique<topicmodel::ClntmModel>(config, embeddings);
+  }
+
+  // ContraTopic family.
+  ContraTopicOptions options = contra_options;
+  std::unique_ptr<topicmodel::NeuralTopicModel> backbone;
+  std::string variant_part = name;
+  if (name == "contratopic-wlda") {
+    backbone = std::make_unique<topicmodel::WldaModel>(config, vocab);
+    variant_part = "contratopic";
+  } else if (name == "contratopic-wete") {
+    backbone = std::make_unique<topicmodel::WeTeModel>(config, embeddings);
+    variant_part = "contratopic";
+  } else {
+    backbone = std::make_unique<topicmodel::EtmModel>(config, embeddings);
+  }
+
+  if (variant_part == "contratopic") {
+    options.variant = Variant::kFull;
+  } else if (variant_part == "contratopic-p") {
+    options.variant = Variant::kPositiveOnly;
+  } else if (variant_part == "contratopic-n") {
+    options.variant = Variant::kNegativeOnly;
+  } else if (variant_part == "contratopic-i") {
+    options.variant = Variant::kInnerProduct;
+  } else if (variant_part == "contratopic-s") {
+    options.variant = Variant::kExpectation;
+  } else {
+    LOG(FATAL) << "unknown model name: " << raw_name;
+  }
+  return std::make_unique<ContraTopicModel>(std::move(backbone), config,
+                                            options, &embeddings);
+}
+
+std::string DisplayName(const std::string& zoo_name) {
+  const std::string name = util::ToLower(zoo_name);
+  if (name == "lda") return "LDA";
+  if (name == "prodlda") return "ProdLDA";
+  if (name == "wlda") return "WLDA";
+  if (name == "etm") return "ETM";
+  if (name == "nstm") return "NSTM";
+  if (name == "wete") return "WeTe";
+  if (name == "ntmr") return "NTM-R";
+  if (name == "vtmrl") return "VTMRL";
+  if (name == "clntm") return "CLNTM";
+  if (name == "contratopic") return "ContraTopic";
+  if (name == "contratopic-p") return "ContraTopic-P";
+  if (name == "contratopic-n") return "ContraTopic-N";
+  if (name == "contratopic-i") return "ContraTopic-I";
+  if (name == "contratopic-s") return "ContraTopic-S";
+  if (name == "contratopic-wlda") return "ContraTopic(WLDA)";
+  if (name == "contratopic-wete") return "ContraTopic(WeTe)";
+  return zoo_name;
+}
+
+}  // namespace core
+}  // namespace contratopic

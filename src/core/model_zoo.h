@@ -1,0 +1,41 @@
+#ifndef CONTRATOPIC_CORE_MODEL_ZOO_H_
+#define CONTRATOPIC_CORE_MODEL_ZOO_H_
+
+// Factory for every model in the paper's evaluation, keyed by the names
+// used in the figures/tables. Benches and examples construct models
+// through this registry so each experiment lists the same lineup.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/contratopic.h"
+#include "embed/word_embeddings.h"
+#include "topicmodel/topic_model.h"
+
+namespace contratopic {
+namespace core {
+
+// Model lineup of Figure 2 / Table III, in paper order.
+std::vector<std::string> PaperModelNames();
+
+// The five ablation variants of Table II.
+std::vector<std::string> AblationModelNames();
+
+// Builds a model by name. Accepted names (case-insensitive):
+//   lda, prodlda, wlda, etm, nstm, wete, ntmr, vtmrl, clntm,
+//   contratopic, contratopic-p, contratopic-n, contratopic-i,
+//   contratopic-s, contratopic-wlda, contratopic-wete.
+// `contra_options` applies to the contratopic* names (lambda, v, ...).
+std::unique_ptr<topicmodel::TopicModel> CreateModel(
+    const std::string& name, const topicmodel::TrainConfig& config,
+    const embed::WordEmbeddings& embeddings,
+    const ContraTopicOptions& contra_options = ContraTopicOptions());
+
+// Display name used in tables ("ContraTopic", "ProdLDA", ...).
+std::string DisplayName(const std::string& zoo_name);
+
+}  // namespace core
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_CORE_MODEL_ZOO_H_

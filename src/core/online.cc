@@ -1,0 +1,67 @@
+#include "core/online.h"
+
+#include "eval/npmi.h"
+#include "topicmodel/etm.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace core {
+
+OnlineContraTopic::OnlineContraTopic(const embed::WordEmbeddings& embeddings,
+                                     Options options)
+    : options_(std::move(options)), embeddings_(&embeddings) {
+  CHECK_GT(options_.decay, 0.0);
+  CHECK_LE(options_.decay, 1.0);
+  CHECK(options_.contra.variant != Variant::kInnerProduct)
+      << "the online kernel refresh requires the NPMI kernel";
+  // Warmup is pointless in the incremental regime: the model is only cold
+  // for the very first slice, which FitSlice handles via Train().
+  options_.contra.warmup_fraction = 0.0f;
+}
+
+OnlineContraTopic::SliceReport OnlineContraTopic::FitSlice(
+    const text::BowCorpus& slice) {
+  CHECK_GT(slice.num_docs(), 0);
+  SliceReport report;
+  report.slice_index = slices_seen_;
+
+  if (counts_ == nullptr) {
+    counts_ = std::make_unique<embed::CooccurrenceCounts>(slice.vocab_size());
+  }
+  CHECK_EQ(counts_->vocab_size(), slice.vocab_size())
+      << "all slices must share one vocabulary";
+  counts_->Scale(options_.decay);
+  counts_->AddPresence(slice);
+  auto kernel =
+      std::make_unique<eval::NpmiMatrix>(eval::NpmiMatrix::FromCounts(*counts_));
+
+  if (model_ == nullptr) {
+    auto backbone = std::make_unique<topicmodel::EtmModel>(options_.train,
+                                                           *embeddings_);
+    model_ = std::make_unique<ContraTopicModel>(
+        std::move(backbone), options_.train, options_.contra, embeddings_);
+    // First slice: full Train() with the streaming kernel pre-injected
+    // (Prepare() skips its own NPMI computation when a kernel is set).
+    model_->SetKernel(std::move(kernel));
+    report.stats = model_->Train(slice);
+  } else {
+    model_->SetKernel(std::move(kernel));
+    report.stats = model_->TrainMore(slice, options_.epochs_per_slice);
+  }
+  report.accumulated_docs = counts_->num_docs();
+  ++slices_seen_;
+  return report;
+}
+
+tensor::Tensor OnlineContraTopic::Beta() const {
+  CHECK(model_ != nullptr) << "no slice has been fit yet";
+  return model_->Beta();
+}
+
+tensor::Tensor OnlineContraTopic::InferTheta(const text::BowCorpus& corpus) {
+  CHECK(model_ != nullptr) << "no slice has been fit yet";
+  return model_->InferTheta(corpus);
+}
+
+}  // namespace core
+}  // namespace contratopic

@@ -1,0 +1,65 @@
+#ifndef CONTRATOPIC_CORE_ONLINE_H_
+#define CONTRATOPIC_CORE_ONLINE_H_
+
+// Online ContraTopic: the paper's §VI future-work extension to streaming
+// corpora partitioned into time slices (in the spirit of AlSumait et al.'s
+// On-line LDA). Per slice:
+//   1. the document co-occurrence accumulator is decayed (exponential
+//      forgetting) and updated with the new slice,
+//   2. the contrastive kernel is rebuilt from the decayed counts, and
+//   3. the warm-started model trains for a few epochs on the slice.
+// The topic-word distribution therefore tracks theme drift while the
+// regularizer keeps each slice's topics coherent and diverse.
+
+#include <memory>
+#include <vector>
+
+#include "core/contratopic.h"
+#include "embed/cooccurrence.h"
+#include "embed/word_embeddings.h"
+
+namespace contratopic {
+namespace core {
+
+class OnlineContraTopic {
+ public:
+  struct Options {
+    topicmodel::TrainConfig train;
+    ContraTopicOptions contra;
+    // Exponential forgetting factor applied to the co-occurrence counts
+    // before each new slice (1.0 = never forget).
+    double decay = 0.7;
+    int epochs_per_slice = 6;
+  };
+
+  struct SliceReport {
+    int slice_index = 0;
+    topicmodel::TrainStats stats;
+    int64_t accumulated_docs = 0;  // effective (decayed) document count
+  };
+
+  OnlineContraTopic(const embed::WordEmbeddings& embeddings, Options options);
+
+  // Consumes the next time slice (chronological order). The first call
+  // initializes the model; later calls warm-start from the current state.
+  SliceReport FitSlice(const text::BowCorpus& slice);
+
+  // Current topic-word distribution / inference, as in TopicModel.
+  tensor::Tensor Beta() const;
+  tensor::Tensor InferTheta(const text::BowCorpus& corpus);
+
+  int num_slices_seen() const { return slices_seen_; }
+  const ContraTopicModel& model() const { return *model_; }
+
+ private:
+  Options options_;
+  const embed::WordEmbeddings* embeddings_;
+  std::unique_ptr<ContraTopicModel> model_;
+  std::unique_ptr<embed::CooccurrenceCounts> counts_;
+  int slices_seen_ = 0;
+};
+
+}  // namespace core
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_CORE_ONLINE_H_

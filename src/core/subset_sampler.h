@@ -1,0 +1,50 @@
+#ifndef CONTRATOPIC_CORE_SUBSET_SAMPLER_H_
+#define CONTRATOPIC_CORE_SUBSET_SAMPLER_H_
+
+// Differentiable top-v subset sampling without replacement via the
+// Gumbel-softmax relaxation of Xie & Ermon (2019) -- paper §IV.B, Eqs. 3-5.
+//
+// Given per-topic log-weights (rows of `log_weights`), perturb each row
+// with Gumbel noise, then run v relaxed arg-max steps:
+//     r^1     = log beta + g
+//     p(r^j)  = softmax(r^j / tau)
+//     r^{j+1} = r^j + log(1 - p(r^j))
+// Each step yields a relaxed one-hot row; their sum is a relaxed v-hot
+// vector of the sampled subset. Gradients flow to `log_weights` through
+// every step.
+
+#include <vector>
+
+#include "tensor/autodiff.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace core {
+
+using autodiff::Var;
+using tensor::Tensor;
+
+struct SubsetSample {
+  // Relaxed one-hot matrices, one per draw: v entries of shape K x C.
+  std::vector<Var> steps;
+  // Relaxed v-hot matrix: sum of the steps (K x C).
+  Var v_hot;
+};
+
+// Draws `v` relaxed samples per row of `log_weights` (K x C) at temperature
+// `tau`. Gumbel noise comes from `rng`; pass `hard = true` to use
+// straight-through hard one-hots in the forward pass (DESIGN.md §5 #4).
+SubsetSample SampleTopVWithoutReplacement(const Var& log_weights, int v,
+                                          float tau, util::Rng& rng,
+                                          bool hard = false);
+
+// Host-side hard variant (no gradients): indices of the v sampled items per
+// row, using the same Gumbel-top-v scheme. Used by VTMRL-style reward
+// computation and by tests as the exact counterpart of the relaxation.
+std::vector<std::vector<int>> HardSampleTopV(const Tensor& log_weights, int v,
+                                             util::Rng& rng);
+
+}  // namespace core
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_CORE_SUBSET_SAMPLER_H_

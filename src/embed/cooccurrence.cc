@@ -1,0 +1,84 @@
+#include "embed/cooccurrence.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace embed {
+
+CooccurrenceCounts::CooccurrenceCounts(int vocab_size)
+    : vocab_size_(vocab_size),
+      counts_(vocab_size, vocab_size),
+      marginals_(vocab_size, 0.0) {}
+
+void CooccurrenceCounts::AddPresence(const text::BowCorpus& corpus) {
+  CHECK_EQ(corpus.vocab_size(), vocab_size_);
+  for (const auto& doc : corpus.docs()) {
+    const auto& entries = doc.entries;
+    for (size_t a = 0; a < entries.size(); ++a) {
+      const int i = entries[a].word_id;
+      marginals_[i] += 1.0;
+      counts_.at(i, i) += 1.0f;
+      for (size_t b = a + 1; b < entries.size(); ++b) {
+        const int j = entries[b].word_id;
+        counts_.at(i, j) += 1.0f;
+        counts_.at(j, i) += 1.0f;
+      }
+    }
+  }
+  num_docs_ += corpus.num_docs();
+}
+
+void CooccurrenceCounts::AddWeighted(const text::BowCorpus& corpus) {
+  CHECK_EQ(corpus.vocab_size(), vocab_size_);
+  for (const auto& doc : corpus.docs()) {
+    const auto& entries = doc.entries;
+    for (size_t a = 0; a < entries.size(); ++a) {
+      const int i = entries[a].word_id;
+      const float ci = static_cast<float>(entries[a].count);
+      marginals_[i] += ci;
+      counts_.at(i, i) += ci * ci;
+      for (size_t b = a + 1; b < entries.size(); ++b) {
+        const int j = entries[b].word_id;
+        const float w = ci * static_cast<float>(entries[b].count);
+        counts_.at(i, j) += w;
+        counts_.at(j, i) += w;
+      }
+    }
+  }
+  num_docs_ += corpus.num_docs();
+}
+
+void CooccurrenceCounts::Scale(double factor) {
+  CHECK_GT(factor, 0.0);
+  CHECK_LE(factor, 1.0);
+  counts_.Scale(static_cast<float>(factor));
+  for (auto& m : marginals_) m *= factor;
+  num_docs_ = static_cast<int64_t>(num_docs_ * factor);
+  if (num_docs_ < 1) num_docs_ = 1;
+}
+
+tensor::Tensor PpmiMatrix(const CooccurrenceCounts& counts, double alpha) {
+  const int v = counts.vocab_size();
+  double total = 0.0;
+  for (int i = 0; i < v; ++i) total += counts.marginal(i);
+  CHECK_GT(total, 0.0);
+
+  tensor::Tensor ppmi(v, v);
+  for (int i = 0; i < v; ++i) {
+    const double pi = counts.marginal(i) / total;
+    if (pi <= 0.0) continue;
+    for (int j = 0; j < v; ++j) {
+      const double pj = counts.marginal(j) / total;
+      if (pj <= 0.0) continue;
+      const double pij = (counts.pair(i, j) + alpha) / total;
+      const double pmi = std::log(pij / (pi * pj));
+      if (pmi > 0.0) ppmi.at(i, j) = static_cast<float>(pmi);
+    }
+  }
+  return ppmi;
+}
+
+}  // namespace embed
+}  // namespace contratopic

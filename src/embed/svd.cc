@@ -1,0 +1,173 @@
+#include "embed/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/kernels.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace embed {
+
+using tensor::Tensor;
+
+SymmetricEigen JacobiEigen(const Tensor& symmetric, int max_sweeps,
+                           float tolerance) {
+  CHECK_EQ(symmetric.rows(), symmetric.cols());
+  const int n = static_cast<int>(symmetric.rows());
+  Tensor a = symmetric;
+  Tensor v = Tensor::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal magnitude.
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        off += static_cast<double>(a.at(i, j)) * a.at(i, j);
+      }
+    }
+    if (off < tolerance) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const float apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-12f) continue;
+        const float app = a.at(p, p);
+        const float aqq = a.at(q, q);
+        const float tau = (aqq - app) / (2.0f * apq);
+        const float t = (tau >= 0.0f ? 1.0f : -1.0f) /
+                        (std::fabs(tau) + std::sqrt(1.0f + tau * tau));
+        const float c = 1.0f / std::sqrt(1.0f + t * t);
+        const float s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (int k = 0; k < n; ++k) {
+          const float akp = a.at(k, p);
+          const float akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const float apk = a.at(p, k);
+          const float aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors (rows of v are current basis).
+        for (int k = 0; k < n; ++k) {
+          const float vpk = v.at(p, k);
+          const float vqk = v.at(q, k);
+          v.at(p, k) = c * vpk - s * vqk;
+          v.at(q, k) = s * vpk + c * vqk;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int i, int j) {
+    return a.at(i, i) > a.at(j, j);
+  });
+
+  SymmetricEigen result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Tensor(n, n);
+  for (int r = 0; r < n; ++r) {
+    result.eigenvalues[r] = a.at(order[r], order[r]);
+    for (int k = 0; k < n; ++k) {
+      result.eigenvectors.at(r, k) = v.at(order[r], k);
+    }
+  }
+  return result;
+}
+
+void OrthonormalizeColumns(Tensor* m, util::Rng& rng) {
+  const int64_t rows = m->rows();
+  const int64_t cols = m->cols();
+  for (int64_t c = 0; c < cols; ++c) {
+    // Subtract projections onto previous columns.
+    for (int64_t prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (int64_t r = 0; r < rows; ++r) {
+        dot += static_cast<double>(m->at(r, c)) * m->at(r, prev);
+      }
+      for (int64_t r = 0; r < rows; ++r) {
+        m->at(r, c) -= static_cast<float>(dot) * m->at(r, prev);
+      }
+    }
+    double norm_sq = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+      norm_sq += static_cast<double>(m->at(r, c)) * m->at(r, c);
+    }
+    double norm = std::sqrt(norm_sq);
+    if (norm < 1e-8) {
+      // Degenerate column: replace with a random direction and retry once.
+      for (int64_t r = 0; r < rows; ++r) {
+        m->at(r, c) = static_cast<float>(rng.Normal());
+      }
+      for (int64_t prev = 0; prev < c; ++prev) {
+        double dot = 0.0;
+        for (int64_t r = 0; r < rows; ++r) {
+          dot += static_cast<double>(m->at(r, c)) * m->at(r, prev);
+        }
+        for (int64_t r = 0; r < rows; ++r) {
+          m->at(r, c) -= static_cast<float>(dot) * m->at(r, prev);
+        }
+      }
+      norm_sq = 0.0;
+      for (int64_t r = 0; r < rows; ++r) {
+        norm_sq += static_cast<double>(m->at(r, c)) * m->at(r, c);
+      }
+      norm = std::sqrt(std::max(norm_sq, 1e-16));
+    }
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t r = 0; r < rows; ++r) m->at(r, c) *= inv;
+  }
+}
+
+TruncatedEigen TruncatedSymmetricEigen(const Tensor& symmetric, int rank,
+                                       util::Rng& rng, int iterations,
+                                       int oversample) {
+  CHECK_EQ(symmetric.rows(), symmetric.cols());
+  const int n = static_cast<int>(symmetric.rows());
+  rank = std::min(rank, n);
+  const int k = std::min(n, rank + oversample);
+
+  // Random start, then repeated multiply + orthonormalize.
+  Tensor q = Tensor::RandNormal(n, k, rng);
+  OrthonormalizeColumns(&q, rng);
+  for (int it = 0; it < iterations; ++it) {
+    Tensor z = tensor::MatMulNew(symmetric, false, q, false);
+    q = std::move(z);
+    OrthonormalizeColumns(&q, rng);
+  }
+
+  // Projected small problem B = Q^T A Q.
+  Tensor aq = tensor::MatMulNew(symmetric, false, q, false);
+  Tensor b = tensor::MatMulNew(q, true, aq, false);
+  // Symmetrize against numerical drift.
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      const float avg = 0.5f * (b.at(i, j) + b.at(j, i));
+      b.at(i, j) = avg;
+      b.at(j, i) = avg;
+    }
+  }
+  SymmetricEigen small = JacobiEigen(b);
+
+  TruncatedEigen result;
+  result.eigenvalues.assign(small.eigenvalues.begin(),
+                            small.eigenvalues.begin() + rank);
+  // eigenvectors = Q * W^T where W rows are small eigenvectors.
+  Tensor w_t(k, rank);
+  for (int r = 0; r < rank; ++r) {
+    for (int c = 0; c < k; ++c) w_t.at(c, r) = small.eigenvectors.at(r, c);
+  }
+  result.eigenvectors = tensor::MatMulNew(q, false, w_t, false);
+  return result;
+}
+
+}  // namespace embed
+}  // namespace contratopic

@@ -1,0 +1,45 @@
+#ifndef CONTRATOPIC_EMBED_SVD_H_
+#define CONTRATOPIC_EMBED_SVD_H_
+
+// Truncated eigendecomposition of symmetric matrices via randomized
+// subspace iteration, plus a dense Jacobi eigensolver for the small
+// projected problem. Used to factorize the PPMI matrix into word
+// embeddings (the classical closed-form counterpart of GloVe).
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace embed {
+
+// Eigendecomposition of a small dense symmetric matrix (Jacobi rotations).
+// Returns eigenvalues (descending) and the corresponding eigenvectors as
+// rows of `eigvecs`.
+struct SymmetricEigen {
+  std::vector<float> eigenvalues;
+  tensor::Tensor eigenvectors;  // n x n; row i is the i-th eigenvector
+};
+SymmetricEigen JacobiEigen(const tensor::Tensor& symmetric,
+                           int max_sweeps = 50, float tolerance = 1e-9f);
+
+// Top-`rank` eigenpairs of a large symmetric matrix using `iterations`
+// rounds of subspace iteration with `oversample` extra directions.
+struct TruncatedEigen {
+  std::vector<float> eigenvalues;  // descending, size = rank
+  tensor::Tensor eigenvectors;     // n x rank (columns are eigenvectors)
+};
+TruncatedEigen TruncatedSymmetricEigen(const tensor::Tensor& symmetric,
+                                       int rank, util::Rng& rng,
+                                       int iterations = 6,
+                                       int oversample = 8);
+
+// Orthonormalizes the columns of `m` in place (modified Gram-Schmidt).
+// Columns that collapse to zero norm are re-randomized from `rng`.
+void OrthonormalizeColumns(tensor::Tensor* m, util::Rng& rng);
+
+}  // namespace embed
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EMBED_SVD_H_

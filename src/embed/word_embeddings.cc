@@ -1,0 +1,106 @@
+#include "embed/word_embeddings.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "embed/svd.h"
+#include "tensor/kernels.h"
+#include "util/serialize.h"
+
+namespace contratopic {
+namespace embed {
+
+WordEmbeddings::WordEmbeddings(tensor::Tensor vectors,
+                               std::vector<std::string> words)
+    : vectors_(std::move(vectors)), words_(std::move(words)) {
+  CHECK_EQ(static_cast<int64_t>(words_.size()), vectors_.rows());
+}
+
+WordEmbeddings WordEmbeddings::Train(const text::BowCorpus& corpus,
+                                     const EmbeddingConfig& config) {
+  CooccurrenceCounts counts(corpus.vocab_size());
+  counts.AddWeighted(corpus);
+  tensor::Tensor ppmi = PpmiMatrix(counts, config.ppmi_smoothing);
+
+  util::Rng rng(config.seed);
+  TruncatedEigen eigen = TruncatedSymmetricEigen(
+      ppmi, config.dimension, rng, config.svd_iterations);
+
+  // Embedding = U * sqrt(max(lambda, 0)); negative tail eigenvalues carry
+  // no useful signal for a PSD-like PPMI matrix.
+  tensor::Tensor vectors = eigen.eigenvectors;  // V x dim
+  for (int64_t c = 0; c < vectors.cols(); ++c) {
+    const float scale =
+        std::sqrt(std::max(0.0f, eigen.eigenvalues[static_cast<size_t>(c)]));
+    for (int64_t r = 0; r < vectors.rows(); ++r) vectors.at(r, c) *= scale;
+  }
+  return WordEmbeddings(std::move(vectors), corpus.vocab().words());
+}
+
+float WordEmbeddings::Cosine(int a, int b) const {
+  CHECK_GE(a, 0);
+  CHECK_LT(a, vocab_size());
+  CHECK_GE(b, 0);
+  CHECK_LT(b, vocab_size());
+  const float* va = vectors_.row(a);
+  const float* vb = vectors_.row(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < vectors_.cols(); ++i) {
+    dot += static_cast<double>(va[i]) * vb[i];
+    na += static_cast<double>(va[i]) * va[i];
+    nb += static_cast<double>(vb[i]) * vb[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 1e-12 ? static_cast<float>(dot / denom) : 0.0f;
+}
+
+std::vector<int> WordEmbeddings::NearestNeighbors(int word_id, int k) const {
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(vocab_size());
+  for (int i = 0; i < vocab_size(); ++i) {
+    if (i == word_id) continue;
+    scored.emplace_back(Cosine(word_id, i), i);
+  }
+  k = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) out[i] = scored[i].second;
+  return out;
+}
+
+util::Status WordEmbeddings::Save(const std::string& path) const {
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) return util::Status::IOError("cannot open " + path);
+  writer.WriteU64(static_cast<uint64_t>(vectors_.rows()));
+  writer.WriteU64(static_cast<uint64_t>(vectors_.cols()));
+  std::vector<float> data(vectors_.data(), vectors_.data() + vectors_.numel());
+  writer.WriteFloatVector(data);
+  writer.WriteU64(words_.size());
+  for (const auto& w : words_) writer.WriteString(w);
+  return writer.Close();
+}
+
+util::StatusOr<WordEmbeddings> WordEmbeddings::Load(const std::string& path) {
+  util::BinaryReader reader(path);
+  if (!reader.ok()) return util::Status::IOError("cannot open " + path);
+  const uint64_t rows = reader.ReadU64();
+  const uint64_t cols = reader.ReadU64();
+  std::vector<float> data = reader.ReadFloatVector();
+  const uint64_t n_words = reader.ReadU64();
+  std::vector<std::string> words;
+  words.reserve(n_words);
+  for (uint64_t i = 0; i < n_words; ++i) words.push_back(reader.ReadString());
+  if (!reader.status().ok()) return reader.status();
+  if (data.size() != rows * cols || words.size() != rows) {
+    return util::Status::Internal("embedding file is corrupt: " + path);
+  }
+  return WordEmbeddings(
+      tensor::Tensor(static_cast<int64_t>(rows), static_cast<int64_t>(cols),
+                     std::move(data)),
+      std::move(words));
+}
+
+}  // namespace embed
+}  // namespace contratopic

@@ -1,0 +1,60 @@
+#ifndef CONTRATOPIC_EMBED_WORD_EMBEDDINGS_H_
+#define CONTRATOPIC_EMBED_WORD_EMBEDDINGS_H_
+
+// Corpus-trained word embeddings. The paper uses frozen GloVe-on-Wikipedia
+// vectors; we factorize the corpus PPMI matrix with a truncated
+// eigendecomposition (PPMI-SVD), the classical closed-form counterpart of
+// GloVe, and freeze the result (DESIGN.md §2).
+
+#include <string>
+#include <vector>
+
+#include "embed/cooccurrence.h"
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace embed {
+
+struct EmbeddingConfig {
+  int dimension = 64;
+  double ppmi_smoothing = 0.5;
+  int svd_iterations = 6;
+  uint64_t seed = 1234;
+};
+
+class WordEmbeddings {
+ public:
+  WordEmbeddings() = default;
+  WordEmbeddings(tensor::Tensor vectors, std::vector<std::string> words);
+
+  // Trains PPMI-SVD embeddings on `corpus`.
+  static WordEmbeddings Train(const text::BowCorpus& corpus,
+                              const EmbeddingConfig& config);
+
+  int vocab_size() const { return static_cast<int>(vectors_.rows()); }
+  int dimension() const { return static_cast<int>(vectors_.cols()); }
+  const tensor::Tensor& vectors() const { return vectors_; }
+  const std::vector<std::string>& words() const { return words_; }
+
+  // Cosine similarity between two word ids.
+  float Cosine(int a, int b) const;
+
+  // Ids of the k most-cosine-similar words to `word_id` (excluding itself).
+  std::vector<int> NearestNeighbors(int word_id, int k) const;
+
+  // Binary round trip for caching.
+  util::Status Save(const std::string& path) const;
+  static util::StatusOr<WordEmbeddings> Load(const std::string& path);
+
+ private:
+  tensor::Tensor vectors_;  // V x e
+  std::vector<std::string> words_;
+};
+
+}  // namespace embed
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EMBED_WORD_EMBEDDINGS_H_

@@ -1,0 +1,176 @@
+#include "eval/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace eval {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t dim) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < dim; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
+                    util::Rng& rng, int max_iterations, double tolerance) {
+  const int64_t n = points.rows();
+  const int64_t dim = points.cols();
+  CHECK_GT(n, 0);
+  CHECK_GT(num_clusters, 0);
+  num_clusters = std::min<int>(num_clusters, static_cast<int>(n));
+
+  // k-means++ seeding.
+  tensor::Tensor centroids(num_clusters, dim);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  int64_t first = static_cast<int64_t>(rng.UniformInt(n));
+  std::copy(points.row(first), points.row(first) + dim, centroids.row(0));
+  for (int c = 1; c < num_clusters; ++c) {
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(points.row(i), centroids.row(c - 1), dim));
+    }
+    const int64_t next = rng.Categorical(
+        [&] {
+          std::vector<double> w(min_dist);
+          // Guard: if all points coincide with chosen centroids, uniform.
+          double total = 0.0;
+          for (double v : w) total += v;
+          if (total <= 0.0) std::fill(w.begin(), w.end(), 1.0);
+          return w;
+        }());
+    std::copy(points.row(next), points.row(next) + dim, centroids.row(c));
+  }
+
+  KMeansResult result;
+  result.assignments.assign(n, -1);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assign.
+    double inertia = 0.0;
+    bool changed = false;
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < num_clusters; ++c) {
+        const double d = SquaredDistance(points.row(i), centroids.row(c), dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update.
+    centroids.Fill(0.0f);
+    std::vector<int64_t> counts(num_clusters, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      float* cr = centroids.row(c);
+      const float* pr = points.row(i);
+      for (int64_t d = 0; d < dim; ++d) cr[d] += pr[d];
+    }
+    for (int c = 0; c < num_clusters; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        const int64_t pick = static_cast<int64_t>(rng.UniformInt(n));
+        std::copy(points.row(pick), points.row(pick) + dim, centroids.row(c));
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* cr = centroids.row(c);
+      for (int64_t d = 0; d < dim; ++d) cr[d] *= inv;
+    }
+
+    if (!changed || std::fabs(prev_inertia - inertia) <
+                        tolerance * std::max(1.0, prev_inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+double Purity(const std::vector<int>& assignments,
+              const std::vector<int>& labels) {
+  CHECK_EQ(assignments.size(), labels.size());
+  CHECK(!assignments.empty());
+  std::map<int, std::unordered_map<int, int>> cluster_label_counts;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    ++cluster_label_counts[assignments[i]][labels[i]];
+  }
+  int64_t majority_total = 0;
+  for (const auto& [cluster, label_counts] : cluster_label_counts) {
+    int best = 0;
+    for (const auto& [label, count] : label_counts) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) / assignments.size();
+}
+
+double NormalizedMutualInformation(const std::vector<int>& assignments,
+                                   const std::vector<int>& labels) {
+  CHECK_EQ(assignments.size(), labels.size());
+  CHECK(!assignments.empty());
+  const double n = static_cast<double>(assignments.size());
+
+  std::unordered_map<int, int> cluster_counts;
+  std::unordered_map<int, int> label_counts;
+  std::map<std::pair<int, int>, int> joint_counts;
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    ++cluster_counts[assignments[i]];
+    ++label_counts[labels[i]];
+    ++joint_counts[{assignments[i], labels[i]}];
+  }
+
+  double mi = 0.0;
+  for (const auto& [pair, count] : joint_counts) {
+    const double pxy = count / n;
+    const double px = cluster_counts[pair.first] / n;
+    const double py = label_counts[pair.second] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  double h_c = 0.0;
+  for (const auto& [cluster, count] : cluster_counts) {
+    const double p = count / n;
+    h_c -= p * std::log(p);
+  }
+  double h_l = 0.0;
+  for (const auto& [label, count] : label_counts) {
+    const double p = count / n;
+    h_l -= p * std::log(p);
+  }
+  const double denom = std::sqrt(h_c * h_l);
+  return denom > 1e-12 ? mi / denom : 0.0;
+}
+
+ClusteringScore EvaluateClustering(const tensor::Tensor& theta,
+                                   const std::vector<int>& labels,
+                                   int num_clusters, util::Rng& rng) {
+  KMeansResult km = KMeans(theta, num_clusters, rng);
+  return {Purity(km.assignments, labels),
+          NormalizedMutualInformation(km.assignments, labels)};
+}
+
+}  // namespace eval
+}  // namespace contratopic

@@ -1,0 +1,48 @@
+#ifndef CONTRATOPIC_EVAL_CLUSTERING_H_
+#define CONTRATOPIC_EVAL_CLUSTERING_H_
+
+// Document-representation evaluation (paper §V.B / Figure 3): KMeans over
+// inferred document-topic distributions, scored against ground-truth labels
+// with Purity and Normalized Mutual Information (km-Purity / km-NMI).
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace eval {
+
+struct KMeansResult {
+  std::vector<int> assignments;  // cluster id per row
+  tensor::Tensor centroids;      // num_clusters x dim
+  double inertia = 0.0;          // sum of squared distances to centroids
+  int iterations = 0;
+};
+
+// Lloyd's algorithm with k-means++ seeding.
+KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
+                    util::Rng& rng, int max_iterations = 100,
+                    double tolerance = 1e-6);
+
+// Purity: sum over clusters of the majority label count, divided by N.
+double Purity(const std::vector<int>& assignments,
+              const std::vector<int>& labels);
+
+// NMI with sqrt(H(C) H(L)) normalization; 0 when either entropy is 0.
+double NormalizedMutualInformation(const std::vector<int>& assignments,
+                                   const std::vector<int>& labels);
+
+// Convenience: KMeans at `num_clusters`, returning (purity, nmi).
+struct ClusteringScore {
+  double purity = 0.0;
+  double nmi = 0.0;
+};
+ClusteringScore EvaluateClustering(const tensor::Tensor& theta,
+                                   const std::vector<int>& labels,
+                                   int num_clusters, util::Rng& rng);
+
+}  // namespace eval
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EVAL_CLUSTERING_H_

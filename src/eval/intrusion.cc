@@ -1,0 +1,119 @@
+#include "eval/intrusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace eval {
+
+std::vector<IntrusionQuestion> GenerateIntrusionQuestions(
+    const tensor::Tensor& beta, const NpmiMatrix& train_npmi,
+    const IntrusionConfig& config) {
+  const int num_topics = static_cast<int>(beta.rows());
+  const int vocab = static_cast<int>(beta.cols());
+  util::Rng rng(config.seed);
+
+  // Rank topics by coherence, then sample per decile (paper §V.J.2).
+  const std::vector<double> coherence = PerTopicCoherence(beta, train_npmi);
+  const std::vector<int> order = TopicsByCoherence(coherence);
+
+  std::vector<int> selected;
+  const int decile_size = std::max(1, num_topics / 10);
+  for (int decile = 0; decile < 10; ++decile) {
+    const int begin = decile * decile_size;
+    if (begin >= num_topics) break;
+    const int end = std::min(num_topics, begin + decile_size);
+    std::vector<int> pool(order.begin() + begin, order.begin() + end);
+    rng.Shuffle(pool);
+    const int take =
+        std::min<int>(config.questions_per_decile, static_cast<int>(pool.size()));
+    for (int i = 0; i < take; ++i) selected.push_back(pool[i]);
+  }
+  const std::unordered_set<int> selected_set(selected.begin(), selected.end());
+
+  std::vector<IntrusionQuestion> questions;
+  for (int topic : selected) {
+    IntrusionQuestion q;
+    q.topic = topic;
+    q.topic_words = beta.TopKIndicesOfRow(topic, config.words_per_question);
+    const std::unordered_set<int> shown(q.topic_words.begin(),
+                                        q.topic_words.end());
+
+    // Intruder: high rank in an unselected topic, low probability here.
+    // Walk unselected topics in random order; take their best word that is
+    // below the median probability in the current topic.
+    std::vector<int> other_topics;
+    for (int t = 0; t < num_topics; ++t) {
+      if (selected_set.count(t) == 0) other_topics.push_back(t);
+    }
+    if (other_topics.empty()) {
+      // Degenerate small-K case: fall back to any other topic.
+      for (int t = 0; t < num_topics; ++t) {
+        if (t != topic) other_topics.push_back(t);
+      }
+    }
+    rng.Shuffle(other_topics);
+
+    // Median beta of the current topic as the "low probability" cutoff.
+    std::vector<float> row(beta.row(topic), beta.row(topic) + vocab);
+    std::nth_element(row.begin(), row.begin() + vocab / 2, row.end());
+    const float median = row[vocab / 2];
+
+    for (int other : other_topics) {
+      for (int w : beta.TopKIndicesOfRow(other, 10)) {
+        if (shown.count(w) > 0) continue;
+        if (beta.at(topic, w) <= median) {
+          q.intruder = w;
+          break;
+        }
+      }
+      if (q.intruder >= 0) break;
+    }
+    if (q.intruder < 0) continue;  // Could not build a valid question.
+
+    q.shuffled = q.topic_words;
+    q.shuffled.push_back(q.intruder);
+    rng.Shuffle(q.shuffled);
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+int SimulatedAnnotatorAnswer(const IntrusionQuestion& question,
+                             const NpmiMatrix& heldout_npmi) {
+  // Pick the word with the lowest mean NPMI to the other shown words.
+  int best = 0;
+  double best_score = 1e30;
+  const auto& words = question.shuffled;
+  for (size_t i = 0; i < words.size(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < words.size(); ++j) {
+      if (i == j) continue;
+      total += heldout_npmi.value(words[i], words[j]);
+    }
+    const double mean = total / static_cast<double>(words.size() - 1);
+    if (mean < best_score) {
+      best_score = mean;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double WordIntrusionScore(const std::vector<IntrusionQuestion>& questions,
+                          const NpmiMatrix& heldout_npmi) {
+  if (questions.empty()) return 0.0;
+  int correct = 0;
+  for (const auto& q : questions) {
+    const int answer = SimulatedAnnotatorAnswer(q, heldout_npmi);
+    if (q.shuffled[answer] == q.intruder) ++correct;
+  }
+  return static_cast<double>(correct) / questions.size();
+}
+
+}  // namespace eval
+}  // namespace contratopic

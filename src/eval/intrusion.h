@@ -1,0 +1,52 @@
+#ifndef CONTRATOPIC_EVAL_INTRUSION_H_
+#define CONTRATOPIC_EVAL_INTRUSION_H_
+
+// Word-intrusion evaluation (paper §V.J / Table III). The paper runs the
+// task with 20 human annotators; we substitute a *simulated annotator*
+// that, for each question, picks the word with the lowest mean held-out
+// NPMI to the five topic words -- the semantic odd-one-out heuristic that
+// Chang et al. (2009) and Hoyle et al. (2021) show tracks human raters.
+// The question-generation protocol follows the paper: topics sampled per
+// coherence decile, intruders drawn from low-probability words in the
+// current topic that rank high in an *unselected* topic.
+
+#include <vector>
+
+#include "eval/npmi.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace eval {
+
+struct IntrusionQuestion {
+  int topic = -1;
+  std::vector<int> topic_words;  // the 5 top words shown
+  int intruder = -1;             // the injected word
+  std::vector<int> shuffled;     // all 6 words in presentation order
+};
+
+struct IntrusionConfig {
+  int questions_per_decile = 3;  // paper: 3 topics per coherence decile
+  int words_per_question = 5;    // paper: top-5 words + 1 intruder
+  uint64_t seed = 99;
+};
+
+// Builds the questionnaire from a model's topic-word matrix.
+std::vector<IntrusionQuestion> GenerateIntrusionQuestions(
+    const tensor::Tensor& beta, const NpmiMatrix& train_npmi,
+    const IntrusionConfig& config);
+
+// The simulated annotator's answer: index into `question.shuffled`.
+int SimulatedAnnotatorAnswer(const IntrusionQuestion& question,
+                             const NpmiMatrix& heldout_npmi);
+
+// Word Intrusion Score: fraction of questions whose simulated answer is
+// the true intruder.
+double WordIntrusionScore(const std::vector<IntrusionQuestion>& questions,
+                          const NpmiMatrix& heldout_npmi);
+
+}  // namespace eval
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EVAL_INTRUSION_H_

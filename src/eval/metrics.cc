@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace eval {
+
+std::vector<double> PerTopicCoherence(const tensor::Tensor& beta,
+                                      const NpmiMatrix& npmi, int top_words) {
+  CHECK_EQ(beta.cols(), npmi.vocab_size());
+  std::vector<double> coherence(beta.rows());
+  for (int64_t k = 0; k < beta.rows(); ++k) {
+    coherence[k] = npmi.MeanPairwise(beta.TopKIndicesOfRow(k, top_words));
+  }
+  return coherence;
+}
+
+std::vector<int> TopicsByCoherence(const std::vector<double>& coherence) {
+  std::vector<int> order(coherence.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return coherence[a] > coherence[b]; });
+  return order;
+}
+
+namespace {
+int NumSelected(size_t num_topics, double proportion) {
+  CHECK_GT(proportion, 0.0);
+  CHECK_LE(proportion, 1.0);
+  return std::max(
+      1, static_cast<int>(std::ceil(proportion * static_cast<double>(num_topics))));
+}
+}  // namespace
+
+double CoherenceAtProportion(const std::vector<double>& coherence,
+                             double proportion) {
+  const std::vector<int> order = TopicsByCoherence(coherence);
+  const int n = NumSelected(coherence.size(), proportion);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += coherence[order[i]];
+  return total / n;
+}
+
+double DiversityAtProportion(const tensor::Tensor& beta,
+                             const std::vector<double>& coherence,
+                             double proportion, int top_words) {
+  const std::vector<int> order = TopicsByCoherence(coherence);
+  const int n = NumSelected(coherence.size(), proportion);
+  std::unordered_set<int> unique_words;
+  int total_slots = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int w : beta.TopKIndicesOfRow(order[i], top_words)) {
+      unique_words.insert(w);
+      ++total_slots;
+    }
+  }
+  return total_slots > 0
+             ? static_cast<double>(unique_words.size()) / total_slots
+             : 0.0;
+}
+
+InterpretabilityCurve EvaluateInterpretability(
+    const tensor::Tensor& beta, const NpmiMatrix& npmi,
+    const std::vector<double>& proportions) {
+  const std::vector<double> coherence = PerTopicCoherence(beta, npmi);
+  InterpretabilityCurve curve;
+  curve.proportions = proportions;
+  for (double p : proportions) {
+    curve.coherence.push_back(CoherenceAtProportion(coherence, p));
+    curve.diversity.push_back(DiversityAtProportion(beta, coherence, p));
+  }
+  return curve;
+}
+
+}  // namespace eval
+}  // namespace contratopic

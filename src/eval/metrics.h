@@ -1,0 +1,55 @@
+#ifndef CONTRATOPIC_EVAL_METRICS_H_
+#define CONTRATOPIC_EVAL_METRICS_H_
+
+// Topic interpretability metrics (paper §V.B):
+//  * Topic coherence: average NPMI over the top K_TC = 10 words per topic.
+//  * Topic diversity: fraction of unique words among the top K_TD = 25
+//    words of the selected topics.
+// Following NSTM, both are reported over the best p% of topics (by their
+// own NPMI), for p = 10%..100% -- the x axis of the paper's Figure 2.
+
+#include <vector>
+
+#include "eval/npmi.h"
+#include "tensor/tensor.h"
+
+namespace contratopic {
+namespace eval {
+
+inline constexpr int kCoherenceTopWords = 10;  // K_TC
+inline constexpr int kDiversityTopWords = 25;  // K_TD
+
+// Per-topic coherence: mean pairwise NPMI of the topic's top words.
+std::vector<double> PerTopicCoherence(const tensor::Tensor& beta,
+                                      const NpmiMatrix& npmi,
+                                      int top_words = kCoherenceTopWords);
+
+// Topics sorted by descending coherence; returns topic indices.
+std::vector<int> TopicsByCoherence(const std::vector<double>& coherence);
+
+// Mean coherence of the best `proportion` of topics (0 < proportion <= 1).
+double CoherenceAtProportion(const std::vector<double>& coherence,
+                             double proportion);
+
+// Diversity of the best `proportion` of topics: unique top-25 words over
+// total top-25 slots.
+double DiversityAtProportion(const tensor::Tensor& beta,
+                             const std::vector<double>& coherence,
+                             double proportion,
+                             int top_words = kDiversityTopWords);
+
+// Full Figure-2 style sweep at the given proportions.
+struct InterpretabilityCurve {
+  std::vector<double> proportions;  // e.g. 0.1, 0.2, ..., 1.0
+  std::vector<double> coherence;
+  std::vector<double> diversity;
+};
+InterpretabilityCurve EvaluateInterpretability(
+    const tensor::Tensor& beta, const NpmiMatrix& npmi,
+    const std::vector<double>& proportions = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                              0.7, 0.8, 0.9, 1.0});
+
+}  // namespace eval
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EVAL_METRICS_H_

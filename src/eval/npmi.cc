@@ -1,0 +1,71 @@
+#include "eval/npmi.h"
+
+#include <cmath>
+
+#include "embed/cooccurrence.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace eval {
+
+NpmiMatrix NpmiMatrix::Compute(const text::BowCorpus& corpus) {
+  embed::CooccurrenceCounts counts(corpus.vocab_size());
+  counts.AddPresence(corpus);
+  return FromCounts(counts);
+}
+
+NpmiMatrix NpmiMatrix::FromCounts(const embed::CooccurrenceCounts& counts) {
+  const double n_docs = static_cast<double>(counts.num_docs());
+  CHECK_GT(n_docs, 0.0);
+
+  const int v = counts.vocab_size();
+  tensor::Tensor npmi(v, v);
+  for (int i = 0; i < v; ++i) {
+    const double pi = counts.marginal(i) / n_docs;
+    npmi.at(i, i) = 1.0f;
+    for (int j = i + 1; j < v; ++j) {
+      const double pj = counts.marginal(j) / n_docs;
+      const double cij = counts.pair(i, j);
+      float value = -1.0f;
+      if (cij > 0.0 && pi > 0.0 && pj > 0.0) {
+        const double pij = cij / n_docs;
+        const double pmi = std::log(pij / (pi * pj));
+        const double denom = -std::log(pij);
+        value = denom > 1e-12 ? static_cast<float>(pmi / denom) : 1.0f;
+      }
+      npmi.at(i, j) = value;
+      npmi.at(j, i) = value;
+    }
+  }
+  return NpmiMatrix(std::move(npmi));
+}
+
+tensor::Tensor NpmiMatrix::SubMatrix(const std::vector<int>& indices) const {
+  const int n = static_cast<int>(indices.size());
+  tensor::Tensor sub(n, n);
+  for (int a = 0; a < n; ++a) {
+    CHECK_GE(indices[a], 0);
+    CHECK_LT(indices[a], vocab_size());
+    for (int b = 0; b < n; ++b) {
+      sub.at(a, b) = matrix_.at(indices[a], indices[b]);
+    }
+  }
+  return sub;
+}
+
+double NpmiMatrix::MeanPairwise(const std::vector<int>& word_ids) const {
+  const int n = static_cast<int>(word_ids.size());
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      total += value(word_ids[a], word_ids[b]);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+}  // namespace eval
+}  // namespace contratopic

@@ -1,0 +1,56 @@
+#ifndef CONTRATOPIC_EVAL_NPMI_H_
+#define CONTRATOPIC_EVAL_NPMI_H_
+
+// Normalized Pointwise Mutual Information over document-level word
+// co-occurrence. Doubles as (a) the coherence evaluation metric and (b) the
+// pre-computed similarity kernel K(.,.) of ContraTopic's contrastive
+// regularizer (paper §IV.A). The paper computes the kernel on the training
+// split and evaluates coherence on the test split; both uses share this
+// class.
+
+#include <memory>
+#include <vector>
+
+#include "embed/cooccurrence.h"
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+
+namespace contratopic {
+namespace eval {
+
+class NpmiMatrix {
+ public:
+  // Counts document co-occurrence and materializes the dense V x V NPMI
+  // matrix. O(V^2) memory -- the paper discusses exactly this cost (§V.E).
+  static NpmiMatrix Compute(const text::BowCorpus& corpus);
+
+  // Builds NPMI from an externally maintained (possibly decayed)
+  // co-occurrence accumulator -- the online extension's path.
+  static NpmiMatrix FromCounts(const embed::CooccurrenceCounts& counts);
+
+  int vocab_size() const { return static_cast<int>(matrix_.rows()); }
+
+  // NPMI in [-1, 1]; pairs that never co-occur give -1; i == j gives +1.
+  float value(int i, int j) const { return matrix_.at(i, j); }
+
+  const tensor::Tensor& matrix() const { return matrix_; }
+
+  // Dense submatrix over a candidate word set (for the CPU-efficient
+  // restricted contrastive kernel; DESIGN.md §5).
+  tensor::Tensor SubMatrix(const std::vector<int>& indices) const;
+
+  // Mean pairwise NPMI among `word_ids` (the coherence of one topic).
+  double MeanPairwise(const std::vector<int>& word_ids) const;
+
+  // Approximate bytes held by the dense matrix (computational analysis).
+  int64_t MemoryBytes() const { return matrix_.numel() * sizeof(float); }
+
+ private:
+  explicit NpmiMatrix(tensor::Tensor matrix) : matrix_(std::move(matrix)) {}
+  tensor::Tensor matrix_;
+};
+
+}  // namespace eval
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_EVAL_NPMI_H_

@@ -1,0 +1,164 @@
+#include "nn/module.h"
+
+#include <memory>
+
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace nn {
+
+using autodiff::ApplyMask;
+using autodiff::BroadcastRowAdd;
+using autodiff::BroadcastRowMul;
+using autodiff::BroadcastRowSub;
+using autodiff::ColMean;
+using autodiff::MatMul;
+using autodiff::Rsqrt;
+using autodiff::Square;
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
+               std::string name, bool with_bias)
+    : name_(std::move(name)),
+      weight_(Var::Leaf(Tensor::GlorotUniform(in_features, out_features, rng),
+                        /*requires_grad=*/true)) {
+  if (with_bias) {
+    bias_ = Var::Leaf(Tensor::Zeros(1, out_features), /*requires_grad=*/true);
+  }
+}
+
+Var Linear::Forward(const Var& x) {
+  Var out = MatMul(x, weight_);
+  if (bias_.defined()) out = BroadcastRowAdd(out, bias_);
+  return out;
+}
+
+std::vector<Parameter> Linear::Parameters() {
+  std::vector<Parameter> params = {{name_ + ".weight", weight_}};
+  if (bias_.defined()) params.push_back({name_ + ".bias", bias_});
+  return params;
+}
+
+BatchNorm1d::BatchNorm1d(int64_t features, std::string name, float momentum,
+                         float eps)
+    : name_(std::move(name)),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Var::Leaf(Tensor::Ones(1, features), /*requires_grad=*/true)),
+      beta_(Var::Leaf(Tensor::Zeros(1, features), /*requires_grad=*/true)),
+      running_mean_(Tensor::Zeros(1, features)),
+      running_var_(Tensor::Ones(1, features)) {}
+
+Var BatchNorm1d::Forward(const Var& x) {
+  Var mean;
+  Var var;
+  if (training_ && x.rows() > 1) {
+    mean = ColMean(x);
+    var = ColMean(Square(BroadcastRowSub(x, mean)));
+    // Update running statistics outside the graph.
+    running_mean_.Scale(1.0f - momentum_);
+    running_mean_.AddScaledInPlace(mean.value(), momentum_);
+    running_var_.Scale(1.0f - momentum_);
+    running_var_.AddScaledInPlace(var.value(), momentum_);
+  } else {
+    mean = Var::Constant(running_mean_);
+    var = Var::Constant(running_var_);
+  }
+  Var normalized =
+      BroadcastRowMul(BroadcastRowSub(x, mean), Rsqrt(var, eps_));
+  return BroadcastRowAdd(BroadcastRowMul(normalized, gamma_), beta_);
+}
+
+std::vector<Parameter> BatchNorm1d::Parameters() {
+  return {{name_ + ".gamma", gamma_}, {name_ + ".beta", beta_}};
+}
+
+Dropout::Dropout(float rate, util::Rng& rng) : rate_(rate), rng_(&rng) {
+  CHECK_GE(rate, 0.0f);
+  CHECK_LT(rate, 1.0f);
+}
+
+Var Dropout::Forward(const Var& x) {
+  if (!training_ || rate_ <= 0.0f) return x;
+  const float keep = 1.0f - rate_;
+  Tensor mask(x.rows(), x.cols());
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng_->Uniform() < keep ? 1.0f / keep : 0.0f;
+  }
+  return ApplyMask(x, mask);
+}
+
+Var Activate(const Var& x, Activation activation) {
+  switch (activation) {
+    case Activation::kRelu:
+      return autodiff::Relu(x);
+    case Activation::kSelu:
+      return autodiff::Selu(x);
+    case Activation::kSoftplus:
+      return autodiff::Softplus(x);
+    case Activation::kTanh:
+      return autodiff::Tanh(x);
+    case Activation::kSigmoid:
+      return autodiff::Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  return x;
+}
+
+Activation ActivationFromName(const std::string& name) {
+  if (name == "relu") return Activation::kRelu;
+  if (name == "selu") return Activation::kSelu;
+  if (name == "softplus") return Activation::kSoftplus;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "none") return Activation::kNone;
+  LOG(FATAL) << "unknown activation: " << name;
+  return Activation::kNone;
+}
+
+Mlp::Mlp(const Config& config, util::Rng& rng, std::string name)
+    : config_(config) {
+  CHECK_GE(config.layer_sizes.size(), 2u);
+  for (size_t i = 0; i + 1 < config.layer_sizes.size(); ++i) {
+    layers_.emplace_back(config.layer_sizes[i], config.layer_sizes[i + 1], rng,
+                         util::StrFormat("%s.l%zu", name.c_str(), i));
+  }
+  if (config.dropout_rate > 0.0f) {
+    dropout_ = std::make_unique<Dropout>(config.dropout_rate, rng);
+  }
+  if (config.batch_norm) {
+    batch_norm_ = std::make_unique<BatchNorm1d>(config.layer_sizes.back(),
+                                                name + ".bn");
+  }
+}
+
+Var Mlp::Forward(const Var& x) {
+  Var h = x;
+  for (auto& layer : layers_) {
+    h = Activate(layer.Forward(h), config_.activation);
+  }
+  if (dropout_ != nullptr) h = dropout_->Forward(h);
+  if (batch_norm_ != nullptr) h = batch_norm_->Forward(h);
+  return h;
+}
+
+std::vector<Parameter> Mlp::Parameters() {
+  std::vector<Parameter> params;
+  for (auto& layer : layers_) {
+    for (auto& p : layer.Parameters()) params.push_back(p);
+  }
+  if (batch_norm_ != nullptr) {
+    for (auto& p : batch_norm_->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Mlp::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& layer : layers_) layer.SetTraining(training);
+  if (dropout_ != nullptr) dropout_->SetTraining(training);
+  if (batch_norm_ != nullptr) batch_norm_->SetTraining(training);
+}
+
+}  // namespace nn
+}  // namespace contratopic

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace contratopic {
+namespace nn {
+
+Sgd::Sgd(float learning_rate, float momentum)
+    : Optimizer(learning_rate), momentum_(momentum) {}
+
+void Sgd::Step(const std::vector<Parameter>& params) {
+  for (const auto& p : params) {
+    autodiff::Node* node = p.var.node().get();
+    if (node->grad.empty()) continue;
+    if (momentum_ > 0.0f) {
+      auto [it, inserted] = velocity_.try_emplace(
+          node, Tensor::Zeros(node->value.rows(), node->value.cols()));
+      Tensor& vel = it->second;
+      vel.Scale(momentum_);
+      vel.AddInPlace(node->grad);
+      node->value.AddScaledInPlace(vel, -learning_rate_);
+    } else {
+      node->value.AddScaledInPlace(node->grad, -learning_rate_);
+    }
+  }
+}
+
+Adam::Adam(float learning_rate, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::Step(const std::vector<Parameter>& params) {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (const auto& p : params) {
+    autodiff::Node* node = p.var.node().get();
+    if (node->grad.empty()) continue;
+    auto [it, inserted] = state_.try_emplace(node);
+    State& s = it->second;
+    if (inserted) {
+      s.m = Tensor::Zeros(node->value.rows(), node->value.cols());
+      s.v = Tensor::Zeros(node->value.rows(), node->value.cols());
+    }
+    float* value = node->value.data();
+    const float* grad = node->grad.data();
+    float* m = s.m.data();
+    float* v = s.v.data();
+    const int64_t n = node->value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      float g = grad[i];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * value[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bc1;
+      const float v_hat = v[i] / bc2;
+      value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Parameter>& params, float max_norm) {
+  double total_sq = 0.0;
+  for (const auto& p : params) {
+    const Tensor& g = p.var.node()->grad;
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total_sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const auto& p : params) {
+      Tensor& g = p.var.node()->grad;
+      if (!g.empty()) g.Scale(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace contratopic

@@ -1,0 +1,72 @@
+#ifndef CONTRATOPIC_NN_OPTIMIZER_H_
+#define CONTRATOPIC_NN_OPTIMIZER_H_
+
+// First-order optimizers over persistent parameter Vars. State (Adam
+// moments) is keyed by node identity, so parameters may be re-collected
+// from modules on every step.
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace contratopic {
+namespace nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently accumulated on the
+  // parameters, then leaves gradients untouched (call ZeroGrad after).
+  virtual void Step(const std::vector<Parameter>& params) = 0;
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ protected:
+  explicit Optimizer(float learning_rate) : learning_rate_(learning_rate) {}
+  float learning_rate_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float learning_rate, float momentum = 0.0f);
+
+  void Step(const std::vector<Parameter>& params) override;
+
+ private:
+  float momentum_;
+  std::unordered_map<const autodiff::Node*, Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba) with bias correction; the paper trains every neural
+// model with Adam at lr 5e-4.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float learning_rate, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step(const std::vector<Parameter>& params) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<const autodiff::Node*, State> state_;
+};
+
+// Rescales gradients in place so their global L2 norm is at most max_norm.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Parameter>& params, float max_norm);
+
+}  // namespace nn
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_NN_OPTIMIZER_H_

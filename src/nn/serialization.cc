@@ -1,0 +1,68 @@
+#include "nn/serialization.h"
+
+#include <unordered_map>
+
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace nn {
+
+util::Status SaveParameters(const std::vector<Parameter>& params,
+                            const std::string& path) {
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) return util::Status::IOError("cannot open " + path);
+  writer.WriteU64(params.size());
+  for (const auto& p : params) {
+    const tensor::Tensor& value = p.var.value();
+    writer.WriteString(p.name);
+    writer.WriteU64(static_cast<uint64_t>(value.rows()));
+    writer.WriteU64(static_cast<uint64_t>(value.cols()));
+    writer.WriteFloatVector(
+        std::vector<float>(value.data(), value.data() + value.numel()));
+  }
+  return writer.Close();
+}
+
+util::Status LoadParameters(const std::vector<Parameter>& params,
+                            const std::string& path, bool allow_partial) {
+  util::BinaryReader reader(path);
+  if (!reader.ok()) return util::Status::IOError("cannot open " + path);
+
+  std::unordered_map<std::string, const Parameter*> by_name;
+  for (const auto& p : params) by_name[p.name] = &p;
+
+  const uint64_t count = reader.ReadU64();
+  size_t restored = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    const std::string name = reader.ReadString();
+    const int64_t rows = static_cast<int64_t>(reader.ReadU64());
+    const int64_t cols = static_cast<int64_t>(reader.ReadU64());
+    std::vector<float> values = reader.ReadFloatVector();
+    if (!reader.status().ok()) return reader.status();
+    if (static_cast<int64_t>(values.size()) != rows * cols) {
+      return util::Status::Internal("corrupt checkpoint entry: " + name);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return util::Status::NotFound("parameter not in model: " + name);
+    }
+    tensor::Tensor& target = it->second->var.node()->value;
+    if (target.rows() != rows || target.cols() != cols) {
+      return util::Status::FailedPrecondition(util::StrFormat(
+          "shape mismatch for %s: checkpoint [%lld x %lld] vs model %s",
+          name.c_str(), static_cast<long long>(rows),
+          static_cast<long long>(cols), target.ShapeString().c_str()));
+    }
+    target = tensor::Tensor(rows, cols, std::move(values));
+    ++restored;
+  }
+  if (!allow_partial && restored != params.size()) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "checkpoint restored %zu of %zu parameters", restored, params.size()));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace nn
+}  // namespace contratopic

@@ -1,0 +1,31 @@
+#ifndef CONTRATOPIC_NN_SERIALIZATION_H_
+#define CONTRATOPIC_NN_SERIALIZATION_H_
+
+// Checkpointing for module parameters: values are stored by parameter
+// name, so a freshly constructed model with the same architecture can be
+// restored without retraining.
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace nn {
+
+// Writes every parameter (name, shape, values) to `path`.
+util::Status SaveParameters(const std::vector<Parameter>& params,
+                            const std::string& path);
+
+// Restores parameter values by name. Fails if a stored name is missing
+// from `params` or any shape mismatches; extra live parameters are left
+// untouched only when `allow_partial` is set.
+util::Status LoadParameters(const std::vector<Parameter>& params,
+                            const std::string& path,
+                            bool allow_partial = false);
+
+}  // namespace nn
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_NN_SERIALIZATION_H_

@@ -1,0 +1,751 @@
+#include "tensor/autodiff.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/kernels.h"
+
+namespace contratopic {
+namespace autodiff {
+
+using tensor::BinaryOp;
+
+void Node::AccumGrad(const Tensor& g) {
+  if (grad.empty()) {
+    grad = Tensor::Zeros(value.rows(), value.cols());
+  }
+  grad.AddInPlace(g);
+}
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return Var(std::move(node));
+}
+
+void Var::ZeroGrad() {
+  if (!node_->grad.empty()) node_->grad.Fill(0.0f);
+}
+
+namespace {
+
+// Builds a unary/binary op node.
+Var MakeNode(Tensor value, std::vector<Var> parents,
+             std::function<void(Node*)> backward_fn) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (auto& p : parents) {
+    if (p.requires_grad()) node->requires_grad = true;
+    node->parents.push_back(p.node());
+  }
+  if (node->requires_grad) node->backward_fn = std::move(backward_fn);
+  return Var(std::move(node));
+}
+
+void TopoSort(Node* root, std::vector<Node*>* order) {
+  // Iterative DFS post-order.
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Node* next = node->parents[child].get();
+      ++child;
+      if (next->requires_grad && visited.insert(next).second) {
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& loss) {
+  CHECK_EQ(loss.value().numel(), 1) << "Backward expects a scalar loss";
+  if (!loss.requires_grad()) return;
+  std::vector<Node*> order;
+  TopoSort(loss.node().get(), &order);
+  loss.node()->AccumGrad(Tensor::Scalar(1.0f));
+  // Post-order puts the loss last; walk backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(node);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops.
+// ---------------------------------------------------------------------------
+
+Var Add(const Var& a, const Var& b) {
+  CHECK(a.value().same_shape(b.value()));
+  Tensor out = a.value();
+  out.AddInPlace(b.value());
+  return MakeNode(std::move(out), {a, b}, [](Node* n) {
+    if (n->parents[0]->requires_grad) n->parents[0]->AccumGrad(n->grad);
+    if (n->parents[1]->requires_grad) n->parents[1]->AccumGrad(n->grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  CHECK(a.value().same_shape(b.value()));
+  Tensor out = a.value();
+  out.AddScaledInPlace(b.value(), -1.0f);
+  return MakeNode(std::move(out), {a, b}, [](Node* n) {
+    if (n->parents[0]->requires_grad) n->parents[0]->AccumGrad(n->grad);
+    if (n->parents[1]->requires_grad) {
+      Tensor g = n->grad;
+      g.Scale(-1.0f);
+      n->parents[1]->AccumGrad(g);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  CHECK(a.value().same_shape(b.value()));
+  Tensor out = a.value();
+  const float* bp = b.value().data();
+  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] *= bp[i];
+  return MakeNode(std::move(out), {a, b}, [](Node* n) {
+    const Tensor& av = n->parents[0]->value;
+    const Tensor& bv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      Tensor g = n->grad;
+      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= bv.data()[i];
+      n->parents[0]->AccumGrad(g);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor g = n->grad;
+      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= av.data()[i];
+      n->parents[1]->AccumGrad(g);
+    }
+  });
+}
+
+Var Div(const Var& a, const Var& b) {
+  CHECK(a.value().same_shape(b.value()));
+  Tensor out = a.value();
+  const float* bp = b.value().data();
+  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] /= bp[i];
+  return MakeNode(std::move(out), {a, b}, [](Node* n) {
+    const Tensor& av = n->parents[0]->value;
+    const Tensor& bv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      Tensor g = n->grad;
+      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] /= bv.data()[i];
+      n->parents[0]->AccumGrad(g);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor g = n->grad;
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        const float bi = bv.data()[i];
+        g.data()[i] *= -av.data()[i] / (bi * bi);
+      }
+      n->parents[1]->AccumGrad(g);
+    }
+  });
+}
+
+Var AddScalar(const Var& a, float s) {
+  Tensor out = a.value();
+  out.Apply([s](float v) { return v + s; });
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    n->parents[0]->AccumGrad(n->grad);
+  });
+}
+
+Var MulScalar(const Var& a, float s) {
+  Tensor out = a.value();
+  out.Scale(s);
+  return MakeNode(std::move(out), {a}, [s](Node* n) {
+    Tensor g = n->grad;
+    g.Scale(s);
+    n->parents[0]->AccumGrad(g);
+  });
+}
+
+Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
+
+// ---------------------------------------------------------------------------
+// MatMul.
+// ---------------------------------------------------------------------------
+
+Var MatMul(const Var& a, const Var& b, bool trans_a, bool trans_b) {
+  Tensor out = tensor::MatMulNew(a.value(), trans_a, b.value(), trans_b);
+  return MakeNode(std::move(out), {a, b}, [trans_a, trans_b](Node* n) {
+    const Tensor& g = n->grad;
+    const Tensor& av = n->parents[0]->value;
+    const Tensor& bv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      Tensor da;
+      if (!trans_a && !trans_b) {
+        da = tensor::MatMulNew(g, false, bv, true);  // g B^T
+      } else if (!trans_a && trans_b) {
+        da = tensor::MatMulNew(g, false, bv, false);  // g B
+      } else if (trans_a && !trans_b) {
+        da = tensor::MatMulNew(bv, false, g, true);  // B g^T
+      } else {
+        da = tensor::MatMulNew(bv, true, g, true);  // B^T g^T
+      }
+      n->parents[0]->AccumGrad(da);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor db;
+      if (!trans_a && !trans_b) {
+        db = tensor::MatMulNew(av, true, g, false);  // A^T g
+      } else if (!trans_a && trans_b) {
+        db = tensor::MatMulNew(g, true, av, false);  // g^T A
+      } else if (trans_a && !trans_b) {
+        db = tensor::MatMulNew(av, false, g, false);  // A g
+      } else {
+        db = tensor::MatMulNew(g, true, av, true);  // g^T A^T
+      }
+      n->parents[1]->AccumGrad(db);
+    }
+  });
+}
+
+Var Transpose(const Var& a) {
+  Tensor out = tensor::Transposed(a.value());
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    n->parents[0]->AccumGrad(tensor::Transposed(n->grad));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise nonlinearities.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Helper for unary ops whose gradient only needs input and/or output values.
+Var UnaryOp(const Var& a, const std::function<float(float)>& fwd,
+            std::function<void(const Tensor& x, const Tensor& y,
+                               const Tensor& g, Tensor* dx)>
+                bwd) {
+  Tensor out = a.value();
+  out.Apply(fwd);
+  // The output tensor is captured via the node itself (n->value).
+  return MakeNode(std::move(out), {a}, [bwd](Node* n) {
+    Tensor dx(n->parents[0]->value.rows(), n->parents[0]->value.cols());
+    bwd(n->parents[0]->value, n->value, n->grad, &dx);
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+}  // namespace
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, [](float v) { return std::exp(v); },
+      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          dx->data()[i] = g.data()[i] * y.data()[i];
+        }
+      });
+}
+
+Var Log(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float v) { return std::log(v + eps); },
+      [eps](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          dx->data()[i] = g.data()[i] / (x.data()[i] + eps);
+        }
+      });
+}
+
+Var Square(const Var& a) {
+  return UnaryOp(
+      a, [](float v) { return v * v; },
+      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          dx->data()[i] = 2.0f * g.data()[i] * x.data()[i];
+        }
+      });
+}
+
+Var Sqrt(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float v) { return std::sqrt(v + eps); },
+      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          dx->data()[i] = 0.5f * g.data()[i] / y.data()[i];
+        }
+      });
+}
+
+Var Rsqrt(const Var& a, float eps) {
+  return UnaryOp(
+      a, [eps](float v) { return 1.0f / std::sqrt(v + eps); },
+      [eps](const Tensor& x, const Tensor& y, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          const float yi = y.data()[i];
+          dx->data()[i] = -0.5f * g.data()[i] * yi * yi * yi;
+        }
+      });
+}
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          dx->data()[i] = x.data()[i] > 0.0f ? g.data()[i] : 0.0f;
+        }
+      });
+}
+
+namespace {
+constexpr float kSeluScale = 1.0507009873554805f;
+constexpr float kSeluAlpha = 1.6732632423543772f;
+}  // namespace
+
+Var Selu(const Var& a) {
+  return UnaryOp(
+      a,
+      [](float v) {
+        return v > 0.0f ? kSeluScale * v
+                        : kSeluScale * kSeluAlpha * (std::exp(v) - 1.0f);
+      },
+      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          const float xi = x.data()[i];
+          const float d = xi > 0.0f
+                              ? kSeluScale
+                              : kSeluScale * kSeluAlpha * std::exp(xi);
+          dx->data()[i] = g.data()[i] * d;
+        }
+      });
+}
+
+Var Softplus(const Var& a) {
+  return UnaryOp(
+      a,
+      [](float v) {
+        // Numerically stable log(1 + e^x).
+        return v > 20.0f ? v : std::log1p(std::exp(v));
+      },
+      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          const float s = 1.0f / (1.0f + std::exp(-x.data()[i]));
+          dx->data()[i] = g.data()[i] * s;
+        }
+      });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, [](float v) { return std::tanh(v); },
+      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          const float yi = y.data()[i];
+          dx->data()[i] = g.data()[i] * (1.0f - yi * yi);
+        }
+      });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
+        for (int64_t i = 0; i < dx->numel(); ++i) {
+          const float yi = y.data()[i];
+          dx->data()[i] = g.data()[i] * yi * (1.0f - yi);
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family.
+// ---------------------------------------------------------------------------
+
+Var SoftmaxRows(const Var& a) {
+  Tensor out = tensor::SoftmaxRows(a.value());
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    const Tensor& y = n->value;
+    const Tensor& g = n->grad;
+    Tensor dx(y.rows(), y.cols());
+    for (int64_t r = 0; r < y.rows(); ++r) {
+      const float* yr = y.row(r);
+      const float* gr = g.row(r);
+      double dot = 0.0;
+      for (int64_t c = 0; c < y.cols(); ++c) dot += static_cast<double>(gr[c]) * yr[c];
+      float* dr = dx.row(r);
+      for (int64_t c = 0; c < y.cols(); ++c) {
+        dr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+      }
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var LogSoftmaxRows(const Var& a) {
+  Tensor out = a.value();
+  tensor::LogSoftmaxRowsInPlace(&out);
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    const Tensor& y = n->value;  // log-softmax
+    const Tensor& g = n->grad;
+    Tensor dx(y.rows(), y.cols());
+    for (int64_t r = 0; r < y.rows(); ++r) {
+      const float* yr = y.row(r);
+      const float* gr = g.row(r);
+      double gsum = 0.0;
+      for (int64_t c = 0; c < y.cols(); ++c) gsum += gr[c];
+      float* dr = dx.row(r);
+      for (int64_t c = 0; c < y.cols(); ++c) {
+        dr[c] = gr[c] - static_cast<float>(gsum) * std::exp(yr[c]);
+      }
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var MaskedLogSumExpRows(const Var& a, const Tensor& mask) {
+  Tensor out(a.rows(), 1);
+  tensor::LogSumExpRows(a.value(), &mask, &out);
+  return MakeNode(std::move(out), {a}, [mask](Node* n) {
+    const Tensor& x = n->parents[0]->value;
+    const Tensor& lse = n->value;
+    const Tensor& g = n->grad;  // rows x 1
+    Tensor dx(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      const float out_r = lse.at(r, 0);
+      if (out_r <= -1e29f) continue;  // Empty mask row: no gradient.
+      const float gr = g.at(r, 0);
+      const float* xr = x.row(r);
+      const float* mr = mask.row(r);
+      float* dr = dx.row(r);
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        dr[c] = mr[c] > 0.0f ? gr * mr[c] * std::exp(xr[c] - out_r) : 0.0f;
+      }
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var LogSumExpRows(const Var& a) {
+  return MaskedLogSumExpRows(
+      a, Tensor::Ones(a.rows(), a.cols()));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+Var SumAll(const Var& a) {
+  Tensor out = Tensor::Scalar(a.value().Sum());
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    const float g = n->grad.scalar();
+    Tensor dx = Tensor::Full(n->parents[0]->value.rows(),
+                             n->parents[0]->value.cols(), g);
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().numel());
+  return MulScalar(SumAll(a), inv);
+}
+
+Var RowSum(const Var& a) {
+  Tensor out = tensor::RowSum(a.value());
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    const Tensor& g = n->grad;  // rows x 1
+    const Tensor& x = n->parents[0]->value;
+    Tensor dx(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      const float gr = g.at(r, 0);
+      float* dr = dx.row(r);
+      for (int64_t c = 0; c < x.cols(); ++c) dr[c] = gr;
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var ColSum(const Var& a) {
+  Tensor out = tensor::ColSum(a.value());
+  return MakeNode(std::move(out), {a}, [](Node* n) {
+    const Tensor& g = n->grad;  // 1 x cols
+    const Tensor& x = n->parents[0]->value;
+    Tensor dx(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      float* dr = dx.row(r);
+      for (int64_t c = 0; c < x.cols(); ++c) dr[c] = g.at(0, c);
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var ColMean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.rows());
+  return MulScalar(ColSum(a), inv);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast ops.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Var BroadcastColOp(const Var& a, const Var& col, BinaryOp op) {
+  Tensor out(a.rows(), a.cols());
+  tensor::BroadcastCol(a.value(), col.value(), op, &out);
+  return MakeNode(std::move(out), {a, col}, [op](Node* n) {
+    const Tensor& g = n->grad;
+    const Tensor& av = n->parents[0]->value;
+    const Tensor& cv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      Tensor da(av.rows(), av.cols());
+      for (int64_t r = 0; r < av.rows(); ++r) {
+        const float c = cv.at(r, 0);
+        const float* gr = g.row(r);
+        float* dr = da.row(r);
+        for (int64_t j = 0; j < av.cols(); ++j) {
+          switch (op) {
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+              dr[j] = gr[j];
+              break;
+            case BinaryOp::kMul:
+              dr[j] = gr[j] * c;
+              break;
+            case BinaryOp::kDiv:
+              dr[j] = gr[j] / c;
+              break;
+          }
+        }
+      }
+      n->parents[0]->AccumGrad(da);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor dc(cv.rows(), 1);
+      for (int64_t r = 0; r < av.rows(); ++r) {
+        const float c = cv.at(r, 0);
+        const float* gr = g.row(r);
+        const float* ar = av.row(r);
+        double acc = 0.0;
+        for (int64_t j = 0; j < av.cols(); ++j) {
+          switch (op) {
+            case BinaryOp::kAdd:
+              acc += gr[j];
+              break;
+            case BinaryOp::kSub:
+              acc -= gr[j];
+              break;
+            case BinaryOp::kMul:
+              acc += static_cast<double>(gr[j]) * ar[j];
+              break;
+            case BinaryOp::kDiv:
+              acc += -static_cast<double>(gr[j]) * ar[j] / (c * c);
+              break;
+          }
+        }
+        dc.at(r, 0) = static_cast<float>(acc);
+      }
+      n->parents[1]->AccumGrad(dc);
+    }
+  });
+}
+
+Var BroadcastRowOp(const Var& a, const Var& row, BinaryOp op) {
+  Tensor out(a.rows(), a.cols());
+  tensor::BroadcastRow(a.value(), row.value(), op, &out);
+  return MakeNode(std::move(out), {a, row}, [op](Node* n) {
+    const Tensor& g = n->grad;
+    const Tensor& av = n->parents[0]->value;
+    const Tensor& rv = n->parents[1]->value;
+    if (n->parents[0]->requires_grad) {
+      Tensor da(av.rows(), av.cols());
+      for (int64_t r = 0; r < av.rows(); ++r) {
+        const float* gr = g.row(r);
+        float* dr = da.row(r);
+        for (int64_t j = 0; j < av.cols(); ++j) {
+          const float b = rv.at(0, j);
+          switch (op) {
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+              dr[j] = gr[j];
+              break;
+            case BinaryOp::kMul:
+              dr[j] = gr[j] * b;
+              break;
+            case BinaryOp::kDiv:
+              dr[j] = gr[j] / b;
+              break;
+          }
+        }
+      }
+      n->parents[0]->AccumGrad(da);
+    }
+    if (n->parents[1]->requires_grad) {
+      Tensor dr(1, rv.cols());
+      for (int64_t r = 0; r < av.rows(); ++r) {
+        const float* gr = g.row(r);
+        const float* ar = av.row(r);
+        for (int64_t j = 0; j < av.cols(); ++j) {
+          const float b = rv.at(0, j);
+          switch (op) {
+            case BinaryOp::kAdd:
+              dr.at(0, j) += gr[j];
+              break;
+            case BinaryOp::kSub:
+              dr.at(0, j) -= gr[j];
+              break;
+            case BinaryOp::kMul:
+              dr.at(0, j) += gr[j] * ar[j];
+              break;
+            case BinaryOp::kDiv:
+              dr.at(0, j) += -gr[j] * ar[j] / (b * b);
+              break;
+          }
+        }
+      }
+      n->parents[1]->AccumGrad(dr);
+    }
+  });
+}
+
+}  // namespace
+
+Var BroadcastColAdd(const Var& a, const Var& col) {
+  return BroadcastColOp(a, col, BinaryOp::kAdd);
+}
+Var BroadcastColSub(const Var& a, const Var& col) {
+  return BroadcastColOp(a, col, BinaryOp::kSub);
+}
+Var BroadcastColMul(const Var& a, const Var& col) {
+  return BroadcastColOp(a, col, BinaryOp::kMul);
+}
+Var BroadcastColDiv(const Var& a, const Var& col) {
+  return BroadcastColOp(a, col, BinaryOp::kDiv);
+}
+Var BroadcastRowAdd(const Var& a, const Var& row) {
+  return BroadcastRowOp(a, row, BinaryOp::kAdd);
+}
+Var BroadcastRowSub(const Var& a, const Var& row) {
+  return BroadcastRowOp(a, row, BinaryOp::kSub);
+}
+Var BroadcastRowMul(const Var& a, const Var& row) {
+  return BroadcastRowOp(a, row, BinaryOp::kMul);
+}
+Var BroadcastRowDiv(const Var& a, const Var& row) {
+  return BroadcastRowOp(a, row, BinaryOp::kDiv);
+}
+
+// ---------------------------------------------------------------------------
+// Structured ops.
+// ---------------------------------------------------------------------------
+
+Var RowL2Normalize(const Var& a, float eps) {
+  Tensor out = tensor::RowL2Normalized(a.value(), eps);
+  return MakeNode(std::move(out), {a}, [eps](Node* n) {
+    const Tensor& x = n->parents[0]->value;
+    const Tensor& y = n->value;
+    const Tensor& g = n->grad;
+    Tensor dx(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      const float* xr = x.row(r);
+      const float* yr = y.row(r);
+      const float* gr = g.row(r);
+      double norm_sq = 0.0;
+      for (int64_t c = 0; c < x.cols(); ++c) norm_sq += static_cast<double>(xr[c]) * xr[c];
+      const float norm = static_cast<float>(std::sqrt(norm_sq));
+      float* dr = dx.row(r);
+      if (norm <= eps) {
+        for (int64_t c = 0; c < x.cols(); ++c) dr[c] = 0.0f;
+        continue;
+      }
+      double dot = 0.0;
+      for (int64_t c = 0; c < x.cols(); ++c) dot += static_cast<double>(gr[c]) * yr[c];
+      const float inv = 1.0f / norm;
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        dr[c] = (gr[c] - static_cast<float>(dot) * yr[c]) * inv;
+      }
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  CHECK(!parts.empty());
+  const int64_t cols = parts[0].cols();
+  int64_t rows = 0;
+  for (const auto& p : parts) {
+    CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Tensor out(rows, cols);
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    const Tensor& v = p.value();
+    std::copy(v.data(), v.data() + v.numel(), out.data() + offset * cols);
+    offset += v.rows();
+  }
+  return MakeNode(std::move(out), parts, [](Node* n) {
+    const Tensor& g = n->grad;
+    const int64_t cols = g.cols();
+    int64_t offset = 0;
+    for (auto& parent : n->parents) {
+      const int64_t r = parent->value.rows();
+      if (parent->requires_grad) {
+        Tensor dg(r, cols);
+        std::copy(g.data() + offset * cols, g.data() + (offset + r) * cols,
+                  dg.data());
+        parent->AccumGrad(dg);
+      }
+      offset += r;
+    }
+  });
+}
+
+Var SelectColumns(const Var& a, const std::vector<int>& indices) {
+  const Tensor& x = a.value();
+  Tensor out(x.rows(), static_cast<int64_t>(indices.size()));
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* xr = x.row(r);
+    float* outr = out.row(r);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      DCHECK_GE(indices[j], 0);
+      DCHECK_LT(indices[j], x.cols());
+      outr[j] = xr[indices[j]];
+    }
+  }
+  return MakeNode(std::move(out), {a}, [indices](Node* n) {
+    const Tensor& g = n->grad;
+    const Tensor& x = n->parents[0]->value;
+    Tensor dx(x.rows(), x.cols());
+    for (int64_t r = 0; r < x.rows(); ++r) {
+      const float* gr = g.row(r);
+      float* dr = dx.row(r);
+      for (size_t j = 0; j < indices.size(); ++j) {
+        dr[indices[j]] += gr[j];
+      }
+    }
+    n->parents[0]->AccumGrad(dx);
+  });
+}
+
+Var ApplyMask(const Var& a, const Tensor& mask) {
+  CHECK(a.value().same_shape(mask));
+  Tensor out = a.value();
+  const float* mp = mask.data();
+  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] *= mp[i];
+  return MakeNode(std::move(out), {a}, [mask](Node* n) {
+    Tensor g = n->grad;
+    const float* mp = mask.data();
+    for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= mp[i];
+    n->parents[0]->AccumGrad(g);
+  });
+}
+
+}  // namespace autodiff
+}  // namespace contratopic

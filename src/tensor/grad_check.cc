@@ -1,0 +1,45 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+
+namespace contratopic {
+namespace tensor {
+
+using autodiff::Backward;
+using autodiff::Var;
+
+GradCheckResult CheckGradient(const std::function<Var(const Var&)>& fn,
+                              const Tensor& input, float epsilon,
+                              float tolerance) {
+  // Analytic gradient.
+  Var leaf = Var::Leaf(input, /*requires_grad=*/true);
+  Var loss = fn(leaf);
+  CHECK_EQ(loss.value().numel(), 1) << "grad check needs a scalar function";
+  Backward(loss);
+  const Tensor analytic = leaf.grad();
+
+  GradCheckResult result;
+  Tensor perturbed = input;
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float original = perturbed.data()[i];
+    perturbed.data()[i] = original + epsilon;
+    const float f_plus =
+        fn(Var::Leaf(perturbed, /*requires_grad=*/false)).value().scalar();
+    perturbed.data()[i] = original - epsilon;
+    const float f_minus =
+        fn(Var::Leaf(perturbed, /*requires_grad=*/false)).value().scalar();
+    perturbed.data()[i] = original;
+
+    const float numeric = (f_plus - f_minus) / (2.0f * epsilon);
+    const float a = analytic.empty() ? 0.0f : analytic.data()[i];
+    const float abs_err = std::fabs(numeric - a);
+    const float denom = std::max(1.0f, std::max(std::fabs(numeric), std::fabs(a)));
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,30 @@
+#ifndef CONTRATOPIC_TENSOR_GRAD_CHECK_H_
+#define CONTRATOPIC_TENSOR_GRAD_CHECK_H_
+
+// Numerical gradient checking used by the autodiff unit tests: compares the
+// analytic gradient of a scalar-valued function against central finite
+// differences.
+
+#include <functional>
+
+#include "tensor/autodiff.h"
+
+namespace contratopic {
+namespace tensor {
+
+struct GradCheckResult {
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  bool ok = false;
+};
+
+// `fn` maps the leaf Var (rebuilt from `input` each call) to a scalar Var.
+// Checks d fn / d input at every element.
+GradCheckResult CheckGradient(
+    const std::function<autodiff::Var(const autodiff::Var&)>& fn,
+    const Tensor& input, float epsilon = 1e-3f, float tolerance = 5e-2f);
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_GRAD_CHECK_H_

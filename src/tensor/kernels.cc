@@ -1,0 +1,279 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace tensor {
+namespace {
+
+// Dot product of two contiguous float spans, 4-way unrolled.
+inline float Dot(const float* a, const float* b, int64_t n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  float s = s0 + s1 + s2 + s3;
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+// Core: C[m,n] (+)= alpha * A[m,k] * Bt[n,k]^T where Bt stores B transposed
+// (so both operands are read along contiguous rows).
+void MatMulRowMajorTransB(const float* a, const float* bt, float* c,
+                          int64_t m, int64_t n, int64_t k, float alpha,
+                          float beta) {
+  auto body = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* a_row = a + i * k;
+      float* c_row = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float dot = Dot(a_row, bt + j * k, k);
+        c_row[j] = beta * c_row[j] + alpha * dot;
+      }
+    }
+  };
+  const int64_t flops = m * n * k;
+  if (flops > (1 << 22)) {
+    // Large product: split output rows across the pool.
+    util::ThreadPool::Global().ParallelFor(0, m, body, /*min_chunk=*/8);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+            Tensor* c, float alpha, float beta) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t k = trans_a ? a.rows() : a.cols();
+  const int64_t kb = trans_b ? b.cols() : b.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  CHECK_EQ(k, kb) << "MatMul inner dims: " << a.ShapeString()
+                  << (trans_a ? "^T" : "") << " @ " << b.ShapeString()
+                  << (trans_b ? "^T" : "");
+  CHECK_EQ(c->rows(), m);
+  CHECK_EQ(c->cols(), n);
+
+  // Bring both operands into "A row-major, B transposed" layout.
+  Tensor a_copy;
+  const float* a_ptr = a.data();
+  if (trans_a) {
+    a_copy = Transposed(a);
+    a_ptr = a_copy.data();
+  }
+  Tensor bt_copy;
+  const float* bt_ptr = b.data();
+  if (!trans_b) {
+    bt_copy = Transposed(b);
+    bt_ptr = bt_copy.data();
+  }
+  MatMulRowMajorTransB(a_ptr, bt_ptr, c->data(), m, n, k, alpha, beta);
+}
+
+Tensor MatMulNew(const Tensor& a, bool trans_a, const Tensor& b,
+                 bool trans_b) {
+  const int64_t m = trans_a ? a.cols() : a.rows();
+  const int64_t n = trans_b ? b.rows() : b.cols();
+  Tensor c(m, n);
+  MatMul(a, trans_a, b, trans_b, &c);
+  return c;
+}
+
+void SoftmaxRowsInPlace(Tensor* x) {
+  for (int64_t r = 0; r < x->rows(); ++r) {
+    float* row = x->row(r);
+    float max_v = row[0];
+    for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < x->cols(); ++c) {
+      row[c] = std::exp(row[c] - max_v);
+      sum += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < x->cols(); ++c) row[c] *= inv;
+  }
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  Tensor out = x;
+  SoftmaxRowsInPlace(&out);
+  return out;
+}
+
+void LogSoftmaxRowsInPlace(Tensor* x) {
+  for (int64_t r = 0; r < x->rows(); ++r) {
+    float* row = x->row(r);
+    float max_v = row[0];
+    for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < x->cols(); ++c) sum += std::exp(row[c] - max_v);
+    const float log_z = max_v + static_cast<float>(std::log(sum));
+    for (int64_t c = 0; c < x->cols(); ++c) row[c] -= log_z;
+  }
+}
+
+void LogSumExpRows(const Tensor& x, const Tensor* mask, Tensor* out) {
+  CHECK_EQ(out->rows(), x.rows());
+  CHECK_EQ(out->cols(), 1);
+  if (mask != nullptr) {
+    CHECK(mask->same_shape(x));
+  }
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    const float* m = mask != nullptr ? mask->row(r) : nullptr;
+    float max_v = -1e30f;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      if (m == nullptr || m[c] > 0.0f) max_v = std::max(max_v, row[c]);
+    }
+    if (max_v <= -1e30f) {
+      out->at(r, 0) = -1e30f;  // Empty mask row.
+      continue;
+    }
+    double sum = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      const float w = m == nullptr ? 1.0f : m[c];
+      if (w > 0.0f) sum += w * std::exp(row[c] - max_v);
+    }
+    out->at(r, 0) = max_v + static_cast<float>(std::log(sum));
+  }
+}
+
+Tensor Transposed(const Tensor& x) {
+  Tensor out(x.cols(), x.rows());
+  constexpr int64_t kBlock = 32;
+  for (int64_t rb = 0; rb < x.rows(); rb += kBlock) {
+    const int64_t r_end = std::min(x.rows(), rb + kBlock);
+    for (int64_t cb = 0; cb < x.cols(); cb += kBlock) {
+      const int64_t c_end = std::min(x.cols(), cb + kBlock);
+      for (int64_t r = rb; r < r_end; ++r) {
+        for (int64_t c = cb; c < c_end; ++c) {
+          out.at(c, r) = x.at(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor RowSum(const Tensor& x) {
+  Tensor out(x.rows(), 1);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    double acc = 0.0;
+    const float* row = x.row(r);
+    for (int64_t c = 0; c < x.cols(); ++c) acc += row[c];
+    out.at(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor ColSum(const Tensor& x) {
+  Tensor out(1, x.cols());
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.row(r);
+    float* acc = out.data();
+    for (int64_t c = 0; c < x.cols(); ++c) acc[c] += row[c];
+  }
+  return out;
+}
+
+Tensor ColMean(const Tensor& x) {
+  CHECK_GT(x.rows(), 0);
+  Tensor out = ColSum(x);
+  out.Scale(1.0f / static_cast<float>(x.rows()));
+  return out;
+}
+
+namespace {
+inline float ApplyBinary(float a, float b, BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return a + b;
+    case BinaryOp::kSub:
+      return a - b;
+    case BinaryOp::kMul:
+      return a * b;
+    case BinaryOp::kDiv:
+      return a / b;
+  }
+  return 0.0f;
+}
+}  // namespace
+
+void BroadcastCol(const Tensor& a, const Tensor& col, BinaryOp op,
+                  Tensor* out) {
+  CHECK_EQ(col.rows(), a.rows());
+  CHECK_EQ(col.cols(), 1);
+  CHECK(out->same_shape(a));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float b = col.at(r, 0);
+    const float* src = a.row(r);
+    float* dst = out->row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b, op);
+  }
+}
+
+void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op,
+                  Tensor* out) {
+  CHECK_EQ(row.cols(), a.cols());
+  CHECK_EQ(row.rows(), 1);
+  CHECK(out->same_shape(a));
+  const float* b = row.data();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float* src = a.row(r);
+    float* dst = out->row(r);
+    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b[c], op);
+  }
+}
+
+Tensor RowL2Normalized(const Tensor& x, float eps) {
+  Tensor out = x;
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.row(r);
+    double acc = 0.0;
+    for (int64_t c = 0; c < x.cols(); ++c) acc += static_cast<double>(src[c]) * src[c];
+    const float norm = static_cast<float>(std::sqrt(acc));
+    if (norm <= eps) continue;
+    float* dst = out.row(r);
+    const float inv = 1.0f / norm;
+    for (int64_t c = 0; c < x.cols(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Tensor PairwiseSquaredDistances(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.cols(), b.cols());
+  Tensor cross = MatMulNew(a, false, b, true);  // m x n
+  Tensor a_sq = RowSum([&] {
+    Tensor t = a;
+    t.Apply([](float v) { return v * v; });
+    return t;
+  }());
+  Tensor b_sq = RowSum([&] {
+    Tensor t = b;
+    t.Apply([](float v) { return v * v; });
+    return t;
+  }());
+  Tensor out(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const float d = a_sq.at(i, 0) + b_sq.at(j, 0) - 2.0f * cross.at(i, j);
+      out.at(i, j) = std::max(0.0f, d);
+    }
+  }
+  return out;
+}
+
+Tensor PairwiseCosine(const Tensor& a, const Tensor& b) {
+  return MatMulNew(RowL2Normalized(a), false, RowL2Normalized(b), true);
+}
+
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,156 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace tensor {
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::RandNormal(int64_t rows, int64_t cols, util::Rng& rng,
+                          float mean, float stddev) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(int64_t rows, int64_t cols, util::Rng& rng,
+                           float lo, float hi) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::RandGumbel(int64_t rows, int64_t cols, util::Rng& rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng.Gumbel());
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(int64_t rows, int64_t cols, util::Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return RandUniform(rows, cols, rng, -limit, limit);
+}
+
+Tensor Tensor::Reshaped(int64_t rows, int64_t cols) const {
+  CHECK_EQ(rows * cols, numel());
+  Tensor t = *this;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Scale(float factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
+}
+
+void Tensor::AddScaledInPlace(const Tensor& other, float factor) {
+  CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
+  const float* src = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * src[i];
+}
+
+void Tensor::Apply(const std::function<float(float)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  CHECK_GT(numel(), 0);
+  return Sum() / static_cast<float>(numel());
+}
+
+float Tensor::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::L2Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::vector<int> Tensor::TopKIndicesOfRow(int64_t r, int k) const {
+  CHECK_GE(r, 0);
+  CHECK_LT(r, rows_);
+  k = std::min<int>(k, static_cast<int>(cols_));
+  std::vector<int> idx(static_cast<size_t>(cols_));
+  std::iota(idx.begin(), idx.end(), 0);
+  const float* values = row(r);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [values](int a, int b) { return values[a] > values[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+std::string Tensor::ShapeString() const {
+  return util::StrFormat("[%lld x %lld]", static_cast<long long>(rows_),
+                         static_cast<long long>(cols_));
+}
+
+std::string Tensor::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeString() << " {\n";
+  const int64_t r_show = std::min<int64_t>(rows_, max_rows);
+  const int64_t c_show = std::min<int64_t>(cols_, max_cols);
+  for (int64_t r = 0; r < r_show; ++r) {
+    os << "  ";
+    for (int64_t c = 0; c < c_show; ++c) {
+      os << util::StrFormat("%9.4f ", at(r, c));
+    }
+    if (c_show < cols_) os << "...";
+    os << "\n";
+  }
+  if (r_show < rows_) os << "  ...\n";
+  os << "}";
+  return os.str();
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  if (!a.same_shape(b)) return false;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > atol) return false;
+  }
+  return true;
+}
+
+}  // namespace tensor
+}  // namespace contratopic

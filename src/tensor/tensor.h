@@ -1,0 +1,121 @@
+#ifndef CONTRATOPIC_TENSOR_TENSOR_H_
+#define CONTRATOPIC_TENSOR_TENSOR_H_
+
+// Dense row-major float32 matrix. The whole library is written against 2-D
+// tensors: scalars are 1x1, row vectors 1xN, column vectors Nx1. Restricting
+// to rank 2 keeps every kernel simple and fast, and is sufficient for the
+// bag-of-words topic models reproduced here (batch x vocab, topics x vocab,
+// topics x embedding, ...).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace tensor {
+
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    CHECK_GE(rows, 0);
+    CHECK_GE(cols, 0);
+  }
+  Tensor(int64_t rows, int64_t cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
+  }
+
+  // Factories.
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Ones(int64_t rows, int64_t cols) {
+    return Full(rows, cols, 1.0f);
+  }
+  static Tensor Scalar(float value) { return Full(1, 1, value); }
+  static Tensor Identity(int64_t n);
+  // I.i.d. samples.
+  static Tensor RandNormal(int64_t rows, int64_t cols, util::Rng& rng,
+                           float mean = 0.0f, float stddev = 1.0f);
+  static Tensor RandUniform(int64_t rows, int64_t cols, util::Rng& rng,
+                            float lo = 0.0f, float hi = 1.0f);
+  static Tensor RandGumbel(int64_t rows, int64_t cols, util::Rng& rng);
+  // Glorot/Xavier uniform init for a (fan_in -> fan_out) weight.
+  static Tensor GlorotUniform(int64_t rows, int64_t cols, util::Rng& rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t r, int64_t c) {
+    DCHECK_GE(r, 0);
+    DCHECK_LT(r, rows_);
+    DCHECK_GE(c, 0);
+    DCHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float at(int64_t r, int64_t c) const {
+    DCHECK_GE(r, 0);
+    DCHECK_LT(r, rows_);
+    DCHECK_GE(c, 0);
+    DCHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float* row(int64_t r) { return data_.data() + r * cols_; }
+  const float* row(int64_t r) const { return data_.data() + r * cols_; }
+
+  // Value of a 1x1 tensor.
+  float scalar() const {
+    CHECK_EQ(numel(), 1);
+    return data_[0];
+  }
+
+  // Reinterprets the buffer with a new shape (same element count).
+  Tensor Reshaped(int64_t rows, int64_t cols) const;
+
+  // In-place helpers.
+  void Fill(float value);
+  void Scale(float factor);
+  void AddInPlace(const Tensor& other);            // this += other
+  void AddScaledInPlace(const Tensor& other, float factor);  // this += f*other
+  void Apply(const std::function<float(float)>& fn);
+
+  // Reductions / stats (host-side, not differentiable).
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  float L2Norm() const;
+
+  // Indices of the k largest entries of row r, descending.
+  std::vector<int> TopKIndicesOfRow(int64_t r, int k) const;
+
+  std::string ShapeString() const;
+  // Small-tensor debug printout (truncates large tensors).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+// True if every corresponding element differs by at most `atol`.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_TENSOR_H_

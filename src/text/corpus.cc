@@ -1,0 +1,140 @@
+#include "text/corpus.h"
+
+#include <cmath>
+
+namespace contratopic {
+namespace text {
+
+int64_t BowCorpus::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& d : docs_) total += d.TotalTokens();
+  return total;
+}
+
+double BowCorpus::AverageDocLength() const {
+  if (docs_.empty()) return 0.0;
+  return static_cast<double>(TotalTokens()) / num_docs();
+}
+
+bool BowCorpus::HasLabels() const {
+  if (docs_.empty()) return false;
+  for (const auto& d : docs_) {
+    if (d.label < 0) return false;
+  }
+  return true;
+}
+
+tensor::Tensor BowCorpus::DenseBatch(const std::vector<int>& indices) const {
+  tensor::Tensor batch(static_cast<int64_t>(indices.size()), vocab_size());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    CHECK_GE(indices[r], 0);
+    CHECK_LT(indices[r], num_docs());
+    float* row = batch.row(static_cast<int64_t>(r));
+    for (const auto& e : docs_[indices[r]].entries) {
+      row[e.word_id] = static_cast<float>(e.count);
+    }
+  }
+  return batch;
+}
+
+tensor::Tensor BowCorpus::NormalizedBatch(
+    const std::vector<int>& indices) const {
+  tensor::Tensor batch = DenseBatch(indices);
+  for (int64_t r = 0; r < batch.rows(); ++r) {
+    float* row = batch.row(r);
+    double sum = 0.0;
+    for (int64_t c = 0; c < batch.cols(); ++c) sum += row[c];
+    if (sum <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < batch.cols(); ++c) row[c] *= inv;
+  }
+  return batch;
+}
+
+std::vector<int> BowCorpus::DocumentFrequencies() const {
+  std::vector<int> df(vocab_size(), 0);
+  for (const auto& d : docs_) {
+    for (const auto& e : d.entries) ++df[e.word_id];
+  }
+  return df;
+}
+
+tensor::Tensor BowCorpus::TfIdfBatch(const std::vector<int>& indices,
+                                     const std::vector<int>& doc_freq) const {
+  CHECK_EQ(static_cast<int>(doc_freq.size()), vocab_size());
+  tensor::Tensor batch(static_cast<int64_t>(indices.size()), vocab_size());
+  const double n_docs = std::max(1, num_docs());
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const Document& d = docs_[indices[r]];
+    const double total = std::max(1, d.TotalTokens());
+    float* row = batch.row(static_cast<int64_t>(r));
+    for (const auto& e : d.entries) {
+      const double tf = e.count / total;
+      const double idf = std::log((1.0 + n_docs) / (1.0 + doc_freq[e.word_id]));
+      row[e.word_id] = static_cast<float>(tf * idf);
+    }
+  }
+  return batch;
+}
+
+std::vector<int> BowCorpus::Labels(const std::vector<int>& indices) const {
+  std::vector<int> labels(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int label = docs_[indices[i]].label;
+    CHECK_GE(label, 0) << "document " << indices[i] << " is unlabeled";
+    labels[i] = label;
+  }
+  return labels;
+}
+
+TrainTestSplit SplitCorpus(const BowCorpus& corpus, double train_fraction,
+                           util::Rng& rng) {
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_LT(train_fraction, 1.0);
+  std::vector<int> order(corpus.num_docs());
+  for (int i = 0; i < corpus.num_docs(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const int n_train = static_cast<int>(corpus.num_docs() * train_fraction);
+  std::vector<Document> train_docs;
+  std::vector<Document> test_docs;
+  train_docs.reserve(n_train);
+  test_docs.reserve(corpus.num_docs() - n_train);
+  for (int i = 0; i < corpus.num_docs(); ++i) {
+    if (i < n_train) {
+      train_docs.push_back(corpus.doc(order[i]));
+    } else {
+      test_docs.push_back(corpus.doc(order[i]));
+    }
+  }
+  return {BowCorpus(corpus.vocab(), std::move(train_docs), corpus.label_names()),
+          BowCorpus(corpus.vocab(), std::move(test_docs), corpus.label_names())};
+}
+
+BatchIterator::BatchIterator(int num_docs, int batch_size, util::Rng& rng)
+    : num_docs_(num_docs),
+      batch_size_(std::min(batch_size, num_docs)),
+      rng_(&rng),
+      order_(num_docs) {
+  CHECK_GT(num_docs, 0);
+  CHECK_GT(batch_size, 0);
+  for (int i = 0; i < num_docs; ++i) order_[i] = i;
+  rng_->Shuffle(order_);
+}
+
+std::vector<int> BatchIterator::Next() {
+  if (cursor_ + batch_size_ > num_docs_) {
+    rng_->Shuffle(order_);
+    cursor_ = 0;
+  }
+  std::vector<int> batch(order_.begin() + cursor_,
+                         order_.begin() + cursor_ + batch_size_);
+  cursor_ += batch_size_;
+  return batch;
+}
+
+int BatchIterator::batches_per_epoch() const {
+  return std::max(1, num_docs_ / batch_size_);
+}
+
+}  // namespace text
+}  // namespace contratopic

@@ -1,0 +1,112 @@
+#ifndef CONTRATOPIC_TEXT_CORPUS_H_
+#define CONTRATOPIC_TEXT_CORPUS_H_
+
+// Sparse bag-of-words corpus representation shared by every topic model.
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace text {
+
+// One (word_id, count) entry of a document.
+struct BowEntry {
+  int word_id;
+  int count;
+};
+
+struct Document {
+  std::vector<BowEntry> entries;
+  int label = -1;  // Ground-truth class (dominant theme); -1 if unlabeled.
+
+  int TotalTokens() const {
+    int total = 0;
+    for (const auto& e : entries) total += e.count;
+    return total;
+  }
+  int NumUniqueWords() const { return static_cast<int>(entries.size()); }
+};
+
+class BowCorpus {
+ public:
+  BowCorpus() = default;
+  BowCorpus(Vocabulary vocab, std::vector<Document> docs,
+            std::vector<std::string> label_names = {})
+      : vocab_(std::move(vocab)),
+        docs_(std::move(docs)),
+        label_names_(std::move(label_names)) {}
+
+  int num_docs() const { return static_cast<int>(docs_.size()); }
+  int vocab_size() const { return vocab_.size(); }
+  int num_labels() const { return static_cast<int>(label_names_.size()); }
+
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary& mutable_vocab() { return vocab_; }
+  const std::vector<Document>& docs() const { return docs_; }
+  const Document& doc(int i) const {
+    CHECK_GE(i, 0);
+    CHECK_LT(i, num_docs());
+    return docs_[i];
+  }
+  std::vector<Document>& mutable_docs() { return docs_; }
+  const std::vector<std::string>& label_names() const { return label_names_; }
+
+  int64_t TotalTokens() const;
+  double AverageDocLength() const;
+
+  // True if every document carries a non-negative label.
+  bool HasLabels() const;
+
+  // Dense (len(indices) x V) count matrix for the given documents.
+  tensor::Tensor DenseBatch(const std::vector<int>& indices) const;
+  // Same, but each row normalized to sum 1 (empty docs left as zero).
+  tensor::Tensor NormalizedBatch(const std::vector<int>& indices) const;
+  // Per-word document frequency (number of docs containing each word).
+  std::vector<int> DocumentFrequencies() const;
+  // tf-idf matrix for the given documents (used by CLNTM's augmentations).
+  tensor::Tensor TfIdfBatch(const std::vector<int>& indices,
+                            const std::vector<int>& doc_freq) const;
+
+  // Labels of the given documents (CHECK-fails if unlabeled).
+  std::vector<int> Labels(const std::vector<int>& indices) const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+  std::vector<std::string> label_names_;
+};
+
+// Deterministic shuffled split of `corpus` into train/test by fraction.
+struct TrainTestSplit {
+  BowCorpus train;
+  BowCorpus test;
+};
+TrainTestSplit SplitCorpus(const BowCorpus& corpus, double train_fraction,
+                           util::Rng& rng);
+
+// Shuffled minibatch index iterator.
+class BatchIterator {
+ public:
+  BatchIterator(int num_docs, int batch_size, util::Rng& rng);
+
+  // Returns the next batch of document indices; reshuffles each epoch.
+  std::vector<int> Next();
+
+  int batches_per_epoch() const;
+
+ private:
+  int num_docs_;
+  int batch_size_;
+  util::Rng* rng_;
+  std::vector<int> order_;
+  int cursor_ = 0;
+};
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_CORPUS_H_

@@ -1,0 +1,124 @@
+#include "text/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace text {
+
+DynamicDataset GenerateDynamic(const DynamicConfig& config) {
+  CHECK_GT(config.num_slices, 0);
+  CHECK_GT(config.docs_per_slice, 0);
+  util::Rng rng(config.seed);
+
+  const int num_themes = config.base.num_themes;
+  const std::vector<Theme> themes =
+      MakeThemes(num_themes, config.base.words_per_theme);
+
+  // Popularity random walk in log space, renormalized per slice.
+  std::vector<double> log_pop(num_themes, 0.0);
+  DynamicDataset dataset;
+  dataset.popularity.resize(config.num_slices);
+
+  // Generate token documents slice by slice, tagging each with its slice.
+  std::vector<std::vector<std::string>> all_docs;
+  std::vector<int> all_labels;
+  std::vector<int> all_slices;
+  for (int s = 0; s < config.num_slices; ++s) {
+    for (auto& lp : log_pop) lp += rng.Normal(0.0, config.drift);
+    std::vector<double> pop(num_themes);
+    double max_lp = *std::max_element(log_pop.begin(), log_pop.end());
+    double total = 0.0;
+    for (int t = 0; t < num_themes; ++t) {
+      pop[t] = std::exp(log_pop[t] - max_lp);
+      total += pop[t];
+    }
+    for (auto& p : pop) p /= total;
+    dataset.popularity[s] = pop;
+
+    SyntheticConfig slice_config = config.base;
+    slice_config.num_docs = config.docs_per_slice;
+    for (int d = 0; d < config.docs_per_slice; ++d) {
+      // Theme mixture: Dirichlet weighted by the slice popularity.
+      std::vector<double> alpha(num_themes);
+      for (int t = 0; t < num_themes; ++t) {
+        alpha[t] = std::max(1e-4, slice_config.theme_alpha * num_themes *
+                                      pop[t]);
+      }
+      const std::vector<double> theta = rng.Dirichlet(alpha);
+      const int length = std::max(
+          3, static_cast<int>(rng.Normal(slice_config.avg_doc_length,
+                                         std::sqrt(slice_config.avg_doc_length))));
+      std::vector<std::string> tokens;
+      std::vector<int> theme_counts(num_themes, 0);
+      for (int i = 0; i < length; ++i) {
+        const double u = rng.Uniform();
+        if (u < slice_config.noise_rate) {
+          tokens.push_back(util::StrFormat(
+              "bg_word%03d",
+              static_cast<int>(rng.UniformInt(
+                  slice_config.num_background_words))));
+        } else {
+          const int z = rng.Categorical(theta);
+          ++theme_counts[z];
+          const int w = static_cast<int>(
+              rng.UniformInt(slice_config.words_per_theme));
+          tokens.push_back(themes[z].words[w]);
+        }
+      }
+      int label = 0;
+      for (int t = 1; t < num_themes; ++t) {
+        if (theme_counts[t] > theme_counts[label]) label = t;
+      }
+      all_docs.push_back(std::move(tokens));
+      all_labels.push_back(label);
+      all_slices.push_back(s);
+    }
+  }
+
+  for (const auto& t : themes) dataset.theme_names.push_back(t.name);
+
+  // One vocabulary over the whole stream, then split back into slices.
+  BowCorpus full = PreprocessTokenized(all_docs, all_labels,
+                                       config.base.preprocess,
+                                       dataset.theme_names);
+  dataset.vocab = full.vocab();
+
+  // PreprocessTokenized may drop short documents, so re-map by replaying
+  // the same pipeline per document: simpler and robust -- build slices
+  // directly from the token lists using the shared vocabulary.
+  dataset.slices.assign(config.num_slices, BowCorpus());
+  std::vector<std::vector<Document>> slice_docs(config.num_slices);
+  for (size_t i = 0; i < all_docs.size(); ++i) {
+    std::unordered_map<int, int> counts;
+    for (const auto& token : all_docs[i]) {
+      const int id = dataset.vocab.GetId(token);
+      if (id >= 0) ++counts[id];
+    }
+    if (static_cast<int>(counts.size()) <
+        config.base.preprocess.min_doc_length) {
+      continue;
+    }
+    Document d;
+    d.label = all_labels[i];
+    for (const auto& [id, count] : counts) d.entries.push_back({id, count});
+    std::sort(d.entries.begin(), d.entries.end(),
+              [](const BowEntry& a, const BowEntry& b) {
+                return a.word_id < b.word_id;
+              });
+    slice_docs[all_slices[i]].push_back(std::move(d));
+  }
+  for (int s = 0; s < config.num_slices; ++s) {
+    dataset.slices[s] = BowCorpus(dataset.vocab, std::move(slice_docs[s]),
+                                  dataset.theme_names);
+  }
+  return dataset;
+}
+
+}  // namespace text
+}  // namespace contratopic

@@ -1,0 +1,43 @@
+#ifndef CONTRATOPIC_TEXT_DYNAMIC_H_
+#define CONTRATOPIC_TEXT_DYNAMIC_H_
+
+// Time-sliced corpus generator for the online topic-modeling extension
+// (paper §VI future work, citing AlSumait et al. 2008 / Lau et al. 2012).
+// Documents arrive in slices; theme *popularity* drifts between slices via
+// a log-space random walk, so early slices are dominated by different
+// themes than late ones. All slices share one vocabulary (built over the
+// full stream), which lets a single model be trained incrementally.
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/synthetic.h"
+
+namespace contratopic {
+namespace text {
+
+struct DynamicConfig {
+  SyntheticConfig base;        // per-slice generative knobs
+  int num_slices = 5;
+  int docs_per_slice = 800;
+  // Stddev of the per-slice log-popularity random walk; 0 = static stream.
+  double drift = 0.8;
+  uint64_t seed = 97;
+};
+
+struct DynamicDataset {
+  std::vector<BowCorpus> slices;       // chronological
+  Vocabulary vocab;                    // shared
+  std::vector<std::string> theme_names;
+  // Per-slice theme popularity used by the generator (num_slices x themes);
+  // ground truth for trend-detection evaluations.
+  std::vector<std::vector<double>> popularity;
+};
+
+DynamicDataset GenerateDynamic(const DynamicConfig& config);
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_DYNAMIC_H_

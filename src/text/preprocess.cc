@@ -1,0 +1,140 @@
+#include "text/preprocess.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace text {
+namespace {
+
+const std::unordered_set<std::string>& StopWords() {
+  // Never destroyed (static-destruction safety).
+  static const auto* words = new std::unordered_set<std::string>({
+      "a",     "about",  "above",  "after",   "again",   "against", "all",
+      "am",    "an",     "and",    "any",     "are",     "as",      "at",
+      "be",    "because", "been",  "before",  "being",   "below",   "between",
+      "both",  "but",    "by",     "can",     "cannot",  "could",   "did",
+      "do",    "does",   "doing",  "down",    "during",  "each",    "few",
+      "for",   "from",   "further", "had",    "has",     "have",    "having",
+      "he",    "her",    "here",   "hers",    "herself", "him",     "himself",
+      "his",   "how",    "i",      "if",      "in",      "into",    "is",
+      "it",    "its",    "itself", "just",    "me",      "more",    "most",
+      "my",    "myself", "no",     "nor",     "not",     "now",     "of",
+      "off",   "on",     "once",   "only",    "or",      "other",   "our",
+      "ours",  "ourselves", "out", "over",    "own",     "same",    "she",
+      "should", "so",    "some",   "such",    "than",    "that",    "the",
+      "their", "theirs", "them",   "themselves", "then", "there",   "these",
+      "they",  "this",   "those",  "through", "to",      "too",     "under",
+      "until", "up",     "very",   "was",     "we",      "were",    "what",
+      "when",  "where",  "which",  "while",   "who",     "whom",    "why",
+      "will",  "with",   "would",  "you",     "your",    "yours",   "yourself",
+      "yourselves", "also", "may", "one",     "two",     "like",    "said",
+      "says",  "get",    "got",    "much",    "many",    "even",    "well",
+  });
+  return *words;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(const std::string& text, bool lowercase) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c) || raw == '_') {
+      current.push_back(
+          lowercase ? static_cast<char>(std::tolower(c)) : raw);
+    } else if (std::isdigit(c) && !current.empty()) {
+      // Keep digits inside identifiers like "mp3"/"w10".
+      current.push_back(raw);
+    } else if (!current.empty()) {
+      if (current.size() > 1) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() > 1) tokens.push_back(current);
+  return tokens;
+}
+
+bool IsStopWord(const std::string& word) {
+  return StopWords().count(word) > 0;
+}
+
+BowCorpus PreprocessTokenized(
+    const std::vector<std::vector<std::string>>& docs,
+    const std::vector<int>& labels, const PreprocessOptions& options,
+    std::vector<std::string> label_names) {
+  CHECK(labels.empty() || labels.size() == docs.size());
+
+  // Pass 1: document frequencies over non-stop-word tokens.
+  std::unordered_map<std::string, int> doc_freq;
+  for (const auto& doc : docs) {
+    std::unordered_set<std::string> seen;
+    for (const auto& token : doc) {
+      if (options.remove_stop_words && IsStopWord(token)) continue;
+      if (seen.insert(token).second) ++doc_freq[token];
+    }
+  }
+
+  // Decide the kept vocabulary. Iterate in sorted order for determinism.
+  const int max_df =
+      static_cast<int>(options.max_doc_frequency_fraction * docs.size());
+  std::map<std::string, int> sorted_df(doc_freq.begin(), doc_freq.end());
+  Vocabulary vocab;
+  for (const auto& [word, df] : sorted_df) {
+    if (df < options.min_doc_frequency) continue;
+    if (df > max_df) continue;
+    vocab.AddWord(word);
+  }
+
+  // Pass 2: build documents, dropping ones that became too short.
+  std::vector<Document> out_docs;
+  out_docs.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    std::unordered_map<int, int> counts;
+    for (const auto& token : docs[i]) {
+      const int id = vocab.GetId(token);
+      if (id >= 0) ++counts[id];
+    }
+    Document d;
+    d.label = labels.empty() ? -1 : labels[i];
+    int total = 0;
+    d.entries.reserve(counts.size());
+    for (const auto& [id, count] : counts) {
+      d.entries.push_back({id, count});
+      total += count;
+    }
+    if (total < options.min_doc_length) continue;
+    std::sort(d.entries.begin(), d.entries.end(),
+              [](const BowEntry& a, const BowEntry& b) {
+                return a.word_id < b.word_id;
+              });
+    out_docs.push_back(std::move(d));
+  }
+  return BowCorpus(std::move(vocab), std::move(out_docs),
+                   std::move(label_names));
+}
+
+BowCorpus Preprocess(const std::vector<RawDocument>& raw_docs,
+                     const PreprocessOptions& options,
+                     std::vector<std::string> label_names) {
+  std::vector<std::vector<std::string>> tokenized;
+  std::vector<int> labels;
+  tokenized.reserve(raw_docs.size());
+  labels.reserve(raw_docs.size());
+  for (const auto& raw : raw_docs) {
+    tokenized.push_back(Tokenize(raw.text, options.lowercase));
+    labels.push_back(raw.label);
+  }
+  return PreprocessTokenized(tokenized, labels, options,
+                             std::move(label_names));
+}
+
+}  // namespace text
+}  // namespace contratopic

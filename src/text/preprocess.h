@@ -1,0 +1,59 @@
+#ifndef CONTRATOPIC_TEXT_PREPROCESS_H_
+#define CONTRATOPIC_TEXT_PREPROCESS_H_
+
+// Corpus preprocessing mirroring the paper (§V.A): tokenize, lower-case,
+// drop stop words, drop words with document frequency above a fraction or
+// below an absolute count, drop documents shorter than a minimum length.
+
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace contratopic {
+namespace text {
+
+struct PreprocessOptions {
+  // Words appearing in more than this fraction of documents are removed
+  // (the paper uses 0.70).
+  double max_doc_frequency_fraction = 0.70;
+  // Words appearing in fewer than this many documents are removed
+  // (the paper uses "around 100", scaled here).
+  int min_doc_frequency = 5;
+  // Documents with fewer than this many remaining tokens are removed
+  // (the paper removes documents shorter than 2 words).
+  int min_doc_length = 2;
+  bool remove_stop_words = true;
+  bool lowercase = true;
+};
+
+// A raw document: whitespace-joined text plus optional label.
+struct RawDocument {
+  std::string text;
+  int label = -1;
+};
+
+// Splits text into lower-cased alphabetic tokens (digits and punctuation
+// are separators; single-character tokens are dropped).
+std::vector<std::string> Tokenize(const std::string& text, bool lowercase);
+
+// True if `word` is in the built-in English stop-word list.
+bool IsStopWord(const std::string& word);
+
+// Full pipeline: tokenize -> stop words -> document-frequency filters ->
+// short-document filter -> bag-of-words with a fresh vocabulary.
+BowCorpus Preprocess(const std::vector<RawDocument>& raw_docs,
+                     const PreprocessOptions& options,
+                     std::vector<std::string> label_names = {});
+
+// Variant starting from pre-tokenized documents (used by the synthetic
+// generator, which produces tokens directly).
+BowCorpus PreprocessTokenized(
+    const std::vector<std::vector<std::string>>& docs,
+    const std::vector<int>& labels, const PreprocessOptions& options,
+    std::vector<std::string> label_names = {});
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_PREPROCESS_H_

@@ -1,0 +1,256 @@
+#include "text/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace text {
+namespace {
+
+// Zipf weights over `n` ranks: w_r = 1 / (r+1)^s.
+std::vector<double> ZipfWeights(int n, double s) {
+  std::vector<double> w(n);
+  for (int r = 0; r < n; ++r) w[r] = 1.0 / std::pow(r + 1.0, s);
+  return w;
+}
+
+// Poisson draw; Knuth's method is fine for the lambdas used here (< 500).
+int Poisson(double lambda, util::Rng& rng) {
+  CHECK_GT(lambda, 0.0);
+  if (lambda > 400.0) {
+    // Normal approximation for large means.
+    return std::max(1, static_cast<int>(std::lround(
+                           rng.Normal(lambda, std::sqrt(lambda)))));
+  }
+  const double limit = std::exp(-lambda);
+  double product = rng.Uniform();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.Uniform();
+  }
+  return count;
+}
+
+const char* const kInjectedStopWords[] = {"the", "and", "of",  "to",  "in",
+                                          "that", "is", "was", "for", "with"};
+
+}  // namespace
+
+SyntheticConfig Preset20NG(double scale) {
+  SyntheticConfig config;
+  config.name = "20ng-sim";
+  config.num_themes = 30;
+  config.words_per_theme = 40;
+  config.num_background_words = 240;
+  config.num_docs = static_cast<int>(4000 * scale);
+  config.avg_doc_length = 60.0;
+  config.theme_alpha = 0.08;
+  config.noise_rate = 0.25;
+  config.seed = 20;
+  config.preprocess.min_doc_frequency = 5;
+  return config;
+}
+
+SyntheticConfig PresetYahoo(double scale) {
+  SyntheticConfig config;
+  config.name = "yahoo-sim";
+  config.num_themes = 34;
+  config.words_per_theme = 44;
+  config.num_background_words = 300;
+  config.num_docs = static_cast<int>(5600 * scale);
+  config.avg_doc_length = 46.0;
+  config.theme_alpha = 0.06;
+  config.noise_rate = 0.22;
+  config.seed = 46;
+  config.preprocess.min_doc_frequency = 5;
+  return config;
+}
+
+SyntheticConfig PresetNYTimes(double scale) {
+  SyntheticConfig config;
+  config.name = "nytimes-sim";
+  config.num_themes = 40;
+  config.words_per_theme = 56;
+  config.num_background_words = 420;
+  config.num_docs = static_cast<int>(6400 * scale);
+  config.avg_doc_length = 100.0;
+  config.theme_alpha = 0.10;
+  config.noise_rate = 0.28;
+  config.seed = 345;
+  config.preprocess.min_doc_frequency = 6;
+  return config;
+}
+
+SyntheticConfig PresetByName(const std::string& name, double scale) {
+  if (name == "20ng-sim" || name == "20ng") return Preset20NG(scale);
+  if (name == "yahoo-sim" || name == "yahoo") return PresetYahoo(scale);
+  if (name == "nytimes-sim" || name == "nytimes") return PresetNYTimes(scale);
+  LOG(FATAL) << "unknown dataset preset: " << name;
+  return {};
+}
+
+std::vector<std::string> AllPresetNames() {
+  return {"20ng-sim", "yahoo-sim", "nytimes-sim"};
+}
+
+namespace {
+
+// Runs the theme-mixture generative process; fills `docs` and `labels`.
+void GenerateRawTokens(const SyntheticConfig& config, util::Rng& rng,
+                       std::vector<std::vector<std::string>>* docs,
+                       std::vector<int>* labels) {
+  std::vector<Theme> themes =
+      MakeThemes(config.num_themes, config.words_per_theme);
+  const std::vector<double> theme_word_weights =
+      ZipfWeights(config.words_per_theme, config.zipf_exponent);
+  const std::vector<double> background_weights =
+      ZipfWeights(config.num_background_words, config.zipf_exponent);
+
+  std::vector<std::string> background_words(config.num_background_words);
+  for (int i = 0; i < config.num_background_words; ++i) {
+    background_words[i] = util::StrFormat("bg_word%03d", i);
+  }
+
+  docs->reserve(config.num_docs);
+  labels->reserve(config.num_docs);
+  constexpr int kNumInjectedStopWords =
+      sizeof(kInjectedStopWords) / sizeof(kInjectedStopWords[0]);
+
+  for (int d = 0; d < config.num_docs; ++d) {
+    const std::vector<double> theta =
+        rng.Dirichlet(config.theme_alpha, config.num_themes);
+    const int length = std::max(3, Poisson(config.avg_doc_length, rng));
+
+    std::vector<std::string> tokens;
+    tokens.reserve(length);
+    std::vector<int> theme_counts(config.num_themes, 0);
+    for (int t = 0; t < length; ++t) {
+      const double u = rng.Uniform();
+      if (u < config.stopword_rate) {
+        tokens.push_back(
+            kInjectedStopWords[rng.UniformInt(kNumInjectedStopWords)]);
+      } else if (u < config.stopword_rate + config.noise_rate) {
+        tokens.push_back(background_words[rng.Categorical(background_weights)]);
+      } else {
+        const int z = rng.Categorical(theta);
+        ++theme_counts[z];
+        const int w = rng.Categorical(theme_word_weights);
+        if (rng.Uniform() < config.theme_overlap) {
+          // Borrow the same-rank word from one of the two neighboring
+          // themes: related topics share vocabulary.
+          const int offset = 1 + static_cast<int>(rng.UniformInt(2));
+          const int neighbor = (z + offset) % config.num_themes;
+          tokens.push_back(themes[neighbor].words[w]);
+        } else {
+          tokens.push_back(themes[z].words[w]);
+        }
+      }
+    }
+    // Label: the theme that actually generated the most tokens (falls back
+    // to argmax theta when no theme token was drawn).
+    int label = 0;
+    int best = -1;
+    for (int k = 0; k < config.num_themes; ++k) {
+      if (theme_counts[k] > best) {
+        best = theme_counts[k];
+        label = k;
+      }
+    }
+    if (best == 0) {
+      double best_theta = -1.0;
+      for (int k = 0; k < config.num_themes; ++k) {
+        if (theta[k] > best_theta) {
+          best_theta = theta[k];
+          label = k;
+        }
+      }
+    }
+    docs->push_back(std::move(tokens));
+    labels->push_back(label);
+  }
+}
+
+}  // namespace
+
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config) {
+  CHECK_GT(config.num_docs, 0);
+  util::Rng rng(config.seed);
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int> labels;
+  GenerateRawTokens(config, rng, &docs, &labels);
+
+  std::vector<std::string> theme_names;
+  for (const auto& t : MakeThemes(config.num_themes, config.words_per_theme)) {
+    theme_names.push_back(t.name);
+  }
+
+  BowCorpus full =
+      PreprocessTokenized(docs, labels, config.preprocess, theme_names);
+  util::Rng split_rng(config.seed ^ 0xABCDEF);
+  TrainTestSplit split = SplitCorpus(full, config.train_fraction, split_rng);
+
+  SyntheticDataset dataset;
+  dataset.name = config.name;
+  dataset.train = std::move(split.train);
+  dataset.test = std::move(split.test);
+  dataset.theme_names = std::move(theme_names);
+  return dataset;
+}
+
+BowCorpus GenerateReferenceCorpus(const SyntheticConfig& config,
+                                  const Vocabulary& target_vocab) {
+  SyntheticConfig reference = config;
+  reference.seed = config.seed ^ 0x5EEDull;
+  // Noisier, flatter mixtures: generic text rather than the evaluation
+  // corpus itself.
+  reference.noise_rate = std::min(0.6, config.noise_rate + 0.15);
+  reference.theme_alpha = config.theme_alpha * 2.5;
+
+  util::Rng rng(reference.seed);
+  std::vector<std::vector<std::string>> docs;
+  std::vector<int> labels;
+  GenerateRawTokens(reference, rng, &docs, &labels);
+
+  // Map tokens onto the target vocabulary (unknown words are dropped).
+  std::vector<Document> out_docs;
+  out_docs.reserve(docs.size());
+  for (const auto& tokens : docs) {
+    std::unordered_map<int, int> counts;
+    for (const auto& token : tokens) {
+      const int id = target_vocab.GetId(token);
+      if (id >= 0) ++counts[id];
+    }
+    if (counts.size() < 2) continue;
+    Document d;
+    d.entries.reserve(counts.size());
+    for (const auto& [id, count] : counts) d.entries.push_back({id, count});
+    std::sort(d.entries.begin(), d.entries.end(),
+              [](const BowEntry& a, const BowEntry& b) {
+                return a.word_id < b.word_id;
+              });
+    out_docs.push_back(std::move(d));
+  }
+  return BowCorpus(target_vocab, std::move(out_docs));
+}
+
+CorpusStats ComputeStats(const SyntheticDataset& dataset) {
+  CorpusStats stats;
+  stats.vocab_size = dataset.train.vocab_size();
+  stats.train_samples = dataset.train.num_docs();
+  stats.test_samples = dataset.test.num_docs();
+  const int64_t total =
+      dataset.train.TotalTokens() + dataset.test.TotalTokens();
+  stats.num_tokens = total;
+  const int n_docs = dataset.train.num_docs() + dataset.test.num_docs();
+  stats.average_length =
+      n_docs > 0 ? static_cast<double>(total) / n_docs : 0.0;
+  return stats;
+}
+
+}  // namespace text
+}  // namespace contratopic

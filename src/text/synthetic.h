@@ -1,0 +1,92 @@
+#ifndef CONTRATOPIC_TEXT_SYNTHETIC_H_
+#define CONTRATOPIC_TEXT_SYNTHETIC_H_
+
+// Synthetic theme-structured corpus generator. Stands in for the paper's
+// 20NG / Yahoo / NYTimes corpora (see DESIGN.md §2): documents are drawn
+// from an LDA-style generative process over a library of word themes, so
+// the corpora carry the co-occurrence structure (within-theme NPMI high,
+// cross-theme NPMI ~0) that every evaluated metric depends on. Ground-truth
+// document labels (the dominant theme) replace the 20NG/Yahoo class labels
+// used for clustering evaluation.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/preprocess.h"
+#include "text/themes.h"
+
+namespace contratopic {
+namespace text {
+
+struct SyntheticConfig {
+  std::string name = "synthetic";
+  int num_themes = 20;
+  int words_per_theme = 40;
+  int num_background_words = 240;  // Zipf-distributed words shared by all docs.
+  int num_docs = 4000;
+  double train_fraction = 0.6;
+  double avg_doc_length = 60.0;
+  // Sparse document-theme prior: small alpha => 1-3 dominant themes/doc.
+  double theme_alpha = 0.08;
+  // Probability a token is drawn from the background distribution.
+  double noise_rate = 0.25;
+  // Probability a theme token is borrowed from a *neighboring* theme.
+  // Real topics share vocabulary; overlap produces the mixed/duplicated
+  // topics that the paper's baselines exhibit on 20NG/Yahoo/NYTimes.
+  double theme_overlap = 0.2;
+  // Probability a token is an injected stop word (removed by preprocessing;
+  // exercises the full pipeline end to end).
+  double stopword_rate = 0.08;
+  // Zipf exponent for within-theme and background word distributions.
+  double zipf_exponent = 1.05;
+  uint64_t seed = 17;
+  PreprocessOptions preprocess;
+};
+
+struct SyntheticDataset {
+  std::string name;
+  BowCorpus train;
+  BowCorpus test;
+  std::vector<std::string> theme_names;
+};
+
+// Dataset presets mirroring the relative statistics of the paper's Table I
+// at CPU scale. `scale` multiplies document counts (1.0 = default size).
+SyntheticConfig Preset20NG(double scale = 1.0);
+SyntheticConfig PresetYahoo(double scale = 1.0);
+SyntheticConfig PresetNYTimes(double scale = 1.0);
+// Accepts "20ng-sim", "yahoo-sim", "nytimes-sim".
+SyntheticConfig PresetByName(const std::string& name, double scale = 1.0);
+// All three preset names, in paper order.
+std::vector<std::string> AllPresetNames();
+
+// Runs the generative process, then the real preprocessing pipeline, then
+// the train/test split.
+SyntheticDataset GenerateSynthetic(const SyntheticConfig& config);
+
+// A *reference* corpus for training word embeddings: same theme library
+// (so word clusters match), but different seed, noisier mixing, and mapped
+// onto `target_vocab`. This mirrors the paper's use of GloVe vectors
+// pretrained on Wikipedia rather than on the evaluation corpus itself --
+// embeddings carry generic semantic structure, while corpus-specific
+// co-occurrence (the NPMI kernel) stays exclusive to ContraTopic.
+BowCorpus GenerateReferenceCorpus(const SyntheticConfig& config,
+                                  const Vocabulary& target_vocab);
+
+// Corpus statistics row (Table I): vocab size, #train, #test, avg length,
+// total tokens.
+struct CorpusStats {
+  int vocab_size;
+  int train_samples;
+  int test_samples;
+  double average_length;
+  int64_t num_tokens;
+};
+CorpusStats ComputeStats(const SyntheticDataset& dataset);
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_SYNTHETIC_H_

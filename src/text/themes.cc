@@ -1,0 +1,165 @@
+#include "text/themes.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace text {
+
+const std::vector<Theme>& CuratedThemes() {
+  // Never destroyed (static-destruction safety).
+  static const auto* themes = new std::vector<Theme>({
+      {"space",
+       {"space", "nasa", "launch", "orbit", "earth", "satellite", "lunar",
+        "shuttle", "moon", "rocket", "astronaut", "mission", "spacecraft",
+        "mars", "telescope", "gravity"}},
+      {"medicine",
+       {"patients", "health", "medical", "disease", "cancer", "drug",
+        "study", "drugs", "symptoms", "treatment", "doctor", "blood",
+        "pain", "diagnosis", "clinical", "therapy"}},
+      {"religion",
+       {"god", "jesus", "bible", "church", "christian", "faith", "christ",
+        "christians", "holy", "heaven", "scripture", "prayer", "belief",
+        "worship", "gospel", "sin"}},
+      {"mideast",
+       {"israel", "jews", "israeli", "war", "jewish", "arab", "palestinian",
+        "arafat", "peace", "jerusalem", "land", "conflict", "territory",
+        "gaza", "borders", "settlement"}},
+      {"armenia",
+       {"armenian", "armenians", "turkish", "turkey", "genocide",
+        "azerbaijan", "turks", "ottoman", "greek", "massacre", "soviet",
+        "caucasus", "refugees", "empire", "village", "deportation"}},
+      {"graphics",
+       {"image", "graphics", "images", "jpeg", "color", "gif", "format",
+        "picture", "pixel", "rendering", "bitmap", "resolution", "display",
+        "animation", "texture", "vector"}},
+      {"hardware",
+       {"drive", "scsi", "disk", "hard", "controller", "drives", "bus",
+        "floppy", "motherboard", "ram", "processor", "cpu", "card",
+        "memory", "chipset", "firmware"}},
+      {"encryption",
+       {"key", "encryption", "chip", "keys", "clipper", "security",
+        "privacy", "crypto", "cipher", "escrow", "algorithm", "secure",
+        "wiretap", "nsa", "decrypt", "secret"}},
+      {"hockey",
+       {"game", "team", "hockey", "season", "league", "players", "goal",
+        "playoff", "nhl", "coach", "rangers", "detroit", "score", "puck",
+        "ice", "defenseman"}},
+      {"baseball",
+       {"baseball", "pitcher", "inning", "hit", "runs", "bat", "league",
+        "braves", "yankees", "dodgers", "catcher", "homer", "bullpen",
+        "outfield", "shortstop", "slugger"}},
+      {"autos",
+       {"car", "engine", "cars", "dealer", "ford", "honda", "toyota",
+        "brakes", "tires", "mileage", "transmission", "sedan", "driving",
+        "fuel", "motor", "wheel"}},
+      {"guns",
+       {"gun", "guns", "firearms", "weapon", "weapons", "amendment",
+        "rifle", "pistol", "ammunition", "hunting", "shooting", "crime",
+        "police", "violence", "permit", "holster"}},
+      {"cooking",
+       {"cup", "add", "salt", "sugar", "butter", "cream", "minutes", "oil",
+        "sauce", "pepper", "garlic", "cheese", "flour", "recipe", "bake",
+        "chicken"}},
+      {"baking",
+       {"preheat", "oven", "dough", "chocolate", "baking", "vanilla",
+        "frosting", "cookies", "cake", "yeast", "whisk", "batter", "grated",
+        "parmesan", "mozzarella", "saute"}},
+      {"diet",
+       {"weight", "body", "fat", "lose", "eat", "healthy", "diet",
+        "exercise", "calories", "protein", "nutrition", "meals", "fitness",
+        "muscle", "vitamins", "carbs"}},
+      {"pets",
+       {"dog", "dogs", "cat", "vet", "puppy", "cats", "animals", "pet",
+        "feed", "kitten", "breed", "leash", "litter", "groom", "paws",
+        "adopt"}},
+      {"mobile",
+       {"phone", "number", "send", "email", "mail", "cell", "plan",
+        "service", "text", "carrier", "sim", "prepaid", "roaming",
+        "voicemail", "messaging", "contract"}},
+      {"music",
+       {"ipod", "music", "song", "itunes", "album", "band", "guitar",
+        "concert", "lyrics", "playlist", "singer", "melody", "drums",
+        "chorus", "vinyl", "tour"}},
+      {"gaming",
+       {"pokemon", "game", "xbox", "nintendo", "playstation", "console",
+        "diamond", "pearl", "battle", "trade", "level", "quest", "player",
+        "multiplayer", "controller", "arcade"}},
+      {"computing",
+       {"laptop", "pc", "card", "memory", "graphics", "ram", "mb",
+        "processor", "pentium", "mhz", "nvidia", "ghz", "intel", "geforce",
+        "desktop", "cooling"}},
+      {"video",
+       {"video", "dvd", "download", "format", "convert", "videos", "movie",
+        "player", "file", "files", "codec", "stream", "subtitles", "burn",
+        "resolution", "playback"}},
+      {"fashion",
+       {"stores", "shoes", "shirt", "outfit", "category", "aeropostale",
+        "abercrombie", "pacsun", "jeans", "dress", "brand", "style",
+        "clothing", "catalog", "mall", "wardrobe"}},
+      {"wrestling",
+       {"wwe", "cena", "batista", "wrestler", "smackdown", "raw", "match",
+        "championship", "umaga", "orton", "khali", "ring", "tag",
+        "heavyweight", "wrestlemania", "feud"}},
+      {"software",
+       {"server", "motif", "application", "widget", "export", "client",
+        "applications", "unix", "linux", "code", "compiler", "library",
+        "interface", "debug", "runtime", "script"}},
+      {"politics",
+       {"bush", "republican", "campaign", "bill", "clinton", "gore",
+        "house", "senate", "election", "votes", "congress", "democrat",
+        "governor", "candidate", "policy", "ballot"}},
+      {"russia",
+       {"russian", "russia", "soviet", "vladimir", "putin", "moscow",
+        "union", "chechnya", "kremlin", "yeltsin", "oligarch", "siberia",
+        "duma", "tsar", "ruble", "perestroika"}},
+      {"afghanistan",
+       {"taliban", "afghanistan", "laden", "afghan", "bin", "pakistan",
+        "islamic", "osama", "kabul", "terrorism", "militant", "qaeda",
+        "insurgent", "tribal", "warlord", "madrassa"}},
+      {"football",
+       {"game", "coach", "quarterback", "yard", "football", "bowl",
+        "touchdown", "defensive", "offense", "receiver", "linebacker",
+        "kickoff", "fumble", "punt", "huddle", "endzone"}},
+      {"basketball",
+       {"laker", "nba", "shaquille", "bryant", "kobe", "jackson", "court",
+        "rebound", "dunk", "playoffs", "celtics", "jordan", "dribble",
+        "backboard", "forward", "rookie"}},
+      {"economy",
+       {"economy", "trade", "market", "stocks", "inflation", "commerce",
+        "export", "imports", "tariff", "investment", "banking", "deficit",
+        "currency", "growth", "recession", "interest"}},
+  });
+  return *themes;
+}
+
+std::vector<Theme> MakeThemes(int count, int words_per_theme) {
+  CHECK_GT(count, 0);
+  CHECK_GT(words_per_theme, 0);
+  const auto& curated = CuratedThemes();
+  std::vector<Theme> themes;
+  themes.reserve(count);
+  for (int t = 0; t < count; ++t) {
+    Theme theme;
+    if (t < static_cast<int>(curated.size())) {
+      theme.name = curated[t].name;
+      theme.words = curated[t].words;
+    } else {
+      theme.name = util::StrFormat("theme%02d", t);
+    }
+    // Pad (or truncate) to the requested size with procedural words. The
+    // procedural words are unique per theme, so they only co-occur with
+    // their own theme -- exactly the structure NPMI rewards.
+    while (static_cast<int>(theme.words.size()) < words_per_theme) {
+      theme.words.push_back(util::StrFormat(
+          "%s_w%02d", theme.name.c_str(),
+          static_cast<int>(theme.words.size())));
+    }
+    theme.words.resize(words_per_theme);
+    themes.push_back(std::move(theme));
+  }
+  return themes;
+}
+
+}  // namespace text
+}  // namespace contratopic

@@ -1,0 +1,34 @@
+#ifndef CONTRATOPIC_TEXT_THEMES_H_
+#define CONTRATOPIC_TEXT_THEMES_H_
+
+// A library of human-readable word themes used to synthesize corpora with
+// realistic co-occurrence structure. The first entries mirror the topical
+// domains visible in the paper's case studies (Tables IV-VI: space,
+// medicine, religion, Middle-East politics, graphics, sports, cooking,
+// hardware, wrestling, ...). When a dataset preset needs more themes than
+// the curated list provides, additional themes are generated procedurally
+// ("themeN_wordM"), which keeps co-occurrence structure without hand data.
+
+#include <string>
+#include <vector>
+
+namespace contratopic {
+namespace text {
+
+struct Theme {
+  std::string name;                 // e.g. "space"
+  std::vector<std::string> words;   // theme vocabulary, most-central first
+};
+
+// The curated themes (30 themes, 16 words each).
+const std::vector<Theme>& CuratedThemes();
+
+// Returns `count` themes: curated first, then procedurally generated ones
+// with `words_per_theme` words each (curated themes are truncated/padded
+// procedurally to `words_per_theme`).
+std::vector<Theme> MakeThemes(int count, int words_per_theme);
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_THEMES_H_

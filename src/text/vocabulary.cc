@@ -1,0 +1,21 @@
+#include "text/vocabulary.h"
+
+namespace contratopic {
+namespace text {
+
+int Vocabulary::AddWord(const std::string& word) {
+  auto it = ids_.find(word);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(words_.size());
+  words_.push_back(word);
+  ids_.emplace(word, id);
+  return id;
+}
+
+int Vocabulary::GetId(const std::string& word) const {
+  auto it = ids_.find(word);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace text
+}  // namespace contratopic

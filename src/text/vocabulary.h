@@ -1,0 +1,45 @@
+#ifndef CONTRATOPIC_TEXT_VOCABULARY_H_
+#define CONTRATOPIC_TEXT_VOCABULARY_H_
+
+// Bidirectional word <-> id mapping.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace text {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Returns the id of `word`, adding it if absent.
+  int AddWord(const std::string& word);
+
+  // Returns the id or -1 if unknown.
+  int GetId(const std::string& word) const;
+
+  bool Contains(const std::string& word) const { return GetId(word) >= 0; }
+
+  const std::string& Word(int id) const {
+    CHECK_GE(id, 0);
+    CHECK_LT(id, static_cast<int>(words_.size()));
+    return words_[id];
+  }
+
+  int size() const { return static_cast<int>(words_.size()); }
+
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace text
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TEXT_VOCABULARY_H_

@@ -1,0 +1,44 @@
+#include "topicmodel/augment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+void BuildTfIdfViews(const tensor::Tensor& normalized,
+                     const tensor::Tensor& tfidf, float salient_fraction,
+                     tensor::Tensor* positive, tensor::Tensor* negative) {
+  CHECK(normalized.same_shape(tfidf));
+  CHECK_GT(salient_fraction, 0.0f);
+  *positive = normalized;
+  *negative = normalized;
+  for (int64_t r = 0; r < tfidf.rows(); ++r) {
+    std::vector<std::pair<float, int>> present;
+    for (int64_t c = 0; c < tfidf.cols(); ++c) {
+      if (tfidf.at(r, c) > 0.0f) {
+        present.emplace_back(tfidf.at(r, c), static_cast<int>(c));
+      }
+    }
+    if (present.empty()) continue;
+    const int salient = std::max(
+        1, static_cast<int>(salient_fraction * present.size()));
+    std::partial_sort(
+        present.begin(), present.begin() + salient, present.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<bool> is_salient(tfidf.cols(), false);
+    for (int i = 0; i < salient; ++i) is_salient[present[i].second] = true;
+    for (int64_t c = 0; c < tfidf.cols(); ++c) {
+      if (is_salient[c]) {
+        negative->at(r, c) = 0.0f;
+      } else {
+        positive->at(r, c) = 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

@@ -1,0 +1,27 @@
+#ifndef CONTRATOPIC_TOPICMODEL_AUGMENT_H_
+#define CONTRATOPIC_TOPICMODEL_AUGMENT_H_
+
+// tf-idf-guided document augmentations (Nguyen & Luu, 2021): for each
+// document the *positive* view keeps only its salient (high tf-idf) words
+// and the *negative* view removes them. Used by CLNTM's document-wise
+// contrastive term and by ContraTopic's optional multi-level objective.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+// `normalized` is the B x V input batch; `tfidf` its tf-idf weights.
+// `salient_fraction` of each document's present words (by tf-idf) count as
+// salient. Outputs have the same shape as `normalized`.
+void BuildTfIdfViews(const tensor::Tensor& normalized,
+                     const tensor::Tensor& tfidf, float salient_fraction,
+                     tensor::Tensor* positive, tensor::Tensor* negative);
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_AUGMENT_H_

@@ -1,0 +1,61 @@
+#include "topicmodel/clntm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topicmodel/augment.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+ClntmModel::ClntmModel(const TrainConfig& config,
+                       const embed::WordEmbeddings& embeddings)
+    : ClntmModel(config, embeddings, Options{}) {}
+
+ClntmModel::ClntmModel(const TrainConfig& config,
+                       const embed::WordEmbeddings& embeddings,
+                       Options options)
+    : EtmModel(config, embeddings, EtmModel::Options{}, "CLNTM"),
+      options_(options) {}
+
+void ClntmModel::Prepare(const text::BowCorpus& corpus) {
+  doc_freq_ = corpus.DocumentFrequencies();
+}
+
+void ClntmModel::BuildViews(const Batch& batch, Tensor* positive,
+                            Tensor* negative) {
+  CHECK(batch.corpus != nullptr);
+  const Tensor tfidf = batch.corpus->TfIdfBatch(batch.indices, doc_freq_);
+  BuildTfIdfViews(batch.normalized, tfidf, options_.salient_fraction,
+                  positive, negative);
+}
+
+NeuralTopicModel::BatchGraph ClntmModel::BuildBatch(const Batch& batch) {
+  ElboGraph g = BuildElbo(batch);
+
+  Tensor positive;
+  Tensor negative;
+  BuildViews(batch, &positive, &negative);
+
+  // Representations: the (deterministic) encoder mean of each view,
+  // L2-normalized; similarity = dot / temperature.
+  Var h = RowL2Normalize(g.encoded.mu);
+  Var h_pos = RowL2Normalize(
+      encoder_->Forward(Var::Constant(positive), /*sample=*/false).mu);
+  Var h_neg = RowL2Normalize(
+      encoder_->Forward(Var::Constant(negative), /*sample=*/false).mu);
+  const float inv_tau = 1.0f / options_.temperature;
+  Var s_pos = MulScalar(RowSum(Mul(h, h_pos)), inv_tau);  // B x 1
+  Var s_neg = MulScalar(RowSum(Mul(h, h_neg)), inv_tau);  // B x 1
+  // InfoNCE with one positive and one negative:
+  //   -log(e^{s+} / (e^{s+} + e^{s-})) = softplus(s- - s+).
+  Var contrast = MeanAll(Softplus(Sub(s_neg, s_pos)));
+
+  Var loss = Add(g.loss, MulScalar(contrast, options_.contrast_weight));
+  return {loss, g.beta};
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

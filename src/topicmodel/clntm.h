@@ -1,0 +1,45 @@
+#ifndef CONTRATOPIC_TOPICMODEL_CLNTM_H_
+#define CONTRATOPIC_TOPICMODEL_CLNTM_H_
+
+// CLNTM (Nguyen & Luu, 2021): ETM plus a *document-wise* contrastive term.
+// For each document, a positive view keeps its salient (high tf-idf) words
+// and a negative view removes them; an InfoNCE loss pulls the document
+// representation toward the positive and away from the negative. This is
+// the paper's principal contrastive-learning baseline -- it regularizes
+// the document-topic side and only *implicitly* shapes the topic-word
+// distribution (paper §IV.E).
+
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class ClntmModel : public EtmModel {
+ public:
+  struct Options {
+    float contrast_weight = 1.0f;
+    float temperature = 0.5f;
+    // Fraction of a document's tokens treated as salient by tf-idf.
+    float salient_fraction = 0.25f;
+  };
+
+  ClntmModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings);
+  ClntmModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings, Options options);
+
+  void Prepare(const text::BowCorpus& corpus) override;
+  BatchGraph BuildBatch(const Batch& batch) override;
+
+ private:
+  // Builds positive (salient-only) and negative (salient-removed) views.
+  void BuildViews(const Batch& batch, Tensor* positive, Tensor* negative);
+
+  Options options_;
+  std::vector<int> doc_freq_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_CLNTM_H_

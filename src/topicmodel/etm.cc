@@ -1,0 +1,76 @@
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+EtmModel::EtmModel(const TrainConfig& config,
+                   const embed::WordEmbeddings& embeddings)
+    : EtmModel(config, embeddings, Options{}, "ETM") {}
+
+EtmModel::EtmModel(const TrainConfig& config,
+                   const embed::WordEmbeddings& embeddings, Options options,
+                   std::string name)
+    : NeuralTopicModel(std::move(name), config), options_(options) {
+  CHECK_GT(embeddings.vocab_size(), 0);
+  rho_ = Var::Constant(embeddings.vectors());
+  topic_embeddings_ = Var::Leaf(
+      Tensor::RandNormal(config.num_topics, embeddings.dimension(), rng_,
+                         0.0f, 0.02f),
+      /*requires_grad=*/true);
+  encoder_ = std::make_unique<VaeEncoder>(embeddings.vocab_size(),
+                                          config.num_topics, config, rng_);
+}
+
+Var EtmModel::BetaVar() {
+  // softmax over the vocabulary of (t rho^T) / tau.
+  Var logits = MulScalar(MatMul(topic_embeddings_, rho_, false, true),
+                         1.0f / options_.tau_beta);
+  return SoftmaxRows(logits);
+}
+
+EtmModel::ElboGraph EtmModel::BuildElbo(const Batch& batch) {
+  ElboGraph g;
+  Var x_norm = Var::Constant(batch.normalized);
+  Var x_counts = Var::Constant(batch.counts);
+  g.encoded = encoder_->Forward(x_norm, /*sample=*/training_);
+  g.beta = BetaVar();
+  // Reconstruction: -sum_d sum_w x_dw log(theta_d . beta_w).
+  Var word_probs = MatMul(g.encoded.theta, g.beta);  // B x V
+  Var recon = Neg(SumAll(Mul(x_counts, Log(word_probs, 1e-10f))));
+  Var kl = VaeEncoder::KlDivergence(g.encoded);
+  const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
+  g.loss = MulScalar(Add(recon, kl), inv_batch);
+  return g;
+}
+
+NeuralTopicModel::BatchGraph EtmModel::BuildBatch(const Batch& batch) {
+  ElboGraph g = BuildElbo(batch);
+  return {g.loss, g.beta};
+}
+
+Tensor EtmModel::InferThetaBatch(const Tensor& x_normalized) {
+  encoder_->SetTraining(false);
+  VaeEncoder::Output out =
+      encoder_->Forward(Var::Constant(x_normalized), /*sample=*/false);
+  return out.theta.value();
+}
+
+Var EtmModel::EncodeRepresentation(const Tensor& x_normalized) {
+  return encoder_->Forward(Var::Constant(x_normalized), /*sample=*/false).mu;
+}
+
+std::vector<nn::Parameter> EtmModel::Parameters() {
+  std::vector<nn::Parameter> params = encoder_->Parameters();
+  params.push_back({"topic_embeddings", topic_embeddings_});
+  return params;
+}
+
+void EtmModel::SetTraining(bool training) {
+  training_ = training;
+  encoder_->SetTraining(training);
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

@@ -1,0 +1,59 @@
+#ifndef CONTRATOPIC_TOPICMODEL_ETM_H_
+#define CONTRATOPIC_TOPICMODEL_ETM_H_
+
+// Embedded Topic Model (Dieng et al., 2020) -- ContraTopic's backbone
+// (paper §III.B). Words live in a frozen embedding space rho (V x e);
+// each topic is a learnable embedding t_k, and
+//   beta_k = softmax(rho t_k / tau_beta).
+// Inference is a logistic-normal VAE.
+
+#include <memory>
+
+#include "embed/word_embeddings.h"
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class EtmModel : public NeuralTopicModel {
+ public:
+  struct Options {
+    // Sharpening temperature for beta (paper: tau_beta = 0.1).
+    float tau_beta = 0.1f;
+  };
+
+  EtmModel(const TrainConfig& config,
+           const embed::WordEmbeddings& embeddings);
+  EtmModel(const TrainConfig& config, const embed::WordEmbeddings& embeddings,
+           Options options, std::string name = "ETM");
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+  // Documents represented by the encoder mean.
+  Var EncodeRepresentation(const Tensor& x_normalized) override;
+
+ protected:
+  // softmax(t rho^T / tau_beta): the differentiable K x V topic-word Var.
+  Var BetaVar();
+
+  // ELBO pieces shared with the ETM-derived baselines (NTM-R, VTMRL,
+  // CLNTM) and with ContraTopic.
+  struct ElboGraph {
+    VaeEncoder::Output encoded;
+    Var beta;
+    Var loss;  // (reconstruction + KL) / batch_size
+  };
+  ElboGraph BuildElbo(const Batch& batch);
+
+  Options options_;
+  Var rho_;               // constant V x e word embeddings (frozen)
+  Var topic_embeddings_;  // learnable K x e
+  std::unique_ptr<VaeEncoder> encoder_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_ETM_H_

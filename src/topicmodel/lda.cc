@@ -1,0 +1,165 @@
+#include "topicmodel/lda.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace contratopic {
+namespace topicmodel {
+namespace {
+
+// Expands a bag-of-words document into a flat token list.
+std::vector<int> ExpandTokens(const text::Document& doc) {
+  std::vector<int> tokens;
+  tokens.reserve(doc.TotalTokens());
+  for (const auto& e : doc.entries) {
+    for (int c = 0; c < e.count; ++c) tokens.push_back(e.word_id);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+LdaModel::LdaModel(int num_topics, uint64_t seed)
+    : LdaModel(num_topics, seed, Options{}) {}
+
+LdaModel::LdaModel(int num_topics, uint64_t seed, Options options)
+    : num_topics_(num_topics), options_(options), rng_(seed) {
+  CHECK_GT(num_topics, 0);
+}
+
+void LdaModel::GibbsSweep(TokenState* state,
+                          std::vector<std::vector<int>>* doc_topic,
+                          bool update_topic_word, util::Rng& rng) {
+  const double v_eta = vocab_size_ * options_.eta;
+  std::vector<double> weights(num_topics_);
+  for (size_t d = 0; d < state->word.size(); ++d) {
+    auto& words = state->word[d];
+    auto& topics = state->topic[d];
+    auto& n_dk = (*doc_topic)[d];
+    for (size_t i = 0; i < words.size(); ++i) {
+      const int w = words[i];
+      const int old_k = topics[i];
+      // Remove the token from the counts.
+      --n_dk[old_k];
+      if (update_topic_word) {
+        --topic_word_[old_k][w];
+        --topic_totals_[old_k];
+      }
+      // Full conditional.
+      for (int k = 0; k < num_topics_; ++k) {
+        const double phi =
+            (topic_word_[k][w] + options_.eta) / (topic_totals_[k] + v_eta);
+        weights[k] = (n_dk[k] + options_.alpha) * phi;
+      }
+      const int new_k = rng.Categorical(weights);
+      topics[i] = new_k;
+      ++n_dk[new_k];
+      if (update_topic_word) {
+        ++topic_word_[new_k][w];
+        ++topic_totals_[new_k];
+      }
+    }
+  }
+}
+
+TrainStats LdaModel::Train(const text::BowCorpus& corpus) {
+  CHECK(!trained_) << "LDA was already trained";
+  vocab_size_ = corpus.vocab_size();
+  topic_word_.assign(num_topics_, std::vector<int64_t>(vocab_size_, 0));
+  topic_totals_.assign(num_topics_, 0);
+
+  // Random initialization.
+  TokenState state;
+  std::vector<std::vector<int>> doc_topic(corpus.num_docs(),
+                                          std::vector<int>(num_topics_, 0));
+  state.word.resize(corpus.num_docs());
+  state.topic.resize(corpus.num_docs());
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    state.word[d] = ExpandTokens(corpus.doc(d));
+    state.topic[d].resize(state.word[d].size());
+    for (size_t i = 0; i < state.word[d].size(); ++i) {
+      const int k = static_cast<int>(rng_.UniformInt(num_topics_));
+      state.topic[d][i] = k;
+      ++doc_topic[d][k];
+      ++topic_word_[k][state.word[d][i]];
+      ++topic_totals_[k];
+    }
+  }
+
+  util::Stopwatch watch;
+  for (int sweep = 0; sweep < options_.gibbs_sweeps; ++sweep) {
+    GibbsSweep(&state, &doc_topic, /*update_topic_word=*/true, rng_);
+  }
+
+  // Cache training thetas.
+  train_theta_ = tensor::Tensor(corpus.num_docs(), num_topics_);
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const double denom =
+        state.word[d].size() + num_topics_ * options_.alpha;
+    for (int k = 0; k < num_topics_; ++k) {
+      train_theta_.at(d, k) =
+          static_cast<float>((doc_topic[d][k] + options_.alpha) / denom);
+    }
+  }
+
+  trained_ = true;
+  TrainStats stats;
+  stats.total_seconds = watch.ElapsedSeconds();
+  stats.epochs = options_.gibbs_sweeps;
+  stats.seconds_per_epoch =
+      options_.gibbs_sweeps > 0 ? stats.total_seconds / options_.gibbs_sweeps
+                                : 0.0;
+  return stats;
+}
+
+tensor::Tensor LdaModel::Beta() const {
+  CHECK(trained_);
+  tensor::Tensor beta(num_topics_, vocab_size_);
+  const double v_eta = vocab_size_ * options_.eta;
+  for (int k = 0; k < num_topics_; ++k) {
+    const double denom = topic_totals_[k] + v_eta;
+    for (int w = 0; w < vocab_size_; ++w) {
+      beta.at(k, w) =
+          static_cast<float>((topic_word_[k][w] + options_.eta) / denom);
+    }
+  }
+  return beta;
+}
+
+tensor::Tensor LdaModel::InferTheta(const text::BowCorpus& corpus) {
+  CHECK(trained_);
+  CHECK_EQ(corpus.vocab_size(), vocab_size_);
+  // Fold-in Gibbs with frozen topic-word counts.
+  TokenState state;
+  std::vector<std::vector<int>> doc_topic(corpus.num_docs(),
+                                          std::vector<int>(num_topics_, 0));
+  state.word.resize(corpus.num_docs());
+  state.topic.resize(corpus.num_docs());
+  util::Rng rng = rng_.Fork();
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    state.word[d] = ExpandTokens(corpus.doc(d));
+    state.topic[d].resize(state.word[d].size());
+    for (size_t i = 0; i < state.word[d].size(); ++i) {
+      const int k = static_cast<int>(rng.UniformInt(num_topics_));
+      state.topic[d][i] = k;
+      ++doc_topic[d][k];
+    }
+  }
+  for (int sweep = 0; sweep < options_.fold_in_sweeps; ++sweep) {
+    GibbsSweep(&state, &doc_topic, /*update_topic_word=*/false, rng);
+  }
+  tensor::Tensor theta(corpus.num_docs(), num_topics_);
+  for (int d = 0; d < corpus.num_docs(); ++d) {
+    const double denom = state.word[d].size() + num_topics_ * options_.alpha;
+    for (int k = 0; k < num_topics_; ++k) {
+      theta.at(d, k) =
+          static_cast<float>((doc_topic[d][k] + options_.alpha) / denom);
+    }
+  }
+  return theta;
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

@@ -1,0 +1,58 @@
+#ifndef CONTRATOPIC_TOPICMODEL_LDA_H_
+#define CONTRATOPIC_TOPICMODEL_LDA_H_
+
+// Latent Dirichlet Allocation (Blei et al., 2003) trained with a collapsed
+// Gibbs sampler (Griffiths & Steyvers). The conventional-topic-model
+// baseline of the paper's experiments.
+
+#include <vector>
+
+#include "topicmodel/topic_model.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class LdaModel : public TopicModel {
+ public:
+  struct Options {
+    double alpha = 0.1;   // document-topic prior
+    double eta = 0.01;    // topic-word prior
+    int gibbs_sweeps = 150;
+    int fold_in_sweeps = 20;  // for inference on unseen documents
+  };
+
+  explicit LdaModel(int num_topics, uint64_t seed = 7);
+  LdaModel(int num_topics, uint64_t seed, Options options);
+
+  std::string name() const override { return "LDA"; }
+  int num_topics() const override { return num_topics_; }
+
+  TrainStats Train(const text::BowCorpus& corpus) override;
+  tensor::Tensor Beta() const override;
+  tensor::Tensor InferTheta(const text::BowCorpus& corpus) override;
+
+ private:
+  // One Gibbs sweep over `tokens`; updates assignments and counts.
+  // `update_topic_word` is false during fold-in (topic-word counts frozen).
+  struct TokenState {
+    std::vector<std::vector<int>> word;   // per doc, token word ids
+    std::vector<std::vector<int>> topic;  // per doc, token assignments
+  };
+  void GibbsSweep(TokenState* state, std::vector<std::vector<int>>* doc_topic,
+                  bool update_topic_word, util::Rng& rng);
+
+  int num_topics_;
+  Options options_;
+  util::Rng rng_;
+  int vocab_size_ = 0;
+  bool trained_ = false;
+  std::vector<std::vector<int64_t>> topic_word_;  // K x V counts
+  std::vector<int64_t> topic_totals_;             // K
+  tensor::Tensor train_theta_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_LDA_H_

@@ -1,0 +1,180 @@
+#include "topicmodel/neural_base.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+namespace {
+
+nn::Mlp::Config EncoderMlpConfig(int64_t vocab_size,
+                                 const TrainConfig& config) {
+  nn::Mlp::Config mlp;
+  mlp.layer_sizes.push_back(vocab_size);
+  for (int i = 0; i < std::max(1, config.encoder_layers); ++i) {
+    mlp.layer_sizes.push_back(config.encoder_hidden);
+  }
+  mlp.activation = nn::Activation::kSelu;
+  mlp.dropout_rate = config.dropout;
+  mlp.batch_norm = config.batch_norm;
+  return mlp;
+}
+
+}  // namespace
+
+VaeEncoder::VaeEncoder(int64_t vocab_size, int64_t num_topics,
+                       const TrainConfig& config, util::Rng& rng)
+    : mlp_(EncoderMlpConfig(vocab_size, config), rng, "encoder"),
+      mu_head_(config.encoder_hidden, num_topics, rng, "mu"),
+      logvar_head_(config.encoder_hidden, num_topics, rng, "logvar"),
+      rng_(&rng) {}
+
+VaeEncoder::Output VaeEncoder::Forward(const Var& x_normalized, bool sample) {
+  Var pi = mlp_.Forward(x_normalized);
+  Output out;
+  out.mu = mu_head_.Forward(pi);
+  out.logvar = logvar_head_.Forward(pi);
+  if (sample) {
+    // theta = softmax(mu + sigma * eps), eps ~ N(0, I).
+    Var sigma = autodiff::Exp(autodiff::MulScalar(out.logvar, 0.5f));
+    Var eps = Var::Constant(
+        Tensor::RandNormal(out.mu.rows(), out.mu.cols(), *rng_));
+    out.theta = autodiff::SoftmaxRows(
+        autodiff::Add(out.mu, autodiff::Mul(sigma, eps)));
+  } else {
+    out.theta = autodiff::SoftmaxRows(out.mu);
+  }
+  return out;
+}
+
+std::vector<nn::Parameter> VaeEncoder::Parameters() {
+  std::vector<nn::Parameter> params = mlp_.Parameters();
+  for (auto& p : mu_head_.Parameters()) params.push_back(p);
+  for (auto& p : logvar_head_.Parameters()) params.push_back(p);
+  return params;
+}
+
+void VaeEncoder::SetTraining(bool training) {
+  Module::SetTraining(training);
+  mlp_.SetTraining(training);
+  mu_head_.SetTraining(training);
+  logvar_head_.SetTraining(training);
+}
+
+Var VaeEncoder::KlDivergence(const Output& encoded) {
+  // -0.5 * sum(1 + logvar - mu^2 - exp(logvar)).
+  Var term = autodiff::Sub(
+      autodiff::AddScalar(encoded.logvar, 1.0f),
+      autodiff::Add(autodiff::Square(encoded.mu),
+                    autodiff::Exp(encoded.logvar)));
+  return autodiff::MulScalar(autodiff::SumAll(term), -0.5f);
+}
+
+NeuralTopicModel::NeuralTopicModel(std::string name, const TrainConfig& config)
+    : name_(std::move(name)), config_(config), rng_(config.seed) {}
+
+TrainStats NeuralTopicModel::Train(const text::BowCorpus& corpus) {
+  CHECK(!trained_) << name_ << " was already trained";
+  CHECK_GT(corpus.num_docs(), 0);
+  Prepare(corpus);
+  return RunTrainingLoop(corpus, config_.epochs);
+}
+
+TrainStats NeuralTopicModel::TrainMore(const text::BowCorpus& corpus,
+                                       int epochs) {
+  CHECK(trained_) << name_ << ": call Train() before TrainMore()";
+  CHECK_GT(corpus.num_docs(), 0);
+  trained_ = false;  // Re-armed by the loop below.
+  return RunTrainingLoop(corpus, epochs);
+}
+
+TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
+                                             int epochs) {
+  SetTraining(true);
+
+  nn::Adam adam(config_.learning_rate);
+  text::BatchIterator batches(corpus.num_docs(), config_.batch_size, rng_);
+  const int steps_per_epoch = batches.batches_per_epoch();
+
+  util::Stopwatch watch;
+  double last_epoch_loss = 0.0;
+  const int total_steps = std::max(1, epochs * steps_per_epoch);
+  int global_step = 0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    for (int step = 0; step < steps_per_epoch; ++step) {
+      training_progress_ =
+          static_cast<double>(global_step++) / total_steps;
+      Batch batch;
+      batch.indices = batches.Next();
+      batch.counts = corpus.DenseBatch(batch.indices);
+      batch.normalized = corpus.NormalizedBatch(batch.indices);
+      batch.corpus = &corpus;
+
+      BatchGraph graph = BuildBatch(batch);
+      CHECK(graph.loss.defined());
+      autodiff::Backward(graph.loss);
+      auto params = Parameters();
+      nn::ClipGradNorm(params, config_.grad_clip);
+      adam.Step(params);
+      for (auto& p : params) p.var.ZeroGrad();
+      epoch_loss += graph.loss.value().scalar();
+      if (!graph.beta.defined()) {
+        // Models must expose beta; guard against subclass bugs early.
+        LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
+      }
+      final_beta_ = graph.beta.value();
+    }
+    last_epoch_loss = epoch_loss / steps_per_epoch;
+    if (config_.verbose) {
+      LOG(INFO) << name_ << " epoch " << epoch + 1 << "/" << epochs
+                << " loss=" << last_epoch_loss;
+    }
+  }
+
+  SetTraining(false);
+  trained_ = true;
+  training_progress_ = 1.0;
+  TrainStats stats;
+  stats.total_seconds = watch.ElapsedSeconds();
+  stats.epochs = epochs;
+  stats.seconds_per_epoch =
+      epochs > 0 ? stats.total_seconds / epochs : 0.0;
+  stats.final_loss = last_epoch_loss;
+  stats.extra_memory_bytes = ExtraMemoryBytes();
+  return stats;
+}
+
+Tensor NeuralTopicModel::Beta() const {
+  CHECK(trained_) << name_ << " is not trained";
+  return final_beta_;
+}
+
+Tensor NeuralTopicModel::InferTheta(const text::BowCorpus& corpus) {
+  CHECK(trained_) << name_ << " is not trained";
+  SetTraining(false);
+  Tensor theta(corpus.num_docs(), config_.num_topics);
+  const int batch_size = std::max(1, config_.batch_size);
+  for (int begin = 0; begin < corpus.num_docs(); begin += batch_size) {
+    const int end = std::min(corpus.num_docs(), begin + batch_size);
+    std::vector<int> indices;
+    indices.reserve(end - begin);
+    for (int i = begin; i < end; ++i) indices.push_back(i);
+    Tensor batch_theta = InferThetaBatch(corpus.NormalizedBatch(indices));
+    CHECK_EQ(batch_theta.rows(), static_cast<int64_t>(indices.size()));
+    CHECK_EQ(batch_theta.cols(), config_.num_topics);
+    for (size_t r = 0; r < indices.size(); ++r) {
+      std::copy(batch_theta.row(static_cast<int64_t>(r)),
+                batch_theta.row(static_cast<int64_t>(r)) + config_.num_topics,
+                theta.row(indices[r] /* == begin + r */));
+    }
+  }
+  return theta;
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

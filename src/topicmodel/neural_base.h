@@ -1,0 +1,135 @@
+#ifndef CONTRATOPIC_TOPICMODEL_NEURAL_BASE_H_
+#define CONTRATOPIC_TOPICMODEL_NEURAL_BASE_H_
+
+// Shared machinery for the neural topic models: a VAE encoder block and a
+// training loop (Adam + gradient clipping + minibatching). Concrete models
+// implement BuildBatch(), returning the scalar batch loss plus the
+// differentiable K x V topic-word Var -- the hook ContraTopic's topic-wise
+// contrastive regularizer attaches to (enabling the paper's backbone
+// substitution study, Figure 6).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/autodiff.h"
+#include "topicmodel/topic_model.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+using autodiff::Var;
+using tensor::Tensor;
+
+// One minibatch handed to BuildBatch.
+struct Batch {
+  std::vector<int> indices;
+  Tensor counts;      // B x V raw counts
+  Tensor normalized;  // B x V, rows sum to 1
+  const text::BowCorpus* corpus = nullptr;
+};
+
+// VAE inference network: MLP -> (mu, logvar) -> reparameterized logistic-
+// normal theta (paper §III.B).
+class VaeEncoder : public nn::Module {
+ public:
+  VaeEncoder(int64_t vocab_size, int64_t num_topics, const TrainConfig& config,
+             util::Rng& rng);
+
+  struct Output {
+    Var mu;      // B x K
+    Var logvar;  // B x K
+    Var theta;   // B x K, rows sum to 1
+  };
+  // `sample` draws epsilon ~ N(0, I); when false theta = softmax(mu)
+  // (used at inference time).
+  Output Forward(const Var& x_normalized, bool sample);
+
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+
+  // KL(q(theta|x) || N(0, I)) summed over the batch.
+  static Var KlDivergence(const Output& encoded);
+
+ private:
+  nn::Mlp mlp_;
+  nn::Linear mu_head_;
+  nn::Linear logvar_head_;
+  util::Rng* rng_;
+};
+
+// Base class implementing Train()/InferTheta() on top of BuildBatch().
+class NeuralTopicModel : public TopicModel {
+ public:
+  NeuralTopicModel(std::string name, const TrainConfig& config);
+
+  std::string name() const override { return name_; }
+  int num_topics() const override { return config_.num_topics; }
+
+  TrainStats Train(const text::BowCorpus& corpus) override;
+  // Continues training an already-trained model on (new) data for
+  // `epochs` epochs without re-running Prepare(): the online / streaming
+  // path (paper §VI future work). Optimizer state is rebuilt per call.
+  TrainStats TrainMore(const text::BowCorpus& corpus, int epochs);
+  Tensor Beta() const override;
+  Tensor InferTheta(const text::BowCorpus& corpus) override;
+
+  // --- Hooks for subclasses -------------------------------------------
+
+  struct BatchGraph {
+    Var loss;  // 1x1 scalar to minimize
+    Var beta;  // K x V differentiable topic-word distribution
+  };
+  // Builds the loss graph for one minibatch (training mode).
+  virtual BatchGraph BuildBatch(const Batch& batch) = 0;
+
+  // Maps a (B x V normalized) constant batch to a (B x K) theta tensor in
+  // evaluation mode.
+  virtual Tensor InferThetaBatch(const Tensor& x_normalized) = 0;
+
+  // All trainable parameters.
+  virtual std::vector<nn::Parameter> Parameters() = 0;
+  virtual void SetTraining(bool training) = 0;
+
+  // Called once before the first epoch (models may precompute statistics
+  // of the training corpus, e.g. NPMI or tf-idf).
+  virtual void Prepare(const text::BowCorpus& corpus) {}
+
+  // Optional: a differentiable document representation for contrastive
+  // objectives over documents (CLNTM; ContraTopic's multi-level variant).
+  // Undefined Var when the model does not support it.
+  virtual Var EncodeRepresentation(const Tensor& x_normalized) {
+    return Var();
+  }
+
+  // Extra per-method memory for the computational-analysis bench.
+  virtual int64_t ExtraMemoryBytes() const { return 0; }
+
+  const TrainConfig& config() const { return config_; }
+  util::Rng& rng() { return rng_; }
+
+  // Fraction of training completed, in [0, 1] (1 after training). Lets
+  // subclasses ramp regularizers (e.g. ContraTopic's lambda warmup).
+  double TrainingProgress() const { return training_progress_; }
+
+ protected:
+  // Shared epoch loop used by Train and TrainMore.
+  TrainStats RunTrainingLoop(const text::BowCorpus& corpus, int epochs);
+
+  std::string name_;
+  TrainConfig config_;
+  util::Rng rng_;
+  Tensor final_beta_;  // cached after training
+  bool trained_ = false;
+  bool training_ = true;  // current mode (mirrors nn::Module)
+  double training_progress_ = 0.0;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_NEURAL_BASE_H_

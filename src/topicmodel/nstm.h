@@ -1,0 +1,56 @@
+#ifndef CONTRATOPIC_TOPICMODEL_NSTM_H_
+#define CONTRATOPIC_TOPICMODEL_NSTM_H_
+
+// NSTM (Zhao et al., 2021): neural topic model via optimal transport.
+// Learns document-topic proportions by minimizing the entropy-regularized
+// OT distance between each document's word distribution and its topic
+// distribution, with transport cost 1 - cos(word embedding, topic
+// embedding). The Sinkhorn iterations are unrolled inside the autodiff
+// graph, so gradients flow to both theta and the topic embeddings.
+
+#include <memory>
+
+#include "embed/word_embeddings.h"
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class NstmModel : public NeuralTopicModel {
+ public:
+  struct Options {
+    float sinkhorn_epsilon = 0.3f;  // entropic regularization
+    int sinkhorn_iterations = 6;
+    float tau_beta = 0.1f;  // temperature for reading beta off the cosines
+    // Weight of the auxiliary reconstruction term that keeps beta usable
+    // as a generative distribution.
+    float recon_weight = 0.5f;
+  };
+
+  NstmModel(const TrainConfig& config,
+            const embed::WordEmbeddings& embeddings);
+  NstmModel(const TrainConfig& config, const embed::WordEmbeddings& embeddings,
+            Options options);
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+
+ private:
+  Var EncodeTheta(const Var& x_normalized);
+  Var BetaVar();
+  // 1 - cos(rho, t): the V x K transport cost.
+  Var CostMatrix();
+
+  Options options_;
+  Var rho_norm_;          // constant V x e, row-normalized embeddings
+  Var topic_embeddings_;  // K x e
+  std::unique_ptr<nn::Mlp> encoder_mlp_;
+  std::unique_ptr<nn::Linear> theta_head_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_NSTM_H_

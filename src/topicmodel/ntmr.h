@@ -1,0 +1,41 @@
+#ifndef CONTRATOPIC_TOPICMODEL_NTMR_H_
+#define CONTRATOPIC_TOPICMODEL_NTMR_H_
+
+// NTM-R (Ding et al., 2018): ETM plus a differentiable *word-embedding*
+// coherence surrogate. Each topic's top-word mass is projected into the
+// embedding space; coherent topics concentrate on mutually similar words,
+// which maximizes the squared norm of the projected centroid. Unlike
+// ContraTopic this regularizer (a) uses embedding similarity rather than
+// corpus NPMI and (b) carries no cross-topic (diversity) term -- the two
+// gaps the paper's §II.C calls out.
+
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class NtmrModel : public EtmModel {
+ public:
+  struct Options {
+    float coherence_weight = 50.0f;
+    // Extra sharpening applied to beta before projecting (concentrates the
+    // surrogate on the top words).
+    float sharpen = 4.0f;
+  };
+
+  NtmrModel(const TrainConfig& config,
+            const embed::WordEmbeddings& embeddings);
+  NtmrModel(const TrainConfig& config, const embed::WordEmbeddings& embeddings,
+            Options options);
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+
+ private:
+  Options options_;
+  Var embeddings_norm_;  // constant V x e row-normalized
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_NTMR_H_

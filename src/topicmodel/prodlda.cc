@@ -1,0 +1,78 @@
+#include "topicmodel/prodlda.h"
+
+#include <cmath>
+
+namespace contratopic {
+namespace topicmodel {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+ProdLdaModel::ProdLdaModel(const TrainConfig& config, int vocab_size)
+    : ProdLdaModel(config, vocab_size, Options{}) {}
+
+ProdLdaModel::ProdLdaModel(const TrainConfig& config, int vocab_size,
+                           Options options)
+    : NeuralTopicModel("ProdLDA", config), options_(options) {
+  CHECK_GT(vocab_size, 0);
+  const int k = config.num_topics;
+  // Laplace approximation of a symmetric Dirichlet(alpha) in softmax basis
+  // (Srivastava & Sutton, eqs. 4-5). For symmetric alpha the prior mean is
+  // zero and the variance is shared across coordinates.
+  const float a = options_.dirichlet_alpha;
+  prior_mu_ = 0.0f;
+  prior_var_ = (1.0f / a) * (1.0f - 2.0f / k) + 1.0f / (k * k) * (k / a);
+
+  decoder_weight_ = Var::Leaf(
+      Tensor::RandNormal(k, vocab_size, rng_, 0.0f, 0.02f),
+      /*requires_grad=*/true);
+  encoder_ = std::make_unique<VaeEncoder>(vocab_size, k, config, rng_);
+}
+
+Var ProdLdaModel::LaplacePriorKl(const VaeEncoder::Output& encoded) const {
+  // KL(N(mu, sigma^2) || N(mu0, sigma0^2)) summed over batch and topics:
+  //   0.5 * sum(sigma^2/s0 + (mu - mu0)^2/s0 - 1 + log s0 - logvar).
+  const float s0 = prior_var_;
+  Var var = Exp(encoded.logvar);
+  Var mu_diff_sq = Square(AddScalar(encoded.mu, -prior_mu_));
+  Var inside =
+      AddScalar(Sub(MulScalar(Add(var, mu_diff_sq), 1.0f / s0),
+                    encoded.logvar),
+                -1.0f + std::log(s0));
+  return MulScalar(SumAll(inside), 0.5f);
+}
+
+NeuralTopicModel::BatchGraph ProdLdaModel::BuildBatch(const Batch& batch) {
+  Var x_norm = Var::Constant(batch.normalized);
+  Var x_counts = Var::Constant(batch.counts);
+  VaeEncoder::Output encoded =
+      encoder_->Forward(x_norm, /*sample=*/training_);
+  // Product of experts: log p(w|theta) = log_softmax(theta W).
+  Var logits = MatMul(encoded.theta, decoder_weight_);
+  Var log_probs = LogSoftmaxRows(logits);
+  Var recon = Neg(SumAll(Mul(x_counts, log_probs)));
+  Var kl = LaplacePriorKl(encoded);
+  const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
+  Var loss = MulScalar(Add(recon, kl), inv_batch);
+  Var beta = SoftmaxRows(decoder_weight_);
+  return {loss, beta};
+}
+
+Tensor ProdLdaModel::InferThetaBatch(const Tensor& x_normalized) {
+  encoder_->SetTraining(false);
+  return encoder_->Forward(Var::Constant(x_normalized), /*sample=*/false)
+      .theta.value();
+}
+
+std::vector<nn::Parameter> ProdLdaModel::Parameters() {
+  std::vector<nn::Parameter> params = encoder_->Parameters();
+  params.push_back({"decoder.weight", decoder_weight_});
+  return params;
+}
+
+void ProdLdaModel::SetTraining(bool training) {
+  training_ = training;
+  encoder_->SetTraining(training);
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

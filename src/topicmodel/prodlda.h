@@ -1,0 +1,44 @@
+#ifndef CONTRATOPIC_TOPICMODEL_PRODLDA_H_
+#define CONTRATOPIC_TOPICMODEL_PRODLDA_H_
+
+// ProdLDA (Srivastava & Sutton, 2017): replaces LDA's mixture decoder with
+// a product of experts, p(w|theta) = softmax(theta W), and approximates the
+// Dirichlet prior with its logistic-normal Laplace approximation.
+
+#include <memory>
+
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class ProdLdaModel : public NeuralTopicModel {
+ public:
+  struct Options {
+    // Symmetric Dirichlet concentration used for the Laplace prior.
+    float dirichlet_alpha = 0.02f;
+  };
+
+  ProdLdaModel(const TrainConfig& config, int vocab_size);
+  ProdLdaModel(const TrainConfig& config, int vocab_size, Options options);
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+
+ private:
+  // KL(q || Laplace-approximated Dirichlet), summed over the batch.
+  Var LaplacePriorKl(const VaeEncoder::Output& encoded) const;
+
+  Options options_;
+  float prior_mu_ = 0.0f;
+  float prior_var_ = 1.0f;
+  Var decoder_weight_;  // K x V
+  std::unique_ptr<VaeEncoder> encoder_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_PRODLDA_H_

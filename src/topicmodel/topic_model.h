@@ -1,0 +1,67 @@
+#ifndef CONTRATOPIC_TOPICMODEL_TOPIC_MODEL_H_
+#define CONTRATOPIC_TOPICMODEL_TOPIC_MODEL_H_
+
+// Common interface for every topic model in the repo (the paper's
+// ContraTopic and all nine baselines). A model is trained once on a corpus
+// and afterwards exposes
+//   * Beta():       the K x V topic-word distribution (rows sum to 1), and
+//   * InferTheta(): per-document topic proportions for any corpus.
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+struct TrainConfig {
+  int num_topics = 20;
+  int epochs = 15;
+  int batch_size = 256;
+  // Adam at 5e-4 is the paper's setting for every neural model.
+  float learning_rate = 5e-4f;
+  // Encoder: the paper uses a 3-layer 800-unit SeLU MLP with dropout 0.5
+  // and batch norm; defaults here are scaled for CPU (see DESIGN.md §6).
+  int encoder_hidden = 128;
+  int encoder_layers = 2;
+  float dropout = 0.5f;
+  bool batch_norm = true;
+  float grad_clip = 10.0f;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double total_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+  double final_loss = 0.0;
+  int epochs = 0;
+  // Extra memory attributable to the method (e.g. the NPMI matrix held by
+  // ContraTopic); reported by the computational-analysis bench (§V.E).
+  int64_t extra_memory_bytes = 0;
+};
+
+class TopicModel {
+ public:
+  virtual ~TopicModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Trains on `corpus`; may be called once.
+  virtual TrainStats Train(const text::BowCorpus& corpus) = 0;
+
+  // K x V topic-word distribution; each row sums to 1.
+  virtual tensor::Tensor Beta() const = 0;
+
+  // num_docs x K document-topic distribution for `corpus`.
+  virtual tensor::Tensor InferTheta(const text::BowCorpus& corpus) = 0;
+
+  virtual int num_topics() const = 0;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_TOPIC_MODEL_H_

@@ -1,0 +1,81 @@
+#include "topicmodel/vtmrl.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace contratopic {
+namespace topicmodel {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+VtmrlModel::VtmrlModel(const TrainConfig& config,
+                       const embed::WordEmbeddings& embeddings)
+    : VtmrlModel(config, embeddings, Options{}) {}
+
+VtmrlModel::VtmrlModel(const TrainConfig& config,
+                       const embed::WordEmbeddings& embeddings,
+                       Options options)
+    : EtmModel(config, embeddings, EtmModel::Options{}, "VTMRL"),
+      options_(options) {}
+
+void VtmrlModel::Prepare(const text::BowCorpus& corpus) {
+  train_npmi_ =
+      std::make_unique<eval::NpmiMatrix>(eval::NpmiMatrix::Compute(corpus));
+}
+
+int64_t VtmrlModel::ExtraMemoryBytes() const {
+  return train_npmi_ != nullptr ? train_npmi_->MemoryBytes() : 0;
+}
+
+NeuralTopicModel::BatchGraph VtmrlModel::BuildBatch(const Batch& batch) {
+  CHECK(train_npmi_ != nullptr) << "Prepare() was not called";
+  ElboGraph g = BuildElbo(batch);
+
+  // Hard-sample words per topic (no gradient through the sampling) and
+  // measure their NPMI coherence as the reward.
+  const Tensor& beta_value = g.beta.value();
+  const int k = config_.num_topics;
+  const int v = static_cast<int>(beta_value.cols());
+  Tensor advantage_mask(k, v);
+  double mean_reward = 0.0;
+  std::vector<double> rewards(k);
+  std::vector<std::vector<int>> samples(k);
+  for (int topic = 0; topic < k; ++topic) {
+    // Sample without replacement proportional to beta (Gumbel top-k trick,
+    // evaluated in hard mode).
+    std::vector<std::pair<float, int>> keys(v);
+    for (int w = 0; w < v; ++w) {
+      const float logit = std::log(beta_value.at(topic, w) + 1e-20f);
+      keys[w] = {logit + static_cast<float>(rng_.Gumbel()), w};
+    }
+    const int take = std::min(options_.words_per_topic, v);
+    std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
+                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    samples[topic].reserve(take);
+    for (int i = 0; i < take; ++i) samples[topic].push_back(keys[i].second);
+    rewards[topic] = train_npmi_->MeanPairwise(samples[topic]);
+    mean_reward += rewards[topic];
+  }
+  mean_reward /= k;
+  if (!baseline_initialized_) {
+    reward_baseline_ = mean_reward;
+    baseline_initialized_ = true;
+  } else {
+    reward_baseline_ = options_.baseline_momentum * reward_baseline_ +
+                       (1.0 - options_.baseline_momentum) * mean_reward;
+  }
+  for (int topic = 0; topic < k; ++topic) {
+    const float adv = static_cast<float>(rewards[topic] - reward_baseline_);
+    for (int w : samples[topic]) advantage_mask.at(topic, w) = adv;
+  }
+
+  // REINFORCE surrogate: -sum_k adv_k * sum_{w in S_k} log beta_kw.
+  Var rl = Neg(SumAll(Mul(Log(g.beta, 1e-20f), Var::Constant(advantage_mask))));
+  Var loss = Add(g.loss, MulScalar(rl, options_.reward_weight /
+                                           static_cast<float>(k)));
+  return {loss, g.beta};
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

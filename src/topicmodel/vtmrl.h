@@ -1,0 +1,45 @@
+#ifndef CONTRATOPIC_TOPICMODEL_VTMRL_H_
+#define CONTRATOPIC_TOPICMODEL_VTMRL_H_
+
+// VTMRL (Gui et al., 2019): ETM plus a REINFORCE term whose reward is the
+// measured NPMI coherence of words *hard-sampled* from each topic. This is
+// the policy-gradient alternative to ContraTopic's differentiable
+// relaxation; the paper (§II.C) notes its high gradient variance and
+// convergence issues, which the reproduction exhibits as well.
+
+#include <memory>
+
+#include "eval/npmi.h"
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class VtmrlModel : public EtmModel {
+ public:
+  struct Options {
+    float reward_weight = 20.0f;
+    int words_per_topic = 10;  // sampled for the reward
+    float baseline_momentum = 0.9f;
+  };
+
+  VtmrlModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings);
+  VtmrlModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings, Options options);
+
+  void Prepare(const text::BowCorpus& corpus) override;
+  BatchGraph BuildBatch(const Batch& batch) override;
+  int64_t ExtraMemoryBytes() const override;
+
+ private:
+  Options options_;
+  std::unique_ptr<eval::NpmiMatrix> train_npmi_;
+  double reward_baseline_ = 0.0;
+  bool baseline_initialized_ = false;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_VTMRL_H_

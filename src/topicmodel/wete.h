@@ -1,0 +1,58 @@
+#ifndef CONTRATOPIC_TOPICMODEL_WETE_H_
+#define CONTRATOPIC_TOPICMODEL_WETE_H_
+
+// WeTe (Wang et al., 2022), simplified: represents each document as its set
+// of word embeddings and the topics as embeddings in the same space, and
+// minimizes a *bidirectional conditional-transport* cost:
+//   doc -> topics: every observed word pays its soft-min distance to the
+//                  topic set;
+//   topics -> doc: every topic (weighted by theta) pays its expected
+//                  distance to the document's words under a doc-conditional
+//                  soft assignment.
+// Both directions reduce to 2-D matrix expressions (see BuildBatch), which
+// is the simplification relative to the original per-token formulation;
+// DESIGN.md §3 records this.
+
+#include <memory>
+
+#include "embed/word_embeddings.h"
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class WeTeModel : public NeuralTopicModel {
+ public:
+  struct Options {
+    float gamma = 0.2f;     // soft-min temperature
+    float tau_beta = 0.1f;  // beta read-off temperature
+    float backward_weight = 1.0f;
+  };
+
+  WeTeModel(const TrainConfig& config,
+            const embed::WordEmbeddings& embeddings);
+  WeTeModel(const TrainConfig& config, const embed::WordEmbeddings& embeddings,
+            Options options, std::string name = "WeTe");
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+  Var EncodeRepresentation(const Tensor& x_normalized) override;
+
+ protected:
+  Var EncodeTheta(const Var& x_normalized);
+  Var BetaVar();
+  Var CostMatrix();  // V x K, 1 - cosine
+
+  Options options_;
+  Var rho_norm_;          // constant V x e
+  Var topic_embeddings_;  // K x e
+  std::unique_ptr<nn::Mlp> encoder_mlp_;
+  std::unique_ptr<nn::Linear> theta_head_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_WETE_H_

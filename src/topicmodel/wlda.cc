@@ -1,0 +1,117 @@
+#include "topicmodel/wlda.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+using namespace autodiff;  // NOLINT: op-heavy translation unit
+
+namespace {
+
+// IMQ kernel matrix sum: sum_ij sum_s c_s / (c_s + ||x_i - y_j||^2),
+// built from differentiable pairwise squared distances.
+Var ImqKernelSum(const Var& x, const Var& y) {
+  // ||x_i - y_j||^2 = |x_i|^2 + |y_j|^2 - 2 x_i . y_j.
+  Var cross = MulScalar(MatMul(x, y, false, true), -2.0f);
+  Var x_sq = RowSum(Square(x));                    // m x 1
+  Var y_sq_row = Transpose(RowSum(Square(y)));     // 1 x n
+  Var dist = BroadcastRowAdd(BroadcastColAdd(cross, x_sq), y_sq_row);
+  // Scales spanning the typical simplex diameter.
+  Var total;
+  for (float c : {0.1f, 0.2f, 0.5f, 1.0f, 2.0f}) {
+    Var numerator =
+        Var::Constant(tensor::Tensor::Full(dist.rows(), dist.cols(), c));
+    Var k = Div(numerator, AddScalar(dist, c));  // c / (c + d)
+    total = total.defined() ? Add(total, SumAll(k)) : SumAll(k);
+  }
+  return total;
+}
+
+}  // namespace
+
+WldaModel::WldaModel(const TrainConfig& config, int vocab_size)
+    : WldaModel(config, vocab_size, Options{}, "WLDA") {}
+
+WldaModel::WldaModel(const TrainConfig& config, int vocab_size,
+                     Options options, std::string name)
+    : NeuralTopicModel(std::move(name), config), options_(options) {
+  CHECK_GT(vocab_size, 0);
+  beta_logits_ = Var::Leaf(
+      Tensor::RandNormal(config.num_topics, vocab_size, rng_, 0.0f, 0.02f),
+      /*requires_grad=*/true);
+  nn::Mlp::Config mlp;
+  mlp.layer_sizes = {vocab_size, config.encoder_hidden};
+  for (int i = 1; i < std::max(1, config.encoder_layers); ++i) {
+    mlp.layer_sizes.push_back(config.encoder_hidden);
+  }
+  mlp.activation = nn::Activation::kSelu;
+  mlp.dropout_rate = config.dropout;
+  mlp.batch_norm = config.batch_norm;
+  encoder_mlp_ = std::make_unique<nn::Mlp>(mlp, rng_, "wlda_enc");
+  theta_head_ = std::make_unique<nn::Linear>(config.encoder_hidden,
+                                             config.num_topics, rng_, "theta");
+}
+
+Var WldaModel::EncodeTheta(const Var& x_normalized) {
+  return SoftmaxRows(theta_head_->Forward(encoder_mlp_->Forward(x_normalized)));
+}
+
+Var WldaModel::BetaVar() { return SoftmaxRows(beta_logits_); }
+
+Var WldaModel::MmdToDirichlet(const Var& theta) {
+  const int64_t b = theta.rows();
+  const int64_t k = theta.cols();
+  // Fresh prior sample of the same size.
+  Tensor prior(b, k);
+  for (int64_t r = 0; r < b; ++r) {
+    const std::vector<double> draw =
+        rng_.Dirichlet(options_.dirichlet_alpha, static_cast<int>(k));
+    for (int64_t c = 0; c < k; ++c) {
+      prior.at(r, c) = static_cast<float>(draw[c]);
+    }
+  }
+  Var prior_var = Var::Constant(prior);
+  const float inv_b2 = 1.0f / static_cast<float>(b * b);
+  Var k_xx = MulScalar(ImqKernelSum(theta, theta), inv_b2);
+  Var k_yy = MulScalar(ImqKernelSum(prior_var, prior_var), inv_b2);
+  Var k_xy = MulScalar(ImqKernelSum(theta, prior_var), -2.0f * inv_b2);
+  return Add(Add(k_xx, k_yy), k_xy);
+}
+
+NeuralTopicModel::BatchGraph WldaModel::BuildBatch(const Batch& batch) {
+  Var x_norm = Var::Constant(batch.normalized);
+  Var x_counts = Var::Constant(batch.counts);
+  Var theta = EncodeTheta(x_norm);
+  Var beta = BetaVar();
+  Var word_probs = MatMul(theta, beta);
+  Var recon = Neg(SumAll(Mul(x_counts, Log(word_probs, 1e-10f))));
+  const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
+  Var mmd = MmdToDirichlet(theta);
+  Var loss = Add(MulScalar(recon, inv_batch),
+                 MulScalar(mmd, options_.mmd_weight));
+  return {loss, beta};
+}
+
+Tensor WldaModel::InferThetaBatch(const Tensor& x_normalized) {
+  encoder_mlp_->SetTraining(false);
+  return EncodeTheta(Var::Constant(x_normalized)).value();
+}
+
+Var WldaModel::EncodeRepresentation(const Tensor& x_normalized) {
+  return EncodeTheta(Var::Constant(x_normalized));
+}
+
+std::vector<nn::Parameter> WldaModel::Parameters() {
+  std::vector<nn::Parameter> params = encoder_mlp_->Parameters();
+  for (auto& p : theta_head_->Parameters()) params.push_back(p);
+  params.push_back({"beta_logits", beta_logits_});
+  return params;
+}
+
+void WldaModel::SetTraining(bool training) {
+  training_ = training;
+  encoder_mlp_->SetTraining(training);
+  theta_head_->SetTraining(training);
+}
+
+}  // namespace topicmodel
+}  // namespace contratopic

@@ -1,0 +1,51 @@
+#ifndef CONTRATOPIC_TOPICMODEL_WLDA_H_
+#define CONTRATOPIC_TOPICMODEL_WLDA_H_
+
+// WLDA (Nan et al., 2019): a Wasserstein-autoencoder topic model. The
+// encoder is deterministic (theta = softmax(MLP(x))), the decoder is an
+// LDA-style mixture with learnable beta logits, and instead of a KL term
+// the aggregate posterior is matched to a Dirichlet prior with an MMD
+// penalty (inverse multiquadric kernels).
+
+#include <memory>
+
+#include "topicmodel/neural_base.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class WldaModel : public NeuralTopicModel {
+ public:
+  struct Options {
+    float dirichlet_alpha = 0.1f;  // prior over the simplex
+    float mmd_weight = 5.0f;       // lambda of the WAE objective
+  };
+
+  WldaModel(const TrainConfig& config, int vocab_size);
+  WldaModel(const TrainConfig& config, int vocab_size, Options options,
+            std::string name = "WLDA");
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  Tensor InferThetaBatch(const Tensor& x_normalized) override;
+  std::vector<nn::Parameter> Parameters() override;
+  void SetTraining(bool training) override;
+  Var EncodeRepresentation(const Tensor& x_normalized) override;
+
+ protected:
+  // Encoder logits -> theta (deterministic).
+  Var EncodeTheta(const Var& x_normalized);
+  // Differentiable beta = softmax(beta_logits).
+  Var BetaVar();
+  // MMD^2 between theta rows and fresh Dirichlet(alpha) samples.
+  Var MmdToDirichlet(const Var& theta);
+
+  Options options_;
+  Var beta_logits_;  // K x V
+  std::unique_ptr<nn::Mlp> encoder_mlp_;
+  std::unique_ptr<nn::Linear> theta_head_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_WLDA_H_

@@ -1,0 +1,60 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        // Bare flag, e.g. --help => "true". Values must use --key=value
+        // (space-separated values would be ambiguous with positionals).
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int Flags::GetInt(const std::string& key, int default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  const std::string v = ToLower(it->second);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,44 @@
+#ifndef CONTRATOPIC_UTIL_FLAGS_H_
+#define CONTRATOPIC_UTIL_FLAGS_H_
+
+// Minimal --key=value command-line parser used by the bench binaries and
+// examples. No registration needed:
+//
+//   util::Flags flags(argc, argv);
+//   int epochs = flags.GetInt("epochs", 20);
+//   std::string scale = flags.GetString("scale", "small");
+//   if (flags.Has("help")) { ... }
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace contratopic {
+namespace util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int GetInt(const std::string& key, int default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  // Positional (non --key) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // All parsed flags; handy for echoing configuration in bench output.
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_FLAGS_H_

@@ -1,0 +1,56 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace contratopic {
+namespace util {
+namespace {
+
+std::atomic<int> g_min_severity{0};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity GetMinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load());
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity));
+}
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : file_(file), line_(line), severity_(severity) {}
+
+LogMessage::~LogMessage() {
+  const bool enabled = static_cast<int>(severity_) >= g_min_severity.load();
+  if (enabled || severity_ == LogSeverity::kFatal) {
+    std::cerr << "[" << SeverityTag(severity_) << " " << Basename(file_) << ":"
+              << line_ << "] " << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,117 @@
+#ifndef CONTRATOPIC_UTIL_LOGGING_H_
+#define CONTRATOPIC_UTIL_LOGGING_H_
+
+// Minimal glog-style logging and CHECK macros.
+//
+// Usage:
+//   LOG(INFO) << "trained " << n << " epochs";
+//   CHECK(ptr != nullptr) << "ptr must be set";
+//   CHECK_EQ(a, b);
+//
+// FATAL logs and CHECK failures abort the process: in this library they
+// indicate programming errors (shape mismatches, out-of-range indices),
+// not recoverable conditions. Recoverable errors use util::Status.
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace contratopic {
+namespace util {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Global minimum severity that is actually printed. Tests can raise this
+// to silence expected warnings.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+// Accumulates one log line and emits it (with severity tag and location)
+// on destruction. Aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#define CT_LOG_INFO \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__, \
+                                  ::contratopic::util::LogSeverity::kInfo)
+#define CT_LOG_WARNING \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__, \
+                                  ::contratopic::util::LogSeverity::kWarning)
+#define CT_LOG_ERROR \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__, \
+                                  ::contratopic::util::LogSeverity::kError)
+#define CT_LOG_FATAL \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__, \
+                                  ::contratopic::util::LogSeverity::kFatal)
+
+#define LOG(severity) CT_LOG_##severity.stream()
+
+#define CHECK(condition)                                                  \
+  if (!(condition))                                                       \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__,                     \
+                                  ::contratopic::util::LogSeverity::kFatal) \
+          .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define CT_CHECK_OP(op, a, b)                                             \
+  if (!((a)op(b)))                                                        \
+  ::contratopic::util::LogMessage(__FILE__, __LINE__,                     \
+                                  ::contratopic::util::LogSeverity::kFatal) \
+          .stream()                                                       \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b)  \
+      << ") "
+
+#define CHECK_EQ(a, b) CT_CHECK_OP(==, a, b)
+#define CHECK_NE(a, b) CT_CHECK_OP(!=, a, b)
+#define CHECK_LT(a, b) CT_CHECK_OP(<, a, b)
+#define CHECK_LE(a, b) CT_CHECK_OP(<=, a, b)
+#define CHECK_GT(a, b) CT_CHECK_OP(>, a, b)
+#define CHECK_GE(a, b) CT_CHECK_OP(>=, a, b)
+
+#ifndef NDEBUG
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#define DCHECK_GE(a, b) \
+  while (false) CHECK_GE(a, b)
+#endif
+
+#endif  // CONTRATOPIC_UTIL_LOGGING_H_

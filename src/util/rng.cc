@@ -1,0 +1,182 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace util {
+namespace {
+
+// SplitMix64; used for seeding xoshiro state from a single 64-bit seed.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = Uniform();
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Gumbel() {
+  double u = 0.0;
+  while (u <= 1e-300) u = Uniform();
+  return -std::log(-std::log(u));
+}
+
+double Rng::Gamma(double shape) {
+  CHECK_GT(shape, 0.0);
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(Uniform(), 1e-300);
+    return Gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x;
+    double v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (std::log(std::max(u, 1e-300)) <
+        0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::Dirichlet(double alpha, int dim) {
+  return Dirichlet(std::vector<double>(dim, alpha));
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = Gamma(alpha[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (all gammas underflowed); fall back to uniform.
+    const double uniform = 1.0 / static_cast<double>(alpha.size());
+    for (auto& v : out) v = uniform;
+    return out;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+int Rng::Categorical(const double* weights, int n) {
+  DCHECK(n > 0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    DCHECK(weights[i] >= 0.0);
+    total += weights[i];
+  }
+  CHECK_GT(total, 0.0) << "Categorical weights must have positive sum";
+  double target = Uniform() * total;
+  for (int i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  return Categorical(weights.data(), static_cast<int>(weights.size()));
+}
+
+int Rng::Categorical(const float* weights, int n) {
+  DCHECK(n > 0);
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += weights[i];
+  CHECK_GT(total, 0.0) << "Categorical weights must have positive sum";
+  double target = Uniform() * total;
+  for (int i = 0; i < n; ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector.
+  std::vector<int> indices(n);
+  for (int i = 0; i < n; ++i) indices[i] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = i + static_cast<int>(UniformInt(n - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,79 @@
+#ifndef CONTRATOPIC_UTIL_RNG_H_
+#define CONTRATOPIC_UTIL_RNG_H_
+
+// Deterministic, seedable random number generation used across the library.
+//
+// We implement xoshiro256** (Blackman & Vigna) rather than relying on
+// std::mt19937 so results are bit-identical across standard libraries, which
+// keeps the benchmark harness reproducible.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace contratopic {
+namespace util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit integer.
+  uint64_t NextUint64();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Uniform in [0, 1).
+  double Uniform();
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached pair).
+  double Normal();
+  double Normal(double mean, double stddev);
+
+  // Gumbel(0, 1): -log(-log(U)).
+  double Gumbel();
+
+  // Gamma(shape, 1) via Marsaglia-Tsang (with boost for shape < 1).
+  double Gamma(double shape);
+
+  // Draws from a symmetric Dirichlet(alpha) of dimension `dim`.
+  std::vector<double> Dirichlet(double alpha, int dim);
+  // Draws from Dirichlet with per-component concentration.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  // Samples an index proportional to `weights` (need not be normalized).
+  // Weights must be non-negative with a positive sum.
+  int Categorical(const double* weights, int n);
+  int Categorical(const std::vector<double>& weights);
+  int Categorical(const float* weights, int n);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Returns k distinct indices sampled uniformly from [0, n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Derives an independent child generator; used to give each worker /
+  // model its own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_RNG_H_

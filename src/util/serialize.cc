@@ -1,0 +1,112 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace contratopic {
+namespace util {
+
+namespace {
+// Guards against corrupt length prefixes blowing up memory.
+constexpr uint64_t kMaxElements = 1ull << 32;
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary) {}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteF32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::WriteIntVector(const std::vector<int>& v) {
+  WriteU64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(int)));
+}
+
+Status BinaryWriter::Close() {
+  out_.flush();
+  if (!out_) return Status::IOError("write failed");
+  out_.close();
+  return Status::OK();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  ok_ = static_cast<bool>(in_);
+}
+
+template <typename T>
+T BinaryReader::ReadPod() {
+  T v{};
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in_) ok_ = false;
+  return v;
+}
+
+uint32_t BinaryReader::ReadU32() { return ReadPod<uint32_t>(); }
+uint64_t BinaryReader::ReadU64() { return ReadPod<uint64_t>(); }
+float BinaryReader::ReadF32() { return ReadPod<float>(); }
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxElements) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  if (!in_) ok_ = false;
+  return s;
+}
+
+std::vector<float> BinaryReader::ReadFloatVector() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxElements) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<float> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  if (!in_) ok_ = false;
+  return v;
+}
+
+std::vector<int> BinaryReader::ReadIntVector() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > kMaxElements) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<int> v(n);
+  in_.read(reinterpret_cast<char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(int)));
+  if (!in_) ok_ = false;
+  return v;
+}
+
+Status BinaryReader::status() const {
+  return ok_ ? Status::OK() : Status::IOError("read failed or file corrupt");
+}
+
+}  // namespace util
+}  // namespace contratopic

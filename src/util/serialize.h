@@ -1,0 +1,66 @@
+#ifndef CONTRATOPIC_UTIL_SERIALIZE_H_
+#define CONTRATOPIC_UTIL_SERIALIZE_H_
+
+// Tiny binary (de)serialization helpers used for saving trained models,
+// embeddings, and precomputed NPMI matrices. Format: little-endian POD
+// writes with explicit lengths; all readers validate sizes.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace contratopic {
+namespace util {
+
+class BinaryWriter {
+ public:
+  // Opens `path` for writing; check ok() before use.
+  explicit BinaryWriter(const std::string& path);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF32(float v);
+  void WriteString(const std::string& s);
+  void WriteFloatVector(const std::vector<float>& v);
+  void WriteIntVector(const std::vector<int>& v);
+
+  // Flushes and reports any stream error.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  bool ok() const { return ok_; }
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  float ReadF32();
+  std::string ReadString();
+  std::vector<float> ReadFloatVector();
+  std::vector<int> ReadIntVector();
+
+  // True if every read so far succeeded and sizes were sane.
+  Status status() const;
+
+ private:
+  template <typename T>
+  T ReadPod();
+
+  std::ifstream in_;
+  bool ok_ = true;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_SERIALIZE_H_

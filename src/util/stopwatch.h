@@ -1,0 +1,32 @@
+#ifndef CONTRATOPIC_UTIL_STOPWATCH_H_
+#define CONTRATOPIC_UTIL_STOPWATCH_H_
+
+// Wall-clock stopwatch used by the training loops and the computational-
+// analysis bench (paper §V.E reports sec/epoch).
+
+#include <chrono>
+
+namespace contratopic {
+namespace util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_STOPWATCH_H_

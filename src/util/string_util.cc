@@ -1,0 +1,81 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace contratopic {
+namespace util {
+
+std::vector<std::string> Split(std::string_view text,
+                               std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+void ToLowerInPlace(std::string& s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  ToLowerInPlace(out);
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  return StrFormat("%.*f", digits, value);
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,38 @@
+#ifndef CONTRATOPIC_UTIL_STRING_UTIL_H_
+#define CONTRATOPIC_UTIL_STRING_UTIL_H_
+
+// Small string helpers shared across modules.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace contratopic {
+namespace util {
+
+// Splits on any character in `delims`; empty pieces are dropped.
+std::vector<std::string> Split(std::string_view text, std::string_view delims);
+
+// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// ASCII lower-casing in place / by value.
+void ToLowerInPlace(std::string& s);
+std::string ToLower(std::string_view s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Renders a double with `digits` significant decimals, e.g. for tables.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_STRING_UTIL_H_

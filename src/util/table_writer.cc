@@ -1,0 +1,82 @@
+#include "util/table_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace util {
+namespace {
+
+void MakeDirs(const std::string& path) {
+  std::string partial;
+  for (const auto& piece : Split(path, "/")) {
+    partial += piece + "/";
+    ::mkdir(partial.c_str(), 0755);  // EEXIST is fine.
+  }
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddRow(const std::string& label,
+                         const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TableWriter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+Status TableWriter::WriteTsv(const std::string& path) const {
+  const size_t slash = path.rfind('/');
+  if (slash != std::string::npos) MakeDirs(path.substr(0, slash));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << Join(header_, "\t") << "\n";
+  for (const auto& row : rows_) out << Join(row, "\t") << "\n";
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,42 @@
+#ifndef CONTRATOPIC_UTIL_TABLE_WRITER_H_
+#define CONTRATOPIC_UTIL_TABLE_WRITER_H_
+
+// Aligned console tables + TSV export for the benchmark harness. Every
+// bench binary prints a paper-style table to stdout and mirrors it as TSV
+// under bench_results/ so plots can be regenerated.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace contratopic {
+namespace util {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with `digits` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int digits = 3);
+
+  // Renders an aligned, pipe-separated table.
+  std::string ToString() const;
+
+  // Writes header+rows as TSV. Creates parent directories if needed.
+  Status WriteTsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,59 @@
+#ifndef CONTRATOPIC_UTIL_THREAD_POOL_H_
+#define CONTRATOPIC_UTIL_THREAD_POOL_H_
+
+// Fixed-size thread pool with a ParallelFor helper. The tensor kernels use
+// it for large matmuls; everything degrades gracefully to inline execution
+// when the pool has a single worker (or for small ranges).
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace contratopic {
+namespace util {
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 means hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task; tasks must not throw.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  // Splits [begin, end) into chunks and runs `body(chunk_begin, chunk_end)`
+  // on the pool; blocks until done. Runs inline when the range is small.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& body,
+                   int64_t min_chunk = 1024);
+
+  // Process-wide shared pool (created on first use, never destroyed).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_THREAD_POOL_H_

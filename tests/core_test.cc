@@ -1,0 +1,315 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/contrastive_loss.h"
+#include "core/contratopic.h"
+#include "core/subset_sampler.h"
+#include "tensor/grad_check.h"
+#include "tensor/kernels.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace core {
+namespace {
+
+using autodiff::Backward;
+using autodiff::Log;
+using autodiff::SumAll;
+using autodiff::Var;
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// Subset sampler (Gumbel relaxed top-v, Eqs. 3-5).
+// ---------------------------------------------------------------------------
+
+TEST(SubsetSamplerTest, StepsAreRelaxedOneHots) {
+  util::Rng rng(1);
+  const Tensor logits = Tensor::RandNormal(4, 30, rng, 0.0f, 2.0f);
+  util::Rng sample_rng(2);
+  const SubsetSample sample = SampleTopVWithoutReplacement(
+      Var::Constant(logits), 5, 0.5f, sample_rng);
+  ASSERT_EQ(sample.steps.size(), 5u);
+  for (const auto& step : sample.steps) {
+    for (int64_t r = 0; r < step.rows(); ++r) {
+      double sum = 0.0;
+      for (int64_t c = 0; c < step.cols(); ++c) {
+        EXPECT_GE(step.value().at(r, c), 0.0f);
+        sum += step.value().at(r, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-4);
+    }
+  }
+}
+
+TEST(SubsetSamplerTest, VHotSumsToV) {
+  util::Rng rng(3);
+  const Tensor logits = Tensor::RandNormal(3, 20, rng);
+  util::Rng sample_rng(4);
+  const SubsetSample sample = SampleTopVWithoutReplacement(
+      Var::Constant(logits), 7, 0.5f, sample_rng);
+  for (int64_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 20; ++c) sum += sample.v_hot.value().at(r, c);
+    EXPECT_NEAR(sum, 7.0, 1e-3);
+  }
+}
+
+TEST(SubsetSamplerTest, LowTemperatureSamplesWithoutReplacement) {
+  // At low temperature the relaxed steps approach hard one-hots on
+  // *distinct* coordinates (the "without replacement" property).
+  util::Rng rng(5);
+  const Tensor logits = Tensor::RandNormal(2, 40, rng, 0.0f, 3.0f);
+  util::Rng sample_rng(6);
+  const SubsetSample sample = SampleTopVWithoutReplacement(
+      Var::Constant(logits), 6, 0.05f, sample_rng);
+  for (int64_t r = 0; r < 2; ++r) {
+    std::set<int> argmaxes;
+    for (const auto& step : sample.steps) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < 40; ++c) {
+        if (step.value().at(r, c) > step.value().at(r, best)) best = c;
+      }
+      argmaxes.insert(static_cast<int>(best));
+    }
+    EXPECT_EQ(argmaxes.size(), 6u) << "row " << r << " repeated a sample";
+  }
+}
+
+TEST(SubsetSamplerTest, HighWeightItemsSampledMoreOften) {
+  // Item 0 has much higher weight; it should be in the subset nearly always.
+  Tensor logits(1, 10);
+  logits.at(0, 0) = 5.0f;
+  util::Rng rng(7);
+  int hits = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    const SubsetSample sample = SampleTopVWithoutReplacement(
+        Var::Constant(logits), 3, 0.1f, rng);
+    // Check if item 0 is the argmax of any step.
+    for (const auto& step : sample.steps) {
+      int64_t best = 0;
+      for (int64_t c = 1; c < 10; ++c) {
+        if (step.value().at(0, c) > step.value().at(0, best)) best = c;
+      }
+      if (best == 0) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(hits, trials * 4 / 5);
+}
+
+TEST(SubsetSamplerTest, StraightThroughForwardIsHard) {
+  util::Rng rng(8);
+  const Tensor logits = Tensor::RandNormal(2, 15, rng);
+  util::Rng sample_rng(9);
+  const SubsetSample sample = SampleTopVWithoutReplacement(
+      Var::Constant(logits), 3, 0.5f, sample_rng, /*hard=*/true);
+  for (const auto& step : sample.steps) {
+    for (int64_t r = 0; r < 2; ++r) {
+      int ones = 0;
+      for (int64_t c = 0; c < 15; ++c) {
+        const float v = step.value().at(r, c);
+        EXPECT_TRUE(std::fabs(v) < 1e-6f || std::fabs(v - 1.0f) < 1e-6f);
+        if (v > 0.5f) ++ones;
+      }
+      EXPECT_EQ(ones, 1);
+    }
+  }
+}
+
+TEST(SubsetSamplerTest, GradientMatchesFiniteDifferences) {
+  // Deterministic noise: rebuild the Rng with the same seed inside fn so
+  // the finite-difference evaluations see identical Gumbel draws.
+  const Tensor kernel = [] {
+    util::Rng rng(10);
+    Tensor k = Tensor::RandNormal(12, 12, rng, 0.0f, 0.5f);
+    for (int i = 0; i < 12; ++i) {
+      for (int j = 0; j < i; ++j) {
+        k.at(i, j) = k.at(j, i);
+      }
+      k.at(i, i) = 1.0f;
+    }
+    return k;
+  }();
+  auto fn = [&](const Var& logits) {
+    util::Rng rng(42);
+    const SubsetSample sample =
+        SampleTopVWithoutReplacement(logits, 3, 0.7f, rng);
+    return TopicContrastiveLoss(sample.steps, kernel,
+                                ContrastVariant::kFull, 0.7f);
+  };
+  util::Rng input_rng(11);
+  const Tensor input = Tensor::RandNormal(3, 12, input_rng);
+  const auto result = tensor::CheckGradient(fn, input, 1e-2f, 8e-2f);
+  EXPECT_TRUE(result.ok) << "rel=" << result.max_rel_error;
+}
+
+TEST(HardSampleTest, ReturnsDistinctIndices) {
+  util::Rng rng(12);
+  const Tensor logits = Tensor::RandNormal(5, 30, rng);
+  const auto samples = HardSampleTopV(logits, 8, rng);
+  ASSERT_EQ(samples.size(), 5u);
+  for (const auto& row : samples) {
+    std::set<int> unique(row.begin(), row.end());
+    EXPECT_EQ(unique.size(), 8u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contrastive loss.
+// ---------------------------------------------------------------------------
+
+// Builds hard one-hot "samples": v steps of K x C where topic k samples
+// the given word ids.
+std::vector<Var> HardSamples(const std::vector<std::vector<int>>& words_per_topic,
+                             int vocab) {
+  const int v = static_cast<int>(words_per_topic[0].size());
+  const int k = static_cast<int>(words_per_topic.size());
+  std::vector<Var> steps;
+  for (int j = 0; j < v; ++j) {
+    Tensor step(k, vocab);
+    for (int topic = 0; topic < k; ++topic) {
+      step.at(topic, words_per_topic[topic][j]) = 1.0f;
+    }
+    steps.push_back(Var::Constant(step));
+  }
+  return steps;
+}
+
+// Kernel with two word blocks: within-block similarity 0.8, across 0.
+Tensor BlockKernel(int vocab, int block) {
+  Tensor kernel(vocab, vocab);
+  for (int i = 0; i < vocab; ++i) {
+    for (int j = 0; j < vocab; ++j) {
+      if (i == j) {
+        kernel.at(i, j) = 1.0f;
+      } else if (i / block == j / block) {
+        kernel.at(i, j) = 0.8f;
+      }
+    }
+  }
+  return kernel;
+}
+
+TEST(ContrastiveLossTest, CoherentDistinctTopicsBeatJunkTopics) {
+  const Tensor kernel = BlockKernel(12, 6);
+  // Good: each topic samples within one block.
+  const Var good = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {6, 7, 8}}, 12), kernel));
+  // Junk: topics sample across blocks (no internal coherence).
+  const Var junk = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 6, 1}, {7, 2, 8}}, 12), kernel));
+  EXPECT_LT(good.value().scalar(), junk.value().scalar());
+}
+
+TEST(ContrastiveLossTest, DuplicateTopicsPenalized) {
+  const Tensor kernel = BlockKernel(12, 6);
+  // Distinct coherent topics.
+  const Var distinct = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {6, 7, 8}}, 12), kernel));
+  // Duplicated topics (both on block 1): coherent but not diverse.
+  const Var duplicated = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {3, 4, 5}}, 12), kernel));
+  EXPECT_LT(distinct.value().scalar(), duplicated.value().scalar());
+}
+
+TEST(ContrastiveLossTest, PositiveOnlyIgnoresCrossTopicSimilarity) {
+  const Tensor kernel = BlockKernel(12, 6);
+  const Var distinct = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {6, 7, 8}}, 12), kernel,
+      ContrastVariant::kPositiveOnly));
+  const Var duplicated = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {3, 4, 5}}, 12), kernel,
+      ContrastVariant::kPositiveOnly));
+  // Both are equally coherent; the positive-only variant cannot tell them
+  // apart (this is exactly why ContraTopic-P loses diversity in Table II).
+  EXPECT_NEAR(distinct.value().scalar(), duplicated.value().scalar(), 1e-4);
+}
+
+TEST(ContrastiveLossTest, NegativeOnlyIgnoresIncoherence) {
+  const Tensor kernel = BlockKernel(12, 6);
+  // Coherent topics vs junk topics -- both perfectly "diverse" across
+  // topics; the negative-only variant scores them the same.
+  const Var coherent = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 1, 2}, {6, 7, 8}}, 12), kernel,
+      ContrastVariant::kNegativeOnly));
+  const Var junk = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 2, 4}, {6, 8, 10}}, 12), kernel,
+      ContrastVariant::kNegativeOnly));
+  // Topic words within blocks for 'junk' are still same-block here, so
+  // craft true junk: one word from each block per topic.
+  const Var true_junk = SumAll(TopicContrastiveLoss(
+      HardSamples({{0, 6, 2}, {1, 8, 10}}, 12), kernel,
+      ContrastVariant::kNegativeOnly));
+  EXPECT_NEAR(coherent.value().scalar(), junk.value().scalar(), 0.5);
+  (void)true_junk;
+}
+
+TEST(ContrastiveLossTest, ExpectationVariantPrefersDistinctTopics) {
+  const Tensor kernel = BlockKernel(12, 6);
+  Tensor distinct(2, 12);
+  for (int w = 0; w < 6; ++w) {
+    distinct.at(0, w) = 1.0f / 6;
+    distinct.at(1, 6 + w) = 1.0f / 6;
+  }
+  Tensor duplicated(2, 12);
+  for (int w = 0; w < 6; ++w) {
+    duplicated.at(0, w) = 1.0f / 6;
+    duplicated.at(1, w) = 1.0f / 6;
+  }
+  const float distinct_loss =
+      ExpectationContrastiveLoss(Var::Constant(distinct), kernel)
+          .value()
+          .scalar();
+  const float duplicated_loss =
+      ExpectationContrastiveLoss(Var::Constant(duplicated), kernel)
+          .value()
+          .scalar();
+  EXPECT_LT(distinct_loss, duplicated_loss);
+}
+
+TEST(ContrastiveLossTest, GradientPushesTowardCoherentWords) {
+  // One topic's relaxed sample splits mass between an in-block word and an
+  // out-of-block word; the gradient must favor the in-block word.
+  const Tensor kernel = BlockKernel(8, 4);
+  // Topic 0 anchored on words 0,1; topic 1 anchored on 4,5.
+  Tensor step1(2, 8);
+  step1.at(0, 0) = 1.0f;
+  step1.at(1, 4) = 1.0f;
+  Tensor step2(2, 8);
+  step2.at(0, 1) = 1.0f;
+  step2.at(1, 5) = 1.0f;
+  // Step 3 for topic 0: half on word 2 (in-block), half on word 6
+  // (out-of-block, inside topic 1's block).
+  Tensor step3(2, 8);
+  step3.at(0, 2) = 0.5f;
+  step3.at(0, 6) = 0.5f;
+  step3.at(1, 7) = 1.0f;
+  Var step3_var = Var::Leaf(step3, /*requires_grad=*/true);
+  Var loss = TopicContrastiveLoss(
+      {Var::Constant(step1), Var::Constant(step2), step3_var}, kernel);
+  Backward(loss);
+  // d loss / d p(word 2) < d loss / d p(word 6): increasing the coherent
+  // word's probability reduces the loss more.
+  EXPECT_LT(step3_var.grad().at(0, 2), step3_var.grad().at(0, 6));
+}
+
+// ---------------------------------------------------------------------------
+// ContraTopic options plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(ContraTopicOptionsTest, VariantNames) {
+  EXPECT_EQ(VariantName(Variant::kFull), "ContraTopic");
+  EXPECT_EQ(VariantName(Variant::kPositiveOnly), "ContraTopic-P");
+  EXPECT_EQ(VariantName(Variant::kNegativeOnly), "ContraTopic-N");
+  EXPECT_EQ(VariantName(Variant::kInnerProduct), "ContraTopic-I");
+  EXPECT_EQ(VariantName(Variant::kExpectation), "ContraTopic-S");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace contratopic

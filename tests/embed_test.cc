@@ -1,0 +1,186 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "embed/cooccurrence.h"
+#include "embed/svd.h"
+#include "embed/word_embeddings.h"
+#include "tensor/kernels.h"
+#include "text/synthetic.h"
+
+namespace contratopic {
+namespace embed {
+namespace {
+
+using tensor::Tensor;
+
+text::BowCorpus TinyCorpus() {
+  // Two word clusters: {a,b,c} co-occur, {x,y,z} co-occur.
+  text::Vocabulary vocab;
+  for (const char* w : {"a", "b", "c", "x", "y", "z"}) vocab.AddWord(w);
+  std::vector<text::Document> docs;
+  for (int i = 0; i < 20; ++i) {
+    text::Document d;
+    if (i % 2 == 0) {
+      d.entries = {{0, 2}, {1, 1}, {2, 1}};
+    } else {
+      d.entries = {{3, 2}, {4, 1}, {5, 1}};
+    }
+    docs.push_back(d);
+  }
+  return text::BowCorpus(std::move(vocab), std::move(docs));
+}
+
+TEST(CooccurrenceTest, PresenceCountsPairs) {
+  CooccurrenceCounts counts(6);
+  counts.AddPresence(TinyCorpus());
+  EXPECT_EQ(counts.num_docs(), 20);
+  EXPECT_DOUBLE_EQ(counts.pair(0, 1), 10.0);  // a,b in 10 docs.
+  EXPECT_DOUBLE_EQ(counts.pair(0, 3), 0.0);   // a,x never together.
+  EXPECT_DOUBLE_EQ(counts.marginal(0), 10.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(counts.pair(1, 0), counts.pair(0, 1));
+}
+
+TEST(CooccurrenceTest, WeightedCountsUseTermFrequencies) {
+  CooccurrenceCounts counts(6);
+  counts.AddWeighted(TinyCorpus());
+  // a (count 2) with b (count 1), 10 docs: 2*1*10 = 20.
+  EXPECT_DOUBLE_EQ(counts.pair(0, 1), 20.0);
+}
+
+TEST(PpmiTest, PositiveForAssociatedPairsZeroForUnrelated) {
+  CooccurrenceCounts counts(6);
+  counts.AddWeighted(TinyCorpus());
+  const Tensor ppmi = PpmiMatrix(counts, 0.1);
+  EXPECT_GT(ppmi.at(0, 1), 0.0f);  // a-b associated.
+  EXPECT_FLOAT_EQ(ppmi.at(0, 3), 0.0f);  // a-x unrelated -> clipped.
+  // Symmetric.
+  EXPECT_FLOAT_EQ(ppmi.at(1, 0), ppmi.at(0, 1));
+}
+
+TEST(JacobiEigenTest, RecoversKnownSpectrum) {
+  // Symmetric matrix with known eigenvalues {3, 1}: [[2,1],[1,2]].
+  Tensor m(2, 2, {2, 1, 1, 2});
+  const SymmetricEigen eigen = JacobiEigen(m);
+  ASSERT_EQ(eigen.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0f, 1e-4f);
+  EXPECT_NEAR(eigen.eigenvalues[1], 1.0f, 1e-4f);
+  // First eigenvector proportional to (1, 1)/sqrt(2).
+  EXPECT_NEAR(std::fabs(eigen.eigenvectors.at(0, 0)),
+              std::fabs(eigen.eigenvectors.at(0, 1)), 1e-4f);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  util::Rng rng(3);
+  Tensor m = Tensor::RandNormal(6, 6, rng);
+  // Symmetrize.
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) {
+      const float avg = 0.5f * (m.at(i, j) + m.at(j, i));
+      m.at(i, j) = avg;
+      m.at(j, i) = avg;
+    }
+  }
+  const SymmetricEigen eigen = JacobiEigen(m);
+  // Reconstruct sum_i lambda_i v_i v_i^T.
+  Tensor recon(6, 6);
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 6; ++i) {
+      for (int j = 0; j < 6; ++j) {
+        recon.at(i, j) += eigen.eigenvalues[e] *
+                          eigen.eigenvectors.at(e, i) *
+                          eigen.eigenvectors.at(e, j);
+      }
+    }
+  }
+  EXPECT_TRUE(tensor::AllClose(recon, m, 1e-3f));
+}
+
+TEST(OrthonormalizeTest, ProducesOrthonormalColumns) {
+  util::Rng rng(4);
+  Tensor m = Tensor::RandNormal(20, 5, rng);
+  OrthonormalizeColumns(&m, rng);
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      double dot = 0.0;
+      for (int r = 0; r < 20; ++r) {
+        dot += static_cast<double>(m.at(r, a)) * m.at(r, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-4) << a << "," << b;
+    }
+  }
+}
+
+TEST(TruncatedEigenTest, MatchesJacobiOnTopEigenpairs) {
+  util::Rng rng(5);
+  // Build a PSD matrix A = B B^T.
+  const Tensor b = Tensor::RandNormal(30, 30, rng);
+  const Tensor a = tensor::MatMulNew(b, false, b, true);
+  const SymmetricEigen full = JacobiEigen(a, 100);
+  util::Rng rng2(6);
+  const TruncatedEigen truncated = TruncatedSymmetricEigen(a, 4, rng2, 12);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(truncated.eigenvalues[i], full.eigenvalues[i],
+                0.02f * std::fabs(full.eigenvalues[0]))
+        << "eigenvalue " << i;
+  }
+}
+
+TEST(WordEmbeddingsTest, ClusterStructureSurvivesFactorization) {
+  EmbeddingConfig config;
+  config.dimension = 3;
+  const WordEmbeddings embeddings = WordEmbeddings::Train(TinyCorpus(), config);
+  EXPECT_EQ(embeddings.vocab_size(), 6);
+  EXPECT_EQ(embeddings.dimension(), 3);
+  // Within-cluster cosine must exceed cross-cluster cosine.
+  EXPECT_GT(embeddings.Cosine(0, 1), embeddings.Cosine(0, 3));
+  EXPECT_GT(embeddings.Cosine(3, 4), embeddings.Cosine(4, 2));
+}
+
+TEST(WordEmbeddingsTest, NearestNeighborsInCluster) {
+  EmbeddingConfig config;
+  config.dimension = 3;
+  const WordEmbeddings embeddings = WordEmbeddings::Train(TinyCorpus(), config);
+  const auto neighbors = embeddings.NearestNeighbors(0, 2);  // "a"
+  ASSERT_EQ(neighbors.size(), 2u);
+  // Both nearest neighbors of "a" are from {b, c} = ids {1, 2}.
+  for (int n : neighbors) {
+    EXPECT_TRUE(n == 1 || n == 2) << "neighbor " << n;
+  }
+}
+
+TEST(WordEmbeddingsTest, SaveLoadRoundTrip) {
+  EmbeddingConfig config;
+  config.dimension = 4;
+  const WordEmbeddings original = WordEmbeddings::Train(TinyCorpus(), config);
+  const std::string path = ::testing::TempDir() + "/ct_embeddings_test.bin";
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = WordEmbeddings::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocab_size(), original.vocab_size());
+  EXPECT_EQ(loaded->words()[2], original.words()[2]);
+  EXPECT_TRUE(tensor::AllClose(loaded->vectors(), original.vectors()));
+}
+
+TEST(WordEmbeddingsTest, SyntheticThemesClusterInEmbeddingSpace) {
+  // Words of the same theme should be mutual near-neighbors after PPMI-SVD
+  // on a synthetic corpus.
+  text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::Preset20NG(0.25));
+  EmbeddingConfig config;
+  config.dimension = 32;
+  const WordEmbeddings embeddings =
+      WordEmbeddings::Train(dataset.train, config);
+  const int space = dataset.train.vocab().GetId("space");
+  const int nasa = dataset.train.vocab().GetId("nasa");
+  const int cup = dataset.train.vocab().GetId("cup");
+  ASSERT_GE(space, 0);
+  ASSERT_GE(nasa, 0);
+  ASSERT_GE(cup, 0);
+  EXPECT_GT(embeddings.Cosine(space, nasa), embeddings.Cosine(space, cup));
+}
+
+}  // namespace
+}  // namespace embed
+}  // namespace contratopic

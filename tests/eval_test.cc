@@ -1,0 +1,273 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/clustering.h"
+#include "tensor/kernels.h"
+#include "eval/intrusion.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/synthetic.h"
+
+namespace contratopic {
+namespace eval {
+namespace {
+
+using tensor::Tensor;
+
+// Corpus with two cleanly separated word clusters over 8 words.
+text::BowCorpus ClusteredCorpus() {
+  text::Vocabulary vocab;
+  for (const char* w : {"a", "b", "c", "d", "x", "y", "z", "w"}) {
+    vocab.AddWord(w);
+  }
+  std::vector<text::Document> docs;
+  for (int i = 0; i < 40; ++i) {
+    text::Document d;
+    d.label = i % 2;
+    if (i % 2 == 0) {
+      d.entries = {{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+    } else {
+      d.entries = {{4, 1}, {5, 1}, {6, 1}, {7, 1}};
+    }
+    docs.push_back(d);
+  }
+  return text::BowCorpus(std::move(vocab), std::move(docs), {"c0", "c1"});
+}
+
+TEST(NpmiTest, PerfectCooccurrenceScoresHigh) {
+  const NpmiMatrix npmi = NpmiMatrix::Compute(ClusteredCorpus());
+  // a and b always co-occur and never appear apart -> NPMI = 1.
+  EXPECT_NEAR(npmi.value(0, 1), 1.0f, 1e-5f);
+  // a and x never co-occur -> NPMI = -1.
+  EXPECT_FLOAT_EQ(npmi.value(0, 4), -1.0f);
+  // Diagonal is 1.
+  EXPECT_FLOAT_EQ(npmi.value(3, 3), 1.0f);
+  // Symmetric.
+  EXPECT_FLOAT_EQ(npmi.value(1, 0), npmi.value(0, 1));
+}
+
+TEST(NpmiTest, ValuesBounded) {
+  text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  const NpmiMatrix npmi = NpmiMatrix::Compute(dataset.train);
+  for (int i = 0; i < npmi.vocab_size(); i += 37) {
+    for (int j = 0; j < npmi.vocab_size(); j += 41) {
+      const float v = npmi.value(i, j);
+      EXPECT_GE(v, -1.0f - 1e-5f);
+      EXPECT_LE(v, 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(NpmiTest, SubMatrixGathersEntries) {
+  const NpmiMatrix npmi = NpmiMatrix::Compute(ClusteredCorpus());
+  const Tensor sub = npmi.SubMatrix({0, 4});
+  EXPECT_FLOAT_EQ(sub.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(sub.at(0, 1), npmi.value(0, 4));
+}
+
+TEST(NpmiTest, MeanPairwise) {
+  const NpmiMatrix npmi = NpmiMatrix::Compute(ClusteredCorpus());
+  EXPECT_NEAR(npmi.MeanPairwise({0, 1, 2}), 1.0, 1e-5);
+  EXPECT_NEAR(npmi.MeanPairwise({0, 4}), -1.0, 1e-5);
+  EXPECT_DOUBLE_EQ(npmi.MeanPairwise({0}), 0.0);  // Needs >= 2 words.
+}
+
+TEST(MetricsTest, CoherentTopicOutscoresMixedTopic) {
+  const NpmiMatrix npmi = NpmiMatrix::Compute(ClusteredCorpus());
+  // Topic 0 concentrated on cluster 1; topic 1 mixes clusters.
+  Tensor beta(2, 8);
+  for (int w = 0; w < 4; ++w) beta.at(0, w) = 0.25f;
+  beta.at(1, 0) = 0.3f;
+  beta.at(1, 4) = 0.3f;
+  beta.at(1, 1) = 0.2f;
+  beta.at(1, 5) = 0.2f;
+  const auto coherence = PerTopicCoherence(beta, npmi, 4);
+  EXPECT_GT(coherence[0], coherence[1]);
+  EXPECT_NEAR(coherence[0], 1.0, 1e-5);
+}
+
+TEST(MetricsTest, CoherenceAtProportionSelectsBestTopics) {
+  const std::vector<double> coherence = {0.1, 0.9, 0.5, 0.3};
+  EXPECT_NEAR(CoherenceAtProportion(coherence, 0.25), 0.9, 1e-9);
+  EXPECT_NEAR(CoherenceAtProportion(coherence, 0.5), 0.7, 1e-9);
+  EXPECT_NEAR(CoherenceAtProportion(coherence, 1.0), 0.45, 1e-9);
+}
+
+TEST(MetricsTest, DiversityDetectsDuplicateTopics) {
+  // Two identical topics + one distinct topic over 60 words.
+  Tensor beta(3, 60);
+  for (int w = 0; w < 25; ++w) {
+    beta.at(0, w) = 1.0f / 25;
+    beta.at(1, w) = 1.0f / 25;  // duplicate of topic 0
+    beta.at(2, 30 + w) = 1.0f / 25;
+  }
+  const std::vector<double> coherence = {0.5, 0.4, 0.3};
+  // All three topics: 50 unique words over 75 slots.
+  EXPECT_NEAR(DiversityAtProportion(beta, coherence, 1.0), 50.0 / 75.0, 1e-9);
+  // Top topic alone: fully diverse.
+  EXPECT_NEAR(DiversityAtProportion(beta, coherence, 1.0 / 3), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, InterpretabilityCurveShape) {
+  text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  const NpmiMatrix npmi = NpmiMatrix::Compute(dataset.train);
+  util::Rng rng(3);
+  const Tensor beta = tensor::SoftmaxRows(
+      Tensor::RandNormal(10, dataset.train.vocab_size(), rng));
+  const InterpretabilityCurve curve = EvaluateInterpretability(beta, npmi);
+  ASSERT_EQ(curve.proportions.size(), 10u);
+  ASSERT_EQ(curve.coherence.size(), 10u);
+  // Coherence over best-p% topics is non-increasing in p by construction.
+  for (size_t i = 1; i < curve.coherence.size(); ++i) {
+    EXPECT_LE(curve.coherence[i], curve.coherence[i - 1] + 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------------
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  util::Rng rng(7);
+  Tensor points(60, 2);
+  std::vector<int> labels(60);
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % 3;
+    labels[i] = c;
+    points.at(i, 0) = static_cast<float>(10 * c + rng.Normal(0.0, 0.3));
+    points.at(i, 1) = static_cast<float>(rng.Normal(0.0, 0.3));
+  }
+  const KMeansResult result = KMeans(points, 3, rng);
+  EXPECT_NEAR(Purity(result.assignments, labels), 1.0, 1e-9);
+  EXPECT_NEAR(NormalizedMutualInformation(result.assignments, labels), 1.0,
+              1e-6);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(8);
+  const Tensor points = Tensor::RandNormal(100, 4, rng);
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const double inertia2 = KMeans(points, 2, rng_a).inertia;
+  const double inertia10 = KMeans(points, 10, rng_b).inertia;
+  EXPECT_LT(inertia10, inertia2);
+}
+
+TEST(KMeansTest, ClampClusterCountToPoints) {
+  util::Rng rng(10);
+  const Tensor points = Tensor::RandNormal(3, 2, rng);
+  const KMeansResult result = KMeans(points, 10, rng);
+  for (int a : result.assignments) EXPECT_LT(a, 3);
+}
+
+TEST(PurityTest, KnownValues) {
+  // Clusters: {0,0,1}, labels {a,a,a} -> purity 1.
+  EXPECT_DOUBLE_EQ(Purity({0, 0, 1}, {5, 5, 5}), 1.0);
+  // Perfectly mixed.
+  EXPECT_DOUBLE_EQ(Purity({0, 0, 0, 0}, {1, 1, 2, 2}), 0.5);
+}
+
+TEST(NmiTest, KnownValues) {
+  // Identical partitions -> 1.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {7, 7, 3, 3}), 1.0,
+              1e-9);
+  // Independent partitions -> ~0.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 1, 0, 1}, {2, 2, 3, 3}), 0.0,
+              1e-9);
+}
+
+TEST(ClusteringScoreTest, EndToEnd) {
+  util::Rng rng(11);
+  Tensor theta(40, 2);
+  std::vector<int> labels(40);
+  for (int i = 0; i < 40; ++i) {
+    labels[i] = i % 2;
+    theta.at(i, labels[i]) = 1.0f;
+  }
+  const ClusteringScore score = EvaluateClustering(theta, labels, 2, rng);
+  EXPECT_NEAR(score.purity, 1.0, 1e-9);
+  EXPECT_NEAR(score.nmi, 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Word intrusion
+// ---------------------------------------------------------------------------
+
+// Builds a beta whose topics match the corpus clusters exactly.
+Tensor AlignedBeta(const text::BowCorpus& corpus) {
+  Tensor beta(2, corpus.vocab_size());
+  for (int w = 0; w < 4; ++w) beta.at(0, w) = 0.25f;
+  for (int w = 4; w < 8; ++w) beta.at(1, w) = 0.25f;
+  return beta;
+}
+
+TEST(IntrusionTest, QuestionsAreWellFormed) {
+  const text::BowCorpus corpus = ClusteredCorpus();
+  const NpmiMatrix npmi = NpmiMatrix::Compute(corpus);
+  IntrusionConfig config;
+  config.words_per_question = 3;
+  const auto questions =
+      GenerateIntrusionQuestions(AlignedBeta(corpus), npmi, config);
+  ASSERT_FALSE(questions.empty());
+  for (const auto& q : questions) {
+    EXPECT_EQ(q.topic_words.size(), 3u);
+    EXPECT_GE(q.intruder, 0);
+    EXPECT_EQ(q.shuffled.size(), 4u);
+    // Intruder is present in the shuffled list exactly once.
+    int count = 0;
+    for (int w : q.shuffled) {
+      if (w == q.intruder) ++count;
+    }
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(IntrusionTest, SimulatedAnnotatorFindsObviousIntruder) {
+  const text::BowCorpus corpus = ClusteredCorpus();
+  const NpmiMatrix npmi = NpmiMatrix::Compute(corpus);
+  IntrusionQuestion q;
+  q.topic = 0;
+  q.topic_words = {0, 1, 2};  // a, b, c (cluster 1)
+  q.intruder = 5;             // y (cluster 2)
+  q.shuffled = {0, 5, 1, 2};
+  const int answer = SimulatedAnnotatorAnswer(q, npmi);
+  EXPECT_EQ(q.shuffled[answer], 5);
+}
+
+TEST(IntrusionTest, CoherentModelScoresHigherThanRandomModel) {
+  text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::Preset20NG(0.2));
+  const NpmiMatrix train_npmi = NpmiMatrix::Compute(dataset.train);
+  const NpmiMatrix test_npmi = NpmiMatrix::Compute(dataset.test);
+
+  // "Good" beta: one topic per theme, aligned with true theme words.
+  const auto themes = text::MakeThemes(30, 40);
+  Tensor good_beta(20, dataset.train.vocab_size());
+  for (int k = 0; k < 20; ++k) {
+    float rank_weight = 0.2f;
+    for (const auto& word : themes[k].words) {
+      const int id = dataset.train.vocab().GetId(word);
+      if (id >= 0) good_beta.at(k, id) = rank_weight;
+      rank_weight *= 0.85f;
+    }
+  }
+  // "Bad" beta: random.
+  util::Rng rng(13);
+  const Tensor bad_beta = tensor::SoftmaxRows(
+      Tensor::RandNormal(20, dataset.train.vocab_size(), rng));
+
+  IntrusionConfig config;
+  const double good_score = WordIntrusionScore(
+      GenerateIntrusionQuestions(good_beta, train_npmi, config), test_npmi);
+  const double bad_score = WordIntrusionScore(
+      GenerateIntrusionQuestions(bad_beta, train_npmi, config), test_npmi);
+  EXPECT_GT(good_score, bad_score);
+  EXPECT_GT(good_score, 0.5);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace contratopic

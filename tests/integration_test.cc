@@ -1,0 +1,168 @@
+// End-to-end pipeline tests: corpus generation -> embeddings -> training ->
+// every evaluation metric in the paper, at micro scale. These guard the
+// exact paths the bench harness exercises.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "eval/clustering.h"
+#include "eval/intrusion.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/synthetic.h"
+
+namespace contratopic {
+namespace {
+
+using topicmodel::TrainConfig;
+
+struct Pipeline {
+  text::SyntheticDataset dataset;
+  text::BowCorpus reference;
+  embed::WordEmbeddings embeddings;
+  eval::NpmiMatrix train_npmi;
+  eval::NpmiMatrix test_npmi;
+
+  explicit Pipeline(const text::SyntheticConfig& config)
+      : dataset(text::GenerateSynthetic(config)),
+        reference(text::GenerateReferenceCorpus(config, dataset.train.vocab())),
+        embeddings(embed::WordEmbeddings::Train(reference, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }())),
+        train_npmi(eval::NpmiMatrix::Compute(dataset.train)),
+        test_npmi(eval::NpmiMatrix::Compute(dataset.test)) {}
+};
+
+Pipeline& SharedPipeline() {
+  static Pipeline* pipeline = new Pipeline(text::Preset20NG(0.2));
+  return *pipeline;
+}
+
+TrainConfig SmallConfig() {
+  TrainConfig config;
+  config.num_topics = 10;
+  config.epochs = 6;
+  config.batch_size = 200;
+  config.encoder_hidden = 48;
+  config.encoder_layers = 1;
+  return config;
+}
+
+TEST(IntegrationTest, ContraTopicFullPipeline) {
+  Pipeline& p = SharedPipeline();
+  auto model = core::MakeContraTopicEtm(SmallConfig(), p.embeddings);
+  const topicmodel::TrainStats stats = model->Train(p.dataset.train);
+  EXPECT_GT(stats.seconds_per_epoch, 0.0);
+  // The NPMI kernel memory is accounted (paper §V.E).
+  const int64_t v = p.dataset.train.vocab_size();
+  EXPECT_EQ(stats.extra_memory_bytes, v * v * 4);
+
+  // Interpretability on held-out co-occurrence.
+  const eval::InterpretabilityCurve curve =
+      eval::EvaluateInterpretability(model->Beta(), p.test_npmi);
+  EXPECT_GT(curve.coherence[0], -0.2);
+  EXPECT_GT(curve.diversity[0], 0.5);
+
+  // Clustering.
+  const tensor::Tensor theta = model->InferTheta(p.dataset.test);
+  util::Rng rng(3);
+  const eval::ClusteringScore score = eval::EvaluateClustering(
+      theta, p.dataset.test.Labels([&] {
+        std::vector<int> all(p.dataset.test.num_docs());
+        for (int i = 0; i < p.dataset.test.num_docs(); ++i) all[i] = i;
+        return all;
+      }()),
+      10, rng);
+  EXPECT_GT(score.purity, 0.1);
+  EXPECT_GE(score.nmi, 0.0);
+
+  // Word intrusion.
+  const auto questions = eval::GenerateIntrusionQuestions(
+      model->Beta(), p.train_npmi, eval::IntrusionConfig{});
+  EXPECT_FALSE(questions.empty());
+  const double wis = eval::WordIntrusionScore(questions, p.test_npmi);
+  EXPECT_GE(wis, 0.0);
+  EXPECT_LE(wis, 1.0);
+}
+
+TEST(IntegrationTest, ContrastiveRegularizerIsActive) {
+  Pipeline& p = SharedPipeline();
+  TrainConfig config = SmallConfig();
+  core::ContraTopicOptions options;
+  options.warmup_fraction = 0.0f;  // Active from step one for this check.
+  auto model = core::MakeContraTopicEtm(config, p.embeddings, options);
+  model->Train(p.dataset.train);
+  EXPECT_NE(model->last_contrastive_loss(), 0.0f);
+}
+
+TEST(IntegrationTest, LambdaZeroMatchesPlainBackboneLoss) {
+  Pipeline& p = SharedPipeline();
+  TrainConfig config = SmallConfig();
+  config.epochs = 2;
+  core::ContraTopicOptions options;
+  options.lambda = 0.0f;
+  auto contratopic = core::MakeContraTopicEtm(config, p.embeddings, options);
+  const double contra_loss =
+      contratopic->Train(p.dataset.train).final_loss;
+  auto etm = core::CreateModel("etm", config, p.embeddings);
+  const double etm_loss = etm->Train(p.dataset.train).final_loss;
+  // Same objective, but the regularized model draws batch order and
+  // encoder noise from differently-interleaved rng streams, so the match
+  // is statistical rather than bitwise.
+  EXPECT_NEAR(contra_loss, etm_loss, 0.03 * std::max(1.0, std::fabs(etm_loss)));
+}
+
+TEST(IntegrationTest, BackboneSubstitutionTrains) {
+  Pipeline& p = SharedPipeline();
+  for (const char* name : {"contratopic-wlda", "contratopic-wete"}) {
+    auto model = core::CreateModel(name, SmallConfig(), p.embeddings);
+    model->Train(p.dataset.train);
+    const tensor::Tensor beta = model->Beta();
+    for (int64_t i = 0; i < beta.numel(); ++i) {
+      ASSERT_FALSE(std::isnan(beta.data()[i])) << name;
+    }
+  }
+}
+
+TEST(IntegrationTest, VariantsProduceDifferentTopics) {
+  Pipeline& p = SharedPipeline();
+  TrainConfig config = SmallConfig();
+  auto full = core::CreateModel("contratopic", config, p.embeddings);
+  auto neg = core::CreateModel("contratopic-n", config, p.embeddings);
+  full->Train(p.dataset.train);
+  neg->Train(p.dataset.train);
+  EXPECT_FALSE(tensor::AllClose(full->Beta(), neg->Beta(), 1e-6f));
+}
+
+TEST(IntegrationTest, SeedsReproduceTraining) {
+  Pipeline& p = SharedPipeline();
+  TrainConfig config = SmallConfig();
+  config.epochs = 2;
+  auto a = core::CreateModel("contratopic", config, p.embeddings);
+  auto b = core::CreateModel("contratopic", config, p.embeddings);
+  a->Train(p.dataset.train);
+  b->Train(p.dataset.train);
+  EXPECT_TRUE(tensor::AllClose(a->Beta(), b->Beta(), 1e-5f));
+}
+
+TEST(IntegrationTest, DifferentSeedsDiverge) {
+  Pipeline& p = SharedPipeline();
+  TrainConfig config = SmallConfig();
+  config.epochs = 2;
+  auto a = core::CreateModel("contratopic", config, p.embeddings);
+  config.seed = 12345;
+  auto b = core::CreateModel("contratopic", config, p.embeddings);
+  a->Train(p.dataset.train);
+  b->Train(p.dataset.train);
+  EXPECT_FALSE(tensor::AllClose(a->Beta(), b->Beta(), 1e-5f));
+}
+
+}  // namespace
+}  // namespace contratopic

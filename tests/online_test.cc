@@ -1,0 +1,218 @@
+// Tests for the §VI future-work extensions: the time-sliced corpus
+// generator, decayed co-occurrence statistics, incremental training, the
+// online ContraTopic wrapper, and the multi-level contrastive option.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "core/online.h"
+#include "embed/cooccurrence.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/dynamic.h"
+#include "text/synthetic.h"
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace {
+
+text::DynamicConfig SmallDynamicConfig() {
+  text::DynamicConfig config;
+  config.base = text::Preset20NG(1.0);
+  config.base.num_themes = 12;
+  config.base.words_per_theme = 24;
+  config.base.preprocess.min_doc_frequency = 3;
+  config.num_slices = 3;
+  config.docs_per_slice = 250;
+  config.drift = 1.0;
+  return config;
+}
+
+TEST(DynamicCorpusTest, SlicesShareVocabularyAndAreNonEmpty) {
+  const text::DynamicDataset dataset = GenerateDynamic(SmallDynamicConfig());
+  ASSERT_EQ(dataset.slices.size(), 3u);
+  for (const auto& slice : dataset.slices) {
+    EXPECT_GT(slice.num_docs(), 100);
+    EXPECT_EQ(slice.vocab_size(), dataset.vocab.size());
+  }
+}
+
+TEST(DynamicCorpusTest, PopularityIsANormalizedDistributionPerSlice) {
+  const text::DynamicDataset dataset = GenerateDynamic(SmallDynamicConfig());
+  for (const auto& pop : dataset.popularity) {
+    double sum = 0.0;
+    for (double p : pop) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DynamicCorpusTest, DriftChangesLabelDistributionAcrossSlices) {
+  const text::DynamicDataset dataset = GenerateDynamic(SmallDynamicConfig());
+  // Compare label histograms of first and last slice: with drift = 1.0
+  // they should differ substantially (L1 distance above a loose floor).
+  auto histogram = [&](const text::BowCorpus& slice) {
+    std::vector<double> h(12, 0.0);
+    for (const auto& d : slice.docs()) h[d.label] += 1.0;
+    for (auto& v : h) v /= slice.num_docs();
+    return h;
+  };
+  const auto first = histogram(dataset.slices.front());
+  const auto last = histogram(dataset.slices.back());
+  double l1 = 0.0;
+  for (size_t i = 0; i < first.size(); ++i) l1 += std::fabs(first[i] - last[i]);
+  EXPECT_GT(l1, 0.3);
+}
+
+TEST(CooccurrenceScaleTest, DecaysCountsAndDocTotal) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  embed::CooccurrenceCounts counts(data.train.vocab_size());
+  counts.AddPresence(data.train);
+  const double before = counts.pair(0, 0);
+  const int64_t docs_before = counts.num_docs();
+  counts.Scale(0.5);
+  EXPECT_NEAR(counts.pair(0, 0), before * 0.5, 1e-3);
+  EXPECT_EQ(counts.num_docs(), docs_before / 2);
+}
+
+TEST(NpmiFromCountsTest, MatchesComputeOnSameCorpus) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  const eval::NpmiMatrix direct = eval::NpmiMatrix::Compute(data.train);
+  embed::CooccurrenceCounts counts(data.train.vocab_size());
+  counts.AddPresence(data.train);
+  const eval::NpmiMatrix from_counts = eval::NpmiMatrix::FromCounts(counts);
+  EXPECT_TRUE(
+      tensor::AllClose(direct.matrix(), from_counts.matrix(), 1e-5f));
+}
+
+TEST(TrainMoreTest, ContinuesFromTrainedState) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.15));
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 16;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(data.train, embed_config);
+  topicmodel::TrainConfig config;
+  config.num_topics = 6;
+  config.epochs = 2;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  topicmodel::EtmModel model(config, embeddings);
+  const double first_loss = model.Train(data.train).final_loss;
+  const double more_loss = model.TrainMore(data.train, 4).final_loss;
+  EXPECT_LT(more_loss, first_loss);  // Training continued, not restarted.
+}
+
+TEST(TrainMoreTest, RequiresInitialTrain) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 8;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(data.train, embed_config);
+  topicmodel::TrainConfig config;
+  config.num_topics = 4;
+  config.encoder_hidden = 16;
+  config.encoder_layers = 1;
+  topicmodel::EtmModel model(config, embeddings);
+  EXPECT_DEATH(model.TrainMore(data.train, 1), "before TrainMore");
+}
+
+TEST(OnlineContraTopicTest, FitsStreamAndTracksDrift) {
+  const text::DynamicDataset dataset = GenerateDynamic(SmallDynamicConfig());
+  // Embeddings from the first slice (the "history" available at t=0).
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 24;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.slices[0], embed_config);
+
+  core::OnlineContraTopic::Options options;
+  options.train.num_topics = 8;
+  options.train.epochs = 5;
+  options.train.encoder_hidden = 48;
+  options.train.encoder_layers = 1;
+  options.contra.lambda = 20.0f;
+  options.epochs_per_slice = 3;
+  options.decay = 0.6;
+  core::OnlineContraTopic online(embeddings, options);
+
+  int64_t prev_docs = 0;
+  for (const auto& slice : dataset.slices) {
+    const auto report = online.FitSlice(slice);
+    EXPECT_GT(report.stats.total_seconds, 0.0);
+    EXPECT_GT(report.accumulated_docs, 0);
+    prev_docs = report.accumulated_docs;
+  }
+  EXPECT_EQ(online.num_slices_seen(), 3);
+  EXPECT_GT(prev_docs, 0);
+
+  // After the stream, the model's topics are meaningfully coherent on the
+  // final slice's co-occurrence.
+  const eval::NpmiMatrix npmi =
+      eval::NpmiMatrix::Compute(dataset.slices.back());
+  const auto coherence = eval::PerTopicCoherence(online.Beta(), npmi);
+  EXPECT_GT(eval::CoherenceAtProportion(coherence, 0.25), 0.0);
+
+  // Theta inference works on the stream's documents.
+  const tensor::Tensor theta = online.InferTheta(dataset.slices.back());
+  EXPECT_EQ(theta.rows(), dataset.slices.back().num_docs());
+}
+
+TEST(MultiLevelTest, DocumentContrastTermTrains) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.15));
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 16;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(data.train, embed_config);
+  topicmodel::TrainConfig config;
+  config.num_topics = 6;
+  config.epochs = 3;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  core::ContraTopicOptions options;
+  options.document_contrast_weight = 1.0f;
+  auto model = core::MakeContraTopicEtm(config, embeddings, options);
+  model->Train(data.train);
+  const tensor::Tensor beta = model->Beta();
+  for (int64_t i = 0; i < beta.numel(); ++i) {
+    ASSERT_FALSE(std::isnan(beta.data()[i]));
+  }
+  // The multi-level objective changes training relative to topic-only.
+  core::ContraTopicOptions plain;
+  auto baseline = core::MakeContraTopicEtm(config, embeddings, plain);
+  baseline->Train(data.train);
+  EXPECT_FALSE(tensor::AllClose(beta, baseline->Beta(), 1e-6f));
+}
+
+TEST(EncodeRepresentationTest, EtmExposesDifferentiableEncoder) {
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.1));
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 8;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(data.train, embed_config);
+  topicmodel::TrainConfig config;
+  config.num_topics = 4;
+  config.encoder_hidden = 16;
+  config.encoder_layers = 1;
+  topicmodel::EtmModel model(config, embeddings);
+  std::vector<int> batch = {0, 1, 2};
+  autodiff::Var h =
+      model.EncodeRepresentation(data.train.NormalizedBatch(batch));
+  ASSERT_TRUE(h.defined());
+  EXPECT_EQ(h.rows(), 3);
+  EXPECT_EQ(h.cols(), 4);
+  EXPECT_TRUE(h.requires_grad());
+}
+
+}  // namespace
+}  // namespace contratopic

@@ -1,0 +1,345 @@
+// Property-based sweeps over the library's core invariants, plus failure
+// injection for the I/O paths. Complements the per-module unit tests with
+// TEST_P coverage across shapes, seeds, temperatures, and dataset presets.
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/contrastive_loss.h"
+#include "core/subset_sampler.h"
+#include "embed/word_embeddings.h"
+#include "eval/clustering.h"
+#include "eval/intrusion.h"
+#include "eval/npmi.h"
+#include "nn/optimizer.h"
+#include "tensor/kernels.h"
+#include "text/preprocess.h"
+#include "util/serialize.h"
+#include "util/table_writer.h"
+#include "text/synthetic.h"
+
+namespace contratopic {
+namespace {
+
+using tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// MatMul: random shapes vs. a naive reference.
+// ---------------------------------------------------------------------------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(m * 10007 + k * 101 + n));
+  const Tensor a = Tensor::RandNormal(m, k, rng);
+  const Tensor b = Tensor::RandNormal(k, n, rng);
+  Tensor expected(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      }
+      expected.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  EXPECT_TRUE(
+      tensor::AllClose(tensor::MatMulNew(a, false, b, false), expected, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 3),
+                      std::make_tuple(5, 1, 5), std::make_tuple(13, 17, 19),
+                      std::make_tuple(64, 3, 64), std::make_tuple(2, 100, 2),
+                      std::make_tuple(33, 65, 9)));
+
+// ---------------------------------------------------------------------------
+// Softmax invariants over random seeds.
+// ---------------------------------------------------------------------------
+
+class SoftmaxSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxSeedTest, RowsSumToOneAndOrderPreserved) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const Tensor x = Tensor::RandNormal(6, 20, rng, 0.0f, 4.0f);
+  const Tensor y = tensor::SoftmaxRows(x);
+  for (int64_t r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    int64_t argmax_x = 0;
+    int64_t argmax_y = 0;
+    for (int64_t c = 0; c < y.cols(); ++c) {
+      sum += y.at(r, c);
+      if (x.at(r, c) > x.at(r, argmax_x)) argmax_x = c;
+      if (y.at(r, c) > y.at(r, argmax_y)) argmax_y = c;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_EQ(argmax_x, argmax_y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftmaxSeedTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Subset sampler invariants over (v, tau).
+// ---------------------------------------------------------------------------
+
+class SamplerSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, float>> {};
+
+TEST_P(SamplerSweepTest, StepAndVHotInvariantsHold) {
+  const auto [v, tau] = GetParam();
+  util::Rng rng(123);
+  const Tensor logits = Tensor::RandNormal(5, 30, rng, 0.0f, 2.0f);
+  util::Rng sample_rng(7);
+  const core::SubsetSample sample = core::SampleTopVWithoutReplacement(
+      autodiff::Var::Constant(logits), v, tau, sample_rng);
+  ASSERT_EQ(sample.steps.size(), static_cast<size_t>(v));
+  for (const auto& step : sample.steps) {
+    for (int64_t r = 0; r < step.rows(); ++r) {
+      double sum = 0.0;
+      for (int64_t c = 0; c < step.cols(); ++c) {
+        ASSERT_GE(step.value().at(r, c), 0.0f);
+        sum += step.value().at(r, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-3);
+    }
+  }
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < 30; ++c) sum += sample.v_hot.value().at(r, c);
+    EXPECT_NEAR(sum, static_cast<double>(v), 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VTau, SamplerSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 10, 20),
+                       ::testing::Values(0.1f, 0.5f, 1.0f)));
+
+// ---------------------------------------------------------------------------
+// Contrastive loss: coherent-and-distinct always beats junk, across block
+// structures.
+// ---------------------------------------------------------------------------
+
+class ContrastBlockTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContrastBlockTest, StructuredBeatsShuffled) {
+  const int block = GetParam();
+  const int vocab = 4 * block;
+  Tensor kernel(vocab, vocab);
+  for (int i = 0; i < vocab; ++i) {
+    for (int j = 0; j < vocab; ++j) {
+      kernel.at(i, j) = (i / block == j / block) ? (i == j ? 1.0f : 0.7f)
+                                                 : 0.0f;
+    }
+  }
+  const int v = std::min(3, block);
+  auto hard = [&](const std::vector<std::vector<int>>& words) {
+    std::vector<autodiff::Var> steps;
+    for (int j = 0; j < v; ++j) {
+      Tensor step(2, vocab);
+      for (int t = 0; t < 2; ++t) step.at(t, words[t][j]) = 1.0f;
+      steps.push_back(autodiff::Var::Constant(step));
+    }
+    return core::TopicContrastiveLoss(steps, kernel).value().scalar();
+  };
+  std::vector<std::vector<int>> good(2), junk(2);
+  for (int j = 0; j < v; ++j) {
+    good[0].push_back(j);              // topic 0: block 0
+    good[1].push_back(block + j);      // topic 1: block 1
+    junk[0].push_back(j * block);      // one word from each block
+    junk[1].push_back(j * block + 1);
+  }
+  EXPECT_LT(hard(good), hard(junk)) << "block=" << block;
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ContrastBlockTest,
+                         ::testing::Values(3, 4, 6, 8, 12));
+
+// ---------------------------------------------------------------------------
+// Dataset presets: preprocessing and NPMI invariants hold on all of them.
+// ---------------------------------------------------------------------------
+
+class PresetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PresetTest, PreprocessingInvariants) {
+  const text::SyntheticConfig config =
+      text::PresetByName(GetParam(), 0.08);
+  const text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus& corpus = dataset.train;
+  // No stop words, document-frequency bounds respected, no empty docs.
+  const auto df = corpus.DocumentFrequencies();
+  const int max_df = static_cast<int>(
+      config.preprocess.max_doc_frequency_fraction *
+      (dataset.train.num_docs() + dataset.test.num_docs()));
+  for (int w = 0; w < corpus.vocab_size(); ++w) {
+    EXPECT_FALSE(text::IsStopWord(corpus.vocab().Word(w)));
+    EXPECT_LE(df[w], max_df);
+  }
+  for (const auto& doc : corpus.docs()) {
+    EXPECT_GE(doc.TotalTokens(), config.preprocess.min_doc_length);
+    EXPECT_GE(doc.label, 0);
+    EXPECT_LT(doc.label, config.num_themes);
+  }
+}
+
+TEST_P(PresetTest, NpmiIsSymmetricAndBounded) {
+  const text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::PresetByName(GetParam(), 0.06));
+  const eval::NpmiMatrix npmi = eval::NpmiMatrix::Compute(dataset.train);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int i = static_cast<int>(rng.UniformInt(npmi.vocab_size()));
+    const int j = static_cast<int>(rng.UniformInt(npmi.vocab_size()));
+    EXPECT_FLOAT_EQ(npmi.value(i, j), npmi.value(j, i));
+    EXPECT_GE(npmi.value(i, j), -1.0f - 1e-6f);
+    EXPECT_LE(npmi.value(i, j), 1.0f + 1e-6f);
+  }
+}
+
+TEST_P(PresetTest, ThemeWordsOutscoreCrossThemePairsOnNpmi) {
+  const text::SyntheticDataset dataset =
+      text::GenerateSynthetic(text::PresetByName(GetParam(), 0.12));
+  const eval::NpmiMatrix npmi = eval::NpmiMatrix::Compute(dataset.train);
+  const auto& vocab = dataset.train.vocab();
+  // Same-theme pair vs cross-theme pair, averaged over curated themes.
+  const auto& themes = text::CuratedThemes();
+  double within = 0.0, across = 0.0;
+  int count = 0;
+  for (size_t t = 0; t + 1 < 10; ++t) {
+    const int a = vocab.GetId(themes[t].words[0]);
+    const int b = vocab.GetId(themes[t].words[1]);
+    const int c = vocab.GetId(themes[t + 1].words[0]);
+    if (a < 0 || b < 0 || c < 0) continue;
+    within += npmi.value(a, b);
+    across += npmi.value(a, c);
+    ++count;
+  }
+  ASSERT_GT(count, 3);
+  EXPECT_GT(within / count, across / count + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetTest,
+                         ::testing::Values("20ng-sim", "yahoo-sim",
+                                           "nytimes-sim"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Clustering score ranges over random inputs.
+// ---------------------------------------------------------------------------
+
+class ClusteringRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusteringRangeTest, ScoresStayInValidRanges) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  const Tensor points = Tensor::RandUniform(50, 4, rng);
+  std::vector<int> labels(50);
+  for (int i = 0; i < 50; ++i) labels[i] = static_cast<int>(rng.UniformInt(5));
+  const eval::KMeansResult km = eval::KMeans(points, 5, rng);
+  const double purity = eval::Purity(km.assignments, labels);
+  const double nmi =
+      eval::NormalizedMutualInformation(km.assignments, labels);
+  EXPECT_GE(purity, 1.0 / 5 - 1e-9);
+  EXPECT_LE(purity, 1.0 + 1e-9);
+  EXPECT_GE(nmi, -1e-9);
+  EXPECT_LE(nmi, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringRangeTest, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Optimizers converge across seeds.
+// ---------------------------------------------------------------------------
+
+class AdamSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdamSeedTest, QuadraticConverges) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  autodiff::Var w =
+      autodiff::Var::Leaf(Tensor::RandNormal(1, 4, rng, 0.0f, 3.0f), true);
+  nn::Adam adam(0.1f);
+  for (int step = 0; step < 300; ++step) {
+    autodiff::Var loss = autodiff::SumAll(autodiff::Square(w));
+    autodiff::Backward(loss);
+    adam.Step({{"w", w}});
+    w.ZeroGrad();
+  }
+  EXPECT_LT(w.value().MaxAbs(), 0.02f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdamSeedTest, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Failure injection.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjectionTest, EmbeddingsLoadRejectsTruncatedFile) {
+  const std::string path = ::testing::TempDir() + "/ct_truncated.bin";
+  {
+    util::BinaryWriter writer(path);
+    writer.WriteU64(100);  // Claims 100 rows, then ends.
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const auto result = embed::WordEmbeddings::Load(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(FailureInjectionTest, EmbeddingsLoadRejectsMissingFile) {
+  EXPECT_FALSE(embed::WordEmbeddings::Load("/no/such/file.bin").ok());
+}
+
+TEST(FailureInjectionTest, NormalizedBatchHandlesEmptyDocument) {
+  text::Vocabulary vocab;
+  vocab.AddWord("w");
+  std::vector<text::Document> docs(2);
+  docs[0].entries = {{0, 3}};
+  // docs[1] empty.
+  const text::BowCorpus corpus(vocab, docs);
+  const Tensor batch = corpus.NormalizedBatch({0, 1});
+  EXPECT_NEAR(batch.at(0, 0), 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(batch.at(1, 0), 0.0f);  // Empty row stays zero, no NaN.
+}
+
+TEST(FailureInjectionTest, IntrusionWithTinyTopicCountStillWorks) {
+  util::Rng rng(3);
+  text::SyntheticDataset data =
+      text::GenerateSynthetic(text::Preset20NG(0.06));
+  const eval::NpmiMatrix npmi = eval::NpmiMatrix::Compute(data.train);
+  const Tensor beta =
+      tensor::SoftmaxRows(Tensor::RandNormal(2, data.train.vocab_size(), rng));
+  eval::IntrusionConfig config;
+  const auto questions = eval::GenerateIntrusionQuestions(beta, npmi, config);
+  // With K=2 every topic is "selected": the generator falls back to other
+  // topics for intruders instead of returning nothing.
+  EXPECT_FALSE(questions.empty());
+}
+
+TEST(FailureInjectionTest, TableWriterRejectsUnwritablePath) {
+  util::TableWriter table({"a"});
+  table.AddRow({"1"});
+  EXPECT_FALSE(table.WriteTsv("/proc/definitely/not/writable.tsv").ok());
+}
+
+TEST(FailureInjectionTest, KMeansOnIdenticalPointsDoesNotCrash) {
+  util::Rng rng(9);
+  const Tensor points = Tensor::Ones(20, 3);
+  const eval::KMeansResult result = eval::KMeans(points, 4, rng);
+  EXPECT_EQ(result.assignments.size(), 20u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace contratopic

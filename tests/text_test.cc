@@ -1,0 +1,277 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/preprocess.h"
+#include "text/synthetic.h"
+#include "text/themes.h"
+#include "text/vocabulary.h"
+
+namespace contratopic {
+namespace text {
+namespace {
+
+TEST(VocabularyTest, AddAndLookup) {
+  Vocabulary vocab;
+  const int a = vocab.AddWord("alpha");
+  const int b = vocab.AddWord("beta");
+  EXPECT_EQ(vocab.AddWord("alpha"), a);  // Idempotent.
+  EXPECT_EQ(vocab.size(), 2);
+  EXPECT_EQ(vocab.GetId("beta"), b);
+  EXPECT_EQ(vocab.GetId("gamma"), -1);
+  EXPECT_EQ(vocab.Word(a), "alpha");
+  EXPECT_TRUE(vocab.Contains("beta"));
+}
+
+TEST(TokenizeTest, SplitsAndLowercases) {
+  const auto tokens = Tokenize("Hello, World! MP3 x 42 foo_bar", true);
+  // "x" is a single char (dropped); "42" starts with digit (dropped).
+  std::set<std::string> set(tokens.begin(), tokens.end());
+  EXPECT_TRUE(set.count("hello"));
+  EXPECT_TRUE(set.count("world"));
+  EXPECT_TRUE(set.count("mp3"));
+  EXPECT_TRUE(set.count("foo_bar"));
+  EXPECT_FALSE(set.count("x"));
+  EXPECT_FALSE(set.count("42"));
+}
+
+TEST(StopWordTest, CommonWordsAreStopWords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("and"));
+  EXPECT_FALSE(IsStopWord("topic"));
+}
+
+TEST(PreprocessTest, RemovesStopWordsAndRareWords) {
+  std::vector<RawDocument> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back({"the quick brown fox jumps over lazy dog", -1});
+  }
+  docs.push_back({"the unique zebra word appears once quick brown", -1});
+  PreprocessOptions options;
+  options.min_doc_frequency = 2;
+  options.max_doc_frequency_fraction = 2.0;  // Disable max filter.
+  BowCorpus corpus = Preprocess(docs, options);
+  EXPECT_EQ(corpus.vocab().GetId("the"), -1);     // Stop word.
+  EXPECT_EQ(corpus.vocab().GetId("zebra"), -1);   // df = 1 < 2.
+  EXPECT_GE(corpus.vocab().GetId("quick"), 0);    // df = 11.
+}
+
+TEST(PreprocessTest, MaxDocFrequencyFilter) {
+  std::vector<RawDocument> docs;
+  for (int i = 0; i < 10; ++i) {
+    std::string text = "ubiquitous filler";
+    if (i < 5) text += " selective council";
+    docs.push_back({text, -1});
+  }
+  PreprocessOptions options;
+  options.min_doc_frequency = 1;
+  options.max_doc_frequency_fraction = 0.7;
+  BowCorpus corpus = Preprocess(docs, options);
+  EXPECT_EQ(corpus.vocab().GetId("ubiquitous"), -1);  // df = 100%.
+  EXPECT_GE(corpus.vocab().GetId("selective"), 0);    // df = 50%.
+}
+
+TEST(PreprocessTest, DropsShortDocuments) {
+  std::vector<RawDocument> docs(5, RawDocument{"alpha beta gamma delta", -1});
+  docs.push_back({"alpha", -1});  // 1 token after filtering < 2.
+  PreprocessOptions options;
+  options.min_doc_frequency = 1;
+  options.max_doc_frequency_fraction = 2.0;
+  BowCorpus corpus = Preprocess(docs, options);
+  EXPECT_EQ(corpus.num_docs(), 5);
+}
+
+TEST(PreprocessTest, KeepsLabels) {
+  std::vector<RawDocument> docs = {{"alpha beta alpha", 3},
+                                   {"beta alpha beta", 1}};
+  PreprocessOptions options;
+  options.min_doc_frequency = 1;
+  options.max_doc_frequency_fraction = 2.0;
+  BowCorpus corpus = Preprocess(docs, options, {"a", "b", "c", "d"});
+  EXPECT_EQ(corpus.doc(0).label, 3);
+  EXPECT_EQ(corpus.doc(1).label, 1);
+  EXPECT_TRUE(corpus.HasLabels());
+  EXPECT_EQ(corpus.num_labels(), 4);
+}
+
+TEST(CorpusTest, CountsAndDenseBatch) {
+  Vocabulary vocab;
+  vocab.AddWord("a");
+  vocab.AddWord("b");
+  vocab.AddWord("c");
+  std::vector<Document> docs(2);
+  docs[0].entries = {{0, 2}, {2, 1}};
+  docs[0].label = 0;
+  docs[1].entries = {{1, 4}};
+  docs[1].label = 1;
+  BowCorpus corpus(vocab, docs, {"x", "y"});
+
+  EXPECT_EQ(corpus.TotalTokens(), 7);
+  EXPECT_NEAR(corpus.AverageDocLength(), 3.5, 1e-9);
+
+  const tensor::Tensor batch = corpus.DenseBatch({0, 1});
+  EXPECT_FLOAT_EQ(batch.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(batch.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(batch.at(1, 1), 4.0f);
+
+  const tensor::Tensor norm = corpus.NormalizedBatch({0});
+  EXPECT_NEAR(norm.at(0, 0), 2.0f / 3.0f, 1e-6);
+
+  const auto df = corpus.DocumentFrequencies();
+  EXPECT_EQ(df[0], 1);
+  EXPECT_EQ(df[1], 1);
+  EXPECT_EQ(df[2], 1);
+
+  EXPECT_EQ(corpus.Labels({1, 0}), (std::vector<int>{1, 0}));
+}
+
+TEST(CorpusTest, TfIdfFavorsRareWords) {
+  Vocabulary vocab;
+  vocab.AddWord("common");
+  vocab.AddWord("rare");
+  std::vector<Document> docs(4);
+  for (auto& d : docs) d.entries = {{0, 1}};
+  docs[0].entries.push_back({1, 1});
+  BowCorpus corpus(vocab, docs);
+  const auto df = corpus.DocumentFrequencies();
+  const tensor::Tensor tfidf = corpus.TfIdfBatch({0}, df);
+  EXPECT_GT(tfidf.at(0, 1), tfidf.at(0, 0));
+}
+
+TEST(SplitTest, PartitionsCorpus) {
+  Vocabulary vocab;
+  vocab.AddWord("w");
+  std::vector<Document> docs(100);
+  for (int i = 0; i < 100; ++i) {
+    docs[i].entries = {{0, i + 1}};
+    docs[i].label = i % 3;
+  }
+  util::Rng rng(3);
+  TrainTestSplit split = SplitCorpus(BowCorpus(vocab, docs), 0.6, rng);
+  EXPECT_EQ(split.train.num_docs(), 60);
+  EXPECT_EQ(split.test.num_docs(), 40);
+  // Same vocabulary object in both halves.
+  EXPECT_EQ(split.train.vocab_size(), split.test.vocab_size());
+}
+
+TEST(BatchIteratorTest, CoversEveryDocEachEpoch) {
+  util::Rng rng(5);
+  BatchIterator it(10, 5, rng);
+  EXPECT_EQ(it.batches_per_epoch(), 2);
+  std::set<int> seen;
+  for (int b = 0; b < 2; ++b) {
+    for (int i : it.Next()) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(BatchIteratorTest, ClampsBatchSize) {
+  util::Rng rng(6);
+  BatchIterator it(3, 100, rng);
+  EXPECT_EQ(it.Next().size(), 3u);
+}
+
+TEST(ThemesTest, CuratedThemesAreWellFormed) {
+  const auto& themes = CuratedThemes();
+  EXPECT_GE(themes.size(), 30u);
+  std::set<std::string> names;
+  for (const auto& t : themes) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(t.words.size(), 12u);
+    names.insert(t.name);
+  }
+  EXPECT_EQ(names.size(), themes.size());  // Unique names.
+}
+
+TEST(ThemesTest, MakeThemesPadsAndExtends) {
+  const auto themes = MakeThemes(40, 20);
+  ASSERT_EQ(themes.size(), 40u);
+  for (const auto& t : themes) EXPECT_EQ(t.words.size(), 20u);
+  // Procedural themes beyond the curated list get generated names.
+  EXPECT_EQ(themes[35].name.substr(0, 5), "theme");
+}
+
+TEST(SyntheticTest, GeneratesReasonableCorpus) {
+  text::SyntheticConfig config = Preset20NG(0.25);
+  SyntheticDataset dataset = GenerateSynthetic(config);
+  EXPECT_GT(dataset.train.num_docs(), 300);
+  EXPECT_GT(dataset.test.num_docs(), 200);
+  EXPECT_GT(dataset.train.vocab_size(), 300);
+  EXPECT_TRUE(dataset.train.HasLabels());
+  // Stop words were injected but must not survive preprocessing.
+  EXPECT_EQ(dataset.train.vocab().GetId("the"), -1);
+  // Theme words should survive.
+  EXPECT_GE(dataset.train.vocab().GetId("space"), 0);
+}
+
+TEST(SyntheticTest, DeterministicForFixedSeed) {
+  const SyntheticConfig config = Preset20NG(0.1);
+  SyntheticDataset a = GenerateSynthetic(config);
+  SyntheticDataset b = GenerateSynthetic(config);
+  ASSERT_EQ(a.train.num_docs(), b.train.num_docs());
+  EXPECT_EQ(a.train.doc(0).entries.size(), b.train.doc(0).entries.size());
+  EXPECT_EQ(a.train.doc(0).label, b.train.doc(0).label);
+}
+
+TEST(SyntheticTest, LabelsMatchThemeVocabulary) {
+  // Documents labeled with theme t should contain words of theme t more
+  // often than words of other themes.
+  SyntheticDataset dataset = GenerateSynthetic(Preset20NG(0.25));
+  const auto themes = MakeThemes(30, 40);
+  int matched = 0, checked = 0;
+  for (int d = 0; d < std::min(200, dataset.train.num_docs()); ++d) {
+    const Document& doc = dataset.train.doc(d);
+    std::vector<int> theme_hits(themes.size(), 0);
+    for (const auto& e : doc.entries) {
+      const std::string& word = dataset.train.vocab().Word(e.word_id);
+      for (size_t t = 0; t < themes.size(); ++t) {
+        for (const auto& w : themes[t].words) {
+          if (w == word) theme_hits[t] += e.count;
+        }
+      }
+    }
+    int best = 0;
+    for (size_t t = 1; t < themes.size(); ++t) {
+      if (theme_hits[t] > theme_hits[best]) best = static_cast<int>(t);
+    }
+    ++checked;
+    if (best == doc.label) ++matched;
+  }
+  EXPECT_GT(static_cast<double>(matched) / checked, 0.7);
+}
+
+TEST(SyntheticTest, AllPresetsGenerate) {
+  for (const auto& name : AllPresetNames()) {
+    SyntheticDataset dataset =
+        GenerateSynthetic(PresetByName(name, 0.05));
+    EXPECT_GT(dataset.train.num_docs(), 0) << name;
+    EXPECT_GT(dataset.train.vocab_size(), 100) << name;
+  }
+}
+
+TEST(SyntheticTest, StatsAreConsistent) {
+  SyntheticDataset dataset = GenerateSynthetic(Preset20NG(0.2));
+  const CorpusStats stats = ComputeStats(dataset);
+  EXPECT_EQ(stats.vocab_size, dataset.train.vocab_size());
+  EXPECT_EQ(stats.train_samples, dataset.train.num_docs());
+  EXPECT_EQ(stats.test_samples, dataset.test.num_docs());
+  EXPECT_GT(stats.average_length, 10.0);
+  EXPECT_LT(stats.average_length, 120.0);
+}
+
+TEST(SyntheticTest, ReferenceCorpusSharesVocabulary) {
+  const SyntheticConfig config = Preset20NG(0.15);
+  SyntheticDataset dataset = GenerateSynthetic(config);
+  BowCorpus reference =
+      GenerateReferenceCorpus(config, dataset.train.vocab());
+  EXPECT_EQ(reference.vocab_size(), dataset.train.vocab_size());
+  EXPECT_GT(reference.num_docs(), 100);
+  // Different corpus: document counts differ from the training split.
+  EXPECT_NE(reference.num_docs(), dataset.train.num_docs());
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace contratopic

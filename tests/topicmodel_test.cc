@@ -1,0 +1,222 @@
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "tensor/kernels.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/synthetic.h"
+#include "topicmodel/lda.h"
+
+namespace contratopic {
+namespace topicmodel {
+namespace {
+
+using tensor::Tensor;
+
+// Shared tiny dataset + embeddings for the whole file (built once).
+struct SharedFixture {
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+  eval::NpmiMatrix test_npmi;
+
+  SharedFixture()
+      : dataset(text::GenerateSynthetic(text::Preset20NG(0.15))),
+        embeddings(embed::WordEmbeddings::Train(dataset.train, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }())),
+        test_npmi(eval::NpmiMatrix::Compute(dataset.test)) {}
+};
+
+SharedFixture& Shared() {
+  static SharedFixture* fixture = new SharedFixture();
+  return *fixture;
+}
+
+TrainConfig TinyConfig() {
+  TrainConfig config;
+  config.num_topics = 8;
+  config.epochs = 3;
+  config.batch_size = 128;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  return config;
+}
+
+void ExpectRowsSumToOne(const Tensor& m, float tol = 1e-3f) {
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      EXPECT_GE(m.at(r, c), -1e-6f);
+      sum += m.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, tol) << "row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized: every model in the zoo trains and produces valid outputs.
+// ---------------------------------------------------------------------------
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZooTest, TrainsAndProducesValidDistributions) {
+  const std::string name = GetParam();
+  SharedFixture& shared = Shared();
+  auto model =
+      core::CreateModel(name, TinyConfig(), shared.embeddings);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->num_topics(), 8);
+
+  const TrainStats stats = model->Train(shared.dataset.train);
+  EXPECT_GT(stats.total_seconds, 0.0);
+
+  const Tensor beta = model->Beta();
+  EXPECT_EQ(beta.rows(), 8);
+  EXPECT_EQ(beta.cols(), shared.dataset.train.vocab_size());
+  ExpectRowsSumToOne(beta);
+  for (int64_t i = 0; i < beta.numel(); ++i) {
+    ASSERT_FALSE(std::isnan(beta.data()[i])) << name << " produced NaN beta";
+  }
+
+  const Tensor theta = model->InferTheta(shared.dataset.test);
+  EXPECT_EQ(theta.rows(), shared.dataset.test.num_docs());
+  EXPECT_EQ(theta.cols(), 8);
+  ExpectRowsSumToOne(theta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("lda", "prodlda", "wlda", "etm", "nstm", "wete", "ntmr",
+                      "vtmrl", "clntm", "contratopic", "contratopic-p",
+                      "contratopic-n", "contratopic-i", "contratopic-s",
+                      "contratopic-wlda", "contratopic-wete"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelZooTest, DisplayNames) {
+  EXPECT_EQ(core::DisplayName("contratopic"), "ContraTopic");
+  EXPECT_EQ(core::DisplayName("ntmr"), "NTM-R");
+  EXPECT_EQ(core::DisplayName("contratopic-wlda"), "ContraTopic(WLDA)");
+}
+
+TEST(ModelZooTest, PaperLineupHasTenModels) {
+  EXPECT_EQ(core::PaperModelNames().size(), 10u);
+  EXPECT_EQ(core::AblationModelNames().size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// LDA-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(LdaTest, RecoversPlantedClusters) {
+  // Two disjoint word clusters; LDA with K=2 must separate them.
+  text::Vocabulary vocab;
+  for (int w = 0; w < 10; ++w) {
+    vocab.AddWord("w" + std::to_string(w));
+  }
+  std::vector<text::Document> docs;
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    text::Document d;
+    const int base = (i % 2) * 5;
+    for (int j = 0; j < 5; ++j) {
+      d.entries.push_back({base + j, 1 + static_cast<int>(rng.UniformInt(3))});
+    }
+    docs.push_back(d);
+  }
+  LdaModel lda(2, 7);
+  lda.Train(text::BowCorpus(vocab, docs));
+  const Tensor beta = lda.Beta();
+  // Each topic's mass concentrates on one cluster.
+  for (int k = 0; k < 2; ++k) {
+    double first = 0.0, second = 0.0;
+    for (int w = 0; w < 5; ++w) first += beta.at(k, w);
+    for (int w = 5; w < 10; ++w) second += beta.at(k, w);
+    EXPECT_GT(std::max(first, second), 0.9) << "topic " << k << " is mixed";
+  }
+}
+
+TEST(LdaTest, InferThetaReflectsDocumentContent) {
+  text::Vocabulary vocab;
+  for (int w = 0; w < 10; ++w) vocab.AddWord("w" + std::to_string(w));
+  std::vector<text::Document> docs;
+  for (int i = 0; i < 60; ++i) {
+    text::Document d;
+    const int base = (i % 2) * 5;
+    for (int j = 0; j < 5; ++j) d.entries.push_back({base + j, 2});
+    docs.push_back(d);
+  }
+  text::BowCorpus corpus(vocab, docs);
+  LdaModel lda(2, 11);
+  lda.Train(corpus);
+  const Tensor theta = lda.InferTheta(corpus);
+  // Documents from different clusters get different dominant topics.
+  const int dominant0 = theta.TopKIndicesOfRow(0, 1)[0];
+  const int dominant1 = theta.TopKIndicesOfRow(1, 1)[0];
+  EXPECT_NE(dominant0, dominant1);
+}
+
+// ---------------------------------------------------------------------------
+// Learning sanity: trained models beat random beta on coherence.
+// ---------------------------------------------------------------------------
+
+TEST(LearningTest, EtmBeatsRandomBetaOnCoherence) {
+  SharedFixture& shared = Shared();
+  TrainConfig config = TinyConfig();
+  config.epochs = 8;
+  auto model = core::CreateModel("etm", config, shared.embeddings);
+  model->Train(shared.dataset.train);
+  const auto trained_coherence = eval::PerTopicCoherence(
+      model->Beta(), shared.test_npmi);
+
+  util::Rng rng(17);
+  const Tensor random_beta = tensor::SoftmaxRows(Tensor::RandNormal(
+      8, shared.dataset.train.vocab_size(), rng));
+  const auto random_coherence =
+      eval::PerTopicCoherence(random_beta, shared.test_npmi);
+
+  EXPECT_GT(eval::CoherenceAtProportion(trained_coherence, 1.0),
+            eval::CoherenceAtProportion(random_coherence, 1.0) + 0.1);
+}
+
+TEST(LearningTest, TrainingReducesLoss) {
+  SharedFixture& shared = Shared();
+  TrainConfig config = TinyConfig();
+  config.epochs = 1;
+  auto short_model = core::CreateModel("etm", config, shared.embeddings);
+  const double loss_short =
+      short_model->Train(shared.dataset.train).final_loss;
+  config.epochs = 8;
+  auto long_model = core::CreateModel("etm", config, shared.embeddings);
+  const double loss_long = long_model->Train(shared.dataset.train).final_loss;
+  EXPECT_LT(loss_long, loss_short);
+}
+
+TEST(NeuralBaseTest, TrainTwiceIsAnError) {
+  SharedFixture& shared = Shared();
+  auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  model->Train(shared.dataset.train);
+  EXPECT_DEATH(model->Train(shared.dataset.train), "already trained");
+}
+
+TEST(NeuralBaseTest, BetaBeforeTrainingIsAnError) {
+  SharedFixture& shared = Shared();
+  auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  EXPECT_DEATH(model->Beta(), "not trained");
+}
+
+}  // namespace
+}  // namespace topicmodel
+}  // namespace contratopic

@@ -1,0 +1,351 @@
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntUnbiasedOverSmallRange) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GumbelMeanIsEulerGamma) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gumbel();
+  EXPECT_NEAR(sum / n, 0.5772, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(17);
+  for (double shape : {0.3, 1.0, 2.5, 8.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.Gamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.08) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    const auto draw = rng.Dirichlet(0.1, 10);
+    double sum = 0.0;
+    for (double v : draw) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RngTest, SmallDirichletAlphaIsSparse) {
+  Rng rng(23);
+  double max_sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    const auto draw = rng.Dirichlet(0.05, 20);
+    double max_v = 0.0;
+    for (double v : draw) max_v = std::max(max_v, v);
+    max_sum += max_v;
+  }
+  // With alpha = 0.05 most of the mass sits on one coordinate.
+  EXPECT_GT(max_sum / trials, 0.55);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(50, 10);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (int s : sample) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 50);
+    }
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(v);
+  std::set<int> unique(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextUint64(), child.NextUint64());
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringTest, SplitDropsEmptyPieces) {
+  const auto pieces = Split("a,,b;c", ",;");
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringTest, SplitEmptyInput) {
+  EXPECT_TRUE(Split("", ",").empty());
+  EXPECT_TRUE(Split(",,,", ",").empty());
+}
+
+TEST(StringTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+}
+
+TEST(StringTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo123"), "hello123");
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("contratopic", "contra"));
+  EXPECT_FALSE(StartsWith("con", "contra"));
+  EXPECT_TRUE(EndsWith("model.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("model.h", ".cc"));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(FlagsTest, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--epochs=20", "--scale=small", "--verbose",
+                        "positional"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("epochs", 0), 20);
+  EXPECT_EQ(flags.GetString("scale", ""), "small");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, Defaults) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("k", 5), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.5), 0.5);
+  EXPECT_FALSE(flags.Has("k"));
+}
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// TableWriter
+// ---------------------------------------------------------------------------
+
+TEST(TableWriterTest, RendersAlignedTable) {
+  TableWriter table({"model", "score"});
+  table.AddRow({"ETM", "0.4"});
+  table.AddRow("ContraTopic", {0.523}, 3);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("ContraTopic"), std::string::npos);
+  EXPECT_NE(out.find("0.523"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(TableWriterTest, WritesTsv) {
+  TableWriter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/ct_table_test.tsv";
+  ASSERT_TRUE(table.WriteTsv(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {0};
+  ASSERT_NE(std::fgets(buffer, sizeof(buffer), f), nullptr);
+  EXPECT_EQ(std::string(buffer), "a\tb\n");
+  std::fclose(f);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ct_serialize_test.bin";
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteU32(7);
+    writer.WriteU64(1ull << 40);
+    writer.WriteF32(2.5f);
+    writer.WriteString("hello");
+    writer.WriteFloatVector({1.0f, -2.0f, 3.5f});
+    writer.WriteIntVector({4, 5});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.ReadU32(), 7u);
+  EXPECT_EQ(reader.ReadU64(), 1ull << 40);
+  EXPECT_FLOAT_EQ(reader.ReadF32(), 2.5f);
+  EXPECT_EQ(reader.ReadString(), "hello");
+  EXPECT_EQ(reader.ReadFloatVector(), (std::vector<float>{1.0f, -2.0f, 3.5f}));
+  EXPECT_EQ(reader.ReadIntVector(), (std::vector<int>{4, 5}));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(SerializeTest, MissingFileReportsError) {
+  BinaryReader reader("/nonexistent/definitely/missing.bin");
+  EXPECT_FALSE(reader.ok());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllScheduledTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(2);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, 1000, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[i] += 1;
+  }, /*min_chunk=*/16);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace contratopic
