@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_interpretability.dir/bench_fig2_interpretability.cc.o"
+  "CMakeFiles/bench_fig2_interpretability.dir/bench_fig2_interpretability.cc.o.d"
+  "bench_fig2_interpretability"
+  "bench_fig2_interpretability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_interpretability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

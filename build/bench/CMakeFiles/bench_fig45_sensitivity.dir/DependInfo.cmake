@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig45_sensitivity.cc" "bench/CMakeFiles/bench_fig45_sensitivity.dir/bench_fig45_sensitivity.cc.o" "gcc" "bench/CMakeFiles/bench_fig45_sensitivity.dir/bench_fig45_sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ct_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topicmodel/CMakeFiles/ct_topicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ct_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/ct_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ct_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ct_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

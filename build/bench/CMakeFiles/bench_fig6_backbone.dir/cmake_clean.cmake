@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_backbone.dir/bench_fig6_backbone.cc.o"
+  "CMakeFiles/bench_fig6_backbone.dir/bench_fig6_backbone.cc.o.d"
+  "bench_fig6_backbone"
+  "bench_fig6_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_intrusion.dir/bench_table3_intrusion.cc.o"
+  "CMakeFiles/bench_table3_intrusion.dir/bench_table3_intrusion.cc.o.d"
+  "bench_table3_intrusion"
+  "bench_table3_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table456_casestudy.dir/bench_table456_casestudy.cc.o"
+  "CMakeFiles/bench_table456_casestudy.dir/bench_table456_casestudy.cc.o.d"
+  "bench_table456_casestudy"
+  "bench_table456_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table456_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

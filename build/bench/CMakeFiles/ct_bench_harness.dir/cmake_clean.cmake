@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/ct_bench_harness.dir/harness.cc.o.d"
+  "libct_bench_harness.a"
+  "libct_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_corpus.dir/custom_corpus.cpp.o"
+  "CMakeFiles/custom_corpus.dir/custom_corpus.cpp.o.d"
+  "custom_corpus"
+  "custom_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

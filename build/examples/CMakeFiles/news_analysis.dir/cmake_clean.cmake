@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_analysis.dir/news_analysis.cpp.o"
+  "CMakeFiles/news_analysis.dir/news_analysis.cpp.o.d"
+  "news_analysis"
+  "news_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_trends.dir/online_trends.cpp.o"
+  "CMakeFiles/online_trends.dir/online_trends.cpp.o.d"
+  "online_trends"
+  "online_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_core.dir/contrastive_loss.cc.o"
+  "CMakeFiles/ct_core.dir/contrastive_loss.cc.o.d"
+  "CMakeFiles/ct_core.dir/contratopic.cc.o"
+  "CMakeFiles/ct_core.dir/contratopic.cc.o.d"
+  "CMakeFiles/ct_core.dir/model_zoo.cc.o"
+  "CMakeFiles/ct_core.dir/model_zoo.cc.o.d"
+  "CMakeFiles/ct_core.dir/online.cc.o"
+  "CMakeFiles/ct_core.dir/online.cc.o.d"
+  "CMakeFiles/ct_core.dir/subset_sampler.cc.o"
+  "CMakeFiles/ct_core.dir/subset_sampler.cc.o.d"
+  "libct_core.a"
+  "libct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

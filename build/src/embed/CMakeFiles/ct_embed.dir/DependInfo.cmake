@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/cooccurrence.cc" "src/embed/CMakeFiles/ct_embed.dir/cooccurrence.cc.o" "gcc" "src/embed/CMakeFiles/ct_embed.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/embed/svd.cc" "src/embed/CMakeFiles/ct_embed.dir/svd.cc.o" "gcc" "src/embed/CMakeFiles/ct_embed.dir/svd.cc.o.d"
+  "/root/repo/src/embed/word_embeddings.cc" "src/embed/CMakeFiles/ct_embed.dir/word_embeddings.cc.o" "gcc" "src/embed/CMakeFiles/ct_embed.dir/word_embeddings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ct_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

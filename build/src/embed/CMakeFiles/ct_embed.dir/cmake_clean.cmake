@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_embed.dir/cooccurrence.cc.o"
+  "CMakeFiles/ct_embed.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/ct_embed.dir/svd.cc.o"
+  "CMakeFiles/ct_embed.dir/svd.cc.o.d"
+  "CMakeFiles/ct_embed.dir/word_embeddings.cc.o"
+  "CMakeFiles/ct_embed.dir/word_embeddings.cc.o.d"
+  "libct_embed.a"
+  "libct_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/clustering.cc" "src/eval/CMakeFiles/ct_eval.dir/clustering.cc.o" "gcc" "src/eval/CMakeFiles/ct_eval.dir/clustering.cc.o.d"
+  "/root/repo/src/eval/intrusion.cc" "src/eval/CMakeFiles/ct_eval.dir/intrusion.cc.o" "gcc" "src/eval/CMakeFiles/ct_eval.dir/intrusion.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/ct_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/ct_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/npmi.cc" "src/eval/CMakeFiles/ct_eval.dir/npmi.cc.o" "gcc" "src/eval/CMakeFiles/ct_eval.dir/npmi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/ct_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ct_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_eval.dir/clustering.cc.o"
+  "CMakeFiles/ct_eval.dir/clustering.cc.o.d"
+  "CMakeFiles/ct_eval.dir/intrusion.cc.o"
+  "CMakeFiles/ct_eval.dir/intrusion.cc.o.d"
+  "CMakeFiles/ct_eval.dir/metrics.cc.o"
+  "CMakeFiles/ct_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/ct_eval.dir/npmi.cc.o"
+  "CMakeFiles/ct_eval.dir/npmi.cc.o.d"
+  "libct_eval.a"
+  "libct_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_nn.dir/module.cc.o"
+  "CMakeFiles/ct_nn.dir/module.cc.o.d"
+  "CMakeFiles/ct_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ct_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/ct_nn.dir/serialization.cc.o"
+  "CMakeFiles/ct_nn.dir/serialization.cc.o.d"
+  "libct_nn.a"
+  "libct_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_tensor.dir/autodiff.cc.o"
+  "CMakeFiles/ct_tensor.dir/autodiff.cc.o.d"
+  "CMakeFiles/ct_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/ct_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/ct_tensor.dir/kernels.cc.o"
+  "CMakeFiles/ct_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/ct_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ct_tensor.dir/tensor.cc.o.d"
+  "libct_tensor.a"
+  "libct_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

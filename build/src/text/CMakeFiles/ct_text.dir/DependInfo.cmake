@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cc" "src/text/CMakeFiles/ct_text.dir/corpus.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/corpus.cc.o.d"
+  "/root/repo/src/text/dynamic.cc" "src/text/CMakeFiles/ct_text.dir/dynamic.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/dynamic.cc.o.d"
+  "/root/repo/src/text/preprocess.cc" "src/text/CMakeFiles/ct_text.dir/preprocess.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/preprocess.cc.o.d"
+  "/root/repo/src/text/synthetic.cc" "src/text/CMakeFiles/ct_text.dir/synthetic.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/synthetic.cc.o.d"
+  "/root/repo/src/text/themes.cc" "src/text/CMakeFiles/ct_text.dir/themes.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/themes.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/ct_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/ct_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_text.dir/corpus.cc.o"
+  "CMakeFiles/ct_text.dir/corpus.cc.o.d"
+  "CMakeFiles/ct_text.dir/dynamic.cc.o"
+  "CMakeFiles/ct_text.dir/dynamic.cc.o.d"
+  "CMakeFiles/ct_text.dir/preprocess.cc.o"
+  "CMakeFiles/ct_text.dir/preprocess.cc.o.d"
+  "CMakeFiles/ct_text.dir/synthetic.cc.o"
+  "CMakeFiles/ct_text.dir/synthetic.cc.o.d"
+  "CMakeFiles/ct_text.dir/themes.cc.o"
+  "CMakeFiles/ct_text.dir/themes.cc.o.d"
+  "CMakeFiles/ct_text.dir/vocabulary.cc.o"
+  "CMakeFiles/ct_text.dir/vocabulary.cc.o.d"
+  "libct_text.a"
+  "libct_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topicmodel/augment.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/augment.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/augment.cc.o.d"
+  "/root/repo/src/topicmodel/clntm.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/clntm.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/clntm.cc.o.d"
+  "/root/repo/src/topicmodel/etm.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/etm.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/etm.cc.o.d"
+  "/root/repo/src/topicmodel/lda.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/lda.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/lda.cc.o.d"
+  "/root/repo/src/topicmodel/neural_base.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/neural_base.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/neural_base.cc.o.d"
+  "/root/repo/src/topicmodel/nstm.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/nstm.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/nstm.cc.o.d"
+  "/root/repo/src/topicmodel/ntmr.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/ntmr.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/ntmr.cc.o.d"
+  "/root/repo/src/topicmodel/prodlda.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/prodlda.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/prodlda.cc.o.d"
+  "/root/repo/src/topicmodel/vtmrl.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/vtmrl.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/vtmrl.cc.o.d"
+  "/root/repo/src/topicmodel/wete.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/wete.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/wete.cc.o.d"
+  "/root/repo/src/topicmodel/wlda.cc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/wlda.cc.o" "gcc" "src/topicmodel/CMakeFiles/ct_topicmodel.dir/wlda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ct_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/ct_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ct_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ct_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_topicmodel.dir/augment.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/augment.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/clntm.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/clntm.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/etm.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/etm.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/lda.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/lda.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/neural_base.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/neural_base.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/nstm.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/nstm.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/ntmr.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/ntmr.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/prodlda.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/prodlda.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/vtmrl.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/vtmrl.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/wete.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/wete.cc.o.d"
+  "CMakeFiles/ct_topicmodel.dir/wlda.cc.o"
+  "CMakeFiles/ct_topicmodel.dir/wlda.cc.o.d"
+  "libct_topicmodel.a"
+  "libct_topicmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_topicmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_util.dir/flags.cc.o"
+  "CMakeFiles/ct_util.dir/flags.cc.o.d"
+  "CMakeFiles/ct_util.dir/logging.cc.o"
+  "CMakeFiles/ct_util.dir/logging.cc.o.d"
+  "CMakeFiles/ct_util.dir/rng.cc.o"
+  "CMakeFiles/ct_util.dir/rng.cc.o.d"
+  "CMakeFiles/ct_util.dir/serialize.cc.o"
+  "CMakeFiles/ct_util.dir/serialize.cc.o.d"
+  "CMakeFiles/ct_util.dir/status.cc.o"
+  "CMakeFiles/ct_util.dir/status.cc.o.d"
+  "CMakeFiles/ct_util.dir/string_util.cc.o"
+  "CMakeFiles/ct_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ct_util.dir/table_writer.cc.o"
+  "CMakeFiles/ct_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/ct_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ct_util.dir/thread_pool.cc.o.d"
+  "libct_util.a"
+  "libct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

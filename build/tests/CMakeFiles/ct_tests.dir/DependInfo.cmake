@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autodiff_test.cc" "tests/CMakeFiles/ct_tests.dir/autodiff_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/autodiff_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/ct_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/embed_test.cc" "tests/CMakeFiles/ct_tests.dir/embed_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/embed_test.cc.o.d"
+  "/root/repo/tests/eval_test.cc" "tests/CMakeFiles/ct_tests.dir/eval_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/eval_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/ct_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/ct_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/online_test.cc" "tests/CMakeFiles/ct_tests.dir/online_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/online_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ct_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/ct_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/ct_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/topicmodel_test.cc" "tests/CMakeFiles/ct_tests.dir/topicmodel_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/topicmodel_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/ct_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/ct_tests.dir/util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topicmodel/CMakeFiles/ct_topicmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ct_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/ct_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ct_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ct_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ct_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

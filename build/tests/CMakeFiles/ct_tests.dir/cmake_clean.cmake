@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_tests.dir/autodiff_test.cc.o"
+  "CMakeFiles/ct_tests.dir/autodiff_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/core_test.cc.o"
+  "CMakeFiles/ct_tests.dir/core_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/embed_test.cc.o"
+  "CMakeFiles/ct_tests.dir/embed_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/eval_test.cc.o"
+  "CMakeFiles/ct_tests.dir/eval_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/integration_test.cc.o"
+  "CMakeFiles/ct_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/nn_test.cc.o"
+  "CMakeFiles/ct_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/online_test.cc.o"
+  "CMakeFiles/ct_tests.dir/online_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/property_test.cc.o"
+  "CMakeFiles/ct_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/tensor_test.cc.o"
+  "CMakeFiles/ct_tests.dir/tensor_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/text_test.cc.o"
+  "CMakeFiles/ct_tests.dir/text_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/topicmodel_test.cc.o"
+  "CMakeFiles/ct_tests.dir/topicmodel_test.cc.o.d"
+  "CMakeFiles/ct_tests.dir/util_test.cc.o"
+  "CMakeFiles/ct_tests.dir/util_test.cc.o.d"
+  "ct_tests"
+  "ct_tests.pdb"
+  "ct_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
