@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "core/contrastive_loss.h"
 #include "core/subset_sampler.h"
 #include "eval/npmi.h"
@@ -12,6 +15,7 @@
 #include "tensor/kernels.h"
 #include "text/synthetic.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -99,4 +103,22 @@ BENCHMARK(BM_KernelSubMatrixGather);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), with one extra flag: --threads=N sizes the global
+// thread pool before any benchmark runs (0 = hardware default). All kernels
+// are bitwise-deterministic in the pool size, so this only moves wall-clock.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      contratopic::util::ThreadPool::SetGlobalNumThreads(
+          std::atoi(argv[i] + 10));
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

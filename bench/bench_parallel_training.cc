@@ -1,0 +1,147 @@
+// Parallel-engine bench: trains the same ContraTopic model at 1 thread and
+// at --threads=N (default 4), verifies the runs are bitwise identical
+// (beta, test theta, final loss — the determinism contract of DESIGN.md
+// "Parallelism & determinism"), and reports the wall-clock speedup for
+// each pipeline stage (NPMI precompute, training, inference, evaluation).
+//
+// Usage: bench_parallel_training [--dataset=20ng-sim] [--threads=4]
+//        [--epochs=...] [--docs=...]
+// Writes bench_results/parallel_training_<dataset>.tsv.
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+#include "eval/clustering.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+using namespace contratopic;  // NOLINT
+
+namespace {
+
+// One full pipeline run at a fixed pool size, with per-stage timings.
+struct LegResult {
+  int threads = 0;
+  double npmi_seconds = 0.0;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  double eval_seconds = 0.0;
+  float final_loss = 0.0f;
+  double mean_coherence = 0.0;
+  tensor::Tensor beta;
+  tensor::Tensor theta;
+};
+
+LegResult RunLeg(int threads, const bench::ExperimentContext& context,
+                 const bench::BenchConfig& bench_config) {
+  util::ThreadPool::SetGlobalNumThreads(threads);
+  LegResult leg;
+  leg.threads = util::ThreadPool::Global().num_threads();
+
+  util::Stopwatch npmi_watch;
+  const eval::NpmiMatrix npmi =
+      eval::NpmiMatrix::Compute(context.dataset.train);
+  leg.npmi_seconds = npmi_watch.ElapsedSeconds();
+
+  core::ContraTopicOptions options;
+  options.lambda = bench::LambdaForDataset(context.config.name);
+  auto model = core::CreateModel("contratopic", bench_config.train,
+                                 context.embeddings, options);
+
+  util::Stopwatch train_watch;
+  const topicmodel::TrainStats stats = model->Train(context.dataset.train);
+  leg.train_seconds = train_watch.ElapsedSeconds();
+  leg.final_loss = stats.final_loss;
+  leg.beta = model->Beta();
+
+  util::Stopwatch infer_watch;
+  leg.theta = model->InferTheta(context.dataset.test);
+  leg.infer_seconds = infer_watch.ElapsedSeconds();
+
+  util::Stopwatch eval_watch;
+  const std::vector<double> coherence =
+      eval::PerTopicCoherence(leg.beta, *context.test_npmi, 10);
+  for (double c : coherence) leg.mean_coherence += c;
+  if (!coherence.empty()) {
+    leg.mean_coherence /= static_cast<double>(coherence.size());
+  }
+  leg.eval_seconds = eval_watch.ElapsedSeconds();
+  return leg;
+}
+
+int64_t CountMismatches(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return -1;
+  int64_t mismatches = 0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (a.data()[i] != b.data()[i]) ++mismatches;  // bitwise, not approximate
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig bench_config = bench::ParseBenchConfig(flags);
+  const std::string dataset_name = flags.GetString("dataset", "20ng-sim");
+  const int parallel_threads = flags.GetInt("threads", 4);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const bench::ExperimentContext context =
+      bench::LoadExperiment(dataset_name, bench_config.doc_scale);
+  std::printf("dataset=%s docs=%d vocab=%d hardware_threads=%u\n",
+              dataset_name.c_str(), context.config.num_docs,
+              static_cast<int>(context.dataset.train.vocab().size()), hw);
+
+  const LegResult serial = RunLeg(1, context, bench_config);
+  const LegResult parallel = RunLeg(parallel_threads, context, bench_config);
+  util::ThreadPool::SetGlobalNumThreads(0);  // restore hardware default
+
+  // Determinism contract: both legs must agree bitwise.
+  const int64_t beta_diff = CountMismatches(serial.beta, parallel.beta);
+  const int64_t theta_diff = CountMismatches(serial.theta, parallel.theta);
+  const bool loss_equal = serial.final_loss == parallel.final_loss;
+  const bool coherence_equal =
+      serial.mean_coherence == parallel.mean_coherence;
+  const bool identical =
+      beta_diff == 0 && theta_diff == 0 && loss_equal && coherence_equal;
+
+  util::TableWriter table({"Stage", "1 thread (s)",
+                           util::StrFormat("%d threads (s)", parallel.threads),
+                           "speedup"});
+  const auto add_stage = [&](const char* name, double s1, double sn) {
+    table.AddRow(name, {s1, sn, sn > 0 ? s1 / sn : 0.0});
+  };
+  add_stage("npmi_precompute", serial.npmi_seconds, parallel.npmi_seconds);
+  add_stage("train", serial.train_seconds, parallel.train_seconds);
+  add_stage("infer_theta", serial.infer_seconds, parallel.infer_seconds);
+  add_stage("eval_coherence", serial.eval_seconds, parallel.eval_seconds);
+  add_stage("total", serial.npmi_seconds + serial.train_seconds +
+                         serial.infer_seconds + serial.eval_seconds,
+            parallel.npmi_seconds + parallel.train_seconds +
+                parallel.infer_seconds + parallel.eval_seconds);
+  table.AddRow("bitwise_identical",
+               {identical ? 1.0 : 0.0, identical ? 1.0 : 0.0, 1.0});
+  bench::EmitTable(
+      util::StrFormat("Parallel training engine, 1 vs %d threads on %s",
+                      parallel.threads, dataset_name.c_str()),
+      "parallel_training_" + dataset_name, table);
+
+  std::printf(
+      "\ndeterminism: beta mismatches=%lld theta mismatches=%lld "
+      "loss %s coherence %s -> %s\n",
+      static_cast<long long>(beta_diff), static_cast<long long>(theta_diff),
+      loss_equal ? "equal" : "DIFFERS",
+      coherence_equal ? "equal" : "DIFFERS",
+      identical ? "BITWISE IDENTICAL" : "MISMATCH");
+  std::printf(
+      "note: speedup is bounded by the host's %u hardware thread(s); on a "
+      "single-core host both legs time-slice one core and speedup ~1.\n",
+      hw);
+  return identical ? 0 : 1;
+}

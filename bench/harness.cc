@@ -7,6 +7,7 @@
 
 #include "util/logging.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
 
@@ -126,6 +127,10 @@ BenchConfig ParseBenchConfig(const util::Flags& flags) {
   bench.train.epochs = flags.GetInt("epochs", bench.train.epochs);
   bench.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   bench.use_cache = flags.GetBool("cache", true);
+  // Training is bitwise-deterministic in the pool size (see DESIGN.md
+  // "Parallelism & determinism"), so --threads only changes wall-clock.
+  bench.num_threads = flags.GetInt("threads", 0);
+  util::ThreadPool::SetGlobalNumThreads(bench.num_threads);
   return bench;
 }
 

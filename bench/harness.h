@@ -44,9 +44,12 @@ ExperimentContext LoadExperiment(const std::string& preset_name,
 // Benchmark-wide knobs derived from the command line:
 //   --scale=small|paper   (paper restores K=100/100-epoch magnitudes)
 //   --docs=<f>            dataset document-count multiplier
+//   --threads=<n>         global thread-pool size (0 = hardware default);
+//                         results are bitwise-identical for any value
 //   --epochs, --topics, --seed overrides
 struct BenchConfig {
   double doc_scale = 0.5;
+  int num_threads = 0;  // 0 = hardware concurrency
   topicmodel::TrainConfig train;
   bool use_cache = true;
 };

@@ -6,6 +6,7 @@
 #include "tensor/kernels.h"
 #include "topicmodel/augment.h"
 #include "topicmodel/etm.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace core {
@@ -82,11 +83,21 @@ std::vector<int> ContraTopicModel::CandidateWords(
     for (int i = 0; i < vocab; ++i) all[i] = i;
     return all;
   }
+  // Top-k per topic is independent work; the union is order-insensitive
+  // because the result is sorted before use.
+  std::vector<std::vector<int>> per_topic(beta_value.rows());
+  util::ThreadPool::Global().ParallelFor(
+      0, beta_value.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t k = lo; k < hi; ++k) {
+          per_topic[k] =
+              beta_value.TopKIndicesOfRow(k, options_.candidate_words);
+        }
+      },
+      /*grain=*/1);
   std::unordered_set<int> unioned;
-  for (int64_t k = 0; k < beta_value.rows(); ++k) {
-    for (int w : beta_value.TopKIndicesOfRow(k, options_.candidate_words)) {
-      unioned.insert(w);
-    }
+  for (const auto& topic_words : per_topic) {
+    unioned.insert(topic_words.begin(), topic_words.end());
   }
   std::vector<int> words(unioned.begin(), unioned.end());
   std::sort(words.begin(), words.end());
@@ -98,11 +109,13 @@ Tensor ContraTopicModel::KernelSubMatrix(const std::vector<int>& words) const {
   if (options_.variant == Variant::kInnerProduct) {
     const int n = static_cast<int>(words.size());
     sub = Tensor(n, n);
-    for (int a = 0; a < n; ++a) {
-      for (int b = 0; b < n; ++b) {
-        sub.at(a, b) = embedding_cosine_.at(words[a], words[b]);
+    tensor::ParallelRows(n, n, [&](int64_t lo, int64_t hi) {
+      for (int64_t a = lo; a < hi; ++a) {
+        for (int b = 0; b < n; ++b) {
+          sub.at(a, b) = embedding_cosine_.at(words[a], words[b]);
+        }
       }
-    }
+    });
   } else {
     CHECK(train_npmi_ != nullptr) << "Prepare() was not called";
     sub = train_npmi_->SubMatrix(words);

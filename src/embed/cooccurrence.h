@@ -19,7 +19,9 @@ class CooccurrenceCounts {
  public:
   explicit CooccurrenceCounts(int vocab_size);
 
-  // Adds a corpus worth of counts.
+  // Adds a corpus worth of counts. Large corpora are sharded over the global
+  // thread pool (fixed doc grid, shards merged in fixed order); counts are
+  // integer-valued so the result is bitwise-identical at any thread count.
   void AddPresence(const text::BowCorpus& corpus);
   void AddWeighted(const text::BowCorpus& corpus);
 
@@ -38,6 +40,9 @@ class CooccurrenceCounts {
   const tensor::Tensor& matrix() const { return counts_; }
 
  private:
+  // Shared sharded accumulation path behind AddPresence / AddWeighted.
+  void Accumulate(const text::BowCorpus& corpus, bool weighted);
+
   int vocab_size_;
   int64_t num_docs_ = 0;
   tensor::Tensor counts_;          // V x V, symmetric

@@ -7,10 +7,15 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace eval {
 namespace {
+
+// Point-loop grain for the distance computations below: each point costs
+// O(clusters * dim), so split eagerly.
+constexpr int64_t kPointGrain = 64;
 
 double SquaredDistance(const float* a, const float* b, int64_t dim) {
   double acc = 0.0;
@@ -36,11 +41,19 @@ KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
   std::vector<double> min_dist(n, std::numeric_limits<double>::max());
   int64_t first = static_cast<int64_t>(rng.UniformInt(n));
   std::copy(points.row(first), points.row(first) + dim, centroids.row(0));
+  util::ThreadPool& pool = util::ThreadPool::Global();
   for (int c = 1; c < num_clusters; ++c) {
-    for (int64_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(
-          min_dist[i], SquaredDistance(points.row(i), centroids.row(c - 1), dim));
-    }
+    // Disjoint per-point writes; the rng draw below stays on this thread.
+    pool.ParallelFor(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            min_dist[i] =
+                std::min(min_dist[i], SquaredDistance(points.row(i),
+                                                      centroids.row(c - 1), dim));
+          }
+        },
+        kPointGrain);
     const int64_t next = rng.Categorical(
         [&] {
           std::vector<double> w(min_dist);
@@ -55,40 +68,62 @@ KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
 
   KMeansResult result;
   result.assignments.assign(n, -1);
+  std::vector<double> best_dist(n, 0.0);
   double prev_inertia = std::numeric_limits<double>::max();
   for (int iter = 0; iter < max_iterations; ++iter) {
-    // Assign.
+    // Assign: the expensive O(n * k * dim) scan fills per-point slots in
+    // parallel; the cheap inertia fold below stays serial in point order so
+    // the sum is identical to the single-threaded accumulation.
+    std::vector<int> best_c(n, 0);
+    pool.ParallelFor(
+        0, n,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            double best = std::numeric_limits<double>::max();
+            int bc = 0;
+            for (int c = 0; c < num_clusters; ++c) {
+              const double d =
+                  SquaredDistance(points.row(i), centroids.row(c), dim);
+              if (d < best) {
+                best = d;
+                bc = c;
+              }
+            }
+            best_dist[i] = best;
+            best_c[i] = bc;
+          }
+        },
+        kPointGrain);
     double inertia = 0.0;
     bool changed = false;
     for (int64_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_c = 0;
-      for (int c = 0; c < num_clusters; ++c) {
-        const double d = SquaredDistance(points.row(i), centroids.row(c), dim);
-        if (d < best) {
-          best = d;
-          best_c = c;
-        }
-      }
-      if (result.assignments[i] != best_c) {
-        result.assignments[i] = best_c;
+      if (result.assignments[i] != best_c[i]) {
+        result.assignments[i] = best_c[i];
         changed = true;
       }
-      inertia += best;
+      inertia += best_dist[i];
     }
     result.inertia = inertia;
     result.iterations = iter + 1;
 
-    // Update.
+    // Update: each worker owns a cluster range and scans all points, so every
+    // centroid accumulates its members in point order — the same order as the
+    // serial loop — while writes stay disjoint across workers.
     centroids.Fill(0.0f);
     std::vector<int64_t> counts(num_clusters, 0);
-    for (int64_t i = 0; i < n; ++i) {
-      const int c = result.assignments[i];
-      ++counts[c];
-      float* cr = centroids.row(c);
-      const float* pr = points.row(i);
-      for (int64_t d = 0; d < dim; ++d) cr[d] += pr[d];
-    }
+    pool.ParallelFor(
+        0, num_clusters,
+        [&](int64_t c_lo, int64_t c_hi) {
+          for (int64_t i = 0; i < n; ++i) {
+            const int c = result.assignments[i];
+            if (c < c_lo || c >= c_hi) continue;
+            ++counts[c];
+            float* cr = centroids.row(c);
+            const float* pr = points.row(i);
+            for (int64_t d = 0; d < dim; ++d) cr[d] += pr[d];
+          }
+        },
+        /*grain=*/1);
     for (int c = 0; c < num_clusters; ++c) {
       if (counts[c] == 0) {
         // Re-seed empty cluster at a random point.

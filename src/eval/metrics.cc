@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace eval {
@@ -13,10 +14,17 @@ namespace eval {
 std::vector<double> PerTopicCoherence(const tensor::Tensor& beta,
                                       const NpmiMatrix& npmi, int top_words) {
   CHECK_EQ(beta.cols(), npmi.vocab_size());
+  // Topics are independent (top-k selection + pairwise NPMI mean per topic),
+  // so each writes its own slot.
   std::vector<double> coherence(beta.rows());
-  for (int64_t k = 0; k < beta.rows(); ++k) {
-    coherence[k] = npmi.MeanPairwise(beta.TopKIndicesOfRow(k, top_words));
-  }
+  util::ThreadPool::Global().ParallelFor(
+      0, beta.rows(),
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t k = lo; k < hi; ++k) {
+          coherence[k] = npmi.MeanPairwise(beta.TopKIndicesOfRow(k, top_words));
+        }
+      },
+      /*grain=*/1);
   return coherence;
 }
 

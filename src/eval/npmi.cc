@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "embed/cooccurrence.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace contratopic {
@@ -20,23 +21,30 @@ NpmiMatrix NpmiMatrix::FromCounts(const embed::CooccurrenceCounts& counts) {
 
   const int v = counts.vocab_size();
   tensor::Tensor npmi(v, v);
-  for (int i = 0; i < v; ++i) {
-    const double pi = counts.marginal(i) / n_docs;
-    npmi.at(i, i) = 1.0f;
-    for (int j = i + 1; j < v; ++j) {
-      const double pj = counts.marginal(j) / n_docs;
-      const double cij = counts.pair(i, j);
-      float value = -1.0f;
-      if (cij > 0.0 && pi > 0.0 && pj > 0.0) {
-        const double pij = cij / n_docs;
-        const double pmi = std::log(pij / (pi * pj));
-        const double denom = -std::log(pij);
-        value = denom > 1e-12 ? static_cast<float>(pmi / denom) : 1.0f;
+  // Each row is computed independently (the mirror cell (j, i) is recomputed
+  // rather than scattered across rows, so writes stay disjoint under
+  // row-parallelism); the per-cell math is symmetric in (i, j), so the
+  // matrix stays exactly symmetric.
+  tensor::ParallelRows(v, v, [&](int64_t r_lo, int64_t r_hi) {
+    for (int64_t row = r_lo; row < r_hi; ++row) {
+      const int i = static_cast<int>(row);
+      const double pi = counts.marginal(i) / n_docs;
+      npmi.at(i, i) = 1.0f;
+      for (int j = 0; j < v; ++j) {
+        if (j == i) continue;
+        const double pj = counts.marginal(j) / n_docs;
+        const double cij = counts.pair(i, j);
+        float value = -1.0f;
+        if (cij > 0.0 && pi > 0.0 && pj > 0.0) {
+          const double pij = cij / n_docs;
+          const double pmi = std::log(pij / (pi * pj));
+          const double denom = -std::log(pij);
+          value = denom > 1e-12 ? static_cast<float>(pmi / denom) : 1.0f;
+        }
+        npmi.at(i, j) = value;
       }
-      npmi.at(i, j) = value;
-      npmi.at(j, i) = value;
     }
-  }
+  });
   return NpmiMatrix(std::move(npmi));
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace contratopic {
 namespace nn {
 
@@ -51,15 +53,19 @@ void Adam::Step(const std::vector<Parameter>& params) {
     float* m = s.m.data();
     float* v = s.v.data();
     const int64_t n = node->value.numel();
-    for (int64_t i = 0; i < n; ++i) {
-      float g = grad[i];
-      if (weight_decay_ > 0.0f) g += weight_decay_ * value[i];
-      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
-      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
-      const float m_hat = m[i] / bc1;
-      const float v_hat = v[i] / bc2;
-      value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    // Each element's update chain is independent, so parallel chunks give
+    // identical results at any thread count.
+    tensor::ParallelElems(n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        float g = grad[i];
+        if (weight_decay_ > 0.0f) g += weight_decay_ * value[i];
+        m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+        v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+        const float m_hat = m[i] / bc1;
+        const float v_hat = v[i] / bc2;
+        value[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+      }
+    });
   }
 }
 

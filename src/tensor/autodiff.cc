@@ -4,11 +4,23 @@
 #include <unordered_set>
 
 #include "tensor/kernels.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace autodiff {
 
 using tensor::BinaryOp;
+using tensor::ParallelElems;
+using tensor::ParallelRows;
+
+namespace {
+// Fixed row grid for backward reductions over the batch dimension (the
+// BroadcastRowOp bias gradient). Matches the ColSum grid in kernels.cc: the
+// grid depends only on the range, never on thread count, so the reduction
+// order — and the result — is identical at any parallelism level.
+constexpr int64_t kGradReduceGridRows = 256;
+}  // namespace
 
 void Node::AccumGrad(const Tensor& g) {
   if (grad.empty()) {
@@ -112,19 +124,30 @@ Var Sub(const Var& a, const Var& b) {
 Var Mul(const Var& a, const Var& b) {
   CHECK(a.value().same_shape(b.value()));
   Tensor out = a.value();
+  float* op = out.data();
   const float* bp = b.value().data();
-  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] *= bp[i];
+  ParallelElems(out.numel(), [op, bp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] *= bp[i];
+  });
   return MakeNode(std::move(out), {a, b}, [](Node* n) {
     const Tensor& av = n->parents[0]->value;
     const Tensor& bv = n->parents[1]->value;
     if (n->parents[0]->requires_grad) {
       Tensor g = n->grad;
-      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= bv.data()[i];
+      float* gp = g.data();
+      const float* bp = bv.data();
+      ParallelElems(g.numel(), [gp, bp](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gp[i] *= bp[i];
+      });
       n->parents[0]->AccumGrad(g);
     }
     if (n->parents[1]->requires_grad) {
       Tensor g = n->grad;
-      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= av.data()[i];
+      float* gp = g.data();
+      const float* ap = av.data();
+      ParallelElems(g.numel(), [gp, ap](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gp[i] *= ap[i];
+      });
       n->parents[1]->AccumGrad(g);
     }
   });
@@ -133,22 +156,34 @@ Var Mul(const Var& a, const Var& b) {
 Var Div(const Var& a, const Var& b) {
   CHECK(a.value().same_shape(b.value()));
   Tensor out = a.value();
+  float* op = out.data();
   const float* bp = b.value().data();
-  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] /= bp[i];
+  ParallelElems(out.numel(), [op, bp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] /= bp[i];
+  });
   return MakeNode(std::move(out), {a, b}, [](Node* n) {
     const Tensor& av = n->parents[0]->value;
     const Tensor& bv = n->parents[1]->value;
     if (n->parents[0]->requires_grad) {
       Tensor g = n->grad;
-      for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] /= bv.data()[i];
+      float* gp = g.data();
+      const float* bp = bv.data();
+      ParallelElems(g.numel(), [gp, bp](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gp[i] /= bp[i];
+      });
       n->parents[0]->AccumGrad(g);
     }
     if (n->parents[1]->requires_grad) {
       Tensor g = n->grad;
-      for (int64_t i = 0; i < g.numel(); ++i) {
-        const float bi = bv.data()[i];
-        g.data()[i] *= -av.data()[i] / (bi * bi);
-      }
+      float* gp = g.data();
+      const float* ap = av.data();
+      const float* bp = bv.data();
+      ParallelElems(g.numel(), [gp, ap, bp](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float bi = bp[i];
+          gp[i] *= -ap[i] / (bi * bi);
+        }
+      });
       n->parents[1]->AccumGrad(g);
     }
   });
@@ -227,16 +262,25 @@ Var Transpose(const Var& a) {
 namespace {
 
 // Helper for unary ops whose gradient only needs input and/or output values.
+// The backward callback fills dx over the element sub-range [lo, hi); it is
+// invoked from pool workers on disjoint ranges, so it must write only
+// dx[lo, hi) and be pure otherwise.
 Var UnaryOp(const Var& a, const std::function<float(float)>& fwd,
-            std::function<void(const Tensor& x, const Tensor& y,
-                               const Tensor& g, Tensor* dx)>
+            std::function<void(const float* x, const float* y, const float* g,
+                               float* dx, int64_t lo, int64_t hi)>
                 bwd) {
   Tensor out = a.value();
   out.Apply(fwd);
   // The output tensor is captured via the node itself (n->value).
   return MakeNode(std::move(out), {a}, [bwd](Node* n) {
     Tensor dx(n->parents[0]->value.rows(), n->parents[0]->value.cols());
-    bwd(n->parents[0]->value, n->value, n->grad, &dx);
+    const float* xp = n->parents[0]->value.data();
+    const float* yp = n->value.data();
+    const float* gp = n->grad.data();
+    float* dp = dx.data();
+    ParallelElems(dx.numel(), [&bwd, xp, yp, gp, dp](int64_t lo, int64_t hi) {
+      bwd(xp, yp, gp, dp, lo, hi);
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -246,50 +290,47 @@ Var UnaryOp(const Var& a, const std::function<float(float)>& fwd,
 Var Exp(const Var& a) {
   return UnaryOp(
       a, [](float v) { return std::exp(v); },
-      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          dx->data()[i] = g.data()[i] * y.data()[i];
-        }
+      [](const float*, const float* y, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dx[i] = g[i] * y[i];
       });
 }
 
 Var Log(const Var& a, float eps) {
   return UnaryOp(
       a, [eps](float v) { return std::log(v + eps); },
-      [eps](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          dx->data()[i] = g.data()[i] / (x.data()[i] + eps);
-        }
+      [eps](const float* x, const float*, const float* g, float* dx,
+            int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dx[i] = g[i] / (x[i] + eps);
       });
 }
 
 Var Square(const Var& a) {
   return UnaryOp(
       a, [](float v) { return v * v; },
-      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          dx->data()[i] = 2.0f * g.data()[i] * x.data()[i];
-        }
+      [](const float* x, const float*, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dx[i] = 2.0f * g[i] * x[i];
       });
 }
 
 Var Sqrt(const Var& a, float eps) {
   return UnaryOp(
       a, [eps](float v) { return std::sqrt(v + eps); },
-      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          dx->data()[i] = 0.5f * g.data()[i] / y.data()[i];
-        }
+      [](const float*, const float* y, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) dx[i] = 0.5f * g[i] / y[i];
       });
 }
 
 Var Rsqrt(const Var& a, float eps) {
   return UnaryOp(
       a, [eps](float v) { return 1.0f / std::sqrt(v + eps); },
-      [eps](const Tensor& x, const Tensor& y, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          const float yi = y.data()[i];
-          dx->data()[i] = -0.5f * g.data()[i] * yi * yi * yi;
+      [](const float*, const float* y, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float yi = y[i];
+          dx[i] = -0.5f * g[i] * yi * yi * yi;
         }
       });
 }
@@ -297,9 +338,10 @@ Var Rsqrt(const Var& a, float eps) {
 Var Relu(const Var& a) {
   return UnaryOp(
       a, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          dx->data()[i] = x.data()[i] > 0.0f ? g.data()[i] : 0.0f;
+      [](const float* x, const float*, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          dx[i] = x[i] > 0.0f ? g[i] : 0.0f;
         }
       });
 }
@@ -316,13 +358,14 @@ Var Selu(const Var& a) {
         return v > 0.0f ? kSeluScale * v
                         : kSeluScale * kSeluAlpha * (std::exp(v) - 1.0f);
       },
-      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          const float xi = x.data()[i];
+      [](const float* x, const float*, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float xi = x[i];
           const float d = xi > 0.0f
                               ? kSeluScale
                               : kSeluScale * kSeluAlpha * std::exp(xi);
-          dx->data()[i] = g.data()[i] * d;
+          dx[i] = g[i] * d;
         }
       });
 }
@@ -334,10 +377,11 @@ Var Softplus(const Var& a) {
         // Numerically stable log(1 + e^x).
         return v > 20.0f ? v : std::log1p(std::exp(v));
       },
-      [](const Tensor& x, const Tensor&, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          const float s = 1.0f / (1.0f + std::exp(-x.data()[i]));
-          dx->data()[i] = g.data()[i] * s;
+      [](const float* x, const float*, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float s = 1.0f / (1.0f + std::exp(-x[i]));
+          dx[i] = g[i] * s;
         }
       });
 }
@@ -345,10 +389,11 @@ Var Softplus(const Var& a) {
 Var Tanh(const Var& a) {
   return UnaryOp(
       a, [](float v) { return std::tanh(v); },
-      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          const float yi = y.data()[i];
-          dx->data()[i] = g.data()[i] * (1.0f - yi * yi);
+      [](const float*, const float* y, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float yi = y[i];
+          dx[i] = g[i] * (1.0f - yi * yi);
         }
       });
 }
@@ -356,10 +401,11 @@ Var Tanh(const Var& a) {
 Var Sigmoid(const Var& a) {
   return UnaryOp(
       a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
-      [](const Tensor&, const Tensor& y, const Tensor& g, Tensor* dx) {
-        for (int64_t i = 0; i < dx->numel(); ++i) {
-          const float yi = y.data()[i];
-          dx->data()[i] = g.data()[i] * yi * (1.0f - yi);
+      [](const float*, const float* y, const float* g, float* dx, int64_t lo,
+         int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float yi = y[i];
+          dx[i] = g[i] * yi * (1.0f - yi);
         }
       });
 }
@@ -374,16 +420,20 @@ Var SoftmaxRows(const Var& a) {
     const Tensor& y = n->value;
     const Tensor& g = n->grad;
     Tensor dx(y.rows(), y.cols());
-    for (int64_t r = 0; r < y.rows(); ++r) {
-      const float* yr = y.row(r);
-      const float* gr = g.row(r);
-      double dot = 0.0;
-      for (int64_t c = 0; c < y.cols(); ++c) dot += static_cast<double>(gr[c]) * yr[c];
-      float* dr = dx.row(r);
-      for (int64_t c = 0; c < y.cols(); ++c) {
-        dr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+    ParallelRows(y.rows(), y.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float* yr = y.row(r);
+        const float* gr = g.row(r);
+        double dot = 0.0;
+        for (int64_t c = 0; c < y.cols(); ++c) {
+          dot += static_cast<double>(gr[c]) * yr[c];
+        }
+        float* dr = dx.row(r);
+        for (int64_t c = 0; c < y.cols(); ++c) {
+          dr[c] = yr[c] * (gr[c] - static_cast<float>(dot));
+        }
       }
-    }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -395,16 +445,18 @@ Var LogSoftmaxRows(const Var& a) {
     const Tensor& y = n->value;  // log-softmax
     const Tensor& g = n->grad;
     Tensor dx(y.rows(), y.cols());
-    for (int64_t r = 0; r < y.rows(); ++r) {
-      const float* yr = y.row(r);
-      const float* gr = g.row(r);
-      double gsum = 0.0;
-      for (int64_t c = 0; c < y.cols(); ++c) gsum += gr[c];
-      float* dr = dx.row(r);
-      for (int64_t c = 0; c < y.cols(); ++c) {
-        dr[c] = gr[c] - static_cast<float>(gsum) * std::exp(yr[c]);
+    ParallelRows(y.rows(), y.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float* yr = y.row(r);
+        const float* gr = g.row(r);
+        double gsum = 0.0;
+        for (int64_t c = 0; c < y.cols(); ++c) gsum += gr[c];
+        float* dr = dx.row(r);
+        for (int64_t c = 0; c < y.cols(); ++c) {
+          dr[c] = gr[c] - static_cast<float>(gsum) * std::exp(yr[c]);
+        }
       }
-    }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -417,17 +469,19 @@ Var MaskedLogSumExpRows(const Var& a, const Tensor& mask) {
     const Tensor& lse = n->value;
     const Tensor& g = n->grad;  // rows x 1
     Tensor dx(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-      const float out_r = lse.at(r, 0);
-      if (out_r <= -1e29f) continue;  // Empty mask row: no gradient.
-      const float gr = g.at(r, 0);
-      const float* xr = x.row(r);
-      const float* mr = mask.row(r);
-      float* dr = dx.row(r);
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        dr[c] = mr[c] > 0.0f ? gr * mr[c] * std::exp(xr[c] - out_r) : 0.0f;
+    ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float out_r = lse.at(r, 0);
+        if (out_r <= -1e29f) continue;  // Empty mask row: no gradient.
+        const float gr = g.at(r, 0);
+        const float* xr = x.row(r);
+        const float* mr = mask.row(r);
+        float* dr = dx.row(r);
+        for (int64_t c = 0; c < x.cols(); ++c) {
+          dr[c] = mr[c] > 0.0f ? gr * mr[c] * std::exp(xr[c] - out_r) : 0.0f;
+        }
       }
-    }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -462,11 +516,13 @@ Var RowSum(const Var& a) {
     const Tensor& g = n->grad;  // rows x 1
     const Tensor& x = n->parents[0]->value;
     Tensor dx(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-      const float gr = g.at(r, 0);
-      float* dr = dx.row(r);
-      for (int64_t c = 0; c < x.cols(); ++c) dr[c] = gr;
-    }
+    ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float gr = g.at(r, 0);
+        float* dr = dx.row(r);
+        for (int64_t c = 0; c < x.cols(); ++c) dr[c] = gr;
+      }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -477,10 +533,12 @@ Var ColSum(const Var& a) {
     const Tensor& g = n->grad;  // 1 x cols
     const Tensor& x = n->parents[0]->value;
     Tensor dx(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-      float* dr = dx.row(r);
-      for (int64_t c = 0; c < x.cols(); ++c) dr[c] = g.at(0, c);
-    }
+    ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        float* dr = dx.row(r);
+        for (int64_t c = 0; c < x.cols(); ++c) dr[c] = g.at(0, c);
+      }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -505,52 +563,58 @@ Var BroadcastColOp(const Var& a, const Var& col, BinaryOp op) {
     const Tensor& cv = n->parents[1]->value;
     if (n->parents[0]->requires_grad) {
       Tensor da(av.rows(), av.cols());
-      for (int64_t r = 0; r < av.rows(); ++r) {
-        const float c = cv.at(r, 0);
-        const float* gr = g.row(r);
-        float* dr = da.row(r);
-        for (int64_t j = 0; j < av.cols(); ++j) {
-          switch (op) {
-            case BinaryOp::kAdd:
-            case BinaryOp::kSub:
-              dr[j] = gr[j];
-              break;
-            case BinaryOp::kMul:
-              dr[j] = gr[j] * c;
-              break;
-            case BinaryOp::kDiv:
-              dr[j] = gr[j] / c;
-              break;
+      ParallelRows(av.rows(), av.cols(), [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+          const float c = cv.at(r, 0);
+          const float* gr = g.row(r);
+          float* dr = da.row(r);
+          for (int64_t j = 0; j < av.cols(); ++j) {
+            switch (op) {
+              case BinaryOp::kAdd:
+              case BinaryOp::kSub:
+                dr[j] = gr[j];
+                break;
+              case BinaryOp::kMul:
+                dr[j] = gr[j] * c;
+                break;
+              case BinaryOp::kDiv:
+                dr[j] = gr[j] / c;
+                break;
+            }
           }
         }
-      }
+      });
       n->parents[0]->AccumGrad(da);
     }
     if (n->parents[1]->requires_grad) {
+      // Each dc row is a reduction over one input row only, so rows are
+      // independent and the per-row serial accumulation order is unchanged.
       Tensor dc(cv.rows(), 1);
-      for (int64_t r = 0; r < av.rows(); ++r) {
-        const float c = cv.at(r, 0);
-        const float* gr = g.row(r);
-        const float* ar = av.row(r);
-        double acc = 0.0;
-        for (int64_t j = 0; j < av.cols(); ++j) {
-          switch (op) {
-            case BinaryOp::kAdd:
-              acc += gr[j];
-              break;
-            case BinaryOp::kSub:
-              acc -= gr[j];
-              break;
-            case BinaryOp::kMul:
-              acc += static_cast<double>(gr[j]) * ar[j];
-              break;
-            case BinaryOp::kDiv:
-              acc += -static_cast<double>(gr[j]) * ar[j] / (c * c);
-              break;
+      ParallelRows(av.rows(), av.cols(), [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+          const float c = cv.at(r, 0);
+          const float* gr = g.row(r);
+          const float* ar = av.row(r);
+          double acc = 0.0;
+          for (int64_t j = 0; j < av.cols(); ++j) {
+            switch (op) {
+              case BinaryOp::kAdd:
+                acc += gr[j];
+                break;
+              case BinaryOp::kSub:
+                acc -= gr[j];
+                break;
+              case BinaryOp::kMul:
+                acc += static_cast<double>(gr[j]) * ar[j];
+                break;
+              case BinaryOp::kDiv:
+                acc += -static_cast<double>(gr[j]) * ar[j] / (c * c);
+                break;
+            }
           }
+          dc.at(r, 0) = static_cast<float>(acc);
         }
-        dc.at(r, 0) = static_cast<float>(acc);
-      }
+      });
       n->parents[1]->AccumGrad(dc);
     }
   });
@@ -565,50 +629,62 @@ Var BroadcastRowOp(const Var& a, const Var& row, BinaryOp op) {
     const Tensor& rv = n->parents[1]->value;
     if (n->parents[0]->requires_grad) {
       Tensor da(av.rows(), av.cols());
-      for (int64_t r = 0; r < av.rows(); ++r) {
-        const float* gr = g.row(r);
-        float* dr = da.row(r);
-        for (int64_t j = 0; j < av.cols(); ++j) {
-          const float b = rv.at(0, j);
-          switch (op) {
-            case BinaryOp::kAdd:
-            case BinaryOp::kSub:
-              dr[j] = gr[j];
-              break;
-            case BinaryOp::kMul:
-              dr[j] = gr[j] * b;
-              break;
-            case BinaryOp::kDiv:
-              dr[j] = gr[j] / b;
-              break;
+      ParallelRows(av.rows(), av.cols(), [&](int64_t r_lo, int64_t r_hi) {
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+          const float* gr = g.row(r);
+          float* dr = da.row(r);
+          for (int64_t j = 0; j < av.cols(); ++j) {
+            const float b = rv.at(0, j);
+            switch (op) {
+              case BinaryOp::kAdd:
+              case BinaryOp::kSub:
+                dr[j] = gr[j];
+                break;
+              case BinaryOp::kMul:
+                dr[j] = gr[j] * b;
+                break;
+              case BinaryOp::kDiv:
+                dr[j] = gr[j] / b;
+                break;
+            }
           }
         }
-      }
+      });
       n->parents[0]->AccumGrad(da);
     }
     if (n->parents[1]->requires_grad) {
-      Tensor dr(1, rv.cols());
-      for (int64_t r = 0; r < av.rows(); ++r) {
-        const float* gr = g.row(r);
-        const float* ar = av.row(r);
-        for (int64_t j = 0; j < av.cols(); ++j) {
-          const float b = rv.at(0, j);
-          switch (op) {
-            case BinaryOp::kAdd:
-              dr.at(0, j) += gr[j];
-              break;
-            case BinaryOp::kSub:
-              dr.at(0, j) -= gr[j];
-              break;
-            case BinaryOp::kMul:
-              dr.at(0, j) += gr[j] * ar[j];
-              break;
-            case BinaryOp::kDiv:
-              dr.at(0, j) += -gr[j] * ar[j] / (b * b);
-              break;
-          }
-        }
-      }
+      // Bias-style gradient: reduce over the batch dimension. Per-chunk
+      // partials over a fixed row grid, folded in fixed tree order, keep the
+      // result bitwise-identical at any thread count (util/parallel.h).
+      Tensor dr = util::ParallelReduceOrdered(
+          util::ThreadPool::Global(), 0, av.rows(), kGradReduceGridRows,
+          Tensor(1, rv.cols()),
+          [&](int64_t r_lo, int64_t r_hi) {
+            Tensor partial(1, rv.cols());
+            for (int64_t r = r_lo; r < r_hi; ++r) {
+              const float* gr = g.row(r);
+              const float* ar = av.row(r);
+              for (int64_t j = 0; j < av.cols(); ++j) {
+                const float b = rv.at(0, j);
+                switch (op) {
+                  case BinaryOp::kAdd:
+                    partial.at(0, j) += gr[j];
+                    break;
+                  case BinaryOp::kSub:
+                    partial.at(0, j) -= gr[j];
+                    break;
+                  case BinaryOp::kMul:
+                    partial.at(0, j) += gr[j] * ar[j];
+                    break;
+                  case BinaryOp::kDiv:
+                    partial.at(0, j) += -gr[j] * ar[j] / (b * b);
+                    break;
+                }
+              }
+            }
+            return partial;
+          },
+          [](Tensor& acc, Tensor&& part) { acc.AddInPlace(part); });
       n->parents[1]->AccumGrad(dr);
     }
   });
@@ -652,25 +728,31 @@ Var RowL2Normalize(const Var& a, float eps) {
     const Tensor& y = n->value;
     const Tensor& g = n->grad;
     Tensor dx(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-      const float* xr = x.row(r);
-      const float* yr = y.row(r);
-      const float* gr = g.row(r);
-      double norm_sq = 0.0;
-      for (int64_t c = 0; c < x.cols(); ++c) norm_sq += static_cast<double>(xr[c]) * xr[c];
-      const float norm = static_cast<float>(std::sqrt(norm_sq));
-      float* dr = dx.row(r);
-      if (norm <= eps) {
-        for (int64_t c = 0; c < x.cols(); ++c) dr[c] = 0.0f;
-        continue;
+    ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float* xr = x.row(r);
+        const float* yr = y.row(r);
+        const float* gr = g.row(r);
+        double norm_sq = 0.0;
+        for (int64_t c = 0; c < x.cols(); ++c) {
+          norm_sq += static_cast<double>(xr[c]) * xr[c];
+        }
+        const float norm = static_cast<float>(std::sqrt(norm_sq));
+        float* dr = dx.row(r);
+        if (norm <= eps) {
+          for (int64_t c = 0; c < x.cols(); ++c) dr[c] = 0.0f;
+          continue;
+        }
+        double dot = 0.0;
+        for (int64_t c = 0; c < x.cols(); ++c) {
+          dot += static_cast<double>(gr[c]) * yr[c];
+        }
+        const float inv = 1.0f / norm;
+        for (int64_t c = 0; c < x.cols(); ++c) {
+          dr[c] = (gr[c] - static_cast<float>(dot) * yr[c]) * inv;
+        }
       }
-      double dot = 0.0;
-      for (int64_t c = 0; c < x.cols(); ++c) dot += static_cast<double>(gr[c]) * yr[c];
-      const float inv = 1.0f / norm;
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        dr[c] = (gr[c] - static_cast<float>(dot) * yr[c]) * inv;
-      }
-    }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -710,26 +792,32 @@ Var ConcatRows(const std::vector<Var>& parts) {
 Var SelectColumns(const Var& a, const std::vector<int>& indices) {
   const Tensor& x = a.value();
   Tensor out(x.rows(), static_cast<int64_t>(indices.size()));
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* xr = x.row(r);
-    float* outr = out.row(r);
-    for (size_t j = 0; j < indices.size(); ++j) {
-      DCHECK_GE(indices[j], 0);
-      DCHECK_LT(indices[j], x.cols());
-      outr[j] = xr[indices[j]];
+  ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float* xr = x.row(r);
+      float* outr = out.row(r);
+      for (size_t j = 0; j < indices.size(); ++j) {
+        DCHECK_GE(indices[j], 0);
+        DCHECK_LT(indices[j], x.cols());
+        outr[j] = xr[indices[j]];
+      }
     }
-  }
+  });
   return MakeNode(std::move(out), {a}, [indices](Node* n) {
     const Tensor& g = n->grad;
     const Tensor& x = n->parents[0]->value;
+    // The scatter stays within each row (duplicate indices accumulate in
+    // serial j-order per row), so row-parallelism is partition-independent.
     Tensor dx(x.rows(), x.cols());
-    for (int64_t r = 0; r < x.rows(); ++r) {
-      const float* gr = g.row(r);
-      float* dr = dx.row(r);
-      for (size_t j = 0; j < indices.size(); ++j) {
-        dr[indices[j]] += gr[j];
+    ParallelRows(x.rows(), x.cols(), [&](int64_t r_lo, int64_t r_hi) {
+      for (int64_t r = r_lo; r < r_hi; ++r) {
+        const float* gr = g.row(r);
+        float* dr = dx.row(r);
+        for (size_t j = 0; j < indices.size(); ++j) {
+          dr[indices[j]] += gr[j];
+        }
       }
-    }
+    });
     n->parents[0]->AccumGrad(dx);
   });
 }
@@ -737,12 +825,18 @@ Var SelectColumns(const Var& a, const std::vector<int>& indices) {
 Var ApplyMask(const Var& a, const Tensor& mask) {
   CHECK(a.value().same_shape(mask));
   Tensor out = a.value();
+  float* op = out.data();
   const float* mp = mask.data();
-  for (int64_t i = 0; i < out.numel(); ++i) out.data()[i] *= mp[i];
+  ParallelElems(out.numel(), [op, mp](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) op[i] *= mp[i];
+  });
   return MakeNode(std::move(out), {a}, [mask](Node* n) {
     Tensor g = n->grad;
+    float* gp = g.data();
     const float* mp = mask.data();
-    for (int64_t i = 0; i < g.numel(); ++i) g.data()[i] *= mp[i];
+    ParallelElems(g.numel(), [gp, mp](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gp[i] *= mp[i];
+    });
     n->parents[0]->AccumGrad(g);
   });
 }

@@ -3,10 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
 #include "util/thread_pool.h"
 
 namespace contratopic {
 namespace tensor {
+
+namespace {
+// Minimum cells of work per chunk for cheap per-row/per-element bodies;
+// below this the dispatch overhead dominates.
+constexpr int64_t kCellsPerChunk = 1 << 14;
+// Fixed reduction grid for ColSum: rows per partial accumulator. Part of
+// the determinism contract -- must not depend on the thread count.
+constexpr int64_t kColSumGridRows = 256;
+}  // namespace
+
+void ParallelElems(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& body) {
+  util::ThreadPool::Global().ParallelFor(0, n, body, kCellsPerChunk);
+}
+
+void ParallelRows(int64_t rows, int64_t cols,
+                  const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t grain =
+      std::max<int64_t>(1, kCellsPerChunk / std::max<int64_t>(1, cols));
+  util::ThreadPool::Global().ParallelFor(0, rows, body, grain);
+}
+
 namespace {
 
 // Dot product of two contiguous float spans, 4-way unrolled.
@@ -41,8 +64,10 @@ void MatMulRowMajorTransB(const float* a, const float* bt, float* c,
   };
   const int64_t flops = m * n * k;
   if (flops > (1 << 22)) {
-    // Large product: split output rows across the pool.
-    util::ThreadPool::Global().ParallelFor(0, m, body, /*min_chunk=*/8);
+    // Large product: split output rows across the pool. Each output row is
+    // n*k flops of independent work, so grain=1 row (the chunk count is
+    // still bounded by the pool policy, ThreadPool::NumChunks).
+    util::ThreadPool::Global().ParallelFor(0, m, body, /*grain=*/1);
   } else {
     body(0, m);
   }
@@ -88,18 +113,20 @@ Tensor MatMulNew(const Tensor& a, bool trans_a, const Tensor& b,
 }
 
 void SoftmaxRowsInPlace(Tensor* x) {
-  for (int64_t r = 0; r < x->rows(); ++r) {
-    float* row = x->row(r);
-    float max_v = row[0];
-    for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < x->cols(); ++c) {
-      row[c] = std::exp(row[c] - max_v);
-      sum += row[c];
+  ParallelRows(x->rows(), x->cols(), [x](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      float* row = x->row(r);
+      float max_v = row[0];
+      for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
+      double sum = 0.0;
+      for (int64_t c = 0; c < x->cols(); ++c) {
+        row[c] = std::exp(row[c] - max_v);
+        sum += row[c];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t c = 0; c < x->cols(); ++c) row[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t c = 0; c < x->cols(); ++c) row[c] *= inv;
-  }
+  });
 }
 
 Tensor SoftmaxRows(const Tensor& x) {
@@ -109,15 +136,17 @@ Tensor SoftmaxRows(const Tensor& x) {
 }
 
 void LogSoftmaxRowsInPlace(Tensor* x) {
-  for (int64_t r = 0; r < x->rows(); ++r) {
-    float* row = x->row(r);
-    float max_v = row[0];
-    for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
-    double sum = 0.0;
-    for (int64_t c = 0; c < x->cols(); ++c) sum += std::exp(row[c] - max_v);
-    const float log_z = max_v + static_cast<float>(std::log(sum));
-    for (int64_t c = 0; c < x->cols(); ++c) row[c] -= log_z;
-  }
+  ParallelRows(x->rows(), x->cols(), [x](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      float* row = x->row(r);
+      float max_v = row[0];
+      for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
+      double sum = 0.0;
+      for (int64_t c = 0; c < x->cols(); ++c) sum += std::exp(row[c] - max_v);
+      const float log_z = max_v + static_cast<float>(std::log(sum));
+      for (int64_t c = 0; c < x->cols(); ++c) row[c] -= log_z;
+    }
+  });
 }
 
 void LogSumExpRows(const Tensor& x, const Tensor* mask, Tensor* out) {
@@ -126,62 +155,77 @@ void LogSumExpRows(const Tensor& x, const Tensor* mask, Tensor* out) {
   if (mask != nullptr) {
     CHECK(mask->same_shape(x));
   }
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.row(r);
-    const float* m = mask != nullptr ? mask->row(r) : nullptr;
-    float max_v = -1e30f;
-    for (int64_t c = 0; c < x.cols(); ++c) {
-      if (m == nullptr || m[c] > 0.0f) max_v = std::max(max_v, row[c]);
+  ParallelRows(x.rows(), x.cols(), [&x, mask, out](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float* row = x.row(r);
+      const float* m = mask != nullptr ? mask->row(r) : nullptr;
+      float max_v = -1e30f;
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        if (m == nullptr || m[c] > 0.0f) max_v = std::max(max_v, row[c]);
+      }
+      if (max_v <= -1e30f) {
+        out->at(r, 0) = -1e30f;  // Empty mask row.
+        continue;
+      }
+      double sum = 0.0;
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        const float w = m == nullptr ? 1.0f : m[c];
+        if (w > 0.0f) sum += w * std::exp(row[c] - max_v);
+      }
+      out->at(r, 0) = max_v + static_cast<float>(std::log(sum));
     }
-    if (max_v <= -1e30f) {
-      out->at(r, 0) = -1e30f;  // Empty mask row.
-      continue;
-    }
-    double sum = 0.0;
-    for (int64_t c = 0; c < x.cols(); ++c) {
-      const float w = m == nullptr ? 1.0f : m[c];
-      if (w > 0.0f) sum += w * std::exp(row[c] - max_v);
-    }
-    out->at(r, 0) = max_v + static_cast<float>(std::log(sum));
-  }
+  });
 }
 
 Tensor Transposed(const Tensor& x) {
   Tensor out(x.cols(), x.rows());
   constexpr int64_t kBlock = 32;
-  for (int64_t rb = 0; rb < x.rows(); rb += kBlock) {
-    const int64_t r_end = std::min(x.rows(), rb + kBlock);
-    for (int64_t cb = 0; cb < x.cols(); cb += kBlock) {
-      const int64_t c_end = std::min(x.cols(), cb + kBlock);
-      for (int64_t r = rb; r < r_end; ++r) {
-        for (int64_t c = cb; c < c_end; ++c) {
-          out.at(c, r) = x.at(r, c);
+  ParallelRows(x.rows(), x.cols(), [&x, &out](int64_t r_lo, int64_t r_hi) {
+    for (int64_t rb = r_lo; rb < r_hi; rb += kBlock) {
+      const int64_t r_end = std::min(r_hi, rb + kBlock);
+      for (int64_t cb = 0; cb < x.cols(); cb += kBlock) {
+        const int64_t c_end = std::min(x.cols(), cb + kBlock);
+        for (int64_t r = rb; r < r_end; ++r) {
+          for (int64_t c = cb; c < c_end; ++c) {
+            out.at(c, r) = x.at(r, c);
+          }
         }
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor RowSum(const Tensor& x) {
   Tensor out(x.rows(), 1);
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    double acc = 0.0;
-    const float* row = x.row(r);
-    for (int64_t c = 0; c < x.cols(); ++c) acc += row[c];
-    out.at(r, 0) = static_cast<float>(acc);
-  }
+  ParallelRows(x.rows(), x.cols(), [&x, &out](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      double acc = 0.0;
+      const float* row = x.row(r);
+      for (int64_t c = 0; c < x.cols(); ++c) acc += row[c];
+      out.at(r, 0) = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
 Tensor ColSum(const Tensor& x) {
-  Tensor out(1, x.cols());
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* row = x.row(r);
-    float* acc = out.data();
-    for (int64_t c = 0; c < x.cols(); ++c) acc[c] += row[c];
-  }
-  return out;
+  // Reduction across the row (batch) dimension: per-chunk partial buffers
+  // over a fixed row grid, folded in fixed tree order (bitwise identical at
+  // any thread count; see util/parallel.h).
+  return util::ParallelReduceOrdered(
+      util::ThreadPool::Global(), 0, x.rows(), kColSumGridRows,
+      Tensor(1, x.cols()),
+      [&x](int64_t r_lo, int64_t r_hi) {
+        Tensor partial(1, x.cols());
+        float* acc = partial.data();
+        for (int64_t r = r_lo; r < r_hi; ++r) {
+          const float* row = x.row(r);
+          for (int64_t c = 0; c < x.cols(); ++c) acc[c] += row[c];
+        }
+        return partial;
+      },
+      [](Tensor& acc, Tensor&& part) { acc.AddInPlace(part); });
 }
 
 Tensor ColMean(const Tensor& x) {
@@ -212,12 +256,14 @@ void BroadcastCol(const Tensor& a, const Tensor& col, BinaryOp op,
   CHECK_EQ(col.rows(), a.rows());
   CHECK_EQ(col.cols(), 1);
   CHECK(out->same_shape(a));
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float b = col.at(r, 0);
-    const float* src = a.row(r);
-    float* dst = out->row(r);
-    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b, op);
-  }
+  ParallelRows(a.rows(), a.cols(), [&](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float b = col.at(r, 0);
+      const float* src = a.row(r);
+      float* dst = out->row(r);
+      for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b, op);
+    }
+  });
 }
 
 void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op,
@@ -226,25 +272,33 @@ void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op,
   CHECK_EQ(row.rows(), 1);
   CHECK(out->same_shape(a));
   const float* b = row.data();
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    const float* src = a.row(r);
-    float* dst = out->row(r);
-    for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b[c], op);
-  }
+  ParallelRows(a.rows(), a.cols(), [&, b](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float* src = a.row(r);
+      float* dst = out->row(r);
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        dst[c] = ApplyBinary(src[c], b[c], op);
+      }
+    }
+  });
 }
 
 Tensor RowL2Normalized(const Tensor& x, float eps) {
   Tensor out = x;
-  for (int64_t r = 0; r < x.rows(); ++r) {
-    const float* src = x.row(r);
-    double acc = 0.0;
-    for (int64_t c = 0; c < x.cols(); ++c) acc += static_cast<double>(src[c]) * src[c];
-    const float norm = static_cast<float>(std::sqrt(acc));
-    if (norm <= eps) continue;
-    float* dst = out.row(r);
-    const float inv = 1.0f / norm;
-    for (int64_t c = 0; c < x.cols(); ++c) dst[c] *= inv;
-  }
+  ParallelRows(x.rows(), x.cols(), [&x, &out, eps](int64_t r_lo, int64_t r_hi) {
+    for (int64_t r = r_lo; r < r_hi; ++r) {
+      const float* src = x.row(r);
+      double acc = 0.0;
+      for (int64_t c = 0; c < x.cols(); ++c) {
+        acc += static_cast<double>(src[c]) * src[c];
+      }
+      const float norm = static_cast<float>(std::sqrt(acc));
+      if (norm <= eps) continue;
+      float* dst = out.row(r);
+      const float inv = 1.0f / norm;
+      for (int64_t c = 0; c < x.cols(); ++c) dst[c] *= inv;
+    }
+  });
   return out;
 }
 
@@ -262,12 +316,14 @@ Tensor PairwiseSquaredDistances(const Tensor& a, const Tensor& b) {
     return t;
   }());
   Tensor out(a.rows(), b.rows());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    for (int64_t j = 0; j < b.rows(); ++j) {
-      const float d = a_sq.at(i, 0) + b_sq.at(j, 0) - 2.0f * cross.at(i, j);
-      out.at(i, j) = std::max(0.0f, d);
+  ParallelRows(a.rows(), b.rows(), [&](int64_t i_lo, int64_t i_hi) {
+    for (int64_t i = i_lo; i < i_hi; ++i) {
+      for (int64_t j = 0; j < b.rows(); ++j) {
+        const float d = a_sq.at(i, 0) + b_sq.at(j, 0) - 2.0f * cross.at(i, j);
+        out.at(i, j) = std::max(0.0f, d);
+      }
     }
-  }
+  });
   return out;
 }
 

@@ -4,11 +4,31 @@
 // Non-differentiable compute kernels on Tensors. The autodiff layer
 // (tensor/autodiff.h) composes these into differentiable ops; the Gibbs
 // sampler, KMeans, and the evaluators call them directly.
+//
+// Every kernel here is deterministic at any thread count: parallel loops
+// either write disjoint, partition-independent output slots (per-row /
+// per-element work) or reduce over a fixed chunk grid in fixed order
+// (ColSum; see util/parallel.h).
+
+#include <functional>
 
 #include "tensor/tensor.h"
 
 namespace contratopic {
 namespace tensor {
+
+// Parallel-loop helpers shared by the kernels and the autodiff backward
+// pass. Bodies receive [lo, hi) sub-ranges, must not throw, and must produce
+// output that does not depend on how the range was partitioned.
+//
+// Runs body over element range [0, n) on the global pool (grain sized for
+// cheap elementwise bodies).
+void ParallelElems(int64_t n,
+                   const std::function<void(int64_t, int64_t)>& body);
+// Runs body over row range [0, rows) of a (rows x cols) matrix; the grain
+// shrinks as rows get wider so that each chunk carries comparable work.
+void ParallelRows(int64_t rows, int64_t cols,
+                  const std::function<void(int64_t, int64_t)>& body);
 
 // C = alpha * op(A) @ op(B) + beta * C, where op transposes when the flag is
 // set. Shapes are validated. Uses a cache-blocked inner loop and, for large

@@ -6,9 +6,18 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace tensor {
+
+namespace {
+// Grain for the parallel in-place helpers below: cheap elementwise bodies
+// only split when the buffer is large enough to amortize dispatch. Each
+// element is written independently, so results are identical at any thread
+// count.
+constexpr int64_t kElemGrain = 1 << 14;
+}  // namespace
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
   Tensor t(rows, cols);
@@ -66,23 +75,48 @@ void Tensor::Fill(float value) {
 }
 
 void Tensor::Scale(float factor) {
-  for (auto& v : data_) v *= factor;
+  float* d = data_.data();
+  util::ThreadPool::Global().ParallelFor(
+      0, numel(),
+      [d, factor](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) d[i] *= factor;
+      },
+      kElemGrain);
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
+  float* d = data_.data();
   const float* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += src[i];
+  util::ThreadPool::Global().ParallelFor(
+      0, numel(),
+      [d, src](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) d[i] += src[i];
+      },
+      kElemGrain);
 }
 
 void Tensor::AddScaledInPlace(const Tensor& other, float factor) {
   CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
+  float* d = data_.data();
   const float* src = other.data();
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * src[i];
+  util::ThreadPool::Global().ParallelFor(
+      0, numel(),
+      [d, src, factor](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) d[i] += factor * src[i];
+      },
+      kElemGrain);
 }
 
 void Tensor::Apply(const std::function<float(float)>& fn) {
-  for (auto& v : data_) v = fn(v);
+  // fn must be pure: chunks may run on pool workers concurrently.
+  float* d = data_.data();
+  util::ThreadPool::Global().ParallelFor(
+      0, numel(),
+      [d, &fn](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) d[i] = fn(d[i]);
+      },
+      kElemGrain);
 }
 
 float Tensor::Sum() const {

@@ -51,7 +51,8 @@ NeuralTopicModel::BatchGraph EtmModel::BuildBatch(const Batch& batch) {
 }
 
 Tensor EtmModel::InferThetaBatch(const Tensor& x_normalized) {
-  encoder_->SetTraining(false);
+  // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
+  // per batch would race when batches run on pool workers.
   VaeEncoder::Output out =
       encoder_->Forward(Var::Constant(x_normalized), /*sample=*/false);
   return out.theta.value();

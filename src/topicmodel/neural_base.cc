@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -159,20 +160,33 @@ Tensor NeuralTopicModel::InferTheta(const text::BowCorpus& corpus) {
   SetTraining(false);
   Tensor theta(corpus.num_docs(), config_.num_topics);
   const int batch_size = std::max(1, config_.batch_size);
-  for (int begin = 0; begin < corpus.num_docs(); begin += batch_size) {
-    const int end = std::min(corpus.num_docs(), begin + batch_size);
-    std::vector<int> indices;
-    indices.reserve(end - begin);
-    for (int i = begin; i < end; ++i) indices.push_back(i);
-    Tensor batch_theta = InferThetaBatch(corpus.NormalizedBatch(indices));
-    CHECK_EQ(batch_theta.rows(), static_cast<int64_t>(indices.size()));
-    CHECK_EQ(batch_theta.cols(), config_.num_topics);
-    for (size_t r = 0; r < indices.size(); ++r) {
-      std::copy(batch_theta.row(static_cast<int64_t>(r)),
+  // Batches are independent in eval mode (forward passes only read model
+  // state: dropout is identity, batch-norm uses running stats) and each
+  // writes a disjoint row range of theta. The batch grid is a function of
+  // corpus size and batch_size only, so per-document math — and the result —
+  // is identical at any thread count.
+  const int num_batches = (corpus.num_docs() + batch_size - 1) / batch_size;
+  util::ThreadPool::Global().ParallelFor(
+      0, num_batches,
+      [&](int64_t b_lo, int64_t b_hi) {
+        for (int64_t b = b_lo; b < b_hi; ++b) {
+          const int begin = static_cast<int>(b) * batch_size;
+          const int end = std::min(corpus.num_docs(), begin + batch_size);
+          std::vector<int> indices;
+          indices.reserve(end - begin);
+          for (int i = begin; i < end; ++i) indices.push_back(i);
+          Tensor batch_theta = InferThetaBatch(corpus.NormalizedBatch(indices));
+          CHECK_EQ(batch_theta.rows(), static_cast<int64_t>(indices.size()));
+          CHECK_EQ(batch_theta.cols(), config_.num_topics);
+          for (size_t r = 0; r < indices.size(); ++r) {
+            std::copy(
+                batch_theta.row(static_cast<int64_t>(r)),
                 batch_theta.row(static_cast<int64_t>(r)) + config_.num_topics,
                 theta.row(indices[r] /* == begin + r */));
-    }
-  }
+          }
+        }
+      },
+      /*grain=*/1);
   return theta;
 }
 

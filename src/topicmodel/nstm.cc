@@ -82,7 +82,8 @@ NeuralTopicModel::BatchGraph NstmModel::BuildBatch(const Batch& batch) {
 }
 
 Tensor NstmModel::InferThetaBatch(const Tensor& x_normalized) {
-  encoder_mlp_->SetTraining(false);
+  // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
+  // per batch would race when batches run on pool workers.
   return EncodeTheta(Var::Constant(x_normalized)).value();
 }
 

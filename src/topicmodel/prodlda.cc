@@ -58,7 +58,8 @@ NeuralTopicModel::BatchGraph ProdLdaModel::BuildBatch(const Batch& batch) {
 }
 
 Tensor ProdLdaModel::InferThetaBatch(const Tensor& x_normalized) {
-  encoder_->SetTraining(false);
+  // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
+  // per batch would race when batches run on pool workers.
   return encoder_->Forward(Var::Constant(x_normalized), /*sample=*/false)
       .theta.value();
 }

@@ -78,7 +78,8 @@ NeuralTopicModel::BatchGraph WeTeModel::BuildBatch(const Batch& batch) {
 }
 
 Tensor WeTeModel::InferThetaBatch(const Tensor& x_normalized) {
-  encoder_mlp_->SetTraining(false);
+  // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
+  // per batch would race when batches run on pool workers.
   return EncodeTheta(Var::Constant(x_normalized)).value();
 }
 

@@ -92,7 +92,8 @@ NeuralTopicModel::BatchGraph WldaModel::BuildBatch(const Batch& batch) {
 }
 
 Tensor WldaModel::InferThetaBatch(const Tensor& x_normalized) {
-  encoder_mlp_->SetTraining(false);
+  // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
+  // per batch would race when batches run on pool workers.
   return EncodeTheta(Var::Constant(x_normalized)).value();
 }
 

@@ -28,6 +28,16 @@ Rng::Rng(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng::Rng(uint64_t seed, uint64_t stream_id) {
+  // Hash the stream id through SplitMix64 before folding it into the seed so
+  // that consecutive stream ids land in well-separated state space, then
+  // seed the state exactly like the single-argument constructor.
+  uint64_t h = stream_id;
+  uint64_t x = seed ^ SplitMix64(h);
+  for (auto& s : s_) s = SplitMix64(x);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 uint64_t Rng::NextUint64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

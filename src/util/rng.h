@@ -19,6 +19,16 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
 
+  // Counter-based stream construction: (seed, stream_id) deterministically
+  // names an independent generator, so parallel shards can each own a
+  // reproducible stream regardless of thread count or creation order.
+  // Stream 0 is NOT the same generator as Rng(seed): the stream id is hashed
+  // into the state, keeping the plain single-argument behavior unchanged.
+  Rng(uint64_t seed, uint64_t stream_id);
+  static Rng Stream(uint64_t seed, uint64_t stream_id) {
+    return Rng(seed, stream_id);
+  }
+
   // Uniform 64-bit integer.
   uint64_t NextUint64();
 

@@ -1,11 +1,19 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace contratopic {
 namespace util {
+
+namespace {
+// The pool (if any) whose WorkerLoop the current thread is running. Lets
+// ParallelFor detect nested use and fall back to inline execution instead of
+// deadlocking, and lets Wait() reject misuse loudly.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) {
@@ -37,21 +45,34 @@ void ThreadPool::Schedule(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  CHECK(!InWorkerThread())
+      << "ThreadPool::Wait called from a worker of the same pool (deadlock); "
+         "nested parallel sections must go through ParallelFor";
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return pending_ == 0; });
 }
 
+bool ThreadPool::InWorkerThread() const { return tls_current_pool == this; }
+
+int64_t ThreadPool::NumChunks(int64_t range, int64_t grain, int workers) {
+  if (range <= 0) return 0;
+  if (workers <= 1) return 1;
+  CHECK_GT(grain, 0);
+  return std::clamp<int64_t>(range / grain, 1, workers);
+}
+
 void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t, int64_t)>& body,
-                             int64_t min_chunk) {
+                             int64_t grain) {
   const int64_t range = end - begin;
   if (range <= 0) return;
-  const int workers = num_threads();
-  if (workers <= 1 || range <= min_chunk) {
+  const int64_t chunks = NumChunks(range, grain, num_threads());
+  if (chunks <= 1 || InWorkerThread()) {
+    // Single chunk, single worker, or nested call from one of our own
+    // workers: run inline on the calling thread.
     body(begin, end);
     return;
   }
-  const int64_t chunks = std::min<int64_t>(workers, (range + min_chunk - 1) / min_chunk);
   const int64_t chunk_size = (range + chunks - 1) / chunks;
   for (int64_t c = 0; c < chunks; ++c) {
     const int64_t lo = begin + c * chunk_size;
@@ -62,20 +83,42 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   Wait();
 }
 
+namespace {
+// Never destroyed: avoids static-destruction-order issues (style guide).
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::mutex g_global_pool_mu;
+}  // namespace
+
 ThreadPool& ThreadPool::Global() {
-  // Never destroyed: avoids static-destruction-order issues (see style guide).
-  static ThreadPool* pool = new ThreadPool();
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    std::lock_guard<std::mutex> lock(g_global_pool_mu);
+    pool = g_global_pool.load(std::memory_order_relaxed);
+    if (pool == nullptr) {
+      pool = new ThreadPool();
+      g_global_pool.store(pool, std::memory_order_release);
+    }
+  }
+  return *pool;
+}
+
+ThreadPool& ThreadPool::SetGlobalNumThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  delete g_global_pool.exchange(nullptr);  // Joins workers after draining.
+  ThreadPool* pool = new ThreadPool(num_threads);
+  g_global_pool.store(pool, std::memory_order_release);
   return *pool;
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
-        if (shutdown_) return;
+        if (shutdown_) break;
         continue;
       }
       task = std::move(queue_.front());
@@ -88,6 +131,7 @@ void ThreadPool::WorkerLoop() {
       if (pending_ == 0) all_done_.notify_all();
     }
   }
+  tls_current_pool = nullptr;
 }
 
 }  // namespace util

@@ -1,11 +1,25 @@
 #ifndef CONTRATOPIC_UTIL_THREAD_POOL_H_
 #define CONTRATOPIC_UTIL_THREAD_POOL_H_
 
-// Fixed-size thread pool with a ParallelFor helper. The tensor kernels use
-// it for large matmuls; everything degrades gracefully to inline execution
-// when the pool has a single worker (or for small ranges).
+// Fixed-size thread pool with a ParallelFor helper. The tensor kernels, the
+// co-occurrence counter, the evaluators, and the training engine all run on
+// the process-wide Global() pool; everything degrades gracefully to inline
+// execution when the pool has a single worker (or for small ranges).
+//
+// Determinism contract (see DESIGN.md "Parallelism & determinism"): every
+// parallel region in this codebase either (a) writes disjoint output slots
+// whose values do not depend on how the range was chunked, or (b) reduces
+// per-chunk partials over a *fixed* chunk grid in a fixed order (see
+// util/parallel.h). Consequently num_threads=1 and num_threads=N produce
+// bitwise-identical results everywhere.
+//
+// Nested use: calling ParallelFor from inside a pool worker runs the body
+// inline on the calling worker (re-scheduling onto the same pool would
+// deadlock once all workers block in Wait). Calling Wait() directly from a
+// worker is a programming error and CHECK-fails.
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,6 +31,10 @@ namespace util {
 
 class ThreadPool {
  public:
+  // Default grain for ParallelFor: bodies cheaper than ~a few ns per item
+  // should not be split finer than this many items per chunk.
+  static constexpr int64_t kDefaultGrain = 1024;
+
   // num_threads <= 0 means hardware_concurrency().
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
@@ -29,17 +47,39 @@ class ThreadPool {
   // Enqueues a task; tasks must not throw.
   void Schedule(std::function<void()> task);
 
-  // Blocks until every scheduled task has finished.
+  // Blocks until every scheduled task has finished. Must not be called from
+  // a worker thread of this pool (CHECK-fails: it would deadlock).
   void Wait();
 
-  // Splits [begin, end) into chunks and runs `body(chunk_begin, chunk_end)`
-  // on the pool; blocks until done. Runs inline when the range is small.
+  // The single chunking policy (satellite of ISSUE 1): how many chunks a
+  // range of `range` items is split into on a pool with `workers` threads,
+  // given that no chunk should hold fewer than `grain` items. Exposed so the
+  // unit tests can pin the behavior.
+  //   range <= 0            -> 0 chunks
+  //   workers <= 1          -> 1 chunk (inline)
+  //   otherwise             -> clamp(range / grain, 1, workers)
+  static int64_t NumChunks(int64_t range, int64_t grain, int workers);
+
+  // Splits [begin, end) into NumChunks(range, grain, num_threads()) chunks
+  // and runs `body(chunk_begin, chunk_end)` on the pool; blocks until done.
+  // Runs inline when only one chunk results, or when called from a worker of
+  // this pool (nested case). `grain` is the minimum number of items per
+  // chunk; pass a small grain (even 1) when each item is expensive.
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t, int64_t)>& body,
-                   int64_t min_chunk = 1024);
+                   int64_t grain = kDefaultGrain);
+
+  // True when the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
 
   // Process-wide shared pool (created on first use, never destroyed).
   static ThreadPool& Global();
+
+  // Replaces the global pool with one of `num_threads` workers (<= 0 means
+  // hardware_concurrency). Drains the old pool first. Call this at startup
+  // (e.g. from a --threads flag) before handing references to Global() to
+  // other threads. Returns the new pool.
+  static ThreadPool& SetGlobalNumThreads(int num_threads);
 
  private:
   void WorkerLoop();

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/contrastive_loss.h"
+#include "core/subset_sampler.h"
 #include "tensor/autodiff.h"
 #include "tensor/grad_check.h"
 #include "tensor/kernels.h"
@@ -283,6 +285,86 @@ TEST(CompositeGradTest, VaeStyleGraph) {
   };
   const GradCheckResult result = CheckGradient(fn, SmallRandom(4, 3, 603), 1e-3f, 8e-2f);
   EXPECT_TRUE(result.ok) << result.max_rel_error;
+}
+
+// ---------------------------------------------------------------------------
+// Full contrastive path: Gumbel subset relaxation (subset_sampler.cc)
+// composed with the topic-wise contrastive loss (contrastive_loss.cc) — the
+// exact gradient chain ContraTopic trains through (paper Eqs. 2-5).
+// ---------------------------------------------------------------------------
+
+// Symmetric kernel with NPMI-like range, fixed across FD evaluations.
+Tensor SyntheticKernel(int c, uint64_t seed) {
+  Tensor k = SmallRandom(c, c, seed);
+  Tensor kt = tensor::Transposed(k);
+  k.AddInPlace(kt);
+  k.Apply([](float v) { return std::tanh(v); });
+  for (int i = 0; i < c; ++i) k.at(i, i) = 1.0f;
+  return k;
+}
+
+// Builds the closure used by the contrastive-path checks: softmax the raw
+// topic-word scores, take logs, draw the relaxed subset with a *freshly
+// seeded* rng (so every finite-difference evaluation sees identical Gumbel
+// noise), and feed the relaxed one-hots to the loss. Soft relaxation only:
+// the straight-through estimator is intentionally biased (discontinuous
+// forward), so finite differences cannot validate it.
+std::function<Var(const Var&)> ContrastivePathFn(const Tensor& kernel, int v,
+                                                 core::ContrastVariant cv) {
+  return [&kernel, v, cv](const Var& x) {
+    util::Rng rng(42);
+    Var beta = SoftmaxRows(x);
+    core::SubsetSample sample = core::SampleTopVWithoutReplacement(
+        Log(beta, 1e-20f), v, /*tau=*/1.0f, rng, /*hard=*/false);
+    return core::TopicContrastiveLoss(sample.steps, kernel, cv,
+                                      /*temperature=*/0.5f);
+  };
+}
+
+TEST(ContrastivePathGradTest, FullVariant) {
+  const Tensor kernel = SyntheticKernel(8, 700);
+  const GradCheckResult result =
+      CheckGradient(ContrastivePathFn(kernel, 2, core::ContrastVariant::kFull),
+                    SmallRandom(4, 8, 701), 1e-3f, 8e-2f);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(ContrastivePathGradTest, PositiveOnlyVariant) {
+  const Tensor kernel = SyntheticKernel(8, 710);
+  const GradCheckResult result = CheckGradient(
+      ContrastivePathFn(kernel, 2, core::ContrastVariant::kPositiveOnly),
+      SmallRandom(4, 8, 711), 1e-3f, 8e-2f);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(ContrastivePathGradTest, NegativeOnlyVariant) {
+  const Tensor kernel = SyntheticKernel(8, 720);
+  const GradCheckResult result = CheckGradient(
+      ContrastivePathFn(kernel, 2, core::ContrastVariant::kNegativeOnly),
+      SmallRandom(4, 8, 721), 1e-3f, 8e-2f);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(ContrastivePathGradTest, DeeperSubsetDraw) {
+  // v=3 chains three relaxed arg-max steps; gradients flow through the
+  // log(1 - p) updates of every step.
+  const Tensor kernel = SyntheticKernel(10, 730);
+  const GradCheckResult result =
+      CheckGradient(ContrastivePathFn(kernel, 3, core::ContrastVariant::kFull),
+                    SmallRandom(3, 10, 731), 1e-3f, 1e-1f);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
+}
+
+TEST(ContrastivePathGradTest, ExpectationVariant) {
+  // ContraTopic-S: the sampler is bypassed, beta rows feed the loss directly.
+  const Tensor kernel = SyntheticKernel(8, 740);
+  auto fn = [&kernel](const Var& x) {
+    return core::ExpectationContrastiveLoss(SoftmaxRows(x), kernel,
+                                            /*temperature=*/0.5f);
+  };
+  const GradCheckResult result =
+      CheckGradient(fn, SmallRandom(4, 8, 741), 1e-3f, 8e-2f);
+  EXPECT_TRUE(result.ok) << "max_rel_error=" << result.max_rel_error;
 }
 
 }  // namespace

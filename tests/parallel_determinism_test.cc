@@ -1,0 +1,386 @@
+// Determinism lock-in for the parallel training & evaluation engine
+// (ISSUE tentpole + satellite #1): num_threads=1 and num_threads=N must
+// produce bitwise-identical results everywhere — kernels, backward pass,
+// co-occurrence/NPMI construction, clustering, and full ContraTopic
+// training including the loss trajectory.
+
+#include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "embed/cooccurrence.h"
+#include "embed/word_embeddings.h"
+#include "eval/clustering.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "tensor/autodiff.h"
+#include "tensor/kernels.h"
+#include "text/synthetic.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace {
+
+using tensor::Tensor;
+using util::ThreadPool;
+
+Tensor RandomTensor(int64_t rows, int64_t cols, uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::RandNormal(rows, cols, rng, 0.0f, 1.0f);
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    // EXPECT_EQ on float demands exact (bitwise for non-NaN) equality.
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+// Runs `fn` under a 1-thread and a 4-thread global pool and requires the
+// results to match bitwise. Restores the hardware-default pool afterwards.
+void ExpectThreadCountInvariant(const std::function<Tensor()>& fn) {
+  ThreadPool::SetGlobalNumThreads(1);
+  const Tensor serial = fn();
+  ThreadPool::SetGlobalNumThreads(4);
+  const Tensor parallel = fn();
+  ThreadPool::SetGlobalNumThreads(0);
+  ExpectBitwiseEqual(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels: every parallelized kernel, 1 vs 4 threads, plus serial references.
+// Sizes exceed the internal chunk grains (ColSum grid = 256 rows,
+// elementwise grain = 2^14) so the 4-thread run really splits.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDeterminismTest, MatMul) {
+  const Tensor a = RandomTensor(300, 80, 1);
+  const Tensor b = RandomTensor(80, 70, 2);
+  ExpectThreadCountInvariant([&] { return tensor::MatMulNew(a, false, b, false); });
+  ExpectThreadCountInvariant([&] { return tensor::MatMulNew(a, true, a, false); });
+}
+
+TEST(KernelDeterminismTest, SoftmaxFamily) {
+  const Tensor x = RandomTensor(500, 40, 3);
+  ExpectThreadCountInvariant([&] { return tensor::SoftmaxRows(x); });
+  ExpectThreadCountInvariant([&] {
+    Tensor y = x;
+    tensor::LogSoftmaxRowsInPlace(&y);
+    return y;
+  });
+  util::Rng rng(4);
+  Tensor mask(500, 40);
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    mask.data()[i] = rng.Uniform() < 0.5 ? 1.0f : 0.0f;
+  }
+  ExpectThreadCountInvariant([&] {
+    Tensor out(500, 1);
+    tensor::LogSumExpRows(x, &mask, &out);
+    return out;
+  });
+}
+
+TEST(KernelDeterminismTest, RowAndColReductions) {
+  // 1000 rows: the ColSum fixed grid (256 rows/chunk) produces 4 partials,
+  // exercising the multi-chunk tree reduction.
+  const Tensor x = RandomTensor(1000, 37, 5);
+  ExpectThreadCountInvariant([&] { return tensor::RowSum(x); });
+  ExpectThreadCountInvariant([&] { return tensor::ColSum(x); });
+  ExpectThreadCountInvariant([&] { return tensor::ColMean(x); });
+
+  // Serial reference: double-accumulated column sums agree to float rounding.
+  const Tensor colsum = tensor::ColSum(x);
+  for (int64_t c = 0; c < x.cols(); ++c) {
+    double acc = 0.0;
+    for (int64_t r = 0; r < x.rows(); ++r) acc += x.at(r, c);
+    EXPECT_NEAR(colsum.at(0, c), acc, 1e-3 * (1.0 + std::fabs(acc)));
+  }
+}
+
+TEST(KernelDeterminismTest, StructuredKernels) {
+  const Tensor x = RandomTensor(400, 50, 6);
+  const Tensor col = RandomTensor(400, 1, 7);
+  const Tensor row = RandomTensor(1, 50, 8);
+  ExpectThreadCountInvariant([&] { return tensor::Transposed(x); });
+  ExpectThreadCountInvariant([&] { return tensor::RowL2Normalized(x); });
+  ExpectThreadCountInvariant([&] {
+    Tensor out(400, 50);
+    tensor::BroadcastCol(x, col, tensor::BinaryOp::kMul, &out);
+    return out;
+  });
+  ExpectThreadCountInvariant([&] {
+    Tensor out(400, 50);
+    tensor::BroadcastRow(x, row, tensor::BinaryOp::kAdd, &out);
+    return out;
+  });
+  const Tensor b = RandomTensor(120, 50, 9);
+  ExpectThreadCountInvariant(
+      [&] { return tensor::PairwiseSquaredDistances(x, b); });
+  ExpectThreadCountInvariant([&] { return tensor::PairwiseCosine(x, b); });
+}
+
+TEST(KernelDeterminismTest, TensorInPlaceHelpers) {
+  // 2^16 elements: above the elementwise grain, so 4 threads really split.
+  const Tensor base = RandomTensor(256, 256, 10);
+  const Tensor other = RandomTensor(256, 256, 11);
+  ExpectThreadCountInvariant([&] {
+    Tensor t = base;
+    t.Scale(0.37f);
+    return t;
+  });
+  ExpectThreadCountInvariant([&] {
+    Tensor t = base;
+    t.AddInPlace(other);
+    return t;
+  });
+  ExpectThreadCountInvariant([&] {
+    Tensor t = base;
+    t.AddScaledInPlace(other, -1.25f);
+    return t;
+  });
+  ExpectThreadCountInvariant([&] {
+    Tensor t = base;
+    t.Apply([](float v) { return std::exp(-v * v); });
+    return t;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Autodiff backward pass.
+// ---------------------------------------------------------------------------
+
+TEST(BackwardDeterminismTest, CompositeGraphGradientsMatchBitwise) {
+  using autodiff::Var;
+  // 1000 batch rows push the BroadcastRow bias-gradient reduction onto its
+  // multi-chunk fixed grid.
+  const Tensor x_val = RandomTensor(1000, 16, 20);
+  const Tensor w_val = RandomTensor(16, 12, 21);
+  const Tensor b_val = RandomTensor(1, 12, 22);
+  const Tensor target = [&] {
+    Tensor t = RandomTensor(1000, 12, 23);
+    t.Apply([](float v) { return std::fabs(v); });
+    return t;
+  }();
+
+  auto grads = [&] {
+    Var x = Var::Leaf(x_val, true);
+    Var w = Var::Leaf(w_val, true);
+    Var b = Var::Leaf(b_val, true);
+    Var h = autodiff::BroadcastRowAdd(autodiff::MatMul(x, w), b);
+    Var y = autodiff::SoftmaxRows(autodiff::Tanh(h));
+    Var loss = autodiff::Neg(autodiff::SumAll(
+        autodiff::Mul(Var::Constant(target), autodiff::Log(y, 1e-6f))));
+    autodiff::Backward(loss);
+    return std::vector<Tensor>{x.grad(), w.grad(), b.grad(),
+                               loss.value()};
+  };
+
+  ThreadPool::SetGlobalNumThreads(1);
+  const std::vector<Tensor> serial = grads();
+  ThreadPool::SetGlobalNumThreads(4);
+  const std::vector<Tensor> parallel = grads();
+  ThreadPool::SetGlobalNumThreads(0);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectBitwiseEqual(serial[i], parallel[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Co-occurrence counting and NPMI construction.
+// ---------------------------------------------------------------------------
+
+text::BowCorpus RandomCorpus(int num_docs, int vocab_size, uint64_t seed) {
+  text::Vocabulary vocab;
+  for (int i = 0; i < vocab_size; ++i) {
+    vocab.AddWord("w" + std::to_string(i));
+  }
+  util::Rng rng(seed);
+  std::vector<text::Document> docs(num_docs);
+  for (auto& doc : docs) {
+    const int unique = 5 + static_cast<int>(rng.UniformInt(8));
+    for (int w : rng.SampleWithoutReplacement(vocab_size, unique)) {
+      doc.entries.push_back({w, 1 + static_cast<int>(rng.UniformInt(4))});
+    }
+  }
+  return text::BowCorpus(std::move(vocab), std::move(docs));
+}
+
+TEST(CooccurrenceDeterminismTest, ShardedCountsMatchSerialReferenceExactly) {
+  // 2000 docs exceeds the 512-doc shard grain, so the 4-thread run shards.
+  const text::BowCorpus corpus = RandomCorpus(2000, 60, 30);
+
+  auto presence = [&] {
+    embed::CooccurrenceCounts counts(corpus.vocab_size());
+    counts.AddPresence(corpus);
+    return counts.matrix();
+  };
+  auto weighted = [&] {
+    embed::CooccurrenceCounts counts(corpus.vocab_size());
+    counts.AddWeighted(corpus);
+    return counts.matrix();
+  };
+  ExpectThreadCountInvariant(presence);
+  ExpectThreadCountInvariant(weighted);
+
+  // Serial reference: the counts are integer-valued, so the sharded result
+  // must match a naive doc-by-doc accumulation *exactly*.
+  const Tensor sharded = presence();
+  Tensor naive(corpus.vocab_size(), corpus.vocab_size());
+  for (const auto& doc : corpus.docs()) {
+    const auto& e = doc.entries;
+    for (size_t a = 0; a < e.size(); ++a) {
+      naive.at(e[a].word_id, e[a].word_id) += 1.0f;
+      for (size_t b = a + 1; b < e.size(); ++b) {
+        naive.at(e[a].word_id, e[b].word_id) += 1.0f;
+        naive.at(e[b].word_id, e[a].word_id) += 1.0f;
+      }
+    }
+  }
+  ExpectBitwiseEqual(sharded, naive);
+}
+
+TEST(CooccurrenceDeterminismTest, NpmiAndPpmiMatchAcrossThreadCounts) {
+  const text::BowCorpus corpus = RandomCorpus(2000, 60, 31);
+  ExpectThreadCountInvariant(
+      [&] { return eval::NpmiMatrix::Compute(corpus).matrix(); });
+  ExpectThreadCountInvariant([&] {
+    embed::CooccurrenceCounts counts(corpus.vocab_size());
+    counts.AddWeighted(corpus);
+    return embed::PpmiMatrix(counts);
+  });
+
+  // The row-parallel NPMI fill recomputes mirror cells; symmetry must be
+  // exact because the per-cell math is symmetric in (i, j).
+  const Tensor npmi = eval::NpmiMatrix::Compute(corpus).matrix();
+  for (int64_t i = 0; i < npmi.rows(); ++i) {
+    for (int64_t j = i + 1; j < npmi.cols(); ++j) {
+      ASSERT_EQ(npmi.at(i, j), npmi.at(j, i));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation: KMeans clustering and per-topic coherence.
+// ---------------------------------------------------------------------------
+
+TEST(EvalDeterminismTest, KMeansMatchesAcrossThreadCounts) {
+  const Tensor points = RandomTensor(600, 10, 40);
+  auto run = [&] {
+    util::Rng rng(7);  // Fresh rng per run: seeding draws stay serial.
+    return eval::KMeans(points, 12, rng);
+  };
+  ThreadPool::SetGlobalNumThreads(1);
+  const eval::KMeansResult serial = run();
+  ThreadPool::SetGlobalNumThreads(4);
+  const eval::KMeansResult parallel = run();
+  ThreadPool::SetGlobalNumThreads(0);
+  EXPECT_EQ(serial.assignments, parallel.assignments);
+  EXPECT_EQ(serial.inertia, parallel.inertia);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  ExpectBitwiseEqual(serial.centroids, parallel.centroids);
+}
+
+TEST(EvalDeterminismTest, PerTopicCoherenceMatchesAcrossThreadCounts) {
+  const text::BowCorpus corpus = RandomCorpus(1500, 60, 41);
+  const eval::NpmiMatrix npmi = eval::NpmiMatrix::Compute(corpus);
+  const Tensor beta = tensor::SoftmaxRows(RandomTensor(16, 60, 42));
+  auto run = [&] { return eval::PerTopicCoherence(beta, npmi); };
+  ThreadPool::SetGlobalNumThreads(1);
+  const std::vector<double> serial = run();
+  ThreadPool::SetGlobalNumThreads(4);
+  const std::vector<double> parallel = run();
+  ThreadPool::SetGlobalNumThreads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t k = 0; k < serial.size(); ++k) {
+    EXPECT_EQ(serial[k], parallel[k]) << "topic " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: ContraTopic training on the 20ng-sim preset.
+// ---------------------------------------------------------------------------
+
+struct TrainRun {
+  Tensor beta;
+  Tensor theta;
+  std::vector<double> losses;  // Train + two TrainMore continuations.
+  std::vector<double> coherence;
+};
+
+TrainRun TrainContraTopic(int threads) {
+  ThreadPool::SetGlobalNumThreads(threads);
+  // Everything is rebuilt from scratch per run: corpus generation,
+  // embeddings, the NPMI kernel, and training all run under the requested
+  // thread count.
+  const text::SyntheticConfig config = text::Preset20NG(0.1);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus reference =
+      text::GenerateReferenceCorpus(config, dataset.train.vocab());
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(reference, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 16;
+        return c;
+      }());
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::MakeContraTopicEtm(tc, embeddings);
+
+  TrainRun run;
+  run.losses.push_back(model->Train(dataset.train).final_loss);
+  run.losses.push_back(model->TrainMore(dataset.train, 1).final_loss);
+  run.losses.push_back(model->TrainMore(dataset.train, 1).final_loss);
+  run.beta = model->Beta();
+  run.theta = model->InferTheta(dataset.test);
+  const eval::NpmiMatrix test_npmi = eval::NpmiMatrix::Compute(dataset.test);
+  run.coherence = eval::PerTopicCoherence(run.beta, test_npmi);
+  return run;
+}
+
+TEST(TrainingDeterminismTest, ContraTopicIsBitwiseIdenticalAt1And4Threads) {
+  const TrainRun serial = TrainContraTopic(1);
+  const TrainRun parallel = TrainContraTopic(4);
+  ThreadPool::SetGlobalNumThreads(0);
+
+  ASSERT_EQ(serial.losses.size(), parallel.losses.size());
+  for (size_t i = 0; i < serial.losses.size(); ++i) {
+    EXPECT_EQ(serial.losses[i], parallel.losses[i]) << "loss step " << i;
+  }
+  ExpectBitwiseEqual(serial.beta, parallel.beta);
+  ExpectBitwiseEqual(serial.theta, parallel.theta);
+  ASSERT_EQ(serial.coherence.size(), parallel.coherence.size());
+  for (size_t k = 0; k < serial.coherence.size(); ++k) {
+    EXPECT_EQ(serial.coherence[k], parallel.coherence[k]) << "topic " << k;
+  }
+}
+
+// Rng streams: (seed, stream) pairs are independent and reproducible.
+TEST(RngStreamTest, StreamsAreReproducibleAndDistinct) {
+  util::Rng a0 = util::Rng::Stream(123, 0);
+  util::Rng a0_again = util::Rng::Stream(123, 0);
+  util::Rng a1 = util::Rng::Stream(123, 1);
+  util::Rng b0 = util::Rng::Stream(124, 0);
+  const uint64_t x = a0.NextUint64();
+  EXPECT_EQ(x, a0_again.NextUint64());
+  EXPECT_NE(x, a1.NextUint64());
+  EXPECT_NE(x, b0.NextUint64());
+  // Stream 0 is not the plain single-seed generator.
+  util::Rng plain(123);
+  util::Rng s0 = util::Rng::Stream(123, 0);
+  EXPECT_NE(plain.NextUint64(), s0.NextUint64());
+}
+
+}  // namespace
+}  // namespace contratopic

@@ -1,0 +1,226 @@
+// Stress and policy tests for util::ThreadPool and util/parallel.h
+// (ISSUE: satellite #2 and #4 of the parallel-engine PR).
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace util {
+namespace {
+
+TEST(NumChunksPolicyTest, PinsTheSingleChunkingPolicy) {
+  // Empty / negative ranges never produce work.
+  EXPECT_EQ(ThreadPool::NumChunks(0, 1024, 8), 0);
+  EXPECT_EQ(ThreadPool::NumChunks(-5, 1024, 8), 0);
+  // A single worker always gets a single inline chunk.
+  EXPECT_EQ(ThreadPool::NumChunks(1 << 20, 1024, 1), 1);
+  EXPECT_EQ(ThreadPool::NumChunks(1 << 20, 1024, 0), 1);
+  // Ranges below one grain stay unsplit regardless of workers.
+  EXPECT_EQ(ThreadPool::NumChunks(100, 1024, 8), 1);
+  EXPECT_EQ(ThreadPool::NumChunks(1023, 1024, 8), 1);
+  // In between: one chunk per full grain...
+  EXPECT_EQ(ThreadPool::NumChunks(5000, 1024, 8), 4);
+  // ...capped at the worker count.
+  EXPECT_EQ(ThreadPool::NumChunks(8 * 1024, 1024, 8), 8);
+  EXPECT_EQ(ThreadPool::NumChunks(100000, 1024, 8), 8);
+  // Expensive items (grain 1) split all the way to the worker cap.
+  EXPECT_EQ(ThreadPool::NumChunks(3, 1, 8), 3);
+  EXPECT_EQ(ThreadPool::NumChunks(64, 1, 8), 8);
+}
+
+TEST(FixedGridChunksTest, DependsOnRangeOnly) {
+  EXPECT_EQ(FixedGridChunks(0, 256), 0);
+  EXPECT_EQ(FixedGridChunks(1, 256), 1);
+  EXPECT_EQ(FixedGridChunks(256, 256), 1);
+  EXPECT_EQ(FixedGridChunks(257, 256), 2);
+  EXPECT_EQ(FixedGridChunks(1000, 256), 4);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, RangeBelowGrainRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;  // Unsynchronized on purpose: must run on this thread.
+  int64_t seen_lo = -1, seen_hi = -1;
+  pool.ParallelFor(
+      3, 10,
+      [&](int64_t lo, int64_t hi) {
+        ++calls;
+        seen_lo = lo;
+        seen_hi = hi;
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_FALSE(pool.InWorkerThread());
+      },
+      /*grain=*/1024);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_lo, 3);
+  EXPECT_EQ(seen_hi, 10);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 100000;
+  std::vector<int> hits(kN, 0);
+  pool.ParallelFor(
+      0, kN,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*grain=*/1024);
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_calls{0};
+  std::atomic<int> inner_calls{0};
+  std::atomic<int> inner_chunks_off_worker{0};
+  pool.ParallelFor(
+      0, 4,
+      [&](int64_t lo, int64_t hi) {
+        ++outer_calls;
+        const std::thread::id outer_thread = std::this_thread::get_id();
+        const bool on_worker = pool.InWorkerThread();
+        // The inner loop is large enough that, were it scheduled, it would
+        // split across workers; from a worker it must run inline instead.
+        pool.ParallelFor(
+            0, 1 << 16,
+            [&](int64_t, int64_t) {
+              ++inner_calls;
+              if (on_worker &&
+                  std::this_thread::get_id() != outer_thread) {
+                ++inner_chunks_off_worker;
+              }
+            },
+            /*grain=*/1024);
+        (void)lo;
+        (void)hi;
+      },
+      /*grain=*/1);
+  EXPECT_EQ(outer_calls.load(), 4);
+  EXPECT_GE(inner_calls.load(), 4);
+  // Nested sections never hop to another worker.
+  EXPECT_EQ(inner_chunks_off_worker.load(), 0);
+}
+
+TEST(ThreadPoolTest, ManyTinyTasksAllRun) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Schedule([&done] { ++done; });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+  // Wait() with an empty queue returns immediately.
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ManySmallParallelForsBackToBack) {
+  ThreadPool pool(4);
+  int64_t total = 0;  // Main-thread only: accumulated between loops.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(
+        0, 64,
+        [&](int64_t lo, int64_t hi) {
+          int64_t local = 0;
+          for (int64_t i = lo; i < hi; ++i) local += i;
+          sum += local;
+        },
+        /*grain=*/1);
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 200 * (63 * 64 / 2));
+}
+
+TEST(ParallelReduceOrderedTest, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(4);
+  const double result = ParallelReduceOrdered(
+      pool, 0, 0, 16, 3.5,
+      [](int64_t, int64_t) { return 100.0; },
+      [](double& acc, double&& part) { acc += part; });
+  EXPECT_EQ(result, 3.5);
+}
+
+TEST(ParallelReduceOrderedTest, SumMatchesSerialAtAnyPoolSize) {
+  // Float accumulation over a fixed grid: the partial-sum boundaries depend
+  // only on the grain, so pools of different sizes must agree bitwise.
+  constexpr int64_t kN = 10000;
+  std::vector<float> values(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    values[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  auto run = [&](ThreadPool& pool) {
+    return ParallelReduceOrdered(
+        pool, 0, kN, /*grain=*/256, 0.0f,
+        [&](int64_t lo, int64_t hi) {
+          float acc = 0.0f;
+          for (int64_t i = lo; i < hi; ++i) acc += values[i];
+          return acc;
+        },
+        [](float& acc, float&& part) { acc += part; });
+  };
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  ThreadPool pool7(7);
+  const float r1 = run(pool1);
+  const float r4 = run(pool4);
+  const float r7 = run(pool7);
+  EXPECT_EQ(r1, r4);  // EXPECT_EQ on floats: bitwise-equal values required.
+  EXPECT_EQ(r1, r7);
+  EXPECT_NEAR(r1, 9.7876f, 0.01f);  // Harmonic(10000), sanity.
+}
+
+TEST(ParallelReduceOrderedTest, CombineSeesEveryChunkExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int64_t kN = 101;  // Odd chunk count exercises the tree's tail.
+  const int64_t chunks = FixedGridChunks(kN, 10);
+  EXPECT_EQ(chunks, 11);
+  const int64_t count = ParallelReduceOrdered(
+      pool, 0, kN, /*grain=*/10, int64_t{0},
+      [](int64_t lo, int64_t hi) { return hi - lo; },
+      [](int64_t& acc, int64_t&& part) { acc += part; });
+  EXPECT_EQ(count, kN);
+}
+
+TEST(GlobalPoolTest, SetGlobalNumThreadsReplacesThePool) {
+  ThreadPool& four = ThreadPool::SetGlobalNumThreads(4);
+  EXPECT_EQ(four.num_threads(), 4);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 4);
+  std::atomic<int> ran{0};
+  ThreadPool::Global().ParallelFor(
+      0, 4, [&](int64_t lo, int64_t hi) { ran += static_cast<int>(hi - lo); },
+      /*grain=*/1);
+  EXPECT_EQ(ran.load(), 4);
+
+  ThreadPool& one = ThreadPool::SetGlobalNumThreads(1);
+  EXPECT_EQ(one.num_threads(), 1);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+
+  // Restore the hardware default so later suites see a fresh pool.
+  ThreadPool::SetGlobalNumThreads(0);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace contratopic
