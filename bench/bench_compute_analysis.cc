@@ -11,8 +11,8 @@
 
 #include "bench/harness.h"
 #include "eval/npmi.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 using namespace contratopic;  // NOLINT
 
@@ -29,10 +29,10 @@ int main(int argc, char** argv) {
       bench::LoadExperiment(dataset_name, bench_config.doc_scale);
 
   // NPMI precomputation cost.
-  util::Stopwatch npmi_watch;
+  util::TraceSpan npmi_span("npmi_precompute");
   const eval::NpmiMatrix npmi =
       eval::NpmiMatrix::Compute(context.dataset.train);
-  const double npmi_seconds = npmi_watch.ElapsedSeconds();
+  const double npmi_seconds = npmi_span.ElapsedSeconds();
 
   util::TableWriter table(
       {"Model", "sec/epoch", "extra memory (MiB)", "final loss"});

@@ -36,7 +36,9 @@ int main(int argc, char** argv) {
     const bench::ExperimentContext context =
         bench::LoadExperiment(dataset_name, bench_config.doc_scale);
     std::vector<int> all_docs(context.dataset.test.num_docs());
-    for (size_t i = 0; i < all_docs.size(); ++i) all_docs[i] = static_cast<int>(i);
+    for (size_t i = 0; i < all_docs.size(); ++i) {
+      all_docs[i] = static_cast<int>(i);
+    }
     const std::vector<int> labels = context.dataset.test.Labels(all_docs);
 
     util::TableWriter purity_table(header);

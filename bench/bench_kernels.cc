@@ -29,7 +29,8 @@ void BM_MatMul(benchmark::State& state) {
   const Tensor a = Tensor::RandNormal(n, n, rng);
   const Tensor b = Tensor::RandNormal(n, n, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(contratopic::tensor::MatMulNew(a, false, b, false));
+    benchmark::DoNotOptimize(
+        contratopic::tensor::MatMulNew(a, false, b, false));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
@@ -58,7 +59,8 @@ void BM_SubsetSamplerForwardBackward(benchmark::State& state) {
   const int candidates = static_cast<int>(state.range(0));
   contratopic::util::Rng rng(3);
   const Tensor logits = Tensor::RandNormal(20, candidates, rng);
-  const Tensor kernel = Tensor::RandNormal(candidates, candidates, rng, 0, 0.3f);
+  const Tensor kernel =
+      Tensor::RandNormal(candidates, candidates, rng, 0, 0.3f);
   for (auto _ : state) {
     ad::Var leaf = ad::Var::Leaf(logits, true);
     core::SubsetSample sample =

@@ -4,21 +4,35 @@
 // "Parallelism & determinism"), and reports the wall-clock speedup for
 // each pipeline stage (NPMI precompute, training, inference, evaluation).
 //
-// Usage: bench_parallel_training [--dataset=20ng-sim] [--threads=4]
-//        [--epochs=...] [--docs=...]
-// Writes bench_results/parallel_training_<dataset>.tsv.
+// Doubles as the CI bench-smoke binary (DESIGN.md §9): both legs stream
+// run telemetry — per-epoch loss / l_con / NPMI / diversity records and
+// per-stage wall time — into one JSONL file ending in a run manifest, and
+// the exit code is non-zero when any tier-1 metric is non-finite, when
+// the manifest was not written, or when the legs disagree bitwise.
+// scripts/check_telemetry.py validates the artifact again from the
+// outside.
+//
+// Usage: bench_parallel_training [--preset=20ng-sim] [--threads=4]
+//        [--epochs=...] [--docs=...] [--telemetry=<path>]
+// Writes bench_results/parallel_training_<preset>.tsv and
+// bench_results/telemetry_<preset>.jsonl (override with --telemetry=).
+
+#include <sys/stat.h>
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <thread>
 
 #include "bench/harness.h"
 #include "eval/clustering.h"
 #include "eval/metrics.h"
 #include "eval/npmi.h"
-#include "util/stopwatch.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 using namespace contratopic;  // NOLINT
 
@@ -33,44 +47,72 @@ struct LegResult {
   double eval_seconds = 0.0;
   float final_loss = 0.0f;
   double mean_coherence = 0.0;
+  double diversity = 0.0;
   tensor::Tensor beta;
   tensor::Tensor theta;
 };
 
 LegResult RunLeg(int threads, const bench::ExperimentContext& context,
-                 const bench::BenchConfig& bench_config) {
+                 const bench::BenchConfig& bench_config,
+                 util::RunTelemetry* telemetry) {
   util::ThreadPool::SetGlobalNumThreads(threads);
   LegResult leg;
   leg.threads = util::ThreadPool::Global().num_threads();
 
-  util::Stopwatch npmi_watch;
-  const eval::NpmiMatrix npmi =
-      eval::NpmiMatrix::Compute(context.dataset.train);
-  leg.npmi_seconds = npmi_watch.ElapsedSeconds();
+  telemetry->RecordRunStart(
+      util::StrFormat("parallel_training[threads=%d]", leg.threads),
+      {{"dataset", context.config.name},
+       {"threads", std::to_string(leg.threads)},
+       {"epochs", std::to_string(bench_config.train.epochs)},
+       {"topics", std::to_string(bench_config.train.num_topics)},
+       {"seed", std::to_string(bench_config.train.seed)}});
+
+  {
+    util::TraceSpan span("npmi_precompute");
+    const eval::NpmiMatrix npmi =
+        eval::NpmiMatrix::Compute(context.dataset.train);
+    leg.npmi_seconds = span.ElapsedSeconds();
+  }
+  telemetry->RecordStage("npmi_precompute", leg.npmi_seconds);
 
   core::ContraTopicOptions options;
   options.lambda = bench::LambdaForDataset(context.config.name);
   auto model = core::CreateModel("contratopic", bench_config.train,
                                  context.embeddings, options);
+  bench::AttachTelemetry(model.get(), telemetry, context);
 
-  util::Stopwatch train_watch;
-  const topicmodel::TrainStats stats = model->Train(context.dataset.train);
-  leg.train_seconds = train_watch.ElapsedSeconds();
-  leg.final_loss = stats.final_loss;
-  leg.beta = model->Beta();
-
-  util::Stopwatch infer_watch;
-  leg.theta = model->InferTheta(context.dataset.test);
-  leg.infer_seconds = infer_watch.ElapsedSeconds();
-
-  util::Stopwatch eval_watch;
-  const std::vector<double> coherence =
-      eval::PerTopicCoherence(leg.beta, *context.test_npmi, 10);
-  for (double c : coherence) leg.mean_coherence += c;
-  if (!coherence.empty()) {
-    leg.mean_coherence /= static_cast<double>(coherence.size());
+  {
+    util::TraceSpan span("train");
+    const topicmodel::TrainStats stats = model->Train(context.dataset.train);
+    leg.train_seconds = span.ElapsedSeconds();
+    leg.final_loss = stats.final_loss;
   }
-  leg.eval_seconds = eval_watch.ElapsedSeconds();
+  leg.beta = model->Beta();
+  telemetry->RecordStage("train", leg.train_seconds,
+                         {{"final_loss", leg.final_loss}});
+
+  {
+    util::TraceSpan span("infer_theta");
+    leg.theta = model->InferTheta(context.dataset.test);
+    leg.infer_seconds = span.ElapsedSeconds();
+  }
+  telemetry->RecordStage("infer_theta", leg.infer_seconds);
+
+  {
+    util::TraceSpan span("eval_coherence");
+    const std::vector<double> coherence =
+        eval::PerTopicCoherence(leg.beta, *context.test_npmi, 10);
+    for (double c : coherence) leg.mean_coherence += c;
+    if (!coherence.empty()) {
+      leg.mean_coherence /= static_cast<double>(coherence.size());
+    }
+    leg.diversity =
+        eval::DiversityAtProportion(leg.beta, coherence, /*proportion=*/1.0);
+    leg.eval_seconds = span.ElapsedSeconds();
+  }
+  telemetry->RecordStage("eval_coherence", leg.eval_seconds,
+                         {{"npmi", leg.mean_coherence},
+                          {"diversity", leg.diversity}});
   return leg;
 }
 
@@ -83,12 +125,22 @@ int64_t CountMismatches(const tensor::Tensor& a, const tensor::Tensor& b) {
   return mismatches;
 }
 
+// The tier-1 metric gate: a NaN/Inf anywhere in the headline numbers
+// means the run is broken even if it "completed".
+bool AllFinite(const LegResult& leg) {
+  return std::isfinite(leg.final_loss) && std::isfinite(leg.mean_coherence) &&
+         std::isfinite(leg.diversity) && std::isfinite(leg.train_seconds);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   bench::BenchConfig bench_config = bench::ParseBenchConfig(flags);
-  const std::string dataset_name = flags.GetString("dataset", "20ng-sim");
+  // --preset is the canonical spelling (matches text::PresetByName);
+  // --dataset stays as an alias for older scripts.
+  const std::string dataset_name =
+      flags.GetString("preset", flags.GetString("dataset", "20ng-sim"));
   const int parallel_threads = flags.GetInt("threads", 4);
   const unsigned hw = std::thread::hardware_concurrency();
 
@@ -98,8 +150,22 @@ int main(int argc, char** argv) {
               dataset_name.c_str(), context.config.num_docs,
               static_cast<int>(context.dataset.train.vocab().size()), hw);
 
-  const LegResult serial = RunLeg(1, context, bench_config);
-  const LegResult parallel = RunLeg(parallel_threads, context, bench_config);
+  ::mkdir(bench::kResultsDir, 0755);  // the sink opens its file eagerly
+  util::RunTelemetry::Options telemetry_options;
+  telemetry_options.path =
+      bench_config.telemetry_path.empty()
+          ? std::string(bench::kResultsDir) + "/telemetry_" + dataset_name +
+                ".jsonl"
+          : bench_config.telemetry_path;
+  util::RunTelemetry telemetry(telemetry_options);
+
+  // Scope the manifest's registry/tracer snapshot to this bench run.
+  util::MetricsRegistry::Global().Reset();
+  util::Tracer::Global().Reset();
+
+  const LegResult serial = RunLeg(1, context, bench_config, &telemetry);
+  const LegResult parallel =
+      RunLeg(parallel_threads, context, bench_config, &telemetry);
   util::ThreadPool::SetGlobalNumThreads(0);  // restore hardware default
 
   // Determinism contract: both legs must agree bitwise.
@@ -110,6 +176,7 @@ int main(int argc, char** argv) {
       serial.mean_coherence == parallel.mean_coherence;
   const bool identical =
       beta_diff == 0 && theta_diff == 0 && loss_equal && coherence_equal;
+  const bool finite = AllFinite(serial) && AllFinite(parallel);
 
   util::TableWriter table({"Stage", "1 thread (s)",
                            util::StrFormat("%d threads (s)", parallel.threads),
@@ -132,6 +199,22 @@ int main(int argc, char** argv) {
                       parallel.threads, dataset_name.c_str()),
       "parallel_training_" + dataset_name, table);
 
+  telemetry.RecordManifest(
+      {{"threads_serial", static_cast<double>(serial.threads)},
+       {"threads_parallel", static_cast<double>(parallel.threads)},
+       {"final_loss", serial.final_loss},
+       {"npmi", serial.mean_coherence},
+       {"diversity", serial.diversity},
+       {"beta_mismatches", static_cast<double>(beta_diff)},
+       {"theta_mismatches", static_cast<double>(theta_diff)},
+       {"bitwise_identical", identical ? 1.0 : 0.0},
+       {"metrics_finite", finite ? 1.0 : 0.0}});
+  const util::Status telemetry_status = telemetry.Flush();
+  const bool telemetry_ok =
+      telemetry_status.ok() && telemetry.manifest_written();
+  std::printf("[telemetry: %s%s]\n", telemetry_options.path.c_str(),
+              telemetry_ok ? "" : " WRITE FAILED");
+
   std::printf(
       "\ndeterminism: beta mismatches=%lld theta mismatches=%lld "
       "loss %s coherence %s -> %s\n",
@@ -139,9 +222,10 @@ int main(int argc, char** argv) {
       loss_equal ? "equal" : "DIFFERS",
       coherence_equal ? "equal" : "DIFFERS",
       identical ? "BITWISE IDENTICAL" : "MISMATCH");
+  if (!finite) std::printf("metric gate: NON-FINITE tier-1 metric\n");
   std::printf(
       "note: speedup is bounded by the host's %u hardware thread(s); on a "
       "single-core host both legs time-slice one core and speedup ~1.\n",
       hw);
-  return identical ? 0 : 1;
+  return identical && finite && telemetry_ok ? 0 : 1;
 }

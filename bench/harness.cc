@@ -5,11 +5,12 @@
 #include <cstdio>
 #include <functional>
 
+#include "eval/metrics.h"
 #include "util/logging.h"
 #include "util/serialize.h"
-#include "util/thread_pool.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace bench {
@@ -127,11 +128,40 @@ BenchConfig ParseBenchConfig(const util::Flags& flags) {
   bench.train.epochs = flags.GetInt("epochs", bench.train.epochs);
   bench.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   bench.use_cache = flags.GetBool("cache", true);
+  bench.telemetry_path = flags.GetString("telemetry", "");
   // Training is bitwise-deterministic in the pool size (see DESIGN.md
   // "Parallelism & determinism"), so --threads only changes wall-clock.
   bench.num_threads = flags.GetInt("threads", 0);
   util::ThreadPool::SetGlobalNumThreads(bench.num_threads);
   return bench;
+}
+
+topicmodel::NeuralTopicModel::EpochEvaluator MakeEpochEvaluator(
+    const ExperimentContext& context) {
+  const eval::NpmiMatrix* npmi = context.test_npmi.get();
+  return [npmi](const tensor::Tensor& beta) {
+    const std::vector<double> coherence = eval::PerTopicCoherence(beta, *npmi);
+    double mean = 0.0;
+    for (double c : coherence) mean += c;
+    if (!coherence.empty()) mean /= static_cast<double>(coherence.size());
+    const double diversity =
+        eval::DiversityAtProportion(beta, coherence, /*proportion=*/1.0);
+    return std::vector<std::pair<std::string, double>>{
+        {"npmi", mean}, {"diversity", diversity}};
+  };
+}
+
+void AttachTelemetry(topicmodel::TopicModel* model,
+                     util::RunTelemetry* telemetry,
+                     const ExperimentContext& context) {
+  auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model);
+  if (neural == nullptr) return;
+  neural->SetTelemetry(telemetry);
+  if (telemetry != nullptr) {
+    neural->SetEpochEvaluator(MakeEpochEvaluator(context));
+  } else {
+    neural->SetEpochEvaluator(nullptr);
+  }
 }
 
 float LambdaForDataset(const std::string& preset_name) {
@@ -144,7 +174,8 @@ float LambdaForDataset(const std::string& preset_name) {
 TrainedModel TrainModel(const std::string& zoo_name,
                         const ExperimentContext& context,
                         const BenchConfig& bench,
-                        core::ContraTopicOptions contra_options) {
+                        core::ContraTopicOptions contra_options,
+                        util::RunTelemetry* telemetry) {
   TrainedModel result;
   result.zoo_name = zoo_name;
   result.display_name = core::DisplayName(zoo_name);
@@ -160,9 +191,28 @@ TrainedModel TrainModel(const std::string& zoo_name,
 
   auto model = core::CreateModel(zoo_name, bench.train, context.embeddings,
                                  contra_options);
+  AttachTelemetry(model.get(), telemetry, context);
+  if (telemetry != nullptr) {
+    telemetry->RecordRunStart(
+        result.display_name,
+        {{"model", zoo_name},
+         {"dataset", context.config.name},
+         {"epochs", std::to_string(bench.train.epochs)},
+         {"topics", std::to_string(bench.train.num_topics)},
+         {"seed", std::to_string(bench.train.seed)}});
+  }
+  util::TraceSpan train_span("bench_train");
   result.stats = model->Train(context.dataset.train);
+  if (telemetry != nullptr) {
+    telemetry->RecordStage("train", train_span.ElapsedSeconds(),
+                           {{"final_loss", result.stats.final_loss}});
+  }
   result.beta = model->Beta();
+  util::TraceSpan infer_span("bench_infer");
   result.test_theta = model->InferTheta(context.dataset.test);
+  if (telemetry != nullptr) {
+    telemetry->RecordStage("infer_theta", infer_span.ElapsedSeconds());
+  }
   if (bench.use_cache) SaveCached(cache_path, result);
   return result;
 }

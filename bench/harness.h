@@ -18,9 +18,11 @@
 #include "embed/word_embeddings.h"
 #include "eval/npmi.h"
 #include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
 #include "topicmodel/topic_model.h"
 #include "util/flags.h"
 #include "util/table_writer.h"
+#include "util/telemetry.h"
 
 namespace contratopic {
 namespace bench {
@@ -46,14 +48,31 @@ ExperimentContext LoadExperiment(const std::string& preset_name,
 //   --docs=<f>            dataset document-count multiplier
 //   --threads=<n>         global thread-pool size (0 = hardware default);
 //                         results are bitwise-identical for any value
+//   --telemetry=<path>    JSONL run-telemetry output (see util/telemetry.h);
+//                         empty disables the sink
 //   --epochs, --topics, --seed overrides
 struct BenchConfig {
   double doc_scale = 0.5;
   int num_threads = 0;  // 0 = hardware concurrency
   topicmodel::TrainConfig train;
   bool use_cache = true;
+  std::string telemetry_path;
 };
 BenchConfig ParseBenchConfig(const util::Flags& flags);
+
+// Per-epoch interpretability evaluator for NeuralTopicModel telemetry:
+// mean NPMI coherence (top-10 words, test-corpus NPMI) and diversity
+// (unique fraction of top-25 words over all topics). `context` must
+// outlive the returned callable.
+topicmodel::NeuralTopicModel::EpochEvaluator MakeEpochEvaluator(
+    const ExperimentContext& context);
+
+// Attaches `telemetry` plus the standard epoch evaluator to `model` when
+// it is a NeuralTopicModel (no-op for Gibbs LDA, which has no epoch
+// loop). Pass telemetry = nullptr to detach.
+void AttachTelemetry(topicmodel::TopicModel* model,
+                     util::RunTelemetry* telemetry,
+                     const ExperimentContext& context);
 
 // The paper's per-dataset lambda (40 / 40 / 300, scaled for the harness).
 float LambdaForDataset(const std::string& preset_name);
@@ -68,11 +87,15 @@ struct TrainedModel {
 };
 
 // Trains (or loads from bench_results/cache) one model on the context's
-// training split. `contra_options` applies to contratopic* models.
+// training split. `contra_options` applies to contratopic* models. When
+// `telemetry` is non-null, the run streams per-epoch records into it
+// (cache hits stream nothing: the cache stores results, not
+// trajectories).
 TrainedModel TrainModel(const std::string& zoo_name,
                         const ExperimentContext& context,
                         const BenchConfig& bench,
-                        core::ContraTopicOptions contra_options);
+                        core::ContraTopicOptions contra_options,
+                        util::RunTelemetry* telemetry = nullptr);
 
 // Same, with the dataset-appropriate default ContraTopic options.
 TrainedModel TrainModel(const std::string& zoo_name,

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validates a run-telemetry JSONL artifact (DESIGN.md §9).
+
+Usage: check_telemetry.py <telemetry.jsonl>
+
+Checks, in order:
+  1. every line parses as a JSON object with a "type" field;
+  2. at least one run_start record and at least one stage record exist;
+  3. exactly one manifest record exists and it is the last line;
+  4. every epoch record carries finite (non-null) loss, npmi, diversity;
+  5. the manifest summary reports bitwise_identical == 1 and
+     metrics_finite == 1 when those keys are present (bench-smoke runs
+     emit them; other producers may not).
+
+Exit code 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_finite_number(value):
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_telemetry.py <telemetry.jsonl>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = [line.rstrip("\n") for line in f if line.strip()]
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not lines:
+        fail(f"{path} is empty")
+
+    records = []
+    for i, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: invalid JSON: {e}")
+        if not isinstance(record, dict) or "type" not in record:
+            fail(f"{path}:{i}: record is not an object with a 'type' field")
+        records.append(record)
+
+    by_type = {}
+    for record in records:
+        by_type.setdefault(record["type"], []).append(record)
+
+    if "run_start" not in by_type:
+        fail("no run_start record")
+    if "stage" not in by_type:
+        fail("no stage record")
+    manifests = by_type.get("manifest", [])
+    if len(manifests) != 1:
+        fail(f"expected exactly one manifest record, found {len(manifests)}")
+    if records[-1]["type"] != "manifest":
+        fail("manifest is not the last record")
+
+    epochs = by_type.get("epoch", [])
+    for record in epochs:
+        for key in ("loss", "npmi", "diversity"):
+            if key not in record:
+                fail(f"epoch record missing '{key}': {record}")
+            if not is_finite_number(record[key]):
+                # Non-finite doubles serialize as JSON null — a NaN metric
+                # is a broken run even when the process exited 0.
+                fail(f"epoch record has non-finite '{key}': {record}")
+    if not epochs:
+        fail("no epoch records")
+
+    summary = manifests[0].get("summary", {})
+    for key in ("bitwise_identical", "metrics_finite"):
+        if key in summary and summary[key] != 1:
+            fail(f"manifest summary reports {key}={summary[key]}")
+
+    n_runs = len(by_type["run_start"])
+    print(
+        f"check_telemetry: OK: {len(records)} records, {n_runs} run(s), "
+        f"{len(epochs)} epoch record(s), manifest present"
+    )
+
+
+if __name__ == "__main__":
+    main()

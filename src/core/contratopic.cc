@@ -170,14 +170,21 @@ NeuralTopicModel::BatchGraph ContraTopicModel::BuildBatch(
     lambda *= std::min(1.0f, ramp);
   }
   Var loss = Add(base.loss, MulScalar(contrast, lambda));
+  BatchGraph out;
+  out.beta = base.beta;
+  out.loss_components = std::move(base.loss_components);
+  out.loss_components.emplace_back(
+      "l_con", static_cast<float>(last_contrastive_loss_));
   if (options_.document_contrast_weight > 0.0f) {
     Var doc_term = DocumentContrastTerm(batch);
     if (doc_term.defined()) {
+      out.loss_components.emplace_back("l_doc", doc_term.value().scalar());
       loss = Add(loss,
                  MulScalar(doc_term, options_.document_contrast_weight));
     }
   }
-  return {loss, base.beta};
+  out.loss = loss;
+  return out;
 }
 
 Var ContraTopicModel::DocumentContrastTerm(const topicmodel::Batch& batch) {

@@ -32,8 +32,8 @@ OnlineContraTopic::SliceReport OnlineContraTopic::FitSlice(
       << "all slices must share one vocabulary";
   counts_->Scale(options_.decay);
   counts_->AddPresence(slice);
-  auto kernel =
-      std::make_unique<eval::NpmiMatrix>(eval::NpmiMatrix::FromCounts(*counts_));
+  auto kernel = std::make_unique<eval::NpmiMatrix>(
+      eval::NpmiMatrix::FromCounts(*counts_));
 
   if (model_ == nullptr) {
     auto backbone = std::make_unique<topicmodel::EtmModel>(options_.train,

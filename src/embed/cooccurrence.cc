@@ -6,7 +6,9 @@
 
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace embed {
@@ -58,6 +60,10 @@ CooccurrenceCounts::CooccurrenceCounts(int vocab_size)
 
 void CooccurrenceCounts::Accumulate(const text::BowCorpus& corpus,
                                     bool weighted) {
+  util::TraceSpan span("cooccurrence");
+  util::MetricsRegistry::Global()
+      .counter("embed.cooccurrence.docs")
+      .Increment(corpus.num_docs());
   CHECK_EQ(corpus.vocab_size(), vocab_size_);
   const int64_t num_docs = corpus.num_docs();
   const int64_t shards = NumShards(num_docs);

@@ -6,6 +6,8 @@
 
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace embed {
@@ -130,6 +132,10 @@ void OrthonormalizeColumns(Tensor* m, util::Rng& rng) {
 TruncatedEigen TruncatedSymmetricEigen(const Tensor& symmetric, int rank,
                                        util::Rng& rng, int iterations,
                                        int oversample) {
+  util::TraceSpan span("svd");
+  util::MetricsRegistry::Global()
+      .counter("embed.svd.iterations")
+      .Increment(iterations);
   CHECK_EQ(symmetric.rows(), symmetric.cols());
   const int n = static_cast<int>(symmetric.rows());
   rank = std::min(rank, n);

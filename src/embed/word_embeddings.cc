@@ -7,6 +7,7 @@
 #include "embed/svd.h"
 #include "tensor/kernels.h"
 #include "util/serialize.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace embed {
@@ -19,6 +20,7 @@ WordEmbeddings::WordEmbeddings(tensor::Tensor vectors,
 
 WordEmbeddings WordEmbeddings::Train(const text::BowCorpus& corpus,
                                      const EmbeddingConfig& config) {
+  util::TraceSpan span("embed_train");
   CooccurrenceCounts counts(corpus.vocab_size());
   counts.AddWeighted(corpus);
   tensor::Tensor ppmi = PpmiMatrix(counts, config.ppmi_smoothing);
@@ -63,8 +65,9 @@ std::vector<int> WordEmbeddings::NearestNeighbors(int word_id, int k) const {
     scored.emplace_back(Cosine(word_id, i), i);
   }
   k = std::min<int>(k, static_cast<int>(scored.size()));
-  std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
-                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::partial_sort(
+      scored.begin(), scored.begin() + k, scored.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
   std::vector<int> out(k);
   for (int i = 0; i < k; ++i) out[i] = scored[i].second;
   return out;

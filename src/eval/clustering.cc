@@ -7,7 +7,9 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace eval {
@@ -30,6 +32,7 @@ double SquaredDistance(const float* a, const float* b, int64_t dim) {
 
 KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
                     util::Rng& rng, int max_iterations, double tolerance) {
+  util::TraceSpan span("kmeans");
   const int64_t n = points.rows();
   const int64_t dim = points.cols();
   CHECK_GT(n, 0);
@@ -48,9 +51,9 @@ KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
         0, n,
         [&](int64_t lo, int64_t hi) {
           for (int64_t i = lo; i < hi; ++i) {
-            min_dist[i] =
-                std::min(min_dist[i], SquaredDistance(points.row(i),
-                                                      centroids.row(c - 1), dim));
+            min_dist[i] = std::min(
+                min_dist[i],
+                SquaredDistance(points.row(i), centroids.row(c - 1), dim));
           }
         },
         kPointGrain);
@@ -143,6 +146,9 @@ KMeansResult KMeans(const tensor::Tensor& points, int num_clusters,
     prev_inertia = inertia;
   }
   result.centroids = std::move(centroids);
+  util::MetricsRegistry::Global()
+      .counter("eval.kmeans.iterations")
+      .Increment(result.iterations);
   return result;
 }
 
@@ -157,7 +163,9 @@ double Purity(const std::vector<int>& assignments,
   int64_t majority_total = 0;
   for (const auto& [cluster, label_counts] : cluster_label_counts) {
     int best = 0;
-    for (const auto& [label, count] : label_counts) best = std::max(best, count);
+    for (const auto& [label, count] : label_counts) {
+      best = std::max(best, count);
+    }
     majority_total += best;
   }
   return static_cast<double>(majority_total) / assignments.size();

@@ -29,8 +29,8 @@ std::vector<IntrusionQuestion> GenerateIntrusionQuestions(
     const int end = std::min(num_topics, begin + decile_size);
     std::vector<int> pool(order.begin() + begin, order.begin() + end);
     rng.Shuffle(pool);
-    const int take =
-        std::min<int>(config.questions_per_decile, static_cast<int>(pool.size()));
+    const int take = std::min<int>(config.questions_per_decile,
+                                   static_cast<int>(pool.size()));
     for (int i = 0; i < take; ++i) selected.push_back(pool[i]);
   }
   const std::unordered_set<int> selected_set(selected.begin(), selected.end());

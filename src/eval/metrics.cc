@@ -6,7 +6,9 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace eval {
@@ -14,6 +16,10 @@ namespace eval {
 std::vector<double> PerTopicCoherence(const tensor::Tensor& beta,
                                       const NpmiMatrix& npmi, int top_words) {
   CHECK_EQ(beta.cols(), npmi.vocab_size());
+  util::TraceSpan span("coherence");
+  util::MetricsRegistry::Global()
+      .counter("eval.coherence.topics")
+      .Increment(beta.rows());
   // Topics are independent (top-k selection + pairwise NPMI mean per topic),
   // so each writes its own slot.
   std::vector<double> coherence(beta.rows());
@@ -40,8 +46,8 @@ namespace {
 int NumSelected(size_t num_topics, double proportion) {
   CHECK_GT(proportion, 0.0);
   CHECK_LE(proportion, 1.0);
-  return std::max(
-      1, static_cast<int>(std::ceil(proportion * static_cast<double>(num_topics))));
+  return std::max(1, static_cast<int>(std::ceil(
+                          proportion * static_cast<double>(num_topics))));
 }
 }  // namespace
 

@@ -5,6 +5,8 @@
 #include "embed/cooccurrence.h"
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace eval {
@@ -19,7 +21,11 @@ NpmiMatrix NpmiMatrix::FromCounts(const embed::CooccurrenceCounts& counts) {
   const double n_docs = static_cast<double>(counts.num_docs());
   CHECK_GT(n_docs, 0.0);
 
+  util::TraceSpan span("npmi_matrix");
   const int v = counts.vocab_size();
+  util::MetricsRegistry::Global()
+      .counter("eval.npmi.cells")
+      .Increment(static_cast<int64_t>(v) * v);
   tensor::Tensor npmi(v, v);
   // Each row is computed independently (the mirror cell (j, i) is recomputed
   // rather than scattered across rows, so writes stay disjoint under

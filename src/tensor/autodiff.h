@@ -8,7 +8,8 @@
 // train on (the paper's models are PyTorch VAEs; see DESIGN.md §2).
 //
 // Typical use:
-//   Var w = Var::Leaf(Tensor::GlorotUniform(10, 4, rng), /*requires_grad=*/true);
+//   Var w = Var::Leaf(Tensor::GlorotUniform(10, 4, rng),
+//                     /*requires_grad=*/true);
 //   Var x = Var::Constant(batch);
 //   Var loss = MeanAll(Square(Sub(MatMul(x, w), targets)));
 //   Backward(loss);

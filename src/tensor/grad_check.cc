@@ -33,7 +33,8 @@ GradCheckResult CheckGradient(const std::function<Var(const Var&)>& fn,
     const float numeric = (f_plus - f_minus) / (2.0f * epsilon);
     const float a = analytic.empty() ? 0.0f : analytic.data()[i];
     const float abs_err = std::fabs(numeric - a);
-    const float denom = std::max(1.0f, std::max(std::fabs(numeric), std::fabs(a)));
+    const float denom =
+        std::max(1.0f, std::max(std::fabs(numeric), std::fabs(a)));
     result.max_abs_error = std::max(result.max_abs_error, abs_err);
     result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
   }

@@ -261,7 +261,9 @@ void BroadcastCol(const Tensor& a, const Tensor& col, BinaryOp op,
       const float b = col.at(r, 0);
       const float* src = a.row(r);
       float* dst = out->row(r);
-      for (int64_t c = 0; c < a.cols(); ++c) dst[c] = ApplyBinary(src[c], b, op);
+      for (int64_t c = 0; c < a.cols(); ++c) {
+        dst[c] = ApplyBinary(src[c], b, op);
+      }
     }
   });
 }

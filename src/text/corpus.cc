@@ -106,8 +106,9 @@ TrainTestSplit SplitCorpus(const BowCorpus& corpus, double train_fraction,
       test_docs.push_back(corpus.doc(order[i]));
     }
   }
-  return {BowCorpus(corpus.vocab(), std::move(train_docs), corpus.label_names()),
-          BowCorpus(corpus.vocab(), std::move(test_docs), corpus.label_names())};
+  return {
+      BowCorpus(corpus.vocab(), std::move(train_docs), corpus.label_names()),
+      BowCorpus(corpus.vocab(), std::move(test_docs), corpus.label_names())};
 }
 
 BatchIterator::BatchIterator(int num_docs, int batch_size, util::Rng& rng)

@@ -52,8 +52,10 @@ DynamicDataset GenerateDynamic(const DynamicConfig& config) {
       }
       const std::vector<double> theta = rng.Dirichlet(alpha);
       const int length = std::max(
-          3, static_cast<int>(rng.Normal(slice_config.avg_doc_length,
-                                         std::sqrt(slice_config.avg_doc_length))));
+          3,
+          static_cast<int>(rng.Normal(
+              slice_config.avg_doc_length,
+              std::sqrt(slice_config.avg_doc_length))));
       std::vector<std::string> tokens;
       std::vector<int> theme_counts(num_themes, 0);
       for (int i = 0; i < length; ++i) {

@@ -54,7 +54,7 @@ NeuralTopicModel::BatchGraph ClntmModel::BuildBatch(const Batch& batch) {
   Var contrast = MeanAll(Softplus(Sub(s_neg, s_pos)));
 
   Var loss = Add(g.loss, MulScalar(contrast, options_.contrast_weight));
-  return {loss, g.beta};
+  return {loss, g.beta, {}};
 }
 
 }  // namespace topicmodel

@@ -42,12 +42,14 @@ EtmModel::ElboGraph EtmModel::BuildElbo(const Batch& batch) {
   Var kl = VaeEncoder::KlDivergence(g.encoded);
   const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
   g.loss = MulScalar(Add(recon, kl), inv_batch);
+  g.recon = recon.value().scalar() * inv_batch;
+  g.kl = kl.value().scalar() * inv_batch;
   return g;
 }
 
 NeuralTopicModel::BatchGraph EtmModel::BuildBatch(const Batch& batch) {
   ElboGraph g = BuildElbo(batch);
-  return {g.loss, g.beta};
+  return {g.loss, g.beta, {{"recon", g.recon}, {"kl", g.kl}}};
 }
 
 Tensor EtmModel::InferThetaBatch(const Tensor& x_normalized) {

@@ -43,7 +43,9 @@ class EtmModel : public NeuralTopicModel {
   struct ElboGraph {
     VaeEncoder::Output encoded;
     Var beta;
-    Var loss;  // (reconstruction + KL) / batch_size
+    Var loss;           // (reconstruction + KL) / batch_size
+    float recon = 0.0f;  // reconstruction term / batch_size (telemetry)
+    float kl = 0.0f;     // KL term / batch_size (telemetry)
   };
   ElboGraph BuildElbo(const Batch& batch);
 

@@ -3,7 +3,8 @@
 #include <algorithm>
 
 #include "util/logging.h"
-#include "util/stopwatch.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -88,10 +89,14 @@ TrainStats LdaModel::Train(const text::BowCorpus& corpus) {
     }
   }
 
-  util::Stopwatch watch;
+  util::TraceSpan train_span("train");
   for (int sweep = 0; sweep < options_.gibbs_sweeps; ++sweep) {
+    util::TraceSpan sweep_span("gibbs_sweep");
     GibbsSweep(&state, &doc_topic, /*update_topic_word=*/true, rng_);
   }
+  util::MetricsRegistry::Global()
+      .counter("train.gibbs_sweeps")
+      .Increment(options_.gibbs_sweeps);
 
   // Cache training thetas.
   train_theta_ = tensor::Tensor(corpus.num_docs(), num_topics_);
@@ -106,7 +111,7 @@ TrainStats LdaModel::Train(const text::BowCorpus& corpus) {
 
   trained_ = true;
   TrainStats stats;
-  stats.total_seconds = watch.ElapsedSeconds();
+  stats.total_seconds = train_span.ElapsedSeconds();
   stats.epochs = options_.gibbs_sweeps;
   stats.seconds_per_epoch =
       options_.gibbs_sweeps > 0 ? stats.total_seconds / options_.gibbs_sweeps

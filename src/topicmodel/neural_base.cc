@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "util/logging.h"
-#include "util/stopwatch.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -101,29 +103,66 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
   text::BatchIterator batches(corpus.num_docs(), config_.batch_size, rng_);
   const int steps_per_epoch = batches.batches_per_epoch();
 
-  util::Stopwatch watch;
+  util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
+  util::Counter& step_counter = metrics.counter("train.steps");
+  util::Counter& epoch_counter = metrics.counter("train.epochs");
+  util::Histogram& loss_histogram = metrics.histogram("train.batch_loss");
+
+  util::TraceSpan train_span("train");
   double last_epoch_loss = 0.0;
   const int total_steps = std::max(1, epochs * steps_per_epoch);
   int global_step = 0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    util::TraceSpan epoch_span("epoch");
     double epoch_loss = 0.0;
+    // Per-stage wall time within the epoch, and per-component loss sums,
+    // accumulated across steps. std::map keeps component order (hence the
+    // telemetry field order) independent of which step reported first.
+    double data_seconds = 0.0;
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+    double optimizer_seconds = 0.0;
+    std::map<std::string, double> component_sums;
     for (int step = 0; step < steps_per_epoch; ++step) {
       training_progress_ =
           static_cast<double>(global_step++) / total_steps;
       Batch batch;
-      batch.indices = batches.Next();
-      batch.counts = corpus.DenseBatch(batch.indices);
-      batch.normalized = corpus.NormalizedBatch(batch.indices);
-      batch.corpus = &corpus;
+      {
+        util::TraceSpan span("data");
+        batch.indices = batches.Next();
+        batch.counts = corpus.DenseBatch(batch.indices);
+        batch.normalized = corpus.NormalizedBatch(batch.indices);
+        batch.corpus = &corpus;
+        data_seconds += span.ElapsedSeconds();
+      }
 
-      BatchGraph graph = BuildBatch(batch);
+      BatchGraph graph;
+      {
+        util::TraceSpan span("forward");
+        graph = BuildBatch(batch);
+        forward_seconds += span.ElapsedSeconds();
+      }
       CHECK(graph.loss.defined());
-      autodiff::Backward(graph.loss);
-      auto params = Parameters();
-      nn::ClipGradNorm(params, config_.grad_clip);
-      adam.Step(params);
-      for (auto& p : params) p.var.ZeroGrad();
-      epoch_loss += graph.loss.value().scalar();
+      {
+        util::TraceSpan span("backward");
+        autodiff::Backward(graph.loss);
+        backward_seconds += span.ElapsedSeconds();
+      }
+      {
+        util::TraceSpan span("optimizer");
+        auto params = Parameters();
+        nn::ClipGradNorm(params, config_.grad_clip);
+        adam.Step(params);
+        for (auto& p : params) p.var.ZeroGrad();
+        optimizer_seconds += span.ElapsedSeconds();
+      }
+      const double batch_loss = graph.loss.value().scalar();
+      epoch_loss += batch_loss;
+      loss_histogram.Observe(batch_loss);
+      step_counter.Increment();
+      for (const auto& [name, value] : graph.loss_components) {
+        component_sums[name] += static_cast<double>(value);
+      }
       if (!graph.beta.defined()) {
         // Models must expose beta; guard against subclass bugs early.
         LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
@@ -131,9 +170,29 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
       final_beta_ = graph.beta.value();
     }
     last_epoch_loss = epoch_loss / steps_per_epoch;
+    epoch_counter.Increment();
     if (config_.verbose) {
       LOG(INFO) << name_ << " epoch " << epoch + 1 << "/" << epochs
                 << " loss=" << last_epoch_loss;
+    }
+    if (telemetry_ != nullptr) {
+      util::EpochTelemetry record;
+      record.epoch = epoch + 1;
+      record.total_epochs = epochs;
+      record.loss = last_epoch_loss;
+      for (const auto& [name, sum] : component_sums) {
+        record.loss_components.emplace_back(name, sum / steps_per_epoch);
+      }
+      if (epoch_evaluator_) {
+        util::TraceSpan span("epoch_eval");
+        record.metrics = epoch_evaluator_(final_beta_);
+      }
+      record.seconds = epoch_span.ElapsedSeconds();
+      record.stage_seconds = {{"data", data_seconds},
+                              {"forward", forward_seconds},
+                              {"backward", backward_seconds},
+                              {"optimizer", optimizer_seconds}};
+      telemetry_->RecordEpoch(record);
     }
   }
 
@@ -141,7 +200,7 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
   trained_ = true;
   training_progress_ = 1.0;
   TrainStats stats;
-  stats.total_seconds = watch.ElapsedSeconds();
+  stats.total_seconds = train_span.ElapsedSeconds();
   stats.epochs = epochs;
   stats.seconds_per_epoch =
       epochs > 0 ? stats.total_seconds / epochs : 0.0;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/module.h"
@@ -18,6 +19,7 @@
 #include "tensor/autodiff.h"
 #include "topicmodel/topic_model.h"
 #include "util/rng.h"
+#include "util/telemetry.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -83,6 +85,12 @@ class NeuralTopicModel : public TopicModel {
   struct BatchGraph {
     Var loss;  // 1x1 scalar to minimize
     Var beta;  // K x V differentiable topic-word distribution
+    // Optional named scalar components of the loss -- e.g. {"recon", ...}
+    // and {"kl", ...} from the VAE backbones, {"l_con", ...} from
+    // ContraTopic. The training loop averages them per epoch into the
+    // telemetry stream; models that report nothing emit a loss-only
+    // epoch record.
+    std::vector<std::pair<std::string, float>> loss_components;
   };
   // Builds the loss graph for one minibatch (training mode).
   virtual BatchGraph BuildBatch(const Batch& batch) = 0;
@@ -116,6 +124,26 @@ class NeuralTopicModel : public TopicModel {
   // subclasses ramp regularizers (e.g. ContraTopic's lambda warmup).
   double TrainingProgress() const { return training_progress_; }
 
+  // --- Observability ---------------------------------------------------
+
+  // Attaches a telemetry sink (not owned; may be null, and must outlive
+  // training). The loop then streams one "epoch" JSONL record per epoch:
+  // mean loss, loss components, evaluator metrics, and per-stage wall
+  // time (see util/telemetry.h).
+  void SetTelemetry(util::RunTelemetry* telemetry) { telemetry_ = telemetry; }
+
+  // Per-epoch interpretability metrics computed from the epoch's final
+  // beta, e.g. {"npmi", ...}, {"diversity", ...}. Runs on the training
+  // thread after each epoch; keep it proportional to K x V, not corpus
+  // size. The eval stack stays out of this layer -- the bench harness
+  // wires in eval::PerTopicCoherence & friends.
+  using EpochEvaluator =
+      std::function<std::vector<std::pair<std::string, double>>(
+          const Tensor& beta)>;
+  void SetEpochEvaluator(EpochEvaluator evaluator) {
+    epoch_evaluator_ = std::move(evaluator);
+  }
+
  protected:
   // Shared epoch loop used by Train and TrainMore.
   TrainStats RunTrainingLoop(const text::BowCorpus& corpus, int epochs);
@@ -127,6 +155,8 @@ class NeuralTopicModel : public TopicModel {
   bool trained_ = false;
   bool training_ = true;  // current mode (mirrors nn::Module)
   double training_progress_ = 0.0;
+  util::RunTelemetry* telemetry_ = nullptr;  // not owned
+  EpochEvaluator epoch_evaluator_;
 };
 
 }  // namespace topicmodel

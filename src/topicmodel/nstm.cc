@@ -78,7 +78,7 @@ NeuralTopicModel::BatchGraph NstmModel::BuildBatch(const Batch& batch) {
 
   Var loss = MulScalar(
       Add(ot, MulScalar(recon, options_.recon_weight)), inv_batch);
-  return {loss, beta};
+  return {loss, beta, {}};
 }
 
 Tensor NstmModel::InferThetaBatch(const Tensor& x_normalized) {

@@ -29,7 +29,7 @@ NeuralTopicModel::BatchGraph NtmrModel::BuildBatch(const Batch& batch) {
   Var coherence = MeanAll(RowSum(Square(centroids)));
   Var loss =
       Sub(g.loss, MulScalar(coherence, options_.coherence_weight));
-  return {loss, g.beta};
+  return {loss, g.beta, {}};
 }
 
 }  // namespace topicmodel

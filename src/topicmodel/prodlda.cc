@@ -54,7 +54,10 @@ NeuralTopicModel::BatchGraph ProdLdaModel::BuildBatch(const Batch& batch) {
   const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
   Var loss = MulScalar(Add(recon, kl), inv_batch);
   Var beta = SoftmaxRows(decoder_weight_);
-  return {loss, beta};
+  return {loss,
+          beta,
+          {{"recon", recon.value().scalar() * inv_batch},
+           {"kl", kl.value().scalar() * inv_batch}}};
 }
 
 Tensor ProdLdaModel::InferThetaBatch(const Tensor& x_normalized) {

@@ -50,8 +50,9 @@ NeuralTopicModel::BatchGraph VtmrlModel::BuildBatch(const Batch& batch) {
       keys[w] = {logit + static_cast<float>(rng_.Gumbel()), w};
     }
     const int take = std::min(options_.words_per_topic, v);
-    std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
-                      [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::partial_sort(
+        keys.begin(), keys.begin() + take, keys.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
     samples[topic].reserve(take);
     for (int i = 0; i < take; ++i) samples[topic].push_back(keys[i].second);
     rewards[topic] = train_npmi_->MeanPairwise(samples[topic]);
@@ -74,7 +75,7 @@ NeuralTopicModel::BatchGraph VtmrlModel::BuildBatch(const Batch& batch) {
   Var rl = Neg(SumAll(Mul(Log(g.beta, 1e-20f), Var::Constant(advantage_mask))));
   Var loss = Add(g.loss, MulScalar(rl, options_.reward_weight /
                                            static_cast<float>(k)));
-  return {loss, g.beta};
+  return {loss, g.beta, {}};
 }
 
 }  // namespace topicmodel

@@ -74,7 +74,7 @@ NeuralTopicModel::BatchGraph WeTeModel::BuildBatch(const Batch& batch) {
   Var loss = MulScalar(
       Add(forward_cost, MulScalar(backward_cost, options_.backward_weight)),
       inv_batch);
-  return {loss, BetaVar()};
+  return {loss, BetaVar(), {}};
 }
 
 Tensor WeTeModel::InferThetaBatch(const Tensor& x_normalized) {

@@ -88,7 +88,7 @@ NeuralTopicModel::BatchGraph WldaModel::BuildBatch(const Batch& batch) {
   Var mmd = MmdToDirichlet(theta);
   Var loss = Add(MulScalar(recon, inv_batch),
                  MulScalar(mmd, options_.mmd_weight));
-  return {loss, beta};
+  return {loss, beta, {}};
 }
 
 Tensor WldaModel::InferThetaBatch(const Tensor& x_normalized) {

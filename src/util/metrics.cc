@@ -1,0 +1,196 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace util {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count <= 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target observation, 0-based, in [0, count - 1].
+  const double rank = p * static_cast<double>(count - 1);
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const int64_t next = seen + counts[b];
+    if (rank < static_cast<double>(next)) {
+      // Interpolate within bucket b between its edges.
+      const double lower = b == 0 ? min : bounds[b - 1];
+      const double upper = b == bounds.size() ? max : bounds[b];
+      const double lo_clamped = std::max(lower, min);
+      const double hi_clamped = std::min(upper, max);
+      if (counts[b] == 1 || hi_clamped <= lo_clamped) return lo_clamped;
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(counts[b]);
+      return lo_clamped + within * (hi_clamped - lo_clamped);
+    }
+    seen = next;
+  }
+  return max;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  CHECK(!bounds_.empty()) << "Histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "Histogram bounds must be strictly increasing";
+  }
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+void MetricsSnapshot::Save(BinaryWriter* writer) const {
+  writer->WriteU32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    writer->WriteString(name);
+    writer->WriteU64(static_cast<uint64_t>(value));
+  }
+  writer->WriteU32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    writer->WriteString(name);
+    writer->WriteU64(std::bit_cast<uint64_t>(value));
+  }
+  writer->WriteU32(static_cast<uint32_t>(histograms.size()));
+  for (const auto& [name, hist] : histograms) {
+    writer->WriteString(name);
+    writer->WriteU32(static_cast<uint32_t>(hist.bounds.size()));
+    for (double b : hist.bounds) writer->WriteU64(std::bit_cast<uint64_t>(b));
+    writer->WriteU32(static_cast<uint32_t>(hist.counts.size()));
+    for (int64_t c : hist.counts) writer->WriteU64(static_cast<uint64_t>(c));
+    writer->WriteU64(static_cast<uint64_t>(hist.count));
+    writer->WriteU64(std::bit_cast<uint64_t>(hist.sum));
+    writer->WriteU64(std::bit_cast<uint64_t>(hist.min));
+    writer->WriteU64(std::bit_cast<uint64_t>(hist.max));
+  }
+}
+
+Status MetricsSnapshot::Load(BinaryReader* reader, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  const uint32_t num_counters = reader->ReadU32();
+  for (uint32_t i = 0; i < num_counters && reader->ok(); ++i) {
+    std::string name = reader->ReadString();
+    out->counters[name] = static_cast<int64_t>(reader->ReadU64());
+  }
+  const uint32_t num_gauges = reader->ReadU32();
+  for (uint32_t i = 0; i < num_gauges && reader->ok(); ++i) {
+    std::string name = reader->ReadString();
+    out->gauges[name] = std::bit_cast<double>(reader->ReadU64());
+  }
+  const uint32_t num_hists = reader->ReadU32();
+  for (uint32_t i = 0; i < num_hists && reader->ok(); ++i) {
+    std::string name = reader->ReadString();
+    HistogramSnapshot hist;
+    const uint32_t num_bounds = reader->ReadU32();
+    for (uint32_t b = 0; b < num_bounds && reader->ok(); ++b) {
+      hist.bounds.push_back(std::bit_cast<double>(reader->ReadU64()));
+    }
+    const uint32_t num_counts = reader->ReadU32();
+    for (uint32_t c = 0; c < num_counts && reader->ok(); ++c) {
+      hist.counts.push_back(static_cast<int64_t>(reader->ReadU64()));
+    }
+    hist.count = static_cast<int64_t>(reader->ReadU64());
+    hist.sum = std::bit_cast<double>(reader->ReadU64());
+    hist.min = std::bit_cast<double>(reader->ReadU64());
+    hist.max = std::bit_cast<double>(reader->ReadU64());
+    out->histograms[name] = std::move(hist);
+  }
+  return reader->status();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  return {1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6};
+}
+
+}  // namespace util
+}  // namespace contratopic

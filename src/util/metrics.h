@@ -1,0 +1,149 @@
+#ifndef CONTRATOPIC_UTIL_METRICS_H_
+#define CONTRATOPIC_UTIL_METRICS_H_
+
+// Process-wide metrics registry: the counting half of the observability
+// layer (DESIGN.md §9). Three instrument kinds, all named, all owned by
+// the registry (instrument references stay valid for the process
+// lifetime):
+//
+//   * Counter   -- monotonically increasing int64 ("documents counted",
+//                  "training steps", "k-means iterations").
+//   * Gauge     -- last-write-wins double ("current learning rate",
+//                  "kernel memory bytes").
+//   * Histogram -- fixed-bucket distribution with percentile estimates
+//                  ("per-batch loss"). Bucket bounds are fixed at
+//                  creation, so two runs that observe the same values
+//                  produce identical snapshots.
+//
+// Determinism contract (mirrors DESIGN.md §8): instruments are only
+// recorded from serial program points -- the training loop, the eval
+// drivers -- never from inside ParallelFor bodies. Counter values and
+// histogram contents are therefore a function of the work performed, not
+// of the thread count, and MetricsSnapshot (minus wall-time gauges) is
+// bitwise-identical at --threads=1 and --threads=N. Instruments are
+// internally synchronized anyway, so incidental concurrent use is safe --
+// it just forfeits the invariance guarantee for that instrument.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace util {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Snapshot of one histogram: `counts` has bounds.size() + 1 entries, the
+// last being the overflow bucket (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+
+  // Percentile estimate for p in [0, 1]: finds the bucket holding the
+  // p-th ranked observation and interpolates linearly inside it. The
+  // first bucket's lower edge is min; the overflow bucket's upper edge
+  // is max. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  bool operator==(const HistogramSnapshot& other) const = default;
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<int64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Point-in-time copy of every instrument, ordered by name (std::map), so
+// iteration -- and any serialization of it -- is deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool operator==(const MetricsSnapshot& other) const = default;
+
+  // Binary round-trip via util::serialize (the same format the model
+  // cache and saved embeddings use).
+  void Save(BinaryWriter* writer) const;
+  static Status Load(BinaryReader* reader, MetricsSnapshot* out);
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every module records into.
+  static MetricsRegistry& Global();
+
+  // Returns the named instrument, creating it on first use. References
+  // remain valid until the registry is destroyed (never, for Global()).
+  // Histogram bounds apply only at creation; later calls with different
+  // bounds return the existing instrument unchanged.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds = DefaultBounds());
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every instrument (shape and bounds are kept). Run boundaries
+  // (bench legs, tests) call this so snapshots cover exactly one run.
+  void Reset();
+
+  // Decade buckets covering loss/size magnitudes: 1e-3 .. 1e6.
+  static std::vector<double> DefaultBounds();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_METRICS_H_

@@ -31,7 +31,9 @@ std::string Join(const std::vector<std::string>& pieces,
 }
 
 void ToLowerInPlace(std::string& s) {
-  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (auto& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
 }
 
 std::string ToLower(std::string_view s) {
@@ -43,8 +45,12 @@ std::string ToLower(std::string_view s) {
 std::string_view Trim(std::string_view s) {
   size_t begin = 0;
   size_t end = s.size();
-  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
-  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
   return s.substr(begin, end - begin);
 }
 

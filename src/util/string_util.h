@@ -27,7 +27,8 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 bool EndsWith(std::string_view s, std::string_view suffix);
 
 // printf-style formatting into a std::string.
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 // Renders a double with `digits` significant decimals, e.g. for tables.
 std::string FormatDouble(double value, int digits);

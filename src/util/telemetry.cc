@@ -1,0 +1,284 @@
+#include "util/telemetry.h"
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace util {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void JsonObject::Key(std::string_view key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  AppendJsonEscaped(key, &body_);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::Put(std::string_view key, std::string_view value) {
+  Key(key);
+  body_ += '"';
+  AppendJsonEscaped(value, &body_);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::Put(std::string_view key, const char* value) {
+  return Put(key, std::string_view(value));
+}
+
+JsonObject& JsonObject::Put(std::string_view key, double value) {
+  Key(key);
+  AppendJsonDouble(value, &body_);
+  return *this;
+}
+
+JsonObject& JsonObject::Put(std::string_view key, int64_t value) {
+  Key(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Put(std::string_view key, int value) {
+  return Put(key, static_cast<int64_t>(value));
+}
+
+JsonObject& JsonObject::Put(std::string_view key, bool value) {
+  Key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::PutRaw(std::string_view key, std::string_view json) {
+  Key(key);
+  body_ += json;
+  return *this;
+}
+
+std::string JsonObject::Build() const { return "{" + body_ + "}"; }
+
+int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
+namespace {
+
+std::string RenderPairs(
+    const std::vector<std::pair<std::string, double>>& pairs) {
+  JsonObject obj;
+  for (const auto& [key, value] : pairs) obj.Put(key, value);
+  return obj.Build();
+}
+
+std::string RenderCounters(const std::map<std::string, int64_t>& counters) {
+  JsonObject obj;
+  for (const auto& [name, value] : counters) obj.Put(name, value);
+  return obj.Build();
+}
+
+std::string RenderGauges(const std::map<std::string, double>& gauges) {
+  JsonObject obj;
+  for (const auto& [name, value] : gauges) obj.Put(name, value);
+  return obj.Build();
+}
+
+std::string RenderHistogram(const HistogramSnapshot& hist,
+                            bool deterministic) {
+  JsonObject obj;
+  obj.Put("count", hist.count);
+  obj.Put("sum", hist.sum);
+  if (hist.count > 0) {
+    obj.Put("min", hist.min);
+    obj.Put("max", hist.max);
+    obj.Put("p50", hist.Percentile(0.5));
+    obj.Put("p90", hist.Percentile(0.9));
+    obj.Put("p99", hist.Percentile(0.99));
+  }
+  std::string buckets = "[";
+  for (size_t i = 0; i < hist.counts.size(); ++i) {
+    if (i > 0) buckets += ',';
+    buckets += std::to_string(hist.counts[i]);
+  }
+  buckets += ']';
+  obj.PutRaw("buckets", buckets);
+  (void)deterministic;  // Histogram contents are deterministic by design.
+  return obj.Build();
+}
+
+std::string RenderSpans(const TraceAggregate& aggregate, bool deterministic) {
+  JsonObject obj;
+  for (const auto& [path, stats] : aggregate.spans) {
+    JsonObject span;
+    span.Put("count", stats.count);
+    if (!deterministic) {
+      span.Put("total_seconds", stats.total_seconds);
+      span.Put("min_seconds", stats.min_seconds);
+      span.Put("max_seconds", stats.max_seconds);
+    }
+    obj.PutRaw(path, span.Build());
+  }
+  return obj.Build();
+}
+
+}  // namespace
+
+RunTelemetry::RunTelemetry(Options options) : options_(std::move(options)) {
+  if (!options_.path.empty()) {
+    out_.open(options_.path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+      LOG(WARNING) << "RunTelemetry: cannot open " << options_.path
+                   << "; records stay in memory only";
+    }
+  }
+}
+
+RunTelemetry::~RunTelemetry() {
+  if (out_.is_open()) {
+    const Status status = Flush();
+    if (!status.ok()) {
+      LOG(WARNING) << "RunTelemetry: flush failed: " << status;
+    }
+  }
+}
+
+void RunTelemetry::Emit(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_ << line << '\n';
+  lines_.push_back(std::move(line));
+}
+
+void RunTelemetry::RecordRunStart(
+    std::string_view run_name,
+    const std::vector<std::pair<std::string, std::string>>& config) {
+  JsonObject record;
+  record.Put("type", "run_start");
+  record.Put("run", run_name);
+  JsonObject config_obj;
+  for (const auto& [key, value] : config) config_obj.Put(key, value);
+  record.PutRaw("config", config_obj.Build());
+  Emit(record.Build());
+}
+
+void RunTelemetry::RecordEpoch(const EpochTelemetry& epoch) {
+  JsonObject record;
+  record.Put("type", "epoch");
+  record.Put("epoch", epoch.epoch);
+  record.Put("total_epochs", epoch.total_epochs);
+  record.Put("loss", epoch.loss);
+  for (const auto& [name, value] : epoch.loss_components) {
+    record.Put(name, value);
+  }
+  for (const auto& [name, value] : epoch.metrics) {
+    record.Put(name, value);
+  }
+  if (!options_.deterministic) {
+    record.Put("seconds", epoch.seconds);
+    record.PutRaw("stage_seconds", RenderPairs(epoch.stage_seconds));
+  }
+  Emit(record.Build());
+}
+
+void RunTelemetry::RecordStage(std::string_view name, double seconds) {
+  RecordStage(name, seconds, {});
+}
+
+void RunTelemetry::RecordStage(
+    std::string_view name, double seconds,
+    const std::vector<std::pair<std::string, double>>& values) {
+  JsonObject record;
+  record.Put("type", "stage");
+  record.Put("name", name);
+  if (!options_.deterministic) record.Put("seconds", seconds);
+  for (const auto& [key, value] : values) record.Put(key, value);
+  Emit(record.Build());
+}
+
+void RunTelemetry::RecordManifest(
+    const std::vector<std::pair<std::string, double>>& summary) {
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const TraceAggregate spans = Tracer::Global().Snapshot();
+
+  JsonObject record;
+  record.Put("type", "manifest");
+  record.PutRaw("summary", RenderPairs(summary));
+  record.PutRaw("counters", RenderCounters(metrics.counters));
+  if (!options_.deterministic) {
+    // Gauges may hold environmental values (bytes are fine, but wall-time
+    // gauges would break invariance); the deterministic stream keeps only
+    // instruments that are invariant by construction.
+    record.PutRaw("gauges", RenderGauges(metrics.gauges));
+  }
+  JsonObject hists;
+  for (const auto& [name, hist] : metrics.histograms) {
+    hists.PutRaw(name, RenderHistogram(hist, options_.deterministic));
+  }
+  record.PutRaw("histograms", hists.Build());
+  record.PutRaw("spans", RenderSpans(spans, options_.deterministic));
+  if (!options_.deterministic) {
+    record.Put("peak_rss_bytes", PeakRssBytes());
+  }
+  Emit(record.Build());
+  manifest_written_ = true;
+}
+
+Status RunTelemetry::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.path.empty()) return Status::OK();  // in-memory sink
+  if (!out_.is_open()) {
+    return Status::IOError("telemetry file never opened: " + options_.path);
+  }
+  out_.flush();
+  if (!out_) {
+    return Status::IOError("telemetry write failed: " + options_.path);
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace contratopic

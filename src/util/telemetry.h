@@ -1,0 +1,152 @@
+#ifndef CONTRATOPIC_UTIL_TELEMETRY_H_
+#define CONTRATOPIC_UTIL_TELEMETRY_H_
+
+// RunTelemetry: the streaming sink of the observability layer (DESIGN.md
+// §9). A run -- training a model, executing a bench pipeline -- emits one
+// JSON object per line (JSONL):
+//
+//   {"type":"run_start", "run":..., "config":{...}}
+//   {"type":"epoch", "epoch":1, "loss":..., "l_con":..., "npmi":...,
+//    "diversity":..., "seconds":..., "stage_seconds":{...}}       (per epoch)
+//   {"type":"stage", "name":"npmi_precompute", "seconds":...}     (per stage)
+//   {"type":"manifest", "summary":{...}, "counters":{...}, "gauges":{...},
+//    "histograms":{...}, "spans":{...}, "peak_rss_bytes":...}     (once, last)
+//
+// The CI bench-smoke job uploads this file as an artifact and fails the
+// build when a tier-1 metric is NaN or the manifest is missing
+// (scripts/check_telemetry.py).
+//
+// Determinism: with Options::deterministic set, every environmental field
+// -- wall-clock durations, RSS, span/histogram timing stats -- is
+// omitted, and what remains (record structure, losses, metrics, counters,
+// span counts) is a pure function of the work performed. Doubles are
+// rendered with "%.17g" (round-trip exact), so the deterministic stream
+// is bitwise-identical at --threads=1 and --threads=N
+// (tests/telemetry_test.cc locks this in).
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/status.h"
+#include "util/trace.h"
+
+namespace contratopic {
+namespace util {
+
+// --- JSON rendering helpers (shared by telemetry and tests) -------------
+
+// Appends `s` JSON-escaped, without surrounding quotes.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+// Appends a double with "%.17g" (bit-exact round trip); non-finite values
+// render as null -- JSON has no NaN literal, and a null metric is exactly
+// what the CI telemetry check treats as a failed run.
+void AppendJsonDouble(double value, std::string* out);
+
+// Minimal insertion-ordered JSON object builder.
+class JsonObject {
+ public:
+  JsonObject& Put(std::string_view key, std::string_view value);
+  JsonObject& Put(std::string_view key, const char* value);
+  JsonObject& Put(std::string_view key, double value);
+  JsonObject& Put(std::string_view key, int64_t value);
+  JsonObject& Put(std::string_view key, int value);
+  JsonObject& Put(std::string_view key, bool value);
+  // Inserts pre-rendered JSON (e.g. a nested object) verbatim.
+  JsonObject& PutRaw(std::string_view key, std::string_view json);
+
+  std::string Build() const;  // {"k":v,...}
+
+ private:
+  void Key(std::string_view key);
+  std::string body_;
+};
+
+// Current peak resident set size of this process, in bytes (Linux
+// ru_maxrss); 0 where unavailable.
+int64_t PeakRssBytes();
+
+// --- The sink ------------------------------------------------------------
+
+// One epoch's worth of training telemetry (built by
+// topicmodel::NeuralTopicModel::RunTrainingLoop).
+struct EpochTelemetry {
+  int epoch = 0;        // 1-based
+  int total_epochs = 0;
+  double loss = 0.0;    // mean batch loss over the epoch
+  // Named loss components, e.g. {"l_con", ...} from ContraTopic,
+  // {"recon"/"kl", ...} from the VAE backbones. Mean over the epoch.
+  std::vector<std::pair<std::string, double>> loss_components;
+  // Interpretability metrics from the epoch evaluator, e.g. "npmi",
+  // "diversity" (empty when no evaluator is attached).
+  std::vector<std::pair<std::string, double>> metrics;
+  double seconds = 0.0;  // wall time of the epoch (environmental)
+  // Per-stage wall time within the epoch: data / forward / backward /
+  // optimizer (environmental).
+  std::vector<std::pair<std::string, double>> stage_seconds;
+};
+
+class RunTelemetry {
+ public:
+  struct Options {
+    // Output JSONL path; empty keeps records in memory only (tests).
+    std::string path;
+    // Omit environmental fields so the stream is thread-count-invariant.
+    bool deterministic = false;
+  };
+
+  explicit RunTelemetry(Options options);
+  ~RunTelemetry();  // flushes; manifest omission is the caller's bug
+
+  RunTelemetry(const RunTelemetry&) = delete;
+  RunTelemetry& operator=(const RunTelemetry&) = delete;
+
+  // First record of a run; `config` is echoed into the record so a
+  // telemetry file is self-describing.
+  void RecordRunStart(
+      std::string_view run_name,
+      const std::vector<std::pair<std::string, std::string>>& config);
+
+  void RecordEpoch(const EpochTelemetry& epoch);
+
+  // One pipeline stage ("npmi_precompute", "train", "infer_theta", ...),
+  // optionally with named scalar results measured in that stage.
+  void RecordStage(std::string_view name, double seconds);
+  void RecordStage(
+      std::string_view name, double seconds,
+      const std::vector<std::pair<std::string, double>>& values);
+
+  // Final record: run summary plus the global MetricsRegistry snapshot
+  // and Tracer aggregate. Must be called exactly once, last.
+  void RecordManifest(
+      const std::vector<std::pair<std::string, double>>& summary);
+
+  bool manifest_written() const { return manifest_written_; }
+
+  // Every emitted line, in order (without trailing newlines).
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  // Flushes the underlying file and reports stream errors. Also called by
+  // the destructor (which logs instead of reporting).
+  Status Flush();
+
+ private:
+  void Emit(std::string line);
+
+  const Options options_;
+  std::ofstream out_;
+  std::vector<std::string> lines_;
+  bool manifest_written_ = false;
+  std::mutex mu_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_TELEMETRY_H_

@@ -116,7 +116,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      work_available_.wait(
+          lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (shutdown_) break;
         continue;

@@ -1,0 +1,102 @@
+#include "util/trace.h"
+
+#include <algorithm>
+
+namespace contratopic {
+namespace util {
+
+void TraceStats::Record(double seconds) {
+  if (count == 0) {
+    min_seconds = max_seconds = seconds;
+  } else {
+    min_seconds = std::min(min_seconds, seconds);
+    max_seconds = std::max(max_seconds, seconds);
+  }
+  ++count;
+  total_seconds += seconds;
+}
+
+void TraceStats::Merge(const TraceStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  total_seconds += other.total_seconds;
+  min_seconds = std::min(min_seconds, other.min_seconds);
+  max_seconds = std::max(max_seconds, other.max_seconds);
+}
+
+void TraceAggregate::Merge(const TraceAggregate& other) {
+  for (const auto& [path, stats] : other.spans) {
+    spans[path].Merge(stats);
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadState* Tracer::LocalState() {
+  // The shared_ptr in the registry keeps the state alive after the thread
+  // exits (pool resizes), so its aggregated stats are never lost.
+  thread_local std::shared_ptr<ThreadState> state = [this] {
+    auto s = std::make_shared<ThreadState>();
+    std::lock_guard<std::mutex> lock(mu_);
+    states_.push_back(s);
+    return s;
+  }();
+  return state.get();
+}
+
+TraceAggregate Tracer::Snapshot() const {
+  std::vector<std::shared_ptr<ThreadState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states = states_;
+  }
+  // Merging per-path is commutative (sums, min, max), and the result map
+  // is name-ordered, so the snapshot does not depend on thread identity
+  // or registration order.
+  TraceAggregate merged;
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    merged.Merge(state->aggregate);
+  }
+  return merged;
+}
+
+void Tracer::Reset() {
+  std::vector<std::shared_ptr<ThreadState>> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states = states_;
+  }
+  for (const auto& state : states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->aggregate.spans.clear();
+  }
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : state_(Tracer::Global().LocalState()) {
+  // `path` is only touched by this thread (spans are stack-scoped), so no
+  // lock is needed to extend it.
+  parent_path_size_ = state_->path.size();
+  if (!state_->path.empty()) state_->path += '/';
+  state_->path += name;
+  path_ = state_->path;
+  watch_.Restart();
+}
+
+TraceSpan::~TraceSpan() {
+  const double seconds = watch_.ElapsedSeconds();
+  state_->path.resize(parent_path_size_);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->aggregate.spans[path_].Record(seconds);
+}
+
+}  // namespace util
+}  // namespace contratopic

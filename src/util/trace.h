@@ -1,0 +1,120 @@
+#ifndef CONTRATOPIC_UTIL_TRACE_H_
+#define CONTRATOPIC_UTIL_TRACE_H_
+
+// RAII scoped timers that nest and aggregate per thread: the timing half
+// of the observability layer (DESIGN.md §9). Replaces the ad-hoc
+// util::Stopwatch scatter in the training loop, the eval pipeline, and
+// the bench binaries.
+//
+//   {
+//     util::TraceSpan train("train");
+//     for (...) {
+//       util::TraceSpan epoch("epoch");       // aggregates as "train/epoch"
+//       { util::TraceSpan fwd("forward"); ... }  // "train/epoch/forward"
+//     }
+//   }
+//   util::TraceAggregate agg = util::Tracer::Global().Snapshot();
+//
+// Each thread keeps its own span stack and aggregation table (no lock on
+// the hot path except the per-thread mutex guarding its table against a
+// concurrent Snapshot), and Snapshot() merges the per-thread tables into
+// one name-ordered map. Span *counts* depend only on the work performed,
+// so -- like every instrument in util/metrics.h -- they are identical at
+// any --threads setting; durations are environmental by nature and are
+// excluded from the telemetry determinism contract (see util/telemetry.h).
+//
+// Spans opened on a ThreadPool worker root at that worker (workers do not
+// inherit the spawning thread's path); instrumentation in this codebase
+// stays on the serial driver threads, consistent with the "RNG serial
+// and above the pool" rule of DESIGN.md §8.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace contratopic {
+namespace util {
+
+struct TraceStats {
+  int64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  void Record(double seconds);
+  void Merge(const TraceStats& other);
+  bool operator==(const TraceStats& other) const = default;
+};
+
+// Aggregated spans keyed by their '/'-joined nesting path
+// ("train/epoch/backward"); map order makes iteration deterministic.
+struct TraceAggregate {
+  std::map<std::string, TraceStats> spans;
+
+  void Merge(const TraceAggregate& other);
+};
+
+class TraceSpan;
+
+class Tracer {
+ public:
+  // The process-wide tracer every TraceSpan records into.
+  static Tracer& Global();
+
+  // Merges every thread's aggregation table (including exited threads').
+  TraceAggregate Snapshot() const;
+
+  // Clears all aggregated stats; active spans still record on exit.
+  void Reset();
+
+ private:
+  friend class TraceSpan;
+
+  // One per thread that ever opened a span; kept alive by the registry
+  // after the thread exits so its stats survive pool resizes.
+  struct ThreadState {
+    std::mutex mu;
+    std::string path;  // current nesting prefix (this thread only)
+    TraceAggregate aggregate;
+  };
+
+  ThreadState* LocalState();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadState>> states_;
+};
+
+// RAII span: opening pushes `name` onto the calling thread's path, and
+// destruction records the elapsed wall time under the full path.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Live reading since construction; the aggregate still receives the
+  // full lifetime on destruction. Replaces Stopwatch::ElapsedSeconds at
+  // call sites that also report the duration locally.
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Tracer::ThreadState* state_;
+  std::string path_;        // full path of this span
+  size_t parent_path_size_; // restored on exit
+  Stopwatch watch_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_TRACE_H_

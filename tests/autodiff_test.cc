@@ -97,8 +97,10 @@ INSTANTIATE_TEST_SUITE_P(
         UnaryCase{"sigmoid", [](const Var& x) { return Sigmoid(x); }},
         UnaryCase{"neg", [](const Var& x) { return Neg(x); }},
         UnaryCase{"addscalar", [](const Var& x) { return AddScalar(x, 3.0f); }},
-        UnaryCase{"mulscalar", [](const Var& x) { return MulScalar(x, -2.0f); }},
-        UnaryCase{"softmax", [](const Var& x) { return Square(SoftmaxRows(x)); }},
+        UnaryCase{"mulscalar",
+                  [](const Var& x) { return MulScalar(x, -2.0f); }},
+        UnaryCase{"softmax",
+                  [](const Var& x) { return Square(SoftmaxRows(x)); }},
         UnaryCase{"logsoftmax",
                   [](const Var& x) { return Square(LogSoftmaxRows(x)); }},
         UnaryCase{"rowsum", [](const Var& x) { return Square(RowSum(x)); }},
@@ -126,12 +128,25 @@ TEST(BinaryGradTest, AddSubMulDiv) {
   }();
   for (auto [name, fn] :
        std::vector<std::pair<std::string, std::function<Var(const Var&)>>>{
-           {"add", [&](const Var& x) { return SumAll(Square(Add(x, Var::Constant(other)))); }},
-           {"sub", [&](const Var& x) { return SumAll(Square(Sub(x, Var::Constant(other)))); }},
-           {"mul", [&](const Var& x) { return SumAll(Square(Mul(x, Var::Constant(other)))); }},
-           {"div", [&](const Var& x) { return SumAll(Square(Div(x, Var::Constant(other)))); }},
+           {"add",
+            [&](const Var& x) {
+              return SumAll(Square(Add(x, Var::Constant(other))));
+            }},
+           {"sub",
+            [&](const Var& x) {
+              return SumAll(Square(Sub(x, Var::Constant(other))));
+            }},
+           {"mul",
+            [&](const Var& x) {
+              return SumAll(Square(Mul(x, Var::Constant(other))));
+            }},
+           {"div",
+            [&](const Var& x) {
+              return SumAll(Square(Div(x, Var::Constant(other))));
+            }},
            {"div_rhs", [&](const Var& x) {
-              return SumAll(Square(Div(Var::Constant(other), AddScalar(Square(x), 1.0f))));
+              return SumAll(Square(
+                  Div(Var::Constant(other), AddScalar(Square(x), 1.0f))));
             }}}) {
     const GradCheckResult result = CheckGradient(fn, SmallRandom(3, 4, 201));
     EXPECT_TRUE(result.ok) << name << " rel=" << result.max_rel_error;
@@ -150,7 +165,8 @@ TEST(MatMulGradTest, AllTransposeCombos) {
                                               {true, true, 5, 3}}) {
     // Shapes: (ta? x^T : x) must be (m x 4or5) compatible with op(B).
     auto fn = [&](const Var& x) {
-      return SumAll(Square(MatMul(x, Var::Constant(b_val), combo.ta, combo.tb)));
+      return SumAll(
+          Square(MatMul(x, Var::Constant(b_val), combo.ta, combo.tb)));
     };
     const GradCheckResult result =
         CheckGradient(fn, SmallRandom(combo.rows, combo.cols, 301));
@@ -283,7 +299,8 @@ TEST(CompositeGradTest, VaeStyleGraph) {
     Var probs = MatMul(theta, Var::Constant(beta_const));
     return Neg(SumAll(Mul(Var::Constant(x), Log(probs, 1e-6f))));
   };
-  const GradCheckResult result = CheckGradient(fn, SmallRandom(4, 3, 603), 1e-3f, 8e-2f);
+  const GradCheckResult result =
+      CheckGradient(fn, SmallRandom(4, 3, 603), 1e-3f, 8e-2f);
   EXPECT_TRUE(result.ok) << result.max_rel_error;
 }
 

@@ -165,8 +165,8 @@ TEST(HardSampleTest, ReturnsDistinctIndices) {
 
 // Builds hard one-hot "samples": v steps of K x C where topic k samples
 // the given word ids.
-std::vector<Var> HardSamples(const std::vector<std::vector<int>>& words_per_topic,
-                             int vocab) {
+std::vector<Var> HardSamples(
+    const std::vector<std::vector<int>>& words_per_topic, int vocab) {
   const int v = static_cast<int>(words_per_topic[0].size());
   const int k = static_cast<int>(words_per_topic.size());
   std::vector<Var> steps;

@@ -63,8 +63,10 @@ void ExpectThreadCountInvariant(const std::function<Tensor()>& fn) {
 TEST(KernelDeterminismTest, MatMul) {
   const Tensor a = RandomTensor(300, 80, 1);
   const Tensor b = RandomTensor(80, 70, 2);
-  ExpectThreadCountInvariant([&] { return tensor::MatMulNew(a, false, b, false); });
-  ExpectThreadCountInvariant([&] { return tensor::MatMulNew(a, true, a, false); });
+  ExpectThreadCountInvariant(
+      [&] { return tensor::MatMulNew(a, false, b, false); });
+  ExpectThreadCountInvariant(
+      [&] { return tensor::MatMulNew(a, true, a, false); });
 }
 
 TEST(KernelDeterminismTest, SoftmaxFamily) {

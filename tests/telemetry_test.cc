@@ -1,0 +1,333 @@
+// Observability-layer lock-in (DESIGN.md §9): MetricsRegistry instrument
+// semantics, TraceSpan nesting/aggregation, JSONL rendering, snapshot
+// round-trips through util::serialize, and the headline guarantee that a
+// deterministic telemetry stream is bitwise-identical at --threads=1 and
+// --threads=4 for a full ContraTopic training run.
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "embed/word_embeddings.h"
+#include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
+#include "util/metrics.h"
+#include "util/serialize.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace contratopic {
+namespace {
+
+using util::MetricsRegistry;
+using util::MetricsSnapshot;
+using util::RunTelemetry;
+using util::Tracer;
+using util::TraceSpan;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry instruments.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterIncrementAndReset) {
+  MetricsRegistry registry;
+  util::Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  MetricsRegistry registry;
+  util::Gauge& g = registry.gauge("test.gauge");
+  g.Set(1.5);
+  g.Set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  util::Histogram hist({1.0, 10.0, 100.0});
+  hist.Observe(0.5);    // bucket 0 (< 1)
+  hist.Observe(5.0);    // bucket 1 (< 10)
+  hist.Observe(50.0);   // bucket 2 (< 100)
+  hist.Observe(500.0);  // overflow bucket (>= 100)
+  const util::HistogramSnapshot snap = hist.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.count, 4);
+  EXPECT_DOUBLE_EQ(snap.sum, 555.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 500.0);
+}
+
+TEST(MetricsTest, HistogramPercentileInterpolates) {
+  util::Histogram hist({10.0, 20.0});
+  // Ten observations spread uniformly through [10, 20): every percentile
+  // lands in the middle bucket and interpolates between its edges.
+  for (int i = 0; i < 10; ++i) hist.Observe(10.0 + i);
+  const util::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.counts[1], 10);
+  const double p50 = snap.Percentile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // Monotone in p, clamped to the observed range.
+  EXPECT_LE(snap.Percentile(0.1), snap.Percentile(0.9));
+  EXPECT_GE(snap.Percentile(0.0), snap.min);
+  EXPECT_LE(snap.Percentile(1.0), snap.max);
+  // The first bucket's lower edge is min.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), snap.min);
+  // Empty histogram reports 0.
+  EXPECT_DOUBLE_EQ(util::Histogram({1.0}).Snapshot().Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, SnapshotRoundTripsThroughSerialize) {
+  MetricsRegistry registry;
+  registry.counter("a.count").Increment(7);
+  registry.gauge("b.gauge").Set(3.14159);
+  registry.histogram("c.hist", {1.0, 2.0}).Observe(1.5);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  const std::string path = ::testing::TempDir() + "/ct_metrics_snapshot.bin";
+  {
+    util::BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    snap.Save(&writer);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  util::BinaryReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  MetricsSnapshot loaded;
+  ASSERT_TRUE(MetricsSnapshot::Load(&reader, &loaded).ok());
+  EXPECT_TRUE(loaded == snap);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan nesting and aggregation.
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, SpansNestIntoSlashPaths) {
+  Tracer::Global().Reset();
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    for (int i = 0; i < 3; ++i) {
+      TraceSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+      TraceSpan leaf("leaf");
+      EXPECT_EQ(leaf.path(), "outer/inner/leaf");
+    }
+  }
+  const util::TraceAggregate agg = Tracer::Global().Snapshot();
+  ASSERT_TRUE(agg.spans.count("outer"));
+  ASSERT_TRUE(agg.spans.count("outer/inner"));
+  ASSERT_TRUE(agg.spans.count("outer/inner/leaf"));
+  EXPECT_EQ(agg.spans.at("outer").count, 1);
+  EXPECT_EQ(agg.spans.at("outer/inner").count, 3);
+  EXPECT_EQ(agg.spans.at("outer/inner/leaf").count, 3);
+  EXPECT_GE(agg.spans.at("outer").total_seconds,
+            agg.spans.at("outer/inner").max_seconds);
+
+  Tracer::Global().Reset();
+  EXPECT_TRUE(Tracer::Global().Snapshot().spans.empty());
+}
+
+TEST(TraceTest, SiblingSpansDoNotNest) {
+  Tracer::Global().Reset();
+  {
+    TraceSpan a("sib_a");
+  }
+  {
+    TraceSpan b("sib_b");
+  }
+  const util::TraceAggregate agg = Tracer::Global().Snapshot();
+  EXPECT_TRUE(agg.spans.count("sib_a"));
+  EXPECT_TRUE(agg.spans.count("sib_b"));
+  EXPECT_FALSE(agg.spans.count("sib_a/sib_b"));
+  Tracer::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering.
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, JsonEscapingAndDoubles) {
+  std::string out;
+  util::AppendJsonEscaped("a\"b\\c\nd", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd");
+
+  std::string num;
+  util::AppendJsonDouble(0.1, &num);
+  // %.17g round-trips exactly.
+  EXPECT_EQ(std::stod(num), 0.1);
+
+  std::string nan_out;
+  util::AppendJsonDouble(std::numeric_limits<double>::quiet_NaN(), &nan_out);
+  EXPECT_EQ(nan_out, "null");
+  std::string inf_out;
+  util::AppendJsonDouble(std::numeric_limits<double>::infinity(), &inf_out);
+  EXPECT_EQ(inf_out, "null");
+}
+
+TEST(TelemetryTest, JsonObjectBuildsInInsertionOrder) {
+  util::JsonObject obj;
+  obj.Put("s", "x\"y");
+  obj.Put("i", int64_t{7});
+  obj.Put("b", true);
+  obj.PutRaw("o", "{\"k\":1}");
+  EXPECT_EQ(obj.Build(), "{\"s\":\"x\\\"y\",\"i\":7,\"b\":true,\"o\":{\"k\":1}}");
+}
+
+// ---------------------------------------------------------------------------
+// RunTelemetry record stream (in-memory sink).
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTest, RecordStreamShapeAndManifest) {
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Reset();
+  MetricsRegistry::Global().counter("t.records").Increment(3);
+
+  RunTelemetry::Options options;  // empty path: in-memory only
+  RunTelemetry telemetry(options);
+  telemetry.RecordRunStart("unit", {{"dataset", "synthetic"}});
+  util::EpochTelemetry epoch;
+  epoch.epoch = 1;
+  epoch.total_epochs = 2;
+  epoch.loss = 12.5;
+  epoch.loss_components = {{"l_con", -0.25}};
+  epoch.metrics = {{"npmi", 0.125}};
+  epoch.seconds = 0.5;
+  telemetry.RecordEpoch(epoch);
+  telemetry.RecordStage("train", 1.25, {{"final_loss", 12.5}});
+  EXPECT_FALSE(telemetry.manifest_written());
+  telemetry.RecordManifest({{"ok", 1.0}});
+  EXPECT_TRUE(telemetry.manifest_written());
+  EXPECT_TRUE(telemetry.Flush().ok());
+
+  const std::vector<std::string>& lines = telemetry.lines();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"type\":\"run_start\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dataset\":\"synthetic\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"type\":\"epoch\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"loss\":12.5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"l_con\":-0.25"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"npmi\":0.125"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"seconds\":0.5"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"stage\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"name\":\"train\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"type\":\"manifest\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"t.records\":3"), std::string::npos);
+}
+
+TEST(TelemetryTest, DeterministicModeOmitsEnvironmentalFields) {
+  RunTelemetry::Options options;
+  options.deterministic = true;
+  RunTelemetry telemetry(options);
+  util::EpochTelemetry epoch;
+  epoch.epoch = 1;
+  epoch.total_epochs = 1;
+  epoch.loss = 1.0;
+  epoch.seconds = 123.0;
+  epoch.stage_seconds = {{"forward", 60.0}};
+  telemetry.RecordEpoch(epoch);
+  telemetry.RecordStage("train", 456.0);
+  telemetry.RecordManifest({});
+  for (const std::string& line : telemetry.lines()) {
+    EXPECT_EQ(line.find("seconds"), std::string::npos) << line;
+    EXPECT_EQ(line.find("peak_rss_bytes"), std::string::npos) << line;
+  }
+}
+
+TEST(TelemetryTest, FileSinkWritesJsonl) {
+  const std::string path = ::testing::TempDir() + "/ct_telemetry_test.jsonl";
+  {
+    RunTelemetry::Options options;
+    options.path = path;
+    RunTelemetry telemetry(options);
+    telemetry.RecordRunStart("file", {});
+    telemetry.RecordManifest({});
+    EXPECT_TRUE(telemetry.Flush().ok());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(n, 2);
+}
+
+// ---------------------------------------------------------------------------
+// The headline guarantee: deterministic telemetry from a real training
+// run is bitwise-identical at 1 and 4 threads.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> TrainWithTelemetry(int threads) {
+  util::ThreadPool::SetGlobalNumThreads(threads);
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Reset();
+
+  const text::SyntheticConfig config = text::Preset20NG(0.1);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus reference =
+      text::GenerateReferenceCorpus(config, dataset.train.vocab());
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(reference, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 16;
+        return c;
+      }());
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::MakeContraTopicEtm(tc, embeddings);
+
+  RunTelemetry::Options options;
+  options.deterministic = true;
+  RunTelemetry telemetry(options);
+  telemetry.RecordRunStart("determinism", {{"dataset", config.name}});
+  model->SetTelemetry(&telemetry);
+  const topicmodel::TrainStats stats = model->Train(dataset.train);
+  model->SetTelemetry(nullptr);
+  telemetry.RecordManifest({{"final_loss", stats.final_loss}});
+  return telemetry.lines();
+}
+
+TEST(TelemetryDeterminismTest, StreamIsBitwiseIdenticalAt1And4Threads) {
+  const std::vector<std::string> serial = TrainWithTelemetry(1);
+  const std::vector<std::string> parallel = TrainWithTelemetry(4);
+  util::ThreadPool::SetGlobalNumThreads(0);
+  MetricsRegistry::Global().Reset();
+  Tracer::Global().Reset();
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "record " << i;
+  }
+  // The stream is non-trivial: a run_start, one record per epoch, and the
+  // manifest.
+  EXPECT_EQ(serial.size(), 4u);
+}
+
+}  // namespace
+}  // namespace contratopic

@@ -111,7 +111,8 @@ TEST(KernelsTest, MatMulMatchesNaive) {
   util::Rng rng(9);
   const Tensor a = Tensor::RandNormal(17, 23, rng);
   const Tensor b = Tensor::RandNormal(23, 11, rng);
-  EXPECT_TRUE(AllClose(MatMulNew(a, false, b, false), NaiveMatMul(a, b), 1e-3f));
+  EXPECT_TRUE(
+      AllClose(MatMulNew(a, false, b, false), NaiveMatMul(a, b), 1e-3f));
 }
 
 TEST(KernelsTest, MatMulTransposeFlags) {
@@ -140,7 +141,8 @@ TEST(KernelsTest, LargeMatMulUsesThreadsCorrectly) {
   // Big enough to cross the parallel threshold.
   const Tensor a = Tensor::RandNormal(128, 300, rng);
   const Tensor b = Tensor::RandNormal(300, 120, rng);
-  EXPECT_TRUE(AllClose(MatMulNew(a, false, b, false), NaiveMatMul(a, b), 1e-2f));
+  EXPECT_TRUE(
+      AllClose(MatMulNew(a, false, b, false), NaiveMatMul(a, b), 1e-2f));
 }
 
 TEST(KernelsTest, SoftmaxRowsSumToOne) {
