@@ -26,6 +26,7 @@
 
 #include "bench/harness.h"
 #include "eval/clustering.h"
+#include "serve/checkpoint.h"
 #include "eval/metrics.h"
 #include "eval/npmi.h"
 #include "util/metrics.h"
@@ -88,6 +89,14 @@ LegResult RunLeg(int threads, const bench::ExperimentContext& context,
     leg.final_loss = stats.final_loss;
   }
   leg.beta = model->Beta();
+  // With --checkpoint=, freeze the trained model for later cold-start
+  // serving (bench_serve --mode=serve). Both legs write it; the file is
+  // bitwise-identical either way, by the determinism contract.
+  if (!bench_config.checkpoint_path.empty()) {
+    const util::Status saved = serve::SaveCheckpoint(
+        *model, context.dataset.train.vocab(), bench_config.checkpoint_path);
+    CHECK(saved.ok()) << saved;
+  }
   telemetry->RecordStage("train", leg.train_seconds,
                          {{"final_loss", leg.final_loss}});
 

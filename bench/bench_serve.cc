@@ -1,0 +1,302 @@
+// Serving bench and CI serve-smoke binary (DESIGN.md §10). Two modes,
+// run as separate processes so the serve leg proves a cold-start reload:
+//
+//   --mode=train   train ContraTopic on the preset, save a frozen
+//                  checkpoint (--checkpoint=...), and dump the expected
+//                  test-set theta next to it (<checkpoint>.expected).
+//   --mode=serve   in a fresh process, load the checkpoint into an
+//                  InferenceEngine, replay the test documents (with
+//                  repeats, so the cache and the batcher both see
+//                  traffic), and verify every served theta is
+//                  bitwise-identical to the training process's.
+//
+// Both modes stream run telemetry (--telemetry=...) ending in a
+// manifest; serve mode also emits a "serve_stats" record that
+// scripts/check_telemetry.py --mode=serve validates. The exit code is
+// non-zero on any bitwise mismatch, serving error, or telemetry gap.
+//
+// Usage: bench_serve --mode=train|serve [--preset=20ng-sim]
+//        [--checkpoint=bench_results/serve_<preset>.ckpt]
+//        [--queries=100] [--telemetry=<path>] [--threads=N]
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "util/metrics.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+using namespace contratopic;  // NOLINT
+
+namespace {
+
+// The sidecar holding the training process's InferTheta over the test
+// split: rows, cols, then row-major floats.
+util::Status WriteExpectedTheta(const tensor::Tensor& theta,
+                                const std::string& path) {
+  util::BinaryWriter writer(path);
+  writer.WriteU32(static_cast<uint32_t>(theta.rows()));
+  writer.WriteU32(static_cast<uint32_t>(theta.cols()));
+  writer.WriteBytes(theta.data(),
+                    static_cast<size_t>(theta.numel()) * sizeof(float));
+  return writer.Close();
+}
+
+util::StatusOr<tensor::Tensor> ReadExpectedTheta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open expected-theta file " + path);
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  util::BinaryReader reader(bytes.data(), bytes.size());
+  const uint32_t rows = reader.ReadU32();
+  const uint32_t cols = reader.ReadU32();
+  if (!reader.ok() || rows == 0 || cols == 0 ||
+      reader.remaining() !=
+          static_cast<size_t>(rows) * cols * sizeof(float)) {
+    return util::Status::DataLoss("malformed expected-theta file " + path);
+  }
+  tensor::Tensor theta(rows, cols);
+  std::memcpy(theta.data(), bytes.data() + (bytes.size() - reader.remaining()),
+              reader.remaining());
+  return theta;
+}
+
+serve::InferenceEngine::BowDoc ToBowDoc(const text::Document& doc) {
+  serve::InferenceEngine::BowDoc bow;
+  bow.reserve(doc.entries.size());
+  for (const auto& e : doc.entries) bow.emplace_back(e.word_id, e.count);
+  return bow;
+}
+
+int RunTrain(const bench::ExperimentContext& context,
+             const bench::BenchConfig& bench_config,
+             const std::string& checkpoint_path,
+             util::RunTelemetry* telemetry) {
+  core::ContraTopicOptions options;
+  options.lambda = bench::LambdaForDataset(context.config.name);
+  auto model = core::CreateModel("contratopic", bench_config.train,
+                                 context.embeddings, options);
+  bench::AttachTelemetry(model.get(), telemetry, context);
+
+  double train_seconds = 0.0;
+  {
+    util::TraceSpan span("train");
+    model->Train(context.dataset.train);
+    train_seconds = span.ElapsedSeconds();
+  }
+  telemetry->RecordStage("train", train_seconds);
+
+  util::Status saved = serve::SaveCheckpoint(
+      *model, context.dataset.train.vocab(), checkpoint_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FAIL: SaveCheckpoint: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  const tensor::Tensor theta = model->InferTheta(context.dataset.test);
+  util::Status dumped =
+      WriteExpectedTheta(theta, checkpoint_path + ".expected");
+  if (!dumped.ok()) {
+    std::fprintf(stderr, "FAIL: expected-theta dump: %s\n",
+                 dumped.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint=%s (expected theta: %lld x %lld)\n",
+              checkpoint_path.c_str(),
+              static_cast<long long>(theta.rows()),
+              static_cast<long long>(theta.cols()));
+  telemetry->RecordManifest({{"train_seconds", train_seconds},
+                             {"test_docs", double(theta.rows())}});
+  return 0;
+}
+
+int RunServe(const bench::ExperimentContext& context, int num_queries,
+             const std::string& checkpoint_path,
+             util::RunTelemetry* telemetry) {
+  double load_seconds = 0.0;
+  util::StatusOr<std::unique_ptr<serve::InferenceEngine>> engine = [&] {
+    util::TraceSpan span("load_checkpoint");
+    auto loaded = serve::InferenceEngine::Load(checkpoint_path);
+    load_seconds = span.ElapsedSeconds();
+    return loaded;
+  }();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "FAIL: Load: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  telemetry->RecordStage("load_checkpoint", load_seconds);
+
+  // The training process's InferTheta output is the bitwise oracle.
+  // bench_serve --mode=train writes it; checkpoints produced elsewhere
+  // (e.g. bench_parallel_training --checkpoint=) have none, and then the
+  // replay only verifies that every query serves successfully.
+  util::StatusOr<tensor::Tensor> expected =
+      ReadExpectedTheta(checkpoint_path + ".expected");
+  if (!expected.ok()) {
+    std::fprintf(stderr,
+                 "note: no bitwise oracle (%s); serving without the "
+                 "equivalence check\n",
+                 expected.status().ToString().c_str());
+  }
+
+  // Replay test documents round-robin so every query has a known-good
+  // answer from the training process. The cycle is capped at half the
+  // query budget so the second pass over a document is a cache hit and
+  // the bench exercises both paths.
+  if (expected.ok() &&
+      expected->rows() != context.dataset.test.num_docs()) {
+    std::fprintf(stderr,
+                 "FAIL: oracle has %lld rows but the test split has %d "
+                 "docs; rerun both modes with the same --preset/--docs\n",
+                 static_cast<long long>(expected->rows()),
+                 context.dataset.test.num_docs());
+    return 1;
+  }
+  const int num_docs = context.dataset.test.num_docs();
+  const int cycle = std::min(num_docs, std::max(1, num_queries / 2));
+  int64_t mismatched = 0;
+  int served = 0;
+  double serve_seconds = 0.0;
+  {
+    util::TraceSpan span("serve_queries");
+    for (int q = 0; q < num_queries; ++q) {
+      const int d = q % cycle;
+      const text::Document& doc = context.dataset.test.doc(d);
+      if (doc.entries.empty()) continue;
+      serve::InferenceEngine::ThetaResult theta =
+          (*engine)->InferTheta(ToBowDoc(doc));
+      if (!theta.ok()) {
+        std::fprintf(stderr, "FAIL: query %d: %s\n", q,
+                     theta.status().ToString().c_str());
+        return 1;
+      }
+      ++served;
+      if (expected.ok() &&
+          std::memcmp(theta->data(), expected->row(d),
+                      theta->size() * sizeof(float)) != 0) {
+        ++mismatched;
+      }
+    }
+    serve_seconds = span.ElapsedSeconds();
+  }
+  telemetry->RecordStage("serve_queries", serve_seconds,
+                         {{"queries", double(served)},
+                          {"bitwise_mismatches", double(mismatched)}});
+
+  // Topic browsing endpoints must also work on the cold-started engine.
+  for (int k = 0; k < (*engine)->num_topics(); ++k) {
+    auto words = (*engine)->TopicTopWords(k, 10);
+    if (!words.ok() || words->empty()) {
+      std::fprintf(stderr, "FAIL: TopicTopWords(%d)\n", k);
+      return 1;
+    }
+  }
+  auto top = (*engine)->TopTopics(ToBowDoc(context.dataset.test.doc(0)), 3);
+  if (!top.ok()) {
+    std::fprintf(stderr, "FAIL: TopTopics: %s\n",
+                 top.status().ToString().c_str());
+    return 1;
+  }
+
+  (*engine)->EmitTelemetry(telemetry);
+  const serve::InferenceEngine::Stats stats = (*engine)->stats();
+
+  util::TableWriter table({"Metric", "Value"});
+  table.AddRow("queries", {double(served)});
+  table.AddRow("bitwise_mismatches", {double(mismatched)});
+  table.AddRow("cache_hits", {double(stats.cache_hits)});
+  table.AddRow("batches", {double(stats.batches)});
+  table.AddRow("max_batch_size", {double(stats.max_batch_size_seen)});
+  table.AddRow("load_seconds", {load_seconds});
+  table.AddRow("serve_seconds", {serve_seconds});
+  bench::EmitTable(
+      util::StrFormat("Cold-start serving of %s", checkpoint_path.c_str()),
+      "serve_" + context.config.name, table);
+
+  telemetry->RecordManifest({{"queries", double(served)},
+                             {"bitwise_mismatches", double(mismatched)},
+                             {"cache_hits", double(stats.cache_hits)},
+                             {"load_seconds", load_seconds}});
+
+  if (mismatched > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld of %d served thetas differ from the training "
+                 "process\n",
+                 static_cast<long long>(mismatched), served);
+    return 1;
+  }
+  if (stats.cache_hits == 0 && num_queries > cycle) {
+    std::fprintf(stderr, "FAIL: repeated queries produced no cache hits\n");
+    return 1;
+  }
+  std::printf("OK: %d queries served%s (cache_hits=%lld)\n", served,
+              expected.ok() ? " bitwise-identical" : "",
+              static_cast<long long>(stats.cache_hits));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::BenchConfig bench_config = bench::ParseBenchConfig(flags);
+  const std::string mode = flags.GetString("mode", "train");
+  const std::string dataset_name =
+      flags.GetString("preset", flags.GetString("dataset", "20ng-sim"));
+  const int num_queries = flags.GetInt("queries", 100);
+
+  ::mkdir(bench::kResultsDir, 0755);
+  const std::string checkpoint_path =
+      bench_config.checkpoint_path.empty()
+          ? std::string(bench::kResultsDir) + "/serve_" + dataset_name +
+                ".ckpt"
+          : bench_config.checkpoint_path;
+
+  const bench::ExperimentContext context =
+      bench::LoadExperiment(dataset_name, bench_config.doc_scale);
+
+  util::RunTelemetry::Options telemetry_options;
+  telemetry_options.path =
+      bench_config.telemetry_path.empty()
+          ? std::string(bench::kResultsDir) + "/telemetry_serve_" +
+                dataset_name + "_" + mode + ".jsonl"
+          : bench_config.telemetry_path;
+  util::RunTelemetry telemetry(telemetry_options);
+  util::MetricsRegistry::Global().Reset();
+  util::Tracer::Global().Reset();
+  telemetry.RecordRunStart(
+      "serve_bench[" + mode + "]",
+      {{"dataset", dataset_name},
+       {"mode", mode},
+       {"checkpoint", checkpoint_path},
+       {"queries", std::to_string(num_queries)},
+       {"epochs", std::to_string(bench_config.train.epochs)},
+       {"topics", std::to_string(bench_config.train.num_topics)},
+       {"seed", std::to_string(bench_config.train.seed)}});
+
+  if (mode == "train") {
+    return RunTrain(context, bench_config, checkpoint_path, &telemetry);
+  }
+  if (mode == "serve") {
+    return RunServe(context, num_queries, checkpoint_path, &telemetry);
+  }
+  std::fprintf(stderr, "unknown --mode=%s (want train|serve)\n",
+               mode.c_str());
+  return 2;
+}

@@ -129,6 +129,7 @@ BenchConfig ParseBenchConfig(const util::Flags& flags) {
   bench.train.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   bench.use_cache = flags.GetBool("cache", true);
   bench.telemetry_path = flags.GetString("telemetry", "");
+  bench.checkpoint_path = flags.GetString("checkpoint", "");
   // Training is bitwise-deterministic in the pool size (see DESIGN.md
   // "Parallelism & determinism"), so --threads only changes wall-clock.
   bench.num_threads = flags.GetInt("threads", 0);

@@ -50,6 +50,8 @@ ExperimentContext LoadExperiment(const std::string& preset_name,
 //                         results are bitwise-identical for any value
 //   --telemetry=<path>    JSONL run-telemetry output (see util/telemetry.h);
 //                         empty disables the sink
+//   --checkpoint=<path>   frozen-model checkpoint path (serve/checkpoint.h);
+//                         bench_serve trains into / serves from it
 //   --epochs, --topics, --seed overrides
 struct BenchConfig {
   double doc_scale = 0.5;
@@ -57,6 +59,7 @@ struct BenchConfig {
   topicmodel::TrainConfig train;
   bool use_cache = true;
   std::string telemetry_path;
+  std::string checkpoint_path;
 };
 BenchConfig ParseBenchConfig(const util::Flags& flags);
 

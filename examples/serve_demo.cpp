@@ -1,0 +1,89 @@
+// Serving demo: train a small ContraTopic model, freeze it into a
+// versioned checkpoint, reload it through the InferenceEngine, and query
+// it -- topic proportions for a document, its top topics, and each
+// topic's top words. The reloaded engine's answers are bitwise-identical
+// to the in-memory model's (the serving contract; see DESIGN.md §10).
+//
+// Run: ./serve_demo [--checkpoint=/tmp/demo.ckpt] [--epochs=N] [--topics=K]
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "text/synthetic.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace contratopic;  // NOLINT: example code
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string path =
+      flags.GetString("checkpoint", "/tmp/contratopic_demo.ckpt");
+
+  // 1. Train a small model (any checkpointable zoo model works here).
+  text::SyntheticConfig data_config = text::Preset20NG(0.25);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(data_config);
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 32;
+  embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.train, embed_config);
+  topicmodel::TrainConfig train;
+  train.num_topics = flags.GetInt("topics", 12);
+  train.epochs = flags.GetInt("epochs", 8);
+  train.batch_size = 256;
+  train.encoder_hidden = 64;
+  auto model = core::CreateModel("contratopic", train, embeddings);
+  std::printf("training contratopic (K=%d, %d epochs)...\n",
+              train.num_topics, train.epochs);
+  model->Train(dataset.train);
+
+  // 2. Freeze it into a checkpoint: header + hyperparameters + every
+  //    state tensor + vocabulary + precomputed top words, checksummed.
+  util::Status saved =
+      serve::SaveCheckpoint(*model, dataset.train.vocab(), path);
+  CHECK(saved.ok()) << saved;
+  std::printf("saved checkpoint: %s\n", path.c_str());
+
+  // 3. Reload it into a serving engine. In production this happens in a
+  //    different process, long after training (see bench_serve.cc).
+  auto engine = serve::InferenceEngine::Load(path);
+  CHECK(engine.ok()) << engine.status();
+  std::printf("loaded: type=%s, %d topics, vocab %d\n",
+              (*engine)->descriptor().type.c_str(), (*engine)->num_topics(),
+              (*engine)->vocab_size());
+
+  // 4. Query it with a test document and sanity-check the contract: the
+  //    served theta equals the in-memory model's bitwise.
+  const text::Document& doc = dataset.test.doc(0);
+  serve::InferenceEngine::BowDoc bow;
+  for (const auto& e : doc.entries) bow.emplace_back(e.word_id, e.count);
+  serve::InferenceEngine::ThetaResult theta = (*engine)->InferTheta(bow);
+  CHECK(theta.ok()) << theta.status();
+  tensor::Tensor reference = model->InferTheta(dataset.test);
+  CHECK(std::memcmp(theta->data(), reference.row(0),
+                    theta->size() * sizeof(float)) == 0)
+      << "served theta differs from the training-side model";
+  std::printf("served theta matches the in-memory model bitwise\n");
+
+  auto top = (*engine)->TopTopics(bow, 3);
+  CHECK(top.ok()) << top.status();
+  std::printf("\ntop topics for test doc 0 (label: %s):\n",
+              dataset.theme_names[doc.label].c_str());
+  for (const auto& [topic, weight] : *top) {
+    auto words = (*engine)->TopicTopWords(topic, 8);
+    CHECK(words.ok()) << words.status();
+    std::string joined;
+    for (const std::string& w : *words) {
+      if (!joined.empty()) joined += " ";
+      joined += w;
+    }
+    std::printf("  topic %2d  %.3f  %s\n", topic, weight, joined.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a run-telemetry JSONL artifact (DESIGN.md §9).
 
-Usage: check_telemetry.py <telemetry.jsonl>
+Usage: check_telemetry.py [--mode=train|serve] <telemetry.jsonl>
 
 Checks, in order:
   1. every line parses as a JSON object with a "type" field;
@@ -11,6 +11,14 @@ Checks, in order:
   5. the manifest summary reports bitwise_identical == 1 and
      metrics_finite == 1 when those keys are present (bench-smoke runs
      emit them; other producers may not).
+
+Modes (default: train):
+  train   epoch records are required (a training run that streamed no
+          epochs is broken);
+  serve   a serving run (bench_serve --mode=serve): no epoch records are
+          expected; instead exactly one serve_stats record must exist
+          with non-negative counters, requests >= batches, and a
+          bitwise_mismatches == 0 manifest summary.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -29,10 +37,44 @@ def is_finite_number(value):
     return isinstance(value, (int, float)) and math.isfinite(value)
 
 
+def check_serve_stats(records):
+    """Validates the serve_stats records of a serving run."""
+    if len(records) != 1:
+        fail(f"expected exactly one serve_stats record, found {len(records)}")
+    stats = records[0]
+    counters = ("requests", "batches", "cache_hits", "shed", "invalid",
+                "max_batch_size", "max_queue_depth")
+    for key in counters:
+        if key not in stats:
+            fail(f"serve_stats missing '{key}': {stats}")
+        if not is_finite_number(stats[key]) or stats[key] < 0:
+            fail(f"serve_stats has invalid '{key}': {stats}")
+    if stats["requests"] < stats["batches"]:
+        fail(f"serve_stats requests < batches: {stats}")
+    if stats["requests"] > 0 and stats["batches"] == 0 and stats["cache_hits"] == 0:
+        fail(f"serve_stats shows requests but no batches or cache hits: {stats}")
+    # Deterministic sinks omit latency; when present it must be sane.
+    latency = stats.get("latency_ms")
+    if latency is not None:
+        for p in ("p50", "p95", "p99"):
+            if not is_finite_number(latency.get(p)) or latency[p] < 0:
+                fail(f"serve_stats has invalid latency '{p}': {stats}")
+        if not latency["p50"] <= latency["p95"] <= latency["p99"]:
+            fail(f"serve_stats latency percentiles not monotone: {stats}")
+
+
 def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_telemetry.py <telemetry.jsonl>")
-    path = sys.argv[1]
+    args = sys.argv[1:]
+    mode = "train"
+    paths = []
+    for arg in args:
+        if arg.startswith("--mode="):
+            mode = arg[len("--mode="):]
+        else:
+            paths.append(arg)
+    if len(paths) != 1 or mode not in ("train", "serve"):
+        fail("usage: check_telemetry.py [--mode=train|serve] <telemetry.jsonl>")
+    path = paths[0]
     try:
         with open(path, encoding="utf-8") as f:
             lines = [line.rstrip("\n") for line in f if line.strip()]
@@ -74,18 +116,30 @@ def main():
                 # Non-finite doubles serialize as JSON null — a NaN metric
                 # is a broken run even when the process exited 0.
                 fail(f"epoch record has non-finite '{key}': {record}")
-    if not epochs:
-        fail("no epoch records")
 
     summary = manifests[0].get("summary", {})
     for key in ("bitwise_identical", "metrics_finite"):
         if key in summary and summary[key] != 1:
             fail(f"manifest summary reports {key}={summary[key]}")
 
+    detail = ""
+    if mode == "serve":
+        check_serve_stats(by_type.get("serve_stats", []))
+        if summary.get("bitwise_mismatches", 0) != 0:
+            fail(
+                "manifest summary reports bitwise_mismatches="
+                f"{summary['bitwise_mismatches']}"
+            )
+        detail = "serve_stats valid"
+    else:
+        if not epochs:
+            fail("no epoch records")
+        detail = f"{len(epochs)} epoch record(s)"
+
     n_runs = len(by_type["run_start"])
     print(
         f"check_telemetry: OK: {len(records)} records, {n_runs} run(s), "
-        f"{len(epochs)} epoch record(s), manifest present"
+        f"{detail}, manifest present"
     )
 
 

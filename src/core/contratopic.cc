@@ -6,6 +6,7 @@
 #include "tensor/kernels.h"
 #include "topicmodel/augment.h"
 #include "topicmodel/etm.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace contratopic {
@@ -213,6 +214,71 @@ Tensor ContraTopicModel::InferThetaBatch(const Tensor& x_normalized) {
 
 std::vector<nn::Parameter> ContraTopicModel::Parameters() {
   return backbone_->Parameters();
+}
+
+std::vector<nn::NamedTensor> ContraTopicModel::Buffers() {
+  // Inference runs entirely through the backbone; the kernel / candidate
+  // machinery only exists at training time and is not serving state.
+  return backbone_->Buffers();
+}
+
+topicmodel::ModelDescriptor ContraTopicModel::Describe() const {
+  topicmodel::ModelDescriptor backbone_desc = backbone_->Describe();
+  topicmodel::ModelDescriptor d;
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = backbone_desc.vocab_size;
+  d.embedding_dim = backbone_desc.embedding_dim;
+  std::string suffix;
+  switch (options_.variant) {
+    case Variant::kFull:
+      break;
+    case Variant::kPositiveOnly:
+      suffix = "-p";
+      break;
+    case Variant::kNegativeOnly:
+      suffix = "-n";
+      break;
+    case Variant::kInnerProduct:
+      suffix = "-i";
+      break;
+    case Variant::kExpectation:
+      suffix = "-s";
+      break;
+  }
+  if (backbone_desc.type == "etm") {
+    d.type = "contratopic" + suffix;
+  } else if (suffix.empty() && backbone_desc.type == "wlda") {
+    d.type = "contratopic-wlda";
+  } else if (suffix.empty() && backbone_desc.type == "wete") {
+    d.type = "contratopic-wete";
+  }
+  // Else: no zoo name covers this backbone/variant combination, so the
+  // descriptor stays non-checkpointable (type empty).
+  d.extras.emplace_back("lambda", util::StrFormat("%.9g", options_.lambda));
+  d.extras.emplace_back("v", std::to_string(options_.v));
+  d.extras.emplace_back("tau_gumbel",
+                        util::StrFormat("%.9g", options_.tau_gumbel));
+  d.extras.emplace_back("tau_contrast",
+                        util::StrFormat("%.9g", options_.tau_contrast));
+  d.extras.emplace_back("candidate_words",
+                        std::to_string(options_.candidate_words));
+  d.extras.emplace_back("clip_kernel_at_zero",
+                        options_.clip_kernel_at_zero ? "1" : "0");
+  d.extras.emplace_back("warmup_fraction",
+                        util::StrFormat("%.9g", options_.warmup_fraction));
+  d.extras.emplace_back("straight_through",
+                        options_.straight_through ? "1" : "0");
+  d.extras.emplace_back(
+      "document_contrast_weight",
+      util::StrFormat("%.9g", options_.document_contrast_weight));
+  d.extras.emplace_back(
+      "document_contrast_temperature",
+      util::StrFormat("%.9g", options_.document_contrast_temperature));
+  for (const auto& [key, value] : backbone_desc.extras) {
+    d.extras.emplace_back("backbone." + key, value);
+  }
+  return d;
 }
 
 void ContraTopicModel::SetTraining(bool training) {

@@ -88,6 +88,8 @@ class ContraTopicModel : public topicmodel::NeuralTopicModel {
   BatchGraph BuildBatch(const topicmodel::Batch& batch) override;
   Tensor InferThetaBatch(const Tensor& x_normalized) override;
   std::vector<nn::Parameter> Parameters() override;
+  std::vector<nn::NamedTensor> Buffers() override;
+  topicmodel::ModelDescriptor Describe() const override;
   void SetTraining(bool training) override;
   int64_t ExtraMemoryBytes() const override;
 

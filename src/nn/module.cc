@@ -72,6 +72,11 @@ std::vector<Parameter> BatchNorm1d::Parameters() {
   return {{name_ + ".gamma", gamma_}, {name_ + ".beta", beta_}};
 }
 
+std::vector<NamedTensor> BatchNorm1d::Buffers() {
+  return {{name_ + ".running_mean", &running_mean_},
+          {name_ + ".running_var", &running_var_}};
+}
+
 Dropout::Dropout(float rate, util::Rng& rng) : rate_(rate), rng_(&rng) {
   CHECK_GE(rate, 0.0f);
   CHECK_LT(rate, 1.0f);
@@ -151,6 +156,11 @@ std::vector<Parameter> Mlp::Parameters() {
     for (auto& p : batch_norm_->Parameters()) params.push_back(p);
   }
   return params;
+}
+
+std::vector<NamedTensor> Mlp::Buffers() {
+  if (batch_norm_ == nullptr) return {};
+  return batch_norm_->Buffers();
 }
 
 void Mlp::SetTraining(bool training) {

@@ -24,12 +24,26 @@ struct Parameter {
   Var var;
 };
 
+// A named reference to a persistent non-trainable tensor (e.g. batch-norm
+// running statistics): state that evaluation-mode forward passes depend
+// on but the optimizer never touches. Checkpoints must capture buffers
+// alongside parameter values or a reloaded model infers differently
+// (serve/checkpoint.h). The pointee is owned by the module and stays
+// valid for the module's lifetime.
+struct NamedTensor {
+  std::string name;
+  Tensor* tensor;
+};
+
 class Module {
  public:
   virtual ~Module() = default;
 
   // All trainable parameters of this module (recursively).
   virtual std::vector<Parameter> Parameters() = 0;
+
+  // All persistent non-trainable tensors of this module (recursively).
+  virtual std::vector<NamedTensor> Buffers() { return {}; }
 
   // Training vs evaluation mode (affects dropout / batch norm).
   virtual void SetTraining(bool training) { training_ = training; }
@@ -72,6 +86,7 @@ class BatchNorm1d : public Module {
   Var Forward(const Var& x);
 
   std::vector<Parameter> Parameters() override;
+  std::vector<NamedTensor> Buffers() override;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
@@ -124,6 +139,7 @@ class Mlp : public Module {
   Var Forward(const Var& x);
 
   std::vector<Parameter> Parameters() override;
+  std::vector<NamedTensor> Buffers() override;
   void SetTraining(bool training) override;
 
  private:

@@ -1,6 +1,7 @@
 #include "nn/serialization.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/serialize.h"
 #include "util/string_util.h"
@@ -33,19 +34,47 @@ util::Status LoadParameters(const std::vector<Parameter>& params,
   for (const auto& p : params) by_name[p.name] = &p;
 
   const uint64_t count = reader.ReadU64();
-  size_t restored = 0;
+  if (!reader.status().ok()) {
+    return util::Status::IOError(path + ": truncated before parameter count");
+  }
+  if (count > by_name.size()) {
+    // A stale file from a bigger model (or garbage where the count should
+    // be) would otherwise spin through a bogus loop; fail up front with
+    // the numbers so the mismatch is obvious.
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "%s stores %llu parameters but the model has %zu", path.c_str(),
+        static_cast<unsigned long long>(count), by_name.size()));
+  }
+  std::unordered_set<std::string> restored;
   for (uint64_t i = 0; i < count; ++i) {
     const std::string name = reader.ReadString();
     const int64_t rows = static_cast<int64_t>(reader.ReadU64());
     const int64_t cols = static_cast<int64_t>(reader.ReadU64());
     std::vector<float> values = reader.ReadFloatVector();
-    if (!reader.status().ok()) return reader.status();
-    if (static_cast<int64_t>(values.size()) != rows * cols) {
-      return util::Status::Internal("corrupt checkpoint entry: " + name);
+    if (!reader.status().ok()) {
+      return util::Status::IOError(util::StrFormat(
+          "%s: truncated or corrupt at parameter %llu of %llu", path.c_str(),
+          static_cast<unsigned long long>(i),
+          static_cast<unsigned long long>(count)));
+    }
+    if (rows < 0 || cols < 0 ||
+        static_cast<int64_t>(values.size()) != rows * cols) {
+      return util::Status::DataLoss(util::StrFormat(
+          "%s: entry %s declares [%lld x %lld] but stores %zu values",
+          path.c_str(), name.c_str(), static_cast<long long>(rows),
+          static_cast<long long>(cols), values.size()));
     }
     auto it = by_name.find(name);
     if (it == by_name.end()) {
-      return util::Status::NotFound("parameter not in model: " + name);
+      return util::Status::NotFound(
+          util::StrFormat("%s: stored parameter %s does not exist in the "
+                          "model (stale file or renamed layer?)",
+                          path.c_str(), name.c_str()));
+    }
+    if (!restored.insert(name).second) {
+      return util::Status::DataLoss(
+          util::StrFormat("%s: duplicate entry for parameter %s",
+                          path.c_str(), name.c_str()));
     }
     tensor::Tensor& target = it->second->var.node()->value;
     if (target.rows() != rows || target.cols() != cols) {
@@ -55,11 +84,17 @@ util::Status LoadParameters(const std::vector<Parameter>& params,
           static_cast<long long>(cols), target.ShapeString().c_str()));
     }
     target = tensor::Tensor(rows, cols, std::move(values));
-    ++restored;
   }
-  if (!allow_partial && restored != params.size()) {
+  if (!allow_partial && restored.size() != params.size()) {
+    std::string missing;
+    for (const auto& p : params) {
+      if (restored.count(p.name)) continue;
+      if (!missing.empty()) missing += ", ";
+      missing += p.name;
+    }
     return util::Status::FailedPrecondition(util::StrFormat(
-        "checkpoint restored %zu of %zu parameters", restored, params.size()));
+        "%s restored %zu of %zu parameters; missing: %s", path.c_str(),
+        restored.size(), params.size(), missing.c_str()));
   }
   return util::Status::OK();
 }

@@ -1,0 +1,134 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace serve {
+
+MicroBatcher::MicroBatcher(BatchFn fn, Options options)
+    : fn_(std::move(fn)), options_(options) {
+  CHECK(fn_ != nullptr);
+  CHECK_GT(options_.max_batch_size, 0);
+  CHECK_GT(options_.max_queue_depth, 0);
+}
+
+MicroBatcher::~MicroBatcher() {
+  Resume();
+  Drain();
+}
+
+void MicroBatcher::Submit(Request request, Callback done) {
+  CHECK(done != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(queue_.size()) < options_.max_queue_depth) {
+      queue_.emplace_back(std::move(request), std::move(done));
+      ++stats_.requests;
+      stats_.max_queue_depth_seen = std::max(
+          stats_.max_queue_depth_seen, static_cast<int>(queue_.size()));
+      MaybeScheduleDispatch();
+      return;
+    }
+    ++stats_.shed;
+  }
+  // Shed outside the lock: the callback may be arbitrarily heavy.
+  done(util::Status::Unavailable(
+      "serving queue is full (" + std::to_string(options_.max_queue_depth) +
+      " waiting requests); retry later"));
+}
+
+std::future<MicroBatcher::Result> MicroBatcher::Submit(Request request) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  Submit(std::move(request),
+         [promise](Result result) { promise->set_value(std::move(result)); });
+  return future;
+}
+
+void MicroBatcher::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void MicroBatcher::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  MaybeScheduleDispatch();
+}
+
+void MicroBatcher::Drain() {
+  CHECK(!util::ThreadPool::Global().InWorkerThread())
+      << "MicroBatcher::Drain would deadlock on a pool worker";
+  std::unique_lock<std::mutex> lock(mu_);
+  CHECK(!(paused_ && !queue_.empty()))
+      << "Drain while paused with queued work would never return";
+  idle_.wait(lock, [this] { return queue_.empty() && !dispatching_; });
+}
+
+int MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MicroBatcher::MaybeScheduleDispatch() {
+  if (dispatching_ || paused_ || queue_.empty()) return;
+  dispatching_ = true;
+  util::ThreadPool::Global().Schedule([this] { DispatchLoop(); });
+}
+
+void MicroBatcher::DispatchLoop() {
+  while (true) {
+    std::vector<Request> requests;
+    std::vector<Callback> callbacks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (paused_ || queue_.empty()) {
+        dispatching_ = false;
+        idle_.notify_all();
+        return;
+      }
+      const int n = std::min(options_.max_batch_size,
+                             static_cast<int>(queue_.size()));
+      requests.reserve(n);
+      callbacks.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        requests.push_back(std::move(queue_.front().first));
+        callbacks.push_back(std::move(queue_.front().second));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, n);
+    }
+
+    std::vector<std::vector<float>> rows = fn_(requests);
+    if (options_.on_batch) {
+      options_.on_batch(static_cast<int>(requests.size()));
+    }
+    if (rows.size() != requests.size()) {
+      // A BatchFn contract violation is a bug, but requests must still
+      // complete: fail them rather than hang their futures.
+      for (auto& done : callbacks) {
+        done(util::Status::Internal(
+            "batch function returned " + std::to_string(rows.size()) +
+            " rows for " + std::to_string(requests.size()) + " requests"));
+      }
+      continue;
+    }
+    for (size_t i = 0; i < callbacks.size(); ++i) {
+      callbacks[i](std::move(rows[i]));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace contratopic

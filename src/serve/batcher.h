@@ -1,0 +1,114 @@
+#ifndef CONTRATOPIC_SERVE_BATCHER_H_
+#define CONTRATOPIC_SERVE_BATCHER_H_
+
+// MicroBatcher: the request queue of the inference engine. Callers submit
+// single bag-of-words requests; a dispatch loop running on the global
+// util::ThreadPool drains the queue in arrival order, up to
+// max_batch_size requests per model call, and completes each request via
+// its callback (or future).
+//
+// Graceful degradation: the queue is bounded. Once max_queue_depth
+// requests are waiting, further submissions are shed immediately with
+// util::Status kUnavailable instead of growing the backlog -- the caller
+// decides whether to retry.
+//
+// Determinism: every eval-mode forward pass in this codebase is
+// row-independent (matmul rows, batch-norm running stats, row softmax),
+// so how requests happen to be grouped into batches cannot change any
+// per-request result; batched and one-at-a-time serving are
+// bitwise-identical (tests/serve_test.cc locks this in).
+//
+// Pause()/Resume() stop and restart the dispatch loop; they exist so
+// tests can deterministically fill the queue to the shedding point.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace contratopic {
+namespace serve {
+
+class MicroBatcher {
+ public:
+  // A canonical bag-of-words document: (word_id, count) pairs, sorted by
+  // word id, each id at most once (InferenceEngine canonicalizes).
+  using Request = std::vector<std::pair<int, int>>;
+  // A topic-proportion row, or why it was not computed.
+  using Result = util::StatusOr<std::vector<float>>;
+  // Runs the model on a batch; must return one row per request, in
+  // request order. Called from a pool worker (nested ParallelFor runs
+  // inline there, per the ThreadPool contract).
+  using BatchFn =
+      std::function<std::vector<std::vector<float>>(
+          const std::vector<Request>&)>;
+  using Callback = std::function<void(Result)>;
+
+  struct Options {
+    int max_batch_size = 32;
+    // Submissions beyond this many waiting requests are shed.
+    int max_queue_depth = 1024;
+    // Observability hook, invoked after each batch with its size (e.g.
+    // to feed a batch-size histogram). May be empty.
+    std::function<void(int)> on_batch;
+  };
+
+  struct Stats {
+    int64_t requests = 0;  // accepted (not shed)
+    int64_t batches = 0;
+    int64_t shed = 0;
+    int max_batch_size_seen = 0;
+    int max_queue_depth_seen = 0;
+  };
+
+  MicroBatcher(BatchFn fn, Options options);
+  // Resumes (if paused) and drains outstanding work.
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Enqueues `request`; `done` runs exactly once, on a pool worker (or
+  // inline, immediately, when the request is shed).
+  void Submit(Request request, Callback done);
+  // Future-returning form of Submit.
+  std::future<Result> Submit(Request request);
+
+  // Stops the dispatch loop after the in-flight batch; the queue then
+  // accumulates (and sheds past max_queue_depth) until Resume().
+  void Pause();
+  void Resume();
+
+  // Blocks until the queue is empty and no batch is in flight. Must not
+  // be called while paused with work queued (it would never return), nor
+  // from a pool worker.
+  void Drain();
+
+  int queue_depth() const;
+  Stats stats() const;
+
+ private:
+  // Schedules the dispatch loop if it is not already running (mu_ held).
+  void MaybeScheduleDispatch();
+  void DispatchLoop();
+
+  const BatchFn fn_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_;
+  std::deque<std::pair<Request, Callback>> queue_;
+  bool dispatching_ = false;
+  bool paused_ = false;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_SERVE_BATCHER_H_

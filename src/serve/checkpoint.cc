@@ -1,0 +1,449 @@
+#include "serve/checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <unordered_map>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "util/serialize.h"
+#include "util/string_util.h"
+
+namespace contratopic {
+namespace serve {
+
+namespace {
+
+using tensor::Tensor;
+using topicmodel::ModelDescriptor;
+using topicmodel::NeuralTopicModel;
+using topicmodel::TrainConfig;
+using util::Status;
+using util::StatusOr;
+
+// Every zoo name RestoreModel is willing to hand to core::CreateModel
+// (which LOG(FATAL)s on unknown names -- a checkpoint must never reach
+// that). LDA is absent on purpose: it has no neural state dict.
+const std::set<std::string>& RestorableTypes() {
+  static const std::set<std::string>* const kTypes = new std::set<std::string>{
+      "prodlda",       "wlda",          "etm",
+      "nstm",          "wete",          "ntmr",
+      "vtmrl",         "clntm",         "contratopic",
+      "contratopic-p", "contratopic-n", "contratopic-i",
+      "contratopic-s", "contratopic-wlda", "contratopic-wete"};
+  return *kTypes;
+}
+
+void WriteConfig(util::BinaryWriter* writer, const TrainConfig& config) {
+  writer->WriteU32(static_cast<uint32_t>(config.num_topics));
+  writer->WriteU32(static_cast<uint32_t>(config.epochs));
+  writer->WriteU32(static_cast<uint32_t>(config.batch_size));
+  writer->WriteF32(config.learning_rate);
+  writer->WriteU32(static_cast<uint32_t>(config.encoder_hidden));
+  writer->WriteU32(static_cast<uint32_t>(config.encoder_layers));
+  writer->WriteF32(config.dropout);
+  writer->WriteU32(config.batch_norm ? 1 : 0);
+  writer->WriteF32(config.grad_clip);
+  writer->WriteU64(config.seed);
+  writer->WriteU32(config.verbose ? 1 : 0);
+}
+
+TrainConfig ReadConfig(util::BinaryReader* reader) {
+  TrainConfig config;
+  config.num_topics = static_cast<int>(reader->ReadU32());
+  config.epochs = static_cast<int>(reader->ReadU32());
+  config.batch_size = static_cast<int>(reader->ReadU32());
+  config.learning_rate = reader->ReadF32();
+  config.encoder_hidden = static_cast<int>(reader->ReadU32());
+  config.encoder_layers = static_cast<int>(reader->ReadU32());
+  config.dropout = reader->ReadF32();
+  config.batch_norm = reader->ReadU32() != 0;
+  config.grad_clip = reader->ReadF32();
+  config.seed = reader->ReadU64();
+  config.verbose = reader->ReadU32() != 0;
+  return config;
+}
+
+void WriteTensor(util::BinaryWriter* writer, const Tensor& t) {
+  writer->WriteU32(static_cast<uint32_t>(t.rows()));
+  writer->WriteU32(static_cast<uint32_t>(t.cols()));
+  std::vector<float> values(t.data(), t.data() + t.rows() * t.cols());
+  writer->WriteFloatVector(values);
+}
+
+// Returns a corrupt-payload error; the payload checksum already matched,
+// so a structural violation means the writer (not the wire) was broken.
+Status Corrupt(const std::string& what) {
+  return Status::DataLoss("corrupt checkpoint payload: " + what);
+}
+
+StatusOr<Tensor> ReadTensor(util::BinaryReader* reader,
+                            const std::string& what) {
+  const int64_t rows = static_cast<int64_t>(reader->ReadU32());
+  const int64_t cols = static_cast<int64_t>(reader->ReadU32());
+  std::vector<float> values = reader->ReadFloatVector();
+  if (!reader->ok()) return Corrupt(what + ": short tensor data");
+  if (rows <= 0 || cols <= 0 ||
+      values.size() != static_cast<size_t>(rows * cols)) {
+    return Corrupt(what + ": tensor shape " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + " does not match " +
+                   std::to_string(values.size()) + " values");
+  }
+  Tensor t(rows, cols);
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+// Parses the payload of a checksum-validated checkpoint.
+StatusOr<Checkpoint> ParsePayload(const std::string& payload) {
+  util::BinaryReader reader(payload.data(), payload.size());
+  Checkpoint ckpt;
+  ckpt.descriptor.type = reader.ReadString();
+  ckpt.descriptor.display_name = reader.ReadString();
+  ckpt.descriptor.config = ReadConfig(&reader);
+  ckpt.descriptor.vocab_size = static_cast<int>(reader.ReadU32());
+  ckpt.descriptor.embedding_dim = static_cast<int>(reader.ReadU32());
+  const uint32_t num_extras = reader.ReadU32();
+  if (!reader.ok()) return Corrupt("short descriptor");
+  if (ckpt.descriptor.type.empty()) return Corrupt("empty model type");
+  if (ckpt.descriptor.config.num_topics <= 0) {
+    return Corrupt("non-positive topic count");
+  }
+  if (ckpt.descriptor.vocab_size <= 0) {
+    return Corrupt("non-positive vocabulary size");
+  }
+  if (num_extras > 1024) return Corrupt("implausible extras count");
+  for (uint32_t i = 0; i < num_extras; ++i) {
+    std::string key = reader.ReadString();
+    std::string value = reader.ReadString();
+    if (!reader.ok()) return Corrupt("short descriptor extras");
+    ckpt.descriptor.extras.emplace_back(std::move(key), std::move(value));
+  }
+
+  const uint32_t num_words = reader.ReadU32();
+  if (!reader.ok()) return Corrupt("short vocabulary");
+  if (num_words != static_cast<uint32_t>(ckpt.descriptor.vocab_size)) {
+    return Corrupt("vocabulary has " + std::to_string(num_words) +
+                   " words but descriptor says " +
+                   std::to_string(ckpt.descriptor.vocab_size));
+  }
+  ckpt.vocab.reserve(num_words);
+  for (uint32_t i = 0; i < num_words; ++i) {
+    ckpt.vocab.push_back(reader.ReadString());
+    if (!reader.ok()) return Corrupt("short vocabulary");
+  }
+
+  const uint32_t num_tensors = reader.ReadU32();
+  if (!reader.ok()) return Corrupt("short state dict");
+  if (num_tensors == 0 || num_tensors > 4096) {
+    return Corrupt("implausible state tensor count " +
+                   std::to_string(num_tensors));
+  }
+  ckpt.tensors.reserve(num_tensors);
+  for (uint32_t i = 0; i < num_tensors; ++i) {
+    std::string name = reader.ReadString();
+    if (!reader.ok() || name.empty()) {
+      return Corrupt("state tensor " + std::to_string(i) + ": bad name");
+    }
+    StatusOr<Tensor> t = ReadTensor(&reader, "state tensor '" + name + "'");
+    if (!t.ok()) return t.status();
+    ckpt.tensors.emplace_back(std::move(name), std::move(t).value());
+  }
+
+  StatusOr<Tensor> beta = ReadTensor(&reader, "beta");
+  if (!beta.ok()) return beta.status();
+  ckpt.beta = std::move(beta).value();
+  if (ckpt.beta.rows() != ckpt.descriptor.config.num_topics ||
+      ckpt.beta.cols() != ckpt.descriptor.vocab_size) {
+    return Corrupt("beta shape does not match descriptor");
+  }
+
+  const uint32_t num_topic_lists = reader.ReadU32();
+  if (!reader.ok()) return Corrupt("short top-word lists");
+  if (num_topic_lists !=
+      static_cast<uint32_t>(ckpt.descriptor.config.num_topics)) {
+    return Corrupt("top-word list count does not match topic count");
+  }
+  ckpt.top_words.reserve(num_topic_lists);
+  for (uint32_t k = 0; k < num_topic_lists; ++k) {
+    std::vector<int> words = reader.ReadIntVector();
+    if (!reader.ok()) return Corrupt("short top-word lists");
+    for (int w : words) {
+      if (w < 0 || w >= ckpt.descriptor.vocab_size) {
+        return Corrupt("top word id out of vocabulary range");
+      }
+    }
+    ckpt.top_words.push_back(std::move(words));
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing bytes after top-word lists");
+  return ckpt;
+}
+
+// Reads the named extra as a float/int, or the fallback when absent.
+// Returns false (corrupt) when present but unparsable.
+bool ExtraFloat(const ModelDescriptor& d, const std::string& key,
+                float* out) {
+  for (const auto& [k, v] : d.extras) {
+    if (k != key) continue;
+    char* end = nullptr;
+    const float parsed = std::strtof(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == v.c_str()) return false;
+    *out = parsed;
+    return true;
+  }
+  return true;  // absent: keep the default
+}
+
+bool ExtraInt(const ModelDescriptor& d, const std::string& key, int* out) {
+  for (const auto& [k, v] : d.extras) {
+    if (k != key) continue;
+    char* end = nullptr;
+    const long parsed = std::strtol(v.c_str(), &end, 10);  // NOLINT
+    if (end == nullptr || *end != '\0' || end == v.c_str()) return false;
+    *out = static_cast<int>(parsed);
+    return true;
+  }
+  return true;
+}
+
+// Rebuilds the ContraTopicOptions recorded by ContraTopicModel::Describe.
+Status ParseContraOptions(const ModelDescriptor& d,
+                          core::ContraTopicOptions* options) {
+  int clip = options->clip_kernel_at_zero ? 1 : 0;
+  int straight = options->straight_through ? 1 : 0;
+  const bool ok =
+      ExtraFloat(d, "lambda", &options->lambda) &&
+      ExtraInt(d, "v", &options->v) &&
+      ExtraFloat(d, "tau_gumbel", &options->tau_gumbel) &&
+      ExtraFloat(d, "tau_contrast", &options->tau_contrast) &&
+      ExtraInt(d, "candidate_words", &options->candidate_words) &&
+      ExtraInt(d, "clip_kernel_at_zero", &clip) &&
+      ExtraFloat(d, "warmup_fraction", &options->warmup_fraction) &&
+      ExtraInt(d, "straight_through", &straight) &&
+      ExtraFloat(d, "document_contrast_weight",
+                 &options->document_contrast_weight) &&
+      ExtraFloat(d, "document_contrast_temperature",
+                 &options->document_contrast_temperature);
+  if (!ok || options->v <= 0) {
+    return Status::DataLoss(
+        "corrupt checkpoint: unparsable contratopic options");
+  }
+  options->clip_kernel_at_zero = clip != 0;
+  options->straight_through = straight != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+StatusOr<Checkpoint> BuildCheckpoint(topicmodel::TopicModel& model,
+                                     const text::Vocabulary& vocab) {
+  auto* neural = dynamic_cast<NeuralTopicModel*>(&model);
+  if (neural == nullptr) {
+    return Status::InvalidArgument(model.name() +
+                                   " is not a neural model; only neural "
+                                   "models are checkpointable");
+  }
+  if (!neural->trained()) {
+    return Status::FailedPrecondition(model.name() +
+                                      " is not trained; checkpoints freeze "
+                                      "a finished model");
+  }
+  Checkpoint ckpt;
+  ckpt.descriptor = neural->Describe();
+  if (ckpt.descriptor.type.empty()) {
+    return Status::InvalidArgument(
+        model.name() + " does not describe itself as a model-zoo type; "
+                       "it cannot be rebuilt from a checkpoint");
+  }
+  if (ckpt.descriptor.vocab_size != vocab.size()) {
+    return Status::InvalidArgument(
+        "vocabulary has " + std::to_string(vocab.size()) +
+        " words but the model was built for " +
+        std::to_string(ckpt.descriptor.vocab_size));
+  }
+  for (const auto& t : neural->StateTensors()) {
+    ckpt.tensors.emplace_back(t.name, *t.tensor);
+  }
+  ckpt.beta = neural->Beta();
+  ckpt.vocab = vocab.words();
+  const int top_k =
+      std::min(kCheckpointTopWords, ckpt.descriptor.vocab_size);
+  for (int k = 0; k < ckpt.descriptor.config.num_topics; ++k) {
+    ckpt.top_words.push_back(ckpt.beta.TopKIndicesOfRow(k, top_k));
+  }
+  return ckpt;
+}
+
+Status WriteCheckpoint(const Checkpoint& checkpoint,
+                       const std::string& path) {
+  std::string payload;
+  util::BinaryWriter body(&payload);
+  body.WriteString(checkpoint.descriptor.type);
+  body.WriteString(checkpoint.descriptor.display_name);
+  WriteConfig(&body, checkpoint.descriptor.config);
+  body.WriteU32(static_cast<uint32_t>(checkpoint.descriptor.vocab_size));
+  body.WriteU32(static_cast<uint32_t>(checkpoint.descriptor.embedding_dim));
+  body.WriteU32(static_cast<uint32_t>(checkpoint.descriptor.extras.size()));
+  for (const auto& [key, value] : checkpoint.descriptor.extras) {
+    body.WriteString(key);
+    body.WriteString(value);
+  }
+  body.WriteU32(static_cast<uint32_t>(checkpoint.vocab.size()));
+  for (const auto& word : checkpoint.vocab) body.WriteString(word);
+  body.WriteU32(static_cast<uint32_t>(checkpoint.tensors.size()));
+  for (const auto& [name, t] : checkpoint.tensors) {
+    body.WriteString(name);
+    WriteTensor(&body, t);
+  }
+  WriteTensor(&body, checkpoint.beta);
+  body.WriteU32(static_cast<uint32_t>(checkpoint.top_words.size()));
+  for (const auto& words : checkpoint.top_words) body.WriteIntVector(words);
+
+  util::BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IOError("cannot open checkpoint for writing: " + path);
+  }
+  writer.WriteU32(kCheckpointMagic);
+  writer.WriteU32(kCheckpointVersion);
+  writer.WriteU64(Fnv1a64(payload.data(), payload.size()));
+  writer.WriteU64(payload.size());
+  writer.WriteBytes(payload.data(), payload.size());
+  return writer.Close();
+}
+
+Status SaveCheckpoint(topicmodel::TopicModel& model,
+                      const text::Vocabulary& vocab,
+                      const std::string& path) {
+  StatusOr<Checkpoint> ckpt = BuildCheckpoint(model, vocab);
+  if (!ckpt.ok()) return ckpt.status();
+  return WriteCheckpoint(*ckpt, path);
+}
+
+StatusOr<Checkpoint> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open checkpoint: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError("read failed: " + path);
+
+  constexpr size_t kHeaderSize = 4 + 4 + 8 + 8;
+  if (bytes.size() < kHeaderSize) {
+    return Status::IOError("truncated checkpoint: " + path + " holds " +
+                           std::to_string(bytes.size()) +
+                           " bytes, header needs " +
+                           std::to_string(kHeaderSize));
+  }
+  util::BinaryReader header(bytes.data(), bytes.size());
+  const uint32_t magic = header.ReadU32();
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(path + " is not a checkpoint (magic " +
+                                   util::StrFormat("0x%08x", magic) + ")");
+  }
+  const uint32_t version = header.ReadU32();
+  if (version != kCheckpointVersion) {
+    return Status::FailedPrecondition(
+        path + " uses checkpoint format v" + std::to_string(version) +
+        "; this build reads v" + std::to_string(kCheckpointVersion));
+  }
+  const uint64_t checksum = header.ReadU64();
+  const uint64_t payload_size = header.ReadU64();
+  if (payload_size != bytes.size() - kHeaderSize) {
+    if (payload_size > bytes.size() - kHeaderSize) {
+      return Status::IOError(
+          "truncated checkpoint: " + path + " promises " +
+          std::to_string(payload_size) + " payload bytes but holds " +
+          std::to_string(bytes.size() - kHeaderSize));
+    }
+    return Status::DataLoss("checkpoint " + path +
+                            " has trailing bytes after the payload");
+  }
+  const char* payload_data = bytes.data() + kHeaderSize;
+  if (Fnv1a64(payload_data, payload_size) != checksum) {
+    return Status::DataLoss("checkpoint " + path +
+                            " failed its payload checksum; the file is "
+                            "corrupt");
+  }
+  return ParsePayload(std::string(payload_data, payload_size));
+}
+
+StatusOr<std::unique_ptr<NeuralTopicModel>> RestoreModel(
+    const Checkpoint& ckpt) {
+  const ModelDescriptor& d = ckpt.descriptor;
+  if (d.type.empty()) {
+    return Status::InvalidArgument("checkpoint has no model type");
+  }
+  if (RestorableTypes().count(d.type) == 0) {
+    return Status::FailedPrecondition(
+        "checkpoint model type '" + d.type +
+        "' is unknown to this build (newer writer?)");
+  }
+  // The true embedding-derived tensors ride in the state dict; the
+  // architecture only needs placeholders of the right shape. Ones (not
+  // zeros) keep any normalization in constructors finite.
+  const int dim = d.embedding_dim > 0 ? d.embedding_dim : 1;
+  embed::WordEmbeddings placeholder(Tensor::Full(d.vocab_size, dim, 1.0f),
+                                    ckpt.vocab);
+
+  core::ContraTopicOptions contra;
+  if (d.type.rfind("contratopic", 0) == 0) {
+    Status status = ParseContraOptions(d, &contra);
+    if (!status.ok()) return status;
+  }
+  std::unique_ptr<topicmodel::TopicModel> model =
+      core::CreateModel(d.type, d.config, placeholder, contra);
+  auto* neural = dynamic_cast<NeuralTopicModel*>(model.get());
+  if (neural == nullptr) {
+    return Status::Internal("restored '" + d.type +
+                            "' is not a neural model");
+  }
+
+  std::unordered_map<std::string, Tensor*> by_name;
+  for (const auto& t : neural->StateTensors()) by_name[t.name] = t.tensor;
+  std::set<std::string> restored;
+  for (const auto& [name, value] : ckpt.tensors) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::FailedPrecondition(
+          "checkpoint tensor '" + name + "' does not exist in a freshly "
+          "built '" + d.type + "' (architecture drift?)");
+    }
+    Tensor* target = it->second;
+    if (target->rows() != value.rows() || target->cols() != value.cols()) {
+      return Status::FailedPrecondition(
+          "checkpoint tensor '" + name + "' is " +
+          std::to_string(value.rows()) + "x" + std::to_string(value.cols()) +
+          " but the model expects " + std::to_string(target->rows()) + "x" +
+          std::to_string(target->cols()));
+    }
+    *target = value;
+    restored.insert(name);
+  }
+  for (const auto& [name, tensor] : by_name) {
+    (void)tensor;
+    if (restored.count(name) == 0) {
+      return Status::FailedPrecondition(
+          "checkpoint is missing state tensor '" + name +
+          "' required by '" + d.type + "'");
+    }
+  }
+
+  neural->RestoreTrainedState(ckpt.beta);
+  model.release();
+  return std::unique_ptr<NeuralTopicModel>(neural);
+}
+
+}  // namespace serve
+}  // namespace contratopic

@@ -1,0 +1,93 @@
+#ifndef CONTRATOPIC_SERVE_CHECKPOINT_H_
+#define CONTRATOPIC_SERVE_CHECKPOINT_H_
+
+// Versioned serving checkpoint (DESIGN.md §10). A checkpoint freezes a
+// trained topic model into a single self-describing file that a fresh
+// process can reload without the training corpus or the original word
+// embeddings:
+//
+//   header   magic "CTCK" (u32) | format version (u32) |
+//            FNV-1a-64 checksum of payload (u64) | payload size (u64)
+//   payload  ModelDescriptor (zoo type + TrainConfig + extras) |
+//            vocabulary words | every state tensor (named; parameters
+//            plus inference buffers such as batch-norm running stats and
+//            frozen embedding constants) | trained beta (K x V) |
+//            per-topic top-word ids
+//
+// The checksum covers the exact payload bytes, so truncation and
+// single-byte corruption are both detected before any field is trusted.
+// All failure modes surface as util::Status -- never a crash:
+//   bad magic            -> kInvalidArgument (not a checkpoint)
+//   version skew         -> kFailedPrecondition (newer writer)
+//   short file           -> kIOError (truncated)
+//   checksum / structure -> kDataLoss (corrupt)
+//
+// Restore rebuilds the architecture via core::CreateModel from the
+// descriptor (using placeholder embeddings), then overwrites every state
+// tensor bitwise, so a restored model's InferTheta is bitwise-identical
+// to the in-memory model it was saved from.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocabulary.h"
+#include "topicmodel/neural_base.h"
+#include "topicmodel/topic_model.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace serve {
+
+// "CTCK" little-endian.
+inline constexpr uint32_t kCheckpointMagic = 0x4B435443u;
+inline constexpr uint32_t kCheckpointVersion = 1;
+// Top words stored per topic (enough for diversity@25, the largest
+// top-word metric in eval/metrics.h).
+inline constexpr int kCheckpointTopWords = 25;
+
+// FNV-1a 64-bit over a byte range (the checkpoint payload checksum).
+uint64_t Fnv1a64(const void* data, size_t size);
+
+// In-memory form of a checkpoint file.
+struct Checkpoint {
+  topicmodel::ModelDescriptor descriptor;
+  // Every tensor InferTheta reads: trainable parameters plus inference
+  // buffers, by their model-assigned names.
+  std::vector<std::pair<std::string, tensor::Tensor>> tensors;
+  tensor::Tensor beta;                      // K x V topic-word distribution
+  std::vector<std::string> vocab;           // word string per id
+  std::vector<std::vector<int>> top_words;  // per topic, kCheckpointTopWords
+};
+
+// Snapshots `model` (which must be trained and checkpointable, i.e.
+// Describe().type is a model-zoo name) into an in-memory Checkpoint.
+util::StatusOr<Checkpoint> BuildCheckpoint(topicmodel::TopicModel& model,
+                                           const text::Vocabulary& vocab);
+
+// Serializes `checkpoint` to `path` in the format described above.
+util::Status WriteCheckpoint(const Checkpoint& checkpoint,
+                             const std::string& path);
+
+// BuildCheckpoint + WriteCheckpoint.
+util::Status SaveCheckpoint(topicmodel::TopicModel& model,
+                            const text::Vocabulary& vocab,
+                            const std::string& path);
+
+// Reads and fully validates a checkpoint file (header, checksum, and
+// structural sanity of every field).
+util::StatusOr<Checkpoint> ReadCheckpoint(const std::string& path);
+
+// Rebuilds the model described by `checkpoint` and restores its trained
+// state bitwise. The result is frozen (eval mode, trained) and ready for
+// InferTheta; it must not be trained further.
+util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> RestoreModel(
+    const Checkpoint& checkpoint);
+
+}  // namespace serve
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_SERVE_CHECKPOINT_H_

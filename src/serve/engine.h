@@ -1,0 +1,169 @@
+#ifndef CONTRATOPIC_SERVE_ENGINE_H_
+#define CONTRATOPIC_SERVE_ENGINE_H_
+
+// InferenceEngine: the serving front door (DESIGN.md §10). Loads a frozen
+// checkpoint (serve/checkpoint.h) and answers three query shapes:
+//
+//   InferTheta     bag-of-words -> topic proportions (micro-batched)
+//   TopTopics      bag-of-words -> top-k (topic, weight) pairs
+//   TopicTopWords  topic id     -> its top words as strings
+//
+// Requests flow through a MicroBatcher on the global thread pool, with an
+// LRU result cache keyed by the canonicalized document in front of it.
+// When the bounded queue fills, requests are shed with kUnavailable
+// rather than queued without bound.
+//
+// Determinism: a loaded engine's InferTheta is bitwise-identical to the
+// in-memory model it was checkpointed from, at any thread count, batched
+// or one-at-a-time (tests/serve_test.cc). Document normalization
+// replicates text::BowCorpus::NormalizedBatch exactly (double row sum,
+// float reciprocal) so served results match training-side InferTheta.
+//
+// Observability: the engine feeds util::MetricsRegistry (serve.requests,
+// serve.cache_hits, serve.shed, serve.batches counters; serve.queue_depth
+// gauge; serve.batch_size and serve.latency_ms histograms) and can emit a
+// "serve_stats" JSONL record through util::RunTelemetry.
+
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/checkpoint.h"
+#include "topicmodel/neural_base.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace contratopic {
+namespace serve {
+
+class InferenceEngine {
+ public:
+  // A raw request: (word_id, count) pairs in any order, duplicates
+  // allowed (they are summed).
+  using BowDoc = std::vector<std::pair<int, int>>;
+  using ThetaResult = util::StatusOr<std::vector<float>>;
+
+  struct Options {
+    int max_batch_size = 32;
+    int max_queue_depth = 1024;
+    // Distinct documents kept in the LRU result cache; 0 disables it.
+    int cache_capacity = 1024;
+  };
+
+  struct Stats {
+    int64_t requests = 0;    // InferTheta/TopTopics calls accepted
+    int64_t cache_hits = 0;  // answered without touching the model
+    int64_t shed = 0;        // refused with kUnavailable
+    int64_t invalid = 0;     // refused with kInvalidArgument
+    int64_t batches = 0;     // model calls
+    int max_batch_size_seen = 0;
+    int max_queue_depth_seen = 0;
+  };
+
+  // Reads, validates, and restores `path`, then wraps it in an engine.
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> Load(
+      const std::string& path, const Options& options);
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> Load(
+      const std::string& path) {
+    return Load(path, Options());
+  }
+  // Serves an in-memory checkpoint (e.g. straight from BuildCheckpoint;
+  // tests use this to compare against the file round trip).
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> FromCheckpoint(
+      Checkpoint checkpoint, const Options& options);
+  static util::StatusOr<std::unique_ptr<InferenceEngine>> FromCheckpoint(
+      Checkpoint checkpoint) {
+    return FromCheckpoint(std::move(checkpoint), Options());
+  }
+
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  // Topic proportions for one document (blocks; batching happens across
+  // concurrent callers). Errors: kInvalidArgument for empty docs,
+  // out-of-vocabulary ids, or non-positive counts; kUnavailable when
+  // shed.
+  ThetaResult InferTheta(const BowDoc& doc);
+  // Non-blocking form; `done` runs exactly once, possibly inline (cache
+  // hit, invalid doc, shed) or on a pool worker.
+  void InferThetaAsync(const BowDoc& doc,
+                       std::function<void(ThetaResult)> done);
+
+  // The k highest-probability topics for `doc`, as (topic, weight),
+  // descending (ties broken by topic id, matching Tensor::TopKIndicesOfRow).
+  util::StatusOr<std::vector<std::pair<int, float>>> TopTopics(
+      const BowDoc& doc, int k);
+
+  // The top-`k` words of `topic` as strings (from the checkpoint's
+  // precomputed lists; k is capped at kCheckpointTopWords).
+  util::StatusOr<std::vector<std::string>> TopicTopWords(int topic,
+                                                         int k) const;
+
+  const topicmodel::ModelDescriptor& descriptor() const {
+    return checkpoint_.descriptor;
+  }
+  int num_topics() const { return checkpoint_.descriptor.config.num_topics; }
+  int vocab_size() const { return checkpoint_.descriptor.vocab_size; }
+  const std::vector<std::string>& vocab() const { return checkpoint_.vocab; }
+
+  // The underlying batcher, exposed for tests (Pause/Resume make
+  // queue-shedding deterministic).
+  MicroBatcher& batcher() { return *batcher_; }
+
+  Stats stats() const;
+
+  // Emits a "serve_stats" record (requests, batches, cache hits, shed,
+  // queue/batch high-water marks; latency percentiles unless the sink is
+  // deterministic).
+  void EmitTelemetry(util::RunTelemetry* telemetry) const;
+
+ private:
+  InferenceEngine(Checkpoint checkpoint,
+                  std::unique_ptr<topicmodel::NeuralTopicModel> model,
+                  const Options& options);
+
+  // Sorts by word id, merges duplicate ids; Status on invalid entries.
+  util::StatusOr<MicroBatcher::Request> Canonicalize(const BowDoc& doc) const;
+  // The MicroBatcher::BatchFn: canonical requests -> theta rows.
+  std::vector<std::vector<float>> RunBatch(
+      const std::vector<MicroBatcher::Request>& requests);
+
+  // LRU cache (most recent at front).
+  struct CacheEntry {
+    std::string key;
+    std::vector<float> theta;
+  };
+  static std::string CacheKey(const MicroBatcher::Request& request);
+  bool CacheLookup(const std::string& key, std::vector<float>* theta);
+  void CacheInsert(const std::string& key, const std::vector<float>& theta);
+
+  const Options options_;
+  const Checkpoint checkpoint_;
+  // Declared before batcher_ so the batcher (whose BatchFn runs the
+  // model) is destroyed -- and drained -- first.
+  std::unique_ptr<topicmodel::NeuralTopicModel> model_;
+  std::unique_ptr<MicroBatcher> batcher_;
+
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_;  // front = most recently used
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator>
+      cache_index_;
+
+  mutable std::mutex stats_mu_;
+  int64_t cache_hits_ = 0;
+  int64_t invalid_ = 0;
+};
+
+}  // namespace serve
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_SERVE_ENGINE_H_

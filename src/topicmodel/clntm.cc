@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "topicmodel/augment.h"
+#include "util/string_util.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -55,6 +56,17 @@ NeuralTopicModel::BatchGraph ClntmModel::BuildBatch(const Batch& batch) {
 
   Var loss = Add(g.loss, MulScalar(contrast, options_.contrast_weight));
   return {loss, g.beta, {}};
+}
+
+ModelDescriptor ClntmModel::Describe() const {
+  ModelDescriptor d = DescribeAs("clntm");
+  d.extras.emplace_back("contrast_weight",
+                        util::StrFormat("%.9g", options_.contrast_weight));
+  d.extras.emplace_back("temperature",
+                        util::StrFormat("%.9g", options_.temperature));
+  d.extras.emplace_back("salient_fraction",
+                        util::StrFormat("%.9g", options_.salient_fraction));
+  return d;
 }
 
 }  // namespace topicmodel

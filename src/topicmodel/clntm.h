@@ -30,6 +30,7 @@ class ClntmModel : public EtmModel {
 
   void Prepare(const text::BowCorpus& corpus) override;
   BatchGraph BuildBatch(const Batch& batch) override;
+  ModelDescriptor Describe() const override;
 
  private:
   // Builds positive (salient-only) and negative (salient-removed) views.

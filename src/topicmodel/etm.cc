@@ -1,5 +1,7 @@
 #include "topicmodel/etm.h"
 
+#include "util/string_util.h"
+
 namespace contratopic {
 namespace topicmodel {
 
@@ -69,6 +71,28 @@ std::vector<nn::Parameter> EtmModel::Parameters() {
   params.push_back({"topic_embeddings", topic_embeddings_});
   return params;
 }
+
+std::vector<nn::NamedTensor> EtmModel::Buffers() {
+  std::vector<nn::NamedTensor> buffers = encoder_->Buffers();
+  // rho is frozen, but a restored process rebuilds the model around
+  // placeholder embeddings — the true values must ride in the checkpoint.
+  buffers.push_back({"rho", &rho_.node()->value});
+  return buffers;
+}
+
+ModelDescriptor EtmModel::DescribeAs(const std::string& type) const {
+  ModelDescriptor d;
+  d.type = type;
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = static_cast<int>(rho_.value().rows());
+  d.embedding_dim = static_cast<int>(rho_.value().cols());
+  d.extras.emplace_back("tau_beta",
+                        util::StrFormat("%.9g", options_.tau_beta));
+  return d;
+}
+
+ModelDescriptor EtmModel::Describe() const { return DescribeAs("etm"); }
 
 void EtmModel::SetTraining(bool training) {
   training_ = training;

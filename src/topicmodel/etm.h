@@ -30,11 +30,16 @@ class EtmModel : public NeuralTopicModel {
   BatchGraph BuildBatch(const Batch& batch) override;
   Tensor InferThetaBatch(const Tensor& x_normalized) override;
   std::vector<nn::Parameter> Parameters() override;
+  std::vector<nn::NamedTensor> Buffers() override;
+  ModelDescriptor Describe() const override;
   void SetTraining(bool training) override;
   // Documents represented by the encoder mean.
   Var EncodeRepresentation(const Tensor& x_normalized) override;
 
  protected:
+  // Shared descriptor builder for the ETM-derived baselines (they differ
+  // only in the zoo `type` and their extra options).
+  ModelDescriptor DescribeAs(const std::string& type) const;
   // softmax(t rho^T / tau_beta): the differentiable K x V topic-word Var.
   Var BetaVar();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
 
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -60,6 +61,8 @@ std::vector<nn::Parameter> VaeEncoder::Parameters() {
   for (auto& p : logvar_head_.Parameters()) params.push_back(p);
   return params;
 }
+
+std::vector<nn::NamedTensor> VaeEncoder::Buffers() { return mlp_.Buffers(); }
 
 void VaeEncoder::SetTraining(bool training) {
   Module::SetTraining(training);
@@ -207,6 +210,31 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
   stats.final_loss = last_epoch_loss;
   stats.extra_memory_bytes = ExtraMemoryBytes();
   return stats;
+}
+
+std::vector<nn::NamedTensor> NeuralTopicModel::StateTensors() {
+  std::vector<nn::NamedTensor> state;
+  for (auto& p : Parameters()) {
+    // The Node outlives the Parameter copy (shared with the model's own
+    // Var), so the value pointer is stable.
+    state.push_back({p.name, &p.var.node()->value});
+  }
+  for (auto& b : Buffers()) state.push_back(b);
+  std::set<std::string> names;
+  for (const auto& t : state) {
+    CHECK(names.insert(t.name).second)
+        << name_ << ": duplicate state tensor name " << t.name;
+  }
+  return state;
+}
+
+void NeuralTopicModel::RestoreTrainedState(Tensor beta) {
+  CHECK_EQ(beta.rows(), config_.num_topics)
+      << name_ << ": restored beta has wrong topic count";
+  final_beta_ = std::move(beta);
+  trained_ = true;
+  training_progress_ = 1.0;
+  SetTraining(false);
 }
 
 Tensor NeuralTopicModel::Beta() const {

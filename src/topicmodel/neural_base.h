@@ -52,6 +52,7 @@ class VaeEncoder : public nn::Module {
   Output Forward(const Var& x_normalized, bool sample);
 
   std::vector<nn::Parameter> Parameters() override;
+  std::vector<nn::NamedTensor> Buffers() override;
   void SetTraining(bool training) override;
 
   // KL(q(theta|x) || N(0, I)) summed over the batch.
@@ -103,6 +104,22 @@ class NeuralTopicModel : public TopicModel {
   virtual std::vector<nn::Parameter> Parameters() = 0;
   virtual void SetTraining(bool training) = 0;
 
+  // All persistent non-trainable tensors inference depends on: module
+  // buffers (batch-norm running statistics) plus model constants derived
+  // from the frozen embeddings (e.g. ETM's rho). Together with
+  // Parameters() this must cover every tensor InferThetaBatch reads, or
+  // a checkpoint-restored model will not reproduce the original bitwise.
+  virtual std::vector<nn::NamedTensor> Buffers() { return {}; }
+
+  // Parameters() and Buffers() flattened into one named state dict
+  // (pointers into live model storage; unique names CHECK-enforced).
+  std::vector<nn::NamedTensor> StateTensors();
+
+  // Marks the model as trained with the given cached topic-word
+  // distribution and switches it to evaluation mode — the final step of a
+  // checkpoint restore, after StateTensors() have been overwritten.
+  void RestoreTrainedState(Tensor beta);
+
   // Called once before the first epoch (models may precompute statistics
   // of the training corpus, e.g. NPMI or tf-idf).
   virtual void Prepare(const text::BowCorpus& corpus) {}
@@ -119,6 +136,7 @@ class NeuralTopicModel : public TopicModel {
 
   const TrainConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
+  bool trained() const { return trained_; }
 
   // Fraction of training completed, in [0, 1] (1 after training). Lets
   // subclasses ramp regularizers (e.g. ContraTopic's lambda warmup).

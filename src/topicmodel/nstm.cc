@@ -1,6 +1,7 @@
 #include "topicmodel/nstm.h"
 
 #include "tensor/kernels.h"
+#include "util/string_util.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -85,6 +86,28 @@ Tensor NstmModel::InferThetaBatch(const Tensor& x_normalized) {
   // Eval mode is set once by NeuralTopicModel::InferTheta; setting it here
   // per batch would race when batches run on pool workers.
   return EncodeTheta(Var::Constant(x_normalized)).value();
+}
+
+std::vector<nn::NamedTensor> NstmModel::Buffers() {
+  std::vector<nn::NamedTensor> buffers = encoder_mlp_->Buffers();
+  buffers.push_back({"rho_norm", &rho_norm_.node()->value});
+  return buffers;
+}
+
+ModelDescriptor NstmModel::Describe() const {
+  ModelDescriptor d;
+  d.type = "nstm";
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = static_cast<int>(rho_norm_.value().rows());
+  d.embedding_dim = static_cast<int>(rho_norm_.value().cols());
+  d.extras.emplace_back("sinkhorn_epsilon",
+                        util::StrFormat("%.9g", options_.sinkhorn_epsilon));
+  d.extras.emplace_back("sinkhorn_iterations",
+                        std::to_string(options_.sinkhorn_iterations));
+  d.extras.emplace_back("tau_beta",
+                        util::StrFormat("%.9g", options_.tau_beta));
+  return d;
 }
 
 std::vector<nn::Parameter> NstmModel::Parameters() {

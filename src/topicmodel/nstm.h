@@ -35,6 +35,8 @@ class NstmModel : public NeuralTopicModel {
   BatchGraph BuildBatch(const Batch& batch) override;
   Tensor InferThetaBatch(const Tensor& x_normalized) override;
   std::vector<nn::Parameter> Parameters() override;
+  std::vector<nn::NamedTensor> Buffers() override;
+  ModelDescriptor Describe() const override;
   void SetTraining(bool training) override;
 
  private:

@@ -1,6 +1,7 @@
 #include "topicmodel/ntmr.h"
 
 #include "tensor/kernels.h"
+#include "util/string_util.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -30,6 +31,23 @@ NeuralTopicModel::BatchGraph NtmrModel::BuildBatch(const Batch& batch) {
   Var loss =
       Sub(g.loss, MulScalar(coherence, options_.coherence_weight));
   return {loss, g.beta, {}};
+}
+
+std::vector<nn::NamedTensor> NtmrModel::Buffers() {
+  std::vector<nn::NamedTensor> buffers = EtmModel::Buffers();
+  // Derived from the true embeddings; a restored process rebuilds around
+  // placeholders, so the normalized copy must be checkpointed too.
+  buffers.push_back({"embeddings_norm", &embeddings_norm_.node()->value});
+  return buffers;
+}
+
+ModelDescriptor NtmrModel::Describe() const {
+  ModelDescriptor d = DescribeAs("ntmr");
+  d.extras.emplace_back("coherence_weight",
+                        util::StrFormat("%.9g", options_.coherence_weight));
+  d.extras.emplace_back("sharpen",
+                        util::StrFormat("%.9g", options_.sharpen));
+  return d;
 }
 
 }  // namespace topicmodel

@@ -29,6 +29,8 @@ class NtmrModel : public EtmModel {
             Options options);
 
   BatchGraph BuildBatch(const Batch& batch) override;
+  std::vector<nn::NamedTensor> Buffers() override;
+  ModelDescriptor Describe() const override;
 
  private:
   Options options_;

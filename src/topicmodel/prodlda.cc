@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/string_util.h"
+
 namespace contratopic {
 namespace topicmodel {
 
@@ -71,6 +73,21 @@ std::vector<nn::Parameter> ProdLdaModel::Parameters() {
   std::vector<nn::Parameter> params = encoder_->Parameters();
   params.push_back({"decoder.weight", decoder_weight_});
   return params;
+}
+
+std::vector<nn::NamedTensor> ProdLdaModel::Buffers() {
+  return encoder_->Buffers();
+}
+
+ModelDescriptor ProdLdaModel::Describe() const {
+  ModelDescriptor d;
+  d.type = "prodlda";
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = static_cast<int>(decoder_weight_.value().cols());
+  d.extras.emplace_back("dirichlet_alpha",
+                        util::StrFormat("%.9g", options_.dirichlet_alpha));
+  return d;
 }
 
 void ProdLdaModel::SetTraining(bool training) {

@@ -8,6 +8,7 @@
 //   * InferTheta(): per-document topic proportions for any corpus.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -43,11 +44,34 @@ struct TrainStats {
   int64_t extra_memory_bytes = 0;
 };
 
+// Everything a fresh process needs to rebuild a model's *architecture*
+// before restoring its trained state from a checkpoint
+// (serve/checkpoint.h). `type` is the core::CreateModel zoo name ("etm",
+// "prodlda", "contratopic", ...); an empty type marks a model that does
+// not support checkpointing. `extras` records model-specific options as
+// ordered key/value strings — self-describing metadata for humans and
+// forward compatibility; restore only needs type/config/shapes because
+// every inference-relevant tensor is captured as a parameter or buffer.
+struct ModelDescriptor {
+  std::string type;
+  std::string display_name;
+  TrainConfig config;
+  int vocab_size = 0;
+  // Width of the frozen word-embedding table the model was built from
+  // (0 for models constructed without one, e.g. ProdLDA / WLDA).
+  int embedding_dim = 0;
+  std::vector<std::pair<std::string, std::string>> extras;
+};
+
 class TopicModel {
  public:
   virtual ~TopicModel() = default;
 
   virtual std::string name() const = 0;
+
+  // Architecture descriptor for checkpointing; models that cannot be
+  // checkpointed return the default (empty-type) descriptor.
+  virtual ModelDescriptor Describe() const { return {}; }
 
   // Trains on `corpus`; may be called once.
   virtual TrainStats Train(const text::BowCorpus& corpus) = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "util/string_util.h"
+
 namespace contratopic {
 namespace topicmodel {
 
@@ -76,6 +78,17 @@ NeuralTopicModel::BatchGraph VtmrlModel::BuildBatch(const Batch& batch) {
   Var loss = Add(g.loss, MulScalar(rl, options_.reward_weight /
                                            static_cast<float>(k)));
   return {loss, g.beta, {}};
+}
+
+ModelDescriptor VtmrlModel::Describe() const {
+  ModelDescriptor d = DescribeAs("vtmrl");
+  d.extras.emplace_back("reward_weight",
+                        util::StrFormat("%.9g", options_.reward_weight));
+  d.extras.emplace_back("words_per_topic",
+                        std::to_string(options_.words_per_topic));
+  d.extras.emplace_back("baseline_momentum",
+                        util::StrFormat("%.9g", options_.baseline_momentum));
+  return d;
 }
 
 }  // namespace topicmodel

@@ -31,6 +31,7 @@ class VtmrlModel : public EtmModel {
   void Prepare(const text::BowCorpus& corpus) override;
   BatchGraph BuildBatch(const Batch& batch) override;
   int64_t ExtraMemoryBytes() const override;
+  ModelDescriptor Describe() const override;
 
  private:
   Options options_;

@@ -1,6 +1,7 @@
 #include "topicmodel/wete.h"
 
 #include "tensor/kernels.h"
+#include "util/string_util.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -85,6 +86,25 @@ Tensor WeTeModel::InferThetaBatch(const Tensor& x_normalized) {
 
 Var WeTeModel::EncodeRepresentation(const Tensor& x_normalized) {
   return EncodeTheta(Var::Constant(x_normalized));
+}
+
+std::vector<nn::NamedTensor> WeTeModel::Buffers() {
+  std::vector<nn::NamedTensor> buffers = encoder_mlp_->Buffers();
+  buffers.push_back({"rho_norm", &rho_norm_.node()->value});
+  return buffers;
+}
+
+ModelDescriptor WeTeModel::Describe() const {
+  ModelDescriptor d;
+  d.type = "wete";
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = static_cast<int>(rho_norm_.value().rows());
+  d.embedding_dim = static_cast<int>(rho_norm_.value().cols());
+  d.extras.emplace_back("gamma", util::StrFormat("%.9g", options_.gamma));
+  d.extras.emplace_back("tau_beta",
+                        util::StrFormat("%.9g", options_.tau_beta));
+  return d;
 }
 
 std::vector<nn::Parameter> WeTeModel::Parameters() {

@@ -1,5 +1,7 @@
 #include "topicmodel/wlda.h"
 
+#include "util/string_util.h"
+
 namespace contratopic {
 namespace topicmodel {
 
@@ -99,6 +101,23 @@ Tensor WldaModel::InferThetaBatch(const Tensor& x_normalized) {
 
 Var WldaModel::EncodeRepresentation(const Tensor& x_normalized) {
   return EncodeTheta(Var::Constant(x_normalized));
+}
+
+std::vector<nn::NamedTensor> WldaModel::Buffers() {
+  return encoder_mlp_->Buffers();
+}
+
+ModelDescriptor WldaModel::Describe() const {
+  ModelDescriptor d;
+  d.type = "wlda";
+  d.display_name = name_;
+  d.config = config_;
+  d.vocab_size = static_cast<int>(beta_logits_.value().cols());
+  d.extras.emplace_back("dirichlet_alpha",
+                        util::StrFormat("%.9g", options_.dirichlet_alpha));
+  d.extras.emplace_back("mmd_weight",
+                        util::StrFormat("%.9g", options_.mmd_weight));
+  return d;
 }
 
 std::vector<nn::Parameter> WldaModel::Parameters() {

@@ -28,6 +28,8 @@ class WldaModel : public NeuralTopicModel {
   BatchGraph BuildBatch(const Batch& batch) override;
   Tensor InferThetaBatch(const Tensor& x_normalized) override;
   std::vector<nn::Parameter> Parameters() override;
+  std::vector<nn::NamedTensor> Buffers() override;
+  ModelDescriptor Describe() const override;
   void SetTraining(bool training) override;
   Var EncodeRepresentation(const Tensor& x_normalized) override;
 

@@ -13,36 +13,40 @@ constexpr uint64_t kMaxElements = 1ull << 32;
 BinaryWriter::BinaryWriter(const std::string& path)
     : out_(path, std::ios::binary) {}
 
-void BinaryWriter::WriteU32(uint32_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+BinaryWriter::BinaryWriter(std::string* buffer) : buffer_(buffer) {}
+
+void BinaryWriter::WriteBytes(const void* data, size_t size) {
+  if (buffer_ != nullptr) {
+    buffer_->append(static_cast<const char*>(data), size);
+  } else {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+  }
 }
 
-void BinaryWriter::WriteU64(uint64_t v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+void BinaryWriter::WriteU32(uint32_t v) { WriteBytes(&v, sizeof(v)); }
 
-void BinaryWriter::WriteF32(float v) {
-  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
+
+void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
 
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  WriteBytes(s.data(), s.size());
 }
 
 void BinaryWriter::WriteFloatVector(const std::vector<float>& v) {
   WriteU64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(float)));
+  WriteBytes(v.data(), v.size() * sizeof(float));
 }
 
 void BinaryWriter::WriteIntVector(const std::vector<int>& v) {
   WriteU64(v.size());
-  out_.write(reinterpret_cast<const char*>(v.data()),
-             static_cast<std::streamsize>(v.size() * sizeof(int)));
+  WriteBytes(v.data(), v.size() * sizeof(int));
 }
 
 Status BinaryWriter::Close() {
+  if (buffer_ != nullptr) return Status::OK();
   out_.flush();
   if (!out_) return Status::IOError("write failed");
   out_.close();
@@ -54,11 +58,32 @@ BinaryReader::BinaryReader(const std::string& path)
   ok_ = static_cast<bool>(in_);
 }
 
+BinaryReader::BinaryReader(const void* data, size_t size)
+    : buffer_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+size_t BinaryReader::remaining() const {
+  return buffer_ != nullptr ? size_ - pos_ : 0;
+}
+
+void BinaryReader::ReadBytes(void* out, size_t size) {
+  if (!ok_) return;
+  if (buffer_ != nullptr) {
+    if (size > size_ - pos_) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, buffer_ + pos_, size);
+    pos_ += size;
+  } else {
+    in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
+    if (!in_) ok_ = false;
+  }
+}
+
 template <typename T>
 T BinaryReader::ReadPod() {
   T v{};
-  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in_) ok_ = false;
+  ReadBytes(&v, sizeof(v));
   return v;
 }
 
@@ -68,39 +93,40 @@ float BinaryReader::ReadF32() { return ReadPod<float>(); }
 
 std::string BinaryReader::ReadString() {
   const uint64_t n = ReadU64();
-  if (!ok_ || n > kMaxElements) {
+  if (!ok_ || n > kMaxElements ||
+      (buffer_ != nullptr && n > size_ - pos_)) {
     ok_ = false;
     return {};
   }
   std::string s(n, '\0');
-  in_.read(s.data(), static_cast<std::streamsize>(n));
-  if (!in_) ok_ = false;
+  ReadBytes(s.data(), n);
+  if (!ok_) return {};
   return s;
 }
 
 std::vector<float> BinaryReader::ReadFloatVector() {
   const uint64_t n = ReadU64();
-  if (!ok_ || n > kMaxElements) {
+  if (!ok_ || n > kMaxElements ||
+      (buffer_ != nullptr && n * sizeof(float) > size_ - pos_)) {
     ok_ = false;
     return {};
   }
   std::vector<float> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(float)));
-  if (!in_) ok_ = false;
+  ReadBytes(v.data(), n * sizeof(float));
+  if (!ok_) return {};
   return v;
 }
 
 std::vector<int> BinaryReader::ReadIntVector() {
   const uint64_t n = ReadU64();
-  if (!ok_ || n > kMaxElements) {
+  if (!ok_ || n > kMaxElements ||
+      (buffer_ != nullptr && n * sizeof(int) > size_ - pos_)) {
     ok_ = false;
     return {};
   }
   std::vector<int> v(n);
-  in_.read(reinterpret_cast<char*>(v.data()),
-           static_cast<std::streamsize>(n * sizeof(int)));
-  if (!in_) ok_ = false;
+  ReadBytes(v.data(), n * sizeof(int));
+  if (!ok_) return {};
   return v;
 }
 

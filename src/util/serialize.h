@@ -4,6 +4,11 @@
 // Tiny binary (de)serialization helpers used for saving trained models,
 // embeddings, and precomputed NPMI matrices. Format: little-endian POD
 // writes with explicit lengths; all readers validate sizes.
+//
+// Both ends work either against a file or against an in-memory byte
+// buffer. The buffer mode exists for the serve checkpoint format, which
+// serializes its payload to memory first so a checksum over the exact
+// bytes can be written ahead of them (serve/checkpoint.h).
 
 #include <cstdint>
 #include <fstream>
@@ -19,8 +24,11 @@ class BinaryWriter {
  public:
   // Opens `path` for writing; check ok() before use.
   explicit BinaryWriter(const std::string& path);
+  // Appends to `*buffer` instead of a file (not owned; must outlive the
+  // writer). Always ok(); Close() is a no-op success.
+  explicit BinaryWriter(std::string* buffer);
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() const { return buffer_ != nullptr || static_cast<bool>(out_); }
 
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
@@ -28,17 +36,24 @@ class BinaryWriter {
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
   void WriteIntVector(const std::vector<int>& v);
+  // Raw bytes without a length prefix (callers that need one write it
+  // themselves; WriteString is the prefixed form).
+  void WriteBytes(const void* data, size_t size);
 
   // Flushes and reports any stream error.
   Status Close();
 
  private:
   std::ofstream out_;
+  std::string* buffer_ = nullptr;  // not owned; non-null in buffer mode
 };
 
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path);
+  // Reads from an in-memory byte range (not owned; must outlive the
+  // reader).
+  BinaryReader(const void* data, size_t size);
 
   bool ok() const { return ok_; }
 
@@ -49,14 +64,25 @@ class BinaryReader {
   std::vector<float> ReadFloatVector();
   std::vector<int> ReadIntVector();
 
+  // Bytes left before the end of the buffer; only meaningful in buffer
+  // mode (returns 0 for file readers).
+  size_t remaining() const;
+  // True when the reader has consumed every byte (buffer mode only).
+  bool AtEnd() const { return buffer_ != nullptr && remaining() == 0; }
+
   // True if every read so far succeeded and sizes were sane.
   Status status() const;
 
  private:
   template <typename T>
   T ReadPod();
+  // Copies `size` bytes into `out`; sets ok_ = false on shortfall.
+  void ReadBytes(void* out, size_t size);
 
   std::ifstream in_;
+  const uint8_t* buffer_ = nullptr;  // non-null in buffer mode
+  size_t size_ = 0;
+  size_t pos_ = 0;
   bool ok_ = true;
 };
 

@@ -22,6 +22,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  // The operation was refused because the service is overloaded or
+  // paused (e.g. the serving queue shed a request); retrying later may
+  // succeed.
+  kUnavailable,
+  // Stored data is unrecoverably corrupt (checksum mismatch, impossible
+  // lengths); retrying will not help.
+  kDataLoss,
 };
 
 // Returns a short human-readable name, e.g. "INVALID_ARGUMENT".
@@ -51,6 +58,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -224,6 +224,26 @@ void RunTelemetry::RecordEpoch(const EpochTelemetry& epoch) {
   Emit(record.Build());
 }
 
+void RunTelemetry::RecordServeStats(const ServeTelemetry& stats) {
+  JsonObject record;
+  record.Put("type", "serve_stats");
+  record.Put("requests", stats.requests);
+  record.Put("batches", stats.batches);
+  record.Put("cache_hits", stats.cache_hits);
+  record.Put("shed", stats.shed);
+  record.Put("invalid", stats.invalid);
+  record.Put("max_batch_size", stats.max_batch_size);
+  record.Put("max_queue_depth", stats.max_queue_depth);
+  if (!options_.deterministic) {
+    JsonObject latency;
+    latency.Put("p50", stats.latency_p50_ms);
+    latency.Put("p95", stats.latency_p95_ms);
+    latency.Put("p99", stats.latency_p99_ms);
+    record.PutRaw("latency_ms", latency.Build());
+  }
+  Emit(record.Build());
+}
+
 void RunTelemetry::RecordStage(std::string_view name, double seconds) {
   RecordStage(name, seconds, {});
 }

@@ -92,6 +92,23 @@ struct EpochTelemetry {
   std::vector<std::pair<std::string, double>> stage_seconds;
 };
 
+// Counters and high-water marks of one serving run (built by
+// serve::InferenceEngine::EmitTelemetry). The latency percentiles are
+// environmental and omitted in deterministic mode; everything else is a
+// pure function of the request stream.
+struct ServeTelemetry {
+  int64_t requests = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t shed = 0;
+  int64_t invalid = 0;
+  int max_batch_size = 0;
+  int max_queue_depth = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
 class RunTelemetry {
  public:
   struct Options {
@@ -118,6 +135,9 @@ class RunTelemetry {
   // One pipeline stage ("npmi_precompute", "train", "infer_theta", ...),
   // optionally with named scalar results measured in that stage.
   void RecordStage(std::string_view name, double seconds);
+
+  // One "serve_stats" record summarizing an InferenceEngine's lifetime.
+  void RecordServeStats(const ServeTelemetry& stats);
   void RecordStage(
       std::string_view name, double seconds,
       const std::vector<std::pair<std::string, double>>& values);

@@ -1,0 +1,353 @@
+// Checkpoint format robustness: round trips are bit-exact, and every
+// byte-level corruption -- truncation at any prefix, any single bit
+// flip, version skew, wrong magic -- surfaces as a util::Status, never
+// a crash. These run under the address,undefined sanitizer CI job.
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "serve/checkpoint.h"
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+#include "text/synthetic.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace serve {
+namespace {
+
+using tensor::Tensor;
+using topicmodel::TrainConfig;
+using util::StatusCode;
+
+TrainConfig TinyConfig() {
+  TrainConfig config;
+  config.num_topics = 8;
+  config.epochs = 2;
+  config.batch_size = 128;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  return config;
+}
+
+// Dataset, embeddings, and one saved checkpoint shared by the file.
+struct CheckpointFixture {
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+  std::string etm_path;
+  std::string etm_bytes;
+
+  CheckpointFixture()
+      : dataset(text::GenerateSynthetic(text::Preset20NG(0.15))),
+        embeddings(embed::WordEmbeddings::Train(dataset.train, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }())) {
+    auto model = core::CreateModel("etm", TinyConfig(), embeddings);
+    model->Train(dataset.train);
+    etm_path = ::testing::TempDir() + "/checkpoint_fixture_etm.ckpt";
+    CHECK(SaveCheckpoint(*model, dataset.train.vocab(), etm_path).ok());
+    std::ifstream in(etm_path, std::ios::binary);
+    etm_bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    CHECK(!etm_bytes.empty());
+  }
+};
+
+CheckpointFixture& Shared() {
+  static CheckpointFixture* fixture = new CheckpointFixture();
+  return *fixture;
+}
+
+std::string WriteBytes(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  CHECK(out.good());
+  return path;
+}
+
+bool TensorsBitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.rows()) * a.cols() *
+                         sizeof(float)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+// Every checkpointable model in the zoo survives save -> load with every
+// state tensor, beta, vocab, and top-word list bit-exact.
+class CheckpointRoundTripTest : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(CheckpointRoundTripTest, RoundTripsBitExactly) {
+  const std::string name = GetParam();
+  CheckpointFixture& shared = Shared();
+  auto model = core::CreateModel(name, TinyConfig(), shared.embeddings);
+  model->Train(shared.dataset.train);
+
+  const std::string path =
+      ::testing::TempDir() + "/roundtrip_" + name + ".ckpt";
+  util::Status saved = SaveCheckpoint(*model, shared.dataset.train.vocab(),
+                                      path);
+  ASSERT_TRUE(saved.ok()) << saved;
+
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+  EXPECT_EQ(ckpt->descriptor.type, name);
+  EXPECT_EQ(ckpt->descriptor.vocab_size, shared.dataset.train.vocab().size());
+  EXPECT_TRUE(TensorsBitwiseEqual(ckpt->beta, model->Beta()));
+
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*ckpt);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const std::vector<nn::NamedTensor> original =
+      dynamic_cast<topicmodel::NeuralTopicModel*>(model.get())
+          ->StateTensors();
+  const std::vector<nn::NamedTensor> loaded = (*restored)->StateTensors();
+  ASSERT_EQ(original.size(), loaded.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i].name, loaded[i].name);
+    EXPECT_TRUE(TensorsBitwiseEqual(*original[i].tensor, *loaded[i].tensor))
+        << original[i].name;
+  }
+  EXPECT_TRUE(TensorsBitwiseEqual((*restored)->Beta(), model->Beta()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CheckpointRoundTripTest,
+                         ::testing::Values("etm", "prodlda", "nstm",
+                                           "contratopic", "contratopic-p",
+                                           "contratopic-wlda"));
+
+TEST(CheckpointTest, SavedFileIsByteStable) {
+  // Saving the same model twice produces identical bytes (no timestamps
+  // or other nondeterminism in the format).
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  const std::string again = ::testing::TempDir() + "/byte_stable.ckpt";
+  ASSERT_TRUE(WriteCheckpoint(*ckpt, again).ok());
+  std::ifstream in(again, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, shared.etm_bytes);
+}
+
+TEST(CheckpointTest, TopWordListsMatchBeta) {
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_EQ(ckpt->top_words.size(),
+            static_cast<size_t>(ckpt->descriptor.config.num_topics));
+  for (size_t k = 0; k < ckpt->top_words.size(); ++k) {
+    EXPECT_EQ(ckpt->top_words[k],
+              ckpt->beta.TopKIndicesOfRow(static_cast<int>(k),
+                                          kCheckpointTopWords));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BuildCheckpoint error cases
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, UntrainedModelIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  util::StatusOr<Checkpoint> ckpt =
+      BuildCheckpoint(*model, shared.dataset.train.vocab());
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, NonNeuralModelIsInvalidArgument) {
+  CheckpointFixture& shared = Shared();
+  auto lda = core::CreateModel("lda", TinyConfig(), shared.embeddings);
+  lda->Train(shared.dataset.train);
+  util::StatusOr<Checkpoint> ckpt =
+      BuildCheckpoint(*lda, shared.dataset.train.vocab());
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, VocabularyMismatchIsInvalidArgument) {
+  CheckpointFixture& shared = Shared();
+  auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  model->Train(shared.dataset.train);
+  text::Vocabulary wrong;
+  wrong.AddWord("alpha");
+  wrong.AddWord("beta");
+  util::StatusOr<Checkpoint> ckpt = BuildCheckpoint(*model, wrong);
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// File-level corruption: truncation, bit flips, header damage
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, MissingFileIsIOError) {
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(::testing::TempDir() + "/does_not_exist.ckpt");
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kIOError);
+}
+
+TEST(CheckpointTest, EveryTruncationFailsCleanly) {
+  // Every strict prefix of a valid checkpoint must be rejected with a
+  // non-OK Status -- a sweep over a spread of cut points plus an
+  // exhaustive pass over the header region.
+  CheckpointFixture& shared = Shared();
+  const std::string& bytes = shared.etm_bytes;
+  std::vector<size_t> cuts;
+  for (size_t c = 0; c < 32 && c < bytes.size(); ++c) cuts.push_back(c);
+  for (int i = 1; i <= 64; ++i) {
+    cuts.push_back(bytes.size() * static_cast<size_t>(i) / 65);
+  }
+  cuts.push_back(bytes.size() - 1);
+  for (size_t cut : cuts) {
+    const std::string path =
+        WriteBytes("truncated.ckpt", bytes.substr(0, cut));
+    util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(path);
+    ASSERT_FALSE(ckpt.ok()) << "prefix of " << cut << " bytes was accepted";
+    EXPECT_TRUE(ckpt.status().code() == StatusCode::kIOError ||
+                ckpt.status().code() == StatusCode::kDataLoss)
+        << "cut " << cut << ": " << ckpt.status();
+  }
+}
+
+TEST(CheckpointTest, RandomSingleBitFlipsNeverCrashAndNeverPassSilently) {
+  // Flip one bit at a time: the checksum (or header validation) must
+  // catch every flip. Deterministically seeded positions spread over the
+  // whole file, plus every byte of the 24-byte header.
+  CheckpointFixture& shared = Shared();
+  const std::string& bytes = shared.etm_bytes;
+  util::Rng rng(20260806);
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < 24; ++i) positions.push_back(i);
+  for (int i = 0; i < 96; ++i) {
+    positions.push_back(static_cast<size_t>(rng.UniformInt(bytes.size())));
+  }
+  for (size_t pos : positions) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ (1 << rng.UniformInt(8)));
+    if (corrupt == bytes) continue;  // xor was a no-op (can't happen)
+    const std::string path = WriteBytes("bitflip.ckpt", corrupt);
+    util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(path);
+    ASSERT_FALSE(ckpt.ok()) << "flip at byte " << pos << " was accepted";
+  }
+}
+
+TEST(CheckpointTest, PayloadFlipIsDataLoss) {
+  // A flip past the 24-byte header leaves the header intact, so the
+  // checksum is what catches it.
+  CheckpointFixture& shared = Shared();
+  std::string corrupt = shared.etm_bytes;
+  ASSERT_GT(corrupt.size(), 100u);
+  corrupt[100] = static_cast<char>(corrupt[100] ^ 0x40);
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(WriteBytes("payload_flip.ckpt", corrupt));
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CheckpointTest, WrongMagicIsInvalidArgument) {
+  CheckpointFixture& shared = Shared();
+  std::string corrupt = shared.etm_bytes;
+  corrupt[0] = 'X';
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(WriteBytes("bad_magic.ckpt", corrupt));
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, FutureVersionIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  std::string corrupt = shared.etm_bytes;
+  const uint32_t future_version = kCheckpointVersion + 1;
+  std::memcpy(&corrupt[4], &future_version, sizeof(future_version));
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(WriteBytes("future_version.ckpt", corrupt));
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, TrailingGarbageIsDataLoss) {
+  CheckpointFixture& shared = Shared();
+  std::string corrupt = shared.etm_bytes + "extra bytes after the payload";
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(WriteBytes("trailing.ckpt", corrupt));
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// RestoreModel error cases (structurally valid checkpoints that do not
+// match any live architecture)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, UnknownModelTypeIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  ckpt->descriptor.type = "hypothetical-future-model";
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*ckpt);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, MissingTensorIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_FALSE(ckpt->tensors.empty());
+  ckpt->tensors.pop_back();
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*ckpt);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, TensorShapeDriftIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_FALSE(ckpt->tensors.empty());
+  const Tensor& first = ckpt->tensors[0].second;
+  ckpt->tensors[0].second = Tensor(first.rows() + 1, first.cols());
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*ckpt);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, RenamedTensorIsFailedPrecondition) {
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_FALSE(ckpt->tensors.empty());
+  ckpt->tensors[0].first = "no_such_layer.weight";
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*ckpt);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace contratopic

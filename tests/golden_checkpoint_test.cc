@@ -1,0 +1,151 @@
+// Golden-file regression test: a tiny ETM checkpoint trained on the
+// 20ng-sim synthetic preset is committed under tests/data/. Loading it
+// must keep working across refactors, its topics must keep their exact
+// top words, and its interpretability metrics must stay put. If the
+// checkpoint format or training pipeline changes intentionally,
+// regenerate with:
+//
+//   CT_REGEN_GOLDEN=1 ./ct_tests --gtest_filter='GoldenCheckpointTest.*'
+//
+// and paste the printed constants below.
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "text/synthetic.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace serve {
+namespace {
+
+const char* kGoldenPath = CT_TEST_DATA_DIR "/golden_etm_20ng.ckpt";
+
+// Recorded when the golden file was generated (see header comment).
+constexpr int kGoldenTopics = 8;
+constexpr int kGoldenVocab = 1185;
+constexpr double kGoldenCoherence = -0.077282751848;
+constexpr double kGoldenDiversity = 0.690000000000;
+const std::vector<std::string>& GoldenTopic0Words() {
+  static const std::vector<std::string>* words = new std::vector<std::string>{
+      "images",  "pitcher",   "rocket",  "encryption", "wrestler",
+      "bg_word056", "symptoms", "picture", "image",      "satellite",
+  };
+  return *words;
+}
+
+text::SyntheticDataset GoldenDataset() {
+  return text::GenerateSynthetic(text::Preset20NG(0.15));
+}
+
+topicmodel::TrainConfig GoldenConfig() {
+  topicmodel::TrainConfig config;
+  config.num_topics = kGoldenTopics;
+  config.epochs = 3;
+  config.batch_size = 128;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  return config;
+}
+
+// Training-side metrics for the checkpointed beta, recomputed from the
+// (deterministically regenerated) dataset.
+struct GoldenMetrics {
+  double coherence;
+  double diversity;
+};
+
+GoldenMetrics ComputeMetrics(const tensor::Tensor& beta,
+                             const text::BowCorpus& test) {
+  const eval::NpmiMatrix npmi = eval::NpmiMatrix::Compute(test);
+  const std::vector<double> per_topic = eval::PerTopicCoherence(beta, npmi);
+  return {eval::CoherenceAtProportion(per_topic, 1.0),
+          eval::DiversityAtProportion(beta, per_topic, 1.0)};
+}
+
+TEST(GoldenCheckpointTest, GoldenFileStaysServable) {
+  const text::SyntheticDataset dataset = GoldenDataset();
+
+  if (std::getenv("CT_REGEN_GOLDEN") != nullptr) {
+    embed::WordEmbeddings embeddings =
+        embed::WordEmbeddings::Train(dataset.train, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }());
+    auto model = core::CreateModel("etm", GoldenConfig(), embeddings);
+    model->Train(dataset.train);
+    util::Status saved =
+        SaveCheckpoint(*model, dataset.train.vocab(), kGoldenPath);
+    ASSERT_TRUE(saved.ok()) << saved;
+    const GoldenMetrics metrics =
+        ComputeMetrics(model->Beta(), dataset.test);
+    util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(kGoldenPath);
+    ASSERT_TRUE(ckpt.ok());
+    printf("kGoldenTopics = %d\nkGoldenVocab = %d\n",
+           ckpt->descriptor.config.num_topics, ckpt->descriptor.vocab_size);
+    printf("kGoldenCoherence = %.12f\nkGoldenDiversity = %.12f\n",
+           metrics.coherence, metrics.diversity);
+    printf("GoldenTopic0Words:\n");
+    for (int id : ckpt->beta.TopKIndicesOfRow(0, 10)) {
+      printf("  \"%s\",\n", ckpt->vocab[id].c_str());
+    }
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(kGoldenPath);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+  EXPECT_EQ(ckpt->descriptor.type, "etm");
+  EXPECT_EQ(ckpt->descriptor.config.num_topics, kGoldenTopics);
+  EXPECT_EQ(ckpt->descriptor.vocab_size, kGoldenVocab);
+
+  // The synthetic generator is seeded, so the regenerated vocabulary must
+  // line up with the committed checkpoint's word ids.
+  ASSERT_EQ(dataset.train.vocab().size(), ckpt->descriptor.vocab_size);
+  for (int i = 0; i < dataset.train.vocab().size(); ++i) {
+    ASSERT_EQ(dataset.train.vocab().Word(i), ckpt->vocab[i]) << "word " << i;
+  }
+
+  // Exact top-word regression for topic 0.
+  const std::vector<int> top_ids = ckpt->beta.TopKIndicesOfRow(0, 10);
+  ASSERT_EQ(GoldenTopic0Words().size(), top_ids.size());
+  for (size_t i = 0; i < top_ids.size(); ++i) {
+    EXPECT_EQ(ckpt->vocab[top_ids[i]], GoldenTopic0Words()[i])
+        << "topic 0 word " << i;
+  }
+
+  // Interpretability metrics of the frozen beta are pure arithmetic over
+  // committed bytes and a deterministic corpus: tight tolerance.
+  const GoldenMetrics metrics = ComputeMetrics(ckpt->beta, dataset.test);
+  EXPECT_NEAR(metrics.coherence, kGoldenCoherence, 1e-6);
+  EXPECT_NEAR(metrics.diversity, kGoldenDiversity, 1e-6);
+
+  // And the committed file still serves.
+  auto engine = InferenceEngine::Load(kGoldenPath);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const text::Document& doc = dataset.test.doc(0);
+  InferenceEngine::BowDoc bow;
+  for (const auto& e : doc.entries) bow.emplace_back(e.word_id, e.count);
+  InferenceEngine::ThetaResult theta = (*engine)->InferTheta(bow);
+  ASSERT_TRUE(theta.ok()) << theta.status();
+  double sum = 0.0;
+  for (float t : *theta) {
+    EXPECT_GE(t, 0.0f);
+    sum += t;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace contratopic

@@ -7,6 +7,11 @@
 #include "nn/serialization.h"
 #include "tensor/kernels.h"
 #include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+#include <fstream>
+#include <iterator>
 
 namespace contratopic {
 namespace nn {
@@ -236,7 +241,10 @@ TEST(SerializationTest, ShapeMismatchIsAnError) {
   const std::string path = ::testing::TempDir() + "/ct_params_mismatch.bin";
   ASSERT_TRUE(SaveParameters(original.Parameters(), path).ok());
   Linear wrong_shape(5, 3, rng, "layer");
-  EXPECT_FALSE(LoadParameters(wrong_shape.Parameters(), path).ok());
+  const util::Status status = LoadParameters(wrong_shape.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos)
+      << status;
 }
 
 TEST(SerializationTest, UnknownParameterNameIsAnError) {
@@ -245,7 +253,96 @@ TEST(SerializationTest, UnknownParameterNameIsAnError) {
   const std::string path = ::testing::TempDir() + "/ct_params_name.bin";
   ASSERT_TRUE(SaveParameters(original.Parameters(), path).ok());
   Linear renamed(4, 3, rng, "layer_b");
-  EXPECT_FALSE(LoadParameters(renamed.Parameters(), path).ok());
+  const util::Status status = LoadParameters(renamed.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, EmptyFileIsIOError) {
+  const std::string path = ::testing::TempDir() + "/ct_params_empty.bin";
+  { std::ofstream touch(path, std::ios::binary | std::ios::trunc); }
+  util::Rng rng(24);
+  Linear model(4, 3, rng, "layer");
+  const util::Status status = LoadParameters(model.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kIOError);
+}
+
+TEST(SerializationTest, TruncatedFileIsIOError) {
+  util::Rng rng(25);
+  Linear original(4, 3, rng, "layer");
+  const std::string path = ::testing::TempDir() + "/ct_params_trunc.bin";
+  ASSERT_TRUE(SaveParameters(original.Parameters(), path).ok());
+  // Chop the file mid-entry; every prefix must fail cleanly (no crash).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::string cut = path + ".cut";
+  for (size_t keep : {bytes.size() / 2, bytes.size() - 1, size_t{12}}) {
+    std::ofstream out(cut, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    const util::Status status = LoadParameters(original.Parameters(), cut);
+    EXPECT_EQ(status.code(), util::StatusCode::kIOError)
+        << "keep=" << keep << ": " << status;
+  }
+}
+
+TEST(SerializationTest, CountMismatchFailsBeforeReadingEntries) {
+  util::Rng rng(26);
+  Linear original(4, 3, rng, "layer");  // weight + bias = 2 parameters
+  const std::string path = ::testing::TempDir() + "/ct_params_count.bin";
+  ASSERT_TRUE(SaveParameters(original.Parameters(), path).ok());
+  std::vector<Parameter> just_weight = {original.Parameters()[0]};
+  const util::Status status = LoadParameters(just_weight, path);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("stores 2 parameters"), std::string::npos)
+      << status;
+}
+
+TEST(SerializationTest, DuplicateEntryIsDataLoss) {
+  util::Rng rng(27);
+  Linear model(2, 2, rng, "layer");
+  const std::string path = ::testing::TempDir() + "/ct_params_dup.bin";
+  util::BinaryWriter writer(path);
+  writer.WriteU64(2);
+  for (int copy = 0; copy < 2; ++copy) {
+    writer.WriteString("layer.weight");
+    writer.WriteU64(2);
+    writer.WriteU64(2);
+    writer.WriteFloatVector({1.0f, 2.0f, 3.0f, 4.0f});
+  }
+  ASSERT_TRUE(writer.Close().ok());
+  const util::Status status = LoadParameters(model.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, ImpossibleShapeIsDataLoss) {
+  util::Rng rng(28);
+  Linear model(2, 2, rng, "layer");
+  const std::string path = ::testing::TempDir() + "/ct_params_shape.bin";
+  util::BinaryWriter writer(path);
+  writer.WriteU64(1);
+  writer.WriteString("layer.weight");
+  writer.WriteU64(2);
+  writer.WriteU64(2);
+  writer.WriteFloatVector({1.0f, 2.0f, 3.0f});  // 3 values for a 2x2
+  ASSERT_TRUE(writer.Close().ok());
+  const util::Status status = LoadParameters(model.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+}
+
+TEST(SerializationTest, MissingParametersFailUnlessPartialAllowed) {
+  util::Rng rng(29);
+  Linear model(4, 3, rng, "layer");
+  const std::string path = ::testing::TempDir() + "/ct_params_partial.bin";
+  std::vector<Parameter> just_weight = {model.Parameters()[0]};
+  ASSERT_TRUE(SaveParameters(just_weight, path).ok());
+  const util::Status status = LoadParameters(model.Parameters(), path);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("layer.bias"), std::string::npos)
+      << status;
+  EXPECT_TRUE(
+      LoadParameters(model.Parameters(), path, /*allow_partial=*/true).ok());
 }
 
 }  // namespace

@@ -1,0 +1,354 @@
+// Serving-path correctness: a checkpointed model reloaded by the
+// InferenceEngine must reproduce the training process's InferTheta
+// bitwise -- at any thread count, batched or one-at-a-time, cached or
+// not -- and degrade gracefully (Status, never a crash) under overload.
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "embed/word_embeddings.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+#include "text/synthetic.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace serve {
+namespace {
+
+using tensor::Tensor;
+using topicmodel::TrainConfig;
+
+TrainConfig TinyConfig() {
+  TrainConfig config;
+  config.num_topics = 8;
+  config.epochs = 3;
+  config.batch_size = 128;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  return config;
+}
+
+// Tiny dataset plus one trained ETM and its reference inference output,
+// built once for the whole file.
+struct ServeFixture {
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+  std::unique_ptr<topicmodel::TopicModel> etm;
+  Tensor etm_theta;  // reference: in-memory InferTheta over the test set
+  std::string etm_checkpoint;
+
+  ServeFixture()
+      : dataset(text::GenerateSynthetic(text::Preset20NG(0.15))),
+        embeddings(embed::WordEmbeddings::Train(dataset.train, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }())) {
+    etm = core::CreateModel("etm", TinyConfig(), embeddings);
+    etm->Train(dataset.train);
+    etm_theta = etm->InferTheta(dataset.test);
+    etm_checkpoint = ::testing::TempDir() + "/serve_fixture_etm.ckpt";
+    CHECK(SaveCheckpoint(*etm, dataset.train.vocab(), etm_checkpoint).ok());
+  }
+};
+
+ServeFixture& Shared() {
+  static ServeFixture* fixture = new ServeFixture();
+  return *fixture;
+}
+
+InferenceEngine::BowDoc ToBowDoc(const text::Document& doc) {
+  InferenceEngine::BowDoc bow;
+  bow.reserve(doc.entries.size());
+  for (const auto& e : doc.entries) bow.emplace_back(e.word_id, e.count);
+  return bow;
+}
+
+bool BitwiseEqual(const std::vector<float>& served, const Tensor& reference,
+                  int64_t row) {
+  return served.size() == static_cast<size_t>(reference.cols()) &&
+         std::memcmp(served.data(), reference.row(row),
+                     served.size() * sizeof(float)) == 0;
+}
+
+TEST(ServeTest, LoadedEngineReproducesInferThetaBitwise) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ((*engine)->descriptor().type, "etm");
+  EXPECT_EQ((*engine)->num_topics(), 8);
+  EXPECT_EQ((*engine)->vocab_size(), shared.dataset.train.vocab().size());
+
+  const int n = std::min(40, shared.dataset.test.num_docs());
+  for (int i = 0; i < n; ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (doc.entries.empty()) continue;
+    InferenceEngine::ThetaResult theta =
+        (*engine)->InferTheta(ToBowDoc(doc));
+    ASSERT_TRUE(theta.ok()) << theta.status();
+    EXPECT_TRUE(BitwiseEqual(*theta, shared.etm_theta, i)) << "doc " << i;
+  }
+}
+
+TEST(ServeTest, ServingIsThreadCountInvariant) {
+  ServeFixture& shared = Shared();
+  const int n = std::min(24, shared.dataset.test.num_docs());
+  std::vector<std::vector<float>> results[2];
+  const int thread_counts[2] = {1, 4};
+  for (int leg = 0; leg < 2; ++leg) {
+    util::ThreadPool::SetGlobalNumThreads(thread_counts[leg]);
+    auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    for (int i = 0; i < n; ++i) {
+      const text::Document& doc = shared.dataset.test.doc(i);
+      if (doc.entries.empty()) continue;
+      InferenceEngine::ThetaResult theta =
+          (*engine)->InferTheta(ToBowDoc(doc));
+      ASSERT_TRUE(theta.ok()) << theta.status();
+      results[leg].push_back(std::move(theta).value());
+    }
+  }
+  util::ThreadPool::SetGlobalNumThreads(0);
+  ASSERT_EQ(results[0].size(), results[1].size());
+  for (size_t i = 0; i < results[0].size(); ++i) {
+    EXPECT_EQ(std::memcmp(results[0][i].data(), results[1][i].data(),
+                          results[0][i].size() * sizeof(float)),
+              0)
+        << "doc " << i << " differs between 1 and 4 threads";
+  }
+}
+
+TEST(ServeTest, BatchedMatchesOneAtATimeBitwise) {
+  ServeFixture& shared = Shared();
+  InferenceEngine::Options unbatched;
+  unbatched.max_batch_size = 1;
+  unbatched.cache_capacity = 0;
+  InferenceEngine::Options batched;
+  batched.max_batch_size = 16;
+  batched.cache_capacity = 0;
+  auto one = InferenceEngine::Load(shared.etm_checkpoint, unbatched);
+  auto many = InferenceEngine::Load(shared.etm_checkpoint, batched);
+  ASSERT_TRUE(one.ok() && many.ok());
+
+  const int n = std::min(48, shared.dataset.test.num_docs());
+  // Burst-submit against the batched engine so real multi-request
+  // batches form, then compare with serial one-at-a-time serving.
+  std::vector<std::future<InferenceEngine::ThetaResult>> futures;
+  for (int i = 0; i < n; ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    auto promise =
+        std::make_shared<std::promise<InferenceEngine::ThetaResult>>();
+    futures.push_back(promise->get_future());
+    (*many)->InferThetaAsync(ToBowDoc(doc),
+                             [promise](InferenceEngine::ThetaResult r) {
+                               promise->set_value(std::move(r));
+                             });
+  }
+  for (int i = 0; i < n; ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (doc.entries.empty()) continue;
+    InferenceEngine::ThetaResult serial = (*one)->InferTheta(ToBowDoc(doc));
+    InferenceEngine::ThetaResult burst = futures[i].get();
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(burst.ok()) << burst.status();
+    EXPECT_EQ(std::memcmp(serial->data(), burst->data(),
+                          serial->size() * sizeof(float)),
+              0)
+        << "doc " << i;
+    EXPECT_TRUE(BitwiseEqual(*burst, shared.etm_theta, i)) << "doc " << i;
+  }
+}
+
+TEST(ServeTest, CacheHitsSkipTheModelAndMatchBitwise) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok());
+  const text::Document& doc = shared.dataset.test.doc(0);
+  ASSERT_GE(doc.entries.size(), 2u);
+
+  InferenceEngine::ThetaResult first = (*engine)->InferTheta(ToBowDoc(doc));
+  ASSERT_TRUE(first.ok());
+  const int64_t batches_after_miss = (*engine)->stats().batches;
+
+  // Same document again: served from cache, no new model call.
+  InferenceEngine::ThetaResult second = (*engine)->InferTheta(ToBowDoc(doc));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+
+  // A permuted and duplicate-split request canonicalizes to the same
+  // document, so it must hit the same cache entry.
+  InferenceEngine::BowDoc scrambled = ToBowDoc(doc);
+  std::reverse(scrambled.begin(), scrambled.end());
+  for (auto& [word, count] : scrambled) {
+    if (count >= 2) {  // split (w, c) into (w, c-1) + (w, 1)
+      --count;
+      scrambled.emplace_back(word, 1);
+      break;
+    }
+  }
+  InferenceEngine::ThetaResult third = (*engine)->InferTheta(scrambled);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*first, *third);
+
+  const InferenceEngine::Stats stats = (*engine)->stats();
+  EXPECT_GE(stats.cache_hits, 2);
+  EXPECT_EQ((*engine)->stats().batches, batches_after_miss);
+}
+
+TEST(ServeTest, FullQueueShedsWithUnavailable) {
+  ServeFixture& shared = Shared();
+  InferenceEngine::Options options;
+  options.max_queue_depth = 4;
+  options.cache_capacity = 0;
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint, options);
+  ASSERT_TRUE(engine.ok());
+
+  // Pause dispatch so the queue fills deterministically.
+  (*engine)->batcher().Pause();
+  std::vector<std::future<InferenceEngine::ThetaResult>> futures;
+  const int n = std::min(6, shared.dataset.test.num_docs());
+  ASSERT_EQ(n, 6) << "fixture test set too small for the shed test";
+  for (int i = 0; i < n; ++i) {
+    auto promise =
+        std::make_shared<std::promise<InferenceEngine::ThetaResult>>();
+    futures.push_back(promise->get_future());
+    (*engine)->InferThetaAsync(ToBowDoc(shared.dataset.test.doc(i)),
+                               [promise](InferenceEngine::ThetaResult r) {
+                                 promise->set_value(std::move(r));
+                               });
+  }
+  // Requests 5 and 6 found the 4-deep queue full: shed immediately.
+  for (int i = 4; i < 6; ++i) {
+    InferenceEngine::ThetaResult shed = futures[i].get();
+    ASSERT_FALSE(shed.ok());
+    EXPECT_EQ(shed.status().code(), util::StatusCode::kUnavailable);
+  }
+  (*engine)->batcher().Resume();
+  for (int i = 0; i < 4; ++i) {
+    InferenceEngine::ThetaResult accepted = futures[i].get();
+    ASSERT_TRUE(accepted.ok()) << accepted.status();
+    EXPECT_TRUE(BitwiseEqual(*accepted, shared.etm_theta, i));
+  }
+  const InferenceEngine::Stats stats = (*engine)->stats();
+  EXPECT_EQ(stats.shed, 2);
+  EXPECT_EQ(stats.max_queue_depth_seen, 4);
+}
+
+TEST(ServeTest, TopicTopWordsMatchTheModelsBeta) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok());
+  const Tensor beta = shared.etm->Beta();
+  const text::Vocabulary& vocab = shared.dataset.train.vocab();
+  for (int k = 0; k < (*engine)->num_topics(); ++k) {
+    auto words = (*engine)->TopicTopWords(k, 10);
+    ASSERT_TRUE(words.ok()) << words.status();
+    // The serving contract is a prefix of the checkpoint's precomputed
+    // top-25 list (ties within the top 25 keep that list's order).
+    std::vector<int> expected = beta.TopKIndicesOfRow(k, kCheckpointTopWords);
+    expected.resize(10);
+    ASSERT_EQ(words->size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*words)[i], vocab.Word(expected[i]))
+          << "topic " << k << " word " << i;
+    }
+  }
+  EXPECT_FALSE((*engine)->TopicTopWords(-1, 10).ok());
+  EXPECT_FALSE((*engine)->TopicTopWords(99, 10).ok());
+  EXPECT_FALSE((*engine)->TopicTopWords(0, 0).ok());
+}
+
+TEST(ServeTest, TopTopicsAreSortedAndConsistentWithTheta) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok());
+  const InferenceEngine::BowDoc doc = ToBowDoc(shared.dataset.test.doc(1));
+  InferenceEngine::ThetaResult theta = (*engine)->InferTheta(doc);
+  ASSERT_TRUE(theta.ok());
+  auto top = (*engine)->TopTopics(doc, 3);
+  ASSERT_TRUE(top.ok()) << top.status();
+  ASSERT_EQ(top->size(), 3u);
+  for (size_t i = 0; i + 1 < top->size(); ++i) {
+    EXPECT_GE((*top)[i].second, (*top)[i + 1].second);
+  }
+  for (const auto& [topic, weight] : *top) {
+    EXPECT_FLOAT_EQ(weight, (*theta)[topic]);
+  }
+}
+
+TEST(ServeTest, InvalidRequestsAreInvalidArgument) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok());
+  const int v = (*engine)->vocab_size();
+
+  const InferenceEngine::BowDoc empty;
+  const InferenceEngine::BowDoc oov = {{v, 3}};
+  const InferenceEngine::BowDoc negative_id = {{-1, 3}};
+  const InferenceEngine::BowDoc zero_count = {{0, 0}};
+  for (const auto& doc : {empty, oov, negative_id, zero_count}) {
+    InferenceEngine::ThetaResult theta = (*engine)->InferTheta(doc);
+    ASSERT_FALSE(theta.ok());
+    EXPECT_EQ(theta.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ((*engine)->stats().invalid, 4);
+}
+
+TEST(ServeTest, FileAndInMemoryCheckpointsServeIdentically) {
+  ServeFixture& shared = Shared();
+  auto from_file = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(from_file.ok());
+  util::StatusOr<Checkpoint> built =
+      BuildCheckpoint(*shared.etm, shared.dataset.train.vocab());
+  ASSERT_TRUE(built.ok()) << built.status();
+  auto in_memory = InferenceEngine::FromCheckpoint(std::move(built).value());
+  ASSERT_TRUE(in_memory.ok()) << in_memory.status();
+
+  for (int i = 0; i < std::min(8, shared.dataset.test.num_docs()); ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (doc.entries.empty()) continue;
+    InferenceEngine::ThetaResult a = (*from_file)->InferTheta(ToBowDoc(doc));
+    InferenceEngine::ThetaResult b = (*in_memory)->InferTheta(ToBowDoc(doc));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "doc " << i;
+  }
+}
+
+TEST(ServeTest, ContraTopicCheckpointServesBitwise) {
+  ServeFixture& shared = Shared();
+  TrainConfig config = TinyConfig();
+  config.epochs = 2;
+  auto model = core::CreateModel("contratopic", config, shared.embeddings);
+  model->Train(shared.dataset.train);
+  const Tensor reference = model->InferTheta(shared.dataset.test);
+
+  const std::string path = ::testing::TempDir() + "/serve_contratopic.ckpt";
+  ASSERT_TRUE(SaveCheckpoint(*model, shared.dataset.train.vocab(), path).ok());
+  auto engine = InferenceEngine::Load(path);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ((*engine)->descriptor().type, "contratopic");
+
+  for (int i = 0; i < std::min(16, shared.dataset.test.num_docs()); ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (doc.entries.empty()) continue;
+    InferenceEngine::ThetaResult theta = (*engine)->InferTheta(ToBowDoc(doc));
+    ASSERT_TRUE(theta.ok()) << theta.status();
+    EXPECT_TRUE(BitwiseEqual(*theta, reference, i)) << "doc " << i;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace contratopic
