@@ -12,23 +12,42 @@
 // scripts/check_telemetry.py validates the artifact again from the
 // outside.
 //
+// Chaos mode (DESIGN.md §11): --kill-at-epoch=N trains a third leg with
+// epoch-boundary auto-checkpoints, one injected NaN batch (rolled back
+// by the guard rails), and an injected "train.kill" inside epoch N;
+// --resume reads the checkpoint that interrupted run left behind,
+// finishes training, and must end bitwise identical to the
+// uninterrupted serial leg. The chaos pass also drives an
+// InferenceEngine through injected "serve.batch" faults so the
+// fault.injected / train.rollbacks / serve.retries / serve.degraded
+// counters land in the manifest (validated by
+// check_telemetry.py --mode=faults).
+//
 // Usage: bench_parallel_training [--preset=20ng-sim] [--threads=4]
 //        [--epochs=...] [--docs=...] [--telemetry=<path>]
+//        [--kill-at-epoch=N] [--resume]
 // Writes bench_results/parallel_training_<preset>.tsv and
 // bench_results/telemetry_<preset>.jsonl (override with --telemetry=).
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.h"
 #include "eval/clustering.h"
 #include "serve/checkpoint.h"
 #include "eval/metrics.h"
 #include "eval/npmi.h"
+#include "serve/engine.h"
+#include "topicmodel/neural_base.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/telemetry.h"
@@ -141,6 +160,183 @@ bool AllFinite(const LegResult& leg) {
          std::isfinite(leg.diversity) && std::isfinite(leg.train_seconds);
 }
 
+// ---- Chaos phase (--kill-at-epoch= / --resume) ---------------------------
+
+std::string ResumeCheckpointPath(const std::string& dataset_name) {
+  return std::string(bench::kResultsDir) + "/resume_" + dataset_name +
+         ".ckpt";
+}
+
+// Trains the contratopic config with epoch-boundary auto-checkpoints and
+// two injected faults: one NaN batch loss (which the guard rails must
+// roll back) and a "train.kill" inside epoch `kill_epoch` (which stands
+// in for a crash). Returns true when the run was interrupted with a
+// resumable checkpoint left on disk.
+bool RunKillLeg(int kill_epoch, const bench::ExperimentContext& context,
+                const bench::BenchConfig& bench_config,
+                util::RunTelemetry* telemetry) {
+  const std::string path = ResumeCheckpointPath(context.config.name);
+  telemetry->RecordRunStart(
+      util::StrFormat("fault_injection[kill_at_epoch=%d]", kill_epoch),
+      {{"dataset", context.config.name},
+       {"kill_at_epoch", std::to_string(kill_epoch)},
+       {"checkpoint", path}});
+
+  core::ContraTopicOptions options;
+  options.lambda = bench::LambdaForDataset(context.config.name);
+  auto model = core::CreateModel("contratopic", bench_config.train,
+                                 context.embeddings, options);
+  auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
+  CHECK(neural != nullptr);
+  bench::AttachTelemetry(model.get(), telemetry, context);
+  neural->SetGuardRails(topicmodel::GuardRailOptions());
+  neural->SetAutoCheckpoint(
+      /*every_steps=*/0,  // 0 = at every epoch boundary
+      [&](const topicmodel::TrainingState& state) {
+        return serve::SaveTrainingCheckpoint(
+            *neural, context.dataset.train.vocab(), state, path);
+      });
+
+  const int batch = bench_config.train.batch_size;
+  // Mirrors text::BatchIterator::batches_per_epoch (floor with drop-last).
+  const int steps_per_epoch =
+      std::max(1, context.dataset.train.num_docs() / batch);
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  util::FaultSpec nan_once;
+  nan_once.every_nth = 2;  // corrupt the 2nd batch loss, then roll back
+  nan_once.max_fires = 1;
+  faults.Arm("train.loss_corrupt", nan_once);
+  util::FaultSpec kill;
+  // The kill site is consulted once per completed step (rolled-back
+  // steps are replayed and consulted again, shifting the schedule by the
+  // replay length), so this fires inside epoch `kill_epoch` — after at
+  // least one epoch-boundary checkpoint for kill_epoch >= 2.
+  kill.every_nth = kill_epoch * steps_per_epoch;
+  kill.max_fires = 1;
+  faults.Arm("train.kill", kill);
+
+  const topicmodel::TrainStats stats = model->Train(context.dataset.train);
+  faults.Reset();
+  std::printf("chaos: kill leg -> %s (rollbacks=%d)\n",
+              stats.status.ToString().c_str(), stats.rollbacks);
+  if (!stats.interrupted) {
+    std::printf("chaos: ERROR: the injected kill never fired\n");
+    return false;
+  }
+  if (stats.rollbacks < 1) {
+    std::printf("chaos: ERROR: the injected NaN was not rolled back\n");
+    return false;
+  }
+  return true;
+}
+
+// Reads the interrupted run's checkpoint, finishes training from it, and
+// compares the result bitwise against the uninterrupted reference leg —
+// the crash-recovery contract of DESIGN.md §11.
+bool RunResumeLeg(const bench::ExperimentContext& context,
+                  const LegResult& reference, util::RunTelemetry* telemetry) {
+  const std::string path = ResumeCheckpointPath(context.config.name);
+  telemetry->RecordRunStart(
+      "fault_injection[resume]",
+      {{"dataset", context.config.name}, {"checkpoint", path}});
+  auto checkpoint = serve::ReadCheckpoint(path);
+  if (!checkpoint.ok()) {
+    std::printf("chaos: ERROR: cannot read %s: %s\n", path.c_str(),
+                checkpoint.status().ToString().c_str());
+    return false;
+  }
+  if (!checkpoint->has_training_state) {
+    std::printf("chaos: ERROR: %s carries no training state\n", path.c_str());
+    return false;
+  }
+  auto resumed = serve::ResumeModel(*checkpoint);
+  if (!resumed.ok()) {
+    std::printf("chaos: ERROR: ResumeModel: %s\n",
+                resumed.status().ToString().c_str());
+    return false;
+  }
+  topicmodel::NeuralTopicModel& model = **resumed;
+  bench::AttachTelemetry(&model, telemetry, context);
+  const topicmodel::TrainStats stats =
+      model.ResumeTraining(context.dataset.train, checkpoint->training_state);
+  if (!stats.status.ok() || stats.interrupted) {
+    std::printf("chaos: ERROR: resume failed: %s\n",
+                stats.status.ToString().c_str());
+    return false;
+  }
+  const int64_t beta_diff = CountMismatches(model.Beta(), reference.beta);
+  const tensor::Tensor theta = model.InferTheta(context.dataset.test);
+  const int64_t theta_diff = CountMismatches(theta, reference.theta);
+  const bool loss_equal =
+      static_cast<float>(stats.final_loss) == reference.final_loss;
+  std::printf(
+      "chaos: resume vs uninterrupted: beta mismatches=%lld "
+      "theta mismatches=%lld loss %s\n",
+      static_cast<long long>(beta_diff), static_cast<long long>(theta_diff),
+      loss_equal ? "equal" : "DIFFERS");
+  return beta_diff == 0 && theta_diff == 0 && loss_equal;
+}
+
+// Serving-side chaos: loads the resume checkpoint into an engine whose
+// batches fail on an injected schedule, driving the retry and
+// circuit-breaker paths so serve.retries / serve.degraded show up in the
+// manifest counters. Count-based breaker + deterministic fault schedule
+// fix the request-by-request outcome: request 0 exhausts its retries and
+// opens the breaker, request 1 is fast-failed degraded, request 2 is the
+// probe that recovers (after one more retry), request 3 is healthy.
+bool RunServeChaos(const bench::ExperimentContext& context,
+                   util::RunTelemetry* telemetry) {
+  const std::string path = ResumeCheckpointPath(context.config.name);
+  serve::InferenceEngine::Options options;
+  options.retry.max_attempts = 2;
+  options.retry.base_backoff_ms = 0.5;
+  options.retry.max_backoff_ms = 2.0;
+  options.breaker.failure_threshold = 1;
+  options.breaker.probe_interval = 2;
+  options.breaker.success_threshold = 1;
+  auto engine = serve::InferenceEngine::Load(path, options);
+  if (!engine.ok()) {
+    std::printf("chaos: ERROR: engine load: %s\n",
+                engine.status().ToString().c_str());
+    return false;
+  }
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  util::FaultSpec flaky;
+  flaky.every_nth = 1;
+  flaky.max_fires = 3;  // request 0 fails twice, the probe fails once
+  faults.Arm("serve.batch", flaky);
+
+  const int vocab = static_cast<int>(context.dataset.train.vocab().size());
+  util::TraceSpan span("serve_chaos");
+  bool sequence_ok = true;
+  for (int i = 0; i < 4; ++i) {
+    const serve::InferenceEngine::BowDoc doc = {{i % vocab, 1},
+                                                {(i + 7) % vocab, 2}};
+    const auto theta = (*engine)->InferTheta(doc);
+    const bool want_ok = i >= 2;
+    if (theta.ok() != want_ok) {
+      std::printf("chaos: ERROR: request %d %s but should have %s (%s)\n", i,
+                  theta.ok() ? "succeeded" : "failed",
+                  want_ok ? "succeeded" : "failed",
+                  theta.status().ToString().c_str());
+      sequence_ok = false;
+    }
+  }
+  faults.Reset();
+  const serve::InferenceEngine::Stats stats = (*engine)->stats();
+  const bool healthy =
+      (*engine)->health() == serve::InferenceEngine::HealthState::kHealthy;
+  telemetry->RecordStage(
+      "serve_chaos", span.ElapsedSeconds(),
+      {{"retries", static_cast<double>(stats.retries)},
+       {"degraded", static_cast<double>(stats.degraded)}});
+  std::printf("chaos: serve leg -> retries=%lld degraded=%lld health=%s\n",
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.degraded),
+              healthy ? "healthy" : "NOT RECOVERED");
+  return sequence_ok && stats.retries >= 1 && stats.degraded >= 1 && healthy;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -151,6 +347,8 @@ int main(int argc, char** argv) {
   const std::string dataset_name =
       flags.GetString("preset", flags.GetString("dataset", "20ng-sim"));
   const int parallel_threads = flags.GetInt("threads", 4);
+  int kill_epoch = flags.GetInt("kill-at-epoch", 0);
+  const bool resume = flags.GetBool("resume", false);
   const unsigned hw = std::thread::hardware_concurrency();
 
   const bench::ExperimentContext context =
@@ -175,6 +373,35 @@ int main(int argc, char** argv) {
   const LegResult serial = RunLeg(1, context, bench_config, &telemetry);
   const LegResult parallel =
       RunLeg(parallel_threads, context, bench_config, &telemetry);
+
+  // Chaos phase (optional). --kill-at-epoch= interrupts a third leg with
+  // injected faults; --resume recovers from the checkpoint it left and
+  // demands bitwise identity with the uninterrupted serial leg. --resume
+  // alone reuses a checkpoint from a previous invocation — a true
+  // cross-process crash recovery; with both flags one process exercises
+  // the whole cycle. Runs at the parallel thread count on purpose: the
+  // reference leg ran single-threaded, so a bitwise match also re-proves
+  // thread-count invariance across the crash boundary.
+  bool chaos_ok = true;
+  const bool chaos_phase = kill_epoch > 0 || resume;
+  if (kill_epoch > 0) {
+    const int epochs = bench_config.train.epochs;
+    const int clamped = std::max(2, std::min(kill_epoch, epochs));
+    if (clamped != kill_epoch) {
+      std::printf(
+          "chaos: clamping --kill-at-epoch=%d to %d (the kill must land "
+          "after the first epoch-boundary checkpoint)\n",
+          kill_epoch, clamped);
+      kill_epoch = clamped;
+    }
+    chaos_ok = RunKillLeg(kill_epoch, context, bench_config, &telemetry);
+  }
+  if (chaos_ok && resume) {
+    chaos_ok = RunResumeLeg(context, serial, &telemetry);
+  }
+  if (chaos_ok && chaos_phase) {
+    chaos_ok = RunServeChaos(context, &telemetry);
+  }
   util::ThreadPool::SetGlobalNumThreads(0);  // restore hardware default
 
   // Determinism contract: both legs must agree bitwise.
@@ -208,16 +435,23 @@ int main(int argc, char** argv) {
                       parallel.threads, dataset_name.c_str()),
       "parallel_training_" + dataset_name, table);
 
-  telemetry.RecordManifest(
-      {{"threads_serial", static_cast<double>(serial.threads)},
-       {"threads_parallel", static_cast<double>(parallel.threads)},
-       {"final_loss", serial.final_loss},
-       {"npmi", serial.mean_coherence},
-       {"diversity", serial.diversity},
-       {"beta_mismatches", static_cast<double>(beta_diff)},
-       {"theta_mismatches", static_cast<double>(theta_diff)},
-       {"bitwise_identical", identical ? 1.0 : 0.0},
-       {"metrics_finite", finite ? 1.0 : 0.0}});
+  std::vector<std::pair<std::string, double>> summary = {
+      {"threads_serial", static_cast<double>(serial.threads)},
+      {"threads_parallel", static_cast<double>(parallel.threads)},
+      {"final_loss", serial.final_loss},
+      {"npmi", serial.mean_coherence},
+      {"diversity", serial.diversity},
+      {"beta_mismatches", static_cast<double>(beta_diff)},
+      {"theta_mismatches", static_cast<double>(theta_diff)},
+      {"bitwise_identical", identical ? 1.0 : 0.0},
+      {"metrics_finite", finite ? 1.0 : 0.0}};
+  if (chaos_phase) {
+    summary.emplace_back("chaos_ok", chaos_ok ? 1.0 : 0.0);
+    if (resume) {
+      summary.emplace_back("resume_bitwise_identical", chaos_ok ? 1.0 : 0.0);
+    }
+  }
+  telemetry.RecordManifest(summary);
   const util::Status telemetry_status = telemetry.Flush();
   const bool telemetry_ok =
       telemetry_status.ok() && telemetry.manifest_written();
@@ -232,9 +466,15 @@ int main(int argc, char** argv) {
       coherence_equal ? "equal" : "DIFFERS",
       identical ? "BITWISE IDENTICAL" : "MISMATCH");
   if (!finite) std::printf("metric gate: NON-FINITE tier-1 metric\n");
+  if (chaos_phase) {
+    std::printf("chaos phase: %s\n",
+                chaos_ok ? "PASS (recovery bitwise identical, serving "
+                           "recovered)"
+                         : "FAIL");
+  }
   std::printf(
       "note: speedup is bounded by the host's %u hardware thread(s); on a "
       "single-core host both legs time-slice one core and speedup ~1.\n",
       hw);
-  return identical && finite && telemetry_ok ? 0 : 1;
+  return identical && finite && telemetry_ok && chaos_ok ? 0 : 1;
 }

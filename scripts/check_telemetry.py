@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a run-telemetry JSONL artifact (DESIGN.md §9).
 
-Usage: check_telemetry.py [--mode=train|serve] <telemetry.jsonl>
+Usage: check_telemetry.py [--mode=train|serve|faults] <telemetry.jsonl>
 
 Checks, in order:
   1. every line parses as a JSON object with a "type" field;
@@ -18,7 +18,15 @@ Modes (default: train):
   serve   a serving run (bench_serve --mode=serve): no epoch records are
           expected; instead exactly one serve_stats record must exist
           with non-negative counters, requests >= batches, and a
-          bitwise_mismatches == 0 manifest summary.
+          bitwise_mismatches == 0 manifest summary;
+  faults  a chaos run (bench_parallel_training --kill-at-epoch=N
+          --resume): everything train checks, plus the manifest counters
+          must prove the faults actually fired (fault.injected >= 1,
+          train.rollbacks >= 1) and the serving leg both retried and
+          degraded (serve.retries >= 1, serve.degraded >= 1), and the
+          summary must report chaos_ok == 1 (and
+          resume_bitwise_identical == 1 when present). A chaos run whose
+          injected faults never fire validates nothing.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -72,8 +80,11 @@ def main():
             mode = arg[len("--mode="):]
         else:
             paths.append(arg)
-    if len(paths) != 1 or mode not in ("train", "serve"):
-        fail("usage: check_telemetry.py [--mode=train|serve] <telemetry.jsonl>")
+    if len(paths) != 1 or mode not in ("train", "serve", "faults"):
+        fail(
+            "usage: check_telemetry.py [--mode=train|serve|faults]"
+            " <telemetry.jsonl>"
+        )
     path = paths[0]
     try:
         with open(path, encoding="utf-8") as f:
@@ -135,6 +146,32 @@ def main():
         if not epochs:
             fail("no epoch records")
         detail = f"{len(epochs)} epoch record(s)"
+        if mode == "faults":
+            counters = manifests[0].get("counters", {})
+            for key in ("fault.injected", "train.rollbacks"):
+                value = counters.get(key)
+                if not is_finite_number(value) or value < 1:
+                    fail(f"faults run has counter {key}={value}, want >= 1")
+            for key in ("serve.retries", "serve.degraded"):
+                value = counters.get(key)
+                if not is_finite_number(value) or value < 1:
+                    fail(f"faults run has counter {key}={value}, want >= 1")
+            value = counters.get("train.checkpoint_failures")
+            if value is not None and (not is_finite_number(value) or value < 0):
+                fail(f"faults run has counter train.checkpoint_failures={value}")
+            if summary.get("chaos_ok") != 1:
+                fail(
+                    "faults run manifest summary reports "
+                    f"chaos_ok={summary.get('chaos_ok')}, want 1"
+                )
+            if "resume_bitwise_identical" in summary and \
+                    summary["resume_bitwise_identical"] != 1:
+                fail(
+                    "faults run manifest summary reports "
+                    "resume_bitwise_identical="
+                    f"{summary['resume_bitwise_identical']}"
+                )
+            detail += ", fault counters proven"
 
     n_runs = len(by_type["run_start"])
     print(

@@ -286,6 +286,14 @@ void ContraTopicModel::SetTraining(bool training) {
   backbone_->SetTraining(training);
 }
 
+std::vector<util::Rng*> ContraTopicModel::TrainingRngs() {
+  std::vector<util::Rng*> streams = {&rng_};
+  for (util::Rng* stream : backbone_->TrainingRngs()) {
+    streams.push_back(stream);
+  }
+  return streams;
+}
+
 void ContraTopicModel::SetKernel(std::unique_ptr<eval::NpmiMatrix> npmi) {
   CHECK(options_.variant != Variant::kInnerProduct)
       << "ContraTopic-I uses an embedding kernel";

@@ -91,6 +91,9 @@ class ContraTopicModel : public topicmodel::NeuralTopicModel {
   std::vector<nn::NamedTensor> Buffers() override;
   topicmodel::ModelDescriptor Describe() const override;
   void SetTraining(bool training) override;
+  // The wrapper's own stream (shuffles, Gumbel subset draws) plus the
+  // backbone's (its encoder noise comes from its own generator).
+  std::vector<util::Rng*> TrainingRngs() override;
   int64_t ExtraMemoryBytes() const override;
 
   const ContraTopicOptions& options() const { return options_; }

@@ -69,6 +69,61 @@ void Adam::Step(const std::vector<Parameter>& params) {
   }
 }
 
+AdamState Adam::ExportState(const std::vector<Parameter>& params) const {
+  AdamState out;
+  out.t = t_;
+  for (const auto& p : params) {
+    const autodiff::Node* node = p.var.node().get();
+    auto it = state_.find(node);
+    if (it != state_.end()) {
+      out.m.emplace_back(p.name, it->second.m);
+      out.v.emplace_back(p.name, it->second.v);
+    } else {
+      // Never stepped: lazy init would have produced zeros.
+      out.m.emplace_back(
+          p.name, Tensor::Zeros(node->value.rows(), node->value.cols()));
+      out.v.emplace_back(
+          p.name, Tensor::Zeros(node->value.rows(), node->value.cols()));
+    }
+  }
+  return out;
+}
+
+util::Status Adam::ImportState(const AdamState& state,
+                               const std::vector<Parameter>& params) {
+  if (state.m.size() != state.v.size()) {
+    return util::Status::InvalidArgument(
+        "Adam state has mismatched moment counts");
+  }
+  std::unordered_map<std::string, const autodiff::Node*> by_name;
+  for (const auto& p : params) by_name[p.name] = p.var.node().get();
+  std::unordered_map<const autodiff::Node*, State> restored;
+  for (size_t i = 0; i < state.m.size(); ++i) {
+    const auto& [name, m] = state.m[i];
+    const auto& [v_name, v] = state.v[i];
+    if (name != v_name) {
+      return util::Status::InvalidArgument(
+          "Adam state moment names disagree: '" + name + "' vs '" + v_name +
+          "'");
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return util::Status::FailedPrecondition(
+          "Adam state names unknown parameter '" + name + "'");
+    }
+    const autodiff::Node* node = it->second;
+    if (m.rows() != node->value.rows() || m.cols() != node->value.cols() ||
+        v.rows() != node->value.rows() || v.cols() != node->value.cols()) {
+      return util::Status::FailedPrecondition(
+          "Adam state for '" + name + "' has the wrong shape");
+    }
+    restored[node] = State{m, v};
+  }
+  t_ = state.t;
+  state_ = std::move(restored);
+  return util::Status::OK();
+}
+
 float ClipGradNorm(const std::vector<Parameter>& params, float max_norm) {
   double total_sq = 0.0;
   for (const auto& p : params) {

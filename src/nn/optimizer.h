@@ -5,10 +5,15 @@
 // moments) is keyed by node identity, so parameters may be re-collected
 // from modules on every step.
 
+#include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace contratopic {
 namespace nn {
@@ -40,6 +45,17 @@ class Sgd : public Optimizer {
   std::unordered_map<const autodiff::Node*, Tensor> velocity_;
 };
 
+// Serializable snapshot of an Adam instance: the step count plus the
+// first/second moments of every parameter it has stepped, keyed by
+// parameter name. Part of the training checkpoint (DESIGN.md §11) — a
+// resumed run restores this so its remaining updates are bitwise-
+// identical to an uninterrupted run's.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<std::pair<std::string, Tensor>> m;
+  std::vector<std::pair<std::string, Tensor>> v;
+};
+
 // Adam (Kingma & Ba) with bias correction; the paper trains every neural
 // model with Adam at lr 5e-4.
 class Adam : public Optimizer {
@@ -48,6 +64,14 @@ class Adam : public Optimizer {
                 float eps = 1e-8f, float weight_decay = 0.0f);
 
   void Step(const std::vector<Parameter>& params) override;
+
+  // Snapshots the moments of `params` (in their given order; parameters
+  // never stepped are saved as zero moments, matching lazy init).
+  AdamState ExportState(const std::vector<Parameter>& params) const;
+  // Restores a snapshot onto `params`, matching by parameter name.
+  // Fails (Status) on a name missing from `params` or a shape mismatch.
+  util::Status ImportState(const AdamState& state,
+                           const std::vector<Parameter>& params);
 
  private:
   struct State {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace contratopic {
@@ -15,29 +17,53 @@ MicroBatcher::MicroBatcher(BatchFn fn, Options options)
   CHECK(fn_ != nullptr);
   CHECK_GT(options_.max_batch_size, 0);
   CHECK_GT(options_.max_queue_depth, 0);
+  CHECK_GE(options_.retry.max_attempts, 1);
 }
 
-MicroBatcher::~MicroBatcher() {
-  Resume();
-  Drain();
-}
+MicroBatcher::~MicroBatcher() { Shutdown(/*drain_pending=*/true); }
 
 void MicroBatcher::Submit(Request request, Callback done) {
-  CHECK(done != nullptr);
+  SubmitEntry({std::move(request), std::move(done), /*has_deadline=*/false,
+               {}});
+}
+
+void MicroBatcher::Submit(Request request, double deadline_ms,
+                          Callback done) {
+  Entry entry{std::move(request), std::move(done), /*has_deadline=*/true,
+              std::chrono::steady_clock::now()};
+  if (deadline_ms > 0) {
+    entry.deadline += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+  SubmitEntry(std::move(entry));
+}
+
+void MicroBatcher::SubmitEntry(Entry entry) {
+  CHECK(entry.done != nullptr);
+  bool refused_shutdown = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (static_cast<int>(queue_.size()) < options_.max_queue_depth) {
-      queue_.emplace_back(std::move(request), std::move(done));
+    if (shutdown_) {
+      ++stats_.cancelled;
+      refused_shutdown = true;
+    } else if (static_cast<int>(queue_.size()) < options_.max_queue_depth) {
+      queue_.push_back(std::move(entry));
       ++stats_.requests;
       stats_.max_queue_depth_seen = std::max(
           stats_.max_queue_depth_seen, static_cast<int>(queue_.size()));
       MaybeScheduleDispatch();
       return;
+    } else {
+      ++stats_.shed;
     }
-    ++stats_.shed;
   }
-  // Shed outside the lock: the callback may be arbitrarily heavy.
-  done(util::Status::Unavailable(
+  // Complete outside the lock: the callback may be arbitrarily heavy.
+  if (refused_shutdown) {
+    entry.done(util::Status::Cancelled("batcher is shut down"));
+    return;
+  }
+  entry.done(util::Status::Unavailable(
       "serving queue is full (" + std::to_string(options_.max_queue_depth) +
       " waiting requests); retry later"));
 }
@@ -46,6 +72,15 @@ std::future<MicroBatcher::Result> MicroBatcher::Submit(Request request) {
   auto promise = std::make_shared<std::promise<Result>>();
   std::future<Result> future = promise->get_future();
   Submit(std::move(request),
+         [promise](Result result) { promise->set_value(std::move(result)); });
+  return future;
+}
+
+std::future<MicroBatcher::Result> MicroBatcher::Submit(Request request,
+                                                       double deadline_ms) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  Submit(std::move(request), deadline_ms,
          [promise](Result result) { promise->set_value(std::move(result)); });
   return future;
 }
@@ -59,6 +94,32 @@ void MicroBatcher::Resume() {
   std::lock_guard<std::mutex> lock(mu_);
   paused_ = false;
   MaybeScheduleDispatch();
+}
+
+void MicroBatcher::Shutdown(bool drain_pending) {
+  if (drain_pending) {
+    Resume();
+    Drain();
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    return;
+  }
+  std::deque<Entry> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    cancelled.swap(queue_);
+    stats_.cancelled += static_cast<int64_t>(cancelled.size());
+  }
+  for (Entry& entry : cancelled) {
+    entry.done(util::Status::Cancelled(
+        "batcher shut down with the request still queued"));
+  }
+  // Let the in-flight batch (if any) finish so the model is quiescent.
+  CHECK(!util::ThreadPool::Global().InWorkerThread())
+      << "MicroBatcher::Shutdown would deadlock on a pool worker";
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return !dispatching_; });
 }
 
 void MicroBatcher::Drain() {
@@ -90,6 +151,7 @@ void MicroBatcher::DispatchLoop() {
   while (true) {
     std::vector<Request> requests;
     std::vector<Callback> callbacks;
+    std::vector<Callback> expired;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (paused_ || queue_.empty()) {
@@ -97,20 +159,60 @@ void MicroBatcher::DispatchLoop() {
         idle_.notify_all();
         return;
       }
+      const auto now = std::chrono::steady_clock::now();
       const int n = std::min(options_.max_batch_size,
                              static_cast<int>(queue_.size()));
       requests.reserve(n);
       callbacks.reserve(n);
       for (int i = 0; i < n; ++i) {
-        requests.push_back(std::move(queue_.front().first));
-        callbacks.push_back(std::move(queue_.front().second));
+        Entry entry = std::move(queue_.front());
         queue_.pop_front();
+        if (entry.has_deadline && now > entry.deadline) {
+          expired.push_back(std::move(entry.done));
+          ++stats_.deadline_expired;
+          continue;
+        }
+        requests.push_back(std::move(entry.request));
+        callbacks.push_back(std::move(entry.done));
       }
-      ++stats_.batches;
-      stats_.max_batch_size_seen = std::max(stats_.max_batch_size_seen, n);
+      if (!requests.empty()) {
+        ++stats_.batches;
+        stats_.max_batch_size_seen = std::max(
+            stats_.max_batch_size_seen, static_cast<int>(requests.size()));
+      }
     }
+    for (auto& done : expired) {
+      done(util::Status::DeadlineExceeded(
+          "request expired while waiting in the serving queue"));
+    }
+    if (requests.empty()) continue;
 
-    std::vector<std::vector<float>> rows = fn_(requests);
+    BatchResult result = fn_(requests);
+    for (int attempt = 1;
+         !result.ok() && attempt < options_.retry.max_attempts; ++attempt) {
+      const double backoff_ms = options_.retry.BackoffMs(attempt);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      util::MetricsRegistry::Global().counter("serve.retries").Increment();
+      result = fn_(requests);
+    }
+    if (options_.on_batch_done) {
+      options_.on_batch_done(result.ok() ? util::Status::OK()
+                                         : result.status());
+    }
+    if (!result.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failed_batches;
+      }
+      for (auto& done : callbacks) done(result.status());
+      continue;
+    }
+    std::vector<std::vector<float>> rows = std::move(result).value();
     if (options_.on_batch) {
       options_.on_batch(static_cast<int>(requests.size()));
     }

@@ -18,9 +18,19 @@
 // per-request result; batched and one-at-a-time serving are
 // bitwise-identical (tests/serve_test.cc locks this in).
 //
+// Resilience (DESIGN.md §11): the batch function is fallible; a failed
+// batch is retried on the Options::retry schedule (deterministic backoff
+// jitter; "serve.retries" counter) before its requests are failed.
+// Requests may carry a deadline -- one that expires while queued is
+// completed with kDeadlineExceeded instead of occupying a model slot.
+// Shutdown() stops the batcher, either draining queued work or failing
+// it with kCancelled; submissions after shutdown are refused with
+// kCancelled.
+//
 // Pause()/Resume() stop and restart the dispatch loop; they exist so
 // tests can deterministically fill the queue to the shedding point.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/resilience.h"
 #include "util/status.h"
 
 namespace contratopic {
@@ -42,33 +53,44 @@ class MicroBatcher {
   using Request = std::vector<std::pair<int, int>>;
   // A topic-proportion row, or why it was not computed.
   using Result = util::StatusOr<std::vector<float>>;
-  // Runs the model on a batch; must return one row per request, in
-  // request order. Called from a pool worker (nested ParallelFor runs
-  // inline there, per the ThreadPool contract).
-  using BatchFn =
-      std::function<std::vector<std::vector<float>>(
-          const std::vector<Request>&)>;
+  // Runs the model on a batch; on success must return one row per
+  // request, in request order. Called from a pool worker (nested
+  // ParallelFor runs inline there, per the ThreadPool contract). A
+  // non-OK result fails the whole batch (after retries).
+  using BatchResult = util::StatusOr<std::vector<std::vector<float>>>;
+  using BatchFn = std::function<BatchResult(const std::vector<Request>&)>;
   using Callback = std::function<void(Result)>;
 
   struct Options {
     int max_batch_size = 32;
     // Submissions beyond this many waiting requests are shed.
     int max_queue_depth = 1024;
-    // Observability hook, invoked after each batch with its size (e.g.
-    // to feed a batch-size histogram). May be empty.
+    // Observability hook, invoked after each successful batch with its
+    // size (e.g. to feed a batch-size histogram). May be empty.
     std::function<void(int)> on_batch;
+    // Retry schedule for failed batches; the default (max_attempts = 1)
+    // fails a batch on its first error.
+    RetryPolicy retry;
+    // Invoked once per batch with its final status (after retries), e.g.
+    // to feed a circuit breaker. May be empty.
+    std::function<void(const util::Status&)> on_batch_done;
   };
 
   struct Stats {
     int64_t requests = 0;  // accepted (not shed)
     int64_t batches = 0;
     int64_t shed = 0;
+    int64_t retries = 0;            // extra BatchFn attempts
+    int64_t failed_batches = 0;     // batches failed after retries
+    int64_t deadline_expired = 0;   // requests expired while queued
+    int64_t cancelled = 0;          // requests failed by shutdown
     int max_batch_size_seen = 0;
     int max_queue_depth_seen = 0;
   };
 
   MicroBatcher(BatchFn fn, Options options);
-  // Resumes (if paused) and drains outstanding work.
+  // Shutdown(/*drain=*/true): resumes (if paused) and drains outstanding
+  // work.
   ~MicroBatcher();
 
   MicroBatcher(const MicroBatcher&) = delete;
@@ -79,6 +101,19 @@ class MicroBatcher {
   void Submit(Request request, Callback done);
   // Future-returning form of Submit.
   std::future<Result> Submit(Request request);
+  // Deadline forms: the request has `deadline_ms` from submission to
+  // *start* executing; if it is still queued when dispatch reaches it
+  // after that, it completes with kDeadlineExceeded (deadline_ms <= 0:
+  // only an immediately dispatched request survives).
+  void Submit(Request request, double deadline_ms, Callback done);
+  std::future<Result> Submit(Request request, double deadline_ms);
+
+  // Stops the batcher permanently. With `drain_pending`, resumes (if
+  // paused) and processes everything queued first; without it, every
+  // queued request is completed with kCancelled (the in-flight batch, if
+  // any, still finishes). Submissions after shutdown are refused with
+  // kCancelled. Idempotent.
+  void Shutdown(bool drain_pending);
 
   // Stops the dispatch loop after the in-flight batch; the queue then
   // accumulates (and sheds past max_queue_depth) until Resume().
@@ -94,6 +129,14 @@ class MicroBatcher {
   Stats stats() const;
 
  private:
+  struct Entry {
+    Request request;
+    Callback done;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void SubmitEntry(Entry entry);
   // Schedules the dispatch loop if it is not already running (mu_ held).
   void MaybeScheduleDispatch();
   void DispatchLoop();
@@ -102,9 +145,10 @@ class MicroBatcher {
   const Options options_;
   mutable std::mutex mu_;
   std::condition_variable idle_;
-  std::deque<std::pair<Request, Callback>> queue_;
+  std::deque<Entry> queue_;
   bool dispatching_ = false;
   bool paused_ = false;
+  bool shutdown_ = false;
   Stats stats_;
 };
 

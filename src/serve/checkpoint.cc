@@ -1,6 +1,10 @@
 #include "serve/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -9,6 +13,7 @@
 
 #include "core/model_zoo.h"
 #include "embed/word_embeddings.h"
+#include "util/fault.h"
 #include "util/serialize.h"
 #include "util/string_util.h"
 
@@ -97,8 +102,119 @@ StatusOr<Tensor> ReadTensor(util::BinaryReader* reader,
   return t;
 }
 
-// Parses the payload of a checksum-validated checkpoint.
-StatusOr<Checkpoint> ParsePayload(const std::string& payload) {
+void WriteTrainingState(util::BinaryWriter* writer,
+                        const topicmodel::TrainingState& s) {
+  writer->WriteU32(static_cast<uint32_t>(s.num_docs));
+  writer->WriteU32(static_cast<uint32_t>(s.total_epochs));
+  writer->WriteU32(static_cast<uint32_t>(s.next_global_step));
+  writer->WriteU64(static_cast<uint64_t>(s.adam.t));
+  writer->WriteU32(static_cast<uint32_t>(s.adam.m.size()));
+  for (size_t i = 0; i < s.adam.m.size(); ++i) {
+    writer->WriteString(s.adam.m[i].first);
+    WriteTensor(writer, s.adam.m[i].second);
+    WriteTensor(writer, s.adam.v[i].second);
+  }
+  writer->WriteU32(static_cast<uint32_t>(s.rngs.size()));
+  for (const util::Rng::State& rng : s.rngs) {
+    for (int i = 0; i < 4; ++i) writer->WriteU64(rng.s[i]);
+    writer->WriteU32(rng.has_cached_normal ? 1 : 0);
+    writer->WriteF64(rng.cached_normal);
+  }
+  writer->WriteIntVector(s.batch_order);
+  writer->WriteU32(static_cast<uint32_t>(s.batch_cursor));
+  writer->WriteF64(s.epoch_loss_sum);
+  writer->WriteU32(static_cast<uint32_t>(s.component_sums.size()));
+  for (const auto& [name, sum] : s.component_sums) {
+    writer->WriteString(name);
+    writer->WriteF64(sum);
+  }
+  writer->WriteF64(s.last_epoch_loss);
+}
+
+StatusOr<topicmodel::TrainingState> ReadTrainingState(
+    util::BinaryReader* reader) {
+  topicmodel::TrainingState s;
+  s.num_docs = static_cast<int>(reader->ReadU32());
+  s.total_epochs = static_cast<int>(reader->ReadU32());
+  s.next_global_step = static_cast<int>(reader->ReadU32());
+  s.adam.t = static_cast<int64_t>(reader->ReadU64());
+  const uint32_t num_moments = reader->ReadU32();
+  if (!reader->ok()) return Corrupt("short training state");
+  if (s.num_docs <= 0 || s.total_epochs <= 0 || s.next_global_step < 0) {
+    return Corrupt("training state has a non-positive run shape");
+  }
+  if (num_moments > 4096) {
+    return Corrupt("implausible optimizer moment count " +
+                   std::to_string(num_moments));
+  }
+  s.adam.m.reserve(num_moments);
+  s.adam.v.reserve(num_moments);
+  for (uint32_t i = 0; i < num_moments; ++i) {
+    std::string name = reader->ReadString();
+    if (!reader->ok() || name.empty()) {
+      return Corrupt("optimizer moment " + std::to_string(i) + ": bad name");
+    }
+    StatusOr<Tensor> m =
+        ReadTensor(reader, "optimizer moment m of '" + name + "'");
+    if (!m.ok()) return m.status();
+    StatusOr<Tensor> v =
+        ReadTensor(reader, "optimizer moment v of '" + name + "'");
+    if (!v.ok()) return v.status();
+    s.adam.m.emplace_back(name, std::move(m).value());
+    s.adam.v.emplace_back(std::move(name), std::move(v).value());
+  }
+  const uint32_t num_rngs = reader->ReadU32();
+  if (!reader->ok()) return Corrupt("short training state");
+  if (num_rngs == 0 || num_rngs > 64) {
+    return Corrupt("implausible RNG stream count " +
+                   std::to_string(num_rngs));
+  }
+  s.rngs.resize(num_rngs);
+  for (uint32_t i = 0; i < num_rngs; ++i) {
+    for (int j = 0; j < 4; ++j) s.rngs[i].s[j] = reader->ReadU64();
+    s.rngs[i].has_cached_normal = reader->ReadU32() != 0;
+    s.rngs[i].cached_normal = reader->ReadF64();
+  }
+  s.batch_order = reader->ReadIntVector();
+  s.batch_cursor = static_cast<int>(reader->ReadU32());
+  if (!reader->ok()) return Corrupt("short training state");
+  if (s.batch_order.size() != static_cast<size_t>(s.num_docs)) {
+    return Corrupt("batch order covers " +
+                   std::to_string(s.batch_order.size()) + " docs, not " +
+                   std::to_string(s.num_docs));
+  }
+  std::vector<bool> seen(s.num_docs, false);
+  for (int doc : s.batch_order) {
+    if (doc < 0 || doc >= s.num_docs || seen[doc]) {
+      return Corrupt("batch order is not a permutation of the corpus");
+    }
+    seen[doc] = true;
+  }
+  if (s.batch_cursor < 0 || s.batch_cursor > s.num_docs) {
+    return Corrupt("batch cursor out of range");
+  }
+  s.epoch_loss_sum = reader->ReadF64();
+  const uint32_t num_components = reader->ReadU32();
+  if (!reader->ok()) return Corrupt("short training state");
+  if (num_components > 1024) {
+    return Corrupt("implausible loss component count");
+  }
+  for (uint32_t i = 0; i < num_components; ++i) {
+    std::string name = reader->ReadString();
+    const double sum = reader->ReadF64();
+    if (!reader->ok()) return Corrupt("short training state");
+    s.component_sums.emplace_back(std::move(name), sum);
+  }
+  s.last_epoch_loss = reader->ReadF64();
+  if (!reader->ok()) return Corrupt("short training state");
+  return s;
+}
+
+// Parses the payload of a checksum-validated checkpoint. `version` is the
+// (already range-checked) header version: v1 payloads end after the
+// top-word lists, v2 appends the optional training state.
+StatusOr<Checkpoint> ParsePayload(const std::string& payload,
+                                  uint32_t version) {
   util::BinaryReader reader(payload.data(), payload.size());
   Checkpoint ckpt;
   ckpt.descriptor.type = reader.ReadString();
@@ -178,8 +294,53 @@ StatusOr<Checkpoint> ParsePayload(const std::string& payload) {
     }
     ckpt.top_words.push_back(std::move(words));
   }
-  if (!reader.AtEnd()) return Corrupt("trailing bytes after top-word lists");
+  if (version >= 2) {
+    const uint32_t has_state = reader.ReadU32();
+    if (!reader.ok()) return Corrupt("short training-state flag");
+    if (has_state > 1) return Corrupt("bad training-state flag");
+    if (has_state == 1) {
+      StatusOr<topicmodel::TrainingState> state = ReadTrainingState(&reader);
+      if (!state.ok()) return state.status();
+      ckpt.training_state = std::move(state).value();
+      ckpt.has_training_state = true;
+    }
+  }
+  if (!reader.AtEnd()) return Corrupt("trailing bytes after payload");
   return ckpt;
+}
+
+// Writes `bytes` to `path` atomically: serialize to `path.tmp`, fsync,
+// then rename over `path`. A crash (or an injected "checkpoint.write"
+// fault) at any point leaves either the previous file or no file at the
+// destination -- never a torn one.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  if (util::FaultInjector::Global().ShouldFail("checkpoint.write")) {
+    std::remove(tmp.c_str());
+    return Status::IOError("injected checkpoint write failure: " + path);
+  }
+  // The data must be durable before the new name points at it, or a
+  // power loss after the rename could expose an empty file.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
 }
 
 // Reads the named extra as a float/int, or the fallback when absent.
@@ -311,17 +472,19 @@ Status WriteCheckpoint(const Checkpoint& checkpoint,
   WriteTensor(&body, checkpoint.beta);
   body.WriteU32(static_cast<uint32_t>(checkpoint.top_words.size()));
   for (const auto& words : checkpoint.top_words) body.WriteIntVector(words);
-
-  util::BinaryWriter writer(path);
-  if (!writer.ok()) {
-    return Status::IOError("cannot open checkpoint for writing: " + path);
+  body.WriteU32(checkpoint.has_training_state ? 1 : 0);
+  if (checkpoint.has_training_state) {
+    WriteTrainingState(&body, checkpoint.training_state);
   }
+
+  std::string file_bytes;
+  util::BinaryWriter writer(&file_bytes);
   writer.WriteU32(kCheckpointMagic);
   writer.WriteU32(kCheckpointVersion);
   writer.WriteU64(Fnv1a64(payload.data(), payload.size()));
   writer.WriteU64(payload.size());
   writer.WriteBytes(payload.data(), payload.size());
-  return writer.Close();
+  return AtomicWriteFile(path, file_bytes);
 }
 
 Status SaveCheckpoint(topicmodel::TopicModel& model,
@@ -353,10 +516,11 @@ StatusOr<Checkpoint> ReadCheckpoint(const std::string& path) {
                                    util::StrFormat("0x%08x", magic) + ")");
   }
   const uint32_t version = header.ReadU32();
-  if (version != kCheckpointVersion) {
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
     return Status::FailedPrecondition(
         path + " uses checkpoint format v" + std::to_string(version) +
-        "; this build reads v" + std::to_string(kCheckpointVersion));
+        "; this build reads v" + std::to_string(kMinCheckpointVersion) +
+        " through v" + std::to_string(kCheckpointVersion));
   }
   const uint64_t checksum = header.ReadU64();
   const uint64_t payload_size = header.ReadU64();
@@ -376,10 +540,15 @@ StatusOr<Checkpoint> ReadCheckpoint(const std::string& path) {
                             " failed its payload checksum; the file is "
                             "corrupt");
   }
-  return ParsePayload(std::string(payload_data, payload_size));
+  return ParsePayload(std::string(payload_data, payload_size), version);
 }
 
-StatusOr<std::unique_ptr<NeuralTopicModel>> RestoreModel(
+namespace {
+
+// Shared by RestoreModel and ResumeModel: rebuilds the architecture from
+// the descriptor and overwrites every state tensor bitwise. The returned
+// model is NOT yet marked trained (still in training mode).
+StatusOr<std::unique_ptr<NeuralTopicModel>> RebuildFromCheckpoint(
     const Checkpoint& ckpt) {
   const ModelDescriptor& d = ckpt.descriptor;
   if (d.type.empty()) {
@@ -440,9 +609,79 @@ StatusOr<std::unique_ptr<NeuralTopicModel>> RestoreModel(
     }
   }
 
-  neural->RestoreTrainedState(ckpt.beta);
   model.release();
   return std::unique_ptr<NeuralTopicModel>(neural);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NeuralTopicModel>> RestoreModel(
+    const Checkpoint& ckpt) {
+  StatusOr<std::unique_ptr<NeuralTopicModel>> model =
+      RebuildFromCheckpoint(ckpt);
+  if (!model.ok()) return model.status();
+  (*model)->RestoreTrainedState(ckpt.beta);
+  return model;
+}
+
+StatusOr<Checkpoint> BuildTrainingCheckpoint(
+    NeuralTopicModel& model, const text::Vocabulary& vocab,
+    const topicmodel::TrainingState& state) {
+  Checkpoint ckpt;
+  ckpt.descriptor = model.Describe();
+  if (ckpt.descriptor.type.empty()) {
+    return Status::InvalidArgument(
+        model.name() + " does not describe itself as a model-zoo type; "
+                       "it cannot be rebuilt from a checkpoint");
+  }
+  if (ckpt.descriptor.vocab_size != vocab.size()) {
+    return Status::InvalidArgument(
+        "vocabulary has " + std::to_string(vocab.size()) +
+        " words but the model was built for " +
+        std::to_string(ckpt.descriptor.vocab_size));
+  }
+  if (state.adam.m.size() != state.adam.v.size()) {
+    return Status::InvalidArgument(
+        "training state has mismatched optimizer moment counts");
+  }
+  const Tensor& beta = model.LatestBeta();
+  if (beta.rows() != ckpt.descriptor.config.num_topics ||
+      beta.cols() != ckpt.descriptor.vocab_size) {
+    return Status::FailedPrecondition(
+        model.name() +
+        " has not completed a training step yet; nothing to checkpoint");
+  }
+  for (const auto& t : model.StateTensors()) {
+    ckpt.tensors.emplace_back(t.name, *t.tensor);
+  }
+  ckpt.beta = beta;
+  ckpt.vocab = vocab.words();
+  const int top_k = std::min(kCheckpointTopWords, ckpt.descriptor.vocab_size);
+  for (int k = 0; k < ckpt.descriptor.config.num_topics; ++k) {
+    ckpt.top_words.push_back(ckpt.beta.TopKIndicesOfRow(k, top_k));
+  }
+  ckpt.has_training_state = true;
+  ckpt.training_state = state;
+  return ckpt;
+}
+
+Status SaveTrainingCheckpoint(NeuralTopicModel& model,
+                              const text::Vocabulary& vocab,
+                              const topicmodel::TrainingState& state,
+                              const std::string& path) {
+  StatusOr<Checkpoint> ckpt = BuildTrainingCheckpoint(model, vocab, state);
+  if (!ckpt.ok()) return ckpt.status();
+  return WriteCheckpoint(*ckpt, path);
+}
+
+StatusOr<std::unique_ptr<NeuralTopicModel>> ResumeModel(
+    const Checkpoint& ckpt) {
+  if (!ckpt.has_training_state) {
+    return Status::FailedPrecondition(
+        "checkpoint carries no training state; it cannot be resumed (use "
+        "RestoreModel for serving)");
+  }
+  return RebuildFromCheckpoint(ckpt);
 }
 
 }  // namespace serve

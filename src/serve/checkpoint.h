@@ -12,11 +12,19 @@
 //            vocabulary words | every state tensor (named; parameters
 //            plus inference buffers such as batch-norm running stats and
 //            frozen embedding constants) | trained beta (K x V) |
-//            per-topic top-word ids
+//            per-topic top-word ids |
+//            [v2+] has-training-state flag (u32), and when set a
+//            topicmodel::TrainingState blob (optimizer moments, RNG
+//            stream, batch-iterator position, epoch accumulators) that
+//            makes the checkpoint resumable mid-training (DESIGN.md §11)
 //
-// The checksum covers the exact payload bytes, so truncation and
-// single-byte corruption are both detected before any field is trusted.
-// All failure modes surface as util::Status -- never a crash:
+// The current writer emits v2; the reader accepts v1 files (they simply
+// carry no training state). The checksum covers the exact payload bytes,
+// so truncation and single-byte corruption are both detected before any
+// field is trusted. Files are written atomically -- serialized to
+// `path.tmp`, fsync'd, then renamed -- so a crash mid-write can never
+// replace a good checkpoint with a torn one. All failure modes surface
+// as util::Status -- never a crash:
 //   bad magic            -> kInvalidArgument (not a checkpoint)
 //   version skew         -> kFailedPrecondition (newer writer)
 //   short file           -> kIOError (truncated)
@@ -44,7 +52,9 @@ namespace serve {
 
 // "CTCK" little-endian.
 inline constexpr uint32_t kCheckpointMagic = 0x4B435443u;
-inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 2;
+// Oldest format version the reader still understands.
+inline constexpr uint32_t kMinCheckpointVersion = 1;
 // Top words stored per topic (enough for diversity@25, the largest
 // top-word metric in eval/metrics.h).
 inline constexpr int kCheckpointTopWords = 25;
@@ -61,6 +71,11 @@ struct Checkpoint {
   tensor::Tensor beta;                      // K x V topic-word distribution
   std::vector<std::string> vocab;           // word string per id
   std::vector<std::vector<int>> top_words;  // per topic, kCheckpointTopWords
+  // v2: present when the checkpoint froze a run mid-training (beta is
+  // then the latest step's, not a final one) and ResumeModel +
+  // NeuralTopicModel::ResumeTraining can continue it bitwise.
+  bool has_training_state = false;
+  topicmodel::TrainingState training_state;
 };
 
 // Snapshots `model` (which must be trained and checkpointable, i.e.
@@ -85,6 +100,33 @@ util::StatusOr<Checkpoint> ReadCheckpoint(const std::string& path);
 // state bitwise. The result is frozen (eval mode, trained) and ready for
 // InferTheta; it must not be trained further.
 util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> RestoreModel(
+    const Checkpoint& checkpoint);
+
+// --- Resumable training checkpoints (DESIGN.md §11) ---------------------
+
+// Snapshots a model mid-training together with `state` (typically handed
+// to a CheckpointSink by the training loop). The model need not be
+// trained; beta/top-words freeze the latest step's beta so a degraded
+// server can still answer TopicTopWords from the file.
+util::StatusOr<Checkpoint> BuildTrainingCheckpoint(
+    topicmodel::NeuralTopicModel& model, const text::Vocabulary& vocab,
+    const topicmodel::TrainingState& state);
+
+// BuildTrainingCheckpoint + WriteCheckpoint. Bind this to a path to get a
+// CheckpointSink:
+//   model.SetAutoCheckpoint(0, [&](const topicmodel::TrainingState& s) {
+//     return serve::SaveTrainingCheckpoint(model, vocab, s, path);
+//   });
+util::Status SaveTrainingCheckpoint(topicmodel::NeuralTopicModel& model,
+                                    const text::Vocabulary& vocab,
+                                    const topicmodel::TrainingState& state,
+                                    const std::string& path);
+
+// Rebuilds the model from a v2 checkpoint carrying training state and
+// restores every state tensor bitwise -- but does NOT mark it trained.
+// Continue with model->ResumeTraining(corpus, checkpoint.training_state);
+// the remaining steps are bitwise-identical to an uninterrupted run's.
+util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> ResumeModel(
     const Checkpoint& checkpoint);
 
 }  // namespace serve

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "tensor/tensor.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 
@@ -58,10 +59,19 @@ InferenceEngine::InferenceEngine(
     const Options& options)
     : options_(options),
       checkpoint_(std::move(checkpoint)),
-      model_(std::move(model)) {
+      model_(std::move(model)),
+      breaker_(options.breaker) {
   MicroBatcher::Options batcher_options;
   batcher_options.max_batch_size = options_.max_batch_size;
   batcher_options.max_queue_depth = options_.max_queue_depth;
+  batcher_options.retry = options_.retry;
+  batcher_options.on_batch_done = [this](const util::Status& status) {
+    if (status.ok()) {
+      breaker_.RecordSuccess();
+    } else {
+      breaker_.RecordFailure();
+    }
+  };
   util::Histogram& batch_hist = util::MetricsRegistry::Global().histogram(
       "serve.batch_size", BatchSizeBounds());
   util::Counter& batch_counter =
@@ -80,6 +90,8 @@ InferenceEngine::InferenceEngine(
   util::MetricsRegistry::Global().counter("serve.requests");
   util::MetricsRegistry::Global().counter("serve.cache_hits");
   util::MetricsRegistry::Global().counter("serve.shed");
+  util::MetricsRegistry::Global().counter("serve.retries");
+  util::MetricsRegistry::Global().counter("serve.degraded");
   util::MetricsRegistry::Global().gauge("serve.queue_depth");
   util::MetricsRegistry::Global().histogram("serve.latency_ms",
                                             LatencyBoundsMs());
@@ -116,8 +128,14 @@ StatusOr<MicroBatcher::Request> InferenceEngine::Canonicalize(
   return merged;
 }
 
-std::vector<std::vector<float>> InferenceEngine::RunBatch(
+MicroBatcher::BatchResult InferenceEngine::RunBatch(
     const std::vector<MicroBatcher::Request>& requests) {
+  // Chaos hook: a fired "serve.batch" stands in for a transient model
+  // failure (bad page-in, OOM-killed worker). The batcher retries on the
+  // configured schedule before giving up.
+  if (util::FaultInjector::Global().ShouldFail("serve.batch")) {
+    return Status::Unavailable("injected model batch failure");
+  }
   const int64_t v = vocab_size();
   Tensor batch(static_cast<int64_t>(requests.size()), v);
   for (size_t r = 0; r < requests.size(); ++r) {
@@ -207,6 +225,19 @@ void InferenceEngine::InferThetaAsync(
     done(std::move(cached));
     return;
   }
+  // Degraded mode: a cache miss needs the (failing) model. Fast-fail
+  // unless the breaker lets this call through as a recovery probe.
+  if (!breaker_.AllowRequest()) {
+    metrics.counter("serve.degraded").Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++degraded_;
+    }
+    done(util::Status::Unavailable(
+        "engine is degraded (circuit breaker open after repeated model "
+        "failures); cached documents and TopicTopWords remain available"));
+    return;
+  }
   const double start_ms = NowMs();
   batcher_->Submit(
       std::move(canonical).value(),
@@ -266,16 +297,31 @@ StatusOr<std::vector<std::string>> InferenceEngine::TopicTopWords(
   return words;
 }
 
+InferenceEngine::HealthState InferenceEngine::health() const {
+  switch (breaker_.state()) {
+    case CircuitBreaker::State::kClosed:
+      return HealthState::kHealthy;
+    case CircuitBreaker::State::kOpen:
+      return HealthState::kDegraded;
+    case CircuitBreaker::State::kHalfOpen:
+      return HealthState::kRecovering;
+  }
+  return HealthState::kHealthy;  // unreachable
+}
+
 InferenceEngine::Stats InferenceEngine::stats() const {
   const MicroBatcher::Stats batcher_stats = batcher_->stats();
   Stats stats;
   stats.shed = batcher_stats.shed;
   stats.batches = batcher_stats.batches;
+  stats.retries = batcher_stats.retries;
+  stats.deadline_expired = batcher_stats.deadline_expired;
   stats.max_batch_size_seen = batcher_stats.max_batch_size_seen;
   stats.max_queue_depth_seen = batcher_stats.max_queue_depth_seen;
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats.cache_hits = cache_hits_;
   stats.invalid = invalid_;
+  stats.degraded = degraded_;
   // Cache hits never reach the batcher, so total accepted requests are
   // the batcher's plus the cache's.
   stats.requests = batcher_stats.requests + cache_hits_;

@@ -20,9 +20,19 @@
 // float reciprocal) so served results match training-side InferTheta.
 //
 // Observability: the engine feeds util::MetricsRegistry (serve.requests,
-// serve.cache_hits, serve.shed, serve.batches counters; serve.queue_depth
-// gauge; serve.batch_size and serve.latency_ms histograms) and can emit a
-// "serve_stats" JSONL record through util::RunTelemetry.
+// serve.cache_hits, serve.shed, serve.batches, serve.retries,
+// serve.degraded counters; serve.queue_depth gauge; serve.batch_size and
+// serve.latency_ms histograms) and can emit a "serve_stats" JSONL record
+// through util::RunTelemetry.
+//
+// Resilience (DESIGN.md §11): failed model batches (e.g. the injected
+// "serve.batch" fault) are retried on Options::retry's deterministic
+// backoff schedule; persistent failures trip a count-based circuit
+// breaker. While the breaker is open the engine is *degraded*: cache
+// hits are still served, InferTheta misses fast-fail with kUnavailable
+// (except deterministic probes that test recovery), and TopicTopWords
+// keeps answering from the checkpoint's frozen precomputed top-word
+// lists, which need no model call. health() exposes the state.
 
 #include <functional>
 #include <future>
@@ -36,6 +46,7 @@
 
 #include "serve/batcher.h"
 #include "serve/checkpoint.h"
+#include "serve/resilience.h"
 #include "topicmodel/neural_base.h"
 #include "util/status.h"
 #include "util/telemetry.h"
@@ -55,7 +66,15 @@ class InferenceEngine {
     int max_queue_depth = 1024;
     // Distinct documents kept in the LRU result cache; 0 disables it.
     int cache_capacity = 1024;
+    // Retry schedule for failed model batches (default: no retries).
+    RetryPolicy retry;
+    // Circuit breaker tripped by batches that fail after retries.
+    CircuitBreaker::Options breaker;
   };
+
+  // Coarse health, derived from the circuit breaker: kDegraded means
+  // InferTheta misses fast-fail while TopicTopWords stays available.
+  enum class HealthState { kHealthy, kDegraded, kRecovering };
 
   struct Stats {
     int64_t requests = 0;    // InferTheta/TopTopics calls accepted
@@ -63,6 +82,9 @@ class InferenceEngine {
     int64_t shed = 0;        // refused with kUnavailable
     int64_t invalid = 0;     // refused with kInvalidArgument
     int64_t batches = 0;     // model calls
+    int64_t retries = 0;     // extra model attempts after failures
+    int64_t degraded = 0;    // misses fast-failed while the breaker was open
+    int64_t deadline_expired = 0;  // requests expired in the queue
     int max_batch_size_seen = 0;
     int max_queue_depth_seen = 0;
   };
@@ -118,6 +140,10 @@ class InferenceEngine {
   // The underlying batcher, exposed for tests (Pause/Resume make
   // queue-shedding deterministic).
   MicroBatcher& batcher() { return *batcher_; }
+  // The circuit breaker, exposed for tests.
+  CircuitBreaker& breaker() { return breaker_; }
+
+  HealthState health() const;
 
   Stats stats() const;
 
@@ -133,8 +159,9 @@ class InferenceEngine {
 
   // Sorts by word id, merges duplicate ids; Status on invalid entries.
   util::StatusOr<MicroBatcher::Request> Canonicalize(const BowDoc& doc) const;
-  // The MicroBatcher::BatchFn: canonical requests -> theta rows.
-  std::vector<std::vector<float>> RunBatch(
+  // The MicroBatcher::BatchFn: canonical requests -> theta rows, or a
+  // Status when the model call fails (the "serve.batch" fault site).
+  MicroBatcher::BatchResult RunBatch(
       const std::vector<MicroBatcher::Request>& requests);
 
   // LRU cache (most recent at front).
@@ -151,6 +178,7 @@ class InferenceEngine {
   // Declared before batcher_ so the batcher (whose BatchFn runs the
   // model) is destroyed -- and drained -- first.
   std::unique_ptr<topicmodel::NeuralTopicModel> model_;
+  CircuitBreaker breaker_;
   std::unique_ptr<MicroBatcher> batcher_;
 
   mutable std::mutex cache_mu_;
@@ -161,6 +189,7 @@ class InferenceEngine {
   mutable std::mutex stats_mu_;
   int64_t cache_hits_ = 0;
   int64_t invalid_ = 0;
+  int64_t degraded_ = 0;
 };
 
 }  // namespace serve

@@ -1,0 +1,89 @@
+#include "serve/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace serve {
+
+double RetryPolicy::BackoffMs(int attempt) const {
+  CHECK_GE(attempt, 1);
+  double backoff =
+      base_backoff_ms * std::pow(backoff_multiplier,
+                                 static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, max_backoff_ms);
+  const uint64_t h =
+      util::MixBits(jitter_seed ^ util::MixBits(static_cast<uint64_t>(attempt)));
+  // 53 bits -> uniform double in [0, 1), same construction as Rng::Uniform.
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return backoff * (1.0 + 0.5 * unit);
+}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  CHECK_GT(options_.failure_threshold, 0);
+  CHECK_GT(options_.probe_interval, 0);
+  CHECK_GT(options_.success_threshold, 0);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen: {
+      const int64_t call = open_calls_++;
+      if (call % options_.probe_interval == options_.probe_interval - 1) {
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        return true;
+      }
+      ++denied_;
+      return false;
+    }
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= options_.success_threshold) {
+      state_ = State::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open, restarting the probe count.
+    state_ = State::kOpen;
+    open_calls_ = 0;
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    open_calls_ = 0;
+    consecutive_failures_ = 0;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int64_t CircuitBreaker::denied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return denied_;
+}
+
+}  // namespace serve
+}  // namespace contratopic

@@ -1,0 +1,90 @@
+#ifndef CONTRATOPIC_SERVE_RESILIENCE_H_
+#define CONTRATOPIC_SERVE_RESILIENCE_H_
+
+// Serving-side resilience primitives (DESIGN.md §11):
+//
+//   RetryPolicy     exponential backoff with *deterministic* jitter -- the
+//                   wait before attempt k is a pure function of
+//                   (jitter_seed, k), so two runs retry on the same
+//                   schedule.
+//   CircuitBreaker  a count-based breaker (no wall clock): it opens after
+//                   N consecutive failures, lets every Mth request probe
+//                   while open, and closes again after enough probe
+//                   successes. Count-based transitions keep chaos tests
+//                   reproducible where a time-based breaker would flake.
+//
+// Both are used by MicroBatcher/InferenceEngine and are exposed here so
+// tests can exercise their state machines directly.
+
+#include <cstdint>
+#include <mutex>
+
+namespace contratopic {
+namespace serve {
+
+// Backoff schedule for retrying a failed batch. Attempt 1 is the original
+// call; BackoffMs(k) is the wait before attempt k+1.
+struct RetryPolicy {
+  // Total attempts, including the first; 1 disables retries.
+  int max_attempts = 1;
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  // Folded into the jitter hash; change it to shift every wait.
+  uint64_t jitter_seed = 0;
+
+  // base * multiplier^(attempt-1), capped at max, plus a deterministic
+  // jitter in [0, 50%) of the capped value derived from
+  // (jitter_seed, attempt) -- no RNG stream, no wall clock.
+  double BackoffMs(int attempt) const;
+};
+
+// A deterministic circuit breaker. State machine:
+//
+//   kClosed    all requests allowed. `failure_threshold` consecutive
+//              failures -> kOpen.
+//   kOpen      requests denied, except every `probe_interval`-th
+//              AllowRequest() call, which is let through as a probe and
+//              moves the breaker to kHalfOpen.
+//   kHalfOpen  requests allowed (the recovery window is short-lived).
+//              `success_threshold` consecutive successes -> kClosed; any
+//              failure -> kOpen again.
+//
+// The engine maps these to its health accessor: open means degraded
+// (InferTheta misses fast-fail; TopicTopWords still serves the frozen
+// checkpoint lists).
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 3;
+    int probe_interval = 8;
+    int success_threshold = 2;
+  };
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const Options& options);
+
+  // Whether this request may proceed; counts denied requests toward the
+  // next probe when open.
+  bool AllowRequest();
+  // Report the outcome of work the breaker guards (e.g. one model batch).
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  int64_t denied() const;
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t open_calls_ = 0;  // AllowRequest calls while open
+  int64_t denied_ = 0;
+};
+
+}  // namespace serve
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_SERVE_RESILIENCE_H_

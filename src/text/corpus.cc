@@ -137,5 +137,14 @@ int BatchIterator::batches_per_epoch() const {
   return std::max(1, num_docs_ / batch_size_);
 }
 
+void BatchIterator::RestoreState(std::vector<int> order, int cursor) {
+  CHECK_EQ(static_cast<int>(order.size()), num_docs_)
+      << "restored batch order is for a different corpus size";
+  CHECK_GE(cursor, 0);
+  CHECK_LE(cursor, num_docs_);
+  order_ = std::move(order);
+  cursor_ = cursor;
+}
+
 }  // namespace text
 }  // namespace contratopic

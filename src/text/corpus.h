@@ -98,6 +98,15 @@ class BatchIterator {
 
   int batches_per_epoch() const;
 
+  // Shuffle position, for checkpoint/resume: restoring (order, cursor) —
+  // together with the shared Rng's state — makes the subsequent Next()
+  // sequence bitwise-identical to the saved iterator's.
+  const std::vector<int>& order() const { return order_; }
+  int cursor() const { return cursor_; }
+  // `order` must be a permutation of [0, num_docs); cursor in
+  // [0, num_docs].
+  void RestoreState(std::vector<int> order, int cursor);
+
  private:
   int num_docs_;
   int batch_size_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
 
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -98,111 +101,335 @@ TrainStats NeuralTopicModel::TrainMore(const text::BowCorpus& corpus,
   return RunTrainingLoop(corpus, epochs);
 }
 
+TrainStats NeuralTopicModel::ResumeTraining(const text::BowCorpus& corpus,
+                                            const TrainingState& state) {
+  TrainStats stats;
+  stats.interrupted = true;
+  if (trained_) {
+    stats.status = util::Status::FailedPrecondition(
+        name_ + " is already trained; ResumeTraining targets a fresh model");
+    return stats;
+  }
+  if (corpus.num_docs() != state.num_docs) {
+    stats.status = util::Status::FailedPrecondition(
+        name_ + ": training state was captured on a corpus with " +
+        std::to_string(state.num_docs) + " docs, got " +
+        std::to_string(corpus.num_docs()));
+    return stats;
+  }
+  if (state.total_epochs <= 0 || state.next_global_step < 0) {
+    stats.status = util::Status::InvalidArgument(
+        name_ + ": training state has an invalid step budget");
+    return stats;
+  }
+  Prepare(corpus);
+  return RunTrainingLoop(corpus, state.total_epochs, &state);
+}
+
 TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
-                                             int epochs) {
+                                             int epochs,
+                                             const TrainingState* resume) {
   SetTraining(true);
 
   nn::Adam adam(config_.learning_rate);
   text::BatchIterator batches(corpus.num_docs(), config_.batch_size, rng_);
   const int steps_per_epoch = batches.batches_per_epoch();
+  const int total_steps = std::max(1, epochs * steps_per_epoch);
 
   util::MetricsRegistry& metrics = util::MetricsRegistry::Global();
   util::Counter& step_counter = metrics.counter("train.steps");
   util::Counter& epoch_counter = metrics.counter("train.epochs");
   util::Histogram& loss_histogram = metrics.histogram("train.batch_loss");
+  util::Counter& rollback_counter = metrics.counter("train.rollbacks");
+  util::Counter& ckpt_failure_counter =
+      metrics.counter("train.checkpoint_failures");
+  util::FaultInjector& faults = util::FaultInjector::Global();
 
-  util::TraceSpan train_span("train");
-  double last_epoch_loss = 0.0;
-  const int total_steps = std::max(1, epochs * steps_per_epoch);
+  // Loop state. Every field here is mirrored by TrainingState, so a run
+  // resumed from a checkpoint continues the exact arithmetic sequence of
+  // the interrupted one (DESIGN.md §11).
   int global_step = 0;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    util::TraceSpan epoch_span("epoch");
-    double epoch_loss = 0.0;
-    // Per-stage wall time within the epoch, and per-component loss sums,
-    // accumulated across steps. std::map keeps component order (hence the
-    // telemetry field order) independent of which step reported first.
-    double data_seconds = 0.0;
-    double forward_seconds = 0.0;
-    double backward_seconds = 0.0;
-    double optimizer_seconds = 0.0;
-    std::map<std::string, double> component_sums;
-    for (int step = 0; step < steps_per_epoch; ++step) {
-      training_progress_ =
-          static_cast<double>(global_step++) / total_steps;
-      Batch batch;
-      {
-        util::TraceSpan span("data");
-        batch.indices = batches.Next();
-        batch.counts = corpus.DenseBatch(batch.indices);
-        batch.normalized = corpus.NormalizedBatch(batch.indices);
-        batch.corpus = &corpus;
-        data_seconds += span.ElapsedSeconds();
-      }
+  double epoch_loss = 0.0;
+  // std::map keeps component order (hence the telemetry field order)
+  // independent of which step reported first.
+  std::map<std::string, double> component_sums;
+  double last_epoch_loss = 0.0;
 
-      BatchGraph graph;
-      {
-        util::TraceSpan span("forward");
-        graph = BuildBatch(batch);
-        forward_seconds += span.ElapsedSeconds();
-      }
-      CHECK(graph.loss.defined());
-      {
-        util::TraceSpan span("backward");
-        autodiff::Backward(graph.loss);
-        backward_seconds += span.ElapsedSeconds();
-      }
-      {
-        util::TraceSpan span("optimizer");
-        auto params = Parameters();
-        nn::ClipGradNorm(params, config_.grad_clip);
-        adam.Step(params);
-        for (auto& p : params) p.var.ZeroGrad();
-        optimizer_seconds += span.ElapsedSeconds();
-      }
-      const double batch_loss = graph.loss.value().scalar();
-      epoch_loss += batch_loss;
-      loss_histogram.Observe(batch_loss);
-      step_counter.Increment();
-      for (const auto& [name, value] : graph.loss_components) {
-        component_sums[name] += static_cast<double>(value);
-      }
-      if (!graph.beta.defined()) {
-        // Models must expose beta; guard against subclass bugs early.
-        LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
-      }
-      final_beta_ = graph.beta.value();
+  const auto capture = [&]() {
+    TrainingState s;
+    s.num_docs = corpus.num_docs();
+    s.total_epochs = epochs;
+    s.next_global_step = global_step;
+    s.adam = adam.ExportState(Parameters());
+    for (util::Rng* stream : TrainingRngs()) {
+      s.rngs.push_back(stream->SaveState());
     }
-    last_epoch_loss = epoch_loss / steps_per_epoch;
-    epoch_counter.Increment();
-    if (config_.verbose) {
-      LOG(INFO) << name_ << " epoch " << epoch + 1 << "/" << epochs
-                << " loss=" << last_epoch_loss;
+    s.batch_order = batches.order();
+    s.batch_cursor = batches.cursor();
+    s.epoch_loss_sum = epoch_loss;
+    for (const auto& [cname, sum] : component_sums) {
+      s.component_sums.emplace_back(cname, sum);
     }
-    if (telemetry_ != nullptr) {
-      util::EpochTelemetry record;
-      record.epoch = epoch + 1;
-      record.total_epochs = epochs;
-      record.loss = last_epoch_loss;
-      for (const auto& [name, sum] : component_sums) {
-        record.loss_components.emplace_back(name, sum / steps_per_epoch);
-      }
-      if (epoch_evaluator_) {
-        util::TraceSpan span("epoch_eval");
-        record.metrics = epoch_evaluator_(final_beta_);
-      }
-      record.seconds = epoch_span.ElapsedSeconds();
-      record.stage_seconds = {{"data", data_seconds},
-                              {"forward", forward_seconds},
-                              {"backward", backward_seconds},
-                              {"optimizer", optimizer_seconds}};
-      telemetry_->RecordEpoch(record);
+    s.last_epoch_loss = last_epoch_loss;
+    return s;
+  };
+  // Restores loop state. Order matters: the BatchIterator constructor
+  // above consumed shuffle draws from rng_, so the RNG restore must come
+  // after construction and the iterator then gets its saved permutation.
+  const auto restore = [&](const TrainingState& s) -> util::Status {
+    util::Status adam_status = adam.ImportState(s.adam, Parameters());
+    if (!adam_status.ok()) return adam_status;
+    const std::vector<util::Rng*> streams = TrainingRngs();
+    if (s.rngs.size() != streams.size()) {
+      return util::Status::FailedPrecondition(
+          name_ + ": training state has " + std::to_string(s.rngs.size()) +
+          " RNG stream(s) but this model trains from " +
+          std::to_string(streams.size()));
+    }
+    for (size_t i = 0; i < streams.size(); ++i) {
+      streams[i]->RestoreState(s.rngs[i]);
+    }
+    batches.RestoreState(s.batch_order, s.batch_cursor);
+    global_step = s.next_global_step;
+    epoch_loss = s.epoch_loss_sum;
+    component_sums.clear();
+    for (const auto& [cname, sum] : s.component_sums) {
+      component_sums[cname] = sum;
+    }
+    last_epoch_loss = s.last_epoch_loss;
+    return util::Status::OK();
+  };
+
+  TrainStats stats;
+  if (resume != nullptr) {
+    util::Status restore_status = restore(*resume);
+    if (!restore_status.ok()) {
+      stats.status = std::move(restore_status);
+      stats.interrupted = true;
+      SetTraining(false);
+      return stats;
     }
   }
+
+  // Rollback target for the numeric guard rails: deep copies of every
+  // state tensor plus the matching loop state. Refreshed at every epoch
+  // boundary and checkpoint, i.e. a rollback replays at most one epoch.
+  std::vector<Tensor> snapshot_tensors;
+  TrainingState snapshot_state;
+  const auto take_snapshot = [&]() {
+    snapshot_state = capture();
+    snapshot_tensors.clear();
+    for (const auto& t : StateTensors()) {
+      snapshot_tensors.push_back(*t.tensor);
+    }
+  };
+  const auto roll_back = [&]() {
+    std::vector<nn::NamedTensor> live = StateTensors();
+    CHECK_EQ(live.size(), snapshot_tensors.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      *live[i].tensor = snapshot_tensors[i];
+    }
+    // Cannot fail: the snapshot came from this very model.
+    CHECK(restore(snapshot_state).ok());
+  };
+  if (guard_rails_armed_) take_snapshot();
+
+  util::TraceSpan train_span("train");
+  int rollbacks = 0;
+  double data_seconds = 0.0;
+  double forward_seconds = 0.0;
+  double backward_seconds = 0.0;
+  double optimizer_seconds = 0.0;
+  std::optional<util::TraceSpan> epoch_span;
+
+  // Early-stop bookkeeping shared by the kill site and the guard rails'
+  // budget-exhausted path. The model is NOT marked trained.
+  const auto stop_early = [&](util::Status status) {
+    LOG(WARNING) << name_ << ": training stopped early: "
+                 << status.ToString();
+    stats.status = std::move(status);
+    stats.interrupted = true;
+    stats.rollbacks = rollbacks;
+    stats.total_seconds = train_span.ElapsedSeconds();
+    stats.epochs = global_step / steps_per_epoch;
+    stats.seconds_per_epoch =
+        stats.epochs > 0 ? stats.total_seconds / stats.epochs : 0.0;
+    stats.final_loss = last_epoch_loss;
+    stats.extra_memory_bytes = ExtraMemoryBytes();
+    SetTraining(false);
+    return stats;
+  };
+  const auto guard_tripped = [&](const std::string& what) -> bool {
+    // Returns true when the budget is exhausted (caller stops); otherwise
+    // rolls back and the caller retries from the snapshot.
+    if (rollbacks >= guard_rails_.max_rollbacks) return true;
+    ++rollbacks;
+    rollback_counter.Increment();
+    LOG(WARNING) << name_ << ": " << what << " at step " << global_step
+                 << "; rolling back to step "
+                 << snapshot_state.next_global_step;
+    roll_back();
+    return false;
+  };
+
+  while (global_step < epochs * steps_per_epoch) {
+    const int epoch = global_step / steps_per_epoch;
+    const int step_in_epoch = global_step % steps_per_epoch;
+    // Lazily opened so a mid-epoch resume (or rollback) re-enters the
+    // in-flight epoch without double-opening its span.
+    if (!epoch_span) epoch_span.emplace("epoch");
+    training_progress_ = static_cast<double>(global_step) / total_steps;
+
+    Batch batch;
+    {
+      util::TraceSpan span("data");
+      batch.indices = batches.Next();
+      batch.counts = corpus.DenseBatch(batch.indices);
+      batch.normalized = corpus.NormalizedBatch(batch.indices);
+      batch.corpus = &corpus;
+      data_seconds += span.ElapsedSeconds();
+    }
+
+    BatchGraph graph;
+    {
+      util::TraceSpan span("forward");
+      graph = BuildBatch(batch);
+      forward_seconds += span.ElapsedSeconds();
+    }
+    CHECK(graph.loss.defined());
+    double batch_loss = graph.loss.value().scalar();
+    // Chaos: pretend the forward pass diverged. Checked by the guard
+    // rails below exactly like an organic NaN.
+    if (faults.ShouldFail("train.loss_corrupt")) {
+      batch_loss = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    // Guard rail 1: the batch loss, inspected before any state mutates.
+    if (guard_rails_armed_) {
+      const char* bad = nullptr;
+      if (guard_rails_.check_nonfinite && !std::isfinite(batch_loss)) {
+        bad = "non-finite batch loss";
+      } else if (guard_rails_.loss_spike_factor > 0.0 &&
+                 last_epoch_loss > 0.0 &&
+                 batch_loss >
+                     guard_rails_.loss_spike_factor * last_epoch_loss) {
+        bad = "batch loss spike";
+      }
+      if (bad != nullptr) {
+        if (guard_tripped(bad)) {
+          return stop_early(util::Status::DataLoss(
+              name_ + ": " + bad + " at step " +
+              std::to_string(global_step) + " with the rollback budget (" +
+              std::to_string(guard_rails_.max_rollbacks) + ") exhausted"));
+        }
+        continue;
+      }
+    }
+
+    {
+      util::TraceSpan span("backward");
+      autodiff::Backward(graph.loss);
+      backward_seconds += span.ElapsedSeconds();
+    }
+    // Guard rail 2: the pre-clip gradient norm. A non-finite norm skips
+    // the Adam step (which would poison the moments), then rolls back.
+    bool grad_bad = false;
+    {
+      util::TraceSpan span("optimizer");
+      auto params = Parameters();
+      const float grad_norm = nn::ClipGradNorm(params, config_.grad_clip);
+      grad_bad = guard_rails_armed_ && guard_rails_.check_nonfinite &&
+                 !std::isfinite(grad_norm);
+      if (!grad_bad) adam.Step(params);
+      for (auto& p : params) p.var.ZeroGrad();
+      optimizer_seconds += span.ElapsedSeconds();
+    }
+    if (grad_bad) {
+      if (guard_tripped("non-finite gradient norm")) {
+        return stop_early(util::Status::DataLoss(
+            name_ + ": non-finite gradient norm at step " +
+            std::to_string(global_step) + " with the rollback budget (" +
+            std::to_string(guard_rails_.max_rollbacks) + ") exhausted"));
+      }
+      continue;
+    }
+
+    epoch_loss += batch_loss;
+    loss_histogram.Observe(batch_loss);
+    step_counter.Increment();
+    for (const auto& [cname, value] : graph.loss_components) {
+      component_sums[cname] += static_cast<double>(value);
+    }
+    if (!graph.beta.defined()) {
+      // Models must expose beta; guard against subclass bugs early.
+      LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
+    }
+    final_beta_ = graph.beta.value();
+    ++global_step;
+
+    const bool epoch_end = step_in_epoch == steps_per_epoch - 1;
+    if (epoch_end) {
+      last_epoch_loss = epoch_loss / steps_per_epoch;
+      epoch_counter.Increment();
+      if (config_.verbose) {
+        LOG(INFO) << name_ << " epoch " << epoch + 1 << "/" << epochs
+                  << " loss=" << last_epoch_loss;
+      }
+      if (telemetry_ != nullptr) {
+        util::EpochTelemetry record;
+        record.epoch = epoch + 1;
+        record.total_epochs = epochs;
+        record.loss = last_epoch_loss;
+        for (const auto& [cname, sum] : component_sums) {
+          record.loss_components.emplace_back(cname, sum / steps_per_epoch);
+        }
+        if (epoch_evaluator_) {
+          util::TraceSpan span("epoch_eval");
+          record.metrics = epoch_evaluator_(final_beta_);
+        }
+        record.seconds = epoch_span->ElapsedSeconds();
+        record.stage_seconds = {{"data", data_seconds},
+                                {"forward", forward_seconds},
+                                {"backward", backward_seconds},
+                                {"optimizer", optimizer_seconds}};
+        telemetry_->RecordEpoch(record);
+      }
+      epoch_span.reset();
+      epoch_loss = 0.0;
+      component_sums.clear();
+      data_seconds = forward_seconds = 0.0;
+      backward_seconds = optimizer_seconds = 0.0;
+    }
+
+    // Auto-checkpoint, then the kill site: a fired "train.kill" stands in
+    // for a crash, so the last checkpoint written is exactly what a
+    // recovering process finds on disk.
+    const bool checkpoint_due =
+        checkpoint_sink_ &&
+        (checkpoint_every_steps_ > 0
+             ? global_step % checkpoint_every_steps_ == 0
+             : epoch_end);
+    if (checkpoint_due) {
+      util::Status ckpt_status = checkpoint_sink_(capture());
+      if (!ckpt_status.ok()) {
+        ckpt_failure_counter.Increment();
+        LOG(WARNING) << name_ << ": auto-checkpoint at step " << global_step
+                     << " failed: " << ckpt_status.ToString();
+      }
+    }
+    if (guard_rails_armed_ && (epoch_end || checkpoint_due)) take_snapshot();
+    if (faults.ShouldFail("train.kill")) {
+      return stop_early(util::Status::Cancelled(
+          name_ + ": injected kill after step " +
+          std::to_string(global_step)));
+    }
+  }
+  epoch_span.reset();
 
   SetTraining(false);
   trained_ = true;
   training_progress_ = 1.0;
-  TrainStats stats;
+  stats.rollbacks = rollbacks;
   stats.total_seconds = train_span.ElapsedSeconds();
   stats.epochs = epochs;
   stats.seconds_per_epoch =

@@ -65,6 +65,48 @@ class VaeEncoder : public nn::Module {
   util::Rng* rng_;
 };
 
+// Serializable mid-training snapshot: everything RunTrainingLoop needs —
+// beyond the parameter/buffer tensors themselves — to continue a run so
+// that the remaining steps are bitwise-identical to an uninterrupted
+// run's (DESIGN.md §11). Checkpoint v2 carries one of these next to the
+// state dict; the numeric guard rails keep an in-memory copy (plus
+// tensors) as the rollback target.
+struct TrainingState {
+  int num_docs = 0;       // training corpus size; validated on resume
+  int total_epochs = 0;   // epoch budget of the interrupted Train() call
+  int next_global_step = 0;  // steps completed so far
+  nn::AdamState adam;
+  // Every RNG stream the training loop consumes, in TrainingRngs()
+  // order: the model's own generator (epoch shuffles, subclass draws)
+  // first, then any wrapped models' (e.g. ContraTopic's backbone draws
+  // its encoder noise from its own generator).
+  std::vector<util::Rng::State> rngs;
+  // Shuffle position of the minibatch iterator.
+  std::vector<int> batch_order;
+  int batch_cursor = 0;
+  // Partial accumulators of the in-flight epoch, so a mid-epoch resume
+  // reports the same epoch-mean loss as an uninterrupted run.
+  double epoch_loss_sum = 0.0;
+  std::vector<std::pair<std::string, double>> component_sums;
+  double last_epoch_loss = 0.0;
+};
+
+// Numeric guard rails for the training loop. Contrastive objectives can
+// destabilize ELBO optimization (Nguyen & Luu 2021); instead of aborting
+// on a NaN, the loop detects bad steps and rolls back to the last good
+// snapshot, reporting through TrainStats::status and telemetry.
+struct GuardRailOptions {
+  // Reject a step whose loss or pre-clip gradient norm is NaN/Inf.
+  bool check_nonfinite = true;
+  // > 0: reject a step whose batch loss exceeds this factor times the
+  // previous completed epoch's mean loss (no reference in epoch one).
+  // The reference is part of TrainingState, so spike decisions are
+  // identical in resumed and uninterrupted runs.
+  double loss_spike_factor = 0.0;
+  // Rollbacks allowed before the loop gives up with kDataLoss.
+  int max_rollbacks = 3;
+};
+
 // Base class implementing Train()/InferTheta() on top of BuildBatch().
 class NeuralTopicModel : public TopicModel {
  public:
@@ -74,6 +116,15 @@ class NeuralTopicModel : public TopicModel {
   int num_topics() const override { return config_.num_topics; }
 
   TrainStats Train(const text::BowCorpus& corpus) override;
+  // Continues an interrupted run from `state` (typically read from a
+  // checkpoint v2 and restored onto this freshly rebuilt model via
+  // serve::ResumeModel). Runs Prepare() then the remaining steps of the
+  // original epoch budget. The resumed run's beta/theta/loss are
+  // bitwise-identical to an uninterrupted run's at any thread count.
+  // Returns interrupted stats with a non-OK status when `state` does not
+  // match this model/corpus.
+  TrainStats ResumeTraining(const text::BowCorpus& corpus,
+                            const TrainingState& state);
   // Continues training an already-trained model on (new) data for
   // `epochs` epochs without re-running Prepare(): the online / streaming
   // path (paper §VI future work). Optimizer state is rebuilt per call.
@@ -115,6 +166,14 @@ class NeuralTopicModel : public TopicModel {
   // (pointers into live model storage; unique names CHECK-enforced).
   std::vector<nn::NamedTensor> StateTensors();
 
+  // Every RNG stream the training loop consumes, the model's own
+  // generator first. Wrapper models that drive another NeuralTopicModel
+  // (ContraTopic around its ETM backbone) must append the wrapped
+  // model's streams: checkpoint/resume and guard-rail rollback restore
+  // exactly these generators, and a stream left out silently desyncs the
+  // encoder noise on replay (bitwise-resume tests catch this).
+  virtual std::vector<util::Rng*> TrainingRngs() { return {&rng_}; }
+
   // Marks the model as trained with the given cached topic-word
   // distribution and switches it to evaluation mode — the final step of a
   // checkpoint restore, after StateTensors() have been overwritten.
@@ -137,6 +196,11 @@ class NeuralTopicModel : public TopicModel {
   const TrainConfig& config() const { return config_; }
   util::Rng& rng() { return rng_; }
   bool trained() const { return trained_; }
+
+  // K x V beta from the most recent completed training step; defined once
+  // one step has run and readable mid-training, unlike Beta() which
+  // requires a trained model. Training checkpoints freeze this.
+  const Tensor& LatestBeta() const { return final_beta_; }
 
   // Fraction of training completed, in [0, 1] (1 after training). Lets
   // subclasses ramp regularizers (e.g. ContraTopic's lambda warmup).
@@ -162,9 +226,34 @@ class NeuralTopicModel : public TopicModel {
     epoch_evaluator_ = std::move(evaluator);
   }
 
+  // --- Fault tolerance (DESIGN.md §11) ---------------------------------
+
+  // Periodic auto-checkpointing: every `every_steps` completed steps (<= 0
+  // means at every epoch boundary) the loop captures a TrainingState and
+  // hands it to `sink` — typically serve::SaveTrainingCheckpoint bound to
+  // a path. Sink failures are logged and counted
+  // ("train.checkpoint_failures"), never fatal. The loop also consults
+  // the "train.kill" fault-injection site right after each checkpoint;
+  // when it fires, training stops with kCancelled — the in-process
+  // stand-in for a crash that the recovery tests resume from.
+  using CheckpointSink = std::function<util::Status(const TrainingState&)>;
+  void SetAutoCheckpoint(int every_steps, CheckpointSink sink) {
+    checkpoint_every_steps_ = every_steps;
+    checkpoint_sink_ = std::move(sink);
+  }
+
+  // Arms the numeric guard rails (NaN/Inf and loss-spike detection with
+  // rollback-to-last-good-snapshot).
+  void SetGuardRails(const GuardRailOptions& options) {
+    guard_rails_ = options;
+    guard_rails_armed_ = true;
+  }
+
  protected:
-  // Shared epoch loop used by Train and TrainMore.
-  TrainStats RunTrainingLoop(const text::BowCorpus& corpus, int epochs);
+  // Shared epoch loop used by Train, TrainMore, and ResumeTraining.
+  // `resume` is null for a fresh run.
+  TrainStats RunTrainingLoop(const text::BowCorpus& corpus, int epochs,
+                             const TrainingState* resume = nullptr);
 
   std::string name_;
   TrainConfig config_;
@@ -175,6 +264,10 @@ class NeuralTopicModel : public TopicModel {
   double training_progress_ = 0.0;
   util::RunTelemetry* telemetry_ = nullptr;  // not owned
   EpochEvaluator epoch_evaluator_;
+  int checkpoint_every_steps_ = 0;
+  CheckpointSink checkpoint_sink_;
+  GuardRailOptions guard_rails_;
+  bool guard_rails_armed_ = false;
 };
 
 }  // namespace topicmodel

@@ -13,6 +13,7 @@
 
 #include "tensor/tensor.h"
 #include "text/corpus.h"
+#include "util/status.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -42,6 +43,14 @@ struct TrainStats {
   // Extra memory attributable to the method (e.g. the NPMI matrix held by
   // ContraTopic); reported by the computational-analysis bench (§V.E).
   int64_t extra_memory_bytes = 0;
+  // Fault-tolerance outcome (DESIGN.md §11). `status` is non-OK when the
+  // loop stopped early: kCancelled for an injected kill, kDataLoss when
+  // the numeric guard rails exhausted their rollback budget. The model is
+  // only marked trained when `interrupted` is false.
+  util::Status status;
+  // Guard-rail rollbacks performed (non-finite loss/gradients, spikes).
+  int rollbacks = 0;
+  bool interrupted = false;
 };
 
 // Everything a fresh process needs to rebuild a model's *architecture*

@@ -1,0 +1,123 @@
+#include "util/fault.h"
+
+#include "util/metrics.h"
+
+namespace contratopic {
+namespace util {
+
+uint64_t MixBits(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+// FNV-1a over the site name; stable across platforms.
+uint64_t HashSite(const std::string& site) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : site) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Whether the `call`-th call at `site` fires under `probability`. A pure
+// function of its arguments — no RNG stream — so the decision for a
+// given call index cannot depend on how calls interleave across threads.
+bool ProbabilityFires(uint64_t seed, uint64_t site_hash, int64_t call,
+                      double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  const uint64_t h =
+      MixBits(seed ^ MixBits(site_hash ^ static_cast<uint64_t>(call)));
+  // 53 bits -> uniform double in [0, 1), same construction as Rng::Uniform.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < probability;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* const injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  if (!state.armed) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.spec = spec;
+  state.calls = 0;
+  state.fires = 0;
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seed_ = 0;
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+bool FaultInjector::ShouldFail(const std::string& site) {
+  // Fast path: nothing armed anywhere — do not even register the site.
+  // Registration only matters to chaos runs, which arm at least one site.
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) return false;
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& state = sites_[site];
+    const int64_t call = state.calls++;
+    if (!state.armed) return false;
+    const FaultSpec& spec = state.spec;
+    if (spec.max_fires >= 0 && state.fires >= spec.max_fires) return false;
+    if (spec.every_nth > 0 && call % spec.every_nth == spec.every_nth - 1) {
+      fired = true;
+    }
+    if (!fired && ProbabilityFires(seed_, HashSite(site), call,
+                                   spec.probability)) {
+      fired = true;
+    }
+    if (fired) ++state.fires;
+  }
+  if (fired) MetricsRegistry::Global().counter("fault.injected").Increment();
+  return fired;
+}
+
+std::vector<std::string> FaultInjector::RegisteredSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sites_.size());
+  for (const auto& [name, state] : sites_) names.push_back(name);
+  return names;
+}
+
+int64_t FaultInjector::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+int64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,111 @@
+#ifndef CONTRATOPIC_UTIL_FAULT_H_
+#define CONTRATOPIC_UTIL_FAULT_H_
+
+// Deterministic fault injection (DESIGN.md §11). Production code is
+// sprinkled with named *injection sites*:
+//
+//   if (util::FaultInjector::Global().ShouldFail("checkpoint.rename")) {
+//     return Status::IOError("injected: rename failed");
+//   }
+//
+// A disarmed site costs one relaxed atomic load. Tests (and the chaos CI
+// job) arm sites with a FaultSpec that fires either on every nth call or
+// with a per-call probability. The schedule is *deterministic and
+// thread-count-invariant*: whether the k-th call at a site fails is a
+// pure function of (injector seed, site name, k), never of wall clock,
+// thread interleaving, or which thread happens to make the call. Two runs
+// that perform the same work therefore see the same fault schedule — the
+// property the crash-recovery and chaos tests rely on
+// (tests/fault_injection_test.cc).
+//
+// Sites register themselves on first ShouldFail, so RegisteredSites()
+// enumerates every site the process actually exercised — the injection-
+// site registry the chaos suite walks to prove each one can fire.
+//
+// Every fire increments the global "fault.injected" metrics counter plus
+// a per-site tally, so chaos runs are visible in run telemetry.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace contratopic {
+namespace util {
+
+// SplitMix64 finalizer: the high-quality 64 -> 64 bit mix behind the
+// probability schedule. Exported for other counter-derived deterministic
+// "randomness" (e.g. serve::RetryPolicy's backoff jitter).
+uint64_t MixBits(uint64_t x);
+
+// How an armed site decides to fire. Exactly one trigger should be set;
+// with both set, either firing fires the site.
+struct FaultSpec {
+  // Fire when (call index) % every_nth == every_nth - 1, i.e. the nth,
+  // 2nth, ... calls (1 fires every call). 0 disables the trigger.
+  int64_t every_nth = 0;
+  // Fire each call with this probability, decided by hashing
+  // (seed, site, call index) — not by a shared RNG stream, so the
+  // schedule is independent of thread interleaving. 0 disables.
+  double probability = 0.0;
+  // Stop firing after this many fires; < 0 means unlimited. The
+  // crash-recovery tests use max_fires = 1 to inject exactly one fault
+  // and then let the retried/rolled-back work succeed.
+  int64_t max_fires = -1;
+};
+
+class FaultInjector {
+ public:
+  // The process-wide injector every production site consults.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Arms `site` with `spec`; replaces any previous spec and resets the
+  // site's call/fire counters so a schedule always starts from call 0.
+  void Arm(const std::string& site, const FaultSpec& spec);
+  // Disarms `site` (its counters are kept for inspection).
+  void Disarm(const std::string& site);
+  // Disarms every site, forgets all counters, and restores the seed. The
+  // cheap "nothing armed" fast path is restored too.
+  void Reset();
+
+  // Seed folded into the probability hash; change it to explore a
+  // different (but equally reproducible) fault schedule.
+  void SetSeed(uint64_t seed);
+
+  // The hot call: true when the armed spec says this call fires.
+  // Registers `site` on first use; disarmed sites only pay an atomic
+  // load + (first time) a map insert.
+  bool ShouldFail(const std::string& site);
+
+  // Every site ShouldFail has ever been asked about, sorted by name.
+  std::vector<std::string> RegisteredSites() const;
+
+  int64_t calls(const std::string& site) const;
+  int64_t fires(const std::string& site) const;
+
+ private:
+  struct SiteState {
+    bool armed = false;
+    FaultSpec spec;
+    int64_t calls = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t seed_ = 0;
+  // Count of armed sites, mirrored outside the lock so disarmed
+  // processes (production) skip the mutex entirely.
+  std::atomic<int> armed_sites_{0};
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_FAULT_H_

@@ -188,5 +188,19 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace util
 }  // namespace contratopic

@@ -77,6 +77,18 @@ class Rng {
   // model its own deterministic stream.
   Rng Fork();
 
+  // Complete generator state, for checkpoint/resume: the xoshiro words
+  // plus the Box-Muller carry. Restoring a saved state makes the next
+  // draw sequence bitwise-identical to what the saved generator would
+  // have produced (the resumable-training contract, DESIGN.md §11).
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_normal_ = false;

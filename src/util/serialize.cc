@@ -30,6 +30,8 @@ void BinaryWriter::WriteU64(uint64_t v) { WriteBytes(&v, sizeof(v)); }
 
 void BinaryWriter::WriteF32(float v) { WriteBytes(&v, sizeof(v)); }
 
+void BinaryWriter::WriteF64(double v) { WriteBytes(&v, sizeof(v)); }
+
 void BinaryWriter::WriteString(const std::string& s) {
   WriteU64(s.size());
   WriteBytes(s.data(), s.size());
@@ -90,6 +92,7 @@ T BinaryReader::ReadPod() {
 uint32_t BinaryReader::ReadU32() { return ReadPod<uint32_t>(); }
 uint64_t BinaryReader::ReadU64() { return ReadPod<uint64_t>(); }
 float BinaryReader::ReadF32() { return ReadPod<float>(); }
+double BinaryReader::ReadF64() { return ReadPod<double>(); }
 
 std::string BinaryReader::ReadString() {
   const uint64_t n = ReadU64();

@@ -33,6 +33,7 @@ class BinaryWriter {
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
   void WriteF32(float v);
+  void WriteF64(double v);
   void WriteString(const std::string& s);
   void WriteFloatVector(const std::vector<float>& v);
   void WriteIntVector(const std::vector<int>& v);
@@ -60,6 +61,7 @@ class BinaryReader {
   uint32_t ReadU32();
   uint64_t ReadU64();
   float ReadF32();
+  double ReadF64();
   std::string ReadString();
   std::vector<float> ReadFloatVector();
   std::vector<int> ReadIntVector();

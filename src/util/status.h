@@ -29,6 +29,13 @@ enum class StatusCode {
   // Stored data is unrecoverably corrupt (checksum mismatch, impossible
   // lengths); retrying will not help.
   kDataLoss,
+  // The operation was abandoned because its owner shut down (e.g. a
+  // batcher failed its pending queue on destruction). Not retryable
+  // against the same instance.
+  kCancelled,
+  // The per-request deadline expired before the work ran; the caller may
+  // retry with a longer deadline.
+  kDeadlineExceeded,
 };
 
 // Returns a short human-readable name, e.g. "INVALID_ARGUMENT".
@@ -64,6 +71,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

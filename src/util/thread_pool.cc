@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
+#include "util/fault.h"
 #include "util/logging.h"
 
 namespace contratopic {
@@ -124,6 +126,14 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+    }
+    // Chaos hook: a fired "threadpool.task_delay" stalls this worker
+    // briefly before the task runs — a deterministic stand-in for a slow
+    // batch / preempted core. The task still executes, so results are
+    // unchanged; only timing-sensitive layers (deadlines, retries) see
+    // the fault.
+    if (FaultInjector::Global().ShouldFail("threadpool.task_delay")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
     task();
     {

@@ -19,6 +19,7 @@
 #include "tensor/tensor.h"
 #include "text/corpus.h"
 #include "text/synthetic.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -296,6 +297,100 @@ TEST(CheckpointTest, TrailingGarbageIsDataLoss) {
 }
 
 // ---------------------------------------------------------------------------
+// Format versioning: the v2 reader still accepts v1 files
+// ---------------------------------------------------------------------------
+
+// Downgrades a v2 file with no training state to the v1 wire format: the
+// payload loses its trailing u32 has-training-state flag and the header
+// is restamped (version, checksum, payload size).
+std::string AsV1(const std::string& v2_bytes) {
+  CHECK_GT(v2_bytes.size(), 28u);
+  std::string v1 = v2_bytes.substr(0, v2_bytes.size() - 4);
+  const uint32_t version = 1;
+  std::memcpy(&v1[4], &version, sizeof(version));
+  const uint64_t checksum = Fnv1a64(v1.data() + 24, v1.size() - 24);
+  std::memcpy(&v1[8], &checksum, sizeof(checksum));
+  const uint64_t payload_size = v1.size() - 24;
+  std::memcpy(&v1[16], &payload_size, sizeof(payload_size));
+  return v1;
+}
+
+TEST(CheckpointTest, V1FileStillReadsAndRestores) {
+  CheckpointFixture& shared = Shared();
+  const std::string path =
+      WriteBytes("v1_compat.ckpt", AsV1(shared.etm_bytes));
+  util::StatusOr<Checkpoint> v1 = ReadCheckpoint(path);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_FALSE(v1->has_training_state);
+
+  util::StatusOr<Checkpoint> v2 = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(v2->has_training_state);
+  EXPECT_TRUE(TensorsBitwiseEqual(v1->beta, v2->beta));
+  ASSERT_EQ(v1->tensors.size(), v2->tensors.size());
+  for (size_t i = 0; i < v1->tensors.size(); ++i) {
+    EXPECT_EQ(v1->tensors[i].first, v2->tensors[i].first);
+    EXPECT_TRUE(
+        TensorsBitwiseEqual(v1->tensors[i].second, v2->tensors[i].second));
+  }
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> restored =
+      RestoreModel(*v1);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+}
+
+TEST(CheckpointTest, BadTrainingStateFlagIsDataLoss) {
+  // The v2 flag must be exactly 0 or 1; any other value means the file is
+  // structurally corrupt even if the checksum was recomputed to match.
+  CheckpointFixture& shared = Shared();
+  std::string corrupt = shared.etm_bytes;
+  const uint32_t bad_flag = 2;
+  std::memcpy(&corrupt[corrupt.size() - 4], &bad_flag, sizeof(bad_flag));
+  const uint64_t checksum = Fnv1a64(corrupt.data() + 24, corrupt.size() - 24);
+  std::memcpy(&corrupt[8], &checksum, sizeof(checksum));
+  util::StatusOr<Checkpoint> ckpt =
+      ReadCheckpoint(WriteBytes("bad_flag.ckpt", corrupt));
+  ASSERT_FALSE(ckpt.ok());
+  EXPECT_EQ(ckpt.status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, InjectedWriteFaultNeverClobbersTheOldFile) {
+  CheckpointFixture& shared = Shared();
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  faults.Reset();
+  const std::string path = WriteBytes("atomic_target.ckpt", shared.etm_bytes);
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+
+  // The "checkpoint.write" site fires after the temp file is written but
+  // before the rename -- the worst possible crash point.
+  util::FaultSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 1;
+  faults.Arm("checkpoint.write", spec);
+  util::Status failed = WriteCheckpoint(*ckpt, path);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+
+  // The destination still holds the old, fully valid bytes, and the temp
+  // file was cleaned up.
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes, shared.etm_bytes);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+
+  // The fault schedule is exhausted: a retry succeeds end to end.
+  util::Status retried = WriteCheckpoint(*ckpt, path);
+  EXPECT_TRUE(retried.ok()) << retried;
+  EXPECT_TRUE(ReadCheckpoint(path).ok());
+  faults.Reset();
+}
+
+// ---------------------------------------------------------------------------
 // RestoreModel error cases (structurally valid checkpoints that do not
 // match any live architecture)
 // ---------------------------------------------------------------------------
@@ -346,6 +441,17 @@ TEST(CheckpointTest, RenamedTensorIsFailedPrecondition) {
       RestoreModel(*ckpt);
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointTest, ResumeModelWithoutTrainingStateIsFailedPrecondition) {
+  // A final (v2, no-training-state) checkpoint serves but cannot resume.
+  CheckpointFixture& shared = Shared();
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(shared.etm_path);
+  ASSERT_TRUE(ckpt.ok());
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> resumed =
+      ResumeModel(*ckpt);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // not -- and degrade gracefully (Status, never a crash) under overload.
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -15,12 +17,16 @@
 
 #include "core/model_zoo.h"
 #include "embed/word_embeddings.h"
+#include "serve/batcher.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/resilience.h"
 #include "tensor/tensor.h"
 #include "text/corpus.h"
 #include "text/synthetic.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace contratopic {
@@ -347,6 +353,297 @@ TEST(ServeTest, ContraTopicCheckpointServesBitwise) {
     ASSERT_TRUE(theta.ok()) << theta.status();
     EXPECT_TRUE(BitwiseEqual(*theta, reference, i)) << "doc " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Resilience primitives (serve/resilience.h)
+// ---------------------------------------------------------------------------
+
+TEST(ResilienceTest, BackoffScheduleIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 2.0;
+  policy.max_backoff_ms = 16.0;
+  policy.backoff_multiplier = 2.0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double wait = policy.BackoffMs(attempt);
+    // Same (seed, attempt) -> same wait, every time.
+    EXPECT_EQ(wait, policy.BackoffMs(attempt)) << "attempt " << attempt;
+    // Exponential base capped at max, jitter in [0, 50%).
+    const double base = std::min(policy.max_backoff_ms,
+                                 2.0 * std::pow(2.0, attempt - 1));
+    EXPECT_GE(wait, base) << "attempt " << attempt;
+    EXPECT_LT(wait, base * 1.5) << "attempt " << attempt;
+  }
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = 1;
+  bool any_differs = false;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    any_differs |= reseeded.BackoffMs(attempt) != policy.BackoffMs(attempt);
+  }
+  EXPECT_TRUE(any_differs) << "jitter_seed had no effect";
+}
+
+TEST(ResilienceTest, CircuitBreakerStateMachine) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.probe_interval = 3;
+  options.success_threshold = 2;
+  CircuitBreaker breaker(options);
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+
+  // A success between failures resets the consecutive count.
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Open: denied until the probe_interval-th call probes.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.denied(), 2);
+
+  // Half-open: success_threshold successes close it again.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // A half-open failure slams it shut again.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher resilience: deadlines, shutdown, retries
+// ---------------------------------------------------------------------------
+
+// A model-free batch function: request {{w, c}} echoes row {w}.
+MicroBatcher::BatchResult EchoBatch(
+    const std::vector<MicroBatcher::Request>& requests) {
+  std::vector<std::vector<float>> rows;
+  rows.reserve(requests.size());
+  for (const auto& r : requests) {
+    rows.push_back({static_cast<float>(r[0].first)});
+  }
+  return rows;
+}
+
+TEST(BatcherTest, ShutdownWithoutDrainCancelsQueuedRequests) {
+  MicroBatcher batcher(EchoBatch, MicroBatcher::Options());
+  batcher.Pause();
+  std::vector<std::future<MicroBatcher::Result>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(batcher.Submit({{i, 1}}));
+  }
+  batcher.Shutdown(/*drain_pending=*/false);
+  for (auto& f : futures) {
+    MicroBatcher::Result r = f.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), util::StatusCode::kCancelled);
+  }
+  // Submissions after shutdown are refused with kCancelled too.
+  MicroBatcher::Result late = batcher.Submit({{9, 1}}).get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(batcher.stats().cancelled, 4);
+}
+
+TEST(BatcherTest, ShutdownWithDrainCompletesQueuedRequests) {
+  MicroBatcher batcher(EchoBatch, MicroBatcher::Options());
+  batcher.Pause();
+  std::vector<std::future<MicroBatcher::Result>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(batcher.Submit({{i, 1}}));
+  }
+  batcher.Shutdown(/*drain_pending=*/true);
+  for (int i = 0; i < 3; ++i) {
+    MicroBatcher::Result r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ((*r)[0], static_cast<float>(i));
+  }
+  EXPECT_EQ(batcher.stats().cancelled, 0);
+}
+
+TEST(BatcherTest, ExpiredDeadlineFailsWithDeadlineExceeded) {
+  MicroBatcher batcher(EchoBatch, MicroBatcher::Options());
+  batcher.Pause();  // guarantee both requests wait in the queue
+  // deadline_ms = 0: already expired by the time dispatch reaches it.
+  std::future<MicroBatcher::Result> expired =
+      batcher.Submit({{3, 1}}, /*deadline_ms=*/0.0);
+  std::future<MicroBatcher::Result> generous =
+      batcher.Submit({{4, 1}}, /*deadline_ms=*/60000.0);
+  batcher.Resume();
+
+  MicroBatcher::Result late = expired.get();
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), util::StatusCode::kDeadlineExceeded);
+
+  MicroBatcher::Result fine = generous.get();
+  ASSERT_TRUE(fine.ok()) << fine.status();
+  EXPECT_EQ((*fine)[0], 4.0f);
+  EXPECT_EQ(batcher.stats().deadline_expired, 1);
+}
+
+TEST(BatcherTest, TransientBatchFailuresAreRetriedOnSchedule) {
+  std::atomic<int> attempts{0};
+  MicroBatcher::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff_ms = 0.01;
+  options.retry.max_backoff_ms = 0.1;
+  MicroBatcher batcher(
+      [&attempts](const std::vector<MicroBatcher::Request>& requests)
+          -> MicroBatcher::BatchResult {
+        if (attempts.fetch_add(1) < 2) {
+          return util::Status::Unavailable("transient model failure");
+        }
+        return EchoBatch(requests);
+      },
+      options);
+  MicroBatcher::Result r = batcher.Submit({{7, 1}}).get();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)[0], 7.0f);
+  EXPECT_EQ(attempts.load(), 3);
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.failed_batches, 0);
+}
+
+TEST(BatcherTest, ExhaustedRetriesFailTheRequests) {
+  MicroBatcher::Options options;
+  options.retry.max_attempts = 2;
+  options.retry.base_backoff_ms = 0.01;
+  options.retry.max_backoff_ms = 0.1;
+  util::Status last_status = util::Status::OK();
+  options.on_batch_done = [&last_status](const util::Status& s) {
+    last_status = s;
+  };
+  MicroBatcher batcher(
+      [](const std::vector<MicroBatcher::Request>&)
+          -> MicroBatcher::BatchResult {
+        return util::Status::Unavailable("model is down");
+      },
+      options);
+  MicroBatcher::Result r = batcher.Submit({{1, 1}}).get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kUnavailable);
+  batcher.Drain();
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(stats.failed_batches, 1);
+  EXPECT_EQ(last_status.code(), util::StatusCode::kUnavailable);
+}
+
+// ---------------------------------------------------------------------------
+// Engine resilience: injected batch faults, retries, circuit breaker
+// ---------------------------------------------------------------------------
+
+// Arms nothing itself; just guarantees no fault schedule leaks across
+// tests (the injector is process-global).
+struct FaultGuard {
+  FaultGuard() { util::FaultInjector::Global().Reset(); }
+  ~FaultGuard() { util::FaultInjector::Global().Reset(); }
+};
+
+TEST(ServeTest, EngineRetriesInjectedBatchFaults) {
+  FaultGuard guard;
+  ServeFixture& shared = Shared();
+  InferenceEngine::Options options;
+  options.cache_capacity = 0;
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff_ms = 0.01;
+  options.retry.max_backoff_ms = 0.1;
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  util::FaultSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 2;  // first two attempts fail, the third succeeds
+  util::FaultInjector::Global().Arm("serve.batch", spec);
+
+  InferenceEngine::ThetaResult theta =
+      (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(0)));
+  ASSERT_TRUE(theta.ok()) << theta.status();
+  EXPECT_TRUE(BitwiseEqual(*theta, shared.etm_theta, 0));
+  EXPECT_EQ((*engine)->stats().retries, 2);
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kHealthy);
+}
+
+TEST(ServeTest, EngineDegradesWhenBreakerOpensAndRecoversViaProbe) {
+  FaultGuard guard;
+  ServeFixture& shared = Shared();
+  InferenceEngine::Options options;
+  options.breaker.failure_threshold = 2;
+  options.breaker.probe_interval = 2;
+  options.breaker.success_threshold = 1;
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Warm the cache while healthy.
+  ASSERT_TRUE((*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(0))).ok());
+
+  // Two failed batches (no retries configured) trip the breaker.
+  util::FaultSpec spec;
+  spec.every_nth = 1;
+  spec.max_fires = 2;
+  util::FaultInjector::Global().Arm("serve.batch", spec);
+  for (int i = 1; i <= 2; ++i) {
+    InferenceEngine::ThetaResult failed =
+        (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(i)));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), util::StatusCode::kUnavailable);
+  }
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kDegraded);
+
+  // Degraded mode: cache hits and the frozen top-word lists still serve.
+  InferenceEngine::ThetaResult cached =
+      (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(0)));
+  ASSERT_TRUE(cached.ok()) << cached.status();
+  EXPECT_TRUE(BitwiseEqual(*cached, shared.etm_theta, 0));
+  EXPECT_TRUE((*engine)->TopicTopWords(0, 5).ok());
+
+  // ...but a miss fast-fails without touching the model.
+  const int64_t batches_before = (*engine)->stats().batches;
+  InferenceEngine::ThetaResult denied =
+      (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(3)));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ((*engine)->stats().batches, batches_before);
+  EXPECT_EQ((*engine)->stats().degraded, 1);
+
+  // The next miss is the probe (probe_interval = 2); the fault schedule
+  // is exhausted, so it succeeds and closes the breaker.
+  InferenceEngine::ThetaResult probe =
+      (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(4)));
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_TRUE(BitwiseEqual(*probe, shared.etm_theta, 4));
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kHealthy);
+}
+
+TEST(ServeTest, HealthAccessorTracksBreakerStates) {
+  ServeFixture& shared = Shared();
+  auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+  ASSERT_TRUE(engine.ok());
+  CircuitBreaker& breaker = (*engine)->breaker();
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kHealthy);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();  // default threshold
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kDegraded);
+  for (int i = 0; i < 8; ++i) breaker.AllowRequest();  // default probe cycle
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kRecovering);
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kHealthy);
 }
 
 }  // namespace

@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -9,8 +11,12 @@
 #include "embed/word_embeddings.h"
 #include "eval/metrics.h"
 #include "eval/npmi.h"
+#include "serve/checkpoint.h"
 #include "text/synthetic.h"
 #include "topicmodel/lda.h"
+#include "util/fault.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace topicmodel {
@@ -215,6 +221,197 @@ TEST(NeuralBaseTest, BetaBeforeTrainingIsAnError) {
   SharedFixture& shared = Shared();
   auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
   EXPECT_DEATH(model->Beta(), "not trained");
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance (DESIGN.md §11): crash recovery and numeric guard rails
+// ---------------------------------------------------------------------------
+
+bool TensorsBitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.rows()) * a.cols() *
+                         sizeof(float)) == 0;
+}
+
+// Train a model, kill it mid-run right after an auto-checkpoint, rebuild
+// from the file, resume -- and require the resumed run's beta, theta, and
+// final loss to be bitwise-identical to an uninterrupted run's.
+void RunCrashRecovery(int num_threads, const std::string& model_name) {
+  SharedFixture& shared = Shared();
+  const text::Vocabulary& vocab = shared.dataset.train.vocab();
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  util::ThreadPool::SetGlobalNumThreads(num_threads);
+  faults.Reset();
+
+  const TrainConfig config = TinyConfig();
+  const int steps_per_epoch =
+      (shared.dataset.train.num_docs() + config.batch_size - 1) /
+      config.batch_size;
+  const int total_steps = config.epochs * steps_per_epoch;
+  // Checkpoint mid-epoch, then crash two steps after the first one, so
+  // the resume replays a partially accumulated epoch.
+  const int ckpt_every = std::max(1, steps_per_epoch - 1);
+  const int kill_step = ckpt_every + 2;
+  ASSERT_LE(kill_step, total_steps) << "fixture too small for a mid-run kill";
+
+  // Straight-through reference.
+  auto straight = core::CreateModel(model_name, config, shared.embeddings);
+  const TrainStats straight_stats = straight->Train(shared.dataset.train);
+  ASSERT_TRUE(straight_stats.status.ok()) << straight_stats.status;
+
+  // Interrupted run: auto-checkpoint to disk, injected kill.
+  const std::string path = ::testing::TempDir() + "/crash_recovery_" +
+                           model_name + "_" + std::to_string(num_threads) +
+                           ".ckpt";
+  auto interrupted_owner =
+      core::CreateModel(model_name, config, shared.embeddings);
+  auto* interrupted =
+      dynamic_cast<NeuralTopicModel*>(interrupted_owner.get());
+  ASSERT_NE(interrupted, nullptr);
+  interrupted->SetAutoCheckpoint(
+      ckpt_every, [&](const TrainingState& state) {
+        return serve::SaveTrainingCheckpoint(*interrupted, vocab, state,
+                                             path);
+      });
+  util::FaultSpec kill;
+  kill.every_nth = kill_step;  // the kill site is consulted once per step
+  kill.max_fires = 1;
+  faults.Arm("train.kill", kill);
+  const TrainStats killed = interrupted->Train(shared.dataset.train);
+  faults.Reset();
+  ASSERT_TRUE(killed.interrupted);
+  EXPECT_EQ(killed.status.code(), util::StatusCode::kCancelled);
+  EXPECT_FALSE(interrupted->trained());
+
+  // Recovery: read the checkpoint a "fresh process" would find, rebuild
+  // the architecture, and resume the remaining steps.
+  util::StatusOr<serve::Checkpoint> ckpt = serve::ReadCheckpoint(path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+  ASSERT_TRUE(ckpt->has_training_state);
+  // The file on disk is the last checkpoint written at or before the kill
+  // step (the kill site runs right after the checkpoint sink).
+  EXPECT_GT(ckpt->training_state.next_global_step, 0);
+  EXPECT_LE(ckpt->training_state.next_global_step, kill_step);
+  EXPECT_EQ(ckpt->training_state.next_global_step % ckpt_every, 0);
+  util::StatusOr<std::unique_ptr<NeuralTopicModel>> resumed =
+      serve::ResumeModel(*ckpt);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_FALSE((*resumed)->trained());
+  const TrainStats resumed_stats =
+      (*resumed)->ResumeTraining(shared.dataset.train,
+                                 ckpt->training_state);
+  ASSERT_TRUE(resumed_stats.status.ok()) << resumed_stats.status;
+  EXPECT_TRUE((*resumed)->trained());
+
+  EXPECT_TRUE(TensorsBitwiseEqual((*resumed)->Beta(), straight->Beta()));
+  EXPECT_TRUE(TensorsBitwiseEqual((*resumed)->InferTheta(shared.dataset.test),
+                                  straight->InferTheta(shared.dataset.test)));
+  EXPECT_EQ(resumed_stats.final_loss, straight_stats.final_loss);
+  util::ThreadPool::SetGlobalNumThreads(0);
+}
+
+TEST(FaultToleranceTest, CrashRecoveryIsBitwiseIdenticalSingleThreaded) {
+  RunCrashRecovery(1, "etm");
+}
+
+TEST(FaultToleranceTest, CrashRecoveryIsBitwiseIdenticalFourThreads) {
+  RunCrashRecovery(4, "etm");
+}
+
+// Regression: ContraTopic wraps a backbone that is itself a
+// NeuralTopicModel with its own RNG (the encoder noise stream). A
+// checkpoint that captured only the wrapper's generator would replay the
+// post-resume steps with desynced encoder noise -- beta would still match
+// (it is cached from the pre-update forward of the last step, a
+// decoder-only function) while theta and the loss silently drift.
+// TrainingRngs() must cover every stream (DESIGN.md §11).
+TEST(FaultToleranceTest, CrashRecoveryCoversWrappedBackboneRngStreams) {
+  RunCrashRecovery(1, "contratopic");
+}
+
+TEST(FaultToleranceTest, NanLossRollsBackAndStillMatchesACleanRun) {
+  SharedFixture& shared = Shared();
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  faults.Reset();
+
+  auto clean = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  const TrainStats clean_stats = clean->Train(shared.dataset.train);
+  ASSERT_TRUE(clean_stats.status.ok());
+  EXPECT_EQ(clean_stats.rollbacks, 0);
+
+  auto guarded_owner =
+      core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  auto* guarded = dynamic_cast<NeuralTopicModel*>(guarded_owner.get());
+  ASSERT_NE(guarded, nullptr);
+  guarded->SetGuardRails(GuardRailOptions());
+  util::FaultSpec nan_once;
+  nan_once.every_nth = 3;  // corrupt the third step's loss, once
+  nan_once.max_fires = 1;
+  faults.Arm("train.loss_corrupt", nan_once);
+  const TrainStats stats = guarded->Train(shared.dataset.train);
+  faults.Reset();
+
+  ASSERT_TRUE(stats.status.ok()) << stats.status;
+  EXPECT_FALSE(stats.interrupted);
+  EXPECT_EQ(stats.rollbacks, 1);
+  EXPECT_TRUE(guarded->trained());
+  // The rollback replayed the poisoned step from the last good snapshot,
+  // so the recovered run is indistinguishable from a clean one.
+  EXPECT_TRUE(TensorsBitwiseEqual(guarded->Beta(), clean->Beta()));
+  EXPECT_EQ(stats.final_loss, clean_stats.final_loss);
+}
+
+TEST(FaultToleranceTest, PersistentNanExhaustsTheRollbackBudget) {
+  SharedFixture& shared = Shared();
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  faults.Reset();
+
+  auto owner = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  auto* model = dynamic_cast<NeuralTopicModel*>(owner.get());
+  ASSERT_NE(model, nullptr);
+  GuardRailOptions rails;
+  rails.max_rollbacks = 3;
+  model->SetGuardRails(rails);
+  util::FaultSpec always;
+  always.every_nth = 1;  // every step's loss is NaN: rollback cannot help
+  faults.Arm("train.loss_corrupt", always);
+  const TrainStats stats = model->Train(shared.dataset.train);
+  faults.Reset();
+
+  ASSERT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), util::StatusCode::kDataLoss);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_EQ(stats.rollbacks, 3);
+  EXPECT_FALSE(model->trained());
+}
+
+TEST(FaultToleranceTest, ResumeRejectsMismatchedState) {
+  SharedFixture& shared = Shared();
+  // A trained model cannot be resumed...
+  auto trained_owner =
+      core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  auto* trained = dynamic_cast<NeuralTopicModel*>(trained_owner.get());
+  ASSERT_NE(trained, nullptr);
+  trained->Train(shared.dataset.train);
+  const TrainStats on_trained =
+      trained->ResumeTraining(shared.dataset.train, TrainingState());
+  EXPECT_TRUE(on_trained.interrupted);
+  EXPECT_FALSE(on_trained.status.ok());
+
+  // ...and a fresh model rejects state captured against a different
+  // corpus (num_docs mismatch) instead of silently diverging.
+  auto fresh_owner = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+  auto* fresh = dynamic_cast<NeuralTopicModel*>(fresh_owner.get());
+  ASSERT_NE(fresh, nullptr);
+  TrainingState mismatched;
+  mismatched.num_docs = shared.dataset.train.num_docs() + 1;
+  mismatched.total_epochs = 3;
+  const TrainStats on_mismatch =
+      fresh->ResumeTraining(shared.dataset.train, mismatched);
+  EXPECT_TRUE(on_mismatch.interrupted);
+  EXPECT_FALSE(on_mismatch.status.ok());
+  EXPECT_FALSE(fresh->trained());
 }
 
 }  // namespace
