@@ -2,19 +2,42 @@
 // dominate training time, plus the ablation called out in DESIGN.md §5:
 // the candidate-vocabulary restriction of the contrastive term versus the
 // full-vocabulary version.
+//
+// Two extra modes beyond plain google-benchmark:
+//   * per-backend variants (BM_MatMul<scalar>, <sse2>, <avx2>, ...) are
+//     registered for every backend the host supports;
+//   * --table [--host=<name>] runs a hand-timed single-thread GFLOP/s
+//     comparison of every backend against the scalar reference, mirrors
+//     it to bench_results/kernels_<name>.tsv plus a machine-readable
+//     bench_results/BENCH_kernels.json, and exits non-zero if any backend
+//     result deviates from the scalar bits (the CI gate for the bitwise
+//     contract of tensor/backend.h).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/contrastive_loss.h"
 #include "core/subset_sampler.h"
 #include "eval/npmi.h"
 #include "tensor/autodiff.h"
+#include "tensor/backend.h"
 #include "tensor/kernels.h"
 #include "text/synthetic.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table_writer.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -103,21 +126,225 @@ void BM_KernelSubMatrixGather(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelSubMatrixGather);
 
+// ---------------------------------------------------------------------------
+// Per-backend variants and the --table comparison mode.
+// ---------------------------------------------------------------------------
+
+namespace tensor = contratopic::tensor;
+
+// Registers MatMul and row-softmax (the two ops the speedup target is
+// defined on) once per supported backend, so plain google-benchmark runs
+// already show the per-backend picture.
+void RegisterPerBackendBenchmarks() {
+  for (tensor::KernelBackendKind kind : tensor::SupportedBackends()) {
+    const std::string tag =
+        std::string("<") + tensor::KernelBackendName(kind) + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_MatMul" + tag).c_str(),
+        [kind](benchmark::State& state) {
+          tensor::ScopedKernelBackend scoped(kind);
+          const int64_t n = state.range(0);
+          contratopic::util::Rng rng(1);
+          const Tensor a = Tensor::RandNormal(n, n, rng);
+          const Tensor b = Tensor::RandNormal(n, n, rng);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(tensor::MatMulNew(a, false, b, false));
+          }
+          state.SetItemsProcessed(state.iterations() * n * n * n);
+        })
+        ->Arg(128)
+        ->Arg(256)
+        ->Arg(512);
+    benchmark::RegisterBenchmark(
+        ("BM_SoftmaxRows" + tag).c_str(),
+        [kind](benchmark::State& state) {
+          tensor::ScopedKernelBackend scoped(kind);
+          contratopic::util::Rng rng(2);
+          Tensor x = Tensor::RandNormal(256, state.range(0), rng);
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(tensor::SoftmaxRows(x));
+          }
+        })
+        ->Arg(1000)
+        ->Arg(4000);
+  }
+}
+
+struct TableOp {
+  std::string name;
+  double flops_per_call;  // work per call, for the GFLOP/s column
+  std::function<Tensor()> run;
+};
+
+std::vector<TableOp> BuildTableOps() {
+  std::vector<TableOp> ops;
+  contratopic::util::Rng rng(7);
+  for (int64_t n : {128, 256, 512}) {
+    auto a = std::make_shared<Tensor>(Tensor::RandNormal(n, n, rng));
+    auto b = std::make_shared<Tensor>(Tensor::RandNormal(n, n, rng));
+    ops.push_back({"matmul_" + std::to_string(n),
+                   2.0 * static_cast<double>(n) * n * n,
+                   [a, b] { return tensor::MatMulNew(*a, false, *b, false); }});
+  }
+  for (int64_t cols : {1000, 4000}) {
+    auto x = std::make_shared<Tensor>(Tensor::RandNormal(256, cols, rng));
+    // ~5 flop/element (max, sub, exp-ish, sum, scale) -- a nominal count
+    // so the column is comparable across shapes, not a precise model.
+    ops.push_back({"softmax_256x" + std::to_string(cols),
+                   5.0 * 256.0 * static_cast<double>(cols),
+                   [x] { return tensor::SoftmaxRows(*x); }});
+  }
+  {
+    auto x = std::make_shared<Tensor>(Tensor::RandNormal(256, 4000, rng));
+    ops.push_back({"logsumexp_256x4000", 4.0 * 256.0 * 4000.0, [x] {
+                     Tensor out(256, 1);
+                     tensor::LogSumExpRows(*x, nullptr, &out);
+                     return out;
+                   }});
+    ops.push_back({"row_l2norm_256x4000", 3.0 * 256.0 * 4000.0,
+                   [x] { return tensor::RowL2Normalized(*x); }});
+  }
+  return ops;
+}
+
+// Median-of-3 seconds per call, calibrated to ~0.15 s per repetition.
+double TimeOp(const TableOp& op) {
+  contratopic::util::Stopwatch sw;
+  op.run();
+  const double once = std::max(1e-7, sw.ElapsedSeconds());
+  const int iters = std::max(1, static_cast<int>(0.15 / once));
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    sw.Restart();
+    for (int i = 0; i < iters; ++i) benchmark::DoNotOptimize(op.run());
+    best = std::min(best, sw.ElapsedSeconds() / iters);
+  }
+  return best;
+}
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()) == 0;
+}
+
+// The --table mode. Returns the process exit code.
+int RunBackendTable(const std::string& host) {
+  using contratopic::tensor::KernelBackendKind;
+  // Single-thread timings: the speedup target is per-core; determinism
+  // makes thread count a separate, orthogonal axis.
+  contratopic::util::ThreadPool::SetGlobalNumThreads(1);
+  const std::vector<KernelBackendKind> backends = tensor::SupportedBackends();
+  std::vector<TableOp> ops = BuildTableOps();
+
+  contratopic::util::TableWriter table(
+      {"op", "backend", "GFLOP/s", "sec/call", "speedup_vs_scalar",
+       "bitwise_match"});
+  std::map<std::string, double> best_speedup;
+  bool all_match = true;
+  for (const TableOp& op : ops) {
+    Tensor reference;
+    double scalar_sec = 0.0;
+    for (KernelBackendKind kind : backends) {
+      tensor::ScopedKernelBackend scoped(kind);
+      const Tensor result = op.run();
+      bool match = true;
+      if (kind == KernelBackendKind::kScalar) {
+        reference = result;
+      } else {
+        match = BitwiseEqual(reference, result);
+        all_match = all_match && match;
+      }
+      const double sec = TimeOp(op);
+      if (kind == KernelBackendKind::kScalar) scalar_sec = sec;
+      const double speedup = scalar_sec / sec;
+      if (kind != KernelBackendKind::kScalar) {
+        double& cur = best_speedup[op.name];
+        cur = std::max(cur, speedup);
+      }
+      char gflops[32], sec_str[32], speed_str[32];
+      std::snprintf(gflops, sizeof(gflops), "%.3f",
+                    op.flops_per_call / sec * 1e-9);
+      std::snprintf(sec_str, sizeof(sec_str), "%.3e", sec);
+      std::snprintf(speed_str, sizeof(speed_str), "%.2f", speedup);
+      table.AddRow({op.name, tensor::KernelBackendName(kind), gflops,
+                    sec_str, speed_str, match ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  const std::string tsv_path = "bench_results/kernels_" + host + ".tsv";
+  if (!table.WriteTsv(tsv_path).ok()) {
+    std::fprintf(stderr, "failed to write %s\n", tsv_path.c_str());
+    return 1;
+  }
+
+  // Machine-readable summary for CI and the docs.
+  const std::string json_path = "bench_results/BENCH_kernels.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"host\": \"%s\",\n", host.c_str());
+  std::fprintf(f, "  \"cpu_features\": \"%s\",\n",
+               contratopic::util::CpuFeatures::Get().ToString().c_str());
+  std::fprintf(f, "  \"backends\": [");
+  for (size_t i = 0; i < backends.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 tensor::KernelBackendName(backends[i]));
+  }
+  std::fprintf(f, "],\n  \"best_backend\": \"%s\",\n",
+               tensor::KernelBackendName(tensor::BestSupportedBackend()));
+  std::fprintf(f, "  \"bitwise_match\": %s,\n",
+               all_match ? "true" : "false");
+  std::fprintf(f, "  \"best_speedup_vs_scalar\": {");
+  bool first = true;
+  for (const auto& [op_name, speedup] : best_speedup) {
+    std::fprintf(f, "%s\n    \"%s\": %.2f", first ? "" : ",",
+                 op_name.c_str(), speedup);
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s and %s\n", tsv_path.c_str(), json_path.c_str());
+
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "FAIL: a SIMD backend diverged bitwise from the scalar "
+                 "reference (see bitwise_match column)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-// Like BENCHMARK_MAIN(), with one extra flag: --threads=N sizes the global
-// thread pool before any benchmark runs (0 = hardware default). All kernels
-// are bitwise-deterministic in the pool size, so this only moves wall-clock.
+// Like BENCHMARK_MAIN(), with extra flags handled before google-benchmark:
+//   --threads=N  sizes the global thread pool (0 = hardware default); all
+//                kernels are bitwise-deterministic in the pool size, so
+//                this only moves wall-clock;
+//   --table      runs the per-backend comparison table instead of the
+//                google-benchmark suites (exit 1 on bitwise mismatch);
+//   --host=NAME  names the TSV written by --table (default "local").
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
+  bool table_mode = false;
+  std::string host = "local";
+  for (int i = 1; i < argc;) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       contratopic::util::ThreadPool::SetGlobalNumThreads(
           std::atoi(argv[i] + 10));
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--table") == 0) {
+      table_mode = true;
+    } else if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
   }
+  if (table_mode) return RunBackendTable(host);
+  RegisterPerBackendBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

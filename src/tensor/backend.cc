@@ -1,0 +1,137 @@
+#include "tensor/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "tensor/kernel_tables.h"
+#include "util/cpu_features.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace tensor {
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* ResolveStartupTable() {
+  const char* env = std::getenv("CT_KERNEL_BACKEND");
+  const std::string name = env != nullptr ? env : "auto";
+  KernelBackendKind kind;
+  CHECK(ParseKernelBackendName(name, &kind))
+      << "CT_KERNEL_BACKEND=" << name
+      << " is not one of auto, scalar, sse2, avx2";
+  CHECK(BackendSupported(kind))
+      << "CT_KERNEL_BACKEND=" << name
+      << " requests a backend this host does not support (cpu: "
+      << util::CpuFeatures::Get().ToString() << ")";
+  return &TableFor(kind);
+}
+
+}  // namespace
+
+const KernelTable& ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      g_active.store(ResolveStartupTable(), std::memory_order_release);
+    });
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+bool BackendSupported(KernelBackendKind kind) {
+  switch (kind) {
+    case KernelBackendKind::kScalar:
+      return true;
+    case KernelBackendKind::kSse2:
+      return CT_KERNEL_X86 != 0 && util::CpuFeatures::Get().sse2;
+    case KernelBackendKind::kAvx2:
+      return CT_KERNEL_X86 != 0 && util::CpuFeatures::Get().avx2;
+  }
+  return false;
+}
+
+std::vector<KernelBackendKind> SupportedBackends() {
+  std::vector<KernelBackendKind> out;
+  for (KernelBackendKind kind :
+       {KernelBackendKind::kScalar, KernelBackendKind::kSse2,
+        KernelBackendKind::kAvx2}) {
+    if (BackendSupported(kind)) out.push_back(kind);
+  }
+  return out;
+}
+
+KernelBackendKind BestSupportedBackend() {
+  return SupportedBackends().back();
+}
+
+const KernelTable& TableFor(KernelBackendKind kind) {
+  CHECK(BackendSupported(kind))
+      << "kernel backend " << KernelBackendName(kind)
+      << " is not supported on this host (cpu: "
+      << util::CpuFeatures::Get().ToString() << ")";
+#if CT_KERNEL_X86
+  switch (kind) {
+    case KernelBackendKind::kScalar:
+      return ScalarKernelTable();
+    case KernelBackendKind::kSse2:
+      return Sse2KernelTable();
+    case KernelBackendKind::kAvx2:
+      return Avx2KernelTable();
+  }
+#endif
+  return ScalarKernelTable();
+}
+
+void SetKernelBackend(KernelBackendKind kind) {
+  g_active.store(&TableFor(kind), std::memory_order_release);
+}
+
+const char* KernelBackendName(KernelBackendKind kind) {
+  switch (kind) {
+    case KernelBackendKind::kScalar:
+      return "scalar";
+    case KernelBackendKind::kSse2:
+      return "sse2";
+    case KernelBackendKind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseKernelBackendName(const std::string& name,
+                            KernelBackendKind* kind) {
+  if (name == "auto") {
+    *kind = BestSupportedBackend();
+    return true;
+  }
+  if (name == "scalar") {
+    *kind = KernelBackendKind::kScalar;
+    return true;
+  }
+  if (name == "sse2") {
+    *kind = KernelBackendKind::kSse2;
+    return true;
+  }
+  if (name == "avx2") {
+    *kind = KernelBackendKind::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+ScopedKernelBackend::ScopedKernelBackend(KernelBackendKind kind)
+    : prev_(ActiveKernels().kind) {
+  SetKernelBackend(kind);
+}
+
+ScopedKernelBackend::~ScopedKernelBackend() { SetKernelBackend(prev_); }
+
+float CanonicalExpf(float x) { return ScalarKernelTable().expf1(x); }
+
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,136 @@
+#ifndef CONTRATOPIC_TENSOR_BACKEND_H_
+#define CONTRATOPIC_TENSOR_BACKEND_H_
+
+// Runtime-dispatched SIMD kernel backends (DESIGN.md §12).
+//
+// The dense kernels in tensor/kernels.cc bottom out in the span-level
+// micro-kernels declared here as a KernelTable of function pointers. Three
+// tables exist: a scalar reference (always compiled, never auto-vectorized),
+// an SSE2 table, and an AVX2 table; the SIMD tables are only compiled on
+// x86 and only selectable when util::CpuFeatures reports the instruction
+// set.
+//
+// The bitwise contract: every table computes the *same canonical result*,
+// bit for bit. Reductions (dot products, softmax/logsumexp sums, row sums)
+// follow a mandated canonical order -- 8 accumulator lanes where lane j
+// holds elements congruent to j mod 8 (tails padded with the reduction
+// identity), folded by the fixed tree
+//
+//   t[j] = lane[j] + lane[j+4]   (j = 0..3)
+//   s    = (t[0] + t[2]) + (t[1] + t[3])
+//
+// which the scalar table emulates with 8-element arrays, SSE2 with two
+// __m128, and AVX2 with one __m256. Transcendentals use a shared
+// polynomial (CanonicalExpf) whose per-lane instruction sequence is
+// identical in every table, and FMA contraction is disabled throughout
+// (-ffp-contract=off): per-lane IEEE ops are deterministic, so all
+// backends agree bitwise, and the thread-count invariance of PR 1 extends
+// to vector width.
+//
+// One carve-out: NaN payload and sign are unspecified. When two distinct
+// NaNs meet in an add/mul, x86 propagates the destination-register
+// operand, which the compiler chooses freely for scalar code; any NaN is
+// therefore considered equal to any NaN. NaN *placement* — which elements
+// are NaN — is still exact.
+//
+// Backend selection: CT_KERNEL_BACKEND={auto,scalar,sse2,avx2} in the
+// environment picks the startup backend (auto = best supported);
+// SetKernelBackend / ScopedKernelBackend switch at runtime for A/B tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace contratopic {
+namespace tensor {
+
+// Elementwise binary operation selector, shared by the broadcast kernels
+// and the backend tables.
+enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+
+enum class KernelBackendKind { kScalar, kSse2, kAvx2 };
+
+// Span-level micro-kernels. Every function is a pure computation over
+// contiguous float spans; parallel chunking stays in tensor/kernels.cc so
+// thread-grid determinism and backend dispatch remain orthogonal.
+struct KernelTable {
+  const char* name;
+  KernelBackendKind kind;
+
+  // Canonical-order dot product over n elements.
+  float (*dot)(const float* a, const float* b, int64_t n);
+  // Four canonical dots sharing one pass over `a` (MatMul register
+  // blocking). out[i] == dot(a, b_i, n) bitwise.
+  void (*dot4)(const float* a, const float* b0, const float* b1,
+               const float* b2, const float* b3, int64_t n, float out[4]);
+  // In-place stabilized softmax of one row. A row whose max is -inf (all
+  // lanes -inf, or empty mask upstream) becomes the uniform distribution.
+  void (*softmax_row)(float* row, int64_t n);
+  // In-place stabilized log-softmax of one row.
+  void (*log_softmax_row)(float* row, int64_t n);
+  // log(sum_c mask[c] * exp(row[c])) with the -1e30 empty-row sentinel of
+  // LogSumExpRows; mask may be null (all ones).
+  float (*logsumexp_row)(const float* row, const float* mask, int64_t n);
+  // Canonical double-lane row reductions.
+  double (*row_sum)(const float* row, int64_t n);
+  double (*row_sumsq)(const float* row, int64_t n);  // sum of (double)x^2
+  // Elementwise span ops (per-element, no reduction).
+  void (*scale)(float* d, int64_t n, float factor);            // d *= f
+  void (*axpy)(float* d, const float* s, int64_t n, float f);  // d += f*s
+  void (*add)(float* d, const float* s, int64_t n);            // d += s
+  void (*binary)(BinaryOp op, const float* a, const float* b, float* out,
+                 int64_t n);
+  void (*binary_scalar)(BinaryOp op, const float* a, float b, float* out,
+                        int64_t n);
+  // One-value canonical exp (reference hook for accuracy tests).
+  float (*expf1)(float x);
+};
+
+// The table kernels.cc dispatches through. Resolved once at startup from
+// CT_KERNEL_BACKEND (or the best supported backend), then overridable via
+// SetKernelBackend.
+const KernelTable& ActiveKernels();
+
+// True when `kind` is compiled in and the host CPU supports it.
+bool BackendSupported(KernelBackendKind kind);
+
+// Supported backends, scalar first, fastest last.
+std::vector<KernelBackendKind> SupportedBackends();
+
+// Best supported backend (the `auto` choice).
+KernelBackendKind BestSupportedBackend();
+
+// Table for `kind`; CHECK-fails when unsupported.
+const KernelTable& TableFor(KernelBackendKind kind);
+
+// Makes `kind` the active backend (CHECK-fails when unsupported). Not
+// thread-safe against in-flight kernels; call between parallel regions.
+void SetKernelBackend(KernelBackendKind kind);
+
+const char* KernelBackendName(KernelBackendKind kind);
+
+// Parses "scalar"/"sse2"/"avx2" ("auto" -> best supported). Returns false
+// on an unknown name.
+bool ParseKernelBackendName(const std::string& name, KernelBackendKind* kind);
+
+// RAII backend switch for tests and benches.
+class ScopedKernelBackend {
+ public:
+  explicit ScopedKernelBackend(KernelBackendKind kind);
+  ~ScopedKernelBackend();
+  ScopedKernelBackend(const ScopedKernelBackend&) = delete;
+  ScopedKernelBackend& operator=(const ScopedKernelBackend&) = delete;
+
+ private:
+  KernelBackendKind prev_;
+};
+
+// The canonical polynomial exp shared by every backend (tests compare it
+// against std::exp for the documented ULP bound). Overflows to +inf above
+// 88.3763, flushes to zero below -87.3365, and passes NaN through.
+float CanonicalExpf(float x);
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_BACKEND_H_

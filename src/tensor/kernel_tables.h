@@ -1,0 +1,31 @@
+#ifndef CONTRATOPIC_TENSOR_KERNEL_TABLES_H_
+#define CONTRATOPIC_TENSOR_KERNEL_TABLES_H_
+
+// Internal: per-backend KernelTable providers, one TU each so the SIMD
+// translation units can carry their own -m<isa> compile flags. Only
+// backend.cc and the table TUs include this.
+
+#include "tensor/backend.h"
+
+// The SIMD tables exist only on x86 (the build adds their TUs there); the
+// same predicate gates every reference so non-x86 builds fall back to the
+// scalar reference cleanly.
+#if defined(__x86_64__) || defined(__i386__)
+#define CT_KERNEL_X86 1
+#else
+#define CT_KERNEL_X86 0
+#endif
+
+namespace contratopic {
+namespace tensor {
+
+const KernelTable& ScalarKernelTable();
+#if CT_KERNEL_X86
+const KernelTable& Sse2KernelTable();
+const KernelTable& Avx2KernelTable();
+#endif
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_KERNEL_TABLES_H_

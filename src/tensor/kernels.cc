@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/backend.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
@@ -16,6 +17,9 @@ constexpr int64_t kCellsPerChunk = 1 << 14;
 // Fixed reduction grid for ColSum: rows per partial accumulator. Part of
 // the determinism contract -- must not depend on the thread count.
 constexpr int64_t kColSumGridRows = 256;
+// Columns of C per MatMul panel: the matching B^T panel (kMatMulColBlock
+// rows of k floats) stays hot in L2 while a chunk's A rows stream by.
+constexpr int64_t kMatMulColBlock = 64;
 }  // namespace
 
 void ParallelElems(int64_t n,
@@ -32,33 +36,35 @@ void ParallelRows(int64_t rows, int64_t cols,
 
 namespace {
 
-// Dot product of two contiguous float spans, 4-way unrolled.
-inline float Dot(const float* a, const float* b, int64_t n) {
-  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-  int64_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  float s = s0 + s1 + s2 + s3;
-  for (; i < n; ++i) s += a[i] * b[i];
-  return s;
-}
-
 // Core: C[m,n] (+)= alpha * A[m,k] * Bt[n,k]^T where Bt stores B transposed
-// (so both operands are read along contiguous rows).
+// -- the packed panel layout: both operands are read along contiguous rows,
+// and a kMatMulColBlock-row slice of Bt is reused across every A row of a
+// chunk before moving to the next panel. Each C cell is one canonical-order
+// dot product (backend.h), so the result is bitwise identical at any SIMD
+// width and any thread count.
 void MatMulRowMajorTransB(const float* a, const float* bt, float* c,
                           int64_t m, int64_t n, int64_t k, float alpha,
                           float beta) {
+  const KernelTable& kt = ActiveKernels();
   auto body = [&](int64_t row_begin, int64_t row_end) {
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* a_row = a + i * k;
-      float* c_row = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float dot = Dot(a_row, bt + j * k, k);
-        c_row[j] = beta * c_row[j] + alpha * dot;
+    for (int64_t jb = 0; jb < n; jb += kMatMulColBlock) {
+      const int64_t j_end = std::min<int64_t>(n, jb + kMatMulColBlock);
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        const float* a_row = a + i * k;
+        float* c_row = c + i * n;
+        int64_t j = jb;
+        for (; j + 4 <= j_end; j += 4) {
+          float dots[4];
+          kt.dot4(a_row, bt + j * k, bt + (j + 1) * k, bt + (j + 2) * k,
+                  bt + (j + 3) * k, k, dots);
+          c_row[j] = beta * c_row[j] + alpha * dots[0];
+          c_row[j + 1] = beta * c_row[j + 1] + alpha * dots[1];
+          c_row[j + 2] = beta * c_row[j + 2] + alpha * dots[2];
+          c_row[j + 3] = beta * c_row[j + 3] + alpha * dots[3];
+        }
+        for (; j < j_end; ++j) {
+          c_row[j] = beta * c_row[j] + alpha * kt.dot(a_row, bt + j * k, k);
+        }
       }
     }
   };
@@ -87,7 +93,8 @@ void MatMul(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
   CHECK_EQ(c->rows(), m);
   CHECK_EQ(c->cols(), n);
 
-  // Bring both operands into "A row-major, B transposed" layout.
+  // Bring both operands into "A row-major, B transposed" layout (the B^T
+  // copy is the packed panel: every dot reads both operands contiguously).
   Tensor a_copy;
   const float* a_ptr = a.data();
   if (trans_a) {
@@ -113,18 +120,10 @@ Tensor MatMulNew(const Tensor& a, bool trans_a, const Tensor& b,
 }
 
 void SoftmaxRowsInPlace(Tensor* x) {
-  ParallelRows(x->rows(), x->cols(), [x](int64_t r_lo, int64_t r_hi) {
+  const KernelTable& kt = ActiveKernels();
+  ParallelRows(x->rows(), x->cols(), [x, &kt](int64_t r_lo, int64_t r_hi) {
     for (int64_t r = r_lo; r < r_hi; ++r) {
-      float* row = x->row(r);
-      float max_v = row[0];
-      for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
-      double sum = 0.0;
-      for (int64_t c = 0; c < x->cols(); ++c) {
-        row[c] = std::exp(row[c] - max_v);
-        sum += row[c];
-      }
-      const float inv = static_cast<float>(1.0 / sum);
-      for (int64_t c = 0; c < x->cols(); ++c) row[c] *= inv;
+      kt.softmax_row(x->row(r), x->cols());
     }
   });
 }
@@ -136,15 +135,10 @@ Tensor SoftmaxRows(const Tensor& x) {
 }
 
 void LogSoftmaxRowsInPlace(Tensor* x) {
-  ParallelRows(x->rows(), x->cols(), [x](int64_t r_lo, int64_t r_hi) {
+  const KernelTable& kt = ActiveKernels();
+  ParallelRows(x->rows(), x->cols(), [x, &kt](int64_t r_lo, int64_t r_hi) {
     for (int64_t r = r_lo; r < r_hi; ++r) {
-      float* row = x->row(r);
-      float max_v = row[0];
-      for (int64_t c = 1; c < x->cols(); ++c) max_v = std::max(max_v, row[c]);
-      double sum = 0.0;
-      for (int64_t c = 0; c < x->cols(); ++c) sum += std::exp(row[c] - max_v);
-      const float log_z = max_v + static_cast<float>(std::log(sum));
-      for (int64_t c = 0; c < x->cols(); ++c) row[c] -= log_z;
+      kt.log_softmax_row(x->row(r), x->cols());
     }
   });
 }
@@ -155,26 +149,14 @@ void LogSumExpRows(const Tensor& x, const Tensor* mask, Tensor* out) {
   if (mask != nullptr) {
     CHECK(mask->same_shape(x));
   }
-  ParallelRows(x.rows(), x.cols(), [&x, mask, out](int64_t r_lo, int64_t r_hi) {
-    for (int64_t r = r_lo; r < r_hi; ++r) {
-      const float* row = x.row(r);
-      const float* m = mask != nullptr ? mask->row(r) : nullptr;
-      float max_v = -1e30f;
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        if (m == nullptr || m[c] > 0.0f) max_v = std::max(max_v, row[c]);
-      }
-      if (max_v <= -1e30f) {
-        out->at(r, 0) = -1e30f;  // Empty mask row.
-        continue;
-      }
-      double sum = 0.0;
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        const float w = m == nullptr ? 1.0f : m[c];
-        if (w > 0.0f) sum += w * std::exp(row[c] - max_v);
-      }
-      out->at(r, 0) = max_v + static_cast<float>(std::log(sum));
-    }
-  });
+  const KernelTable& kt = ActiveKernels();
+  ParallelRows(x.rows(), x.cols(),
+               [&x, mask, out, &kt](int64_t r_lo, int64_t r_hi) {
+                 for (int64_t r = r_lo; r < r_hi; ++r) {
+                   const float* m = mask != nullptr ? mask->row(r) : nullptr;
+                   out->at(r, 0) = kt.logsumexp_row(x.row(r), m, x.cols());
+                 }
+               });
 }
 
 Tensor Transposed(const Tensor& x) {
@@ -198,30 +180,31 @@ Tensor Transposed(const Tensor& x) {
 
 Tensor RowSum(const Tensor& x) {
   Tensor out(x.rows(), 1);
-  ParallelRows(x.rows(), x.cols(), [&x, &out](int64_t r_lo, int64_t r_hi) {
-    for (int64_t r = r_lo; r < r_hi; ++r) {
-      double acc = 0.0;
-      const float* row = x.row(r);
-      for (int64_t c = 0; c < x.cols(); ++c) acc += row[c];
-      out.at(r, 0) = static_cast<float>(acc);
-    }
-  });
+  const KernelTable& kt = ActiveKernels();
+  ParallelRows(x.rows(), x.cols(),
+               [&x, &out, &kt](int64_t r_lo, int64_t r_hi) {
+                 for (int64_t r = r_lo; r < r_hi; ++r) {
+                   out.at(r, 0) =
+                       static_cast<float>(kt.row_sum(x.row(r), x.cols()));
+                 }
+               });
   return out;
 }
 
 Tensor ColSum(const Tensor& x) {
   // Reduction across the row (batch) dimension: per-chunk partial buffers
   // over a fixed row grid, folded in fixed tree order (bitwise identical at
-  // any thread count; see util/parallel.h).
+  // any thread count; see util/parallel.h). The per-row accumulation is an
+  // elementwise add over columns, vectorized through the backend table.
+  const KernelTable& kt = ActiveKernels();
   return util::ParallelReduceOrdered(
       util::ThreadPool::Global(), 0, x.rows(), kColSumGridRows,
       Tensor(1, x.cols()),
-      [&x](int64_t r_lo, int64_t r_hi) {
+      [&x, &kt](int64_t r_lo, int64_t r_hi) {
         Tensor partial(1, x.cols());
         float* acc = partial.data();
         for (int64_t r = r_lo; r < r_hi; ++r) {
-          const float* row = x.row(r);
-          for (int64_t c = 0; c < x.cols(); ++c) acc[c] += row[c];
+          kt.add(acc, x.row(r), x.cols());
         }
         return partial;
       },
@@ -235,35 +218,15 @@ Tensor ColMean(const Tensor& x) {
   return out;
 }
 
-namespace {
-inline float ApplyBinary(float a, float b, BinaryOp op) {
-  switch (op) {
-    case BinaryOp::kAdd:
-      return a + b;
-    case BinaryOp::kSub:
-      return a - b;
-    case BinaryOp::kMul:
-      return a * b;
-    case BinaryOp::kDiv:
-      return a / b;
-  }
-  return 0.0f;
-}
-}  // namespace
-
 void BroadcastCol(const Tensor& a, const Tensor& col, BinaryOp op,
                   Tensor* out) {
   CHECK_EQ(col.rows(), a.rows());
   CHECK_EQ(col.cols(), 1);
   CHECK(out->same_shape(a));
+  const KernelTable& kt = ActiveKernels();
   ParallelRows(a.rows(), a.cols(), [&](int64_t r_lo, int64_t r_hi) {
     for (int64_t r = r_lo; r < r_hi; ++r) {
-      const float b = col.at(r, 0);
-      const float* src = a.row(r);
-      float* dst = out->row(r);
-      for (int64_t c = 0; c < a.cols(); ++c) {
-        dst[c] = ApplyBinary(src[c], b, op);
-      }
+      kt.binary_scalar(op, a.row(r), col.at(r, 0), out->row(r), a.cols());
     }
   });
 }
@@ -274,33 +237,26 @@ void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op,
   CHECK_EQ(row.rows(), 1);
   CHECK(out->same_shape(a));
   const float* b = row.data();
+  const KernelTable& kt = ActiveKernels();
   ParallelRows(a.rows(), a.cols(), [&, b](int64_t r_lo, int64_t r_hi) {
     for (int64_t r = r_lo; r < r_hi; ++r) {
-      const float* src = a.row(r);
-      float* dst = out->row(r);
-      for (int64_t c = 0; c < a.cols(); ++c) {
-        dst[c] = ApplyBinary(src[c], b[c], op);
-      }
+      kt.binary(op, a.row(r), b, out->row(r), a.cols());
     }
   });
 }
 
 Tensor RowL2Normalized(const Tensor& x, float eps) {
   Tensor out = x;
-  ParallelRows(x.rows(), x.cols(), [&x, &out, eps](int64_t r_lo, int64_t r_hi) {
-    for (int64_t r = r_lo; r < r_hi; ++r) {
-      const float* src = x.row(r);
-      double acc = 0.0;
-      for (int64_t c = 0; c < x.cols(); ++c) {
-        acc += static_cast<double>(src[c]) * src[c];
-      }
-      const float norm = static_cast<float>(std::sqrt(acc));
-      if (norm <= eps) continue;
-      float* dst = out.row(r);
-      const float inv = 1.0f / norm;
-      for (int64_t c = 0; c < x.cols(); ++c) dst[c] *= inv;
-    }
-  });
+  const KernelTable& kt = ActiveKernels();
+  ParallelRows(x.rows(), x.cols(),
+               [&x, &out, eps, &kt](int64_t r_lo, int64_t r_hi) {
+                 for (int64_t r = r_lo; r < r_hi; ++r) {
+                   const float norm = static_cast<float>(
+                       std::sqrt(kt.row_sumsq(x.row(r), x.cols())));
+                   if (norm <= eps) continue;
+                   kt.scale(out.row(r), x.cols(), 1.0f / norm);
+                 }
+               });
   return out;
 }
 

@@ -9,9 +9,14 @@
 // either write disjoint, partition-independent output slots (per-row /
 // per-element work) or reduce over a fixed chunk grid in fixed order
 // (ColSum; see util/parallel.h).
+//
+// The inner span-level math dispatches through the runtime-selected SIMD
+// backend (tensor/backend.h). All backends are bitwise identical, so this
+// is purely a speed knob: results do not depend on CT_KERNEL_BACKEND.
 
 #include <functional>
 
+#include "tensor/backend.h"
 #include "tensor/tensor.h"
 
 namespace contratopic {
@@ -59,7 +64,7 @@ Tensor ColSum(const Tensor& x);   // -> (1 x cols)
 Tensor ColMean(const Tensor& x);  // -> (1 x cols)
 
 // out[r,c] = a[r,c] (op) b[r,0]  /  b[0,c], used by broadcast autodiff ops.
-enum class BinaryOp { kAdd, kSub, kMul, kDiv };
+// (BinaryOp lives in tensor/backend.h, shared with the kernel tables.)
 void BroadcastCol(const Tensor& a, const Tensor& col, BinaryOp op, Tensor* out);
 void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op, Tensor* out);
 

@@ -1,0 +1,38 @@
+// AVX2 backend. This TU (alone) is compiled with -mavx2; it is only
+// dispatched to when util::CpuFeatures reports AVX2 at runtime, so no AVX2
+// instruction executes on older hosts. Deliberately no -mfma: the bitwise
+// contract mandates separately-rounded mul+add (see simd_avx2.h).
+
+#include "tensor/kernel_tables.h"
+
+#if CT_KERNEL_X86
+
+#include "tensor/kernels_generic.h"
+
+#if defined(__AVX2__)
+#include "tensor/simd_avx2.h"
+#else
+// The toolchain could not build this TU with AVX2 enabled; keep the symbol
+// linkable via the (bitwise identical) SSE2 lanes. Dispatch still reports
+// kAvx2, so callers see the same behavior minus the speedup.
+#include "tensor/simd_sse2.h"
+#endif
+
+namespace contratopic {
+namespace tensor {
+
+const KernelTable& Avx2KernelTable() {
+#if defined(__AVX2__)
+  static const KernelTable table =
+      generic::MakeTable<Avx2Ops>(KernelBackendKind::kAvx2);
+#else
+  static const KernelTable table =
+      generic::MakeTable<Sse2Ops>(KernelBackendKind::kAvx2);
+#endif
+  return table;
+}
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CT_KERNEL_X86

@@ -1,0 +1,384 @@
+#ifndef CONTRATOPIC_TENSOR_KERNELS_GENERIC_H_
+#define CONTRATOPIC_TENSOR_KERNELS_GENERIC_H_
+
+// Backend-generic micro-kernel bodies, templated over the 8-lane vector-ops
+// concept (simd_scalar.h / simd_sse2.h / simd_avx2.h). Every backend
+// instantiates the *same* code, so the per-lane instruction sequence -- and
+// therefore every bit of the result -- is identical across backends by
+// construction (DESIGN.md §12):
+//
+//   * reductions accumulate into 8 lanes (lane j holds elements congruent
+//     to j mod 8; tails are padded with the reduction identity) and fold
+//     through V::Reduce*'s canonical tree;
+//   * elementwise ops are per-lane IEEE arithmetic, deterministic at any
+//     vector width;
+//   * exp is the shared polynomial ExpF8 below -- never libm per element.
+//
+// Per-row scalars (the final log in log-softmax/LSE) do use libm, once per
+// row, identically in every backend.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/backend.h"
+
+namespace contratopic {
+namespace tensor {
+namespace generic {
+
+// Canonical exp polynomial (Cody-Waite range reduction to [-ln2/2, ln2/2],
+// degree-5 minimax, exponent rebuilt via integer bits). Matches std::exp to
+// a few ULP; overflows to +inf above kExpHi, flushes to zero below kExpLo
+// (no denormal outputs), passes NaN through. The clamp runs before the
+// int conversion so ToInt never sees NaN/inf.
+inline constexpr float kExpHi = 88.3762626647949f;
+inline constexpr float kExpLo = -87.3365478515625f;
+
+template <typename V>
+typename V::F8 ExpF8(typename V::F8 x) {
+  using F8 = typename V::F8;
+  const F8 hi = V::Broadcast(kExpHi);
+  const F8 lo = V::Broadcast(kExpLo);
+  F8 xs = V::Min(x, hi);  // min/max drop NaN lanes to the clamp value
+  xs = V::Max(xs, lo);
+  const F8 z = V::Mul(xs, V::Broadcast(1.44269504088896341f));  // x/ln2
+  const typename V::I8 n_i = V::ToInt(z);  // nearest-even, in [-126, 127]
+  const F8 n_f = V::ToFloat(n_i);
+  F8 r = V::Sub(xs, V::Mul(n_f, V::Broadcast(0.693359375f)));
+  r = V::Sub(r, V::Mul(n_f, V::Broadcast(-2.12194440e-4f)));
+  F8 p = V::Broadcast(1.9875691500e-4f);
+  p = V::Add(V::Mul(p, r), V::Broadcast(1.3981999507e-3f));
+  p = V::Add(V::Mul(p, r), V::Broadcast(8.3334519073e-3f));
+  p = V::Add(V::Mul(p, r), V::Broadcast(4.1665795894e-2f));
+  p = V::Add(V::Mul(p, r), V::Broadcast(1.6666665459e-1f));
+  p = V::Add(V::Mul(p, r), V::Broadcast(5.0000001201e-1f));
+  const F8 e = V::Add(V::Add(V::Mul(V::Mul(r, r), p), r), V::Broadcast(1.0f));
+  F8 res = V::Mul(e, V::Pow2I(n_i));
+  res = V::Blend(V::CmpGt(x, hi),
+                 V::Broadcast(std::numeric_limits<float>::infinity()), res);
+  res = V::Blend(V::CmpLt(x, lo), V::Zero(), res);
+  res = V::Blend(V::CmpUnord(x, x), x, res);
+  return res;
+}
+
+template <typename V>
+struct Kern {
+  using F8 = typename V::F8;
+  using D8 = typename V::D8;
+
+  // Loads the `count` (1..7) floats at p, padding lanes count..7 with pad.
+  static F8 LoadPad(const float* p, int64_t count, float pad) {
+    float buf[8] = {pad, pad, pad, pad, pad, pad, pad, pad};
+    std::memcpy(buf, p, static_cast<size_t>(count) * sizeof(float));
+    return V::Load(buf);
+  }
+  static void StoreHead(float* p, F8 x, int64_t count) {
+    float buf[8];
+    V::Store(buf, x);
+    std::memcpy(p, buf, static_cast<size_t>(count) * sizeof(float));
+  }
+
+  static float Dot(const float* a, const float* b, int64_t n) {
+    F8 acc = V::Zero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      acc = V::Add(acc, V::Mul(V::Load(a + i), V::Load(b + i)));
+    }
+    if (i < n) {
+      acc = V::Add(acc, V::Mul(LoadPad(a + i, n - i, 0.0f),
+                               LoadPad(b + i, n - i, 0.0f)));
+    }
+    return V::ReduceAdd(acc);
+  }
+
+  static void Dot4(const float* a, const float* b0, const float* b1,
+                   const float* b2, const float* b3, int64_t n,
+                   float out[4]) {
+    F8 acc0 = V::Zero(), acc1 = V::Zero(), acc2 = V::Zero(),
+       acc3 = V::Zero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const F8 av = V::Load(a + i);
+      acc0 = V::Add(acc0, V::Mul(av, V::Load(b0 + i)));
+      acc1 = V::Add(acc1, V::Mul(av, V::Load(b1 + i)));
+      acc2 = V::Add(acc2, V::Mul(av, V::Load(b2 + i)));
+      acc3 = V::Add(acc3, V::Mul(av, V::Load(b3 + i)));
+    }
+    if (i < n) {
+      const F8 av = LoadPad(a + i, n - i, 0.0f);
+      acc0 = V::Add(acc0, V::Mul(av, LoadPad(b0 + i, n - i, 0.0f)));
+      acc1 = V::Add(acc1, V::Mul(av, LoadPad(b1 + i, n - i, 0.0f)));
+      acc2 = V::Add(acc2, V::Mul(av, LoadPad(b2 + i, n - i, 0.0f)));
+      acc3 = V::Add(acc3, V::Mul(av, LoadPad(b3 + i, n - i, 0.0f)));
+    }
+    out[0] = V::ReduceAdd(acc0);
+    out[1] = V::ReduceAdd(acc1);
+    out[2] = V::ReduceAdd(acc2);
+    out[3] = V::ReduceAdd(acc3);
+  }
+
+  static float RowMax(const float* row, int64_t n) {
+    const float ninf = -std::numeric_limits<float>::infinity();
+    F8 acc = V::Broadcast(ninf);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) acc = V::Max(acc, V::Load(row + i));
+    if (i < n) acc = V::Max(acc, LoadPad(row + i, n - i, ninf));
+    return V::ReduceMax(acc);
+  }
+
+  // exp(row - m) written back, canonical double-lane sum returned.
+  static double ExpSumInPlace(float* row, int64_t n, float m) {
+    const F8 bm = V::Broadcast(m);
+    const float ninf = -std::numeric_limits<float>::infinity();
+    D8 acc = V::DZero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const F8 e = ExpF8<V>(V::Sub(V::Load(row + i), bm));
+      V::Store(row + i, e);
+      acc = V::AddWiden(acc, e);
+    }
+    if (i < n) {
+      // -inf pad: exp(-inf - m) contributes exactly +0 to every lane.
+      const F8 e = ExpF8<V>(V::Sub(LoadPad(row + i, n - i, ninf), bm));
+      StoreHead(row + i, e, n - i);
+      acc = V::AddWiden(acc, e);
+    }
+    return V::ReduceD(acc);
+  }
+
+  static double ExpSum(const float* row, int64_t n, float m) {
+    const F8 bm = V::Broadcast(m);
+    const float ninf = -std::numeric_limits<float>::infinity();
+    D8 acc = V::DZero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      acc = V::AddWiden(acc, ExpF8<V>(V::Sub(V::Load(row + i), bm)));
+    }
+    if (i < n) {
+      acc = V::AddWiden(acc,
+                        ExpF8<V>(V::Sub(LoadPad(row + i, n - i, ninf), bm)));
+    }
+    return V::ReduceD(acc);
+  }
+
+  static void SoftmaxRow(float* row, int64_t n) {
+    if (n <= 0) return;
+    const float m = RowMax(row, n);
+    if (m == -std::numeric_limits<float>::infinity()) {
+      // All--inf row: defined result, the uniform distribution.
+      const float u = 1.0f / static_cast<float>(n);
+      for (int64_t c = 0; c < n; ++c) row[c] = u;
+      return;
+    }
+    const double sum = ExpSumInPlace(row, n, m);
+    const float inv = static_cast<float>(1.0 / sum);
+    Scale(row, n, inv);
+  }
+
+  static void LogSoftmaxRow(float* row, int64_t n) {
+    if (n <= 0) return;
+    const float m = RowMax(row, n);
+    if (m == -std::numeric_limits<float>::infinity()) {
+      // All--inf row: log of the uniform distribution.
+      const float u = -static_cast<float>(std::log(static_cast<double>(n)));
+      for (int64_t c = 0; c < n; ++c) row[c] = u;
+      return;
+    }
+    const double sum = ExpSum(row, n, m);
+    const float log_z = m + static_cast<float>(std::log(sum));
+    BinaryScalar(BinaryOp::kSub, row, log_z, row, n);
+  }
+
+  static float LogSumExpRow(const float* row, const float* mask, int64_t n) {
+    const float kEmpty = -1e30f;
+    const F8 empty = V::Broadcast(kEmpty);
+    const F8 zero = V::Zero();
+    // Masked max with the -1e30 sentinel as identity.
+    F8 macc = empty;
+    int64_t i = 0;
+    if (mask == nullptr) {
+      for (; i + 8 <= n; i += 8) macc = V::Max(macc, V::Load(row + i));
+      if (i < n) macc = V::Max(macc, LoadPad(row + i, n - i, kEmpty));
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        const F8 sel = V::CmpGt(V::Load(mask + i), zero);
+        macc = V::Max(macc, V::Blend(sel, V::Load(row + i), empty));
+      }
+      if (i < n) {
+        const F8 sel = V::CmpGt(LoadPad(mask + i, n - i, 0.0f), zero);
+        macc = V::Max(macc, V::Blend(sel, LoadPad(row + i, n - i, kEmpty),
+                                     empty));
+      }
+    }
+    const float m = V::ReduceMax(macc);
+    if (m <= kEmpty) return kEmpty;  // Empty mask row (or all below -1e30).
+    // sum of w * exp(x - m) over selected lanes; unselected lanes add +0.
+    const F8 bm = V::Broadcast(m);
+    const float ninf = -std::numeric_limits<float>::infinity();
+    D8 acc = V::DZero();
+    i = 0;
+    if (mask == nullptr) {
+      for (; i + 8 <= n; i += 8) {
+        acc = V::AddWiden(acc, ExpF8<V>(V::Sub(V::Load(row + i), bm)));
+      }
+      if (i < n) {
+        acc = V::AddWiden(
+            acc, ExpF8<V>(V::Sub(LoadPad(row + i, n - i, ninf), bm)));
+      }
+    } else {
+      for (; i + 8 <= n; i += 8) {
+        const F8 w = V::Load(mask + i);
+        const F8 term =
+            V::Mul(w, ExpF8<V>(V::Sub(V::Load(row + i), bm)));
+        acc = V::AddWiden(acc, V::Blend(V::CmpGt(w, zero), term, zero));
+      }
+      if (i < n) {
+        const F8 w = LoadPad(mask + i, n - i, 0.0f);
+        const F8 term = V::Mul(
+            w, ExpF8<V>(V::Sub(LoadPad(row + i, n - i, ninf), bm)));
+        acc = V::AddWiden(acc, V::Blend(V::CmpGt(w, zero), term, zero));
+      }
+    }
+    return m + static_cast<float>(std::log(V::ReduceD(acc)));
+  }
+
+  static double RowSum(const float* row, int64_t n) {
+    D8 acc = V::DZero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) acc = V::AddWiden(acc, V::Load(row + i));
+    if (i < n) acc = V::AddWiden(acc, LoadPad(row + i, n - i, 0.0f));
+    return V::ReduceD(acc);
+  }
+
+  static double RowSumSq(const float* row, int64_t n) {
+    D8 acc = V::DZero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) acc = V::AddSqWiden(acc, V::Load(row + i));
+    if (i < n) acc = V::AddSqWiden(acc, LoadPad(row + i, n - i, 0.0f));
+    return V::ReduceD(acc);
+  }
+
+  // Elementwise span ops: per-element IEEE arithmetic, so the scalar tails
+  // below match the scalar backend's plain loops bit for bit.
+  static void Scale(float* d, int64_t n, float f) {
+    const F8 bf = V::Broadcast(f);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) V::Store(d + i, V::Mul(V::Load(d + i), bf));
+    for (; i < n; ++i) d[i] *= f;
+  }
+
+  static void Axpy(float* d, const float* s, int64_t n, float f) {
+    const F8 bf = V::Broadcast(f);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::Store(d + i, V::Add(V::Load(d + i), V::Mul(bf, V::Load(s + i))));
+    }
+    for (; i < n; ++i) d[i] += f * s[i];
+  }
+
+  static void Add(float* d, const float* s, int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::Store(d + i, V::Add(V::Load(d + i), V::Load(s + i)));
+    }
+    for (; i < n; ++i) d[i] += s[i];
+  }
+
+  static void Binary(BinaryOp op, const float* a, const float* b, float* out,
+                     int64_t n) {
+    switch (op) {
+      case BinaryOp::kAdd:
+        return BinaryLoop<BinaryOp::kAdd>(a, b, out, n);
+      case BinaryOp::kSub:
+        return BinaryLoop<BinaryOp::kSub>(a, b, out, n);
+      case BinaryOp::kMul:
+        return BinaryLoop<BinaryOp::kMul>(a, b, out, n);
+      case BinaryOp::kDiv:
+        return BinaryLoop<BinaryOp::kDiv>(a, b, out, n);
+    }
+  }
+
+  static void BinaryScalar(BinaryOp op, const float* a, float b, float* out,
+                           int64_t n) {
+    switch (op) {
+      case BinaryOp::kAdd:
+        return BinaryScalarLoop<BinaryOp::kAdd>(a, b, out, n);
+      case BinaryOp::kSub:
+        return BinaryScalarLoop<BinaryOp::kSub>(a, b, out, n);
+      case BinaryOp::kMul:
+        return BinaryScalarLoop<BinaryOp::kMul>(a, b, out, n);
+      case BinaryOp::kDiv:
+        return BinaryScalarLoop<BinaryOp::kDiv>(a, b, out, n);
+    }
+  }
+
+  static float Expf1(float x) {
+    float buf[8] = {x, x, x, x, x, x, x, x};
+    V::Store(buf, ExpF8<V>(V::Load(buf)));
+    return buf[0];
+  }
+
+ private:
+  template <BinaryOp kOp>
+  static F8 ApplyV(F8 a, F8 b) {
+    if constexpr (kOp == BinaryOp::kAdd) return V::Add(a, b);
+    if constexpr (kOp == BinaryOp::kSub) return V::Sub(a, b);
+    if constexpr (kOp == BinaryOp::kMul) return V::Mul(a, b);
+    return V::Div(a, b);
+  }
+  template <BinaryOp kOp>
+  static float ApplyS(float a, float b) {
+    if constexpr (kOp == BinaryOp::kAdd) return a + b;
+    if constexpr (kOp == BinaryOp::kSub) return a - b;
+    if constexpr (kOp == BinaryOp::kMul) return a * b;
+    return a / b;
+  }
+  template <BinaryOp kOp>
+  static void BinaryLoop(const float* a, const float* b, float* out,
+                         int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::Store(out + i, ApplyV<kOp>(V::Load(a + i), V::Load(b + i)));
+    }
+    for (; i < n; ++i) out[i] = ApplyS<kOp>(a[i], b[i]);
+  }
+  template <BinaryOp kOp>
+  static void BinaryScalarLoop(const float* a, float b, float* out,
+                               int64_t n) {
+    const F8 bv = V::Broadcast(b);
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      V::Store(out + i, ApplyV<kOp>(V::Load(a + i), bv));
+    }
+    for (; i < n; ++i) out[i] = ApplyS<kOp>(a[i], b);
+  }
+};
+
+template <typename V>
+KernelTable MakeTable(KernelBackendKind kind) {
+  using K = Kern<V>;
+  KernelTable t;
+  t.name = V::kName;
+  t.kind = kind;
+  t.dot = &K::Dot;
+  t.dot4 = &K::Dot4;
+  t.softmax_row = &K::SoftmaxRow;
+  t.log_softmax_row = &K::LogSoftmaxRow;
+  t.logsumexp_row = &K::LogSumExpRow;
+  t.row_sum = &K::RowSum;
+  t.row_sumsq = &K::RowSumSq;
+  t.scale = &K::Scale;
+  t.axpy = &K::Axpy;
+  t.add = &K::Add;
+  t.binary = &K::Binary;
+  t.binary_scalar = &K::BinaryScalar;
+  t.expf1 = &K::Expf1;
+  return t;
+}
+
+}  // namespace generic
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_KERNELS_GENERIC_H_

@@ -1,0 +1,20 @@
+// Scalar reference backend: the canonical bits every SIMD backend must
+// reproduce. This TU is compiled with auto-vectorization disabled (see
+// src/tensor/CMakeLists.txt) so the reference stays honestly scalar and
+// the bench speedup numbers mean what they say.
+
+#include "tensor/kernel_tables.h"
+#include "tensor/kernels_generic.h"
+#include "tensor/simd_scalar.h"
+
+namespace contratopic {
+namespace tensor {
+
+const KernelTable& ScalarKernelTable() {
+  static const KernelTable table =
+      generic::MakeTable<ScalarOps>(KernelBackendKind::kScalar);
+  return table;
+}
+
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,38 @@
+// SSE2 backend (x86 baseline: every x86-64 CPU has it). Compiled without
+// extra -m flags on x86-64; kept behind the CpuFeatures probe anyway so
+// 32-bit builds without SSE2 never dispatch here.
+
+#include "tensor/kernel_tables.h"
+
+#if CT_KERNEL_X86
+
+#include "tensor/kernels_generic.h"
+
+#if defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__)
+#define CT_SSE2_TU 1
+#include "tensor/simd_sse2.h"
+#else
+// 32-bit build without SSE2 codegen: keep the symbol linkable with scalar
+// lanes (bitwise identical; the CpuFeatures gate never picks it anyway).
+#define CT_SSE2_TU 0
+#include "tensor/simd_scalar.h"
+#endif
+
+namespace contratopic {
+namespace tensor {
+
+const KernelTable& Sse2KernelTable() {
+#if CT_SSE2_TU
+  static const KernelTable table =
+      generic::MakeTable<Sse2Ops>(KernelBackendKind::kSse2);
+#else
+  static const KernelTable table =
+      generic::MakeTable<ScalarOps>(KernelBackendKind::kSse2);
+#endif
+  return table;
+}
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CT_KERNEL_X86

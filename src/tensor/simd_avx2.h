@@ -1,0 +1,101 @@
+#ifndef CONTRATOPIC_TENSOR_SIMD_AVX2_H_
+#define CONTRATOPIC_TENSOR_SIMD_AVX2_H_
+
+// AVX2 implementation of the 8-lane vector-ops concept: an 8-float block
+// is one __m256, an 8-double accumulator two __m256d (lanes 0-3 / 4-7).
+// Reductions split the register into its 128-bit halves, which reproduces
+// the canonical tree of simd_scalar.h exactly. No FMA: the canonical
+// result is defined by separately-rounded mul+add, which vfmadd cannot
+// produce. The TU that includes this is compiled with -mavx2 and only
+// dispatched to when util::CpuFeatures reports AVX2.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace contratopic {
+namespace tensor {
+
+struct Avx2Ops {
+  static constexpr const char* kName = "avx2";
+
+  using F8 = __m256;
+  using I8 = __m256i;
+  // a = lanes 0-3, b = lanes 4-7.
+  struct D8 {
+    __m256d a, b;
+  };
+
+  static F8 Load(const float* p) { return _mm256_loadu_ps(p); }
+  static void Store(float* p, F8 x) { _mm256_storeu_ps(p, x); }
+  static F8 Broadcast(float x) { return _mm256_set1_ps(x); }
+  static F8 Zero() { return _mm256_setzero_ps(); }
+
+  static F8 Add(F8 a, F8 b) { return _mm256_add_ps(a, b); }
+  static F8 Sub(F8 a, F8 b) { return _mm256_sub_ps(a, b); }
+  static F8 Mul(F8 a, F8 b) { return _mm256_mul_ps(a, b); }
+  static F8 Div(F8 a, F8 b) { return _mm256_div_ps(a, b); }
+  static F8 Max(F8 a, F8 b) { return _mm256_max_ps(a, b); }
+  static F8 Min(F8 a, F8 b) { return _mm256_min_ps(a, b); }
+
+  static F8 CmpGt(F8 a, F8 b) { return _mm256_cmp_ps(a, b, _CMP_GT_OQ); }
+  static F8 CmpLt(F8 a, F8 b) { return _mm256_cmp_ps(a, b, _CMP_LT_OQ); }
+  static F8 CmpUnord(F8 a, F8 b) {
+    return _mm256_cmp_ps(a, b, _CMP_UNORD_Q);
+  }
+  static F8 Blend(F8 mask, F8 t, F8 f) {
+    return _mm256_or_ps(_mm256_and_ps(mask, t), _mm256_andnot_ps(mask, f));
+  }
+
+  static I8 ToInt(F8 x) { return _mm256_cvtps_epi32(x); }
+  static F8 ToFloat(I8 x) { return _mm256_cvtepi32_ps(x); }
+  static F8 Pow2I(I8 n) {
+    return _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_add_epi32(n, _mm256_set1_epi32(127)), 23));
+  }
+
+  static D8 DZero() {
+    const __m256d z = _mm256_setzero_pd();
+    return {z, z};
+  }
+  static D8 AddWiden(D8 acc, F8 x) {
+    acc.a = _mm256_add_pd(acc.a, _mm256_cvtps_pd(Lo(x)));
+    acc.b = _mm256_add_pd(acc.b, _mm256_cvtps_pd(Hi(x)));
+    return acc;
+  }
+  static D8 AddSqWiden(D8 acc, F8 x) {
+    const __m256d wa = _mm256_cvtps_pd(Lo(x));
+    const __m256d wb = _mm256_cvtps_pd(Hi(x));
+    acc.a = _mm256_add_pd(acc.a, _mm256_mul_pd(wa, wa));
+    acc.b = _mm256_add_pd(acc.b, _mm256_mul_pd(wb, wb));
+    return acc;
+  }
+
+  static double ReduceD(D8 x) {
+    const __m256d t = _mm256_add_pd(x.a, x.b);  // t0 t1 t2 t3
+    const __m128d u = _mm_add_pd(_mm256_castpd256_pd128(t),
+                                 _mm256_extractf128_pd(t, 1));
+    return _mm_cvtsd_f64(_mm_add_sd(u, _mm_unpackhi_pd(u, u)));
+  }
+  static float ReduceAdd(F8 x) {
+    const __m128 t = _mm_add_ps(Lo(x), Hi(x));            // t0 t1 t2 t3
+    const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));  // t0+t2, t1+t3
+    return _mm_cvtss_f32(
+        _mm_add_ss(u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+  static float ReduceMax(F8 x) {
+    const __m128 t = _mm_max_ps(Lo(x), Hi(x));
+    const __m128 u = _mm_max_ps(t, _mm_movehl_ps(t, t));
+    return _mm_cvtss_f32(
+        _mm_max_ss(u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+
+ private:
+  static __m128 Lo(F8 x) { return _mm256_castps256_ps128(x); }
+  static __m128 Hi(F8 x) { return _mm256_extractf128_ps(x, 1); }
+};
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_SIMD_AVX2_H_

@@ -1,0 +1,181 @@
+#ifndef CONTRATOPIC_TENSOR_SIMD_SCALAR_H_
+#define CONTRATOPIC_TENSOR_SIMD_SCALAR_H_
+
+// Scalar reference implementation of the 8-lane vector-ops concept consumed
+// by tensor/kernels_generic.h. Lanes are plain float arrays and every op is
+// a per-lane loop written to mirror the x86 instruction semantics exactly
+// (max/min operand order, ordered compares, bitwise blends), so the scalar
+// table defines the canonical bits the SIMD tables must reproduce. The TU
+// that instantiates this is compiled with auto-vectorization disabled: the
+// reference stays honestly scalar.
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace contratopic {
+namespace tensor {
+
+struct ScalarOps {
+  static constexpr const char* kName = "scalar";
+
+  struct F8 {
+    float v[8];
+  };
+  struct I8 {
+    int32_t v[8];
+  };
+  struct D8 {
+    double v[8];
+  };
+
+  static F8 Load(const float* p) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = p[j];
+    return r;
+  }
+  static void Store(float* p, F8 x) {
+    for (int j = 0; j < 8; ++j) p[j] = x.v[j];
+  }
+  static F8 Broadcast(float x) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = x;
+    return r;
+  }
+  static F8 Zero() { return Broadcast(0.0f); }
+
+  static F8 Add(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] + b.v[j];
+    return r;
+  }
+  static F8 Sub(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] - b.v[j];
+    return r;
+  }
+  static F8 Mul(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] * b.v[j];
+    return r;
+  }
+  static F8 Div(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] / b.v[j];
+    return r;
+  }
+  // maxps/minps semantics: second operand wins on NaN or equality.
+  static F8 Max(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] > b.v[j] ? a.v[j] : b.v[j];
+    return r;
+  }
+  static F8 Min(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = a.v[j] < b.v[j] ? a.v[j] : b.v[j];
+    return r;
+  }
+
+  // Ordered compares producing all-ones/all-zeros lane masks (NaN -> 0).
+  static F8 CmpGt(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = MaskLane(a.v[j] > b.v[j]);
+    return r;
+  }
+  static F8 CmpLt(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = MaskLane(a.v[j] < b.v[j]);
+    return r;
+  }
+  static F8 CmpUnord(F8 a, F8 b) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) {
+      r.v[j] = MaskLane(std::isnan(a.v[j]) || std::isnan(b.v[j]));
+    }
+    return r;
+  }
+  // Bitwise select: (mask & t) | (~mask & f).
+  static F8 Blend(F8 mask, F8 t, F8 f) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) {
+      const uint32_t m = std::bit_cast<uint32_t>(mask.v[j]);
+      r.v[j] = std::bit_cast<float>((m & std::bit_cast<uint32_t>(t.v[j])) |
+                                    (~m & std::bit_cast<uint32_t>(f.v[j])));
+    }
+    return r;
+  }
+
+  // cvtps2dq: round to nearest even. Inputs are pre-clamped to int range.
+  static I8 ToInt(F8 x) {
+    I8 r;
+    for (int j = 0; j < 8; ++j) {
+      r.v[j] = static_cast<int32_t>(std::lrintf(x.v[j]));
+    }
+    return r;
+  }
+  static F8 ToFloat(I8 x) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = static_cast<float>(x.v[j]);
+    return r;
+  }
+  // 2^n via exponent-field construction; n must be in [-126, 127].
+  static F8 Pow2I(I8 n) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) {
+      r.v[j] = std::bit_cast<float>(
+          static_cast<uint32_t>(n.v[j] + 127) << 23);
+    }
+    return r;
+  }
+
+  static D8 DZero() {
+    D8 r;
+    for (int j = 0; j < 8; ++j) r.v[j] = 0.0;
+    return r;
+  }
+  static D8 AddWiden(D8 acc, F8 x) {
+    for (int j = 0; j < 8; ++j) acc.v[j] += static_cast<double>(x.v[j]);
+    return acc;
+  }
+  static D8 AddSqWiden(D8 acc, F8 x) {
+    for (int j = 0; j < 8; ++j) {
+      const double xd = static_cast<double>(x.v[j]);
+      acc.v[j] += xd * xd;
+    }
+    return acc;
+  }
+
+  // Canonical fold: t[j] = lane[j] + lane[j+4], s = (t0+t2) + (t1+t3).
+  static double ReduceD(D8 a) {
+    const double t0 = a.v[0] + a.v[4];
+    const double t1 = a.v[1] + a.v[5];
+    const double t2 = a.v[2] + a.v[6];
+    const double t3 = a.v[3] + a.v[7];
+    return (t0 + t2) + (t1 + t3);
+  }
+  static float ReduceAdd(F8 a) {
+    const float t0 = a.v[0] + a.v[4];
+    const float t1 = a.v[1] + a.v[5];
+    const float t2 = a.v[2] + a.v[6];
+    const float t3 = a.v[3] + a.v[7];
+    return (t0 + t2) + (t1 + t3);
+  }
+  static float ReduceMax(F8 a) {
+    const float t0 = MaxLane(a.v[0], a.v[4]);
+    const float t1 = MaxLane(a.v[1], a.v[5]);
+    const float t2 = MaxLane(a.v[2], a.v[6]);
+    const float t3 = MaxLane(a.v[3], a.v[7]);
+    return MaxLane(MaxLane(t0, t2), MaxLane(t1, t3));
+  }
+
+ private:
+  static float MaskLane(bool cond) {
+    return std::bit_cast<float>(cond ? 0xFFFFFFFFu : 0u);
+  }
+  static float MaxLane(float a, float b) { return a > b ? a : b; }
+};
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_SIMD_SCALAR_H_

@@ -1,0 +1,146 @@
+#ifndef CONTRATOPIC_TENSOR_SIMD_SSE2_H_
+#define CONTRATOPIC_TENSOR_SIMD_SSE2_H_
+
+// SSE2 implementation of the 8-lane vector-ops concept: an 8-float block
+// is a pair of __m128 (lanes 0-3 / 4-7), an 8-double accumulator four
+// __m128d. The canonical reduction tree of simd_scalar.h maps onto
+// lane-wise register adds, so every reduction matches the scalar reference
+// bit for bit. x86-only; the build system compiles the TU that includes
+// this only on x86 hosts.
+
+#include <emmintrin.h>
+
+#include <cstdint>
+
+namespace contratopic {
+namespace tensor {
+
+struct Sse2Ops {
+  static constexpr const char* kName = "sse2";
+
+  struct F8 {
+    __m128 lo, hi;
+  };
+  struct I8 {
+    __m128i lo, hi;
+  };
+  // d[0]=(lanes 0,1) d[1]=(2,3) d[2]=(4,5) d[3]=(6,7).
+  struct D8 {
+    __m128d d[4];
+  };
+
+  static F8 Load(const float* p) {
+    return {_mm_loadu_ps(p), _mm_loadu_ps(p + 4)};
+  }
+  static void Store(float* p, F8 x) {
+    _mm_storeu_ps(p, x.lo);
+    _mm_storeu_ps(p + 4, x.hi);
+  }
+  static F8 Broadcast(float x) {
+    const __m128 v = _mm_set1_ps(x);
+    return {v, v};
+  }
+  static F8 Zero() {
+    const __m128 v = _mm_setzero_ps();
+    return {v, v};
+  }
+
+  static F8 Add(F8 a, F8 b) {
+    return {_mm_add_ps(a.lo, b.lo), _mm_add_ps(a.hi, b.hi)};
+  }
+  static F8 Sub(F8 a, F8 b) {
+    return {_mm_sub_ps(a.lo, b.lo), _mm_sub_ps(a.hi, b.hi)};
+  }
+  static F8 Mul(F8 a, F8 b) {
+    return {_mm_mul_ps(a.lo, b.lo), _mm_mul_ps(a.hi, b.hi)};
+  }
+  static F8 Div(F8 a, F8 b) {
+    return {_mm_div_ps(a.lo, b.lo), _mm_div_ps(a.hi, b.hi)};
+  }
+  static F8 Max(F8 a, F8 b) {
+    return {_mm_max_ps(a.lo, b.lo), _mm_max_ps(a.hi, b.hi)};
+  }
+  static F8 Min(F8 a, F8 b) {
+    return {_mm_min_ps(a.lo, b.lo), _mm_min_ps(a.hi, b.hi)};
+  }
+
+  static F8 CmpGt(F8 a, F8 b) {
+    return {_mm_cmpgt_ps(a.lo, b.lo), _mm_cmpgt_ps(a.hi, b.hi)};
+  }
+  static F8 CmpLt(F8 a, F8 b) {
+    return {_mm_cmplt_ps(a.lo, b.lo), _mm_cmplt_ps(a.hi, b.hi)};
+  }
+  static F8 CmpUnord(F8 a, F8 b) {
+    return {_mm_cmpunord_ps(a.lo, b.lo), _mm_cmpunord_ps(a.hi, b.hi)};
+  }
+  static F8 Blend(F8 mask, F8 t, F8 f) {
+    return {_mm_or_ps(_mm_and_ps(mask.lo, t.lo),
+                      _mm_andnot_ps(mask.lo, f.lo)),
+            _mm_or_ps(_mm_and_ps(mask.hi, t.hi),
+                      _mm_andnot_ps(mask.hi, f.hi))};
+  }
+
+  static I8 ToInt(F8 x) {
+    return {_mm_cvtps_epi32(x.lo), _mm_cvtps_epi32(x.hi)};
+  }
+  static F8 ToFloat(I8 x) {
+    return {_mm_cvtepi32_ps(x.lo), _mm_cvtepi32_ps(x.hi)};
+  }
+  static F8 Pow2I(I8 n) {
+    const __m128i bias = _mm_set1_epi32(127);
+    return {_mm_castsi128_ps(_mm_slli_epi32(_mm_add_epi32(n.lo, bias), 23)),
+            _mm_castsi128_ps(_mm_slli_epi32(_mm_add_epi32(n.hi, bias), 23))};
+  }
+
+  static D8 DZero() {
+    const __m128d z = _mm_setzero_pd();
+    return {{z, z, z, z}};
+  }
+  static D8 AddWiden(D8 acc, F8 x) {
+    acc.d[0] = _mm_add_pd(acc.d[0], _mm_cvtps_pd(x.lo));
+    acc.d[1] = _mm_add_pd(acc.d[1], _mm_cvtps_pd(HighPair(x.lo)));
+    acc.d[2] = _mm_add_pd(acc.d[2], _mm_cvtps_pd(x.hi));
+    acc.d[3] = _mm_add_pd(acc.d[3], _mm_cvtps_pd(HighPair(x.hi)));
+    return acc;
+  }
+  static D8 AddSqWiden(D8 acc, F8 x) {
+    const __m128d w0 = _mm_cvtps_pd(x.lo);
+    const __m128d w1 = _mm_cvtps_pd(HighPair(x.lo));
+    const __m128d w2 = _mm_cvtps_pd(x.hi);
+    const __m128d w3 = _mm_cvtps_pd(HighPair(x.hi));
+    acc.d[0] = _mm_add_pd(acc.d[0], _mm_mul_pd(w0, w0));
+    acc.d[1] = _mm_add_pd(acc.d[1], _mm_mul_pd(w1, w1));
+    acc.d[2] = _mm_add_pd(acc.d[2], _mm_mul_pd(w2, w2));
+    acc.d[3] = _mm_add_pd(acc.d[3], _mm_mul_pd(w3, w3));
+    return acc;
+  }
+
+  static double ReduceD(D8 a) {
+    // (t0,t1) and (t2,t3) of the canonical tree, then (t0+t2) + (t1+t3).
+    const __m128d t01 = _mm_add_pd(a.d[0], a.d[2]);
+    const __m128d t23 = _mm_add_pd(a.d[1], a.d[3]);
+    const __m128d u = _mm_add_pd(t01, t23);
+    return _mm_cvtsd_f64(_mm_add_sd(u, _mm_unpackhi_pd(u, u)));
+  }
+  static float ReduceAdd(F8 a) {
+    const __m128 t = _mm_add_ps(a.lo, a.hi);           // t0 t1 t2 t3
+    const __m128 u = _mm_add_ps(t, _mm_movehl_ps(t, t));  // t0+t2, t1+t3
+    return _mm_cvtss_f32(
+        _mm_add_ss(u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+  static float ReduceMax(F8 a) {
+    const __m128 t = _mm_max_ps(a.lo, a.hi);
+    const __m128 u = _mm_max_ps(t, _mm_movehl_ps(t, t));
+    return _mm_cvtss_f32(
+        _mm_max_ss(u, _mm_shuffle_ps(u, u, _MM_SHUFFLE(1, 1, 1, 1))));
+  }
+
+ private:
+  // Lanes 2,3 of a __m128 moved into lanes 0,1.
+  static __m128 HighPair(__m128 x) { return _mm_movehl_ps(x, x); }
+};
+
+}  // namespace tensor
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_SIMD_SSE2_H_

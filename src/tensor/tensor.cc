@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/backend.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -76,10 +77,11 @@ void Tensor::Fill(float value) {
 
 void Tensor::Scale(float factor) {
   float* d = data_.data();
+  const KernelTable& kt = ActiveKernels();
   util::ThreadPool::Global().ParallelFor(
       0, numel(),
-      [d, factor](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) d[i] *= factor;
+      [d, factor, &kt](int64_t lo, int64_t hi) {
+        kt.scale(d + lo, hi - lo, factor);
       },
       kElemGrain);
 }
@@ -88,10 +90,11 @@ void Tensor::AddInPlace(const Tensor& other) {
   CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
   float* d = data_.data();
   const float* src = other.data();
+  const KernelTable& kt = ActiveKernels();
   util::ThreadPool::Global().ParallelFor(
       0, numel(),
-      [d, src](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) d[i] += src[i];
+      [d, src, &kt](int64_t lo, int64_t hi) {
+        kt.add(d + lo, src + lo, hi - lo);
       },
       kElemGrain);
 }
@@ -100,10 +103,11 @@ void Tensor::AddScaledInPlace(const Tensor& other, float factor) {
   CHECK(same_shape(other)) << ShapeString() << " vs " << other.ShapeString();
   float* d = data_.data();
   const float* src = other.data();
+  const KernelTable& kt = ActiveKernels();
   util::ThreadPool::Global().ParallelFor(
       0, numel(),
-      [d, src, factor](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) d[i] += factor * src[i];
+      [d, src, factor, &kt](int64_t lo, int64_t hi) {
+        kt.axpy(d + lo, src + lo, hi - lo, factor);
       },
       kElemGrain);
 }

@@ -1,0 +1,37 @@
+#include "util/cpu_features.h"
+
+namespace contratopic {
+namespace util {
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx = __builtin_cpu_supports("avx");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+std::string CpuFeatures::ToString() const {
+  std::string out;
+  auto append = [&out](bool have, const char* name) {
+    if (!have) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(sse2, "sse2");
+  append(avx, "avx");
+  append(avx2, "avx2");
+  append(fma, "fma");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace util
+}  // namespace contratopic

@@ -1,0 +1,30 @@
+#ifndef CONTRATOPIC_UTIL_CPU_FEATURES_H_
+#define CONTRATOPIC_UTIL_CPU_FEATURES_H_
+
+// Runtime CPU capability probe for the SIMD kernel backends
+// (tensor/backend.h). Probed once, at first use, via the compiler's CPU
+// dispatch builtins; on non-x86 targets every flag is false and the scalar
+// reference backend is the only one available.
+
+#include <string>
+
+namespace contratopic {
+namespace util {
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool fma = false;
+
+  // Cached probe of the host CPU (thread-safe, runs once).
+  static const CpuFeatures& Get();
+
+  // "sse2 avx avx2 fma" style summary for logs and bench manifests.
+  std::string ToString() const;
+};
+
+}  // namespace util
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_UTIL_CPU_FEATURES_H_

@@ -1,0 +1,384 @@
+// Differential harness for the SIMD kernel backends (tensor/backend.h):
+// every supported backend, at 1 and 4 threads, must reproduce the scalar
+// reference backend *bitwise* on randomized shapes, transpose variants,
+// and special-value-laced inputs. Around 200 randomized configurations run
+// per full suite; each config is (op, shape draw, backend, thread count).
+//
+// Comparisons go through the uint32 bit pattern. The one carve-out is NaN
+// payload/sign: when two *different* NaNs meet in an add or mul, x86
+// propagates whichever operand sits in the destination register, and the
+// compiler picks that freely for scalar C++ while intrinsics pin it. So
+// the contract (backend.h) is "any NaN matches any NaN"; every non-NaN
+// bit pattern must match exactly, including NaN *placement*.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/backend.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace tensor {
+namespace {
+
+uint32_t BitsOf(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+void ExpectBitwise(const Tensor& want, const Tensor& got,
+                   const std::string& what) {
+  ASSERT_TRUE(want.same_shape(got))
+      << what << ": " << want.ShapeString() << " vs " << got.ShapeString();
+  for (int64_t i = 0; i < want.numel(); ++i) {
+    if (std::isnan(want.data()[i]) && std::isnan(got.data()[i])) continue;
+    ASSERT_EQ(BitsOf(want.data()[i]), BitsOf(got.data()[i]))
+        << what << " differs at flat index " << i << ": "
+        << want.data()[i] << " vs " << got.data()[i];
+  }
+}
+
+// Random tensor; with probability `special_prob` per element, draws from
+// the IEEE edge cases instead (infinities, NaN, denormal, signed zero).
+Tensor RandomTensor(util::Rng& rng, int64_t rows, int64_t cols,
+                    double special_prob = 0.0) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    float v;
+    if (special_prob > 0.0 && rng.Uniform() < special_prob) {
+      switch (rng.UniformInt(5)) {
+        case 0:
+          v = std::numeric_limits<float>::infinity();
+          break;
+        case 1:
+          v = -std::numeric_limits<float>::infinity();
+          break;
+        case 2:
+          v = std::numeric_limits<float>::quiet_NaN();
+          break;
+        case 3:
+          v = std::numeric_limits<float>::denorm_min() *
+              static_cast<float>(1 + rng.UniformInt(100));
+          break;
+        default:
+          v = -0.0f;
+          break;
+      }
+    } else {
+      v = static_cast<float>(rng.Normal(0.0, 3.0));
+    }
+    t.data()[i] = v;
+  }
+  return t;
+}
+
+// Runs `fn` under the scalar backend at 1 thread (the canonical bits),
+// then under every supported backend at 1 and 4 threads, and requires all
+// runs to agree bitwise. `fn` must be a pure function of its captures.
+void ExpectBackendInvariant(const std::function<Tensor()>& fn,
+                            const std::string& what) {
+  util::ThreadPool::SetGlobalNumThreads(1);
+  Tensor want;
+  {
+    ScopedKernelBackend scalar(KernelBackendKind::kScalar);
+    want = fn();
+  }
+  for (KernelBackendKind kind : SupportedBackends()) {
+    ScopedKernelBackend scoped(kind);
+    for (int threads : {1, 4}) {
+      util::ThreadPool::SetGlobalNumThreads(threads);
+      const Tensor got = fn();
+      ExpectBitwise(want, got,
+                    what + " [" + KernelBackendName(kind) + ", " +
+                        std::to_string(threads) + " threads]");
+      if (::testing::Test::HasFatalFailure()) {
+        util::ThreadPool::SetGlobalNumThreads(0);
+        return;
+      }
+    }
+  }
+  util::ThreadPool::SetGlobalNumThreads(0);
+}
+
+int64_t RandDim(util::Rng& rng, int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(rng.UniformInt(
+                  static_cast<uint64_t>(hi - lo + 1)));
+}
+
+// ---------------------------------------------------------------------------
+// MatMul: all four transpose variants, randomized shapes, alpha/beta
+// accumulation. 4 variants x 12 draws x (1 + |backends| x 2) runs.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferentialTest, MatMulAllTransposeVariants) {
+  util::Rng rng(101);
+  for (int iter = 0; iter < 12; ++iter) {
+    const int64_t m = RandDim(rng, 1, 90);
+    const int64_t k = RandDim(rng, 1, 70);
+    const int64_t n = RandDim(rng, 1, 90);
+    const Tensor a = RandomTensor(rng, m, k);
+    const Tensor at = Transposed(a);
+    const Tensor b = RandomTensor(rng, k, n);
+    const Tensor bt = Transposed(b);
+    const Tensor c0 = RandomTensor(rng, m, n);
+    const float alpha = iter % 3 == 0 ? 1.0f : -0.75f;
+    const float beta = iter % 2 == 0 ? 0.0f : 0.5f;
+    struct Variant {
+      const Tensor* a;
+      bool trans_a;
+      const Tensor* b;
+      bool trans_b;
+      const char* tag;
+    };
+    const Variant variants[] = {
+        {&a, false, &b, false, "NN"},
+        {&a, false, &bt, true, "NT"},
+        {&at, true, &b, false, "TN"},
+        {&at, true, &bt, true, "TT"},
+    };
+    for (const Variant& v : variants) {
+      ExpectBackendInvariant(
+          [&] {
+            Tensor c = c0;
+            MatMul(*v.a, v.trans_a, *v.b, v.trans_b, &c, alpha, beta);
+            return c;
+          },
+          "MatMul/" + std::string(v.tag) + " iter " + std::to_string(iter));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, MatMulLargeEnoughToGoParallel) {
+  // 160*160*180 > 2^22 flops: exercises the threaded row-split path.
+  util::Rng rng(102);
+  const Tensor a = RandomTensor(rng, 160, 180);
+  const Tensor b = RandomTensor(rng, 180, 160);
+  ExpectBackendInvariant([&] { return MatMulNew(a, false, b, false); },
+                         "MatMul/parallel");
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family: randomized shapes, with and without special values.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferentialTest, SoftmaxRows) {
+  util::Rng rng(201);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Tensor x = RandomTensor(rng, RandDim(rng, 1, 120),
+                                  RandDim(rng, 1, 300),
+                                  iter % 2 == 0 ? 0.0 : 0.02);
+    ExpectBackendInvariant([&] { return SoftmaxRows(x); },
+                           "SoftmaxRows iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDifferentialTest, LogSoftmaxRows) {
+  util::Rng rng(202);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Tensor x = RandomTensor(rng, RandDim(rng, 1, 120),
+                                  RandDim(rng, 1, 300),
+                                  iter % 2 == 0 ? 0.0 : 0.02);
+    ExpectBackendInvariant(
+        [&] {
+          Tensor y = x;
+          LogSoftmaxRowsInPlace(&y);
+          return y;
+        },
+        "LogSoftmaxRows iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDifferentialTest, LogSumExpRows) {
+  util::Rng rng(203);
+  for (int iter = 0; iter < 10; ++iter) {
+    const int64_t rows = RandDim(rng, 1, 100);
+    const int64_t cols = RandDim(rng, 1, 250);
+    const Tensor x = RandomTensor(rng, rows, cols);
+    // Random 0/1 mask; some rows end up all-zero (sentinel path).
+    Tensor mask(rows, cols);
+    for (int64_t i = 0; i < mask.numel(); ++i) {
+      mask.data()[i] = rng.Uniform() < 0.6 ? 1.0f : 0.0f;
+    }
+    ExpectBackendInvariant(
+        [&] {
+          Tensor out(rows, 1);
+          LogSumExpRows(x, nullptr, &out);
+          return out;
+        },
+        "LogSumExpRows/nomask iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant(
+        [&] {
+          Tensor out(rows, 1);
+          LogSumExpRows(x, &mask, &out);
+          return out;
+        },
+        "LogSumExpRows/mask iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions and row/col ops.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferentialTest, RowAndColReductions) {
+  util::Rng rng(301);
+  for (int iter = 0; iter < 8; ++iter) {
+    const Tensor x = RandomTensor(rng, RandDim(rng, 1, 700),
+                                  RandDim(rng, 1, 90));
+    ExpectBackendInvariant([&] { return RowSum(x); },
+                           "RowSum iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant([&] { return ColSum(x); },
+                           "ColSum iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant([&] { return ColMean(x); },
+                           "ColMean iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant([&] { return RowL2Normalized(x); },
+                           "RowL2Normalized iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDifferentialTest, BroadcastOps) {
+  util::Rng rng(302);
+  const BinaryOp kOps[] = {BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                           BinaryOp::kDiv};
+  for (int iter = 0; iter < 6; ++iter) {
+    const int64_t rows = RandDim(rng, 1, 200);
+    const int64_t cols = RandDim(rng, 1, 150);
+    const Tensor a = RandomTensor(rng, rows, cols, 0.01);
+    const Tensor col = RandomTensor(rng, rows, 1, 0.01);
+    const Tensor row = RandomTensor(rng, 1, cols, 0.01);
+    for (BinaryOp op : kOps) {
+      ExpectBackendInvariant(
+          [&] {
+            Tensor out(rows, cols);
+            BroadcastCol(a, col, op, &out);
+            return out;
+          },
+          "BroadcastCol iter " + std::to_string(iter));
+      if (::testing::Test::HasFatalFailure()) return;
+      ExpectBackendInvariant(
+          [&] {
+            Tensor out(rows, cols);
+            BroadcastRow(a, row, op, &out);
+            return out;
+          },
+          "BroadcastRow iter " + std::to_string(iter));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, ElementwiseTensorOps) {
+  util::Rng rng(303);
+  for (int iter = 0; iter < 6; ++iter) {
+    const int64_t rows = RandDim(rng, 1, 300);
+    const int64_t cols = RandDim(rng, 1, 120);
+    const Tensor x = RandomTensor(rng, rows, cols, 0.01);
+    const Tensor y = RandomTensor(rng, rows, cols, 0.01);
+    ExpectBackendInvariant(
+        [&] {
+          Tensor t = x;
+          t.Scale(-1.25f);
+          return t;
+        },
+        "Tensor::Scale iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant(
+        [&] {
+          Tensor t = x;
+          t.AddInPlace(y);
+          return t;
+        },
+        "Tensor::AddInPlace iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant(
+        [&] {
+          Tensor t = x;
+          t.AddScaledInPlace(y, 0.37f);
+          return t;
+        },
+        "Tensor::AddScaledInPlace iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelDifferentialTest, PairwiseKernels) {
+  util::Rng rng(304);
+  for (int iter = 0; iter < 4; ++iter) {
+    const Tensor a = RandomTensor(rng, RandDim(rng, 1, 60),
+                                  RandDim(rng, 1, 50));
+    const Tensor b = RandomTensor(rng, RandDim(rng, 1, 60), a.cols());
+    ExpectBackendInvariant([&] { return PairwiseSquaredDistances(a, b); },
+                           "PairwiseSquaredDistances iter " +
+                               std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+    ExpectBackendInvariant([&] { return PairwiseCosine(a, b); },
+                           "PairwiseCosine iter " + std::to_string(iter));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The canonical exp itself: every backend's expf1 must agree bitwise with
+// the scalar table across the whole interesting range and on specials.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferentialTest, CanonicalExpBitwiseAcrossBackends) {
+  std::vector<float> xs;
+  for (float x = -110.0f; x <= 110.0f; x += 0.0917f) xs.push_back(x);
+  xs.push_back(std::numeric_limits<float>::infinity());
+  xs.push_back(-std::numeric_limits<float>::infinity());
+  xs.push_back(std::numeric_limits<float>::quiet_NaN());
+  xs.push_back(std::numeric_limits<float>::denorm_min());
+  xs.push_back(-0.0f);
+  xs.push_back(88.3762626647949f);   // overflow threshold
+  xs.push_back(-87.3365478515625f);  // flush-to-zero threshold
+  const KernelTable& scalar = TableFor(KernelBackendKind::kScalar);
+  for (KernelBackendKind kind : SupportedBackends()) {
+    const KernelTable& kt = TableFor(kind);
+    for (float x : xs) {
+      ASSERT_EQ(BitsOf(scalar.expf1(x)), BitsOf(kt.expf1(x)))
+          << "expf1(" << x << ") on " << KernelBackendName(kind);
+    }
+  }
+}
+
+// Sanity on the environment contract: parsing and support reporting.
+TEST(KernelDifferentialTest, BackendSelectionApi) {
+  KernelBackendKind kind;
+  EXPECT_TRUE(ParseKernelBackendName("scalar", &kind));
+  EXPECT_EQ(kind, KernelBackendKind::kScalar);
+  EXPECT_TRUE(ParseKernelBackendName("auto", &kind));
+  EXPECT_EQ(kind, BestSupportedBackend());
+  EXPECT_FALSE(ParseKernelBackendName("avx512", &kind));
+  EXPECT_TRUE(BackendSupported(KernelBackendKind::kScalar));
+  // The active backend is always one of the supported ones.
+  bool found = false;
+  for (KernelBackendKind k : SupportedBackends()) {
+    found = found || k == ActiveKernels().kind;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,292 @@
+// Algebraic and special-value properties of the tensor kernels, valid on
+// every backend (tensor/backend.h). The differential suite proves the
+// backends agree with each other; this suite proves the shared canonical
+// semantics are the *right* ones: softmax rows are distributions,
+// logsumexp is shift-invariant, matmul respects identities, and the IEEE
+// edge cases (NaN, infinities, denormals, empty shapes) have defined,
+// documented outcomes instead of UB.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/backend.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace contratopic {
+namespace tensor {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+// Run the body once per supported backend so every property holds on every
+// table, not just the startup one.
+class KernelPropertyTest
+    : public ::testing::TestWithParam<KernelBackendKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, KernelPropertyTest,
+    ::testing::ValuesIn(SupportedBackends()),
+    [](const ::testing::TestParamInfo<KernelBackendKind>& info) {
+      return std::string(KernelBackendName(info.param));
+    });
+
+TEST_P(KernelPropertyTest, SoftmaxRowsAreDistributions) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(11);
+  const Tensor x = Tensor::RandNormal(40, 130, rng, 0.0f, 4.0f);
+  const Tensor s = SoftmaxRows(x);
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    double sum = 0.0;
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      ASSERT_GE(s.at(r, c), 0.0f);
+      sum += s.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5) << "row " << r;
+  }
+}
+
+TEST_P(KernelPropertyTest, SoftmaxShiftInvariance) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(12);
+  const Tensor x = Tensor::RandNormal(20, 64, rng, 0.0f, 2.0f);
+  Tensor shifted = x;
+  shifted.Apply([](float v) { return v + 7.5f; });
+  const Tensor a = SoftmaxRows(x);
+  const Tensor b = SoftmaxRows(shifted);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-6f);
+  }
+}
+
+TEST_P(KernelPropertyTest, LogSumExpShiftInvariance) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(13);
+  const Tensor x = Tensor::RandNormal(30, 80, rng, 0.0f, 2.0f);
+  Tensor shifted = x;
+  const float kShift = -23.0f;
+  shifted.Apply([kShift](float v) { return v + kShift; });
+  Tensor lse_x(30, 1), lse_shifted(30, 1);
+  LogSumExpRows(x, nullptr, &lse_x);
+  LogSumExpRows(shifted, nullptr, &lse_shifted);
+  for (int64_t r = 0; r < 30; ++r) {
+    EXPECT_NEAR(lse_shifted.at(r, 0), lse_x.at(r, 0) + kShift, 1e-4f)
+        << "row " << r;
+  }
+}
+
+TEST_P(KernelPropertyTest, LogSoftmaxMatchesLogOfSoftmax) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(14);
+  const Tensor x = Tensor::RandNormal(15, 50, rng, 0.0f, 3.0f);
+  const Tensor s = SoftmaxRows(x);
+  Tensor ls = x;
+  LogSoftmaxRowsInPlace(&ls);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-4f);
+  }
+}
+
+TEST_P(KernelPropertyTest, MatMulIdentityIsBitwiseExact) {
+  // A @ I multiplies each product lane by 1 or 0 and the canonical tree
+  // adds exact zeros, so the result must be A to the bit.
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(15);
+  const Tensor a = Tensor::RandNormal(37, 53, rng, 0.0f, 1.0f);
+  const Tensor c = MatMulNew(a, false, Tensor::Identity(53), false);
+  ASSERT_TRUE(c.same_shape(a));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    uint32_t ua, uc;
+    std::memcpy(&ua, a.data() + i, 4);
+    std::memcpy(&uc, c.data() + i, 4);
+    ASSERT_EQ(ua, uc) << "flat index " << i;
+  }
+}
+
+TEST_P(KernelPropertyTest, MatMulAssociativityWithinTolerance) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(16);
+  const Tensor a = Tensor::RandNormal(21, 33, rng, 0.0f, 1.0f);
+  const Tensor b = Tensor::RandNormal(33, 27, rng, 0.0f, 1.0f);
+  const Tensor c = Tensor::RandNormal(27, 19, rng, 0.0f, 1.0f);
+  const Tensor left = MatMulNew(MatMulNew(a, false, b, false), false, c,
+                                false);
+  const Tensor right = MatMulNew(a, false, MatMulNew(b, false, c, false),
+                                 false);
+  ASSERT_TRUE(left.same_shape(right));
+  for (int64_t i = 0; i < left.numel(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i], 2e-3f);
+  }
+}
+
+TEST_P(KernelPropertyTest, MatMulZeroInnerDimScalesExisting) {
+  // Inner dimension 0: every dot is empty (= 0), so C = beta * C.
+  ScopedKernelBackend scoped(GetParam());
+  const Tensor a(4, 0);
+  const Tensor b(0, 5);
+  Tensor c = Tensor::Full(4, 5, 2.0f);
+  MatMul(a, false, b, false, &c, 1.0f, 0.5f);
+  for (int64_t i = 0; i < c.numel(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], 1.0f);
+  }
+}
+
+// Regression: the pre-backend softmax read row[0] unconditionally, which
+// was out-of-bounds on zero-width rows. Zero-size shapes must be no-ops.
+TEST_P(KernelPropertyTest, ZeroSizeShapesAreSafe) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor zero_cols(3, 0);
+  SoftmaxRowsInPlace(&zero_cols);
+  LogSoftmaxRowsInPlace(&zero_cols);
+  Tensor zero_rows(0, 4);
+  SoftmaxRowsInPlace(&zero_rows);
+  const Tensor rs = RowSum(zero_cols);
+  ASSERT_EQ(rs.rows(), 3);
+  for (int64_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(rs.at(r, 0), 0.0f);
+  const Tensor cs = ColSum(zero_rows);
+  ASSERT_EQ(cs.cols(), 4);
+  for (int64_t c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(cs.at(0, c), 0.0f);
+}
+
+// Regression: a row that is entirely -inf (every token masked upstream)
+// must produce the uniform distribution, not NaN from exp(-inf - -inf).
+TEST_P(KernelPropertyTest, SoftmaxAllNegInfRowIsUniform) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x = Tensor::Full(2, 8, -kInf);
+  x.at(1, 3) = 0.0f;  // second row is an ordinary one-hot-ish row
+  SoftmaxRowsInPlace(&x);
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ(x.at(0, c), 1.0f / 8.0f) << "col " << c;
+  }
+  EXPECT_FLOAT_EQ(x.at(1, 3), 1.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 0), 0.0f);
+}
+
+TEST_P(KernelPropertyTest, LogSoftmaxAllNegInfRowIsUniformLog) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x = Tensor::Full(1, 16, -kInf);
+  LogSoftmaxRowsInPlace(&x);
+  for (int64_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(x.at(0, c), -std::log(16.0f), 1e-6f) << "col " << c;
+  }
+}
+
+TEST_P(KernelPropertyTest, LogSumExpEmptyMaskRowYieldsSentinel) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(17);
+  const Tensor x = Tensor::RandNormal(3, 10, rng, 0.0f, 1.0f);
+  Tensor mask = Tensor::Full(3, 10, 1.0f);
+  for (int64_t c = 0; c < 10; ++c) mask.at(1, c) = 0.0f;
+  Tensor out(3, 1);
+  LogSumExpRows(x, &mask, &out);
+  EXPECT_FLOAT_EQ(out.at(1, 0), -1e30f);
+  EXPECT_GT(out.at(0, 0), -1e29f);
+  EXPECT_GT(out.at(2, 0), -1e29f);
+}
+
+TEST_P(KernelPropertyTest, SingleElementRows) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x(3, 1);
+  x.at(0, 0) = -4.25f;
+  x.at(1, 0) = 1234.5f;
+  x.at(2, 0) = 0.0f;
+  Tensor s = x;
+  SoftmaxRowsInPlace(&s);
+  for (int64_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(s.at(r, 0), 1.0f);
+  Tensor lse(3, 1);
+  LogSumExpRows(x, nullptr, &lse);
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_FLOAT_EQ(lse.at(r, 0), x.at(r, 0)) << "row " << r;
+  }
+}
+
+TEST_P(KernelPropertyTest, NanInRowPoisonsOnlyThatSoftmaxRow) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(18);
+  Tensor x = Tensor::RandNormal(3, 12, rng, 0.0f, 1.0f);
+  x.at(1, 5) = std::numeric_limits<float>::quiet_NaN();
+  SoftmaxRowsInPlace(&x);
+  for (int64_t c = 0; c < 12; ++c) {
+    EXPECT_TRUE(std::isnan(x.at(1, c))) << "col " << c;
+  }
+  double sum0 = 0.0, sum2 = 0.0;
+  for (int64_t c = 0; c < 12; ++c) {
+    sum0 += x.at(0, c);
+    sum2 += x.at(2, c);
+  }
+  EXPECT_NEAR(sum0, 1.0, 1e-5);
+  EXPECT_NEAR(sum2, 1.0, 1e-5);
+}
+
+TEST_P(KernelPropertyTest, DenormalInputsStayFinite) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x = Tensor::Full(2, 9, std::numeric_limits<float>::denorm_min());
+  Tensor s = x;
+  SoftmaxRowsInPlace(&s);
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(s.data()[i]));
+    EXPECT_NEAR(s.data()[i], 1.0f / 9.0f, 1e-6f);
+  }
+  const Tensor norm = RowL2Normalized(x);
+  for (int64_t i = 0; i < norm.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(norm.data()[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CanonicalExpf accuracy: the shared polynomial must track std::exp to a
+// few ULP across the whole non-saturating range, and honor the documented
+// saturation/special-value semantics exactly.
+// ---------------------------------------------------------------------------
+
+int64_t UlpDistance(float a, float b) {
+  // Both operands positive finite here; the bit patterns of positive
+  // floats are ordered, so the ULP distance is the bit distance.
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  return std::llabs(static_cast<int64_t>(ia) - static_cast<int64_t>(ib));
+}
+
+TEST(CanonicalExpfTest, TracksLibmWithinFourUlp) {
+  int64_t worst = 0;
+  for (float x = -87.0f; x <= 88.0f; x += 0.00311f) {
+    const float got = CanonicalExpf(x);
+    const float want = std::exp(x);
+    ASSERT_GT(got, 0.0f) << "x=" << x;
+    const int64_t ulp = UlpDistance(got, want);
+    worst = std::max(worst, ulp);
+    ASSERT_LE(ulp, 4) << "x=" << x << " got=" << got << " want=" << want;
+  }
+  // The polynomial should really be ~2 ULP; record the observed worst case
+  // so a regression is visible in the test log.
+  RecordProperty("worst_ulp", static_cast<int>(worst));
+}
+
+TEST(CanonicalExpfTest, SaturationAndSpecials) {
+  EXPECT_FLOAT_EQ(CanonicalExpf(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(CanonicalExpf(-0.0f), 1.0f);
+  EXPECT_EQ(CanonicalExpf(kInf), kInf);
+  EXPECT_EQ(CanonicalExpf(200.0f), kInf);
+  EXPECT_EQ(CanonicalExpf(-kInf), 0.0f);
+  EXPECT_EQ(CanonicalExpf(-200.0f), 0.0f);
+  EXPECT_TRUE(std::isnan(
+      CanonicalExpf(std::numeric_limits<float>::quiet_NaN())));
+  // Exactly at the documented thresholds: still finite below, saturated
+  // above.
+  EXPECT_TRUE(std::isfinite(CanonicalExpf(88.3762626647949f)));
+  EXPECT_GT(CanonicalExpf(-87.3365478515625f), 0.0f);
+}
+
+}  // namespace
+}  // namespace tensor
+}  // namespace contratopic

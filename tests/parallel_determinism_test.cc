@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "eval/metrics.h"
 #include "eval/npmi.h"
 #include "tensor/autodiff.h"
+#include "tensor/backend.h"
 #include "tensor/kernels.h"
 #include "text/synthetic.h"
 #include "util/parallel.h"
@@ -366,6 +368,45 @@ TEST(TrainingDeterminismTest, ContraTopicIsBitwiseIdenticalAt1And4Threads) {
   for (size_t k = 0; k < serial.coherence.size(); ++k) {
     EXPECT_EQ(serial.coherence[k], parallel.coherence[k]) << "topic " << k;
   }
+}
+
+// The backend axis (ISSUE 5): the bitwise contract of tensor/backend.h
+// says the SIMD kernel backend is a pure speed knob. Train the full model
+// under every (backend, thread count) combination of {scalar, best SIMD}
+// x {1, 4} and require identical beta, theta, and loss trajectories to
+// the bit. On non-x86 hosts best == scalar and this degenerates to the
+// thread-count test above.
+TEST(TrainingDeterminismTest, ContraTopicIsBitwiseIdenticalAcrossBackends) {
+  TrainRun reference;
+  {
+    tensor::ScopedKernelBackend scoped(tensor::KernelBackendKind::kScalar);
+    reference = TrainContraTopic(1);
+  }
+  const tensor::KernelBackendKind kinds[] = {
+      tensor::KernelBackendKind::kScalar, tensor::BestSupportedBackend()};
+  for (tensor::KernelBackendKind kind : kinds) {
+    tensor::ScopedKernelBackend scoped(kind);
+    for (int threads : {1, 4}) {
+      if (kind == tensor::KernelBackendKind::kScalar && threads == 1) {
+        continue;  // that is the reference run
+      }
+      SCOPED_TRACE(std::string(tensor::KernelBackendName(kind)) + " @ " +
+                   std::to_string(threads) + " threads");
+      const TrainRun run = TrainContraTopic(threads);
+      ASSERT_EQ(reference.losses.size(), run.losses.size());
+      for (size_t i = 0; i < reference.losses.size(); ++i) {
+        EXPECT_EQ(reference.losses[i], run.losses[i]) << "loss step " << i;
+      }
+      ExpectBitwiseEqual(reference.beta, run.beta);
+      ExpectBitwiseEqual(reference.theta, run.theta);
+      ASSERT_EQ(reference.coherence.size(), run.coherence.size());
+      for (size_t k = 0; k < reference.coherence.size(); ++k) {
+        EXPECT_EQ(reference.coherence[k], run.coherence[k])
+            << "topic " << k;
+      }
+    }
+  }
+  ThreadPool::SetGlobalNumThreads(0);
 }
 
 // Rng streams: (seed, stream) pairs are independent and reproducible.
