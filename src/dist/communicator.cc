@@ -1,0 +1,197 @@
+#include "dist/communicator.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace contratopic {
+namespace dist {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+// Retries EINTR and short writes until `size` bytes are on the wire.
+util::Status WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a status, not SIGPIPE.
+    const ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return util::Status::Unavailable("dist: peer closed the channel");
+      }
+      return util::Status::IOError(std::string("dist: send failed: ") +
+                                   std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+// Retries EINTR and short reads; EOF mid-frame is the peer-death signal.
+util::Status ReadAll(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::recv(fd, p, remaining, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        return util::Status::Unavailable("dist: peer closed the channel");
+      }
+      return util::Status::IOError(std::string("dist: recv failed: ") +
+                                   std::strerror(errno));
+    }
+    if (n == 0) {
+      return util::Status::Unavailable("dist: peer closed the channel");
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+struct FrameHeader {
+  uint32_t magic;
+  uint32_t tag;
+  uint64_t payload_size;
+  uint32_t crc;
+};
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Status Channel::CreatePair(Channel* a, Channel* b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return util::Status::IOError(std::string("dist: socketpair failed: ") +
+                                 std::strerror(errno));
+  }
+  *a = Channel(fds[0]);
+  *b = Channel(fds[1]);
+  return util::Status::OK();
+}
+
+void Channel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Channel::Send(uint32_t tag, const std::string& payload) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("dist: channel is closed");
+  }
+  if (util::FaultInjector::Global().ShouldFail("dist.send")) {
+    return util::Status::IOError("injected dist.send fault");
+  }
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendU32(&frame, kFrameMagic);
+  AppendU32(&frame, tag);
+  AppendU64(&frame, payload.size());
+  AppendU32(&frame, Crc32(payload.data(), payload.size()));
+  frame.append(payload);
+  return WriteAll(fd_, frame.data(), frame.size());
+}
+
+util::StatusOr<std::string> Channel::Recv(uint32_t expected_tag) {
+  if (fd_ < 0) {
+    return util::Status::FailedPrecondition("dist: channel is closed");
+  }
+  char header[kHeaderBytes];
+  CT_RETURN_IF_ERROR(ReadAll(fd_, header, kHeaderBytes));
+  const FrameHeader h = {LoadU32(header), LoadU32(header + 4),
+                         LoadU64(header + 8), LoadU32(header + 16)};
+  if (h.magic != kFrameMagic) {
+    return util::Status::DataLoss("dist: frame has a bad magic number");
+  }
+  if (h.payload_size > kMaxFramePayload) {
+    return util::Status::DataLoss("dist: frame header declares an insane size");
+  }
+  std::string payload(h.payload_size, '\0');
+  if (h.payload_size > 0) {
+    CT_RETURN_IF_ERROR(ReadAll(fd_, payload.data(), payload.size()));
+  }
+  if (!payload.empty() &&
+      util::FaultInjector::Global().ShouldFail("dist.recv_corrupt")) {
+    // Flip one bit before the CRC check: models wire corruption, which the
+    // checksum must catch.
+    payload[payload.size() / 2] ^= 0x20;
+  }
+  if (Crc32(payload.data(), payload.size()) != h.crc) {
+    return util::Status::DataLoss("dist: frame payload failed its CRC check");
+  }
+  if (h.tag != expected_tag) {
+    return util::Status::DataLoss("dist: frame tag " + std::to_string(h.tag) +
+                                  " does not match expected " +
+                                  std::to_string(expected_tag));
+  }
+  return payload;
+}
+
+}  // namespace dist
+}  // namespace contratopic

@@ -1,0 +1,66 @@
+#ifndef CONTRATOPIC_DIST_COMMUNICATOR_H_
+#define CONTRATOPIC_DIST_COMMUNICATOR_H_
+
+// Process-to-process transport for the data-parallel trainer (DESIGN.md
+// §13). A Channel is one end of an AF_UNIX stream socketpair carrying
+// framed messages:
+//
+//   frame   magic "CTDF" (u32) | tag (u32, the sender's step number) |
+//           payload size (u64) | CRC-32 of payload (u32) | payload bytes
+//
+// Send/Recv never return partial frames: both loop over short
+// reads/writes and retry EINTR. A closed peer surfaces as kUnavailable
+// -- the worker-death signal the trainer's recovery path keys on; a bad
+// magic, an insane size, a CRC mismatch, or an unexpected tag surface as
+// kDataLoss. The "dist.send" and "dist.recv_corrupt" fault sites let the
+// chaos suite inject deterministic transport failures (util/fault.h).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace contratopic {
+namespace dist {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+// "CTDF" little-endian.
+inline constexpr uint32_t kFrameMagic = 0x46445443u;
+// Anything larger is treated as a corrupt header, not a real payload.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 31;
+
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  ~Channel() { Close(); }
+  Channel(Channel&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Connects `a` and `b` as the two ends of a fresh socketpair; after a
+  // fork, each process closes the end it does not own.
+  static util::Status CreatePair(Channel* a, Channel* b);
+
+  bool open() const { return fd_ >= 0; }
+  void Close();
+
+  // Writes one frame. kUnavailable when the peer is gone, kIOError on
+  // any other write failure (or an injected "dist.send" fault).
+  util::Status Send(uint32_t tag, const std::string& payload);
+
+  // Reads one frame, validating magic, size bound, CRC, and tag.
+  util::StatusOr<std::string> Recv(uint32_t expected_tag);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace dist
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_DIST_COMMUNICATOR_H_

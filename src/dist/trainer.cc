@@ -1,0 +1,568 @@
+#include "dist/trainer.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "core/contratopic.h"
+#include "embed/cooccurrence.h"
+#include "eval/npmi.h"
+#include "serve/checkpoint.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/serialize.h"
+#include "util/telemetry.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace dist {
+namespace {
+
+using topicmodel::DistStepPartial;
+
+// Largest per-partial tensor list / component list the unpacker accepts;
+// anything above is a corrupt frame, not a real model.
+constexpr uint32_t kMaxPartialEntries = 4096;
+constexpr uint64_t kMaxTensorElems = 1ull << 28;
+
+void PackTensor(util::BinaryWriter* writer, const tensor::Tensor& t) {
+  writer->WriteU64(static_cast<uint64_t>(t.rows()));
+  writer->WriteU64(static_cast<uint64_t>(t.cols()));
+  writer->WriteBytes(t.data(), static_cast<size_t>(t.numel()) * sizeof(float));
+}
+
+bool UnpackTensor(util::BinaryReader* reader, tensor::Tensor* out) {
+  const uint64_t rows = reader->ReadU64();
+  const uint64_t cols = reader->ReadU64();
+  if (!reader->ok() || rows == 0 || cols == 0 ||
+      rows * cols > kMaxTensorElems) {
+    return false;
+  }
+  tensor::Tensor t(static_cast<int64_t>(rows), static_cast<int64_t>(cols));
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = reader->ReadF32();
+  if (!reader->ok()) return false;
+  *out = std::move(t);
+  return true;
+}
+
+// Quiesces the global thread pool to a single (inline-executing) worker
+// for the lifetime of a fork fan-out, restoring the previous width after.
+// Forked children inherit the pool *object* but not its threads; with
+// num_threads()==1 every ParallelFor call runs inline (NumChunks caps at
+// 1), so a child never schedules onto a thread that does not exist in its
+// process. Children must also never resize the pool (the destructor would
+// try to join those ghosts) -- they exit via _Exit instead of unwinding.
+class PoolQuiesce {
+ public:
+  PoolQuiesce() : prev_(util::ThreadPool::Global().num_threads()) {
+    util::ThreadPool::SetGlobalNumThreads(1);
+  }
+  ~PoolQuiesce() { util::ThreadPool::SetGlobalNumThreads(prev_); }
+  PoolQuiesce(const PoolQuiesce&) = delete;
+  PoolQuiesce& operator=(const PoolQuiesce&) = delete;
+
+ private:
+  int prev_;
+};
+
+void ReapWorker(pid_t pid) {
+  int wstatus = 0;
+  while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  if (WIFEXITED(wstatus)) {
+    const int code = WEXITSTATUS(wstatus);
+    if (code != 0 && code != kKilledExitCode) {
+      LOG(WARNING) << "dist: worker pid " << pid << " exited with code "
+                   << code;
+    }
+  } else if (WIFSIGNALED(wstatus)) {
+    LOG(WARNING) << "dist: worker pid " << pid << " died on signal "
+                 << WTERMSIG(wstatus);
+  }
+}
+
+}  // namespace
+
+std::string PackPartial(const DistStepPartial& partial) {
+  std::string bytes;
+  util::BinaryWriter writer(&bytes);
+  writer.WriteU32(partial.empty ? 1u : 0u);
+  writer.WriteF64(partial.loss);
+  writer.WriteU32(static_cast<uint32_t>(partial.components.size()));
+  for (const auto& [name, value] : partial.components) {
+    writer.WriteString(name);
+    writer.WriteF64(value);
+  }
+  writer.WriteU32(static_cast<uint32_t>(partial.grads.size()));
+  for (const auto& g : partial.grads) PackTensor(&writer, g);
+  writer.WriteU32(static_cast<uint32_t>(partial.buffer_deltas.size()));
+  for (const auto& d : partial.buffer_deltas) PackTensor(&writer, d);
+  return bytes;
+}
+
+util::StatusOr<DistStepPartial> UnpackPartial(const std::string& bytes) {
+  util::BinaryReader reader(bytes.data(), bytes.size());
+  const util::Status corrupt =
+      util::Status::DataLoss("dist: step partial image is corrupt");
+  DistStepPartial partial;
+  partial.empty = reader.ReadU32() != 0;
+  partial.loss = reader.ReadF64();
+  const uint32_t num_components = reader.ReadU32();
+  if (!reader.ok() || num_components > kMaxPartialEntries) return corrupt;
+  partial.components.reserve(num_components);
+  for (uint32_t i = 0; i < num_components; ++i) {
+    std::string name = reader.ReadString();
+    const double value = reader.ReadF64();
+    if (!reader.ok()) return corrupt;
+    partial.components.emplace_back(std::move(name), value);
+  }
+  const uint32_t num_grads = reader.ReadU32();
+  if (!reader.ok() || num_grads > kMaxPartialEntries) return corrupt;
+  partial.grads.resize(num_grads);
+  for (auto& g : partial.grads) {
+    if (!UnpackTensor(&reader, &g)) return corrupt;
+  }
+  const uint32_t num_deltas = reader.ReadU32();
+  if (!reader.ok() || num_deltas > kMaxPartialEntries) return corrupt;
+  partial.buffer_deltas.resize(num_deltas);
+  for (auto& d : partial.buffer_deltas) {
+    if (!UnpackTensor(&reader, &d)) return corrupt;
+  }
+  if (!reader.AtEnd()) return corrupt;
+  return partial;
+}
+
+DataParallelTrainer::DataParallelTrainer(topicmodel::NeuralTopicModel* model,
+                                         Options options)
+    : model_(model), options_(std::move(options)) {
+  CHECK(model_ != nullptr);
+}
+
+util::Status DataParallelTrainer::ValidateOptions() const {
+  const auto pow2 = [](int x) { return x > 0 && (x & (x - 1)) == 0; };
+  if (!pow2(options_.workers) || !pow2(options_.num_shards) ||
+      options_.workers > options_.num_shards) {
+    return util::Status::InvalidArgument(
+        "dist: workers and num_shards must be powers of two with "
+        "workers <= num_shards");
+  }
+  if (!options_.checkpoint_path.empty() && options_.vocab == nullptr) {
+    return util::Status::InvalidArgument(
+        "dist: checkpoint_path requires a vocabulary");
+  }
+  if (options_.auto_restart && options_.checkpoint_path.empty()) {
+    return util::Status::InvalidArgument(
+        "dist: auto_restart requires checkpoint_path");
+  }
+  return util::Status::OK();
+}
+
+std::string DataParallelTrainer::WorkerTelemetryPath(int rank) const {
+  return options_.telemetry_dir + "/worker" + std::to_string(rank) + ".jsonl";
+}
+
+util::Status DataParallelTrainer::BuildShardedKernel(
+    const text::BowCorpus& corpus) {
+  auto* contra = dynamic_cast<core::ContraTopicModel*>(model_);
+  if (contra == nullptr) return util::Status::OK();  // no NPMI kernel
+  const int W = options_.workers;
+  const int S = options_.num_shards;
+  const int block = S / W;
+  const int64_t docs = corpus.num_docs();
+
+  // Worker w accumulates its contiguous block of the fixed S-shard doc
+  // grid. At W=1 this is the plain serial scan (the ranges tile [0, docs)
+  // in order); at W>1 the per-block counts are integer-valued, so the
+  // rank-ordered merge below is exact -- every W produces the same
+  // kernel bitwise.
+  const auto block_counts = [&](int w) {
+    embed::CooccurrenceCounts counts(corpus.vocab_size());
+    for (int s = w * block; s < (w + 1) * block; ++s) {
+      const auto range = util::ShardRange(docs, s, S);
+      counts.AddPresenceRange(corpus, range.first, range.second);
+    }
+    return counts;
+  };
+
+  std::vector<embed::CooccurrenceCounts> blocks;
+  blocks.reserve(W);
+  if (W == 1) {
+    blocks.push_back(block_counts(0));
+  } else {
+    PoolQuiesce quiesce;
+    std::vector<std::pair<pid_t, Channel>> procs;
+    procs.reserve(W - 1);
+    util::Status failure;
+    for (int w = 1; w < W; ++w) {
+      Channel parent_end, child_end;
+      failure = Channel::CreatePair(&parent_end, &child_end);
+      if (!failure.ok()) break;
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        failure = util::Status::IOError(std::string("dist: fork failed: ") +
+                                        std::strerror(errno));
+        break;
+      }
+      if (pid == 0) {
+        for (auto& p : procs) p.second.Close();
+        parent_end.Close();
+        std::string payload;
+        util::BinaryWriter writer(&payload);
+        block_counts(w).Serialize(&writer);
+        const util::Status sent =
+            child_end.Send(static_cast<uint32_t>(w), payload);
+        std::_Exit(sent.ok() ? 0 : 1);
+      }
+      child_end.Close();
+      procs.emplace_back(pid, std::move(parent_end));
+    }
+    if (failure.ok()) {
+      blocks.push_back(block_counts(0));
+      for (int w = 1; w < W; ++w) {
+        util::StatusOr<std::string> payload =
+            procs[w - 1].second.Recv(static_cast<uint32_t>(w));
+        if (!payload.ok()) {
+          failure = payload.status();
+          break;
+        }
+        util::BinaryReader reader(payload->data(), payload->size());
+        util::StatusOr<embed::CooccurrenceCounts> counts =
+            embed::CooccurrenceCounts::Deserialize(&reader);
+        if (!counts.ok()) {
+          failure = counts.status();
+          break;
+        }
+        blocks.push_back(std::move(*counts));
+      }
+    }
+    for (auto& p : procs) p.second.Close();
+    for (auto& p : procs) ReapWorker(p.first);
+    if (!failure.ok()) return failure;
+  }
+
+  // Canonical fold of the per-worker blocks, in rank order.
+  embed::CooccurrenceCounts merged = util::TreeFold<embed::CooccurrenceCounts>(
+      0, W, [&](int64_t w) { return std::move(blocks[w]); },
+      [](embed::CooccurrenceCounts left, embed::CooccurrenceCounts right) {
+        left.Merge(right);
+        return left;
+      });
+  contra->SetKernel(
+      std::make_unique<eval::NpmiMatrix>(eval::NpmiMatrix::FromCounts(merged)));
+  return util::Status::OK();
+}
+
+int DataParallelTrainer::RunWorkerRank(
+    int rank, Channel channel, const text::BowCorpus& corpus,
+    const topicmodel::TrainingState* resume) {
+  const int block = options_.num_shards / options_.workers;
+  topicmodel::DistContext ctx;
+  ctx.num_shards = options_.num_shards;
+  ctx.rank = rank;
+  ctx.world_size = options_.workers;
+  ctx.shard_begin = rank * block;
+  ctx.shard_end = (rank + 1) * block;
+  ctx.rng_salt = options_.rng_salt;
+  const std::string kill_site =
+      "dist.worker_kill.rank" + std::to_string(rank);
+  ctx.allreduce = [&](int step, DistStepPartial local)
+      -> util::StatusOr<DistStepPartial> {
+    // An injected death vanishes this worker before its block reaches
+    // the hub: the parent observes EOF mid-step, exactly like a real
+    // crash.
+    if (util::FaultInjector::Global().ShouldFail(kill_site)) {
+      std::_Exit(kKilledExitCode);
+    }
+    CT_RETURN_IF_ERROR(
+        channel.Send(static_cast<uint32_t>(step), PackPartial(local)));
+    util::StatusOr<std::string> combined =
+        channel.Recv(static_cast<uint32_t>(step));
+    if (!combined.ok()) return combined.status();
+    return UnpackPartial(*combined);
+  };
+  model_->SetDistContext(&ctx);
+  // Evaluation and checkpoint files belong to the primary; the
+  // checkpoint *cadence* stays armed (inherited, sink-less) so this
+  // rank's guard-rail snapshots refresh on the same steps as rank 0's.
+  model_->SetEpochEvaluator({});
+  std::unique_ptr<util::RunTelemetry> telemetry;
+  if (!options_.telemetry_dir.empty()) {
+    util::RunTelemetry::Options topts;
+    topts.path = WorkerTelemetryPath(rank);
+    topts.deterministic = true;
+    telemetry = std::make_unique<util::RunTelemetry>(topts);
+    telemetry->RecordRunStart(
+        "dist_worker", {{"rank", std::to_string(rank)},
+                        {"workers", std::to_string(options_.workers)}});
+    model_->SetTelemetry(telemetry.get());
+  }
+  const topicmodel::TrainStats stats =
+      resume != nullptr ? model_->ResumeTraining(corpus, *resume)
+                        : model_->Train(corpus);
+  model_->SetTelemetry(nullptr);
+  if (telemetry != nullptr) {
+    telemetry->RecordManifest({{"rank", static_cast<double>(rank)},
+                               {"interrupted", stats.interrupted ? 1.0 : 0.0}});
+  }
+  // A clean finish and a propagated group stop (the hub vanished, or a
+  // sibling died and rank 0 closed the channels) are both orderly exits.
+  return stats.status.ok() || stats.interrupted ? 0 : 1;
+}
+
+util::StatusOr<topicmodel::TrainStats> DataParallelTrainer::RunGroup(
+    const text::BowCorpus& corpus, const topicmodel::TrainingState* resume) {
+  const int W = options_.workers;
+  const int S = options_.num_shards;
+  const int block = S / W;
+  dead_rank_ = -1;
+
+  // Cadence before fork, sink after: the forked workers inherit the
+  // checkpoint *schedule* (guard-rail snapshots must refresh on the same
+  // steps on every rank) but only rank 0 gets a sink that writes files.
+  model_->SetAutoCheckpoint(options_.checkpoint_every_steps, {});
+
+  PoolQuiesce quiesce;
+
+  struct WorkerProc {
+    pid_t pid = -1;
+    Channel channel;  // parent end
+  };
+  std::vector<WorkerProc> workers;
+  workers.reserve(W > 0 ? W - 1 : 0);
+  util::Status spawn_failure;
+  for (int r = 1; r < W; ++r) {
+    Channel parent_end, child_end;
+    spawn_failure = Channel::CreatePair(&parent_end, &child_end);
+    if (!spawn_failure.ok()) break;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      spawn_failure = util::Status::IOError(
+          std::string("dist: fork failed: ") + std::strerror(errno));
+      break;
+    }
+    if (pid == 0) {
+      // Worker process: drop every inherited parent-side fd (so a dead
+      // sibling's EOF is visible to the hub), run the rank, and _Exit
+      // without unwinding -- the thread pool's threads and the test
+      // framework belong to the parent.
+      for (auto& w : workers) w.channel.Close();
+      parent_end.Close();
+      std::_Exit(RunWorkerRank(r, std::move(child_end), corpus, resume));
+    }
+    child_end.Close();
+    workers.push_back(WorkerProc{pid, std::move(parent_end)});
+  }
+  const auto wind_down = [&workers]() {
+    // Closing the hub ends unblocks any worker still waiting in Recv (it
+    // sees EOF -> kUnavailable -> orderly stop) before we reap.
+    for (auto& w : workers) w.channel.Close();
+    for (auto& w : workers) ReapWorker(w.pid);
+  };
+  if (!spawn_failure.ok()) {
+    wind_down();
+    return spawn_failure;
+  }
+
+  topicmodel::DistContext ctx;
+  ctx.num_shards = S;
+  ctx.rank = 0;
+  ctx.world_size = W;
+  ctx.shard_begin = 0;
+  ctx.shard_end = block;
+  ctx.rng_salt = options_.rng_salt;
+  if (W > 1) {
+    // Hub-and-spoke allreduce: gather the W block partials, fold them in
+    // canonical rank order (each block is an exact subtree of the global
+    // shard tree), broadcast the fold back. Any transport failure marks
+    // the rank and stops training with interrupted stats upstream.
+    ctx.allreduce = [this, &workers, W](int step, DistStepPartial local)
+        -> util::StatusOr<DistStepPartial> {
+      std::vector<DistStepPartial> partials(W);
+      partials[0] = std::move(local);
+      for (int r = 1; r < W; ++r) {
+        util::StatusOr<std::string> payload =
+            workers[r - 1].channel.Recv(static_cast<uint32_t>(step));
+        if (!payload.ok()) {
+          dead_rank_ = r;
+          return payload.status();
+        }
+        util::StatusOr<DistStepPartial> partial = UnpackPartial(*payload);
+        if (!partial.ok()) {
+          dead_rank_ = r;
+          return partial.status();
+        }
+        partials[r] = std::move(*partial);
+      }
+      DistStepPartial combined = util::TreeFold<DistStepPartial>(
+          0, W, [&](int64_t r) { return std::move(partials[r]); },
+          topicmodel::CombineDistPartials);
+      const std::string bytes = PackPartial(combined);
+      for (int r = 1; r < W; ++r) {
+        const util::Status sent =
+            workers[r - 1].channel.Send(static_cast<uint32_t>(step), bytes);
+        if (!sent.ok()) {
+          dead_rank_ = r;
+          return sent;
+        }
+      }
+      return combined;
+    };
+  }
+  model_->SetDistContext(&ctx);
+  if (!options_.checkpoint_path.empty()) {
+    model_->SetAutoCheckpoint(
+        options_.checkpoint_every_steps,
+        [this](const topicmodel::TrainingState& state) {
+          return serve::SaveTrainingCheckpoint(
+              *model_, *options_.vocab, state, options_.checkpoint_path);
+        });
+  }
+  std::unique_ptr<util::RunTelemetry> telemetry;
+  if (!options_.telemetry_dir.empty()) {
+    util::RunTelemetry::Options topts;
+    topts.path = WorkerTelemetryPath(0);
+    topts.deterministic = true;
+    telemetry = std::make_unique<util::RunTelemetry>(topts);
+    telemetry->RecordRunStart(
+        "dist_worker",
+        {{"rank", "0"}, {"workers", std::to_string(options_.workers)}});
+    model_->SetTelemetry(telemetry.get());
+  }
+
+  topicmodel::TrainStats stats =
+      resume != nullptr ? model_->ResumeTraining(corpus, *resume)
+                        : model_->Train(corpus);
+
+  if (telemetry != nullptr) {
+    model_->SetTelemetry(nullptr);
+    telemetry->RecordManifest({{"rank", 0.0},
+                               {"interrupted", stats.interrupted ? 1.0 : 0.0}});
+  }
+  model_->SetDistContext(nullptr);
+  model_->SetAutoCheckpoint(0, {});
+  wind_down();
+  return stats;
+}
+
+util::Status DataParallelTrainer::RestoreStateTensors(
+    const serve::Checkpoint& checkpoint) {
+  std::map<std::string, const tensor::Tensor*> by_name;
+  for (const auto& [name, t] : checkpoint.tensors) by_name[name] = &t;
+  for (const auto& named : model_->StateTensors()) {
+    const auto it = by_name.find(named.name);
+    if (it == by_name.end() || !named.tensor->same_shape(*it->second)) {
+      return util::Status::FailedPrecondition(
+          "dist: checkpoint does not match the live model (tensor '" +
+          named.name + "')");
+    }
+    *named.tensor = *it->second;
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<topicmodel::TrainStats> DataParallelTrainer::MaybeRestart(
+    const text::BowCorpus& corpus,
+    util::StatusOr<topicmodel::TrainStats> stats) {
+  while (options_.auto_restart && stats.ok() && stats->interrupted &&
+         stats->status.code() == util::StatusCode::kUnavailable &&
+         restarts_ < options_.max_restarts) {
+    ++restarts_;
+    LOG(WARNING) << "dist: worker rank " << dead_rank_
+                 << " died mid-step; restarting from "
+                 << options_.checkpoint_path << " (restart " << restarts_
+                 << "/" << options_.max_restarts << ")";
+    if (dead_rank_ >= 0) {
+      // A re-forked group copies the fault injector with fresh
+      // per-process counters; a still-armed kill site would fire again
+      // on every restart, so consume the one that just fired.
+      util::FaultInjector::Global().Disarm("dist.worker_kill.rank" +
+                                           std::to_string(dead_rank_));
+    }
+    util::StatusOr<serve::Checkpoint> checkpoint =
+        serve::ReadCheckpoint(options_.checkpoint_path);
+    if (!checkpoint.ok()) return checkpoint.status();
+    if (!checkpoint->has_training_state) {
+      return util::Status::FailedPrecondition(
+          "dist: checkpoint carries no training state to restart from");
+    }
+    // Rewind the primary replica bitwise; the re-forked group then
+    // resumes from the checkpoint in lockstep.
+    CT_RETURN_IF_ERROR(RestoreStateTensors(*checkpoint));
+    stats = RunGroup(corpus, &checkpoint->training_state);
+  }
+  return stats;
+}
+
+util::StatusOr<topicmodel::TrainStats> DataParallelTrainer::Train(
+    const text::BowCorpus& corpus) {
+  CT_RETURN_IF_ERROR(ValidateOptions());
+  CT_RETURN_IF_ERROR(BuildShardedKernel(corpus));
+  util::StatusOr<topicmodel::TrainStats> stats =
+      MaybeRestart(corpus, RunGroup(corpus, nullptr));
+  if (stats.ok() && !options_.telemetry_dir.empty()) {
+    CT_RETURN_IF_ERROR(MergeTelemetry());
+  }
+  return stats;
+}
+
+util::StatusOr<topicmodel::TrainStats> DataParallelTrainer::Resume(
+    const text::BowCorpus& corpus, const topicmodel::TrainingState& state) {
+  CT_RETURN_IF_ERROR(ValidateOptions());
+  CT_RETURN_IF_ERROR(BuildShardedKernel(corpus));
+  util::StatusOr<topicmodel::TrainStats> stats =
+      MaybeRestart(corpus, RunGroup(corpus, &state));
+  if (stats.ok() && !options_.telemetry_dir.empty()) {
+    CT_RETURN_IF_ERROR(MergeTelemetry());
+  }
+  return stats;
+}
+
+util::Status DataParallelTrainer::MergeTelemetry() const {
+  // Deterministic interleave: line i of every stream, ranks ascending.
+  // Lockstep replicas emit the same number of records per epoch, so this
+  // groups each epoch's records together. After an auto-restart the
+  // per-rank files (and thus the merge) cover the final group run.
+  std::vector<std::vector<std::string>> streams(options_.workers);
+  for (int r = 0; r < options_.workers; ++r) {
+    std::ifstream in(WorkerTelemetryPath(r));
+    if (!in) {
+      return util::Status::IOError("dist: missing telemetry stream " +
+                                   WorkerTelemetryPath(r));
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) streams[r].push_back(line);
+    }
+  }
+  size_t max_lines = 0;
+  for (const auto& s : streams) max_lines = std::max(max_lines, s.size());
+  const std::string merged_path = options_.telemetry_dir + "/merged.jsonl";
+  std::ofstream out(merged_path, std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("dist: cannot write " + merged_path);
+  }
+  for (size_t i = 0; i < max_lines; ++i) {
+    for (int r = 0; r < options_.workers; ++r) {
+      if (i < streams[r].size()) {
+        out << "{\"worker\":" << r << ",\"record\":" << streams[r][i] << "}\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out) {
+    return util::Status::IOError("dist: failed writing " + merged_path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace dist
+}  // namespace contratopic

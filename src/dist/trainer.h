@@ -1,0 +1,128 @@
+#ifndef CONTRATOPIC_DIST_TRAINER_H_
+#define CONTRATOPIC_DIST_TRAINER_H_
+
+// Fork-based data-parallel training with a process-count-invariance
+// contract (DESIGN.md §13). Every global batch is cut into a FIXED grid
+// of `num_shards` contiguous shards; worker process w owns the
+// contiguous block of shards [w*S/W, (w+1)*S/W). Each rank runs the full
+// training loop in lockstep (identical epoch shuffles, guard-rail
+// decisions, and optimizer steps), computes only its owned shards, and
+// exchanges block partials through a hub-and-spoke allreduce on rank 0
+// that folds them in the canonical shard-tree order (util::TreeFold).
+// Because power-of-two aligned blocks are exact subtrees of that fold,
+// beta/theta/loss/NPMI trajectories are bitwise-identical at
+// --workers=1, 2, and 4.
+//
+// The co-occurrence/NPMI kernel build of ContraTopic models is sharded
+// over the same grid: each worker accumulates a contiguous doc range and
+// ships its integer-valued counts back over a framed channel; the
+// primary merges blocks in rank order (exact) and injects the kernel via
+// SetKernel, so Prepare() skips its own serial rebuild.
+//
+// Fault tolerance: a worker that dies mid-step (the deterministic
+// "dist.worker_kill.rank<r>" chaos site, or any real crash) surfaces on
+// the hub as kUnavailable; training stops with interrupted stats exactly
+// like an injected "train.kill". With auto_restart set, the trainer
+// rewinds the primary replica to the newest resumable checkpoint,
+// re-forks the group, and resumes -- bitwise-identical to a run that was
+// never interrupted.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/communicator.h"
+#include "text/corpus.h"
+#include "text/vocabulary.h"
+#include "topicmodel/neural_base.h"
+#include "util/status.h"
+
+namespace contratopic {
+namespace serve {
+struct Checkpoint;
+}  // namespace serve
+
+namespace dist {
+
+// Exit code of a worker process vanished by its kill site (distinguishes
+// an injected death from a real crash in the parent's reaping loop).
+inline constexpr int kKilledExitCode = 42;
+
+// Wire form of a DistStepPartial (exposed for the determinism tests).
+std::string PackPartial(const topicmodel::DistStepPartial& partial);
+util::StatusOr<topicmodel::DistStepPartial> UnpackPartial(
+    const std::string& bytes);
+
+struct Options {
+  // Worker processes; a power of two with workers <= num_shards. 1 still
+  // runs the sharded step path (and the sharded kernel build), so the
+  // W=1 trajectory is the invariance baseline, not a special case.
+  int workers = 1;
+  // The fixed per-batch shard grid S (power of two). Every batch must
+  // hold at least S documents.
+  int num_shards = 4;
+  // Salt of the derived per-(step, shard) RNG streams.
+  uint64_t rng_salt = 0x5eedc0de5eedc0deull;
+  // Resumable checkpointing on the primary rank (<= 0: every epoch
+  // boundary); active when checkpoint_path is set, which requires vocab.
+  // Every rank follows the same cadence for guard-rail snapshot parity;
+  // only rank 0 writes files.
+  int checkpoint_every_steps = 0;
+  std::string checkpoint_path;
+  const text::Vocabulary* vocab = nullptr;  // not owned
+  // When set, rank r streams deterministic JSONL to
+  // <telemetry_dir>/worker<r>.jsonl and the primary merges the streams
+  // into <telemetry_dir>/merged.jsonl after training.
+  std::string telemetry_dir;
+  // Re-fork and resume from checkpoint_path when a worker dies mid-step.
+  bool auto_restart = false;
+  int max_restarts = 1;
+};
+
+class DataParallelTrainer {
+ public:
+  // `model` is the primary (rank 0) replica, not owned; worker replicas
+  // are fork()-inherited copies, so the caller must not mutate it while
+  // Train/Resume runs. Guard rails, epoch budget, and seeds are read
+  // from the model/config as usual.
+  DataParallelTrainer(topicmodel::NeuralTopicModel* model, Options options);
+
+  // Sharded kernel build (ContraTopic models) + data-parallel training.
+  // Returns rank 0's stats; on a worker death without auto_restart the
+  // stats are interrupted with kUnavailable.
+  util::StatusOr<topicmodel::TrainStats> Train(const text::BowCorpus& corpus);
+
+  // Continues a checkpointed run (the model must already carry the
+  // checkpoint's state tensors, e.g. via serve::ResumeModel); all ranks
+  // resume in lockstep from `state`.
+  util::StatusOr<topicmodel::TrainStats> Resume(
+      const text::BowCorpus& corpus, const topicmodel::TrainingState& state);
+
+  // Worker deaths recovered from via auto_restart.
+  int restarts() const { return restarts_; }
+
+ private:
+  util::StatusOr<topicmodel::TrainStats> RunGroup(
+      const text::BowCorpus& corpus, const topicmodel::TrainingState* resume);
+  util::StatusOr<topicmodel::TrainStats> MaybeRestart(
+      const text::BowCorpus& corpus,
+      util::StatusOr<topicmodel::TrainStats> stats);
+  int RunWorkerRank(int rank, Channel channel, const text::BowCorpus& corpus,
+                    const topicmodel::TrainingState* resume);
+  util::Status BuildShardedKernel(const text::BowCorpus& corpus);
+  // Overwrites the live model's state tensors from `checkpoint`, bitwise.
+  util::Status RestoreStateTensors(const serve::Checkpoint& checkpoint);
+  util::Status ValidateOptions() const;
+  util::Status MergeTelemetry() const;
+  std::string WorkerTelemetryPath(int rank) const;
+
+  topicmodel::NeuralTopicModel* model_;  // not owned
+  Options options_;
+  int restarts_ = 0;
+  int dead_rank_ = -1;  // rank whose channel failed in the last group run
+};
+
+}  // namespace dist
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_DIST_TRAINER_H_

@@ -1,0 +1,275 @@
+// Chaos suite for distributed training (DESIGN.md §13): a worker killed
+// mid-epoch by the deterministic "dist.worker_kill.rank<r>" fault site
+// must be recoverable — via the trainer's auto-restart or a manual
+// checkpoint resume — with a final model bitwise-identical to a run that
+// was never interrupted. Transport corruption must stop the group with
+// kDataLoss, never poison the trajectory.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "dist/trainer.h"
+#include "embed/word_embeddings.h"
+#include "serve/checkpoint.h"
+#include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
+#include "util/fault.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define CT_SKIP_FORK_TESTS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CT_SKIP_FORK_TESTS 1
+#endif
+#endif
+
+namespace contratopic {
+namespace {
+
+using tensor::Tensor;
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+// One self-contained training world: dataset, embeddings, and a fresh
+// ContraTopic model, rebuilt identically for every leg of a test.
+struct World {
+  World()
+      : dataset(text::GenerateSynthetic(text::Preset20NG(0.1))),
+        embeddings(embed::WordEmbeddings::Train(
+            text::GenerateReferenceCorpus(text::Preset20NG(0.1),
+                                          dataset.train.vocab()),
+            [] {
+              embed::EmbeddingConfig c;
+              c.dimension = 16;
+              return c;
+            }())) {}
+
+  // Small batches and three epochs give each worker several allreduce
+  // calls per epoch, so a kill can be scheduled strictly between the
+  // epoch-1 checkpoint and the end of training.
+  std::unique_ptr<topicmodel::NeuralTopicModel> NewModel() const {
+    topicmodel::TrainConfig tc;
+    tc.num_topics = 8;
+    tc.epochs = 3;
+    tc.batch_size = 64;
+    tc.encoder_hidden = 32;
+    tc.encoder_layers = 1;
+    return core::MakeContraTopicEtm(tc, embeddings);
+  }
+
+  int StepsPerEpoch() const { return dataset.train.num_docs() / 64; }
+
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+};
+
+dist::Options BaseOptions(const World& world, const std::string& ckpt) {
+  dist::Options options;
+  options.workers = 2;
+  options.num_shards = 4;
+  options.checkpoint_path = ckpt;
+  options.vocab = &world.dataset.train.vocab();
+  return options;
+}
+
+struct RunResult {
+  double final_loss = 0.0;
+  Tensor beta;
+  Tensor theta;
+};
+
+RunResult Snapshot(const World& world, topicmodel::NeuralTopicModel& model,
+                   double final_loss) {
+  RunResult r;
+  r.final_loss = final_loss;
+  r.beta = model.Beta();
+  r.theta = model.InferTheta(world.dataset.test);
+  return r;
+}
+
+TEST(DistChaosTest, AutoRestartRecoversBitwise) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  util::FaultInjector::Global().Reset();
+  const World world;
+  const std::string ckpt =
+      ::testing::TempDir() + "/dist_chaos_auto_restart.ckpt";
+
+  // Reference: the same distributed run, never interrupted.
+  auto reference_model = world.NewModel();
+  dist::DataParallelTrainer reference_trainer(
+      reference_model.get(), BaseOptions(world, ckpt + ".ref"));
+  util::StatusOr<topicmodel::TrainStats> reference_stats =
+      reference_trainer.Train(world.dataset.train);
+  ASSERT_TRUE(reference_stats.ok()) << reference_stats.status().ToString();
+  ASSERT_TRUE(reference_stats->status.ok())
+      << reference_stats->status.ToString();
+  const RunResult reference =
+      Snapshot(world, *reference_model, reference_stats->final_loss);
+
+  // Chaos leg: rank 1 dies two steps into epoch 2 (after the epoch-1
+  // checkpoint exists), and the trainer restarts the group from it.
+  util::FaultInjector::Global().Arm("dist.worker_kill.rank1", [&] {
+    util::FaultSpec spec;
+    spec.every_nth = world.StepsPerEpoch() + 2;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  auto model = world.NewModel();
+  dist::Options options = BaseOptions(world, ckpt);
+  options.auto_restart = true;
+  dist::DataParallelTrainer trainer(model.get(), options);
+  util::StatusOr<topicmodel::TrainStats> stats =
+      trainer.Train(world.dataset.train);
+  util::FaultInjector::Global().Reset();
+
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->status.ok()) << stats->status.ToString();
+  EXPECT_FALSE(stats->interrupted);
+  EXPECT_EQ(trainer.restarts(), 1);
+
+  const RunResult recovered = Snapshot(world, *model, stats->final_loss);
+  EXPECT_EQ(reference.final_loss, recovered.final_loss);
+  ExpectBitwiseEqual(reference.beta, recovered.beta);
+  ExpectBitwiseEqual(reference.theta, recovered.theta);
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".ref").c_str());
+#endif
+}
+
+TEST(DistChaosTest, ManualResumeFromCheckpointMatchesBitwise) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  util::FaultInjector::Global().Reset();
+  const World world;
+  const std::string ckpt =
+      ::testing::TempDir() + "/dist_chaos_manual_resume.ckpt";
+
+  auto reference_model = world.NewModel();
+  dist::DataParallelTrainer reference_trainer(
+      reference_model.get(), BaseOptions(world, ckpt + ".ref"));
+  util::StatusOr<topicmodel::TrainStats> reference_stats =
+      reference_trainer.Train(world.dataset.train);
+  ASSERT_TRUE(reference_stats.ok()) << reference_stats.status().ToString();
+  const RunResult reference =
+      Snapshot(world, *reference_model, reference_stats->final_loss);
+
+  // Kill rank 1 mid-epoch 2 with no auto-restart: the group stops with
+  // interrupted stats and the epoch-1 checkpoint on disk.
+  util::FaultInjector::Global().Arm("dist.worker_kill.rank1", [&] {
+    util::FaultSpec spec;
+    spec.every_nth = world.StepsPerEpoch() + 2;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  auto dying_model = world.NewModel();
+  dist::DataParallelTrainer dying_trainer(dying_model.get(),
+                                          BaseOptions(world, ckpt));
+  util::StatusOr<topicmodel::TrainStats> dying_stats =
+      dying_trainer.Train(world.dataset.train);
+  util::FaultInjector::Global().Reset();
+  ASSERT_TRUE(dying_stats.ok()) << dying_stats.status().ToString();
+  EXPECT_TRUE(dying_stats->interrupted);
+  EXPECT_EQ(dying_stats->status.code(), util::StatusCode::kUnavailable)
+      << dying_stats->status.ToString();
+
+  // A fresh process recovers: rebuild the model from the checkpoint and
+  // resume the distributed run from its training state.
+  util::StatusOr<serve::Checkpoint> checkpoint = serve::ReadCheckpoint(ckpt);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  ASSERT_TRUE(checkpoint->has_training_state);
+  util::StatusOr<std::unique_ptr<topicmodel::NeuralTopicModel>> resumed =
+      serve::ResumeModel(*checkpoint);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  dist::DataParallelTrainer resume_trainer(resumed->get(),
+                                           BaseOptions(world, ckpt));
+  util::StatusOr<topicmodel::TrainStats> resume_stats =
+      resume_trainer.Resume(world.dataset.train,
+                            checkpoint->training_state);
+  ASSERT_TRUE(resume_stats.ok()) << resume_stats.status().ToString();
+  EXPECT_TRUE(resume_stats->status.ok()) << resume_stats->status.ToString();
+
+  const RunResult recovered =
+      Snapshot(world, **resumed, resume_stats->final_loss);
+  EXPECT_EQ(reference.final_loss, recovered.final_loss);
+  ExpectBitwiseEqual(reference.beta, recovered.beta);
+  ExpectBitwiseEqual(reference.theta, recovered.theta);
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".ref").c_str());
+#endif
+}
+
+TEST(DistChaosTest, TransportCorruptionStopsWithDataLoss) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  util::FaultInjector::Global().Reset();
+  const World world;
+  // every_nth=2: the hub's first Recv (call 0, the sharded kernel-build
+  // counts frame) passes; its second (call 1, the first training-step
+  // partial) is corrupted. The CRC catches the flipped byte and the
+  // group stops — a corrupt frame must never be folded into the model.
+  util::FaultInjector::Global().Arm("dist.recv_corrupt", [] {
+    util::FaultSpec spec;
+    spec.every_nth = 2;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  auto model = world.NewModel();
+  dist::Options options;
+  options.workers = 2;
+  options.num_shards = 4;
+  dist::DataParallelTrainer trainer(model.get(), options);
+  util::StatusOr<topicmodel::TrainStats> stats =
+      trainer.Train(world.dataset.train);
+  util::FaultInjector::Global().Reset();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->interrupted);
+  EXPECT_EQ(stats->status.code(), util::StatusCode::kDataLoss)
+      << stats->status.ToString();
+#endif
+}
+
+TEST(DistChaosTest, WorkerDeathBeforeAnyCheckpointIsNotRestartable) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  util::FaultInjector::Global().Reset();
+  const World world;
+  const std::string ckpt =
+      ::testing::TempDir() + "/dist_chaos_no_checkpoint.ckpt";
+  std::remove(ckpt.c_str());
+  // Rank 1 dies on the very first step: no checkpoint exists yet, so
+  // auto-restart must surface the read failure instead of looping.
+  util::FaultInjector::Global().Arm("dist.worker_kill.rank1", [] {
+    util::FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  auto model = world.NewModel();
+  dist::Options options = BaseOptions(world, ckpt);
+  options.auto_restart = true;
+  dist::DataParallelTrainer trainer(model.get(), options);
+  util::StatusOr<topicmodel::TrainStats> stats =
+      trainer.Train(world.dataset.train);
+  util::FaultInjector::Global().Reset();
+  EXPECT_FALSE(stats.ok());
+  std::remove(ckpt.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace contratopic

@@ -1,0 +1,497 @@
+// Process-count invariance lock-in for the distributed data-parallel
+// trainer (DESIGN.md §13): --workers=1, 2, and 4 must produce
+// bitwise-identical beta/theta/loss/NPMI trajectories. Alongside the
+// end-to-end contract, this suite pins the primitives it rests on: the
+// canonical shard tree fold (power-of-two blocks are exact subtrees),
+// the fixed shard grid (ragged tails, empty shards), the partial
+// combine's identity semantics, the wire framing (CRC, tags, EOF), and
+// the exact sharded co-occurrence merge.
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "dist/communicator.h"
+#include "dist/trainer.h"
+#include "embed/cooccurrence.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+// fork() under ThreadSanitizer trips on the sanitizer's own background
+// threads; the multiprocess legs are skipped there (the fork-free
+// primitives above still run). The chaos suite carries the same guard.
+#if defined(__SANITIZE_THREAD__)
+#define CT_SKIP_FORK_TESTS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CT_SKIP_FORK_TESTS 1
+#endif
+#endif
+
+namespace contratopic {
+namespace {
+
+using tensor::Tensor;
+using topicmodel::CombineDistPartials;
+using topicmodel::DistStepPartial;
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TreeFold: the canonical shard tree.
+// ---------------------------------------------------------------------------
+
+std::string FoldString(int64_t lo, int64_t hi) {
+  return util::TreeFold<std::string>(
+      lo, hi, [](int64_t i) { return std::to_string(i); },
+      [](std::string l, std::string r) { return "(" + l + " " + r + ")"; });
+}
+
+TEST(TreeFoldTest, PowerOfTwoRangeIsAFullBinaryTree) {
+  EXPECT_EQ(FoldString(3, 4), "3");
+  EXPECT_EQ(FoldString(0, 2), "(0 1)");
+  EXPECT_EQ(FoldString(0, 8), "(((0 1) (2 3)) ((4 5) (6 7)))");
+}
+
+TEST(TreeFoldTest, RaggedTailKeepsLeftSubtreeFull) {
+  // n=6 splits at RoundUpPow2(6)/2 = 4: the left half is the full
+  // 4-leaf subtree, the tail hangs off the right.
+  EXPECT_EQ(FoldString(0, 6), "(((0 1) (2 3)) (4 5))");
+  EXPECT_EQ(FoldString(0, 5), "(((0 1) (2 3)) 4)");
+  EXPECT_EQ(FoldString(0, 3), "((0 1) 2)");
+}
+
+// The invariance property itself: folding per-block subtrees and then
+// folding the blocks reproduces the flat fold EXACTLY (same parse tree),
+// for every power-of-two block count. This is why worker-local folds +
+// the hub's rank-ordered fold equal the single-process fold bitwise.
+TEST(TreeFoldTest, BlockFoldsComposeToTheFlatFold) {
+  const auto combine = [](std::string l, std::string r) {
+    return "(" + l + " " + r + ")";
+  };
+  for (int total : {8, 16}) {
+    const std::string flat = FoldString(0, total);
+    for (int blocks = 2; blocks <= total; blocks *= 2) {
+      const int width = total / blocks;
+      const std::string stacked = util::TreeFold<std::string>(
+          0, blocks,
+          [&](int64_t b) { return FoldString(b * width, (b + 1) * width); },
+          combine);
+      EXPECT_EQ(stacked, flat) << total << " leaves in " << blocks
+                               << " blocks";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardRange: the fixed grid.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRangeTest, TilesTheRangeInOrder) {
+  for (int64_t total : {0, 1, 2, 3, 7, 10, 128, 1001}) {
+    for (int64_t shards : {1, 2, 4, 8}) {
+      int64_t expected_lo = 0;
+      for (int64_t s = 0; s < shards; ++s) {
+        const auto [lo, hi] = util::ShardRange(total, s, shards);
+        EXPECT_EQ(lo, expected_lo) << total << "/" << shards << " shard " << s;
+        EXPECT_LE(lo, hi);
+        expected_lo = hi;
+      }
+      EXPECT_EQ(expected_lo, total);
+    }
+  }
+}
+
+TEST(ShardRangeTest, RaggedTotalsSpreadTheRemainder) {
+  // 10 docs over 4 shards: sizes 2,3,2,3 -- never differing by more
+  // than 1, and a pure function of (total, shard, shards).
+  const int64_t sizes[] = {2, 3, 2, 3};
+  for (int64_t s = 0; s < 4; ++s) {
+    const auto [lo, hi] = util::ShardRange(10, s, 4);
+    EXPECT_EQ(hi - lo, sizes[s]) << "shard " << s;
+  }
+}
+
+TEST(ShardRangeTest, SmallTotalsYieldEmptyShards) {
+  int64_t non_empty = 0;
+  for (int64_t s = 0; s < 4; ++s) {
+    const auto [lo, hi] = util::ShardRange(2, s, 4);
+    non_empty += (hi > lo) ? 1 : 0;
+  }
+  EXPECT_EQ(non_empty, 2);
+}
+
+// ---------------------------------------------------------------------------
+// CombineDistPartials: identity semantics and merge-join.
+// ---------------------------------------------------------------------------
+
+Tensor FilledTensor(int64_t rows, int64_t cols, float base) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) t.data()[i] = base + 0.25f * i;
+  return t;
+}
+
+DistStepPartial MakePartial(double loss,
+                            std::vector<std::pair<std::string, double>> comps,
+                            float grad_base) {
+  DistStepPartial p;
+  p.empty = false;
+  p.loss = loss;
+  p.components = std::move(comps);
+  p.grads.push_back(FilledTensor(2, 3, grad_base));
+  p.buffer_deltas.push_back(FilledTensor(1, 4, grad_base + 10.0f));
+  return p;
+}
+
+TEST(CombineDistPartialsTest, EmptyIsATrueIdentity) {
+  DistStepPartial identity;  // empty
+  DistStepPartial value = MakePartial(1.5, {{"kl", 2.0}}, 0.0f);
+  // Poison a gradient with -0.0f: a sum-with-zero identity would flip it
+  // to +0.0f and break bitwise invariance across worker counts.
+  value.grads[0].data()[0] = -0.0f;
+
+  const DistStepPartial left = CombineDistPartials(identity, value);
+  const DistStepPartial right =
+      CombineDistPartials(MakePartial(1.5, {{"kl", 2.0}}, 0.0f),
+                          DistStepPartial{});
+  EXPECT_FALSE(left.empty);
+  EXPECT_EQ(left.loss, 1.5);
+  EXPECT_TRUE(std::signbit(left.grads[0].data()[0]));
+  EXPECT_FALSE(right.empty);
+  EXPECT_EQ(right.loss, 1.5);
+
+  const DistStepPartial both =
+      CombineDistPartials(DistStepPartial{}, DistStepPartial{});
+  EXPECT_TRUE(both.empty);
+}
+
+TEST(CombineDistPartialsTest, SumsLossesGradsAndMergesComponents) {
+  const DistStepPartial a =
+      MakePartial(1.0, {{"a", 1.0}, {"c", 2.0}}, 1.0f);
+  const DistStepPartial b =
+      MakePartial(2.5, {{"b", 3.0}, {"c", 4.0}}, 2.0f);
+  const DistStepPartial sum = CombineDistPartials(a, b);
+  EXPECT_EQ(sum.loss, 3.5);
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"a", 1.0}, {"b", 3.0}, {"c", 6.0}};
+  EXPECT_EQ(sum.components, expected);
+  for (int64_t i = 0; i < sum.grads[0].numel(); ++i) {
+    EXPECT_EQ(sum.grads[0].data()[i],
+              a.grads[0].data()[i] + b.grads[0].data()[i]);
+  }
+  for (int64_t i = 0; i < sum.buffer_deltas[0].numel(); ++i) {
+    EXPECT_EQ(sum.buffer_deltas[0].data()[i],
+              a.buffer_deltas[0].data()[i] + b.buffer_deltas[0].data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format: partial images and channel framing.
+// ---------------------------------------------------------------------------
+
+TEST(DistWireTest, PartialRoundTripsBitwise) {
+  DistStepPartial p = MakePartial(3.75, {{"kl", 1.25}, {"recon", -2.0}}, 5.0f);
+  p.grads[0].data()[1] = -0.0f;
+  const std::string bytes = dist::PackPartial(p);
+  util::StatusOr<DistStepPartial> back = dist::UnpackPartial(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back->empty);
+  EXPECT_EQ(back->loss, p.loss);
+  EXPECT_EQ(back->components, p.components);
+  ASSERT_EQ(back->grads.size(), 1u);
+  ExpectBitwiseEqual(back->grads[0], p.grads[0]);
+  EXPECT_TRUE(std::signbit(back->grads[0].data()[1]));
+  ASSERT_EQ(back->buffer_deltas.size(), 1u);
+  ExpectBitwiseEqual(back->buffer_deltas[0], p.buffer_deltas[0]);
+
+  const std::string empty_bytes = dist::PackPartial(DistStepPartial{});
+  util::StatusOr<DistStepPartial> empty = dist::UnpackPartial(empty_bytes);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty);
+}
+
+TEST(DistWireTest, CorruptPartialImagesAreRejected) {
+  const std::string bytes =
+      dist::PackPartial(MakePartial(1.0, {{"kl", 1.0}}, 0.0f));
+  // Truncation at any point must fail structurally, never crash.
+  for (size_t cut : {size_t{0}, size_t{3}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    util::StatusOr<DistStepPartial> r =
+        dist::UnpackPartial(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  }
+  // Trailing garbage is corruption too (the frame length said otherwise).
+  util::StatusOr<DistStepPartial> r = dist::UnpackPartial(bytes + "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(DistWireTest, Crc32MatchesTheReferenceCheckValue) {
+  // The standard CRC-32/IEEE check value.
+  const std::string check = "123456789";
+  EXPECT_EQ(dist::Crc32(check.data(), check.size()), 0xCBF43926u);
+  EXPECT_EQ(dist::Crc32("", 0), 0u);
+}
+
+TEST(DistChannelTest, FramesRoundTripWithTags) {
+  dist::Channel a, b;
+  ASSERT_TRUE(dist::Channel::CreatePair(&a, &b).ok());
+  ASSERT_TRUE(a.Send(7, "hello shards").ok());
+  ASSERT_TRUE(a.Send(8, "").ok());
+  util::StatusOr<std::string> first = b.Recv(7);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, "hello shards");
+  util::StatusOr<std::string> second = b.Recv(8);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "");
+}
+
+TEST(DistChannelTest, TagMismatchIsDataLoss) {
+  dist::Channel a, b;
+  ASSERT_TRUE(dist::Channel::CreatePair(&a, &b).ok());
+  ASSERT_TRUE(a.Send(3, "step three").ok());
+  util::StatusOr<std::string> r = b.Recv(4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(DistChannelTest, PeerCloseIsUnavailable) {
+  dist::Channel a, b;
+  ASSERT_TRUE(dist::Channel::CreatePair(&a, &b).ok());
+  a.Close();
+  util::StatusOr<std::string> r = b.Recv(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(DistChannelTest, InjectedCorruptionFailsTheCrc) {
+  util::FaultInjector::Global().Reset();
+  dist::Channel a, b;
+  ASSERT_TRUE(dist::Channel::CreatePair(&a, &b).ok());
+  ASSERT_TRUE(a.Send(1, "payload under test").ok());
+  util::FaultInjector::Global().Arm("dist.recv_corrupt", [] {
+    util::FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  util::StatusOr<std::string> r = b.Recv(1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kDataLoss);
+  // The fault is spent; the next frame passes its CRC again.
+  ASSERT_TRUE(a.Send(2, "clean").ok());
+  util::StatusOr<std::string> clean = b.Recv(2);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, "clean");
+  util::FaultInjector::Global().Reset();
+}
+
+TEST(DistChannelTest, InjectedSendFaultIsIOError) {
+  util::FaultInjector::Global().Reset();
+  dist::Channel a, b;
+  ASSERT_TRUE(dist::Channel::CreatePair(&a, &b).ok());
+  util::FaultInjector::Global().Arm("dist.send", [] {
+    util::FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 1;
+    return spec;
+  }());
+  EXPECT_EQ(a.Send(1, "dropped").code(), util::StatusCode::kIOError);
+  util::FaultInjector::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded co-occurrence merge: exact, grid-invariant.
+// ---------------------------------------------------------------------------
+
+text::BowCorpus RandomCorpus(int num_docs, int vocab_size, uint64_t seed) {
+  text::Vocabulary vocab;
+  for (int i = 0; i < vocab_size; ++i) vocab.AddWord("w" + std::to_string(i));
+  util::Rng rng(seed);
+  std::vector<text::Document> docs(num_docs);
+  for (auto& doc : docs) {
+    const int unique = 5 + static_cast<int>(rng.UniformInt(8));
+    for (int w : rng.SampleWithoutReplacement(vocab_size, unique)) {
+      doc.entries.push_back({w, 1 + static_cast<int>(rng.UniformInt(4))});
+    }
+  }
+  return text::BowCorpus(std::move(vocab), std::move(docs));
+}
+
+TEST(ShardedCooccurrenceTest, BlockMergeMatchesSerialBitwise) {
+  const text::BowCorpus corpus = RandomCorpus(700, 50, 17);
+  embed::CooccurrenceCounts serial(corpus.vocab_size());
+  serial.AddPresence(corpus);
+
+  const int64_t S = 8;
+  for (int workers : {1, 2, 4, 8}) {
+    const int64_t block = S / workers;
+    std::vector<embed::CooccurrenceCounts> blocks;
+    for (int w = 0; w < workers; ++w) {
+      embed::CooccurrenceCounts counts(corpus.vocab_size());
+      for (int64_t s = w * block; s < (w + 1) * block; ++s) {
+        const auto [lo, hi] = util::ShardRange(corpus.num_docs(), s, S);
+        counts.AddPresenceRange(corpus, lo, hi);
+      }
+      blocks.push_back(std::move(counts));
+    }
+    embed::CooccurrenceCounts merged =
+        util::TreeFold<embed::CooccurrenceCounts>(
+            0, workers, [&](int64_t w) { return std::move(blocks[w]); },
+            [](embed::CooccurrenceCounts l, embed::CooccurrenceCounts r) {
+              l.Merge(r);
+              return l;
+            });
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    EXPECT_EQ(merged.num_docs(), serial.num_docs());
+    ExpectBitwiseEqual(merged.matrix(), serial.matrix());
+    for (int i = 0; i < corpus.vocab_size(); ++i) {
+      ASSERT_EQ(merged.marginal(i), serial.marginal(i)) << "marginal " << i;
+    }
+    // And so the derived NPMI kernel is identical too.
+    ExpectBitwiseEqual(eval::NpmiMatrix::FromCounts(merged).matrix(),
+                       eval::NpmiMatrix::FromCounts(serial).matrix());
+  }
+}
+
+TEST(ShardedCooccurrenceTest, SerializationRoundTripsBitwise) {
+  const text::BowCorpus corpus = RandomCorpus(300, 40, 23);
+  embed::CooccurrenceCounts counts(corpus.vocab_size());
+  counts.AddPresenceRange(corpus, 0, corpus.num_docs());
+  std::string bytes;
+  util::BinaryWriter writer(&bytes);
+  counts.Serialize(&writer);
+  util::BinaryReader reader(bytes.data(), bytes.size());
+  util::StatusOr<embed::CooccurrenceCounts> back =
+      embed::CooccurrenceCounts::Deserialize(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_docs(), counts.num_docs());
+  ExpectBitwiseEqual(back->matrix(), counts.matrix());
+  for (int i = 0; i < corpus.vocab_size(); ++i) {
+    ASSERT_EQ(back->marginal(i), counts.marginal(i));
+  }
+
+  // Truncated images are structurally rejected.
+  util::BinaryReader short_reader(bytes.data(), bytes.size() / 2);
+  util::StatusOr<embed::CooccurrenceCounts> truncated =
+      embed::CooccurrenceCounts::Deserialize(&short_reader);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), util::StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: ContraTopic through the data-parallel trainer at
+// --workers = 1, 2, 4.
+// ---------------------------------------------------------------------------
+
+struct DistRun {
+  double final_loss = 0.0;
+  Tensor beta;
+  Tensor theta;
+  std::vector<double> coherence;
+};
+
+DistRun TrainDistributed(int workers) {
+  // Everything is rebuilt from scratch per run: corpus, embeddings, the
+  // sharded NPMI kernel, and training all run under the requested worker
+  // count.
+  const text::SyntheticConfig config = text::Preset20NG(0.1);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus reference =
+      text::GenerateReferenceCorpus(config, dataset.train.vocab());
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(reference, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 16;
+        return c;
+      }());
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::MakeContraTopicEtm(tc, embeddings);
+
+  dist::Options options;
+  options.workers = workers;
+  options.num_shards = 4;
+  dist::DataParallelTrainer trainer(model.get(), options);
+  util::StatusOr<topicmodel::TrainStats> stats = trainer.Train(dataset.train);
+  CHECK(stats.ok()) << stats.status().ToString();
+  CHECK(stats->status.ok()) << stats->status.ToString();
+
+  DistRun run;
+  run.final_loss = stats->final_loss;
+  run.beta = model->Beta();
+  run.theta = model->InferTheta(dataset.test);
+  const eval::NpmiMatrix test_npmi = eval::NpmiMatrix::Compute(dataset.test);
+  run.coherence = eval::PerTopicCoherence(run.beta, test_npmi);
+  return run;
+}
+
+TEST(DistDeterminismTest, WorkerCountIsBitwiseInvariant) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  const DistRun baseline = TrainDistributed(1);
+  ASSERT_GT(baseline.beta.numel(), 0);
+  for (int workers : {2, 4}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const DistRun run = TrainDistributed(workers);
+    EXPECT_EQ(baseline.final_loss, run.final_loss);
+    ExpectBitwiseEqual(baseline.beta, run.beta);
+    ExpectBitwiseEqual(baseline.theta, run.theta);
+    ASSERT_EQ(baseline.coherence.size(), run.coherence.size());
+    for (size_t k = 0; k < baseline.coherence.size(); ++k) {
+      EXPECT_EQ(baseline.coherence[k], run.coherence[k]) << "topic " << k;
+    }
+  }
+#endif
+}
+
+TEST(DistTrainerTest, RejectsInvalidWorkerGrids) {
+  const text::BowCorpus corpus = RandomCorpus(64, 20, 3);
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 4;
+  tc.epochs = 1;
+  tc.batch_size = 16;
+  tc.encoder_hidden = 16;
+  tc.encoder_layers = 1;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(corpus, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 8;
+        return c;
+      }());
+  auto model = core::MakeContraTopicEtm(tc, embeddings);
+  for (auto [workers, shards] : {std::pair{3, 4}, {8, 4}, {0, 4}, {2, 3}}) {
+    dist::Options options;
+    options.workers = workers;
+    options.num_shards = shards;
+    dist::DataParallelTrainer trainer(model.get(), options);
+    util::StatusOr<topicmodel::TrainStats> stats = trainer.Train(corpus);
+    EXPECT_FALSE(stats.ok()) << workers << "/" << shards;
+    EXPECT_EQ(stats.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace contratopic

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -13,9 +15,11 @@
 #include "embed/word_embeddings.h"
 #include "eval/metrics.h"
 #include "eval/npmi.h"
+#include "tensor/backend.h"
 #include "text/dynamic.h"
 #include "text/synthetic.h"
 #include "topicmodel/etm.h"
+#include "util/thread_pool.h"
 
 namespace contratopic {
 namespace {
@@ -191,6 +195,86 @@ TEST(MultiLevelTest, DocumentContrastTermTrains) {
   auto baseline = core::MakeContraTopicEtm(config, embeddings, plain);
   baseline->Train(data.train);
   EXPECT_FALSE(tensor::AllClose(beta, baseline->Beta(), 1e-6f));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism axis (mirrors parallel_determinism_test.cc): the online
+// streaming path — decayed co-occurrence accumulation, per-slice kernel
+// rebuilds, and incremental TrainMore epochs — must be bitwise-identical
+// across every (kernel backend, thread count) combination. On non-x86
+// hosts BestSupportedBackend() == scalar and the backend axis collapses
+// to the thread axis.
+// ---------------------------------------------------------------------------
+
+struct OnlineRun {
+  tensor::Tensor beta;
+  tensor::Tensor theta;
+  std::vector<int64_t> accumulated_docs;
+};
+
+OnlineRun RunOnlineStream(int threads) {
+  util::ThreadPool::SetGlobalNumThreads(threads);
+  // Everything is rebuilt per run so corpus generation, embeddings, and
+  // every slice's kernel refresh all execute under the requested backend
+  // and thread count.
+  text::DynamicConfig config = SmallDynamicConfig();
+  config.num_slices = 2;
+  config.docs_per_slice = 200;
+  const text::DynamicDataset dataset = GenerateDynamic(config);
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 16;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.slices[0], embed_config);
+
+  core::OnlineContraTopic::Options options;
+  options.train.num_topics = 6;
+  options.train.epochs = 2;
+  options.train.encoder_hidden = 32;
+  options.train.encoder_layers = 1;
+  options.epochs_per_slice = 2;
+  options.decay = 0.6;
+  core::OnlineContraTopic online(embeddings, options);
+
+  OnlineRun run;
+  for (const auto& slice : dataset.slices) {
+    run.accumulated_docs.push_back(online.FitSlice(slice).accumulated_docs);
+  }
+  run.beta = online.Beta();
+  run.theta = online.InferTheta(dataset.slices.back());
+  return run;
+}
+
+TEST(OnlineDeterminismTest, StreamIsBitwiseIdenticalAcrossBackendsAndThreads) {
+  OnlineRun reference;
+  {
+    tensor::ScopedKernelBackend scoped(tensor::KernelBackendKind::kScalar);
+    reference = RunOnlineStream(1);
+  }
+  const tensor::KernelBackendKind kinds[] = {
+      tensor::KernelBackendKind::kScalar, tensor::BestSupportedBackend()};
+  for (tensor::KernelBackendKind kind : kinds) {
+    tensor::ScopedKernelBackend scoped(kind);
+    for (int threads : {1, 4}) {
+      if (kind == tensor::KernelBackendKind::kScalar && threads == 1) {
+        continue;  // that is the reference run
+      }
+      SCOPED_TRACE(std::string(tensor::KernelBackendName(kind)) + " @ " +
+                   std::to_string(threads) + " threads");
+      const OnlineRun run = RunOnlineStream(threads);
+      EXPECT_EQ(reference.accumulated_docs, run.accumulated_docs);
+      ASSERT_TRUE(reference.beta.same_shape(run.beta));
+      for (int64_t i = 0; i < reference.beta.numel(); ++i) {
+        ASSERT_EQ(reference.beta.data()[i], run.beta.data()[i])
+            << "beta element " << i;
+      }
+      ASSERT_TRUE(reference.theta.same_shape(run.theta));
+      for (int64_t i = 0; i < reference.theta.numel(); ++i) {
+        ASSERT_EQ(reference.theta.data()[i], run.theta.data()[i])
+            << "theta element " << i;
+      }
+    }
+  }
+  util::ThreadPool::SetGlobalNumThreads(0);
 }
 
 TEST(EncodeRepresentationTest, EtmExposesDifferentiableEncoder) {

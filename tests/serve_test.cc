@@ -425,6 +425,72 @@ TEST(ResilienceTest, CircuitBreakerStateMachine) {
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
 }
 
+// Direct coverage of the half-open probe window. Two latent-bug shapes
+// are pinned down here: a stale success count surviving into the next
+// probe window (the breaker would close one success early), and a failed
+// probe not restarting the open-state call counter (the next probe would
+// arrive too soon).
+TEST(ResilienceTest, CircuitBreakerHalfOpenProbeWindows) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.probe_interval = 3;
+  options.success_threshold = 2;
+  CircuitBreaker breaker(options);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // First probe window: the probe is admitted, records one of the two
+  // required successes, then the recovery attempt fails.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // The failed probe restarts the window: a full probe_interval of calls
+  // must pass before the next probe is admitted.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // The success from the previous window must not carry over: one success
+  // here leaves the breaker half-open; only the second closes it.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.denied(), 4);
+}
+
+// Outcome reports for requests that were already in flight when the
+// breaker opened must be inert: they may not close the breaker or shift
+// the probe schedule.
+TEST(ResilienceTest, CircuitBreakerIgnoresStragglerOutcomesWhileOpen) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.probe_interval = 2;
+  options.success_threshold = 1;
+  CircuitBreaker breaker(options);
+
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  breaker.RecordSuccess();  // straggler from before the breaker opened
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // The probe schedule is unchanged: deny one, then probe.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
 // ---------------------------------------------------------------------------
 // MicroBatcher resilience: deadlines, shutdown, retries
 // ---------------------------------------------------------------------------
