@@ -1,5 +1,9 @@
 #include "core/contrastive_loss.h"
 
+#include <map>
+#include <mutex>
+#include <utility>
+
 #include "util/logging.h"
 
 namespace contratopic {
@@ -15,7 +19,7 @@ struct Masks {
   Tensor denominator;  // everything except self
 };
 
-Masks BuildMasks(int num_topics, int v) {
+Masks ComputeMasks(int num_topics, int v) {
   const int m = num_topics * v;
   Masks masks{Tensor(m, m), Tensor(m, m)};
   for (int i = 0; i < m; ++i) {
@@ -27,6 +31,19 @@ Masks BuildMasks(int num_topics, int v) {
     }
   }
   return masks;
+}
+
+// The masks depend only on (num_topics, v), both fixed for a training run,
+// so building them per step is pure overhead (O(M^2) writes). Memoized
+// process-wide; a run uses a single entry.
+const Masks& BuildMasks(int num_topics, int v) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, Masks>* cache =
+      new std::map<std::pair<int, int>, Masks>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache->try_emplace({num_topics, v});
+  if (inserted) it->second = ComputeMasks(num_topics, v);
+  return it->second;
 }
 
 }  // namespace
@@ -46,7 +63,7 @@ Var TopicContrastiveLoss(const std::vector<Var>& samples, const Tensor& kernel,
   Var s = MulScalar(MatMul(MatMul(p, kernel_var), p, false, true),
                     1.0f / temperature);             // M x M
 
-  const Masks masks = BuildMasks(num_topics, v);
+  const Masks& masks = BuildMasks(num_topics, v);
   const int m = num_topics * v;
   const float inv_m = 1.0f / static_cast<float>(m);
 

@@ -59,6 +59,7 @@ ContraTopicModel::ContraTopicModel(
 
 void ContraTopicModel::Prepare(const text::BowCorpus& corpus) {
   backbone_->Prepare(corpus);
+  kernel_cache_valid_ = false;
   if (options_.document_contrast_weight > 0.0f) {
     doc_freq_ = corpus.DocumentFrequencies();
   }
@@ -106,6 +107,9 @@ std::vector<int> ContraTopicModel::CandidateWords(
 }
 
 Tensor ContraTopicModel::KernelSubMatrix(const std::vector<int>& words) const {
+  if (kernel_cache_valid_ && kernel_cache_words_ == words) {
+    return kernel_cache_;
+  }
   Tensor sub;
   if (options_.variant == Variant::kInnerProduct) {
     const int n = static_cast<int>(words.size());
@@ -124,6 +128,9 @@ Tensor ContraTopicModel::KernelSubMatrix(const std::vector<int>& words) const {
   if (options_.clip_kernel_at_zero) {
     sub.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
   }
+  kernel_cache_valid_ = true;
+  kernel_cache_words_ = words;
+  kernel_cache_ = sub;
   return sub;
 }
 
@@ -298,6 +305,7 @@ void ContraTopicModel::SetKernel(std::unique_ptr<eval::NpmiMatrix> npmi) {
   CHECK(options_.variant != Variant::kInnerProduct)
       << "ContraTopic-I uses an embedding kernel";
   train_npmi_ = std::move(npmi);
+  kernel_cache_valid_ = false;
 }
 
 int64_t ContraTopicModel::ExtraMemoryBytes() const {

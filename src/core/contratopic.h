@@ -124,6 +124,14 @@ class ContraTopicModel : public topicmodel::NeuralTopicModel {
   std::unique_ptr<eval::NpmiMatrix> train_npmi_;
   Tensor embedding_cosine_;  // V x V, only for kInnerProduct
   float last_contrastive_loss_ = 0.0f;
+
+  // Single-entry gather cache for KernelSubMatrix: consecutive steps often
+  // pick the same candidate set (beta moves slowly), and the kernel itself
+  // is fixed between Prepare()/SetKernel() calls, so the O(|words|^2)
+  // gather can be reused verbatim. Mutable: the method is logically const.
+  mutable bool kernel_cache_valid_ = false;
+  mutable std::vector<int> kernel_cache_words_;
+  mutable Tensor kernel_cache_;
 };
 
 // Convenience factory: ETM backbone with the paper's defaults.

@@ -1,0 +1,127 @@
+#include "tensor/arena.h"
+
+#include <atomic>
+#include <cstring>
+#include <utility>
+
+namespace contratopic {
+namespace tensor {
+
+namespace {
+
+std::atomic<uint64_t> g_heap_allocs{0};
+std::atomic<uint64_t> g_pool_hits{0};
+
+thread_local BufferPool* t_pool = nullptr;
+
+// Bucket key for a buffer of the given capacity (round DOWN, so a buffer
+// is never filed under a class larger than itself). Pool-allocated buffers
+// have capacity == their acquisition class, for which this is exact;
+// foreign buffers (allocated with no pool installed, released with one)
+// land in the largest class they can fully serve.
+size_t BufferSizeClassFloor(size_t cap) {
+  if (cap <= kBufferClassLinearLimitFloats) {
+    return cap / kBufferAlignFloats * kBufferAlignFloats;
+  }
+  size_t c = kBufferClassLinearLimitFloats;
+  while (c * 2 <= cap) c *= 2;
+  return c;
+}
+
+}  // namespace
+
+AllocStats GlobalAllocStats() {
+  AllocStats s;
+  s.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  s.pool_hits = g_pool_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<float> BufferPool::TakeOrAllocate(size_t n) {
+  const size_t key = BufferSizeClass(n);
+  outstanding_bytes_ += key * sizeof(float);
+  if (outstanding_bytes_ > peak_outstanding_bytes_) {
+    peak_outstanding_bytes_ = outstanding_bytes_;
+  }
+  auto it = buckets_.find(key);
+  if (it != buckets_.end() && !it->second.empty()) {
+    std::vector<float> buf = std::move(it->second.back());
+    it->second.pop_back();
+    retained_bytes_ -= key * sizeof(float);
+    ++hits_;
+    g_pool_hits.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+  ++misses_;
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  std::vector<float> buf;
+  buf.reserve(key);
+  return buf;
+}
+
+std::vector<float> BufferPool::AcquireZero(size_t n) {
+  std::vector<float> buf = TakeOrAllocate(n);
+  buf.assign(n, 0.0f);
+  return buf;
+}
+
+std::vector<float> BufferPool::AcquireCopy(const float* src, size_t n) {
+  std::vector<float> buf = TakeOrAllocate(n);
+  buf.assign(src, src + n);
+  return buf;
+}
+
+void BufferPool::Release(std::vector<float>&& buf) {
+  const size_t cap = buf.capacity();
+  if (cap == 0) return;
+  const size_t key = BufferSizeClassFloor(cap);
+  const size_t bytes = key * sizeof(float);
+  // Foreign buffers (moved in from another thread or from move-in storage)
+  // were never counted as outstanding; clamp instead of underflowing.
+  outstanding_bytes_ -= bytes < outstanding_bytes_ ? bytes
+                                                   : outstanding_bytes_;
+  if (key == 0 || retained_bytes_ + bytes > max_retained_bytes_) {
+    std::vector<float>().swap(buf);
+    return;
+  }
+  retained_bytes_ += bytes;
+  buckets_[key].push_back(std::move(buf));
+}
+
+BufferPool* InstallThreadBufferPool(BufferPool* pool) {
+  BufferPool* prev = t_pool;
+  t_pool = pool;
+  return prev;
+}
+
+BufferPool* ThreadBufferPool() { return t_pool; }
+
+namespace detail {
+
+std::vector<float> AcquireBufferZero(size_t n) {
+  if (n == 0) return {};
+  if (t_pool != nullptr) return t_pool->AcquireZero(n);
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::vector<float>(n, 0.0f);
+}
+
+std::vector<float> AcquireBufferCopy(const float* src, size_t n) {
+  if (n == 0) return {};
+  if (t_pool != nullptr) return t_pool->AcquireCopy(src, n);
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::vector<float>(src, src + n);
+}
+
+void ReleaseBuffer(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  if (t_pool != nullptr) {
+    t_pool->Release(std::move(buf));
+    return;
+  }
+  std::vector<float>().swap(buf);
+}
+
+}  // namespace detail
+
+}  // namespace tensor
+}  // namespace contratopic

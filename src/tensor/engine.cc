@@ -1,0 +1,77 @@
+#include "tensor/engine.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace contratopic {
+namespace tensor {
+
+namespace {
+
+constexpr int kUnresolved = -1;
+
+std::atomic<int> g_engine{kUnresolved};
+
+ExecEngine ResolveStartupEngine() {
+  const char* env = std::getenv("CT_EXEC_ENGINE");
+  const std::string name = env != nullptr ? env : "tape";
+  ExecEngine engine;
+  CHECK(ParseExecEngineName(name, &engine))
+      << "CT_EXEC_ENGINE=" << name << " is not one of tape, graph";
+  return engine;
+}
+
+}  // namespace
+
+ExecEngine ActiveExecEngine() {
+  int engine = g_engine.load(std::memory_order_acquire);
+  if (engine == kUnresolved) {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      g_engine.store(static_cast<int>(ResolveStartupEngine()),
+                     std::memory_order_release);
+    });
+    engine = g_engine.load(std::memory_order_acquire);
+  }
+  return static_cast<ExecEngine>(engine);
+}
+
+void SetExecEngine(ExecEngine engine) {
+  ActiveExecEngine();  // Resolve first so a later reset cannot race startup.
+  g_engine.store(static_cast<int>(engine), std::memory_order_release);
+}
+
+const char* ExecEngineName(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kTape:
+      return "tape";
+    case ExecEngine::kGraph:
+      return "graph";
+  }
+  return "?";
+}
+
+bool ParseExecEngineName(const std::string& name, ExecEngine* engine) {
+  if (name == "tape") {
+    *engine = ExecEngine::kTape;
+    return true;
+  }
+  if (name == "graph") {
+    *engine = ExecEngine::kGraph;
+    return true;
+  }
+  return false;
+}
+
+ScopedExecEngine::ScopedExecEngine(ExecEngine engine)
+    : prev_(ActiveExecEngine()) {
+  SetExecEngine(engine);
+}
+
+ScopedExecEngine::~ScopedExecEngine() { SetExecEngine(prev_); }
+
+}  // namespace tensor
+}  // namespace contratopic

@@ -1,0 +1,262 @@
+#include "tensor/graph.h"
+
+#include <mutex>
+#include <utility>
+
+#include "tensor/backend.h"
+#include "util/logging.h"
+
+namespace contratopic {
+namespace graph {
+
+namespace {
+
+thread_local GraphSession* t_session = nullptr;
+
+std::mutex g_last_stats_mu;
+ExecStats g_last_stats;
+
+// Retain at most this many hoisted results; on overflow the whole cache is
+// cleared (clear-all keeps eviction deterministic and the map tiny).
+constexpr size_t kHoistCacheCap = 32;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashStr(const char* s) {
+  uint64_t h = kFnvOffset;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Invariant key of a parent as seen when recording a child: leaves are
+// keyed by (uid, version, shape) iff opted in via MarkInvariant; op nodes
+// carry the key computed at their own record time (0 when not invariant,
+// and 0 for nodes materialized outside any session).
+uint64_t ParentInvariantKey(const Node& p) {
+  if (!p.parents.empty()) return p.invariant_key;
+  if (p.requires_grad || p.leaf_uid == 0) return 0;
+  uint64_t h = MixHash(kFnvOffset, p.leaf_uid);
+  h = MixHash(h, p.version);
+  h = MixHash(h, static_cast<uint64_t>(p.rows));
+  h = MixHash(h, static_cast<uint64_t>(p.cols));
+  return h != 0 ? h : 1;
+}
+
+// The hoist cache is keyed per kernel backend: values are bitwise-equal
+// across backends by the kernel contract, but keeping the keys separate
+// costs nothing and keeps the cache trivially correct if a test ever
+// relaxes that contract.
+uint64_t HoistKey(uint64_t invariant_key) {
+  return MixHash(invariant_key,
+                 static_cast<uint64_t>(tensor::ActiveKernels().kind) + 17);
+}
+
+}  // namespace
+
+GraphSession* GraphSession::Active() { return t_session; }
+
+GraphSession::GraphSession(bool enabled) : enabled_(enabled) {
+  if (!enabled_) return;
+  prev_session_ = t_session;
+  t_session = this;
+  prev_pool_ = tensor::InstallThreadBufferPool(&pool_);
+}
+
+GraphSession::~GraphSession() {
+  if (!enabled_) return;
+  FlushAll();
+  stats_.peak_arena_bytes = pool_.peak_outstanding_bytes();
+  stats_.arena_hits = pool_.hits();
+  stats_.arena_misses = pool_.misses();
+  {
+    std::lock_guard<std::mutex> lock(g_last_stats_mu);
+    g_last_stats = stats_;
+  }
+  t_session = prev_session_;
+  tensor::InstallThreadBufferPool(prev_pool_);
+}
+
+uint64_t GraphSession::InvariantKeyFor(const Node& node,
+                                       uint64_t attr_key) const {
+  if (attr_key == 0 || node.requires_grad) return 0;
+  uint64_t h = MixHash(kFnvOffset, attr_key);
+  for (const NodePtr& parent : node.parents) {
+    const uint64_t pk = ParentInvariantKey(*parent);
+    if (pk == 0) return 0;
+    h = MixHash(h, pk);
+  }
+  return h != 0 ? h : 1;
+}
+
+void GraphSession::Record(const NodePtr& node) {
+  PendingOp* op = node->pending.get();
+  DCHECK(op != nullptr);
+  op->seq = next_seq_++;
+  op->owner = this;
+  node->invariant_key = InvariantKeyFor(*node, op->attr_key);
+  pending_.push_back(node);
+  ++stats_.nodes_recorded;
+}
+
+const std::vector<uint8_t>& GraphSession::PlanForSegment(size_t count) {
+  // Parent-use counts within the segment (the whole segment is a pending
+  // prefix, so "has a pending op owned by us" == "is in the segment").
+  use_counts_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    for (const NodePtr& parent : pending_[i]->parents) {
+      if (parent->pending != nullptr && parent->pending->owner == this) {
+        ++use_counts_[parent.get()];
+      }
+    }
+  }
+  // A node's value may be read later through a Var handle iff shared_ptr
+  // refs beyond the pending list (1) and in-segment parent edges exist.
+  auto external_refs = [this](const NodePtr& node) -> long {
+    const auto it = use_counts_.find(node.get());
+    const long uses = it != use_counts_.end() ? it->second : 0;
+    return static_cast<long>(node.use_count()) - uses - 1;
+  };
+
+  // Structural signature: op kinds, shapes, scalar-attr keys, parent
+  // wiring (in-segment index or out-of-segment shape), and the flags the
+  // legality rules depend on. Identical step shapes hash identically, so
+  // the plan compiles once and hits the cache every later step.
+  uint64_t sig = kFnvOffset;
+  for (size_t i = 0; i < count; ++i) {
+    const Node* n = pending_[i].get();
+    const PendingOp* op = n->pending.get();
+    sig = MixHash(sig, HashStr(op->traits->name));
+    sig = MixHash(sig, static_cast<uint64_t>(n->rows));
+    sig = MixHash(sig, static_cast<uint64_t>(n->cols));
+    sig = MixHash(sig, op->attr_key);
+    const uint64_t flags = (n->requires_grad ? 1u : 0u) |
+                           (n->invariant_key != 0 ? 2u : 0u) |
+                           (external_refs(pending_[i]) > 0 ? 4u : 0u);
+    sig = MixHash(sig, flags);
+    for (const NodePtr& parent : n->parents) {
+      if (parent->pending != nullptr && parent->pending->owner == this) {
+        sig = MixHash(sig, parent->pending->seq - front_seq_);
+      } else {
+        sig = MixHash(sig, 0x8000000000000000ull ^
+                               (static_cast<uint64_t>(parent->rows) << 20) ^
+                               static_cast<uint64_t>(parent->cols));
+      }
+    }
+  }
+
+  auto it = plan_cache_.find(sig);
+  if (it != plan_cache_.end()) {
+    ++stats_.plan_hits;
+    last_plan_.signature = sig;
+    last_plan_.fuse_with_parent0 = it->second;
+    return it->second;
+  }
+
+  // Compile: fuse node i with parents[0] when the forward is
+  // copy-then-transform and eliding the copy is unobservable (DESIGN.md
+  // §14.2 legality rules).
+  std::vector<uint8_t> fuse(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    const Node* n = pending_[i].get();
+    const PendingOp* op = n->pending.get();
+    if (!op->traits->can_run_in_place || n->parents.empty()) continue;
+    const NodePtr& p0 = n->parents[0];
+    if (p0->pending == nullptr || p0->pending->owner != this) continue;
+    const auto uses_it = use_counts_.find(p0.get());
+    const long uses = uses_it != use_counts_.end() ? uses_it->second : 0;
+    if (uses != 1) continue;                     // value read more than once
+    if (external_refs(p0) != 0) continue;        // a Var handle can read it
+    if (p0->pending->traits->backward_needs_value) continue;
+    if ((op->traits->backward_needs_parents & 1u) != 0) continue;
+    if (p0->rows != n->rows || p0->cols != n->cols) continue;
+    if (p0->invariant_key != 0 || n->invariant_key != 0) continue;  // hoisted
+    fuse[i] = 1;
+  }
+  ++stats_.plans_compiled;
+  auto inserted = plan_cache_.emplace(sig, std::move(fuse));
+  last_plan_.signature = sig;
+  last_plan_.fuse_with_parent0 = inserted.first->second;
+  return inserted.first->second;
+}
+
+void GraphSession::ExecuteSegment(size_t count) {
+  const std::vector<uint8_t>& fuse = PlanForSegment(count);
+  for (size_t i = 0; i < count; ++i) {
+    Node* n = pending_[i].get();
+    PendingOp* op = n->pending.get();
+    bool from_cache = false;
+    if (n->invariant_key != 0) {
+      const uint64_t key = HoistKey(n->invariant_key);
+      auto it = hoist_cache_.find(key);
+      if (it != hoist_cache_.end() && it->second.rows() == n->rows &&
+          it->second.cols() == n->cols) {
+        n->value = it->second;
+        ++stats_.hoist_hits;
+        from_cache = true;
+      }
+    }
+    if (!from_cache) {
+      if (fuse[i] != 0) {
+        // Copy elision: hand the forward its parent's buffer; the closure
+        // skips the copy (CopyInto sees an empty source) and transforms
+        // the same bits in place.
+        n->value = std::move(n->parents[0]->value);
+        ++stats_.ops_fused;
+      }
+      op->forward(n, &n->value);
+      ++stats_.nodes_executed;
+      if (n->invariant_key != 0) {
+        ++stats_.hoist_misses;
+        if (hoist_cache_.size() >= kHoistCacheCap) hoist_cache_.clear();
+        hoist_cache_[HoistKey(n->invariant_key)] = n->value;
+      }
+    }
+    DCHECK_EQ(n->value.rows(), n->rows);
+    DCHECK_EQ(n->value.cols(), n->cols);
+    n->pending.reset();
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<long>(count));
+  front_seq_ += count;
+  ++stats_.segments_executed;
+}
+
+void GraphSession::Force(Node* node) {
+  CHECK(node->pending != nullptr);
+  CHECK(node->pending->owner == this);
+  const uint64_t seq = node->pending->seq;
+  CHECK_GE(seq, front_seq_);
+  ExecuteSegment(static_cast<size_t>(seq - front_seq_) + 1);
+}
+
+void GraphSession::FlushAll() {
+  if (!pending_.empty()) Force(pending_.back().get());
+}
+
+ExecStats LastSessionStats() {
+  std::lock_guard<std::mutex> lock(g_last_stats_mu);
+  return g_last_stats;
+}
+
+}  // namespace graph
+
+namespace autodiff {
+
+void ForcePending(Node* node) {
+  CHECK(node->pending != nullptr);
+  graph::GraphSession* owner = node->pending->owner;
+  CHECK(owner != nullptr) << "pending node has no owning session";
+  owner->Force(node);
+}
+
+}  // namespace autodiff
+}  // namespace contratopic

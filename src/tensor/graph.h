@@ -1,0 +1,151 @@
+#ifndef CONTRATOPIC_TENSOR_GRAPH_H_
+#define CONTRATOPIC_TENSOR_GRAPH_H_
+
+// Graph-compiled execution engine (DESIGN.md §14).
+//
+// With a GraphSession installed on a thread, every autodiff op records a
+// pending IR node (shape inferred up front, ForwardFn deferred) instead of
+// executing eagerly. Demanding any value (Var::value(), Backward's scalar
+// check) forces the session's pending prefix up to that node, in recording
+// order -- exactly the order the tape engine would have executed -- so the
+// two engines agree bit for bit.
+//
+// On top of deferred execution the session layers:
+//
+//   * Segment plans + fusion. Each forced segment is fingerprinted by a
+//     structural signature (op kinds, shapes, parent wiring, external-ref
+//     bits). A plan maps the signature to a copy-elision bitmap: a node
+//     whose forward is copy-parent0-then-transform steals its parent's
+//     buffer and transforms in place when legality holds (single use, no
+//     external Var handles, no backward reads of the elided value). Plans
+//     compile once per step shape and hit the cache on every later step.
+//
+//   * A pooled activation arena. The session installs a thread-local
+//     BufferPool (tensor/arena.h) so op outputs, gradients, and backward
+//     temporaries recycle buffers instead of hitting the heap; liveness is
+//     tracked by the tensors themselves (release-on-destruction, plus
+//     eager gradient release in Backward), which is a linear scan of the
+//     fixed execution schedule.
+//
+//   * A hoist cache for loop-invariant subgraphs. Chains rooted only in
+//     MarkInvariant leaves are keyed by a structural invariant key and
+//     memoized across steps (e.g. frozen `rho` products), with version
+//     bumps on mutable_value invalidating stale entries.
+//
+// Sessions are strictly thread-local and single-threaded: the training
+// loop installs one on its own thread; pool workers see no session and
+// keep executing eagerly (which is bitwise-identical anyway).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/arena.h"
+#include "tensor/autodiff.h"
+#include "tensor/tensor.h"
+
+namespace contratopic {
+namespace graph {
+
+using autodiff::ForwardFn;
+using autodiff::Node;
+using autodiff::NodePtr;
+using autodiff::OpTraits;
+using tensor::Tensor;
+
+class GraphSession;
+
+// Deferred forward of one recorded node.
+struct PendingOp {
+  ForwardFn forward;
+  const OpTraits* traits = nullptr;
+  // Nonzero when the op is memoizable given invariant inputs (a hash of
+  // the op kind and its scalar attributes). Zero for ops with
+  // non-hashable attributes (masks, index lists).
+  uint64_t attr_key = 0;
+  uint64_t seq = 0;
+  GraphSession* owner = nullptr;
+};
+
+// Counters for one session; published process-wide at session destruction
+// (LastSessionStats) so benches can report them after Train() returns.
+struct ExecStats {
+  uint64_t nodes_recorded = 0;
+  uint64_t nodes_executed = 0;
+  uint64_t ops_fused = 0;
+  uint64_t segments_executed = 0;
+  uint64_t plans_compiled = 0;
+  uint64_t plan_hits = 0;
+  uint64_t hoist_hits = 0;
+  uint64_t hoist_misses = 0;
+  uint64_t arena_hits = 0;    // pooled buffer reuses
+  uint64_t arena_misses = 0;  // pool-path heap allocations
+  size_t peak_arena_bytes = 0;
+};
+
+// The most recently compiled/fetched segment plan, exposed so tests can
+// assert plan determinism across sessions.
+struct SegmentPlan {
+  uint64_t signature = 0;
+  std::vector<uint8_t> fuse_with_parent0;
+};
+
+class GraphSession {
+ public:
+  // When `enabled` is false the session is inert (tape behavior); this
+  // lets call sites install one unconditionally and select the engine via
+  // the flag (tensor::ActiveExecEngine() == ExecEngine::kGraph).
+  explicit GraphSession(bool enabled);
+  ~GraphSession();
+  GraphSession(const GraphSession&) = delete;
+  GraphSession& operator=(const GraphSession&) = delete;
+
+  // The session recording on the current thread (null under the tape
+  // engine or on pool workers).
+  static GraphSession* Active();
+
+  bool enabled() const { return enabled_; }
+  const ExecStats& stats() const { return stats_; }
+  const SegmentPlan& last_plan() const { return last_plan_; }
+  const tensor::BufferPool& arena() const { return pool_; }
+
+  // Records a node carrying a PendingOp (called by autodiff::MakeNode).
+  void Record(const NodePtr& node);
+  // Executes the pending prefix up to and including `node`.
+  void Force(Node* node);
+  // Executes everything still pending.
+  void FlushAll();
+
+ private:
+  uint64_t InvariantKeyFor(const Node& node, uint64_t attr_key) const;
+  void ExecuteSegment(size_t count);
+  const std::vector<uint8_t>& PlanForSegment(size_t count);
+
+  bool enabled_;
+  GraphSession* prev_session_ = nullptr;
+  tensor::BufferPool pool_;
+  tensor::BufferPool* prev_pool_ = nullptr;
+
+  std::deque<NodePtr> pending_;
+  uint64_t next_seq_ = 0;
+  uint64_t front_seq_ = 0;
+
+  std::unordered_map<uint64_t, std::vector<uint8_t>> plan_cache_;
+  std::unordered_map<uint64_t, Tensor> hoist_cache_;
+  SegmentPlan last_plan_;
+  ExecStats stats_;
+
+  // Scratch reused across Force calls (plan computation).
+  std::unordered_map<const Node*, int> use_counts_;
+};
+
+// Stats of the most recently destroyed session in this process (the bench
+// reads these after a training run completes).
+ExecStats LastSessionStats();
+
+}  // namespace graph
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TENSOR_GRAPH_H_

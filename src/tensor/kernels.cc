@@ -245,18 +245,24 @@ void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op,
   });
 }
 
-Tensor RowL2Normalized(const Tensor& x, float eps) {
-  Tensor out = x;
+void RowL2NormalizeInPlace(Tensor* x, float eps) {
+  // The norm is read from the row before it is scaled, so normalizing a
+  // copy in place produces the same bits as RowL2Normalized.
   const KernelTable& kt = ActiveKernels();
-  ParallelRows(x.rows(), x.cols(),
-               [&x, &out, eps, &kt](int64_t r_lo, int64_t r_hi) {
+  ParallelRows(x->rows(), x->cols(),
+               [x, eps, &kt](int64_t r_lo, int64_t r_hi) {
                  for (int64_t r = r_lo; r < r_hi; ++r) {
                    const float norm = static_cast<float>(
-                       std::sqrt(kt.row_sumsq(x.row(r), x.cols())));
+                       std::sqrt(kt.row_sumsq(x->row(r), x->cols())));
                    if (norm <= eps) continue;
-                   kt.scale(out.row(r), x.cols(), 1.0f / norm);
+                   kt.scale(x->row(r), x->cols(), 1.0f / norm);
                  }
                });
+}
+
+Tensor RowL2Normalized(const Tensor& x, float eps) {
+  Tensor out = x;
+  RowL2NormalizeInPlace(&out, eps);
   return out;
 }
 

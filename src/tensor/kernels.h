@@ -70,6 +70,8 @@ void BroadcastRow(const Tensor& a, const Tensor& row, BinaryOp op, Tensor* out);
 
 // Normalizes each row to unit L2 norm (zero rows are left as zero).
 Tensor RowL2Normalized(const Tensor& x, float eps = 1e-12f);
+// In-place variant (bitwise-identical to RowL2Normalized on a copy).
+void RowL2NormalizeInPlace(Tensor* x, float eps = 1e-12f);
 
 // Pairwise squared Euclidean distances between rows of a (m x d) and rows
 // of b (n x d) -> (m x n). Clamped at zero.

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "tensor/arena.h"
 #include "tensor/backend.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -19,6 +20,45 @@ namespace {
 // count.
 constexpr int64_t kElemGrain = 1 << 14;
 }  // namespace
+
+Tensor::Tensor(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(detail::AcquireBufferZero(static_cast<size_t>(rows * cols))) {
+  CHECK_GE(rows, 0);
+  CHECK_GE(cols, 0);
+}
+
+Tensor::Tensor(const Tensor& other)
+    : rows_(other.rows_), cols_(other.cols_),
+      data_(detail::AcquireBufferCopy(other.data_.data(),
+                                      other.data_.size())) {}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  if (data_.capacity() >= other.data_.size()) {
+    data_.assign(other.data_.begin(), other.data_.end());
+  } else {
+    detail::ReleaseBuffer(std::move(data_));
+    data_ = detail::AcquireBufferCopy(other.data_.data(), other.data_.size());
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  detail::ReleaseBuffer(std::move(data_));
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.data_.clear();
+  return *this;
+}
+
+Tensor::~Tensor() { detail::ReleaseBuffer(std::move(data_)); }
 
 Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
   Tensor t(rows, cols);

@@ -21,16 +21,27 @@ namespace tensor {
 class Tensor {
  public:
   Tensor() : rows_(0), cols_(0) {}
-  Tensor(int64_t rows, int64_t cols)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows * cols), 0.0f) {
-    CHECK_GE(rows, 0);
-    CHECK_GE(cols, 0);
-  }
+  // Zero-filled. Storage routes through the thread's installed BufferPool
+  // when one is present (tensor/arena.h): recycled buffers are re-zeroed,
+  // so semantics match a fresh allocation bit for bit.
+  Tensor(int64_t rows, int64_t cols);
   Tensor(int64_t rows, int64_t cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     CHECK_EQ(static_cast<int64_t>(data_.size()), rows * cols);
   }
+
+  // Pool-aware rule of five: copies acquire (and the destructor releases)
+  // buffers through the installed pool; moves transfer storage as before.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+    other.data_.clear();
+  }
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   // Factories.
   static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }

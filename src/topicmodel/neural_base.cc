@@ -7,6 +7,8 @@
 #include <optional>
 #include <set>
 
+#include "tensor/engine.h"
+#include "tensor/graph.h"
 #include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -171,6 +173,14 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
                                              int epochs,
                                              const TrainingState* resume) {
   SetTraining(true);
+
+  // Engine selection (DESIGN.md §14): with CT_EXEC_ENGINE=graph this
+  // installs a thread-local GraphSession for the whole training run, so
+  // every autodiff op below records into the graph IR instead of executing
+  // eagerly. Inert (pure tape) otherwise. Covers the dist branch too: each
+  // forked worker re-enters RunTrainingLoop and installs its own session.
+  graph::GraphSession graph_session(tensor::ActiveExecEngine() ==
+                                    tensor::ExecEngine::kGraph);
 
   nn::Adam adam(config_.learning_rate);
   text::BatchIterator batches(corpus.num_docs(), config_.batch_size, rng_);

@@ -1,0 +1,770 @@
+// Tests for the graph-compiled execution engine (tensor/engine.h,
+// tensor/graph.h, tensor/arena.h; DESIGN.md §14), in three layers:
+//
+//   GraphEngineTest        -- engine selection, the pooled arena (alignment,
+//                             no-aliasing of live buffers), plan determinism,
+//                             fusion and hoist bookkeeping.
+//   GraphDifferentialTest  -- the bitwise tape-vs-graph contract: every
+//                             autodiff op, fused chains (with numeric
+//                             grad_check), and a full ContraTopic training
+//                             run across kernel backends, thread counts, and
+//                             dist worker counts.
+//
+// The suite names are load-bearing: the sanitizer CI leg selects them via
+// `ctest -R ... GraphDifferential|GraphEngine`.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contratopic.h"
+#include "dist/trainer.h"
+#include "embed/word_embeddings.h"
+#include "eval/metrics.h"
+#include "eval/npmi.h"
+#include "tensor/arena.h"
+#include "tensor/autodiff.h"
+#include "tensor/backend.h"
+#include "tensor/engine.h"
+#include "tensor/grad_check.h"
+#include "tensor/graph.h"
+#include "tensor/tensor.h"
+#include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define CT_SKIP_FORK_TESTS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CT_SKIP_FORK_TESTS 1
+#endif
+#endif
+
+namespace contratopic {
+namespace {
+
+using autodiff::Var;
+using tensor::ExecEngine;
+using tensor::Tensor;
+
+uint32_t BitsOf(float v) {
+  uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+void ExpectBitwise(const Tensor& want, const Tensor& got,
+                   const std::string& what) {
+  ASSERT_TRUE(want.same_shape(got))
+      << what << ": " << want.ShapeString() << " vs " << got.ShapeString();
+  for (int64_t i = 0; i < want.numel(); ++i) {
+    if (std::isnan(want.data()[i]) && std::isnan(got.data()[i])) continue;
+    ASSERT_EQ(BitsOf(want.data()[i]), BitsOf(got.data()[i]))
+        << what << " differs at flat index " << i << ": " << want.data()[i]
+        << " vs " << got.data()[i];
+  }
+}
+
+uint64_t HashOf(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Tensor RandomTensor(util::Rng& rng, int64_t rows, int64_t cols,
+                    bool positive = false) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    float v = static_cast<float>(rng.Uniform() * 4.0 - 2.0);
+    if (positive) v = std::abs(v) + 0.1f;
+    t.data()[i] = v;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// GraphEngineTest: selection plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(GraphEngineTest, ParsesEngineNames) {
+  ExecEngine engine = ExecEngine::kTape;
+  EXPECT_TRUE(tensor::ParseExecEngineName("tape", &engine));
+  EXPECT_EQ(engine, ExecEngine::kTape);
+  EXPECT_TRUE(tensor::ParseExecEngineName("graph", &engine));
+  EXPECT_EQ(engine, ExecEngine::kGraph);
+  EXPECT_FALSE(tensor::ParseExecEngineName("jit", &engine));
+  EXPECT_STREQ(tensor::ExecEngineName(ExecEngine::kTape), "tape");
+  EXPECT_STREQ(tensor::ExecEngineName(ExecEngine::kGraph), "graph");
+}
+
+TEST(GraphEngineTest, ScopedExecEngineRestoresThePreviousEngine) {
+  const ExecEngine before = tensor::ActiveExecEngine();
+  {
+    tensor::ScopedExecEngine scoped(ExecEngine::kGraph);
+    EXPECT_EQ(tensor::ActiveExecEngine(), ExecEngine::kGraph);
+    {
+      tensor::ScopedExecEngine nested(ExecEngine::kTape);
+      EXPECT_EQ(tensor::ActiveExecEngine(), ExecEngine::kTape);
+    }
+    EXPECT_EQ(tensor::ActiveExecEngine(), ExecEngine::kGraph);
+  }
+  EXPECT_EQ(tensor::ActiveExecEngine(), before);
+}
+
+TEST(GraphEngineTest, DisabledSessionIsInert) {
+  graph::GraphSession session(/*enabled=*/false);
+  EXPECT_EQ(graph::GraphSession::Active(), nullptr);
+  Var x = Var::Constant(Tensor::Full(2, 2, 3.0f));
+  Var y = autodiff::MulScalar(x, 2.0f);
+  // Eager: the value exists without any force.
+  EXPECT_EQ(y.node()->pending, nullptr);
+  EXPECT_EQ(y.value().at(0, 0), 6.0f);
+}
+
+// ---------------------------------------------------------------------------
+// GraphEngineTest: the pooled arena.
+// ---------------------------------------------------------------------------
+
+TEST(GraphEngineTest, ArenaRoundsCapacitiesToTheSizeClass) {
+  // Linear 16-float classes up to the limit, then power-of-two doubling
+  // (so large shapes that drift step to step still share buckets).
+  EXPECT_EQ(tensor::BufferSizeClass(1), 16u);
+  EXPECT_EQ(tensor::BufferSizeClass(17), 32u);
+  EXPECT_EQ(tensor::BufferSizeClass(tensor::kBufferClassLinearLimitFloats),
+            tensor::kBufferClassLinearLimitFloats);
+  EXPECT_EQ(tensor::BufferSizeClass(tensor::kBufferClassLinearLimitFloats + 1),
+            2 * tensor::kBufferClassLinearLimitFloats);
+  EXPECT_EQ(tensor::BufferSizeClass(250000), 262144u);
+  tensor::BufferPool pool;
+  for (size_t n : {1ul, 5ul, 16ul, 17ul, 100ul, 1000ul, 5000ul, 250000ul}) {
+    std::vector<float> buf = pool.AcquireZero(n);
+    EXPECT_EQ(buf.size(), n);
+    EXPECT_GE(buf.capacity(), n);
+    EXPECT_EQ(buf.capacity() % tensor::kBufferAlignFloats, 0u)
+        << "capacity " << buf.capacity() << " for n=" << n;
+    for (float v : buf) EXPECT_EQ(v, 0.0f);
+    pool.Release(std::move(buf));
+  }
+  // Two different large sizes in one geometric class recycle one buffer.
+  std::vector<float> big = pool.AcquireZero(5000);
+  const float* raw = big.data();
+  pool.Release(std::move(big));
+  std::vector<float> reused = pool.AcquireZero(7000);
+  EXPECT_EQ(reused.data(), raw);
+  EXPECT_EQ(reused.size(), 7000u);
+  for (float v : reused) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(GraphEngineTest, ArenaReusesReleasedBuffers) {
+  tensor::BufferPool pool;
+  std::vector<float> a = pool.AcquireZero(100);
+  const float* ptr = a.data();
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.Release(std::move(a));
+  // Same size class: the exact buffer comes back, zeroed.
+  std::vector<float> b = pool.AcquireZero(97);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(b.data(), ptr);
+  for (float v : b) EXPECT_EQ(v, 0.0f);
+  pool.Release(std::move(b));
+}
+
+TEST(GraphEngineTest, ArenaTracksOutstandingAndPeakBytes) {
+  tensor::BufferPool pool;
+  std::vector<float> a = pool.AcquireZero(16);
+  std::vector<float> b = pool.AcquireZero(32);
+  EXPECT_EQ(pool.outstanding_bytes(), (16 + 32) * sizeof(float));
+  pool.Release(std::move(a));
+  EXPECT_EQ(pool.outstanding_bytes(), 32 * sizeof(float));
+  EXPECT_EQ(pool.peak_outstanding_bytes(), (16 + 32) * sizeof(float));
+  pool.Release(std::move(b));
+  EXPECT_EQ(pool.outstanding_bytes(), 0u);
+}
+
+TEST(GraphEngineTest, ArenaNeverAliasesTwoLiveNodeBuffers) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(11);
+  Var x = Var::Leaf(RandomTensor(rng, 6, 8), /*requires_grad=*/true);
+  Var y = Var::Constant(RandomTensor(rng, 6, 8));
+  // Every intermediate is held in a Var, so all stay live simultaneously
+  // (held handles also veto buffer-stealing fusion -- that is the point).
+  Var a = autodiff::Add(x, y);
+  Var b = autodiff::Mul(a, y);
+  Var c = autodiff::Exp(autodiff::MulScalar(b, 0.25f));
+  Var d = autodiff::SoftmaxRows(c);
+  Var loss = autodiff::SumAll(d);
+  ASSERT_EQ(loss.value().numel(), 1);  // forces the whole segment
+  std::set<const float*> buffers;
+  for (const Var* v : {&x, &y, &a, &b, &c, &d, &loss}) {
+    ASSERT_FALSE(v->value().empty());
+    EXPECT_TRUE(buffers.insert(v->value().data()).second)
+        << "two live nodes share a buffer";
+  }
+}
+
+TEST(GraphEngineTest, ArenaRecyclesBuffersAcrossSteps) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(12);
+  const Tensor input = RandomTensor(rng, 16, 16);
+  for (int step = 0; step < 3; ++step) {
+    Var x = Var::Leaf(input, /*requires_grad=*/true);
+    Var loss =
+        autodiff::SumAll(autodiff::SoftmaxRows(autodiff::MulScalar(x, 2.0f)));
+    autodiff::Backward(loss);
+  }
+  // After warmup, step-shaped buffers come from the pool, not the heap.
+  EXPECT_GT(session.arena().hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GraphEngineTest: plans, fusion, hoisting.
+// ---------------------------------------------------------------------------
+
+graph::SegmentPlan PlanOfChain(uint64_t seed) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(seed);
+  Var x = Var::Leaf(RandomTensor(rng, 5, 7), /*requires_grad=*/true);
+  Var out = autodiff::SumAll(
+      autodiff::Exp(autodiff::MulScalar(autodiff::SoftmaxRows(x), 0.5f)));
+  EXPECT_EQ(out.value().numel(), 1);
+  return session.last_plan();
+}
+
+TEST(GraphEngineTest, SegmentPlansAreDeterministicAcrossSessions) {
+  const graph::SegmentPlan first = PlanOfChain(21);
+  const graph::SegmentPlan second = PlanOfChain(22);  // different values
+  EXPECT_NE(first.signature, 0u);
+  EXPECT_EQ(first.signature, second.signature)
+      << "plan signature must depend on structure, not values";
+  EXPECT_EQ(first.fuse_with_parent0, second.fuse_with_parent0);
+}
+
+TEST(GraphEngineTest, PlanCacheHitsOnRepeatedStepShapes) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(23);
+  for (int step = 0; step < 4; ++step) {
+    Var x = Var::Leaf(RandomTensor(rng, 4, 6), /*requires_grad=*/true);
+    Var loss = autodiff::SumAll(autodiff::Tanh(autodiff::MulScalar(x, 1.5f)));
+    autodiff::Backward(loss);
+  }
+  EXPECT_EQ(session.stats().plans_compiled, 1u);
+  EXPECT_GE(session.stats().plan_hits, 3u);
+}
+
+TEST(GraphEngineTest, FusionStealsSingleUseBuffersOnly) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(24);
+  {
+    // Nested chain, intermediates not held: Exp may steal MulScalar's
+    // buffer (MulScalar's backward needs neither value).
+    Var x = Var::Leaf(RandomTensor(rng, 8, 8), /*requires_grad=*/true);
+    Var loss = autodiff::SumAll(autodiff::Exp(autodiff::MulScalar(x, 0.5f)));
+    EXPECT_EQ(loss.value().numel(), 1);
+    EXPECT_GE(session.stats().ops_fused, 1u);
+  }
+  const uint64_t fused_before = session.stats().ops_fused;
+  {
+    // Holding the intermediate must veto the steal: the handle could read
+    // the value after the child consumed it.
+    Var x = Var::Leaf(RandomTensor(rng, 8, 8), /*requires_grad=*/true);
+    Var held = autodiff::MulScalar(x, 0.5f);
+    Var loss = autodiff::SumAll(autodiff::Exp(held));
+    EXPECT_EQ(loss.value().numel(), 1);
+    EXPECT_FALSE(held.value().empty()) << "held value must stay readable";
+    EXPECT_EQ(session.stats().ops_fused, fused_before);
+  }
+}
+
+TEST(GraphEngineTest, ExpFamilyValuesAreNeverElidedAsFusionSources) {
+  // Exp's backward reads its own output, so a downstream in-place op must
+  // not steal it even when it is single-use and unheld (DESIGN.md §14.2).
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(25);
+  Var x = Var::Leaf(RandomTensor(rng, 6, 6), /*requires_grad=*/true);
+  Var loss = autodiff::SumAll(autodiff::MulScalar(autodiff::Exp(x), 2.0f));
+  autodiff::Backward(loss);
+  EXPECT_EQ(session.stats().ops_fused, 0u);
+  EXPECT_FALSE(x.grad().empty());
+}
+
+TEST(GraphEngineTest, HoistCacheMemoizesInvariantChains) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(26);
+  Var frozen = Var::Constant(RandomTensor(rng, 8, 4));
+  autodiff::MarkInvariant(frozen);
+  Tensor first_value;
+  for (int step = 0; step < 3; ++step) {
+    Var product = autodiff::MatMul(frozen, frozen, /*trans_a=*/true);
+    Var x = Var::Leaf(RandomTensor(rng, 4, 4), /*requires_grad=*/true);
+    Var loss = autodiff::SumAll(autodiff::Mul(product, x));
+    autodiff::Backward(loss);
+    if (step == 0) first_value = product.value();
+    ExpectBitwise(first_value, product.value(), "hoisted product");
+  }
+  EXPECT_EQ(session.stats().hoist_misses, 1u)
+      << "the invariant product must execute exactly once";
+  EXPECT_GE(session.stats().hoist_hits, 2u);
+}
+
+TEST(GraphEngineTest, MutableValueInvalidatesTheHoistCache) {
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(27);
+  Var frozen = Var::Constant(Tensor::Full(3, 3, 1.0f));
+  autodiff::MarkInvariant(frozen);
+  Var p1 = autodiff::MulScalar(frozen, 2.0f);
+  EXPECT_EQ(p1.value().at(0, 0), 2.0f);
+  frozen.mutable_value().Fill(5.0f);  // bumps the leaf version
+  Var p2 = autodiff::MulScalar(frozen, 2.0f);
+  EXPECT_EQ(p2.value().at(0, 0), 10.0f)
+      << "stale hoist-cache entry served after mutation";
+}
+
+TEST(GraphEngineTest, GradOfRequiresGradChainsIsExactDespiteFusion) {
+  // Backward runs after fusion moved buffers around; gradients must land
+  // on the leaves regardless.
+  graph::GraphSession session(/*enabled=*/true);
+  util::Rng rng(28);
+  const Tensor input = RandomTensor(rng, 4, 4);
+  Var x = Var::Leaf(input, /*requires_grad=*/true);
+  Var loss = autodiff::SumAll(autodiff::Tanh(autodiff::MulScalar(x, 0.5f)));
+  autodiff::Backward(loss);
+  ASSERT_FALSE(x.grad().empty());
+  // d/dx sum(tanh(x/2)) = (1 - tanh^2(x/2)) / 2.
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float t = std::tanh(input.data()[i] * 0.5f);
+    EXPECT_NEAR(x.grad().data()[i], (1.0f - t * t) * 0.5f, 1e-6f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphDifferentialTest: per-op bitwise tape-vs-graph.
+// ---------------------------------------------------------------------------
+
+struct OpCase {
+  std::string name;
+  std::vector<std::pair<int64_t, int64_t>> shapes;
+  bool positive = false;  // inputs biased positive (log/sqrt domains)
+  std::function<Var(const std::vector<Var>&)> build;
+};
+
+std::vector<OpCase> AllOpCases() {
+  using namespace autodiff;  // NOLINT: op-dense tables
+  auto mask_checker = [](int64_t rows, int64_t cols) {
+    Tensor m(rows, cols);
+    for (int64_t i = 0; i < m.numel(); ++i) m.data()[i] = (i % 3) ? 1.f : 0.f;
+    return m;
+  };
+  std::vector<OpCase> cases;
+  auto add = [&cases](std::string name,
+                      std::vector<std::pair<int64_t, int64_t>> shapes,
+                      std::function<Var(const std::vector<Var>&)> build,
+                      bool positive = false) {
+    cases.push_back({std::move(name), std::move(shapes), positive,
+                     std::move(build)});
+  };
+  add("Add", {{3, 4}, {3, 4}},
+      [](const std::vector<Var>& v) { return Add(v[0], v[1]); });
+  add("Sub", {{3, 4}, {3, 4}},
+      [](const std::vector<Var>& v) { return Sub(v[0], v[1]); });
+  add("Mul", {{3, 4}, {3, 4}},
+      [](const std::vector<Var>& v) { return Mul(v[0], v[1]); });
+  add("Div", {{3, 4}, {3, 4}},
+      [](const std::vector<Var>& v) { return Div(v[0], v[1]); },
+      /*positive=*/true);
+  add("AddScalar", {{3, 4}},
+      [](const std::vector<Var>& v) { return AddScalar(v[0], 0.75f); });
+  add("MulScalar", {{3, 4}},
+      [](const std::vector<Var>& v) { return MulScalar(v[0], -1.25f); });
+  add("MatMul", {{3, 4}, {4, 5}},
+      [](const std::vector<Var>& v) { return MatMul(v[0], v[1]); });
+  add("MatMulTransA", {{4, 3}, {4, 5}}, [](const std::vector<Var>& v) {
+    return MatMul(v[0], v[1], true, false);
+  });
+  add("MatMulTransB", {{3, 4}, {5, 4}}, [](const std::vector<Var>& v) {
+    return MatMul(v[0], v[1], false, true);
+  });
+  add("MatMulTransAB", {{4, 3}, {5, 4}}, [](const std::vector<Var>& v) {
+    return MatMul(v[0], v[1], true, true);
+  });
+  add("Transpose", {{3, 5}},
+      [](const std::vector<Var>& v) { return Transpose(v[0]); });
+  add("Exp", {{3, 4}},
+      [](const std::vector<Var>& v) { return Exp(v[0]); });
+  add("Log", {{3, 4}},
+      [](const std::vector<Var>& v) { return Log(v[0]); },
+      /*positive=*/true);
+  add("Square", {{3, 4}},
+      [](const std::vector<Var>& v) { return Square(v[0]); });
+  add("Sqrt", {{3, 4}},
+      [](const std::vector<Var>& v) { return Sqrt(v[0]); },
+      /*positive=*/true);
+  add("Rsqrt", {{3, 4}},
+      [](const std::vector<Var>& v) { return Rsqrt(v[0]); },
+      /*positive=*/true);
+  add("Relu", {{3, 4}},
+      [](const std::vector<Var>& v) { return Relu(v[0]); });
+  add("Selu", {{3, 4}},
+      [](const std::vector<Var>& v) { return Selu(v[0]); });
+  add("Softplus", {{3, 4}},
+      [](const std::vector<Var>& v) { return Softplus(v[0]); });
+  add("Tanh", {{3, 4}},
+      [](const std::vector<Var>& v) { return Tanh(v[0]); });
+  add("Sigmoid", {{3, 4}},
+      [](const std::vector<Var>& v) { return Sigmoid(v[0]); });
+  add("SoftmaxRows", {{3, 6}},
+      [](const std::vector<Var>& v) { return SoftmaxRows(v[0]); });
+  add("LogSoftmaxRows", {{3, 6}},
+      [](const std::vector<Var>& v) { return LogSoftmaxRows(v[0]); });
+  add("MaskedLogSumExpRows", {{4, 6}},
+      [mask_checker](const std::vector<Var>& v) {
+        return MaskedLogSumExpRows(v[0], mask_checker(4, 6));
+      });
+  add("LogSumExpRows", {{4, 6}},
+      [](const std::vector<Var>& v) { return LogSumExpRows(v[0]); });
+  add("SumAll", {{3, 4}},
+      [](const std::vector<Var>& v) { return SumAll(v[0]); });
+  add("MeanAll", {{3, 4}},
+      [](const std::vector<Var>& v) { return MeanAll(v[0]); });
+  add("RowSum", {{3, 4}},
+      [](const std::vector<Var>& v) { return RowSum(v[0]); });
+  add("ColSum", {{3, 4}},
+      [](const std::vector<Var>& v) { return ColSum(v[0]); });
+  add("ColMean", {{3, 4}},
+      [](const std::vector<Var>& v) { return ColMean(v[0]); });
+  add("BroadcastColAdd", {{4, 5}, {4, 1}}, [](const std::vector<Var>& v) {
+    return BroadcastColAdd(v[0], v[1]);
+  });
+  add("BroadcastColSub", {{4, 5}, {4, 1}}, [](const std::vector<Var>& v) {
+    return BroadcastColSub(v[0], v[1]);
+  });
+  add("BroadcastColMul", {{4, 5}, {4, 1}}, [](const std::vector<Var>& v) {
+    return BroadcastColMul(v[0], v[1]);
+  });
+  add("BroadcastColDiv", {{4, 5}, {4, 1}},
+      [](const std::vector<Var>& v) {
+        return BroadcastColDiv(v[0], v[1]);
+      },
+      /*positive=*/true);
+  add("BroadcastRowAdd", {{4, 5}, {1, 5}}, [](const std::vector<Var>& v) {
+    return BroadcastRowAdd(v[0], v[1]);
+  });
+  add("BroadcastRowSub", {{4, 5}, {1, 5}}, [](const std::vector<Var>& v) {
+    return BroadcastRowSub(v[0], v[1]);
+  });
+  add("BroadcastRowMul", {{4, 5}, {1, 5}}, [](const std::vector<Var>& v) {
+    return BroadcastRowMul(v[0], v[1]);
+  });
+  add("BroadcastRowDiv", {{4, 5}, {1, 5}},
+      [](const std::vector<Var>& v) {
+        return BroadcastRowDiv(v[0], v[1]);
+      },
+      /*positive=*/true);
+  add("RowL2Normalize", {{4, 6}},
+      [](const std::vector<Var>& v) { return RowL2Normalize(v[0]); });
+  add("ConcatRows", {{2, 4}, {3, 4}}, [](const std::vector<Var>& v) {
+    return ConcatRows({v[0], v[1]});
+  });
+  add("SelectColumns", {{3, 5}}, [](const std::vector<Var>& v) {
+    return SelectColumns(v[0], {0, 2, 2, 4, 1});
+  });
+  add("ApplyMask", {{4, 6}}, [mask_checker](const std::vector<Var>& v) {
+    return ApplyMask(v[0], mask_checker(4, 6));
+  });
+  return cases;
+}
+
+struct OpRun {
+  Tensor value;
+  std::vector<Tensor> grads;
+};
+
+OpRun RunOpOnce(const OpCase& c, const std::vector<Tensor>& inputs,
+                bool graph_engine) {
+  graph::GraphSession session(graph_engine);
+  std::vector<Var> leaves;
+  for (const Tensor& t : inputs) {
+    leaves.push_back(Var::Leaf(t, /*requires_grad=*/true));
+  }
+  Var out = c.build(leaves);
+  Var loss = (out.rows() == 1 && out.cols() == 1) ? out
+                                                  : autodiff::SumAll(out);
+  OpRun run;
+  run.value = out.value();
+  autodiff::Backward(loss);
+  for (const Var& leaf : leaves) run.grads.push_back(leaf.grad());
+  return run;
+}
+
+TEST(GraphDifferentialTest, EveryOpMatchesTheTapeBitwise) {
+  uint64_t seed = 0x9e3779b9;
+  for (const OpCase& c : AllOpCases()) {
+    SCOPED_TRACE(c.name);
+    util::Rng rng(seed++);
+    std::vector<Tensor> inputs;
+    for (const auto& [rows, cols] : c.shapes) {
+      inputs.push_back(RandomTensor(rng, rows, cols, c.positive));
+    }
+    const OpRun tape = RunOpOnce(c, inputs, /*graph_engine=*/false);
+    const OpRun graph = RunOpOnce(c, inputs, /*graph_engine=*/true);
+    ExpectBitwise(tape.value, graph.value, c.name + " value");
+    ASSERT_EQ(tape.grads.size(), graph.grads.size());
+    for (size_t i = 0; i < tape.grads.size(); ++i) {
+      ExpectBitwise(tape.grads[i], graph.grads[i],
+                    c.name + " grad[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphDifferentialTest: fused chains vs their unfused composition.
+// ---------------------------------------------------------------------------
+
+// Each entry is an op that the planner may fuse with its producer (it can
+// run in place and its backward does not read parents[0]). The chain roots
+// in AddScalar/MulScalar producers whose buffers are legal to steal.
+struct FusedCase {
+  std::string name;
+  std::function<Var(const Var&)> build;  // leaf -> scalar loss
+};
+
+std::vector<FusedCase> FusedChainCases() {
+  using namespace autodiff;  // NOLINT
+  Tensor mask(3, 4);
+  for (int64_t i = 0; i < mask.numel(); ++i) mask.data()[i] = (i % 2) * 1.0f;
+  return {
+      {"AddIntoPending",
+       [](const Var& x) {
+         Var b = Var::Constant(Tensor::Full(3, 4, 0.5f));
+         return SumAll(Add(MulScalar(x, 1.5f), b));
+       }},
+      {"SubIntoPending",
+       [](const Var& x) {
+         Var b = Var::Constant(Tensor::Full(3, 4, 0.25f));
+         return SumAll(Sub(MulScalar(x, 0.5f), b));
+       }},
+      {"AddScalarChain",
+       [](const Var& x) {
+         return SumAll(AddScalar(MulScalar(x, 2.0f), 0.3f));
+       }},
+      {"MulScalarChain",
+       [](const Var& x) {
+         return SumAll(MulScalar(AddScalar(x, 0.2f), 1.7f));
+       }},
+      {"ExpOfScaled",
+       [](const Var& x) { return SumAll(Exp(MulScalar(x, 0.5f))); }},
+      {"SqrtOfShifted",
+       [](const Var& x) {
+         return SumAll(Sqrt(AddScalar(Square(x), 1.0f)));
+       }},
+      {"RsqrtOfShifted",
+       [](const Var& x) {
+         return SumAll(Rsqrt(AddScalar(Square(x), 1.0f)));
+       }},
+      {"TanhOfScaled",
+       [](const Var& x) { return SumAll(Tanh(MulScalar(x, 0.8f))); }},
+      {"SigmoidOfScaled",
+       [](const Var& x) { return SumAll(Sigmoid(MulScalar(x, 1.2f))); }},
+      {"SoftmaxOfScaled",
+       [](const Var& x) {
+         return SumAll(Square(SoftmaxRows(MulScalar(x, 1.3f))));
+       }},
+      {"LogSoftmaxOfScaled",
+       [](const Var& x) {
+         return MulScalar(SumAll(LogSoftmaxRows(MulScalar(x, 0.9f))), 0.25f);
+       }},
+      {"MaskOfShifted",
+       [mask](const Var& x) {
+         return SumAll(ApplyMask(AddScalar(x, 0.1f), mask));
+       }},
+  };
+}
+
+TEST(GraphDifferentialTest, FusedChainsPassNumericGradCheck) {
+  for (const FusedCase& c : FusedChainCases()) {
+    SCOPED_TRACE(c.name);
+    util::Rng rng(HashOf(c.name));
+    const Tensor input = RandomTensor(rng, 3, 4);
+    // First confirm the chain actually fuses under the graph engine...
+    uint64_t fused = 0;
+    {
+      graph::GraphSession session(/*enabled=*/true);
+      Var x = Var::Leaf(input, /*requires_grad=*/true);
+      Var loss = c.build(x);
+      autodiff::Backward(loss);
+      fused = session.stats().ops_fused;
+    }
+    EXPECT_GE(fused, 1u) << c.name << " did not fuse";
+    // ...then check analytic-vs-numeric gradients with fusion active.
+    graph::GraphSession session(/*enabled=*/true);
+    const tensor::GradCheckResult graph_check =
+        tensor::CheckGradient(c.build, input);
+    EXPECT_TRUE(graph_check.ok)
+        << c.name << " grad check under fusion: max_abs="
+        << graph_check.max_abs_error << " max_rel="
+        << graph_check.max_rel_error;
+  }
+}
+
+TEST(GraphDifferentialTest, FusedChainsMatchTheTapeBitwise) {
+  for (const FusedCase& c : FusedChainCases()) {
+    SCOPED_TRACE(c.name);
+    util::Rng rng(HashOf(c.name) + 1);
+    const Tensor input = RandomTensor(rng, 3, 4);
+    Tensor tape_value, tape_grad;
+    {
+      Var x = Var::Leaf(input, /*requires_grad=*/true);
+      Var loss = c.build(x);
+      tape_value = loss.value();
+      autodiff::Backward(loss);
+      tape_grad = x.grad();
+    }
+    graph::GraphSession session(/*enabled=*/true);
+    Var x = Var::Leaf(input, /*requires_grad=*/true);
+    Var loss = c.build(x);
+    ExpectBitwise(tape_value, loss.value(), c.name + " loss");
+    autodiff::Backward(loss);
+    ExpectBitwise(tape_grad, x.grad(), c.name + " grad");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphDifferentialTest: end-to-end training.
+// ---------------------------------------------------------------------------
+
+struct TrainRun {
+  double final_loss = 0.0;
+  Tensor beta;
+  Tensor theta;
+  std::vector<double> coherence;
+};
+
+struct TrainFixture {
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+  eval::NpmiMatrix test_npmi;
+};
+
+const TrainFixture& SharedFixture() {
+  static const TrainFixture* fixture = [] {
+    text::SyntheticDataset dataset =
+        text::GenerateSynthetic(text::Preset20NG(0.1));
+    const text::BowCorpus reference = text::GenerateReferenceCorpus(
+        text::Preset20NG(0.1), dataset.train.vocab());
+    embed::WordEmbeddings embeddings =
+        embed::WordEmbeddings::Train(reference, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 16;
+          return c;
+        }());
+    eval::NpmiMatrix test_npmi = eval::NpmiMatrix::Compute(dataset.test);
+    return new TrainFixture{std::move(dataset), std::move(embeddings),
+                            std::move(test_npmi)};
+  }();
+  return *fixture;
+}
+
+// Trains a fresh ContraTopic-ETM under the given engine/backend/thread
+// configuration; workers > 0 routes through the data-parallel trainer.
+TrainRun TrainLeg(ExecEngine engine, tensor::KernelBackendKind backend,
+                  int threads, int workers) {
+  const TrainFixture& f = SharedFixture();
+  tensor::ScopedExecEngine scoped_engine(engine);
+  tensor::ScopedKernelBackend scoped_backend(backend);
+  util::ThreadPool::SetGlobalNumThreads(threads);
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 1;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::MakeContraTopicEtm(tc, f.embeddings);
+
+  TrainRun run;
+  if (workers > 0) {
+    dist::Options options;
+    options.workers = workers;
+    options.num_shards = 4;
+    dist::DataParallelTrainer trainer(model.get(), options);
+    util::StatusOr<topicmodel::TrainStats> stats =
+        trainer.Train(f.dataset.train);
+    CHECK(stats.ok()) << stats.status().ToString();
+    run.final_loss = stats->final_loss;
+  } else {
+    const topicmodel::TrainStats stats = model->Train(f.dataset.train);
+    CHECK(stats.status.ok()) << stats.status.ToString();
+    run.final_loss = stats.final_loss;
+  }
+  run.beta = model->Beta();
+  run.theta = model->InferTheta(f.dataset.test);
+  run.coherence = eval::PerTopicCoherence(run.beta, f.test_npmi);
+  util::ThreadPool::SetGlobalNumThreads(0);  // restore default
+  return run;
+}
+
+void ExpectRunsBitwiseEqual(const TrainRun& want, const TrainRun& got) {
+  EXPECT_EQ(want.final_loss, got.final_loss);
+  ExpectBitwise(want.beta, got.beta, "beta");
+  ExpectBitwise(want.theta, got.theta, "theta");
+  ASSERT_EQ(want.coherence.size(), got.coherence.size());
+  for (size_t k = 0; k < want.coherence.size(); ++k) {
+    EXPECT_EQ(want.coherence[k], got.coherence[k]) << "topic " << k;
+  }
+}
+
+TEST(GraphDifferentialTest, TrainingMatchesTapeAcrossBackendsAndThreads) {
+  const TrainRun tape = TrainLeg(ExecEngine::kTape,
+                                 tensor::KernelBackendKind::kScalar,
+                                 /*threads=*/1, /*workers=*/0);
+  ASSERT_GT(tape.beta.numel(), 0);
+  ASSERT_TRUE(std::isfinite(tape.final_loss));
+  struct Leg {
+    tensor::KernelBackendKind backend;
+    int threads;
+  };
+  const std::vector<Leg> legs = {
+      {tensor::KernelBackendKind::kScalar, 1},
+      {tensor::KernelBackendKind::kScalar, 4},
+      {tensor::BestSupportedBackend(), 4},
+  };
+  for (const Leg& leg : legs) {
+    SCOPED_TRACE(std::string(tensor::KernelBackendName(leg.backend)) +
+                 " threads=" + std::to_string(leg.threads));
+    const TrainRun graph =
+        TrainLeg(ExecEngine::kGraph, leg.backend, leg.threads, /*workers=*/0);
+    ExpectRunsBitwiseEqual(tape, graph);
+  }
+}
+
+TEST(GraphDifferentialTest, DistributedTrainingMatchesTapeAcrossEngines) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  const TrainRun tape =
+      TrainLeg(ExecEngine::kTape, tensor::KernelBackendKind::kScalar,
+               /*threads=*/1, /*workers=*/1);
+  ASSERT_GT(tape.beta.numel(), 0);
+  for (int workers : {1, 2}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const TrainRun graph =
+        TrainLeg(ExecEngine::kGraph, tensor::KernelBackendKind::kScalar,
+                 /*threads=*/1, workers);
+    ExpectRunsBitwiseEqual(tape, graph);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace contratopic
