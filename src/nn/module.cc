@@ -1,6 +1,7 @@
 #include "nn/module.h"
 
 #include <memory>
+#include <mutex>
 
 #include "util/string_util.h"
 
@@ -16,20 +17,82 @@ using autodiff::MatMul;
 using autodiff::Rsqrt;
 using autodiff::Square;
 
+// Packed W^T (out x in rows, the layout the quantized GEMMs read) in each
+// reduced precision, keyed on the weight node's version so any
+// mutable_value() write (optimizer step, checkpoint restore) invalidates
+// it. Guarded: eval-mode forwards run on serving pool workers.
+struct LinearQuantCache {
+  std::mutex mu;
+  uint64_t bf16_version = ~0ull;
+  tensor::Bf16Matrix bf16;
+  uint64_t int8_version = ~0ull;
+  tensor::Int8Matrix int8;
+};
+
+namespace {
+
+// W is in x out; the serving GEMMs want W^T rows (one output feature's
+// weights, contiguous).
+Tensor TransposeWeight(const Tensor& w) {
+  Tensor wt(w.cols(), w.rows());
+  for (int64_t i = 0; i < w.rows(); ++i) {
+    for (int64_t o = 0; o < w.cols(); ++o) {
+      wt.data()[o * w.rows() + i] = w.data()[i * w.cols() + o];
+    }
+  }
+  return wt;
+}
+
+}  // namespace
+
 Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
                std::string name, bool with_bias)
     : name_(std::move(name)),
       weight_(Var::Leaf(Tensor::GlorotUniform(in_features, out_features, rng),
-                        /*requires_grad=*/true)) {
+                        /*requires_grad=*/true)),
+      quant_cache_(std::make_shared<LinearQuantCache>()) {
   if (with_bias) {
     bias_ = Var::Leaf(Tensor::Zeros(1, out_features), /*requires_grad=*/true);
   }
 }
 
 Var Linear::Forward(const Var& x) {
+  if (!training_) {
+    const tensor::ServePrecision precision = tensor::ActiveServePrecision();
+    if (precision != tensor::ServePrecision::kFp32 &&
+        tensor::QuantizableShape(weight_.rows(), weight_.cols())) {
+      return QuantizedForward(x, precision);
+    }
+  }
   Var out = MatMul(x, weight_);
   if (bias_.defined()) out = BroadcastRowAdd(out, bias_);
   return out;
+}
+
+Var Linear::QuantizedForward(const Var& x,
+                             tensor::ServePrecision precision) {
+  // Forcing the values keeps both execution engines on the same path: the
+  // quantized GEMM runs outside the autodiff graph and the result re-
+  // enters it as a constant (no eval-mode caller differentiates through
+  // a frozen layer).
+  const Tensor& xv = x.value();
+  const float* bias =
+      bias_.defined() ? bias_.value().data() : nullptr;
+  LinearQuantCache& cache = *quant_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  const uint64_t version = weight_.node()->version;
+  if (precision == tensor::ServePrecision::kBf16) {
+    if (cache.bf16_version != version) {
+      cache.bf16 = tensor::Bf16FromTensor(TransposeWeight(weight_.value()));
+      cache.bf16_version = version;
+    }
+    return Var::Constant(tensor::MatMulBf16T(xv, cache.bf16, bias));
+  }
+  if (cache.int8_version != version) {
+    cache.int8 = tensor::Int8FromTensor(TransposeWeight(weight_.value()));
+    cache.int8_version = version;
+  }
+  return Var::Constant(tensor::MatMulInt8T(xv, cache.int8, bias));
 }
 
 std::vector<Parameter> Linear::Parameters() {

@@ -6,10 +6,12 @@
 // graph that references them, so gradients land on the same nodes the
 // optimizer sees.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "tensor/autodiff.h"
+#include "tensor/quant.h"
 #include "util/rng.h"
 
 namespace contratopic {
@@ -57,7 +59,21 @@ class Module {
   bool training_ = true;
 };
 
+// Lazily built packed reduced-precision weights for a Linear layer's
+// serving path (module.cc owns the definition). Shared across copies of
+// the layer -- copies share the same weight node, so the cache, keyed on
+// the node's version, stays valid for all of them.
+struct LinearQuantCache;
+
 // Fully connected layer: y = x W + b.
+//
+// In evaluation mode, when the active serving precision (tensor/quant.h)
+// is bf16 or int8 and the weight passes the quantization policy, Forward
+// computes y against a cached packed W^T in that precision and returns a
+// constant: serving trades bits for throughput under the documented
+// tolerance contract (DESIGN.md §15). Training-mode forwards -- and any
+// weight too small to be worth quantizing -- always take the fp32
+// bitwise path.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, util::Rng& rng,
@@ -71,9 +87,12 @@ class Linear : public Module {
   const Var& bias() const { return bias_; }
 
  private:
+  Var QuantizedForward(const Var& x, tensor::ServePrecision precision);
+
   std::string name_;
   Var weight_;  // in x out
   Var bias_;    // 1 x out (undefined if with_bias == false)
+  std::shared_ptr<LinearQuantCache> quant_cache_;
 };
 
 // 1-D batch normalization over feature columns, with running statistics

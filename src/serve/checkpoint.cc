@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +80,41 @@ void WriteTensor(util::BinaryWriter* writer, const Tensor& t) {
   writer->WriteFloatVector(values);
 }
 
+// v3 tensor-record dtype tags.
+constexpr uint32_t kDtypeFp32 = 0;
+constexpr uint32_t kDtypeBf16 = 1;
+constexpr uint32_t kDtypeInt8 = 2;
+
+// v3 tensor record: dtype tag, then a dtype-specific body. Tensors below
+// the quantization floor are written fp32 even in a quantized file --
+// biases, batch-norm vectors, and tiny heads cost nothing and quantizing
+// running statistics would wreck the theta tolerance.
+void WriteTensorV3(util::BinaryWriter* writer, const Tensor& t,
+                   tensor::ServePrecision storage) {
+  if (storage == tensor::ServePrecision::kFp32 ||
+      !tensor::QuantizableShape(t.rows(), t.cols())) {
+    writer->WriteU32(kDtypeFp32);
+    WriteTensor(writer, t);
+    return;
+  }
+  if (storage == tensor::ServePrecision::kBf16) {
+    const tensor::Bf16Matrix m = tensor::Bf16FromTensor(t);
+    writer->WriteU32(kDtypeBf16);
+    writer->WriteU32(static_cast<uint32_t>(m.rows));
+    writer->WriteU32(static_cast<uint32_t>(m.cols));
+    writer->WriteU64(m.data.size() * sizeof(uint16_t));
+    writer->WriteBytes(m.data.data(), m.data.size() * sizeof(uint16_t));
+    return;
+  }
+  const tensor::Int8Matrix m = tensor::Int8FromTensor(t);
+  writer->WriteU32(kDtypeInt8);
+  writer->WriteU32(static_cast<uint32_t>(m.rows));
+  writer->WriteU32(static_cast<uint32_t>(m.cols));
+  writer->WriteFloatVector(m.scales);
+  writer->WriteU64(m.data.size());
+  writer->WriteBytes(m.data.data(), m.data.size());
+}
+
 // Returns a corrupt-payload error; the payload checksum already matched,
 // so a structural violation means the writer (not the wire) was broken.
 Status Corrupt(const std::string& what) {
@@ -100,6 +136,87 @@ StatusOr<Tensor> ReadTensor(util::BinaryReader* reader,
   Tensor t(rows, cols);
   std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
   return t;
+}
+
+// Reads a v3 tensor record, dequantizing reduced forms to fp32.
+// `storage` reports the most reduced dtype seen so the caller can record
+// the file's storage precision. Every structural violation -- bad tag,
+// shape/scale-table mismatch, short data -- is kDataLoss via Corrupt():
+// a corrupt scale table must never silently become garbage weights.
+StatusOr<Tensor> ReadTensorV3(util::BinaryReader* reader,
+                              const std::string& what,
+                              tensor::ServePrecision* storage) {
+  const uint32_t dtype = reader->ReadU32();
+  if (!reader->ok()) return Corrupt(what + ": short dtype tag");
+  if (dtype == kDtypeFp32) return ReadTensor(reader, what);
+  if (dtype != kDtypeBf16 && dtype != kDtypeInt8) {
+    return Corrupt(what + ": unknown tensor dtype tag " +
+                   std::to_string(dtype));
+  }
+  const int64_t rows = static_cast<int64_t>(reader->ReadU32());
+  const int64_t cols = static_cast<int64_t>(reader->ReadU32());
+  if (!reader->ok()) return Corrupt(what + ": short tensor header");
+  if (rows <= 0 || cols <= 0 || rows > (1 << 24) || cols > (1 << 24)) {
+    return Corrupt(what + ": implausible tensor shape " +
+                   std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  const size_t numel = static_cast<size_t>(rows * cols);
+  if (dtype == kDtypeBf16) {
+    const uint64_t bytes = reader->ReadU64();
+    if (!reader->ok()) return Corrupt(what + ": short bf16 data");
+    if (bytes != numel * sizeof(uint16_t)) {
+      return Corrupt(what + ": bf16 data holds " + std::to_string(bytes) +
+                     " bytes for a " + std::to_string(rows) + "x" +
+                     std::to_string(cols) + " tensor");
+    }
+    if (bytes > reader->remaining()) {
+      return Corrupt(what + ": short bf16 data");
+    }
+    tensor::Bf16Matrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.data.resize(numel);
+    if (!reader->ReadBytes(m.data.data(), bytes)) {
+      return Corrupt(what + ": short bf16 data");
+    }
+    if (*storage == tensor::ServePrecision::kFp32) {
+      *storage = tensor::ServePrecision::kBf16;
+    }
+    return tensor::TensorFromBf16(m);
+  }
+  std::vector<float> scales = reader->ReadFloatVector();
+  if (!reader->ok()) return Corrupt(what + ": short int8 scale table");
+  if (scales.size() != static_cast<size_t>(rows)) {
+    return Corrupt(what + ": int8 scale table has " +
+                   std::to_string(scales.size()) + " entries for " +
+                   std::to_string(rows) + " rows");
+  }
+  for (float s : scales) {
+    if (!(s >= 0.0f) || !std::isfinite(s)) {
+      return Corrupt(what + ": int8 scale table entry is not a finite "
+                            "non-negative float");
+    }
+  }
+  const uint64_t bytes = reader->ReadU64();
+  if (!reader->ok()) return Corrupt(what + ": short int8 data");
+  if (bytes != numel) {
+    return Corrupt(what + ": int8 data holds " + std::to_string(bytes) +
+                   " bytes for a " + std::to_string(rows) + "x" +
+                   std::to_string(cols) + " tensor");
+  }
+  if (bytes > reader->remaining()) {
+    return Corrupt(what + ": short int8 data");
+  }
+  tensor::Int8Matrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.scales = std::move(scales);
+  m.data.resize(numel);
+  if (!reader->ReadBytes(m.data.data(), bytes)) {
+    return Corrupt(what + ": short int8 data");
+  }
+  *storage = tensor::ServePrecision::kInt8;
+  return tensor::TensorFromInt8(m);
 }
 
 void WriteTrainingState(util::BinaryWriter* writer,
@@ -212,7 +329,8 @@ StatusOr<topicmodel::TrainingState> ReadTrainingState(
 
 // Parses the payload of a checksum-validated checkpoint. `version` is the
 // (already range-checked) header version: v1 payloads end after the
-// top-word lists, v2 appends the optional training state.
+// top-word lists, v2 appends the optional training state, v3 prefixes
+// every tensor record with a dtype tag (quantized serving format).
 StatusOr<Checkpoint> ParsePayload(const std::string& payload,
                                   uint32_t version) {
   util::BinaryReader reader(payload.data(), payload.size());
@@ -264,12 +382,17 @@ StatusOr<Checkpoint> ParsePayload(const std::string& payload,
     if (!reader.ok() || name.empty()) {
       return Corrupt("state tensor " + std::to_string(i) + ": bad name");
     }
-    StatusOr<Tensor> t = ReadTensor(&reader, "state tensor '" + name + "'");
+    const std::string what = "state tensor '" + name + "'";
+    StatusOr<Tensor> t =
+        version >= 3 ? ReadTensorV3(&reader, what, &ckpt.storage_precision)
+                     : ReadTensor(&reader, what);
     if (!t.ok()) return t.status();
     ckpt.tensors.emplace_back(std::move(name), std::move(t).value());
   }
 
-  StatusOr<Tensor> beta = ReadTensor(&reader, "beta");
+  StatusOr<Tensor> beta =
+      version >= 3 ? ReadTensorV3(&reader, "beta", &ckpt.storage_precision)
+                   : ReadTensor(&reader, "beta");
   if (!beta.ok()) return beta.status();
   ckpt.beta = std::move(beta).value();
   if (ckpt.beta.rows() != ckpt.descriptor.config.num_topics ||
@@ -298,6 +421,11 @@ StatusOr<Checkpoint> ParsePayload(const std::string& payload,
     const uint32_t has_state = reader.ReadU32();
     if (!reader.ok()) return Corrupt("short training-state flag");
     if (has_state > 1) return Corrupt("bad training-state flag");
+    if (has_state == 1 && version >= 3) {
+      // The writer refuses this combination; a v3 file claiming training
+      // state was produced by a broken (or tampered-with) writer.
+      return Corrupt("quantized checkpoint carries training state");
+    }
     if (has_state == 1) {
       StatusOr<topicmodel::TrainingState> state = ReadTrainingState(&reader);
       if (!state.ok()) return state.status();
@@ -450,6 +578,13 @@ StatusOr<Checkpoint> BuildCheckpoint(topicmodel::TopicModel& model,
 
 Status WriteCheckpoint(const Checkpoint& checkpoint,
                        const std::string& path) {
+  const bool quantized =
+      checkpoint.storage_precision != tensor::ServePrecision::kFp32;
+  if (quantized && checkpoint.has_training_state) {
+    return Status::InvalidArgument(
+        "quantized checkpoints are serving-only: training state requires "
+        "fp32 storage so resumed training stays bitwise");
+  }
   std::string payload;
   util::BinaryWriter body(&payload);
   body.WriteString(checkpoint.descriptor.type);
@@ -467,9 +602,17 @@ Status WriteCheckpoint(const Checkpoint& checkpoint,
   body.WriteU32(static_cast<uint32_t>(checkpoint.tensors.size()));
   for (const auto& [name, t] : checkpoint.tensors) {
     body.WriteString(name);
-    WriteTensor(&body, t);
+    if (quantized) {
+      WriteTensorV3(&body, t, checkpoint.storage_precision);
+    } else {
+      WriteTensor(&body, t);
+    }
   }
-  WriteTensor(&body, checkpoint.beta);
+  if (quantized) {
+    WriteTensorV3(&body, checkpoint.beta, checkpoint.storage_precision);
+  } else {
+    WriteTensor(&body, checkpoint.beta);
+  }
   body.WriteU32(static_cast<uint32_t>(checkpoint.top_words.size()));
   for (const auto& words : checkpoint.top_words) body.WriteIntVector(words);
   body.WriteU32(checkpoint.has_training_state ? 1 : 0);
@@ -480,7 +623,8 @@ Status WriteCheckpoint(const Checkpoint& checkpoint,
   std::string file_bytes;
   util::BinaryWriter writer(&file_bytes);
   writer.WriteU32(kCheckpointMagic);
-  writer.WriteU32(kCheckpointVersion);
+  // fp32 files keep the pre-v3 stamp so their bytes are unchanged.
+  writer.WriteU32(quantized ? kCheckpointVersion : kFp32CheckpointVersion);
   writer.WriteU64(Fnv1a64(payload.data(), payload.size()));
   writer.WriteU64(payload.size());
   writer.WriteBytes(payload.data(), payload.size());
@@ -492,6 +636,16 @@ Status SaveCheckpoint(topicmodel::TopicModel& model,
                       const std::string& path) {
   StatusOr<Checkpoint> ckpt = BuildCheckpoint(model, vocab);
   if (!ckpt.ok()) return ckpt.status();
+  return WriteCheckpoint(*ckpt, path);
+}
+
+Status SaveQuantizedCheckpoint(topicmodel::TopicModel& model,
+                               const text::Vocabulary& vocab,
+                               const std::string& path,
+                               tensor::ServePrecision storage) {
+  StatusOr<Checkpoint> ckpt = BuildCheckpoint(model, vocab);
+  if (!ckpt.ok()) return ckpt.status();
+  ckpt->storage_precision = storage;
   return WriteCheckpoint(*ckpt, path);
 }
 

@@ -18,8 +18,20 @@
 //            stream, batch-iterator position, epoch accumulators) that
 //            makes the checkpoint resumable mid-training (DESIGN.md §11)
 //
-// The current writer emits v2; the reader accepts v1 files (they simply
-// carry no training state). The checksum covers the exact payload bytes,
+// v3 (DESIGN.md §15) is the quantized serving format: every tensor
+// record (state tensors and beta) is prefixed with a dtype tag
+// (fp32 / bf16 / int8); int8 records carry a per-row scale table, and
+// both reduced forms load 2-4x smaller than fp32. The per-topic
+// top-word id lists stay exact in every version, so a server restored
+// from a quantized checkpoint answers TopicTopWords with the identical
+// ranked words the fp32 model computed. Quantized checkpoints are
+// serving-only: combining them with training state is refused, because
+// resumed training must stay fp32-bitwise.
+//
+// The writer emits v2 for fp32 checkpoints -- byte-for-byte the same
+// file as before v3 existed -- and v3 only when
+// Checkpoint::storage_precision requests a reduced format. The reader
+// accepts v1 through v3. The checksum covers the exact payload bytes,
 // so truncation and single-byte corruption are both detected before any
 // field is trusted. Files are written atomically -- serialized to
 // `path.tmp`, fsync'd, then renamed -- so a crash mid-write can never
@@ -41,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "text/vocabulary.h"
 #include "topicmodel/neural_base.h"
@@ -52,7 +65,11 @@ namespace serve {
 
 // "CTCK" little-endian.
 inline constexpr uint32_t kCheckpointMagic = 0x4B435443u;
-inline constexpr uint32_t kCheckpointVersion = 2;
+// Newest format version this build reads. The writer stamps fp32 files
+// with kFp32CheckpointVersion (so fp32 output is bitwise-unchanged) and
+// quantized files with kCheckpointVersion.
+inline constexpr uint32_t kCheckpointVersion = 3;
+inline constexpr uint32_t kFp32CheckpointVersion = 2;
 // Oldest format version the reader still understands.
 inline constexpr uint32_t kMinCheckpointVersion = 1;
 // Top words stored per topic (enough for diversity@25, the largest
@@ -76,6 +93,11 @@ struct Checkpoint {
   // NeuralTopicModel::ResumeTraining can continue it bitwise.
   bool has_training_state = false;
   topicmodel::TrainingState training_state;
+  // v3: the on-disk precision of the tensor records. kFp32 round-trips
+  // bitwise; bf16/int8 checkpoints dequantize on load (tensors above the
+  // tensor::QuantizableShape floor lose their low bits, small tensors
+  // stay exact) and are refused when has_training_state is set.
+  tensor::ServePrecision storage_precision = tensor::ServePrecision::kFp32;
 };
 
 // Snapshots `model` (which must be trained and checkpointable, i.e.
@@ -91,6 +113,15 @@ util::Status WriteCheckpoint(const Checkpoint& checkpoint,
 util::Status SaveCheckpoint(topicmodel::TopicModel& model,
                             const text::Vocabulary& vocab,
                             const std::string& path);
+
+// BuildCheckpoint + WriteCheckpoint with the tensor records stored at
+// `storage` precision (kFp32 is exactly SaveCheckpoint). The file keeps
+// exact top-word id lists, so TopicTopWords from the restored server is
+// invariant across storage precisions.
+util::Status SaveQuantizedCheckpoint(topicmodel::TopicModel& model,
+                                     const text::Vocabulary& vocab,
+                                     const std::string& path,
+                                     tensor::ServePrecision storage);
 
 // Reads and fully validates a checkpoint file (header, checksum, and
 // structural sanity of every field).

@@ -152,7 +152,15 @@ MicroBatcher::BatchResult InferenceEngine::RunBatch(
     const float inv = static_cast<float>(1.0 / sum);
     for (int64_t c = 0; c < v; ++c) row[c] *= inv;
   }
-  Tensor theta = model_->InferThetaBatch(batch);
+  Tensor theta;
+  if (options_.precision.has_value()) {
+    // Pin the batch to the engine's precision; the scope restores the
+    // process-wide setting for whoever shares this pool worker.
+    tensor::ScopedServePrecision scoped(*options_.precision);
+    theta = model_->InferThetaBatch(batch);
+  } else {
+    theta = model_->InferThetaBatch(batch);
+  }
   CHECK_EQ(theta.rows(), static_cast<int64_t>(requests.size()));
   CHECK_EQ(theta.cols(), static_cast<int64_t>(num_topics()));
   std::vector<std::vector<float>> rows;

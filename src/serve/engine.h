@@ -39,6 +39,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -70,6 +71,12 @@ class InferenceEngine {
     RetryPolicy retry;
     // Circuit breaker tripped by batches that fail after retries.
     CircuitBreaker::Options breaker;
+    // Serving precision for this engine's model batches (DESIGN.md §15).
+    // Unset inherits the process-wide setting (CT_SERVE_PRECISION,
+    // default fp32); set, it pins every InferTheta batch to that
+    // precision regardless of the global. TopicTopWords is unaffected --
+    // it answers from the checkpoint's exact top-word lists either way.
+    std::optional<tensor::ServePrecision> precision;
   };
 
   // Coarse health, derived from the circuit breaker: kDegraded means

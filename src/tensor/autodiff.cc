@@ -411,20 +411,26 @@ namespace {
 
 // Helper for unary ops whose gradient only needs input and/or output values
 // (which of the two is declared per-op in `traits`, so the graph engine's
-// fusion pass knows which buffers must stay live). The backward callback
-// fills dx over the element sub-range [lo, hi); it is invoked from pool
-// workers on disjoint ranges, so it must write only dx[lo, hi) and be pure
-// otherwise.
+// fusion pass knows which buffers must stay live). The forward callback
+// transforms the span in place -- one indirect call per tensor, so the
+// per-element math inlines into the caller's loop (a per-element
+// std::function made SELU as expensive as the encoder's small GEMMs). The
+// backward callback fills dx over the element sub-range [lo, hi); it is
+// invoked from pool workers on disjoint ranges, so it must write only
+// dx[lo, hi) and be pure otherwise.
 Var UnaryOp(const Var& a, const OpTraits& traits, uint64_t attr_key,
-            std::function<float(float)> fwd,
+            std::function<void(float* d, int64_t count)> fwd,
             std::function<void(const float* x, const float* y, const float* g,
                                float* dx, int64_t lo, int64_t hi)>
                 bwd) {
   return MakeNode(
       a.rows(), a.cols(), {a}, traits, attr_key,
       [fwd](Node* n, Tensor* out) {
+        // Copy-then-transform-in-place: after the copy the parent's value
+        // is never read again, which is what lets the graph engine's
+        // fusion pass steal the parent's buffer for `out`.
         CopyInto(n->parents[0]->value, out);
-        out->Apply(fwd);
+        fwd(out->data(), out->numel());
       },
       [bwd](Node* n) {
         Tensor dx(n->rows, n->cols);
@@ -456,7 +462,9 @@ constexpr OpTraits kSigmoidTraits = {"sigmoid", true, 0u, true};
 Var Exp(const Var& a) {
   return UnaryOp(
       a, kExpTraits, AttrKey(kExpTraits),
-      [](float v) { return std::exp(v); },
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = std::exp(d[i]);
+      },
       [](const float*, const float* y, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) dx[i] = g[i] * y[i];
@@ -466,7 +474,9 @@ Var Exp(const Var& a) {
 Var Log(const Var& a, float eps) {
   return UnaryOp(
       a, kLogTraits, AttrKey(kLogTraits, {FloatBits(eps)}),
-      [eps](float v) { return std::log(v + eps); },
+      [eps](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = std::log(d[i] + eps);
+      },
       [eps](const float* x, const float*, const float* g, float* dx,
             int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) dx[i] = g[i] / (x[i] + eps);
@@ -476,7 +486,9 @@ Var Log(const Var& a, float eps) {
 Var Square(const Var& a) {
   return UnaryOp(
       a, kSquareTraits, AttrKey(kSquareTraits),
-      [](float v) { return v * v; },
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = d[i] * d[i];
+      },
       [](const float* x, const float*, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) dx[i] = 2.0f * g[i] * x[i];
@@ -486,7 +498,9 @@ Var Square(const Var& a) {
 Var Sqrt(const Var& a, float eps) {
   return UnaryOp(
       a, kSqrtTraits, AttrKey(kSqrtTraits, {FloatBits(eps)}),
-      [eps](float v) { return std::sqrt(v + eps); },
+      [eps](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = std::sqrt(d[i] + eps);
+      },
       [](const float*, const float* y, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) dx[i] = 0.5f * g[i] / y[i];
@@ -496,7 +510,11 @@ Var Sqrt(const Var& a, float eps) {
 Var Rsqrt(const Var& a, float eps) {
   return UnaryOp(
       a, kRsqrtTraits, AttrKey(kRsqrtTraits, {FloatBits(eps)}),
-      [eps](float v) { return 1.0f / std::sqrt(v + eps); },
+      [eps](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) {
+          d[i] = 1.0f / std::sqrt(d[i] + eps);
+        }
+      },
       [](const float*, const float* y, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -509,7 +527,9 @@ Var Rsqrt(const Var& a, float eps) {
 Var Relu(const Var& a) {
   return UnaryOp(
       a, kReluTraits, AttrKey(kReluTraits),
-      [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+      },
       [](const float* x, const float*, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -526,9 +546,12 @@ constexpr float kSeluAlpha = 1.6732632423543772f;
 Var Selu(const Var& a) {
   return UnaryOp(
       a, kSeluTraits, AttrKey(kSeluTraits),
-      [](float v) {
-        return v > 0.0f ? kSeluScale * v
-                        : kSeluScale * kSeluAlpha * (std::exp(v) - 1.0f);
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) {
+          const float v = d[i];
+          d[i] = v > 0.0f ? kSeluScale * v
+                          : kSeluScale * kSeluAlpha * (std::exp(v) - 1.0f);
+        }
       },
       [](const float* x, const float*, const float* g, float* dx, int64_t lo,
          int64_t hi) {
@@ -545,9 +568,12 @@ Var Selu(const Var& a) {
 Var Softplus(const Var& a) {
   return UnaryOp(
       a, kSoftplusTraits, AttrKey(kSoftplusTraits),
-      [](float v) {
-        // Numerically stable log(1 + e^x).
-        return v > 20.0f ? v : std::log1p(std::exp(v));
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) {
+          // Numerically stable log(1 + e^x).
+          const float v = d[i];
+          d[i] = v > 20.0f ? v : std::log1p(std::exp(v));
+        }
       },
       [](const float* x, const float*, const float* g, float* dx, int64_t lo,
          int64_t hi) {
@@ -561,7 +587,9 @@ Var Softplus(const Var& a) {
 Var Tanh(const Var& a) {
   return UnaryOp(
       a, kTanhTraits, AttrKey(kTanhTraits),
-      [](float v) { return std::tanh(v); },
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) d[i] = std::tanh(d[i]);
+      },
       [](const float*, const float* y, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
@@ -574,7 +602,11 @@ Var Tanh(const Var& a) {
 Var Sigmoid(const Var& a) {
   return UnaryOp(
       a, kSigmoidTraits, AttrKey(kSigmoidTraits),
-      [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float* d, int64_t count) {
+        for (int64_t i = 0; i < count; ++i) {
+          d[i] = 1.0f / (1.0f + std::exp(-d[i]));
+        }
+      },
       [](const float*, const float* y, const float* g, float* dx, int64_t lo,
          int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {

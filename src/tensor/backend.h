@@ -36,6 +36,17 @@
 // Backend selection: CT_KERNEL_BACKEND={auto,scalar,sse2,avx2} in the
 // environment picks the startup backend (auto = best supported);
 // SetKernelBackend / ScopedKernelBackend switch at runtime for A/B tests.
+//
+// Mixed-precision serving kernels (DESIGN.md §15) live in the same tables
+// and obey the same cross-backend bitwise rule, by two different routes:
+//   * int8 kernels are exact integer arithmetic, so any evaluation order
+//     (pmaddwd pair sums, 32-wide SIMD blocks) produces the same integer;
+//   * bf16 kernels accumulate in fp32 through the identical canonical
+//     8-lane tree as `dot`, and the bf16 codec itself is exact integer
+//     bit manipulation (round-to-nearest-even truncation).
+// The precision *contract* relative to fp32 is a documented tolerance, not
+// bit equality -- but for a fixed precision, every backend and thread
+// count still agrees bit for bit.
 
 #include <cstdint>
 #include <string>
@@ -84,6 +95,49 @@ struct KernelTable {
                         int64_t n);
   // One-value canonical exp (reference hook for accuracy tests).
   float (*expf1)(float x);
+
+  // --- Mixed-precision serving kernels (DESIGN.md §15) -------------------
+  // fp32 -> bf16 with round-to-nearest-even (NaN quieted, never turned
+  // into inf); pure integer math, bitwise identical in every backend.
+  void (*bf16_encode)(const float* src, uint16_t* dst, int64_t n);
+  // bf16 -> fp32 (exact: a left shift into the high half).
+  void (*bf16_decode)(const uint16_t* src, float* dst, int64_t n);
+  // Canonical-order dot of an fp32 span against a bf16 span, accumulated
+  // in fp32 through the same 8-lane tree as `dot`.
+  float (*dot_bf16)(const float* a, const uint16_t* b, int64_t n);
+  // Four bf16 dots sharing one pass over `a` (register blocking).
+  void (*dot4_bf16)(const float* a, const uint16_t* b0, const uint16_t* b1,
+                    const uint16_t* b2, const uint16_t* b3, int64_t n,
+                    float out[4]);
+  // max_i |row[i]|; 0 for empty spans. -0.0 maps to +0.0. NaN lanes are
+  // dropped by the max (maxps semantics), deterministically.
+  float (*row_absmax)(const float* row, int64_t n);
+  // Symmetric int8 quantization: round-to-nearest-even of src[i] *
+  // inv_scale, saturated to [-127, 127]. NaN and out-of-range inputs take
+  // the cvtps2dq path (INT32_MIN) and saturate to -127. Returns true when
+  // every emitted code is non-negative (the [0, 127] domain the *_i8u
+  // dots accept) -- free to compute, and it lets the int8 matmul take
+  // the cheaper unsigned path for non-negative activations such as
+  // normalized bag-of-words rows.
+  bool (*quantize_i8)(const float* src, int8_t* dst, int64_t n,
+                      float inv_scale);
+  // Exact integer dot product (the int8 serving matmul core). Operands
+  // are quantized codes in [-127, 127]; -128 is outside the domain
+  // (quantize_i8 never emits it, and the AVX2 abs/sign form relies on
+  // the symmetric range).
+  int64_t (*dot_i8)(const int8_t* a, const int8_t* b, int64_t n);
+  // Four int8 dots against one activation span.
+  void (*dot4_i8)(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                  const int8_t* b2, const int8_t* b3, int64_t n,
+                  int64_t out[4]);
+  // Same dots with `a` restricted to [0, 127] (quantize_i8 returned
+  // true). Exact like dot_i8, so results are bitwise identical to it;
+  // the narrower domain lets AVX2 feed vpmaddubsw directly, with no
+  // abs/sign fixup per weight row.
+  int64_t (*dot_i8u)(const int8_t* a, const int8_t* b, int64_t n);
+  void (*dot4_i8u)(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                   const int8_t* b2, const int8_t* b3, int64_t n,
+                   int64_t out[4]);
 };
 
 // The table kernels.cc dispatches through. Resolved once at startup from

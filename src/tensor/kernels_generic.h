@@ -17,7 +17,10 @@
 // Per-row scalars (the final log in log-softmax/LSE) do use libm, once per
 // row, identically in every backend.
 
+#include <bit>
 #include <cmath>
+#include <concepts>
+#include <cstdint>
 #include <cstring>
 #include <limits>
 
@@ -319,6 +322,180 @@ struct Kern {
     return buf[0];
   }
 
+  // --- Mixed-precision serving kernels (DESIGN.md §15) -------------------
+  // The bf16 codec is exact integer bit manipulation and the int8
+  // quantizer is one float multiply plus an exact rounding conversion, so
+  // both are written as plain shared loops: every backend instantiates
+  // the identical code and there is nothing order-sensitive to vectorize.
+  // Only the dot products (the matmul inner loops) use the lane ops.
+
+  static uint16_t EncodeBf16(float x) {
+    const uint32_t u = std::bit_cast<uint32_t>(x);
+    if ((u & 0x7FFFFFFFu) > 0x7F800000u) {
+      // NaN: rounding could clear the mantissa and fabricate an inf; keep
+      // the top bits and force a quiet-NaN mantissa bit instead.
+      return static_cast<uint16_t>((u >> 16) | 0x0040u);
+    }
+    // Round to nearest, ties to even on the truncated 16 mantissa bits.
+    return static_cast<uint16_t>((u + 0x7FFFu + ((u >> 16) & 1u)) >> 16);
+  }
+  static float DecodeBf16(uint16_t x) {
+    return std::bit_cast<float>(static_cast<uint32_t>(x) << 16);
+  }
+
+  static void Bf16Encode(const float* src, uint16_t* dst, int64_t n) {
+    for (int64_t i = 0; i < n; ++i) dst[i] = EncodeBf16(src[i]);
+  }
+
+  static void Bf16Decode(const uint16_t* src, float* dst, int64_t n) {
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) V::Store(dst + i, V::LoadBf16(src + i));
+    for (; i < n; ++i) dst[i] = DecodeBf16(src[i]);
+  }
+
+  // bf16 loads decode exactly, so padding with encoded zeros (bits 0)
+  // pads the fp32 lanes with +0.0, the dot identity.
+  static F8 LoadBf16Pad(const uint16_t* p, int64_t count) {
+    uint16_t buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::memcpy(buf, p, static_cast<size_t>(count) * sizeof(uint16_t));
+    return V::LoadBf16(buf);
+  }
+
+  static float DotBf16(const float* a, const uint16_t* b, int64_t n) {
+    F8 acc = V::Zero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      acc = V::Add(acc, V::Mul(V::Load(a + i), V::LoadBf16(b + i)));
+    }
+    if (i < n) {
+      acc = V::Add(acc, V::Mul(LoadPad(a + i, n - i, 0.0f),
+                               LoadBf16Pad(b + i, n - i)));
+    }
+    return V::ReduceAdd(acc);
+  }
+
+  static void Dot4Bf16(const float* a, const uint16_t* b0,
+                       const uint16_t* b1, const uint16_t* b2,
+                       const uint16_t* b3, int64_t n, float out[4]) {
+    F8 acc0 = V::Zero(), acc1 = V::Zero(), acc2 = V::Zero(),
+       acc3 = V::Zero();
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      const F8 av = V::Load(a + i);
+      acc0 = V::Add(acc0, V::Mul(av, V::LoadBf16(b0 + i)));
+      acc1 = V::Add(acc1, V::Mul(av, V::LoadBf16(b1 + i)));
+      acc2 = V::Add(acc2, V::Mul(av, V::LoadBf16(b2 + i)));
+      acc3 = V::Add(acc3, V::Mul(av, V::LoadBf16(b3 + i)));
+    }
+    if (i < n) {
+      const F8 av = LoadPad(a + i, n - i, 0.0f);
+      acc0 = V::Add(acc0, V::Mul(av, LoadBf16Pad(b0 + i, n - i)));
+      acc1 = V::Add(acc1, V::Mul(av, LoadBf16Pad(b1 + i, n - i)));
+      acc2 = V::Add(acc2, V::Mul(av, LoadBf16Pad(b2 + i, n - i)));
+      acc3 = V::Add(acc3, V::Mul(av, LoadBf16Pad(b3 + i, n - i)));
+    }
+    out[0] = V::ReduceAdd(acc0);
+    out[1] = V::ReduceAdd(acc1);
+    out[2] = V::ReduceAdd(acc2);
+    out[3] = V::ReduceAdd(acc3);
+  }
+
+  static float RowAbsMax(const float* row, int64_t n) {
+    if (n <= 0) return 0.0f;
+    F8 acc = V::Zero();  // |x| >= 0, so +0 is the identity.
+    int64_t i = 0;
+    for (; i + 8 <= n; i += 8) acc = V::Max(acc, V::Abs(V::Load(row + i)));
+    if (i < n) acc = V::Max(acc, V::Abs(LoadPad(row + i, n - i, 0.0f)));
+    return V::ReduceMax(acc);
+  }
+
+  static bool QuantizeI8(const float* src, int8_t* dst, int64_t n,
+                         float inv_scale) {
+    if constexpr (requires(const float* s, int8_t* d, int64_t m, float f) {
+                    { V::QuantizeI8(s, d, m, f) } -> std::same_as<bool>;
+                  }) {
+      return V::QuantizeI8(src, dst, n, inv_scale);
+    } else {
+      bool nonneg = true;
+      for (int64_t i = 0; i < n; ++i) {
+        const float v = src[i] * inv_scale;
+        // cvtps2dq semantics: NaN and out-of-range become INT32_MIN, which
+        // the symmetric clamp turns into -127. lrintf in the default
+        // rounding mode is round-to-nearest-even, matching the SIMD
+        // conversion for in-range values.
+        int32_t q;
+        if (v != v || v >= 2147483648.0f || v < -2147483648.0f) {
+          q = INT32_MIN;
+        } else {
+          q = static_cast<int32_t>(std::lrintf(v));
+        }
+        if (q > 127) q = 127;
+        if (q < -127) q = -127;
+        nonneg = nonneg && q >= 0;
+        dst[i] = static_cast<int8_t>(q);
+      }
+      return nonneg;
+    }
+  }
+
+  static int64_t DotI8(const int8_t* a, const int8_t* b, int64_t n) {
+    if constexpr (requires(const int8_t* p, int64_t m) {
+                    { V::DotI8(p, p, m) } -> std::same_as<int64_t>;
+                  }) {
+      return V::DotI8(a, b, n);
+    } else {
+      int64_t acc = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += static_cast<int64_t>(a[i]) * static_cast<int64_t>(b[i]);
+      }
+      return acc;
+    }
+  }
+
+  static void Dot4I8(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                     const int8_t* b2, const int8_t* b3, int64_t n,
+                     int64_t out[4]) {
+    // Backends with a register-blocked form (AVX2 shares one abs pass
+    // over the activation span) provide it; elsewhere four plain dots
+    // are already exact, so bitwise identity costs nothing.
+    if constexpr (requires(const int8_t* p, int64_t m, int64_t o[4]) {
+                    V::Dot4I8(p, p, p, p, p, m, o);
+                  }) {
+      return V::Dot4I8(a, b0, b1, b2, b3, n, out);
+    } else {
+      out[0] = DotI8(a, b0, n);
+      out[1] = DotI8(a, b1, n);
+      out[2] = DotI8(a, b2, n);
+      out[3] = DotI8(a, b3, n);
+    }
+  }
+
+  // Unsigned-activation dots (codes in [0, 127], signaled by QuantizeI8
+  // returning true). Exact integer math either way, so falling back to
+  // the signed forms is bitwise identical; only AVX2 gains a cheaper
+  // instruction sequence from the narrower domain.
+  static int64_t DotI8U(const int8_t* a, const int8_t* b, int64_t n) {
+    if constexpr (requires(const int8_t* p, int64_t m) {
+                    { V::DotI8U(p, p, m) } -> std::same_as<int64_t>;
+                  }) {
+      return V::DotI8U(a, b, n);
+    } else {
+      return DotI8(a, b, n);
+    }
+  }
+
+  static void Dot4I8U(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                      const int8_t* b2, const int8_t* b3, int64_t n,
+                      int64_t out[4]) {
+    if constexpr (requires(const int8_t* p, int64_t m, int64_t o[4]) {
+                    V::Dot4I8U(p, p, p, p, p, m, o);
+                  }) {
+      return V::Dot4I8U(a, b0, b1, b2, b3, n, out);
+    } else {
+      Dot4I8(a, b0, b1, b2, b3, n, out);
+    }
+  }
+
  private:
   template <BinaryOp kOp>
   static F8 ApplyV(F8 a, F8 b) {
@@ -374,6 +551,16 @@ KernelTable MakeTable(KernelBackendKind kind) {
   t.binary = &K::Binary;
   t.binary_scalar = &K::BinaryScalar;
   t.expf1 = &K::Expf1;
+  t.bf16_encode = &K::Bf16Encode;
+  t.bf16_decode = &K::Bf16Decode;
+  t.dot_bf16 = &K::DotBf16;
+  t.dot4_bf16 = &K::Dot4Bf16;
+  t.row_absmax = &K::RowAbsMax;
+  t.quantize_i8 = &K::QuantizeI8;
+  t.dot_i8 = &K::DotI8;
+  t.dot4_i8 = &K::Dot4I8;
+  t.dot_i8u = &K::DotI8U;
+  t.dot4_i8u = &K::Dot4I8U;
   return t;
 }
 

@@ -1,0 +1,249 @@
+#include "tensor/quant.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "tensor/backend.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace contratopic {
+namespace tensor {
+
+namespace {
+
+// Mirrors backend.cc's g_active: resolved lazily from the environment,
+// then a plain atomic so Scoped overrides are cheap.
+std::atomic<int> g_precision{-1};
+
+ServePrecision ResolveStartupPrecision() {
+  const char* env = std::getenv("CT_SERVE_PRECISION");
+  const std::string name = env != nullptr ? env : "fp32";
+  ServePrecision p;
+  CHECK(ParseServePrecisionName(name, &p))
+      << "CT_SERVE_PRECISION=" << name
+      << " is not one of fp32, bf16, int8";
+  return p;
+}
+
+// Below this many float products per output matrix the pool dispatch
+// costs more than the math (matches kernels.cc's MatMul threshold).
+constexpr int64_t kParallelFlops = 1 << 22;
+
+void ParallelOverRows(int64_t rows, int64_t flops,
+                      const std::function<void(int64_t, int64_t)>& body) {
+  if (flops > kParallelFlops) {
+    util::ThreadPool::Global().ParallelFor(0, rows, body, /*grain=*/1);
+  } else {
+    body(0, rows);
+  }
+}
+
+}  // namespace
+
+ServePrecision ActiveServePrecision() {
+  int p = g_precision.load(std::memory_order_acquire);
+  if (p < 0) {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      g_precision.store(static_cast<int>(ResolveStartupPrecision()),
+                        std::memory_order_release);
+    });
+    p = g_precision.load(std::memory_order_acquire);
+  }
+  return static_cast<ServePrecision>(p);
+}
+
+void SetServePrecision(ServePrecision p) {
+  ActiveServePrecision();  // Force env resolution first (mirrors backend.cc).
+  g_precision.store(static_cast<int>(p), std::memory_order_release);
+}
+
+const char* ServePrecisionName(ServePrecision p) {
+  switch (p) {
+    case ServePrecision::kFp32:
+      return "fp32";
+    case ServePrecision::kBf16:
+      return "bf16";
+    case ServePrecision::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+bool ParseServePrecisionName(const std::string& name, ServePrecision* p) {
+  if (name == "fp32") {
+    *p = ServePrecision::kFp32;
+    return true;
+  }
+  if (name == "bf16") {
+    *p = ServePrecision::kBf16;
+    return true;
+  }
+  if (name == "int8") {
+    *p = ServePrecision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+ScopedServePrecision::ScopedServePrecision(ServePrecision p)
+    : prev_(ActiveServePrecision()) {
+  SetServePrecision(p);
+}
+
+ScopedServePrecision::~ScopedServePrecision() { SetServePrecision(prev_); }
+
+Bf16Matrix Bf16FromTensor(const Tensor& t) {
+  Bf16Matrix m;
+  m.rows = t.rows();
+  m.cols = t.cols();
+  m.data.resize(static_cast<size_t>(t.numel()));
+  ActiveKernels().bf16_encode(t.data(), m.data.data(), t.numel());
+  return m;
+}
+
+Tensor TensorFromBf16(const Bf16Matrix& m) {
+  Tensor t(m.rows, m.cols);
+  CHECK_EQ(static_cast<int64_t>(m.data.size()), t.numel());
+  ActiveKernels().bf16_decode(m.data.data(), t.data(), t.numel());
+  return t;
+}
+
+Int8Matrix Int8FromTensor(const Tensor& t) {
+  const KernelTable& kt = ActiveKernels();
+  Int8Matrix m;
+  m.rows = t.rows();
+  m.cols = t.cols();
+  m.data.resize(static_cast<size_t>(t.numel()));
+  m.scales.resize(static_cast<size_t>(t.rows()));
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    const float* row = t.data() + r * t.cols();
+    int8_t* out = m.data.data() + r * t.cols();
+    const float absmax = kt.row_absmax(row, t.cols());
+    if (absmax > 0.0f) {
+      m.scales[static_cast<size_t>(r)] = absmax / 127.0f;
+      kt.quantize_i8(row, out, t.cols(), 127.0f / absmax);
+    } else {
+      // All-zero (or empty) row; also the deterministic fallback when
+      // absmax is NaN (comparison false).
+      m.scales[static_cast<size_t>(r)] = 0.0f;
+      for (int64_t c = 0; c < t.cols(); ++c) out[c] = 0;
+    }
+  }
+  return m;
+}
+
+Tensor TensorFromInt8(const Int8Matrix& m) {
+  Tensor t(m.rows, m.cols);
+  CHECK_EQ(static_cast<int64_t>(m.data.size()), t.numel());
+  CHECK_EQ(static_cast<int64_t>(m.scales.size()), m.rows);
+  for (int64_t r = 0; r < m.rows; ++r) {
+    const int8_t* row = m.data.data() + r * m.cols;
+    const float scale = m.scales[static_cast<size_t>(r)];
+    float* out = t.data() + r * m.cols;
+    for (int64_t c = 0; c < m.cols; ++c) {
+      out[c] = static_cast<float>(row[c]) * scale;
+    }
+  }
+  return t;
+}
+
+Tensor MatMulBf16T(const Tensor& x, const Bf16Matrix& wt,
+                   const float* bias) {
+  CHECK_EQ(x.cols(), wt.cols);
+  const int64_t k = x.cols();
+  const int64_t n = wt.rows;
+  Tensor out(x.rows(), n);
+  const KernelTable& kt = ActiveKernels();
+  auto body = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* x_row = x.data() + r * k;
+      float* out_row = out.data() + r * n;
+      int64_t o = 0;
+      for (; o + 4 <= n; o += 4) {
+        float dots[4];
+        kt.dot4_bf16(x_row, wt.data.data() + o * k,
+                     wt.data.data() + (o + 1) * k,
+                     wt.data.data() + (o + 2) * k,
+                     wt.data.data() + (o + 3) * k, k, dots);
+        for (int j = 0; j < 4; ++j) {
+          out_row[o + j] = bias != nullptr ? dots[j] + bias[o + j] : dots[j];
+        }
+      }
+      for (; o < n; ++o) {
+        const float d = kt.dot_bf16(x_row, wt.data.data() + o * k, k);
+        out_row[o] = bias != nullptr ? d + bias[o] : d;
+      }
+    }
+  };
+  ParallelOverRows(x.rows(), x.rows() * n * k, body);
+  return out;
+}
+
+Tensor MatMulInt8T(const Tensor& x, const Int8Matrix& wt,
+                   const float* bias) {
+  CHECK_EQ(x.cols(), wt.cols);
+  const int64_t k = x.cols();
+  const int64_t n = wt.rows;
+  Tensor out(x.rows(), n);
+  const KernelTable& kt = ActiveKernels();
+  auto body = [&](int64_t row_begin, int64_t row_end) {
+    std::vector<int8_t> xq(static_cast<size_t>(k));
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      const float* x_row = x.data() + r * k;
+      float* out_row = out.data() + r * n;
+      const float absmax = kt.row_absmax(x_row, k);
+      if (!(absmax > 0.0f)) {
+        // Zero activation row: every dot is exactly 0 + bias.
+        for (int64_t o = 0; o < n; ++o) {
+          out_row[o] = bias != nullptr ? bias[o] : 0.0f;
+        }
+        continue;
+      }
+      const float x_scale = absmax / 127.0f;
+      // Non-negative activation rows (normalized bag-of-words, ReLU
+      // outputs) take the unsigned dot, which is bitwise identical but
+      // cheaper on AVX2.
+      const bool nonneg = kt.quantize_i8(x_row, xq.data(), k, 127.0f / absmax);
+      const auto dot4 = nonneg ? kt.dot4_i8u : kt.dot4_i8;
+      const auto dot1 = nonneg ? kt.dot_i8u : kt.dot_i8;
+      int64_t o = 0;
+      for (; o + 4 <= n; o += 4) {
+        int64_t accs[4];
+        dot4(xq.data(), wt.data.data() + o * k,
+             wt.data.data() + (o + 1) * k,
+             wt.data.data() + (o + 2) * k,
+             wt.data.data() + (o + 3) * k, k, accs);
+        for (int j = 0; j < 4; ++j) {
+          const double s = static_cast<double>(x_scale) *
+                           static_cast<double>(
+                               wt.scales[static_cast<size_t>(o + j)]);
+          const float d =
+              static_cast<float>(static_cast<double>(accs[j]) * s);
+          out_row[o + j] = bias != nullptr ? d + bias[o + j] : d;
+        }
+      }
+      for (; o < n; ++o) {
+        const int64_t acc = dot1(xq.data(), wt.data.data() + o * k, k);
+        const double s =
+            static_cast<double>(x_scale) *
+            static_cast<double>(wt.scales[static_cast<size_t>(o)]);
+        const float d = static_cast<float>(static_cast<double>(acc) * s);
+        out_row[o] = bias != nullptr ? d + bias[o] : d;
+      }
+    }
+  };
+  ParallelOverRows(x.rows(), x.rows() * n * k, body);
+  return out;
+}
+
+bool QuantizableShape(int64_t rows, int64_t cols) {
+  return rows >= 2 && cols >= 2 && rows * cols >= 256;
+}
+
+}  // namespace tensor
+}  // namespace contratopic

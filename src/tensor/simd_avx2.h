@@ -11,6 +11,7 @@
 
 #include <immintrin.h>
 
+#include <cmath>
 #include <cstdint>
 
 namespace contratopic {
@@ -52,6 +53,223 @@ struct Avx2Ops {
   static F8 Pow2I(I8 n) {
     return _mm256_castsi256_ps(_mm256_slli_epi32(
         _mm256_add_epi32(n, _mm256_set1_epi32(127)), 23));
+  }
+
+  static F8 LoadBf16(const uint16_t* p) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return _mm256_castsi256_ps(
+        _mm256_slli_epi32(_mm256_cvtepu16_epi32(v), 16));
+  }
+  static F8 Abs(F8 x) {
+    return _mm256_and_ps(x,
+                         _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFFFFFF)));
+  }
+
+  // Exact integer dot via the abs/sign identity
+  //   dot(a, b) = dot(|a|, sign(a) * b),
+  // which lets vpmaddubsw (unsigned x signed) do 32 int8 products in one
+  // instruction instead of four sign-extends plus two vpmaddwd. Quantized
+  // codes are clamped to [-127, 127] (backend.h), so |a| fits u8, the
+  // sign flip of b cannot overflow, and each vpmaddubsw pair sum is at
+  // most 2 * 127^2 = 32258 < 32767 -- no i16 saturation. vpmaddwd against
+  // ones widens exactly to i32; lanes drain into the wide total every
+  // 32768 elements (1024 adds of <= 4 * 127^2 per lane, far below i32
+  // overflow). Exactness makes the order irrelevant, so this is bitwise
+  // identical to the scalar loop.
+  static __m256i MulAddI8(__m256i acc, __m256i abs_a, __m256i va,
+                          const int8_t* b) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i prod =
+        _mm256_maddubs_epi16(abs_a, _mm256_sign_epi8(vb, va));
+    return _mm256_add_epi32(
+        acc, _mm256_madd_epi16(prod, _mm256_set1_epi16(1)));
+  }
+  static int64_t DrainI8(__m256i acc) {
+    int32_t lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    int64_t total = 0;
+    for (int j = 0; j < 8; ++j) total += lanes[j];
+    return total;
+  }
+
+  static int64_t DotI8(const int8_t* a, const int8_t* b, int64_t n) {
+    int64_t total = 0;
+    int64_t i = 0;
+    while (i + 32 <= n) {
+      const int64_t stop = i + (((n - i) < 32768) ? (n - i) : 32768);
+      __m256i acc = _mm256_setzero_si256();
+      for (; i + 32 <= stop; i += 32) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        acc = MulAddI8(acc, _mm256_abs_epi8(va), va, b + i);
+      }
+      total += DrainI8(acc);
+    }
+    for (; i < n; ++i) {
+      total += static_cast<int64_t>(a[i]) * static_cast<int64_t>(b[i]);
+    }
+    return total;
+  }
+
+  // Four dots sharing one pass (and one abs) over the activation span:
+  // the matmul inner loop is bound by instruction throughput, not loads,
+  // so amortizing the activation work across four weight rows is where
+  // the int8 tier's speedup over fp32 comes from.
+  static void Dot4I8(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                     const int8_t* b2, const int8_t* b3, int64_t n,
+                     int64_t out[4]) {
+    int64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+    int64_t i = 0;
+    while (i + 32 <= n) {
+      const int64_t stop = i + (((n - i) < 32768) ? (n - i) : 32768);
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (; i + 32 <= stop; i += 32) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        const __m256i abs_a = _mm256_abs_epi8(va);
+        acc0 = MulAddI8(acc0, abs_a, va, b0 + i);
+        acc1 = MulAddI8(acc1, abs_a, va, b1 + i);
+        acc2 = MulAddI8(acc2, abs_a, va, b2 + i);
+        acc3 = MulAddI8(acc3, abs_a, va, b3 + i);
+      }
+      t0 += DrainI8(acc0);
+      t1 += DrainI8(acc1);
+      t2 += DrainI8(acc2);
+      t3 += DrainI8(acc3);
+    }
+    for (; i < n; ++i) {
+      const int64_t av = a[i];
+      t0 += av * b0[i];
+      t1 += av * b1[i];
+      t2 += av * b2[i];
+      t3 += av * b3[i];
+    }
+    out[0] = t0;
+    out[1] = t1;
+    out[2] = t2;
+    out[3] = t3;
+  }
+
+  // Unsigned-activation variants for codes in [0, 127]: vpmaddubsw takes
+  // the activation bytes directly, dropping the vpabsb + per-row vpsignb
+  // of the signed form. Same exact integer math, same drain cadence, so
+  // the result is bitwise identical to DotI8 on the shared domain.
+  static __m256i MulAddI8U(__m256i acc, __m256i va, const int8_t* b) {
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+    const __m256i prod = _mm256_maddubs_epi16(va, vb);
+    return _mm256_add_epi32(
+        acc, _mm256_madd_epi16(prod, _mm256_set1_epi16(1)));
+  }
+
+  static int64_t DotI8U(const int8_t* a, const int8_t* b, int64_t n) {
+    int64_t total = 0;
+    int64_t i = 0;
+    while (i + 32 <= n) {
+      const int64_t stop = i + (((n - i) < 32768) ? (n - i) : 32768);
+      __m256i acc = _mm256_setzero_si256();
+      for (; i + 32 <= stop; i += 32) {
+        acc = MulAddI8U(
+            acc,
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            b + i);
+      }
+      total += DrainI8(acc);
+    }
+    for (; i < n; ++i) {
+      total += static_cast<int64_t>(a[i]) * static_cast<int64_t>(b[i]);
+    }
+    return total;
+  }
+
+  static void Dot4I8U(const int8_t* a, const int8_t* b0, const int8_t* b1,
+                      const int8_t* b2, const int8_t* b3, int64_t n,
+                      int64_t out[4]) {
+    int64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+    int64_t i = 0;
+    while (i + 32 <= n) {
+      const int64_t stop = i + (((n - i) < 32768) ? (n - i) : 32768);
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (; i + 32 <= stop; i += 32) {
+        const __m256i va =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+        acc0 = MulAddI8U(acc0, va, b0 + i);
+        acc1 = MulAddI8U(acc1, va, b1 + i);
+        acc2 = MulAddI8U(acc2, va, b2 + i);
+        acc3 = MulAddI8U(acc3, va, b3 + i);
+      }
+      t0 += DrainI8(acc0);
+      t1 += DrainI8(acc1);
+      t2 += DrainI8(acc2);
+      t3 += DrainI8(acc3);
+    }
+    for (; i < n; ++i) {
+      const int64_t av = a[i];
+      t0 += av * b0[i];
+      t1 += av * b1[i];
+      t2 += av * b2[i];
+      t3 += av * b3[i];
+    }
+    out[0] = t0;
+    out[1] = t1;
+    out[2] = t2;
+    out[3] = t3;
+  }
+
+  // Vectorized symmetric quantizer, bit-for-bit the scalar path:
+  // vcvtps2dq *is* the semantics the scalar loop emulates (nearest-even,
+  // NaN / out-of-range -> INT32_MIN), the i32 clamp to [-127, 127]
+  // matches, and the saturating packs are no-ops on already-clamped
+  // values. Returns true when every code is non-negative (sign bits of
+  // the packed bytes, OR-folded across the span).
+  static bool QuantizeI8(const float* src, int8_t* dst, int64_t n,
+                         float inv_scale) {
+    const __m256 scale = _mm256_set1_ps(inv_scale);
+    const __m256i lo = _mm256_set1_epi32(-127);
+    const __m256i hi = _mm256_set1_epi32(127);
+    const __m256i unshuffle =
+        _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    __m256i signs = _mm256_setzero_si256();
+    int64_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+      __m256i q[4];
+      for (int j = 0; j < 4; ++j) {
+        const __m256i raw = _mm256_cvtps_epi32(
+            _mm256_mul_ps(_mm256_loadu_ps(src + i + 8 * j), scale));
+        q[j] = _mm256_min_epi32(_mm256_max_epi32(raw, lo), hi);
+      }
+      // packs interleaves per 128-bit lane; the permute restores source
+      // order.
+      const __m256i packed = _mm256_permutevar8x32_epi32(
+          _mm256_packs_epi16(_mm256_packs_epi32(q[0], q[1]),
+                             _mm256_packs_epi32(q[2], q[3])),
+          unshuffle);
+      signs = _mm256_or_si256(signs, packed);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), packed);
+    }
+    bool nonneg = _mm256_movemask_epi8(signs) == 0;
+    for (; i < n; ++i) {
+      const float v = src[i] * inv_scale;
+      int32_t q;
+      if (v != v || v >= 2147483648.0f || v < -2147483648.0f) {
+        q = INT32_MIN;
+      } else {
+        q = static_cast<int32_t>(std::lrintf(v));
+      }
+      if (q > 127) q = 127;
+      if (q < -127) q = -127;
+      nonneg = nonneg && q >= 0;
+      dst[i] = static_cast<int8_t>(q);
+    }
+    return nonneg;
   }
 
   static D8 DZero() {

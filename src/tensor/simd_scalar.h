@@ -128,6 +128,25 @@ struct ScalarOps {
     return r;
   }
 
+  // 8 bf16 words decoded to fp32 (exact: value << 16).
+  static F8 LoadBf16(const uint16_t* p) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) {
+      r.v[j] = std::bit_cast<float>(static_cast<uint32_t>(p[j]) << 16);
+    }
+    return r;
+  }
+  // |x| via sign-bit clear (so Abs(-0.0) == +0.0 and NaN keeps its
+  // payload), matching andps with the 0x7FFFFFFF mask.
+  static F8 Abs(F8 x) {
+    F8 r;
+    for (int j = 0; j < 8; ++j) {
+      r.v[j] = std::bit_cast<float>(std::bit_cast<uint32_t>(x.v[j]) &
+                                    0x7FFFFFFFu);
+    }
+    return r;
+  }
+
   static D8 DZero() {
     D8 r;
     for (int j = 0; j < 8; ++j) r.v[j] = 0.0;

@@ -92,6 +92,54 @@ struct Sse2Ops {
             _mm_castsi128_ps(_mm_slli_epi32(_mm_add_epi32(n.hi, bias), 23))};
   }
 
+  static F8 LoadBf16(const uint16_t* p) {
+    // Interleaving zeros below each word is exactly value << 16.
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m128i z = _mm_setzero_si128();
+    return {_mm_castsi128_ps(_mm_unpacklo_epi16(z, v)),
+            _mm_castsi128_ps(_mm_unpackhi_epi16(z, v))};
+  }
+  static F8 Abs(F8 x) {
+    const __m128 mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
+    return {_mm_and_ps(x.lo, mask), _mm_and_ps(x.hi, mask)};
+  }
+
+  // Exact integer dot product: sign-extend to i16 (unpack + arithmetic
+  // shift; SSE2 has no cvtepi8), pmaddwd pairs into i32 lanes, and drain
+  // the lanes into the wide total every block so they cannot overflow
+  // (each pmaddwd lane is <= 2 * 127^2; a 32768-element block adds 4096
+  // such values per lane, far below 2^31). Integer arithmetic is exact,
+  // so this matches the scalar loop bit for bit regardless of order.
+  static int64_t DotI8(const int8_t* a, const int8_t* b, int64_t n) {
+    int64_t total = 0;
+    int64_t i = 0;
+    while (i + 16 <= n) {
+      const int64_t stop = i + (((n - i) < 32768) ? (n - i) : 32768);
+      __m128i acc = _mm_setzero_si128();
+      for (; i + 16 <= stop; i += 16) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+        const __m128i a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(va, va), 8);
+        const __m128i a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(va, va), 8);
+        const __m128i b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(vb, vb), 8);
+        const __m128i b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(vb, vb), 8);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+      }
+      int32_t lanes[4];
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+      total += static_cast<int64_t>(lanes[0]) + lanes[1] + lanes[2] +
+               lanes[3];
+    }
+    for (; i < n; ++i) {
+      total += static_cast<int64_t>(a[i]) * static_cast<int64_t>(b[i]);
+    }
+    return total;
+  }
+
   static D8 DZero() {
     const __m128d z = _mm_setzero_pd();
     return {{z, z, z, z}};

@@ -67,12 +67,12 @@ size_t BinaryReader::remaining() const {
   return buffer_ != nullptr ? size_ - pos_ : 0;
 }
 
-void BinaryReader::ReadBytes(void* out, size_t size) {
-  if (!ok_) return;
+bool BinaryReader::ReadBytes(void* out, size_t size) {
+  if (!ok_) return false;
   if (buffer_ != nullptr) {
     if (size > size_ - pos_) {
       ok_ = false;
-      return;
+      return false;
     }
     std::memcpy(out, buffer_ + pos_, size);
     pos_ += size;
@@ -80,6 +80,7 @@ void BinaryReader::ReadBytes(void* out, size_t size) {
     in_.read(static_cast<char*>(out), static_cast<std::streamsize>(size));
     if (!in_) ok_ = false;
   }
+  return ok_;
 }
 
 template <typename T>

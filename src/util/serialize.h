@@ -65,6 +65,9 @@ class BinaryReader {
   std::string ReadString();
   std::vector<float> ReadFloatVector();
   std::vector<int> ReadIntVector();
+  // Raw bytes without a length prefix (pairs with WriteBytes; the caller
+  // supplies the count). Returns ok() after the read.
+  bool ReadBytes(void* out, size_t size);
 
   // Bytes left before the end of the buffer; only meaningful in buffer
   // mode (returns 0 for file readers).
@@ -78,8 +81,6 @@ class BinaryReader {
  private:
   template <typename T>
   T ReadPod();
-  // Copies `size` bytes into `out`; sets ok_ = false on shortfall.
-  void ReadBytes(void* out, size_t size);
 
   std::ifstream in_;
   const uint8_t* buffer_ = nullptr;  // non-null in buffer mode

@@ -9,7 +9,11 @@
 //
 // and paste the printed constants below.
 
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +26,7 @@
 #include "eval/npmi.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "tensor/quant.h"
 #include "text/synthetic.h"
 #include "util/status.h"
 
@@ -144,6 +149,167 @@ TEST(GoldenCheckpointTest, GoldenFileStaysServable) {
     sum += t;
   }
   EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzzing of quantized (v3) checkpoints, derived from the
+// committed golden file: truncation is kIOError, any payload bit flip is
+// kDataLoss (checksum), and scale-table corruption that a forged checksum
+// would otherwise hide is still kDataLoss from structural validation.
+// A corrupt quantized checkpoint must never load -- so it can never serve
+// garbage top-words.
+// ---------------------------------------------------------------------------
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8;  // magic|version|sum|size
+
+// Restores header/payload consistency after a deliberate payload edit, so
+// the test reaches the structural validators behind the checksum.
+void ForgeChecksum(std::string* bytes) {
+  const uint64_t sum = Fnv1a64(bytes->data() + kHeaderBytes,
+                               bytes->size() - kHeaderBytes);
+  std::memcpy(bytes->data() + 8, &sum, sizeof(sum));
+}
+
+// Writes a quantized copy of the committed golden checkpoint to a temp
+// path and returns its bytes.
+std::string BuildQuantizedGolden(tensor::ServePrecision storage,
+                                 const std::string& path) {
+  util::StatusOr<Checkpoint> golden = ReadCheckpoint(kGoldenPath);
+  EXPECT_TRUE(golden.ok()) << golden.status();
+  Checkpoint quantized = *golden;
+  quantized.storage_precision = storage;
+  const util::Status written = WriteCheckpoint(quantized, path);
+  EXPECT_TRUE(written.ok()) << written;
+  return ReadFileBytes(path);
+}
+
+TEST(GoldenCheckpointTest, QuantizedTruncationAndBitFlipsAreDetected) {
+  for (tensor::ServePrecision storage :
+       {tensor::ServePrecision::kBf16, tensor::ServePrecision::kInt8}) {
+    const std::string name = tensor::ServePrecisionName(storage);
+    const std::string path =
+        ::testing::TempDir() + "/golden_quant_" + name + ".ckpt";
+    const std::string bytes = BuildQuantizedGolden(storage, path);
+    ASSERT_GT(bytes.size(), kHeaderBytes);
+
+    // The intact file loads and reports its storage precision.
+    util::StatusOr<Checkpoint> intact = ReadCheckpoint(path);
+    ASSERT_TRUE(intact.ok()) << intact.status();
+    EXPECT_EQ(intact->storage_precision, storage);
+
+    const std::string mutant = path + ".mut";
+    // Truncation at 16 spread cut points (including inside the header).
+    for (int i = 0; i < 16; ++i) {
+      const size_t cut = bytes.size() * static_cast<size_t>(i) / 16;
+      WriteFileBytes(mutant, bytes.substr(0, cut));
+      util::StatusOr<Checkpoint> got = ReadCheckpoint(mutant);
+      ASSERT_FALSE(got.ok()) << name << " truncated to " << cut;
+      EXPECT_EQ(got.status().code(), util::StatusCode::kIOError)
+          << name << " truncated to " << cut << ": " << got.status();
+    }
+    // Single bit flips across the payload (scale tables included): the
+    // checksum catches every one as kDataLoss before any field is
+    // trusted.
+    for (int i = 0; i < 32; ++i) {
+      const size_t payload = bytes.size() - kHeaderBytes;
+      const size_t off =
+          kHeaderBytes + payload * static_cast<size_t>(i) / 32;
+      std::string flipped = bytes;
+      flipped[off] = static_cast<char>(flipped[off] ^ (1 << (i % 8)));
+      WriteFileBytes(mutant, flipped);
+      util::StatusOr<Checkpoint> got = ReadCheckpoint(mutant);
+      ASSERT_FALSE(got.ok()) << name << " bit flip at " << off;
+      EXPECT_EQ(got.status().code(), util::StatusCode::kDataLoss)
+          << name << " bit flip at " << off << ": " << got.status();
+      // A corrupt file never reaches the engine either.
+      EXPECT_FALSE(InferenceEngine::Load(mutant).ok());
+    }
+    // A version byte flip is version skew, not a crash.
+    std::string versioned = bytes;
+    versioned[4] = static_cast<char>(0x7F);
+    WriteFileBytes(mutant, versioned);
+    util::StatusOr<Checkpoint> skewed = ReadCheckpoint(mutant);
+    ASSERT_FALSE(skewed.ok());
+    EXPECT_EQ(skewed.status().code(), util::StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(GoldenCheckpointTest, Int8ScaleTableCorruptionIsDataLossNotGarbage) {
+  // Forge the checksum so corruption reaches the structural validators:
+  // even an adversarially consistent file must fail closed on a broken
+  // scale table instead of dequantizing garbage weights.
+  const std::string path = ::testing::TempDir() + "/golden_scales.ckpt";
+  const std::string bytes =
+      BuildQuantizedGolden(tensor::ServePrecision::kInt8, path);
+
+  util::StatusOr<Checkpoint> golden = ReadCheckpoint(kGoldenPath);
+  ASSERT_TRUE(golden.ok());
+  // Locate the first int8 tensor record by its unambiguous header
+  // pattern: dtype tag 2, rows, cols, then the u64 scale count (== rows).
+  size_t record = std::string::npos;
+  uint32_t rows = 0;
+  for (const auto& [tensor_name, t] : golden->tensors) {
+    if (!tensor::QuantizableShape(t.rows(), t.cols())) continue;
+    std::string pattern(20, '\0');
+    const uint32_t tag = 2;
+    const uint32_t r32 = static_cast<uint32_t>(t.rows());
+    const uint32_t c32 = static_cast<uint32_t>(t.cols());
+    const uint64_t count = static_cast<uint64_t>(t.rows());
+    std::memcpy(pattern.data(), &tag, 4);
+    std::memcpy(pattern.data() + 4, &r32, 4);
+    std::memcpy(pattern.data() + 8, &c32, 4);
+    std::memcpy(pattern.data() + 12, &count, 8);
+    record = bytes.find(pattern);
+    if (record != std::string::npos) {
+      rows = r32;
+      break;
+    }
+  }
+  ASSERT_NE(record, std::string::npos)
+      << "no int8 tensor record found in the quantized golden file";
+
+  const std::string mutant = path + ".mut";
+  struct Case {
+    const char* what;
+    size_t offset;      // relative to the record start
+    std::string bytes;  // replacement
+  };
+  const uint64_t bad_count = static_cast<uint64_t>(rows) + 1;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float negative = -1.0f;
+  std::vector<Case> cases;
+  cases.push_back({"scale count off by one", 12,
+                   std::string(reinterpret_cast<const char*>(&bad_count),
+                               sizeof(bad_count))});
+  cases.push_back({"NaN scale", 20,
+                   std::string(reinterpret_cast<const char*>(&nan),
+                               sizeof(nan))});
+  cases.push_back({"negative scale", 20,
+                   std::string(reinterpret_cast<const char*>(&negative),
+                               sizeof(negative))});
+  for (const Case& c : cases) {
+    std::string forged = bytes;
+    forged.replace(record + c.offset, c.bytes.size(), c.bytes);
+    ForgeChecksum(&forged);
+    WriteFileBytes(mutant, forged);
+    util::StatusOr<Checkpoint> got = ReadCheckpoint(mutant);
+    ASSERT_FALSE(got.ok()) << c.what << " was accepted";
+    EXPECT_EQ(got.status().code(), util::StatusCode::kDataLoss)
+        << c.what << ": " << got.status();
+    EXPECT_FALSE(InferenceEngine::Load(mutant).ok()) << c.what;
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 
 #include "tensor/backend.h"
 #include "tensor/kernels.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -270,6 +271,312 @@ TEST(CanonicalExpfTest, TracksLibmWithinFourUlp) {
   // The polynomial should really be ~2 ULP; record the observed worst case
   // so a regression is visible in the test log.
   RecordProperty("worst_ulp", static_cast<int>(worst));
+}
+
+// ---------------------------------------------------------------------------
+// Mixed-precision codecs (tensor/quant.h): round-trip error bounds,
+// saturation, monotonicity, and the IEEE edge cases, on every backend.
+// ---------------------------------------------------------------------------
+
+TEST_P(KernelPropertyTest, Bf16RoundTripWithinHalfStep) {
+  // Encode rounds to an 8-bit significand; decode is exact. Half an ulp
+  // of an 8-bit significand is 2^-8 relative to the value's magnitude.
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(41);
+  Tensor x(16, 64);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 10.0));
+  }
+  const Tensor back = TensorFromBf16(Bf16FromTensor(x));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float v = x.data()[i];
+    ASSERT_LE(std::abs(back.data()[i] - v), std::abs(v) * (1.0f / 256.0f))
+        << "flat index " << i << " value " << v;
+  }
+}
+
+TEST_P(KernelPropertyTest, Bf16RoundTripIsIdempotent) {
+  // A decoded bf16 value re-encodes to the same code: the second trip
+  // must be lossless.
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(42);
+  Tensor x(8, 32);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 3.0));
+  }
+  const Bf16Matrix once = Bf16FromTensor(x);
+  const Bf16Matrix twice = Bf16FromTensor(TensorFromBf16(once));
+  EXPECT_EQ(once.data, twice.data);
+}
+
+TEST_P(KernelPropertyTest, Bf16SpecialValues) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x(1, 8);
+  x.data()[0] = kInf;
+  x.data()[1] = -kInf;
+  x.data()[2] = std::numeric_limits<float>::quiet_NaN();
+  x.data()[3] = -0.0f;
+  x.data()[4] = 0.0f;
+  x.data()[5] = std::numeric_limits<float>::denorm_min();
+  x.data()[6] = std::numeric_limits<float>::max();  // rounds up, must not
+  x.data()[7] = 1.0f;                               // fabricate a NaN
+  const Tensor back = TensorFromBf16(Bf16FromTensor(x));
+  EXPECT_EQ(back.data()[0], kInf);
+  EXPECT_EQ(back.data()[1], -kInf);
+  EXPECT_TRUE(std::isnan(back.data()[2]));  // NaN stays NaN, never inf
+  EXPECT_EQ(back.data()[3], 0.0f);
+  EXPECT_TRUE(std::signbit(back.data()[3]));  // sign of -0 survives
+  EXPECT_EQ(back.data()[4], 0.0f);
+  EXPECT_FALSE(std::signbit(back.data()[4]));
+  EXPECT_GE(back.data()[5], 0.0f);  // denormal stays non-negative
+  EXPECT_EQ(back.data()[6], kInf);  // max float rounds up to inf (RNE)
+  EXPECT_EQ(back.data()[7], 1.0f);  // powers of two are exact
+}
+
+TEST_P(KernelPropertyTest, Int8RoundTripWithinHalfStep) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(43);
+  Tensor x(12, 96);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 2.0));
+  }
+  const Int8Matrix q = Int8FromTensor(x);
+  const Tensor back = TensorFromInt8(q);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float scale = q.scales[static_cast<size_t>(r)];
+    ASSERT_GT(scale, 0.0f) << "row " << r;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      // Half a quantization step, plus a whisker for the scale's own
+      // rounding (absmax/127 then 127/absmax are not exact inverses).
+      ASSERT_LE(std::abs(back.at(r, c) - x.at(r, c)),
+                scale * 0.5f * 1.001f)
+          << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, Int8SaturatesAtPlusMinus127) {
+  ScopedKernelBackend scoped(GetParam());
+  Tensor x(1, 8);
+  const float vals[8] = {-8.0f, -4.0f, -1.0f, 0.0f,
+                         1.0f,  4.0f,  8.0f,  2.0f};
+  std::memcpy(x.data(), vals, sizeof(vals));
+  const Int8Matrix q = Int8FromTensor(x);
+  // absmax = 8 -> codes live in [-127, 127] with the extremes hit
+  // exactly; the scheme is symmetric so -128 is never produced.
+  EXPECT_EQ(q.data[0], -127);
+  EXPECT_EQ(q.data[6], 127);
+  EXPECT_EQ(q.data[3], 0);
+  for (int8_t code : q.data) {
+    EXPECT_GE(code, -127);
+    EXPECT_LE(code, 127);
+  }
+}
+
+TEST_P(KernelPropertyTest, Int8QuantizationIsMonotonicPerRow) {
+  ScopedKernelBackend scoped(GetParam());
+  util::Rng rng(44);
+  Tensor x(1, 200);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Normal(0.0, 5.0));
+  }
+  std::sort(x.data(), x.data() + x.numel());
+  const Int8Matrix q = Int8FromTensor(x);
+  for (int64_t i = 1; i < x.numel(); ++i) {
+    ASSERT_LE(q.data[static_cast<size_t>(i - 1)],
+              q.data[static_cast<size_t>(i)])
+        << "index " << i;
+  }
+}
+
+TEST_P(KernelPropertyTest, Int8ZeroAndEmptyRows) {
+  ScopedKernelBackend scoped(GetParam());
+  // All-zero row: scale 0, all-zero codes, exact round trip.
+  Tensor zeros(2, 16);
+  for (int64_t i = 0; i < zeros.numel(); ++i) zeros.data()[i] = 0.0f;
+  zeros.at(1, 3) = 5.0f;  // second row is ordinary
+  const Int8Matrix q = Int8FromTensor(zeros);
+  EXPECT_EQ(q.scales[0], 0.0f);
+  for (int64_t c = 0; c < 16; ++c) EXPECT_EQ(q.data[static_cast<size_t>(c)], 0);
+  const Tensor back = TensorFromInt8(q);
+  for (int64_t c = 0; c < 16; ++c) EXPECT_EQ(back.at(0, c), 0.0f);
+  EXPECT_EQ(back.at(1, 3), 5.0f);
+  // Zero-width rows: empty data, one (zero) scale per row, no reads.
+  const Tensor empty(3, 0);
+  const Int8Matrix eq = Int8FromTensor(empty);
+  EXPECT_EQ(eq.data.size(), 0u);
+  ASSERT_EQ(eq.scales.size(), 3u);
+  for (float s : eq.scales) EXPECT_EQ(s, 0.0f);
+  const Tensor eback = TensorFromInt8(eq);
+  EXPECT_EQ(eback.rows(), 3);
+  EXPECT_EQ(eback.cols(), 0);
+  // Zero-width bf16 round trip is likewise a no-op.
+  const Tensor bback = TensorFromBf16(Bf16FromTensor(empty));
+  EXPECT_EQ(bback.rows(), 3);
+  EXPECT_EQ(bback.cols(), 0);
+}
+
+TEST_P(KernelPropertyTest, Int8NonFiniteRowsAreDeterministic) {
+  ScopedKernelBackend scoped(GetParam());
+  // A NaN-poisoned row has no meaningful absmax; the documented outcome
+  // is the all-zero row (scale 0), not garbage codes.
+  Tensor x(1, 8);
+  for (int64_t i = 0; i < 8; ++i) x.data()[i] = static_cast<float>(i);
+  x.data()[2] = std::numeric_limits<float>::quiet_NaN();
+  const float absmax = ActiveKernels().row_absmax(x.data(), 8);
+  if (!(absmax > 0.0f)) {
+    // NaN-propagating absmax: the conversion takes the zero-row path.
+    const Int8Matrix q = Int8FromTensor(x);
+    EXPECT_EQ(q.scales[0], 0.0f);
+  } else {
+    // Max-ignores-NaN absmax: NaN elements quantize to the documented
+    // clamp floor (-127), everything else normally.
+    const Int8Matrix q = Int8FromTensor(x);
+    EXPECT_EQ(q.data[2], -127);
+    EXPECT_EQ(q.data[0], 0);
+  }
+  // The direct quantizer's NaN route is pinned either way: NaN converts
+  // like integer-overflow (INT32_MIN) and clamps to -127.
+  float src[4] = {0.0f, std::numeric_limits<float>::quiet_NaN(), 1.0f,
+                  -2.0f};
+  int8_t dst[4];
+  ActiveKernels().quantize_i8(src, dst, 4, 1.0f);
+  EXPECT_EQ(dst[0], 0);
+  EXPECT_EQ(dst[1], -127);
+  EXPECT_EQ(dst[2], 1);
+  EXPECT_EQ(dst[3], -2);
+}
+
+TEST_P(KernelPropertyTest, RowAbsMaxProperties) {
+  ScopedKernelBackend scoped(GetParam());
+  const KernelTable& kt = ActiveKernels();
+  // Empty row -> 0 (drives the zero-row path, never a read).
+  EXPECT_EQ(kt.row_absmax(nullptr, 0), 0.0f);
+  // Signed zeros -> +0 (so `absmax > 0` correctly stays false).
+  float zeros[9] = {-0.0f, 0.0f, -0.0f, -0.0f, 0.0f, -0.0f, 0.0f, -0.0f,
+                    -0.0f};
+  const float z = kt.row_absmax(zeros, 9);
+  EXPECT_EQ(z, 0.0f);
+  EXPECT_FALSE(std::signbit(z));
+  // Mixed signs -> the max magnitude, wherever it sits (head, vector
+  // body, or scalar tail).
+  float vals[11] = {1.0f, -3.0f, 2.0f,  -0.5f, 0.25f, 3.5f,
+                    0.0f, -1.0f, -6.5f, 2.0f,  4.0f};
+  EXPECT_EQ(kt.row_absmax(vals, 11), 6.5f);
+  EXPECT_EQ(kt.row_absmax(vals, 8), 3.5f);
+  // Infinity dominates.
+  vals[4] = -kInf;
+  EXPECT_EQ(kt.row_absmax(vals, 11), kInf);
+}
+
+TEST_P(KernelPropertyTest, QuantizedDotsMatchExactIntegerMath) {
+  // dot_i8 is exact integer arithmetic; any backend disagreeing with a
+  // plain int64 loop is broken outright, not merely off by rounding.
+  ScopedKernelBackend scoped(GetParam());
+  const KernelTable& kt = ActiveKernels();
+  util::Rng rng(45);
+  for (int64_t n : {0, 1, 7, 16, 33, 100, 1024}) {
+    std::vector<int8_t> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] =
+          static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+      b[static_cast<size_t>(i)] =
+          static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+    }
+    int64_t want = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      want += static_cast<int64_t>(a[static_cast<size_t>(i)]) *
+              static_cast<int64_t>(b[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(kt.dot_i8(a.data(), b.data(), n), want) << "n=" << n;
+  }
+  // Worst-case magnitudes cannot overflow the accumulator: 40960 products
+  // of (-127)*(-127) stress the periodic i32 -> i64 drain.
+  const int64_t n = 40960;
+  std::vector<int8_t> a(static_cast<size_t>(n), -127);
+  std::vector<int8_t> b(static_cast<size_t>(n), -127);
+  EXPECT_EQ(kt.dot_i8(a.data(), b.data(), n), n * 127 * 127);
+}
+
+TEST_P(KernelPropertyTest, UnsignedQuantizedDotsMatchSignedOnSharedDomain) {
+  // dot_i8u / dot4_i8u are only defined for a in [0, 127]; on that domain
+  // they must agree bit for bit with dot_i8 / dot4_i8 and the int64 loop.
+  ScopedKernelBackend scoped(GetParam());
+  const KernelTable& kt = ActiveKernels();
+  util::Rng rng(46);
+  for (int64_t n : {0, 1, 7, 16, 33, 100, 1024}) {
+    std::vector<int8_t> a(static_cast<size_t>(n));
+    std::vector<std::vector<int8_t>> b(4);
+    for (auto& row : b) row.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      a[static_cast<size_t>(i)] =
+          static_cast<int8_t>(rng.UniformInt(128));  // [0, 127]
+      for (auto& row : b) {
+        row[static_cast<size_t>(i)] =
+            static_cast<int8_t>(static_cast<int>(rng.UniformInt(255)) - 127);
+      }
+    }
+    int64_t u4[4], s4[4];
+    kt.dot4_i8u(a.data(), b[0].data(), b[1].data(), b[2].data(), b[3].data(),
+                n, u4);
+    kt.dot4_i8(a.data(), b[0].data(), b[1].data(), b[2].data(), b[3].data(),
+               n, s4);
+    for (int j = 0; j < 4; ++j) {
+      int64_t want = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        want += static_cast<int64_t>(a[static_cast<size_t>(i)]) *
+                static_cast<int64_t>(b[static_cast<size_t>(j)]
+                                      [static_cast<size_t>(i)]);
+      }
+      EXPECT_EQ(u4[j], want) << "n=" << n << " j=" << j;
+      EXPECT_EQ(s4[j], want) << "n=" << n << " j=" << j;
+      EXPECT_EQ(kt.dot_i8u(a.data(), b[static_cast<size_t>(j)].data(), n),
+                want)
+          << "n=" << n << " j=" << j;
+    }
+  }
+  // Drain stress at the unsigned domain's worst case, 127 * (-127) per
+  // product.
+  const int64_t n = 40960;
+  std::vector<int8_t> a(static_cast<size_t>(n), 127);
+  std::vector<int8_t> b(static_cast<size_t>(n), -127);
+  EXPECT_EQ(kt.dot_i8u(a.data(), b.data(), n), -n * 127 * 127);
+}
+
+TEST_P(KernelPropertyTest, QuantizeReportsNonNegativeCodes) {
+  // quantize_i8's return is the unsigned-dot dispatch signal: true iff
+  // every emitted code is >= 0, across vector body and scalar tail alike.
+  ScopedKernelBackend scoped(GetParam());
+  const KernelTable& kt = ActiveKernels();
+  util::Rng rng(47);
+  for (int64_t n : {1, 7, 16, 33, 100, 129}) {
+    std::vector<float> src(static_cast<size_t>(n));
+    std::vector<int8_t> dst(static_cast<size_t>(n));
+    // Non-negative inputs -> non-negative codes -> true.
+    for (auto& v : src) v = static_cast<float>(rng.Uniform());
+    EXPECT_TRUE(kt.quantize_i8(src.data(), dst.data(), n, 100.0f))
+        << "n=" << n;
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_GE(dst[static_cast<size_t>(i)], 0) << "n=" << n << " i=" << i;
+    }
+    // One negative element anywhere flips the verdict (place it at the
+    // end so the scalar tail is exercised too).
+    src[static_cast<size_t>(n - 1)] = -1.0f;
+    EXPECT_FALSE(kt.quantize_i8(src.data(), dst.data(), n, 100.0f))
+        << "n=" << n;
+    // A negative value that rounds to code 0 keeps the codes
+    // non-negative, so the verdict stays true.
+    src[static_cast<size_t>(n - 1)] = -1e-9f;
+    EXPECT_TRUE(kt.quantize_i8(src.data(), dst.data(), n, 100.0f))
+        << "n=" << n;
+    EXPECT_EQ(dst[static_cast<size_t>(n - 1)], 0);
+  }
+  // NaN quantizes to -127, so it must report false.
+  float nan_src[3] = {1.0f, std::numeric_limits<float>::quiet_NaN(), 2.0f};
+  int8_t nan_dst[3];
+  EXPECT_FALSE(kt.quantize_i8(nan_src, nan_dst, 3, 1.0f));
+  // Empty span: vacuously non-negative.
+  EXPECT_TRUE(kt.quantize_i8(nullptr, nullptr, 0, 1.0f));
 }
 
 TEST(CanonicalExpfTest, SaturationAndSpecials) {

@@ -21,6 +21,7 @@
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
 #include "serve/resilience.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 #include "text/corpus.h"
 #include "text/synthetic.h"
@@ -352,6 +353,43 @@ TEST(ServeTest, ContraTopicCheckpointServesBitwise) {
     InferenceEngine::ThetaResult theta = (*engine)->InferTheta(ToBowDoc(doc));
     ASSERT_TRUE(theta.ok()) << theta.status();
     EXPECT_TRUE(BitwiseEqual(*theta, reference, i)) << "doc " << i;
+  }
+}
+
+TEST(ServeTest, QuantizedCheckpointServesFileAndMemoryIdentically) {
+  // A v3 (quantized) checkpoint must serve exactly like its in-memory
+  // parse: the file round trip adds no additional error beyond the
+  // storage quantization itself.
+  ServeFixture& shared = Shared();
+  for (tensor::ServePrecision storage :
+       {tensor::ServePrecision::kBf16, tensor::ServePrecision::kInt8}) {
+    const std::string path = ::testing::TempDir() + "/serve_quant_" +
+                             tensor::ServePrecisionName(storage) + ".ckpt";
+    ASSERT_TRUE(SaveQuantizedCheckpoint(*shared.etm,
+                                        shared.dataset.train.vocab(), path,
+                                        storage)
+                    .ok());
+    InferenceEngine::Options options;
+    options.precision = storage;  // serve at the storage precision too
+    auto from_file = InferenceEngine::Load(path, options);
+    ASSERT_TRUE(from_file.ok()) << from_file.status();
+    util::StatusOr<Checkpoint> parsed = ReadCheckpoint(path);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(parsed->storage_precision, storage);
+    auto in_memory =
+        InferenceEngine::FromCheckpoint(std::move(parsed).value(), options);
+    ASSERT_TRUE(in_memory.ok()) << in_memory.status();
+    for (int i = 0; i < std::min(8, shared.dataset.test.num_docs()); ++i) {
+      const text::Document& doc = shared.dataset.test.doc(i);
+      if (doc.entries.empty()) continue;
+      InferenceEngine::ThetaResult a =
+          (*from_file)->InferTheta(ToBowDoc(doc));
+      InferenceEngine::ThetaResult b =
+          (*in_memory)->InferTheta(ToBowDoc(doc));
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << "doc " << i << " at "
+                        << tensor::ServePrecisionName(storage);
+    }
   }
 }
 
@@ -695,6 +733,50 @@ TEST(ServeTest, EngineDegradesWhenBreakerOpensAndRecoversViaProbe) {
   ASSERT_TRUE(probe.ok()) << probe.status();
   EXPECT_TRUE(BitwiseEqual(*probe, shared.etm_theta, 4));
   EXPECT_EQ((*engine)->health(), InferenceEngine::HealthState::kHealthy);
+}
+
+TEST(ServeTest, DegradedTopicTopWordsIsPrecisionInvariant) {
+  // While the breaker is open, TopicTopWords answers from the
+  // checkpoint's frozen fp32-derived id lists -- so a degraded engine
+  // gives the identical ranked words at every serving precision.
+  ServeFixture& shared = Shared();
+  std::vector<std::vector<std::string>> want;  // healthy fp32 answers
+  {
+    auto engine = InferenceEngine::Load(shared.etm_checkpoint);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    for (int t = 0; t < (*engine)->num_topics(); ++t) {
+      auto words = (*engine)->TopicTopWords(t, 10);
+      ASSERT_TRUE(words.ok()) << words.status();
+      want.push_back(std::move(words).value());
+    }
+  }
+  for (tensor::ServePrecision p :
+       {tensor::ServePrecision::kFp32, tensor::ServePrecision::kBf16,
+        tensor::ServePrecision::kInt8}) {
+    FaultGuard guard;
+    InferenceEngine::Options options;
+    options.precision = p;
+    options.cache_capacity = 0;
+    options.breaker.failure_threshold = 2;
+    auto engine = InferenceEngine::Load(shared.etm_checkpoint, options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    util::FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 2;
+    util::FaultInjector::Global().Arm("serve.batch", spec);
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_FALSE(
+          (*engine)->InferTheta(ToBowDoc(shared.dataset.test.doc(i))).ok());
+    }
+    ASSERT_EQ((*engine)->health(), InferenceEngine::HealthState::kDegraded)
+        << tensor::ServePrecisionName(p);
+    for (int t = 0; t < (*engine)->num_topics(); ++t) {
+      auto words = (*engine)->TopicTopWords(t, 10);
+      ASSERT_TRUE(words.ok()) << words.status();
+      EXPECT_EQ(want[static_cast<size_t>(t)], *words)
+          << "topic " << t << " at " << tensor::ServePrecisionName(p);
+    }
+  }
 }
 
 TEST(ServeTest, HealthAccessorTracksBreakerStates) {
