@@ -11,6 +11,18 @@
 //                     repeats, so the cache and the batcher both see
 //                     traffic), and verify every served theta is
 //                     bitwise-identical to the training process's.
+//   --mode=hotswap    continual-serving chaos gate (DESIGN.md §16): fit
+//                     core::OnlineContraTopic over a streamed theme
+//                     shift, checkpoint every slice, and hot-swap each
+//                     candidate into a serve::ModelRegistry while
+//                     queries flow and the registry.* fault sites are
+//                     armed probabilistically. The exit code enforces:
+//                     >= --min-swaps published swaps, zero failed
+//                     requests, every injected fault retried to success
+//                     or rolled back cleanly, and rejected/rolled-back
+//                     swaps leaving serving bitwise-identical to the
+//                     incumbent (rollback re-verified against a no-swap
+//                     control engine).
 //   --mode=precision  sweep the serving precisions over the same
 //                     checkpoint (--precision=all|fp32|bf16|int8 picks
 //                     the legs; fp32 always runs as the baseline).
@@ -29,10 +41,12 @@
 // scripts/check_telemetry.py --mode=serve validates. The exit code is
 // non-zero on any bitwise mismatch, serving error, or telemetry gap.
 //
-// Usage: bench_serve --mode=train|serve|precision [--preset=20ng-sim]
+// Usage: bench_serve --mode=train|serve|hotswap|precision
+//        [--preset=20ng-sim]
 //        [--checkpoint=bench_results/serve_<preset>.ckpt]
 //        [--queries=100] [--telemetry=<path>] [--threads=N]
 //        [--precision=all|fp32|bf16|int8]
+//        [--slices=7] [--min-swaps=5] [--chaos=1]
 
 #include <sys/stat.h>
 
@@ -47,9 +61,16 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "core/online.h"
+#include "embed/cooccurrence.h"
+#include "eval/npmi.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/registry.h"
+#include "serve/resilience.h"
 #include "tensor/quant.h"
+#include "text/dynamic.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stopwatch.h"
@@ -274,6 +295,341 @@ int64_t FileBytes(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) return -1;
   return static_cast<int64_t>(st.st_size);
+}
+
+// --- --mode=hotswap -------------------------------------------------------
+
+// Serves `n` non-empty docs of `slice` through the registry and bitwise-
+// compares each theta against `oracle` (an engine pinned to the expected
+// model). Returns false (with a diagnostic) on any failed request or
+// mismatch.
+bool ServeAndVerify(serve::ModelRegistry& registry,
+                    serve::InferenceEngine& oracle,
+                    const text::BowCorpus& slice, int n, const char* what,
+                    int64_t* failures) {
+  int checked = 0;
+  for (int d = 0; d < slice.num_docs() && checked < n; ++d) {
+    const text::Document& doc = slice.docs()[d];
+    if (doc.entries.empty()) continue;
+    serve::ModelRegistry::ThetaResult served =
+        registry.InferTheta(ToBowDoc(doc));
+    if (!served.ok()) {
+      std::fprintf(stderr, "FAIL [%s]: request %d failed: %s\n", what, d,
+                   served.status().ToString().c_str());
+      ++*failures;
+      return false;
+    }
+    serve::InferenceEngine::ThetaResult expected =
+        oracle.InferTheta(ToBowDoc(doc));
+    if (!expected.ok()) {
+      std::fprintf(stderr, "FAIL [%s]: oracle request %d failed: %s\n", what,
+                   d, expected.status().ToString().c_str());
+      return false;
+    }
+    if (served->size() != expected->size() ||
+        std::memcmp(served->data(), expected->data(),
+                    served->size() * sizeof(float)) != 0) {
+      std::fprintf(stderr, "FAIL [%s]: doc %d served theta differs bitwise\n",
+                   what, d);
+      return false;
+    }
+    ++checked;
+  }
+  return checked > 0;
+}
+
+int RunHotSwap(int num_slices, int min_swaps, bool chaos, int num_queries,
+               util::RunTelemetry* telemetry) {
+  // A streamed theme shift: popularity drifts hard between slices, so the
+  // continually-trained topics genuinely move under the server.
+  text::DynamicConfig stream;
+  stream.base = text::Preset20NG(1.0);
+  stream.base.num_themes = 12;
+  stream.base.words_per_theme = 24;
+  stream.base.preprocess.min_doc_frequency = 3;
+  stream.num_slices = num_slices;
+  stream.docs_per_slice = 250;
+  stream.drift = 1.0;
+  const text::DynamicDataset dataset = GenerateDynamic(stream);
+  telemetry->RecordStage("generate_stream", 0.0,
+                         {{"slices", double(dataset.slices.size())},
+                          {"vocab", double(dataset.vocab.size())}});
+
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 24;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.slices[0], embed_config);
+
+  core::OnlineContraTopic::Options online_options;
+  online_options.train.num_topics = 8;
+  online_options.train.epochs = 4;
+  online_options.train.encoder_hidden = 48;
+  online_options.train.encoder_layers = 1;
+  online_options.contra.lambda = 20.0f;
+  online_options.epochs_per_slice = 2;
+  online_options.decay = 0.6;
+  core::OnlineContraTopic online(embeddings, online_options);
+  online.SetTelemetry(telemetry);
+
+  const std::string ckpt_base =
+      std::string(bench::kResultsDir) + "/hotswap_slice";
+  auto slice_ckpt = [&](int slice) {
+    return ckpt_base + std::to_string(slice) + ".ckpt";
+  };
+
+  // Slice 0 bootstraps the registry.
+  online.FitSlice(dataset.slices[0]);
+  util::Status saved = serve::SaveCheckpoint(
+      online.mutable_model(), dataset.vocab, slice_ckpt(0));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "FAIL: initial SaveCheckpoint: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+
+  serve::ModelRegistry::Options registry_options;
+  // The stream legitimately churns topics (that is the point), so the
+  // interpretability gate runs in report-only posture: churn is measured
+  // and logged per swap, and the coherence reference guards against
+  // collapse without rejecting honest drift.
+  registry_options.gate.max_top_word_churn = 1.0;
+  registry_options.gate.max_coherence_drop = 0.5;
+  for (int d = 0; d < dataset.slices[0].num_docs() &&
+                  registry_options.gate.probe_docs.size() < 4;
+       ++d) {
+    const text::Document& doc = dataset.slices[0].docs()[d];
+    if (!doc.entries.empty()) {
+      registry_options.gate.probe_docs.push_back(ToBowDoc(doc));
+    }
+  }
+  registry_options.swap_retry.max_attempts = 4;
+  registry_options.swap_retry.base_backoff_ms = 0.01;
+  registry_options.swap_retry.max_backoff_ms = 0.1;
+  registry_options.probation_requests = 64;
+
+  auto registry = serve::ModelRegistry::Create(slice_ckpt(0),
+                                               registry_options);
+  if (!registry.ok()) {
+    std::fprintf(stderr, "FAIL: ModelRegistry::Create: %s\n",
+                 registry.status().ToString().c_str());
+    return 1;
+  }
+  (*registry)->SetTelemetry(telemetry);
+
+  // Chaos: each registry.* site fires probabilistically but at most 3
+  // times per swap (re-armed each slice), strictly under the 4-attempt
+  // retry budget -- so every injected fault must retry to success and a
+  // reject/rollback is never attributable to chaos alone.
+  const char* kChaosSites[] = {"registry.load", "registry.validate",
+                               "registry.swap", "registry.publish"};
+  auto arm_chaos = [&](size_t slice) {
+    if (!chaos) return;
+    // Arm() resets each site's call counter, so the per-slice seed is what
+    // makes the probability draws differ between swaps (the schedule hashes
+    // seed/site/call only); the run stays deterministic end to end.
+    util::FaultInjector::Global().SetSeed(20260808 +
+                                          static_cast<uint64_t>(slice));
+    for (const char* site : kChaosSites) {
+      util::FaultSpec spec;
+      spec.probability = 0.35;
+      spec.max_fires = 3;
+      util::FaultInjector::Global().Arm(site, spec);
+    }
+  };
+
+  int64_t failures = 0;
+  int published = 0;
+  int total_retries = 0;
+  bool ok = true;
+  double mean_churn = 0.0;
+
+  for (size_t slice = 1; slice < dataset.slices.size(); ++slice) {
+    // Queries flow against the incumbent while the next model trains.
+    auto incumbent_oracle =
+        serve::InferenceEngine::Load(slice_ckpt(static_cast<int>(slice) - 1));
+    if (!incumbent_oracle.ok()) {
+      std::fprintf(stderr, "FAIL: oracle load: %s\n",
+                   incumbent_oracle.status().ToString().c_str());
+      return 1;
+    }
+    if (!ServeAndVerify(**registry, **incumbent_oracle,
+                        dataset.slices[slice], num_queries, "pre-swap",
+                        &failures)) {
+      ok = false;
+    }
+
+    const core::OnlineContraTopic::SliceReport report =
+        online.FitSlice(dataset.slices[slice]);
+    saved = serve::SaveCheckpoint(online.mutable_model(), dataset.vocab,
+                                  slice_ckpt(static_cast<int>(slice)));
+    if (!saved.ok()) {
+      std::fprintf(stderr, "FAIL: SaveCheckpoint(slice %zu): %s\n", slice,
+                   saved.ToString().c_str());
+      return 1;
+    }
+
+    // The swap gate's coherence reference tracks the decayed stream
+    // statistics, exactly like the training kernel.
+    (*registry)->SetCoherenceReference(std::make_shared<eval::NpmiMatrix>(
+        eval::NpmiMatrix::FromCounts(*online.counts())));
+
+    arm_chaos(slice);
+    auto swap =
+        (*registry)->TryPublish(slice_ckpt(static_cast<int>(slice)));
+    if (chaos) {
+      for (const char* site : kChaosSites) {
+        util::FaultInjector::Global().Disarm(site);
+      }
+    }
+    if (!swap.ok()) {
+      std::fprintf(stderr, "FAIL: TryPublish(slice %zu): %s\n", slice,
+                   swap.status().ToString().c_str());
+      return 1;
+    }
+    total_retries += swap->retries;
+    if (swap->outcome != serve::ModelRegistry::SwapOutcome::kPublished) {
+      std::fprintf(stderr, "FAIL: slice %zu swap rejected: %s\n", slice,
+                   swap->reject_reason.ToString().c_str());
+      ok = false;
+      continue;
+    }
+    ++published;
+    mean_churn += swap->top_word_churn;
+    std::printf(
+        "swap %d: version %lld published (churn %.3f, npmi %.4f -> %.4f, "
+        "retries %d, slice npmi_delta %+.4f)\n",
+        published, static_cast<long long>(swap->version),
+        swap->top_word_churn, swap->incumbent_coherence,
+        swap->candidate_coherence, swap->retries, report.npmi_delta);
+
+    // Post-swap traffic must come from the new model, bitwise.
+    auto swapped_oracle =
+        serve::InferenceEngine::Load(slice_ckpt(static_cast<int>(slice)));
+    if (!swapped_oracle.ok()) {
+      std::fprintf(stderr, "FAIL: post-swap oracle load: %s\n",
+                   swapped_oracle.status().ToString().c_str());
+      return 1;
+    }
+    if (!ServeAndVerify(**registry, **swapped_oracle, dataset.slices[slice],
+                        num_queries, "post-swap", &failures)) {
+      ok = false;
+    }
+  }
+  if (published > 0) mean_churn /= published;
+
+  // Rejected-swap leg: a bit-flipped candidate must bounce off the gate
+  // (kDataLoss) and leave serving bitwise-identical to the incumbent.
+  const int last_slice = static_cast<int>(dataset.slices.size()) - 1;
+  const int64_t version_before = (*registry)->current_version();
+  {
+    std::ifstream in(slice_ckpt(last_slice), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    const std::string corrupt_path = ckpt_base + "_corrupt.ckpt";
+    std::ofstream out(corrupt_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    auto rejected = (*registry)->TryPublish(corrupt_path);
+    if (!rejected.ok() ||
+        rejected->outcome != serve::ModelRegistry::SwapOutcome::kRejected) {
+      std::fprintf(stderr,
+                   "FAIL: corrupt candidate was not rejected at the gate\n");
+      ok = false;
+    }
+  }
+  auto final_oracle = serve::InferenceEngine::Load(slice_ckpt(last_slice));
+  if (!final_oracle.ok()) return 1;
+  if ((*registry)->current_version() != version_before ||
+      !ServeAndVerify(**registry, **final_oracle, dataset.slices[last_slice],
+                      num_queries / 2, "post-reject", &failures)) {
+    std::fprintf(stderr, "FAIL: rejected swap disturbed serving\n");
+    ok = false;
+  }
+
+  // Rollback leg: republish the previous slice's model so the new slot is
+  // on probation, open its breaker, and prove the watchdog rolls back
+  // with zero failed requests -- then re-verify serving bitwise against a
+  // no-swap control engine pinned to the pre-swap checkpoint.
+  int64_t rolled_back = 0;
+  {
+    auto swap = (*registry)->TryPublish(slice_ckpt(last_slice - 1));
+    if (!swap.ok() ||
+        swap->outcome != serve::ModelRegistry::SwapOutcome::kPublished) {
+      std::fprintf(stderr, "FAIL: rollback-leg publish did not land\n");
+      ok = false;
+    } else {
+      if (chaos) {
+        util::FaultSpec spec;
+        spec.every_nth = 1;  // rollback retries through an always-on site
+        util::FaultInjector::Global().Arm("registry.rollback", spec);
+      }
+      std::shared_ptr<serve::InferenceEngine> sick =
+          (*registry)->current_engine();
+      for (int i = 0; i < 3; ++i) sick->breaker().RecordFailure();
+      // The next requests ride the watchdog: rollback happens before
+      // dispatch, so they are served by the restored incumbent.
+      if (!ServeAndVerify(**registry, **final_oracle,
+                          dataset.slices[last_slice], num_queries / 2,
+                          "post-rollback", &failures)) {
+        ok = false;
+      }
+      if (chaos) util::FaultInjector::Global().Disarm("registry.rollback");
+      rolled_back = (*registry)->stats().rolled_back;
+      if (rolled_back != 1 ||
+          (*registry)->current_version() != version_before) {
+        std::fprintf(stderr, "FAIL: probation breaker did not roll back\n");
+        ok = false;
+      }
+    }
+  }
+
+  const serve::ModelRegistry::Stats stats = (*registry)->stats();
+  if (published < min_swaps) {
+    std::fprintf(stderr, "FAIL: only %d swaps published (need >= %d)\n",
+                 published, min_swaps);
+    ok = false;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld requests failed; swapping must never cost a "
+                 "request\n",
+                 static_cast<long long>(failures));
+    ok = false;
+  }
+  if (chaos && total_retries == 0) {
+    std::fprintf(stderr,
+                 "FAIL: chaos was armed but no fault ever fired; the gate "
+                 "proved nothing\n");
+    ok = false;
+  }
+
+  util::TableWriter table({"Metric", "Value"});
+  table.AddRow("slices", {double(dataset.slices.size())});
+  table.AddRow("swaps_published", {double(published)});
+  table.AddRow("swaps_rejected", {double(stats.rejected)});
+  table.AddRow("rolled_back", {double(rolled_back)});
+  table.AddRow("chaos_retries", {double(total_retries)});
+  table.AddRow("requests", {double(stats.requests)});
+  table.AddRow("failed_requests", {double(failures)});
+  table.AddRow("mean_top_word_churn", {mean_churn});
+  bench::EmitTable("Continual serving with validation-gated hot swap",
+                   "serve_hotswap", table);
+
+  telemetry->RecordManifest({{"swaps_published", double(published)},
+                             {"swaps_rejected", double(stats.rejected)},
+                             {"rolled_back", double(rolled_back)},
+                             {"chaos_retries", double(total_retries)},
+                             {"requests", double(stats.requests)},
+                             {"failed_requests", double(failures)}});
+  if (ok) {
+    std::printf(
+        "OK: %d swaps published under chaos, %lld requests served, zero "
+        "failures, reject+rollback bitwise-verified\n",
+        published, static_cast<long long>(stats.requests));
+  }
+  return ok ? 0 : 1;
 }
 
 // One serving-precision leg of --mode=precision.
@@ -561,9 +917,6 @@ int main(int argc, char** argv) {
                 ".ckpt"
           : bench_config.checkpoint_path;
 
-  const bench::ExperimentContext context =
-      bench::LoadExperiment(dataset_name, bench_config.doc_scale);
-
   util::RunTelemetry::Options telemetry_options;
   telemetry_options.path =
       bench_config.telemetry_path.empty()
@@ -582,6 +935,19 @@ int main(int argc, char** argv) {
        {"epochs", std::to_string(bench_config.train.epochs)},
        {"topics", std::to_string(bench_config.train.num_topics)},
        {"seed", std::to_string(bench_config.train.seed)}});
+
+  if (mode == "hotswap") {
+    // The hot-swap gate generates its own dynamic stream; the static
+    // experiment context is not needed.
+    const int slices = flags.GetInt("slices", 7);
+    const int min_swaps = flags.GetInt("min-swaps", 5);
+    const bool chaos = flags.GetInt("chaos", 1) != 0;
+    return RunHotSwap(slices, min_swaps, chaos,
+                      flags.GetInt("swap-queries", 24), &telemetry);
+  }
+
+  const bench::ExperimentContext context =
+      bench::LoadExperiment(dataset_name, bench_config.doc_scale);
 
   if (mode == "train") {
     return RunTrain(context, bench_config, checkpoint_path, &telemetry);
@@ -602,7 +968,8 @@ int main(int argc, char** argv) {
     return RunPrecision(context, bench_config, checkpoint_path, precision,
                         &telemetry);
   }
-  std::fprintf(stderr, "unknown --mode=%s (want train|serve|precision)\n",
+  std::fprintf(stderr,
+               "unknown --mode=%s (want train|serve|hotswap|precision)\n",
                mode.c_str());
   return 2;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates a run-telemetry JSONL artifact (DESIGN.md §9).
 
-Usage: check_telemetry.py [--mode=train|serve|faults] <telemetry.jsonl>
+Usage: check_telemetry.py [--mode=train|serve|faults|swaps] <telemetry.jsonl>
 
 Checks, in order:
   1. every line parses as a JSON object with a "type" field;
@@ -27,6 +27,14 @@ Modes (default: train):
           summary must report chaos_ok == 1 (and
           resume_bitwise_identical == 1 when present). A chaos run whose
           injected faults never fire validates nothing.
+  swaps   a continual-serving hot-swap run (bench_serve --mode=hotswap
+          with chaos armed): at least one swap.published, swap.rejected,
+          and swap.rolled_back stage record must exist with sane fields
+          (version >= 1, churn in [0, 1], retries >= 0), the manifest
+          swap.* counters must agree with the stage record counts, the
+          chaos leg must have actually retried (swap.retries >= 1), and
+          the summary must report failed_requests == 0 -- swapping must
+          never cost a request.
 
 Exit code 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -71,6 +79,50 @@ def check_serve_stats(records):
             fail(f"serve_stats latency percentiles not monotone: {stats}")
 
 
+def check_swap_events(stages, manifest):
+    """Validates the swap.* lifecycle events of a hot-swap run."""
+    events = {"swap.published": [], "swap.rejected": [], "swap.rolled_back": []}
+    for record in stages:
+        name = record.get("name")
+        if name in events:
+            events[name].append(record)
+    for name, found in events.items():
+        if not found:
+            fail(f"no {name} stage record; the hot-swap run proved nothing")
+        for record in found:
+            version = record.get("version")
+            # Rejected candidates never get a version; -1 is the sentinel.
+            min_version = -1 if name == "swap.rejected" else 1
+            if not is_finite_number(version) or version < min_version:
+                fail(f"{name} record has invalid 'version': {record}")
+            churn = record.get("top_word_churn")
+            if not is_finite_number(churn) or not 0.0 <= churn <= 1.0:
+                fail(f"{name} record has invalid 'top_word_churn': {record}")
+            retries = record.get("retries")
+            if not is_finite_number(retries) or retries < 0:
+                fail(f"{name} record has invalid 'retries': {record}")
+    counters = manifest.get("counters", {})
+    for name, found in events.items():
+        if counters.get(name) != len(found):
+            fail(
+                f"manifest counter {name}={counters.get(name)} disagrees "
+                f"with {len(found)} stage record(s)"
+            )
+    retries = counters.get("swap.retries")
+    if not is_finite_number(retries) or retries < 1:
+        fail(
+            f"hot-swap run has counter swap.retries={retries}, want >= 1; "
+            "a chaos run whose faults never fire validates nothing"
+        )
+    summary = manifest.get("summary", {})
+    if summary.get("failed_requests") != 0:
+        fail(
+            "hot-swap run manifest summary reports failed_requests="
+            f"{summary.get('failed_requests')}, want 0"
+        )
+    return sum(len(found) for found in events.values())
+
+
 def main():
     args = sys.argv[1:]
     mode = "train"
@@ -80,9 +132,9 @@ def main():
             mode = arg[len("--mode="):]
         else:
             paths.append(arg)
-    if len(paths) != 1 or mode not in ("train", "serve", "faults"):
+    if len(paths) != 1 or mode not in ("train", "serve", "faults", "swaps"):
         fail(
-            "usage: check_telemetry.py [--mode=train|serve|faults]"
+            "usage: check_telemetry.py [--mode=train|serve|faults|swaps]"
             " <telemetry.jsonl>"
         )
     path = paths[0]
@@ -142,6 +194,9 @@ def main():
                 f"{summary['bitwise_mismatches']}"
             )
         detail = "serve_stats valid"
+    elif mode == "swaps":
+        n_events = check_swap_events(by_type["stage"], manifests[0])
+        detail = f"{n_events} swap lifecycle event(s) proven"
     else:
         if not epochs:
             fail("no epoch records")

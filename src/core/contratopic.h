@@ -108,6 +108,10 @@ class ContraTopicModel : public topicmodel::NeuralTopicModel {
   // statistics evolve as new time slices arrive).
   void SetKernel(std::unique_ptr<eval::NpmiMatrix> npmi);
 
+  // The current NPMI kernel (null before Prepare()/SetKernel). The online
+  // driver scores per-slice drift metrics against it.
+  const eval::NpmiMatrix* kernel() const { return train_npmi_.get(); }
+
  private:
   // Union of each topic's top candidate words under the current beta.
   std::vector<int> CandidateWords(const Tensor& beta_value) const;

@@ -1,11 +1,58 @@
 #include "core/online.h"
 
+#include <algorithm>
+#include <unordered_set>
+
+#include "eval/metrics.h"
 #include "eval/npmi.h"
 #include "topicmodel/etm.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace contratopic {
 namespace core {
+
+namespace {
+
+// Per-topic top-k word ids under `beta`, in TopKIndicesOfRow order.
+std::vector<std::vector<int>> TopWordsOf(const tensor::Tensor& beta, int k) {
+  std::vector<std::vector<int>> top(static_cast<size_t>(beta.rows()));
+  for (int64_t t = 0; t < beta.rows(); ++t) {
+    top[static_cast<size_t>(t)] = beta.TopKIndicesOfRow(t, k);
+  }
+  return top;
+}
+
+// Mean over topics of the fraction of `prev` top words absent from the
+// matching `cur` topic (the serving registry applies the same metric at
+// its swap gate; see serve::TopWordChurn).
+double Churn(const std::vector<std::vector<int>>& prev,
+             const std::vector<std::vector<int>>& cur) {
+  if (prev.empty() || prev.size() != cur.size()) return 0.0;
+  double total = 0.0;
+  for (size_t t = 0; t < prev.size(); ++t) {
+    if (prev[t].empty()) continue;
+    std::unordered_set<int> now(cur[t].begin(), cur[t].end());
+    size_t missing = 0;
+    for (int id : prev[t]) {
+      if (now.find(id) == now.end()) ++missing;
+    }
+    total += static_cast<double>(missing) / static_cast<double>(prev[t].size());
+  }
+  return total / static_cast<double>(prev.size());
+}
+
+double MeanCoherence(const std::vector<std::vector<int>>& top_words,
+                     const eval::NpmiMatrix& npmi) {
+  if (top_words.empty()) return 0.0;
+  double total = 0.0;
+  for (const std::vector<int>& ids : top_words) {
+    total += npmi.MeanPairwise(ids);
+  }
+  return total / static_cast<double>(top_words.size());
+}
+
+}  // namespace
 
 OnlineContraTopic::OnlineContraTopic(const embed::WordEmbeddings& embeddings,
                                      Options options)
@@ -22,6 +69,7 @@ OnlineContraTopic::OnlineContraTopic(const embed::WordEmbeddings& embeddings,
 OnlineContraTopic::SliceReport OnlineContraTopic::FitSlice(
     const text::BowCorpus& slice) {
   CHECK_GT(slice.num_docs(), 0);
+  util::Stopwatch watch;
   SliceReport report;
   report.slice_index = slices_seen_;
 
@@ -49,6 +97,29 @@ OnlineContraTopic::SliceReport OnlineContraTopic::FitSlice(
     report.stats = model_->TrainMore(slice, options_.epochs_per_slice);
   }
   report.accumulated_docs = counts_->num_docs();
+
+  // Drift metrics: how far this slice's topics moved from the previous
+  // slice's, and their coherence under the *current* decayed kernel.
+  std::vector<std::vector<int>> top_words =
+      TopWordsOf(model_->Beta(), eval::kCoherenceTopWords);
+  report.top_word_churn = Churn(prev_top_words_, top_words);
+  const eval::NpmiMatrix* slice_kernel = model_->kernel();
+  CHECK(slice_kernel != nullptr);
+  report.npmi = MeanCoherence(top_words, *slice_kernel);
+  report.npmi_delta = slices_seen_ > 0 ? report.npmi - prev_npmi_ : 0.0;
+  prev_top_words_ = std::move(top_words);
+  prev_npmi_ = report.npmi;
+
+  if (telemetry_ != nullptr) {
+    telemetry_->RecordStage(
+        "online_slice", watch.ElapsedSeconds(),
+        {{"slice", static_cast<double>(report.slice_index)},
+         {"accumulated_docs", static_cast<double>(report.accumulated_docs)},
+         {"top_word_churn", report.top_word_churn},
+         {"npmi", report.npmi},
+         {"npmi_delta", report.npmi_delta}});
+  }
+
   ++slices_seen_;
   return report;
 }

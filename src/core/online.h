@@ -17,6 +17,7 @@
 #include "core/contratopic.h"
 #include "embed/cooccurrence.h"
 #include "embed/word_embeddings.h"
+#include "util/telemetry.h"
 
 namespace contratopic {
 namespace core {
@@ -36,6 +37,14 @@ class OnlineContraTopic {
     int slice_index = 0;
     topicmodel::TrainStats stats;
     int64_t accumulated_docs = 0;  // effective (decayed) document count
+    // Drift metrics (this slice vs the previous one; zero on slice 0).
+    // Mean fraction of each topic's previous top-10 words replaced by
+    // this slice's fit -- how fast the topics are tracking the stream.
+    double top_word_churn = 0.0;
+    // Mean per-topic top-word coherence under this slice's decayed NPMI
+    // kernel, and its change against the previous slice.
+    double npmi = 0.0;
+    double npmi_delta = 0.0;
   };
 
   OnlineContraTopic(const embed::WordEmbeddings& embeddings, Options options);
@@ -50,6 +59,18 @@ class OnlineContraTopic {
 
   int num_slices_seen() const { return slices_seen_; }
   const ContraTopicModel& model() const { return *model_; }
+  // Non-const access, e.g. for checkpointing the warm model between
+  // slices (serve::SaveCheckpoint takes a mutable TopicModel&).
+  ContraTopicModel& mutable_model() { return *model_; }
+
+  // The decayed co-occurrence accumulator (null before the first slice).
+  // A continual-serving loop rebuilds its swap-gate coherence reference
+  // (eval::NpmiMatrix::FromCounts) from this.
+  const embed::CooccurrenceCounts* counts() const { return counts_.get(); }
+
+  // Per-slice drift metrics are mirrored as "online_slice" stage records
+  // on this sink (not owned; may be null).
+  void SetTelemetry(util::RunTelemetry* telemetry) { telemetry_ = telemetry; }
 
  private:
   Options options_;
@@ -57,6 +78,11 @@ class OnlineContraTopic {
   std::unique_ptr<ContraTopicModel> model_;
   std::unique_ptr<embed::CooccurrenceCounts> counts_;
   int slices_seen_ = 0;
+  // Previous slice's per-topic top words and coherence, for the drift
+  // metrics.
+  std::vector<std::vector<int>> prev_top_words_;
+  double prev_npmi_ = 0.0;
+  util::RunTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace core

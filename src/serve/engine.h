@@ -140,6 +140,9 @@ class InferenceEngine {
   const topicmodel::ModelDescriptor& descriptor() const {
     return checkpoint_.descriptor;
   }
+  // The checkpoint this engine was restored from (the registry's
+  // validation gate compares candidates against the incumbent's).
+  const Checkpoint& checkpoint() const { return checkpoint_; }
   int num_topics() const { return checkpoint_.descriptor.config.num_topics; }
   int vocab_size() const { return checkpoint_.descriptor.vocab_size; }
   const std::vector<std::string>& vocab() const { return checkpoint_.vocab; }

@@ -1,0 +1,467 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <unordered_set>
+
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
+
+namespace contratopic {
+namespace serve {
+
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+// Stage failures worth retrying: everything else (kDataLoss corruption,
+// kFailedPrecondition gate verdicts, kInvalidArgument structure) is a
+// property of the candidate and retrying cannot change it.
+bool IsTransient(const Status& status) {
+  return status.code() == util::StatusCode::kUnavailable ||
+         status.code() == util::StatusCode::kIOError;
+}
+
+// Rollback is an in-memory pointer swap and must always complete; the
+// fault site models transient failures around it (e.g. persisting the
+// rollback decision). After this many consecutive fires the rollback
+// proceeds anyway rather than leaving a sick model published.
+constexpr int kMaxRollbackRetries = 64;
+
+}  // namespace
+
+Status ScanCheckpointFinite(const Checkpoint& checkpoint) {
+  auto scan = [](const tensor::Tensor& t, const std::string& name) -> Status {
+    const float* data = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      if (!std::isfinite(data[i])) {
+        return Status::DataLoss("non-finite value in checkpoint tensor '" +
+                                name + "' at index " + std::to_string(i));
+      }
+    }
+    return Status::OK();
+  };
+  for (const auto& [name, t] : checkpoint.tensors) {
+    CT_RETURN_IF_ERROR(scan(t, name));
+  }
+  return scan(checkpoint.beta, "beta");
+}
+
+double TopWordChurn(const std::vector<std::vector<int>>& incumbent,
+                    const std::vector<std::vector<int>>& candidate, int k) {
+  const size_t topics = std::min(incumbent.size(), candidate.size());
+  if (topics == 0 || k <= 0) return 0.0;
+  double total = 0.0;
+  for (size_t t = 0; t < topics; ++t) {
+    const size_t inc_k =
+        std::min<size_t>(incumbent[t].size(), static_cast<size_t>(k));
+    if (inc_k == 0) continue;
+    std::unordered_set<int> cand(
+        candidate[t].begin(),
+        candidate[t].begin() +
+            std::min<size_t>(candidate[t].size(), static_cast<size_t>(k)));
+    size_t missing = 0;
+    for (size_t i = 0; i < inc_k; ++i) {
+      if (cand.find(incumbent[t][i]) == cand.end()) ++missing;
+    }
+    total += static_cast<double>(missing) / static_cast<double>(inc_k);
+  }
+  return total / static_cast<double>(topics);
+}
+
+double MeanTopicCoherence(const std::vector<std::vector<int>>& top_words,
+                          const eval::NpmiMatrix& npmi, int k) {
+  if (top_words.empty() || k <= 0) return 0.0;
+  double total = 0.0;
+  for (const std::vector<int>& topic : top_words) {
+    std::vector<int> ids;
+    ids.reserve(static_cast<size_t>(k));
+    for (int id : topic) {
+      if (static_cast<int>(ids.size()) >= k) break;
+      if (id >= 0 && id < npmi.vocab_size()) ids.push_back(id);
+    }
+    total += npmi.MeanPairwise(ids);
+  }
+  return total / static_cast<double>(top_words.size());
+}
+
+ModelRegistry::ModelRegistry(const Options& options) : options_(options) {
+  CHECK_GE(options_.max_history, 1);
+  CHECK_GE(options_.probation_requests, 0);
+  // Pre-create the swap instruments so a manifest snapshot lists them
+  // even when no swap has happened yet.
+  util::MetricsRegistry::Global().counter("swap.published");
+  util::MetricsRegistry::Global().counter("swap.rejected");
+  util::MetricsRegistry::Global().counter("swap.rolled_back");
+  util::MetricsRegistry::Global().counter("swap.retries");
+}
+
+ModelRegistry::~ModelRegistry() = default;
+
+StatusOr<std::unique_ptr<ModelRegistry>> ModelRegistry::Create(
+    const std::string& initial_checkpoint, const Options& options) {
+  std::unique_ptr<ModelRegistry> registry(new ModelRegistry(options));
+  StatusOr<SwapReport> report = registry->TryPublish(initial_checkpoint);
+  if (!report.ok()) return report.status();
+  if (report->outcome != SwapOutcome::kPublished) {
+    return report->reject_reason;
+  }
+  return registry;
+}
+
+Status ModelRegistry::RunStage(const std::string& site,
+                               const std::function<Status()>& fn,
+                               int* retries) {
+  const int attempts = std::max(1, options_.swap_retry.max_attempts);
+  Status status = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      ++*retries;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.swap_retries;
+      }
+      util::MetricsRegistry::Global().counter("swap.retries").Increment();
+      // BackoffMs(k) is the deterministic wait before attempt k+1.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.swap_retry.BackoffMs(attempt - 1)));
+    }
+    if (util::FaultInjector::Global().ShouldFail(site)) {
+      status = Status::Unavailable("injected " + site + " failure");
+    } else {
+      status = fn();
+    }
+    if (status.ok() || !IsTransient(status)) return status;
+  }
+  return status;
+}
+
+Status ModelRegistry::ValidateCandidate(const Checkpoint& candidate,
+                                        InferenceEngine& engine,
+                                        const Slot* incumbent,
+                                        SwapReport* report) const {
+  CT_RETURN_IF_ERROR(ScanCheckpointFinite(candidate));
+
+  // Theta sanity on the pinned probe batch: every row must be a finite,
+  // non-negative, ~normalized distribution before the model may serve.
+  for (size_t p = 0; p < options_.gate.probe_docs.size(); ++p) {
+    ThetaResult theta = engine.InferTheta(options_.gate.probe_docs[p]);
+    if (!theta.ok()) {
+      return Status::FailedPrecondition("probe document " + std::to_string(p) +
+                                        " failed: " +
+                                        theta.status().ToString());
+    }
+    double sum = 0.0;
+    for (float v : *theta) {
+      if (!std::isfinite(v) || v < 0.0f) {
+        return Status::FailedPrecondition(
+            "probe document " + std::to_string(p) +
+            " produced a non-finite or negative theta entry");
+      }
+      sum += v;
+    }
+    if (std::fabs(sum - 1.0) > 1e-3) {
+      return Status::FailedPrecondition(
+          "probe document " + std::to_string(p) +
+          " produced an unnormalized theta (sum " + std::to_string(sum) + ")");
+    }
+  }
+
+  if (incumbent == nullptr) return Status::OK();
+  const Checkpoint& current = incumbent->engine->checkpoint();
+
+  // A swap may not change the serving contract out from under clients.
+  if (candidate.descriptor.vocab_size != current.descriptor.vocab_size) {
+    return Status::FailedPrecondition(
+        "candidate vocabulary size " +
+        std::to_string(candidate.descriptor.vocab_size) +
+        " differs from the incumbent's " +
+        std::to_string(current.descriptor.vocab_size));
+  }
+  if (candidate.descriptor.config.num_topics !=
+      current.descriptor.config.num_topics) {
+    return Status::FailedPrecondition(
+        "candidate topic count " +
+        std::to_string(candidate.descriptor.config.num_topics) +
+        " differs from the incumbent's " +
+        std::to_string(current.descriptor.config.num_topics));
+  }
+
+  report->top_word_churn = TopWordChurn(current.top_words, candidate.top_words,
+                                        options_.gate.churn_top_words);
+  if (report->top_word_churn > options_.gate.max_top_word_churn) {
+    return Status::FailedPrecondition(
+        "top-word churn " + std::to_string(report->top_word_churn) +
+        " exceeds the gate's " +
+        std::to_string(options_.gate.max_top_word_churn));
+  }
+
+  if (coherence_reference_ != nullptr) {
+    report->candidate_coherence =
+        MeanTopicCoherence(candidate.top_words, *coherence_reference_,
+                           options_.gate.churn_top_words);
+    report->incumbent_coherence =
+        MeanTopicCoherence(current.top_words, *coherence_reference_,
+                           options_.gate.churn_top_words);
+    if (report->candidate_coherence <
+        report->incumbent_coherence - options_.gate.max_coherence_drop) {
+      return Status::FailedPrecondition(
+          "candidate coherence " +
+          std::to_string(report->candidate_coherence) + " drops more than " +
+          std::to_string(options_.gate.max_coherence_drop) +
+          " below the incumbent's " +
+          std::to_string(report->incumbent_coherence));
+    }
+  }
+  return Status::OK();
+}
+
+void ModelRegistry::EmitSwapEvent(const char* name, const SwapReport& report) {
+  util::MetricsRegistry::Global().counter(name).Increment();
+  if (telemetry_ == nullptr) return;
+  telemetry_->RecordStage(
+      name, 0.0,
+      {{"version", static_cast<double>(report.version)},
+       {"top_word_churn", report.top_word_churn},
+       {"candidate_coherence", report.candidate_coherence},
+       {"incumbent_coherence", report.incumbent_coherence},
+       {"retries", static_cast<double>(report.retries)}});
+}
+
+void ModelRegistry::Publish(std::shared_ptr<Slot> slot) {
+  std::shared_ptr<Slot> old = current_.load(std::memory_order_acquire);
+  if (old != nullptr) {
+    history_.push_back(old);
+    while (static_cast<int>(history_.size()) > options_.max_history) {
+      // Dropping the oldest slot releases the registry's reference; the
+      // engine drains and dies when the last in-flight reader lets go.
+      history_.pop_front();
+    }
+  }
+  current_.store(std::move(slot), std::memory_order_release);
+}
+
+StatusOr<ModelRegistry::SwapReport> ModelRegistry::TryPublish(
+    const std::string& checkpoint_path) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  SwapReport report;
+  const std::shared_ptr<Slot> incumbent =
+      current_.load(std::memory_order_acquire);
+
+  auto reject = [&](Status why) -> SwapReport {
+    report.outcome = SwapOutcome::kRejected;
+    report.version = -1;
+    report.reject_reason = std::move(why);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    EmitSwapEvent("swap.rejected", report);
+    return report;
+  };
+
+  // Stage 1: load. ReadCheckpoint verifies magic, version, and the
+  // payload checksum, so a truncated or bit-flipped candidate surfaces
+  // here as kDataLoss -- permanent, never retried, incumbent untouched.
+  Checkpoint checkpoint;
+  bool loaded = false;
+  Status status = RunStage(
+      "registry.load",
+      [&]() -> Status {
+        if (loaded) return Status::OK();
+        StatusOr<Checkpoint> read = ReadCheckpoint(checkpoint_path);
+        if (!read.ok()) return read.status();
+        checkpoint = std::move(read).value();
+        loaded = true;
+        return Status::OK();
+      },
+      &report.retries);
+  if (!status.ok()) return reject(std::move(status));
+
+  // Stage 2: validate. Restoring the model (engine construction) is part
+  // of validation -- a candidate that cannot be restored can certainly
+  // not serve. The engine is built once and reused across retry attempts.
+  std::shared_ptr<InferenceEngine> engine;
+  status = RunStage(
+      "registry.validate",
+      [&]() -> Status {
+        if (engine == nullptr) {
+          StatusOr<std::unique_ptr<InferenceEngine>> built =
+              InferenceEngine::FromCheckpoint(std::move(checkpoint),
+                                              options_.engine);
+          if (!built.ok()) return built.status();
+          engine = std::move(built).value();
+        }
+        return ValidateCandidate(engine->checkpoint(), *engine,
+                                 incumbent.get(), &report);
+      },
+      &report.retries);
+  if (!status.ok()) return reject(std::move(status));
+
+  // Stage 3: swap. Assemble the slot that will carry the new version.
+  std::shared_ptr<Slot> slot;
+  status = RunStage(
+      "registry.swap",
+      [&]() -> Status {
+        if (slot == nullptr) {
+          slot = std::make_shared<Slot>();
+          slot->engine = std::move(engine);
+        }
+        return Status::OK();
+      },
+      &report.retries);
+  if (!status.ok()) return reject(std::move(status));
+
+  // Stage 4: publish. The fault site fires *before* the pointer store:
+  // a failed publication leaves the incumbent serving, bitwise
+  // untouched. The store itself is the single atomic publication point.
+  status = RunStage(
+      "registry.publish", [&]() -> Status { return Status::OK(); },
+      &report.retries);
+  if (!status.ok()) return reject(std::move(status));
+
+  slot->version = next_version_++;
+  slot->probation_remaining.store(
+      incumbent != nullptr ? options_.probation_requests : 0,
+      std::memory_order_relaxed);
+  report.outcome = SwapOutcome::kPublished;
+  report.version = slot->version;
+  Publish(std::move(slot));
+  if (incumbent != nullptr) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.published;
+    }
+    EmitSwapEvent("swap.published", report);
+  }
+  return report;
+}
+
+std::shared_ptr<ModelRegistry::Slot> ModelRegistry::RollBack(
+    const std::shared_ptr<Slot>& sick) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  std::shared_ptr<Slot> current = current_.load(std::memory_order_acquire);
+  if (current != sick) return current;  // raced: already swapped away
+  if (history_.empty()) return current;  // nothing to roll back to
+  // The rollback fault site is retried until it clears (bounded): the
+  // pointer swap itself cannot fail, and a sick model must never stay
+  // published because chaos was armed.
+  for (int spin = 0; spin < kMaxRollbackRetries &&
+                     util::FaultInjector::Global().ShouldFail(
+                         "registry.rollback");
+       ++spin) {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.swap_retries;
+  }
+  std::shared_ptr<Slot> restored = history_.back();
+  history_.pop_back();
+  restored->probation_remaining.store(0, std::memory_order_relaxed);
+  current_.store(restored, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.rolled_back;
+  }
+  SwapReport report;
+  report.version = restored->version;
+  EmitSwapEvent("swap.rolled_back", report);
+  return restored;
+}
+
+ModelRegistry::ThetaResult ModelRegistry::InferTheta(const BowDoc& doc) {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  CHECK(slot != nullptr) << "registry has no published model";
+  // Post-swap watchdog: a probationary slot whose breaker has opened is
+  // rolled back *before* dispatch, so this request is served by the
+  // restored incumbent instead of failing on the sick model.
+  if (slot->probation_remaining.load(std::memory_order_relaxed) > 0 &&
+      slot->engine->health() == InferenceEngine::HealthState::kDegraded) {
+    slot = RollBack(slot);
+  }
+  ThetaResult result = slot->engine->InferTheta(doc);
+  if (!result.ok() &&
+      result.status().code() == util::StatusCode::kUnavailable &&
+      slot->probation_remaining.load(std::memory_order_relaxed) > 0 &&
+      slot->engine->health() == InferenceEngine::HealthState::kDegraded) {
+    // The model went sick mid-request during probation: roll back and
+    // re-serve from the restored incumbent so the swap costs no request.
+    std::shared_ptr<Slot> restored = RollBack(slot);
+    if (restored != slot) result = restored->engine->InferTheta(doc);
+    slot = std::move(restored);
+  }
+  if (result.ok() &&
+      slot->probation_remaining.load(std::memory_order_relaxed) > 0) {
+    slot->probation_remaining.fetch_sub(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  return result;
+}
+
+StatusOr<std::vector<std::pair<int, float>>> ModelRegistry::TopTopics(
+    const BowDoc& doc, int k) {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  CHECK(slot != nullptr) << "registry has no published model";
+  if (slot->probation_remaining.load(std::memory_order_relaxed) > 0 &&
+      slot->engine->health() == InferenceEngine::HealthState::kDegraded) {
+    slot = RollBack(slot);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  return slot->engine->TopTopics(doc, k);
+}
+
+StatusOr<std::vector<std::string>> ModelRegistry::TopicTopWords(int topic,
+                                                                int k) {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  CHECK(slot != nullptr) << "registry has no published model";
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests;
+  }
+  return slot->engine->TopicTopWords(topic, k);
+}
+
+int64_t ModelRegistry::current_version() const {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  return slot != nullptr ? slot->version : -1;
+}
+
+std::shared_ptr<InferenceEngine> ModelRegistry::current_engine() const {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  return slot != nullptr ? slot->engine : nullptr;
+}
+
+int ModelRegistry::probation_remaining() const {
+  std::shared_ptr<Slot> slot = current_.load(std::memory_order_acquire);
+  if (slot == nullptr) return 0;
+  const int64_t left = slot->probation_remaining.load(std::memory_order_relaxed);
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+ModelRegistry::Stats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void ModelRegistry::SetCoherenceReference(
+    std::shared_ptr<const eval::NpmiMatrix> npmi) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  coherence_reference_ = std::move(npmi);
+}
+
+void ModelRegistry::SetTelemetry(util::RunTelemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  telemetry_ = telemetry;
+}
+
+}  // namespace serve
+}  // namespace contratopic

@@ -1,0 +1,250 @@
+#ifndef CONTRATOPIC_SERVE_REGISTRY_H_
+#define CONTRATOPIC_SERVE_REGISTRY_H_
+
+// ModelRegistry: validation-gated hot-swap serving (DESIGN.md §16). The
+// registry owns a sequence of versioned model *slots*, each wrapping a
+// fully constructed InferenceEngine, and publishes the current one
+// through an RCU-style atomic shared_ptr swap:
+//
+//   readers   copy the current slot pointer (one atomic acquire), serve
+//             from its engine, and release it when done -- a swap never
+//             interrupts an in-flight batch, which finishes on the model
+//             it started on (the old engine drains when its last
+//             reference drops);
+//   writers   (TryPublish / rollback) build the next slot off to the
+//             side and install it with a single release store -- new
+//             requests see the new model immediately, with zero serving
+//             gap and no request ever failing because a swap is in
+//             progress.
+//
+// Every candidate passes a pre-swap validation gate before publication:
+//   1. checkpoint integrity -- ReadCheckpoint verifies magic, version,
+//      and the payload checksum, so a truncated or bit-flipped candidate
+//      is rejected as kDataLoss without ever unseating the incumbent;
+//   2. a NaN/Inf scan of every state tensor and beta;
+//   3. theta sanity on a pinned probe batch (finite, non-negative rows
+//      summing to ~1);
+//   4. an interpretability gate against the incumbent: per-topic
+//      top-word churn above Gate::max_top_word_churn rejects, and, when
+//      a coherence reference (eval::NpmiMatrix) is set, candidate mean
+//      NPMI coherence may not drop more than Gate::max_coherence_drop
+//      below the incumbent's.
+// A rejected candidate emits "swap.rejected" telemetry and leaves
+// serving bitwise-identical to the incumbent.
+//
+// After publication the slot is on *probation*: for the next
+// Options::probation_requests requests the registry watches the new
+// engine's CircuitBreaker, and if it opens, automatically rolls back to
+// the previous slot -- bitwise-identical to pre-swap serving. The
+// watchdog runs before the request is dispatched, so the request that
+// detects the sick model is served by the restored incumbent instead of
+// failing.
+//
+// Chaos: the whole reload path is sprinkled with util::FaultInjector
+// sites -- "registry.load", "registry.validate", "registry.swap",
+// "registry.publish", "registry.rollback". Injected (or genuinely
+// transient: kUnavailable / kIOError) stage failures retry on
+// Options::swap_retry's deterministic backoff schedule; permanent
+// failures (kDataLoss, kInvalidArgument, ...) reject immediately.
+// The rollback site is retried until it clears: a rollback is an
+// in-memory pointer swap and must always complete.
+//
+// Telemetry: "swap.published" / "swap.rejected" / "swap.rolled_back"
+// counters in util::MetricsRegistry, matching RecordStage events on an
+// attached util::RunTelemetry sink (validated by
+// scripts/check_telemetry.py --mode=swaps).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/npmi.h"
+#include "serve/engine.h"
+#include "serve/resilience.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace contratopic {
+namespace serve {
+
+class ModelRegistry {
+ public:
+  using BowDoc = InferenceEngine::BowDoc;
+  using ThetaResult = InferenceEngine::ThetaResult;
+
+  // Pre-swap validation-gate thresholds (DESIGN.md §16).
+  struct Gate {
+    // Top words compared per topic for the churn metric.
+    int churn_top_words = 10;
+    // Mean fraction of the incumbent's per-topic top words replaced by
+    // the candidate; above this the swap is rejected. 1.0 disables.
+    double max_top_word_churn = 0.8;
+    // With a coherence reference set, reject when the candidate's mean
+    // top-word NPMI falls more than this below the incumbent's.
+    double max_coherence_drop = 0.05;
+    // Pinned probe documents; every candidate must produce a finite,
+    // non-negative, ~normalized theta row for each before publication.
+    std::vector<BowDoc> probe_docs;
+  };
+
+  struct Options {
+    // Applied to every slot's engine (batcher, cache, retry, breaker).
+    InferenceEngine::Options engine;
+    Gate gate;
+    // Retry schedule for transient / injected faults in the
+    // load->validate->swap->publish pipeline.
+    RetryPolicy swap_retry;
+    // Requests after a publication during which an opening breaker on
+    // the new engine triggers automatic rollback; 0 disables the
+    // watchdog.
+    int probation_requests = 64;
+    // Previous slots retained as rollback targets / to let in-flight
+    // work drain (>= 1).
+    int max_history = 2;
+  };
+
+  enum class SwapOutcome { kPublished, kRejected };
+
+  // What one TryPublish attempt did. `reject_reason` is OK for a
+  // published swap; for a rejected one it carries the gate's verdict
+  // (kDataLoss for corruption, kFailedPrecondition for gate failures,
+  // the exhausted stage's status for persistent transient faults).
+  struct SwapReport {
+    SwapOutcome outcome = SwapOutcome::kRejected;
+    int64_t version = -1;  // the published version; -1 when rejected
+    util::Status reject_reason;
+    double top_word_churn = 0.0;
+    double candidate_coherence = 0.0;
+    double incumbent_coherence = 0.0;
+    // Transient stage failures retried through (injected or real).
+    int retries = 0;
+  };
+
+  struct Stats {
+    int64_t published = 0;    // successful swaps (excluding the initial)
+    int64_t rejected = 0;     // candidates stopped by the gate
+    int64_t rolled_back = 0;  // probation rollbacks
+    int64_t swap_retries = 0;
+    int64_t requests = 0;     // front-door requests routed to a slot
+  };
+
+  // Loads `initial_checkpoint` as version 1. The initial model passes
+  // the integrity + NaN + probe stages of the gate (there is no
+  // incumbent to compare interpretability against).
+  static util::StatusOr<std::unique_ptr<ModelRegistry>> Create(
+      const std::string& initial_checkpoint, const Options& options);
+
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // The validation-gated swap: load `checkpoint_path`, run the gate
+  // against the incumbent, and publish on success. Returns a SwapReport
+  // for both outcomes; a non-OK StatusOr means the registry itself is
+  // unusable (never caused by a bad candidate). Thread-safe; concurrent
+  // publishers are serialized.
+  util::StatusOr<SwapReport> TryPublish(const std::string& checkpoint_path);
+
+  // Serving front door: routes to the current slot. A probationary slot
+  // whose breaker has opened is rolled back first, so the request is
+  // served by the restored incumbent.
+  ThetaResult InferTheta(const BowDoc& doc);
+  util::StatusOr<std::vector<std::pair<int, float>>> TopTopics(
+      const BowDoc& doc, int k);
+  util::StatusOr<std::vector<std::string>> TopicTopWords(int topic, int k);
+
+  // Monotone version of the currently published slot (1 = initial).
+  int64_t current_version() const;
+  // The engine serving new requests right now (tests pin breakers and
+  // compare bitwise through this).
+  std::shared_ptr<InferenceEngine> current_engine() const;
+  // Requests left in the current slot's probation window (0 when
+  // established).
+  int probation_remaining() const;
+
+  Stats stats() const;
+
+  // Coherence reference for gate stage 4; null disables that check.
+  // Typically rebuilt per time slice from the decayed co-occurrence
+  // accumulator (core::OnlineContraTopic::counts()).
+  void SetCoherenceReference(std::shared_ptr<const eval::NpmiMatrix> npmi);
+
+  // Swap outcomes are mirrored as RecordStage events on this sink (not
+  // owned; may be null).
+  void SetTelemetry(util::RunTelemetry* telemetry);
+
+ private:
+  struct Slot {
+    int64_t version = 0;
+    std::shared_ptr<InferenceEngine> engine;
+    // Requests left before the slot is considered established; counts
+    // down from Options::probation_requests after publication.
+    std::atomic<int64_t> probation_remaining{0};
+  };
+
+  explicit ModelRegistry(const Options& options);
+
+  // One gate stage with its fault site: runs `fn` (after consulting
+  // `site`), retrying transient failures on swap_retry. Returns the
+  // final status; bumps *retries per extra attempt.
+  util::Status RunStage(const std::string& site,
+                        const std::function<util::Status()>& fn,
+                        int* retries);
+
+  // Stages 2-4 of the gate (NaN scan, probe theta, churn/coherence).
+  // `incumbent` is null for the initial load.
+  util::Status ValidateCandidate(const Checkpoint& candidate,
+                                 InferenceEngine& engine, const Slot* incumbent,
+                                 SwapReport* report) const;
+
+  // Installs `slot`, retiring the incumbent into history.
+  void Publish(std::shared_ptr<Slot> slot);
+
+  // Rolls back if `sick` is still current; returns the slot now serving.
+  std::shared_ptr<Slot> RollBack(const std::shared_ptr<Slot>& sick);
+
+  void EmitSwapEvent(const char* name, const SwapReport& report);
+
+  const Options options_;
+
+  // RCU publication point: readers acquire, writers release.
+  std::atomic<std::shared_ptr<Slot>> current_;
+
+  // Serializes writers (TryPublish / RollBack) and guards the fields
+  // below.
+  mutable std::mutex swap_mu_;
+  std::deque<std::shared_ptr<Slot>> history_;  // newest last
+  int64_t next_version_ = 1;
+  std::shared_ptr<const eval::NpmiMatrix> coherence_reference_;
+  util::RunTelemetry* telemetry_ = nullptr;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+// --- Gate helpers (exposed for tests) -----------------------------------
+
+// kDataLoss when any state tensor or beta holds a NaN/Inf.
+util::Status ScanCheckpointFinite(const Checkpoint& checkpoint);
+
+// Mean over topics of the fraction of `incumbent` top-k words absent
+// from the matching candidate topic's top-k. Both lists are the
+// checkpoints' precomputed per-topic top-word ids.
+double TopWordChurn(const std::vector<std::vector<int>>& incumbent,
+                    const std::vector<std::vector<int>>& candidate, int k);
+
+// Mean per-topic MeanPairwise NPMI over each topic's top-k words.
+double MeanTopicCoherence(const std::vector<std::vector<int>>& top_words,
+                          const eval::NpmiMatrix& npmi, int k);
+
+}  // namespace serve
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_SERVE_REGISTRY_H_

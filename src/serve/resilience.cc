@@ -11,10 +11,25 @@ namespace serve {
 
 double RetryPolicy::BackoffMs(int attempt) const {
   CHECK_GE(attempt, 1);
-  double backoff =
-      base_backoff_ms * std::pow(backoff_multiplier,
-                                 static_cast<double>(attempt - 1));
-  backoff = std::min(backoff, max_backoff_ms);
+  // pow(multiplier, attempt-1) overflows to inf around attempt ~ 350 for
+  // multiplier 2.0, and 0 * inf is NaN (which std::min then propagates),
+  // so clamp the exponent first: once base * multiplier^e reaches
+  // max_backoff_ms, a larger exponent cannot change the capped result.
+  // The +1 margin absorbs log() rounding; small attempts hit the same
+  // pow() call as before, so existing schedules are bitwise-unchanged.
+  double exponent = static_cast<double>(attempt - 1);
+  if (backoff_multiplier > 1.0 && base_backoff_ms > 0.0 &&
+      max_backoff_ms > 0.0) {
+    const double cap = std::ceil(std::log(max_backoff_ms / base_backoff_ms) /
+                                 std::log(backoff_multiplier)) +
+                       1.0;
+    exponent = std::min(exponent, std::max(cap, 1.0));
+  }
+  double backoff = base_backoff_ms * std::pow(backoff_multiplier, exponent);
+  if (!std::isfinite(backoff)) {
+    backoff = base_backoff_ms == 0.0 ? 0.0 : max_backoff_ms;
+  }
+  backoff = std::min(std::max(backoff, 0.0), max_backoff_ms);
   const uint64_t h =
       util::MixBits(jitter_seed ^ util::MixBits(static_cast<uint64_t>(attempt)));
   // 53 bits -> uniform double in [0, 1), same construction as Rng::Uniform.

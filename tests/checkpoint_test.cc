@@ -3,6 +3,8 @@
 // flip, version skew, wrong magic -- surfaces as a util::Status, never
 // a crash. These run under the address,undefined sanitizer CI job.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -58,7 +60,11 @@ struct CheckpointFixture {
         }())) {
     auto model = core::CreateModel("etm", TinyConfig(), embeddings);
     model->Train(dataset.train);
-    etm_path = ::testing::TempDir() + "/checkpoint_fixture_etm.ckpt";
+    // gtest_discover_tests runs every TEST in its own process; suffix the
+    // shared fixture path with the pid so parallel ctest workers do not
+    // race each other's atomic-rename writes to one file.
+    etm_path = ::testing::TempDir() + "/checkpoint_fixture_etm_" +
+               std::to_string(::getpid()) + ".ckpt";
     CHECK(SaveCheckpoint(*model, dataset.train.vocab(), etm_path).ok());
     std::ifstream in(etm_path, std::ios::binary);
     etm_bytes.assign(std::istreambuf_iterator<char>(in),

@@ -19,6 +19,7 @@
 #include "text/dynamic.h"
 #include "text/synthetic.h"
 #include "topicmodel/etm.h"
+#include "util/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace contratopic {
@@ -210,6 +211,13 @@ struct OnlineRun {
   tensor::Tensor beta;
   tensor::Tensor theta;
   std::vector<int64_t> accumulated_docs;
+  // Per-slice drift metrics; doubles compared with exact equality in the
+  // determinism test (they are pure functions of beta + the kernel).
+  std::vector<double> churn;
+  std::vector<double> npmi;
+  std::vector<double> npmi_delta;
+  // Deterministic-mode telemetry lines ("online_slice" records included).
+  std::vector<std::string> telemetry_lines;
 };
 
 OnlineRun RunOnlineStream(int threads) {
@@ -234,13 +242,23 @@ OnlineRun RunOnlineStream(int threads) {
   options.epochs_per_slice = 2;
   options.decay = 0.6;
   core::OnlineContraTopic online(embeddings, options);
+  util::RunTelemetry::Options topts;
+  topts.deterministic = true;
+  util::RunTelemetry telemetry(topts);
+  telemetry.RecordRunStart("online_stream", {});
+  online.SetTelemetry(&telemetry);
 
   OnlineRun run;
   for (const auto& slice : dataset.slices) {
-    run.accumulated_docs.push_back(online.FitSlice(slice).accumulated_docs);
+    const auto report = online.FitSlice(slice);
+    run.accumulated_docs.push_back(report.accumulated_docs);
+    run.churn.push_back(report.top_word_churn);
+    run.npmi.push_back(report.npmi);
+    run.npmi_delta.push_back(report.npmi_delta);
   }
   run.beta = online.Beta();
   run.theta = online.InferTheta(dataset.slices.back());
+  run.telemetry_lines = telemetry.lines();
   return run;
 }
 
@@ -262,6 +280,12 @@ TEST(OnlineDeterminismTest, StreamIsBitwiseIdenticalAcrossBackendsAndThreads) {
                    std::to_string(threads) + " threads");
       const OnlineRun run = RunOnlineStream(threads);
       EXPECT_EQ(reference.accumulated_docs, run.accumulated_docs);
+      // Drift metrics are bitwise-invariant too (exact double equality),
+      // and so is the deterministic telemetry stream they are emitted to.
+      EXPECT_EQ(reference.churn, run.churn);
+      EXPECT_EQ(reference.npmi, run.npmi);
+      EXPECT_EQ(reference.npmi_delta, run.npmi_delta);
+      EXPECT_EQ(reference.telemetry_lines, run.telemetry_lines);
       ASSERT_TRUE(reference.beta.same_shape(run.beta));
       for (int64_t i = 0; i < reference.beta.numel(); ++i) {
         ASSERT_EQ(reference.beta.data()[i], run.beta.data()[i])
@@ -275,6 +299,70 @@ TEST(OnlineDeterminismTest, StreamIsBitwiseIdenticalAcrossBackendsAndThreads) {
     }
   }
   util::ThreadPool::SetGlobalNumThreads(0);
+}
+
+TEST(OnlineDriftMetricsTest, ChurnAndNpmiDeltaAreComputedAndEmitted) {
+  text::DynamicConfig config = SmallDynamicConfig();
+  config.num_slices = 3;
+  config.docs_per_slice = 200;
+  const text::DynamicDataset dataset = GenerateDynamic(config);
+  embed::EmbeddingConfig embed_config;
+  embed_config.dimension = 16;
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.slices[0], embed_config);
+
+  core::OnlineContraTopic::Options options;
+  options.train.num_topics = 6;
+  options.train.epochs = 2;
+  options.train.encoder_hidden = 32;
+  options.train.encoder_layers = 1;
+  options.epochs_per_slice = 2;
+  options.decay = 0.6;
+  core::OnlineContraTopic online(embeddings, options);
+  util::RunTelemetry::Options topts;
+  topts.deterministic = true;
+  util::RunTelemetry telemetry(topts);
+  telemetry.RecordRunStart("drift_metrics", {});
+  online.SetTelemetry(&telemetry);
+
+  std::vector<core::OnlineContraTopic::SliceReport> reports;
+  for (const auto& slice : dataset.slices) {
+    reports.push_back(online.FitSlice(slice));
+  }
+
+  // Slice 0 has no predecessor: churn and delta are defined as zero.
+  EXPECT_EQ(reports[0].top_word_churn, 0.0);
+  EXPECT_EQ(reports[0].npmi_delta, 0.0);
+  EXPECT_TRUE(std::isfinite(reports[0].npmi));
+  for (size_t s = 1; s < reports.size(); ++s) {
+    EXPECT_GE(reports[s].top_word_churn, 0.0) << "slice " << s;
+    EXPECT_LE(reports[s].top_word_churn, 1.0) << "slice " << s;
+    EXPECT_TRUE(std::isfinite(reports[s].npmi)) << "slice " << s;
+    // The delta chains exactly against the previous slice's coherence.
+    EXPECT_EQ(reports[s].npmi_delta, reports[s].npmi - reports[s - 1].npmi)
+        << "slice " << s;
+  }
+  // Warm-started training on a drifting stream moves at least some top
+  // words after the first slice.
+  double total_churn = 0.0;
+  for (size_t s = 1; s < reports.size(); ++s) {
+    total_churn += reports[s].top_word_churn;
+  }
+  EXPECT_GT(total_churn, 0.0);
+
+  // One "online_slice" telemetry record per slice, carrying the metrics.
+  int slice_records = 0;
+  for (const std::string& line : telemetry.lines()) {
+    if (line.find("\"name\":\"online_slice\"") == std::string::npos) continue;
+    ++slice_records;
+    EXPECT_NE(line.find("\"top_word_churn\":"), std::string::npos);
+    EXPECT_NE(line.find("\"npmi\":"), std::string::npos);
+    EXPECT_NE(line.find("\"npmi_delta\":"), std::string::npos);
+    EXPECT_NE(line.find("\"accumulated_docs\":"), std::string::npos);
+    // Deterministic mode: no wall-clock field in the record.
+    EXPECT_EQ(line.find("\"seconds\":"), std::string::npos);
+  }
+  EXPECT_EQ(slice_records, 3);
 }
 
 TEST(EncodeRepresentationTest, EtmExposesDifferentiableEncoder) {

@@ -1,0 +1,679 @@
+// Hot-swap registry contract (DESIGN.md §16): RCU publication with zero
+// serving gap, a validation gate that rejects bad candidates without
+// unseating the incumbent (bitwise-identical serving afterwards), a
+// probation watchdog that rolls back automatically when the new engine's
+// breaker opens, and deterministic fault injection across the five
+// registry.* sites -- every injected fault either retries to success or
+// leaves serving bitwise-identical to pre-swap.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "embed/cooccurrence.h"
+#include "embed/word_embeddings.h"
+#include "eval/npmi.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "serve/registry.h"
+#include "serve/resilience.h"
+#include "tensor/tensor.h"
+#include "text/corpus.h"
+#include "text/synthetic.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace contratopic {
+namespace serve {
+namespace {
+
+using tensor::Tensor;
+using topicmodel::TrainConfig;
+
+TrainConfig TinyConfig(uint64_t seed) {
+  TrainConfig config;
+  config.num_topics = 8;
+  config.epochs = 3;
+  config.batch_size = 128;
+  config.encoder_hidden = 32;
+  config.encoder_layers = 1;
+  config.seed = seed;
+  return config;
+}
+
+// One dataset, an incumbent model (seed 7) and a distinct candidate
+// model (seed 99) over the same vocabulary, each checkpointed, plus
+// reference thetas -- built once for the whole file.
+struct RegistryFixture {
+  text::SyntheticDataset dataset;
+  embed::WordEmbeddings embeddings;
+  std::unique_ptr<topicmodel::TopicModel> incumbent;
+  std::unique_ptr<topicmodel::TopicModel> candidate;
+  Tensor incumbent_theta;  // in-memory InferTheta over the test set
+  Tensor candidate_theta;
+  std::string incumbent_ckpt;
+  std::string candidate_ckpt;
+  std::shared_ptr<const eval::NpmiMatrix> npmi;
+
+  RegistryFixture()
+      : dataset(text::GenerateSynthetic(text::Preset20NG(0.15))),
+        embeddings(embed::WordEmbeddings::Train(dataset.train, [] {
+          embed::EmbeddingConfig c;
+          c.dimension = 24;
+          return c;
+        }())) {
+    incumbent = core::CreateModel("etm", TinyConfig(7), embeddings);
+    incumbent->Train(dataset.train);
+    incumbent_theta = incumbent->InferTheta(dataset.test);
+    // gtest_discover_tests runs every TEST in its own process; suffix the
+    // shared fixture paths with the pid so parallel ctest workers do not
+    // clobber each other's checkpoints mid-read.
+    const std::string pid = std::to_string(::getpid());
+    incumbent_ckpt =
+        ::testing::TempDir() + "/registry_incumbent_" + pid + ".ckpt";
+    CHECK(SaveCheckpoint(*incumbent, dataset.train.vocab(), incumbent_ckpt)
+              .ok());
+
+    candidate = core::CreateModel("etm", TinyConfig(99), embeddings);
+    candidate->Train(dataset.train);
+    candidate_theta = candidate->InferTheta(dataset.test);
+    candidate_ckpt =
+        ::testing::TempDir() + "/registry_candidate_" + pid + ".ckpt";
+    CHECK(SaveCheckpoint(*candidate, dataset.train.vocab(), candidate_ckpt)
+              .ok());
+
+    embed::CooccurrenceCounts counts(
+        static_cast<int>(dataset.train.vocab().size()));
+    counts.AddPresence(dataset.train);
+    npmi = std::make_shared<eval::NpmiMatrix>(
+        eval::NpmiMatrix::FromCounts(counts));
+  }
+};
+
+RegistryFixture& Shared() {
+  static RegistryFixture* fixture = new RegistryFixture();
+  return *fixture;
+}
+
+ModelRegistry::BowDoc ToBowDoc(const text::Document& doc) {
+  ModelRegistry::BowDoc bow;
+  bow.reserve(doc.entries.size());
+  for (const auto& e : doc.entries) bow.emplace_back(e.word_id, e.count);
+  return bow;
+}
+
+bool BitwiseEqual(const std::vector<float>& served, const Tensor& reference,
+                  int64_t row) {
+  return served.size() == static_cast<size_t>(reference.cols()) &&
+         std::memcmp(served.data(), reference.row(row),
+                     served.size() * sizeof(float)) == 0;
+}
+
+// Options with the interpretability gate disabled (the two fixture models
+// are independently initialized, so their top words legitimately differ).
+ModelRegistry::Options PermissiveOptions() {
+  RegistryFixture& shared = Shared();
+  ModelRegistry::Options options;
+  options.gate.max_top_word_churn = 1.0;
+  for (int i = 0; i < 4 && i < shared.dataset.test.num_docs(); ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (!doc.entries.empty()) options.gate.probe_docs.push_back(ToBowDoc(doc));
+  }
+  options.swap_retry.max_attempts = 4;
+  options.swap_retry.base_backoff_ms = 0.01;
+  options.swap_retry.max_backoff_ms = 0.1;
+  return options;
+}
+
+// Serves the first `n` non-empty test docs and asserts bitwise identity
+// against `reference` (rows indexed by test-set position).
+void ExpectServesBitwise(ModelRegistry& registry, const Tensor& reference,
+                         int n) {
+  RegistryFixture& shared = Shared();
+  int checked = 0;
+  for (int i = 0; i < shared.dataset.test.num_docs() && checked < n; ++i) {
+    const text::Document& doc = shared.dataset.test.doc(i);
+    if (doc.entries.empty()) continue;
+    ModelRegistry::ThetaResult theta = registry.InferTheta(ToBowDoc(doc));
+    ASSERT_TRUE(theta.ok()) << theta.status();
+    EXPECT_TRUE(BitwiseEqual(*theta, reference, i)) << "doc " << i;
+    ++checked;
+  }
+  ASSERT_GT(checked, 0);
+}
+
+TEST(RegistryTest, CreateServesInitialModelBitwise) {
+  RegistryFixture& shared = Shared();
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  EXPECT_EQ((*registry)->current_version(), 1);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 16);
+  ModelRegistry::Stats stats = (*registry)->stats();
+  EXPECT_EQ(stats.published, 0);  // the initial load is not a swap
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.requests, 16);
+}
+
+TEST(RegistryTest, PublishSwapsWithZeroGapAndOldEngineStillServes) {
+  RegistryFixture& shared = Shared();
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  // Hold the incumbent engine as an in-flight reader would.
+  std::shared_ptr<InferenceEngine> old_engine = (*registry)->current_engine();
+
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+      << report->reject_reason;
+  EXPECT_EQ(report->version, 2);
+  EXPECT_EQ((*registry)->current_version(), 2);
+
+  // New requests see the new model...
+  ExpectServesBitwise(**registry, shared.candidate_theta, 8);
+  // ...while a reader that entered before the swap still gets the old
+  // model's answers, bitwise -- the zero-gap contract.
+  const text::Document& doc = shared.dataset.test.doc(0);
+  InferenceEngine::ThetaResult old_theta = old_engine->InferTheta(ToBowDoc(doc));
+  ASSERT_TRUE(old_theta.ok()) << old_theta.status();
+  EXPECT_TRUE(BitwiseEqual(*old_theta, shared.incumbent_theta, 0));
+  EXPECT_EQ((*registry)->stats().published, 1);
+}
+
+TEST(RegistryTest, ChurnGateRejectsAndServingStaysBitwiseIdentical) {
+  RegistryFixture& shared = Shared();
+  ModelRegistry::Options options = PermissiveOptions();
+  options.gate.max_top_word_churn = 0.0;  // any churn rejects
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ(report->reject_reason.code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_GT(report->top_word_churn, 0.0);
+  EXPECT_EQ((*registry)->current_version(), 1);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 16);
+  EXPECT_EQ((*registry)->stats().rejected, 1);
+}
+
+TEST(RegistryTest, CoherenceGateRejectsJunkTopics) {
+  RegistryFixture& shared = Shared();
+  // Tamper the candidate's top-word lists into mutually-unrelated words;
+  // its mean NPMI coherence collapses while the incumbent's is intact.
+  auto tampered = ReadCheckpoint(shared.candidate_ckpt);
+  ASSERT_TRUE(tampered.ok()) << tampered.status();
+  const int vocab = tampered->descriptor.vocab_size;
+  for (size_t t = 0; t < tampered->top_words.size(); ++t) {
+    for (size_t i = 0; i < tampered->top_words[t].size(); ++i) {
+      tampered->top_words[t][i] =
+          static_cast<int>((t * 31 + i * 97) % static_cast<size_t>(vocab));
+    }
+  }
+  const std::string tampered_path =
+      ::testing::TempDir() + "/registry_junk_topics.ckpt";
+  ASSERT_TRUE(WriteCheckpoint(*tampered, tampered_path).ok());
+
+  auto incumbent = ReadCheckpoint(shared.incumbent_ckpt);
+  ASSERT_TRUE(incumbent.ok()) << incumbent.status();
+  const double inc_coherence =
+      MeanTopicCoherence(incumbent->top_words, *shared.npmi, 10);
+  const double junk_coherence =
+      MeanTopicCoherence(tampered->top_words, *shared.npmi, 10);
+  ASSERT_GT(inc_coherence, junk_coherence)
+      << "fixture assumption: trained topics cohere better than junk";
+
+  ModelRegistry::Options options = PermissiveOptions();
+  options.gate.max_coherence_drop = (inc_coherence - junk_coherence) / 2.0;
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  (*registry)->SetCoherenceReference(shared.npmi);
+
+  auto report = (*registry)->TryPublish(tampered_path);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ(report->reject_reason.code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_LT(report->candidate_coherence, report->incumbent_coherence);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 8);
+}
+
+TEST(RegistryTest, NaNCandidateRejectedAsDataLoss) {
+  RegistryFixture& shared = Shared();
+  auto poisoned = ReadCheckpoint(shared.candidate_ckpt);
+  ASSERT_TRUE(poisoned.ok()) << poisoned.status();
+  ASSERT_FALSE(poisoned->tensors.empty());
+  ASSERT_GT(poisoned->tensors[0].second.numel(), 0);
+  poisoned->tensors[0].second.data()[0] =
+      std::numeric_limits<float>::quiet_NaN();
+  const std::string poisoned_path =
+      ::testing::TempDir() + "/registry_nan.ckpt";
+  ASSERT_TRUE(WriteCheckpoint(*poisoned, poisoned_path).ok());
+
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto report = (*registry)->TryPublish(poisoned_path);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ(report->reject_reason.code(), util::StatusCode::kDataLoss);
+  EXPECT_EQ((*registry)->current_version(), 1);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 8);
+}
+
+TEST(RegistryTest, MismatchedArchitectureRejected) {
+  RegistryFixture& shared = Shared();
+  // A 12-topic model over the same vocabulary: structurally valid
+  // checkpoint, incompatible serving contract.
+  TrainConfig wide = TinyConfig(7);
+  wide.num_topics = 12;
+  wide.epochs = 1;
+  auto other = core::CreateModel("etm", wide, shared.embeddings);
+  other->Train(shared.dataset.train);
+  const std::string other_path =
+      ::testing::TempDir() + "/registry_widemodel.ckpt";
+  ASSERT_TRUE(
+      SaveCheckpoint(*other, shared.dataset.train.vocab(), other_path).ok());
+
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto report = (*registry)->TryPublish(other_path);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ(report->reject_reason.code(),
+            util::StatusCode::kFailedPrecondition);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 8);
+}
+
+// --- Registry load-path corruption fuzzing ------------------------------
+// A truncated or bit-flipped candidate file must be rejected at the gate
+// and must never unseat the incumbent: after every corrupt publish
+// attempt, serving is bitwise-identical to pre-attempt.
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CHECK(in.good()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CHECK(out.good()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  CHECK(out.good()) << path;
+}
+
+TEST(RegistryTest, CorruptCandidateNeverUnseatsIncumbent) {
+  RegistryFixture& shared = Shared();
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  const std::string bytes = ReadFileBytes(shared.candidate_ckpt);
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/registry_corrupt.ckpt";
+
+  // Truncations at assorted depths, including mid-header.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{23}, bytes.size() / 3,
+                      bytes.size() - 1}) {
+    WriteFileBytes(corrupt_path, bytes.substr(0, keep));
+    auto report = (*registry)->TryPublish(corrupt_path);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected)
+        << "truncated to " << keep << " bytes";
+    EXPECT_FALSE(report->reject_reason.ok());
+  }
+
+  // Single bit flips sprinkled across the payload (the checksum must
+  // catch every one before any field is trusted).
+  for (size_t pos = 24; pos < bytes.size(); pos += bytes.size() / 17) {
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x10);
+    WriteFileBytes(corrupt_path, flipped);
+    auto report = (*registry)->TryPublish(corrupt_path);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected)
+        << "bit flip at byte " << pos;
+  }
+
+  EXPECT_EQ((*registry)->current_version(), 1);
+  EXPECT_EQ((*registry)->stats().published, 0);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 16);
+}
+
+// --- Fault injection across the registry.* sites ------------------------
+
+TEST(RegistryTest, TransientFaultsRetryToSuccessAtEverySite) {
+  RegistryFixture& shared = Shared();
+  for (const char* site : {"registry.load", "registry.validate",
+                           "registry.swap", "registry.publish"}) {
+    util::FaultInjector::Global().Reset();
+    // The registry is created *before* arming so the injected failures
+    // all land on the candidate swap, not the initial load.
+    auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                          PermissiveOptions());
+    ASSERT_TRUE(registry.ok()) << site << ": " << registry.status();
+    // Two injected failures against a budget of four attempts: the swap
+    // must retry through them and land.
+    util::FaultSpec spec;
+    spec.every_nth = 1;
+    spec.max_fires = 2;
+    util::FaultInjector::Global().Arm(site, spec);
+    auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+    ASSERT_TRUE(report.ok()) << site << ": " << report.status();
+    EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+        << site << ": " << report->reject_reason;
+    EXPECT_GE(report->retries, 2) << site;
+    EXPECT_EQ(util::FaultInjector::Global().fires(site), 2) << site;
+    ExpectServesBitwise(**registry, shared.candidate_theta, 4);
+  }
+  util::FaultInjector::Global().Reset();
+}
+
+TEST(RegistryTest, ExhaustedRetriesRejectAndKeepIncumbent) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+
+  util::FaultSpec always;
+  always.every_nth = 1;  // unlimited fires: the stage can never pass
+  util::FaultInjector::Global().Arm("registry.publish", always);
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  util::FaultInjector::Global().Reset();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ(report->reject_reason.code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(report->retries, 3);  // max_attempts=4 -> 3 retries
+  EXPECT_EQ((*registry)->current_version(), 1);
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 8);
+}
+
+// --- Probation watchdog + rollback --------------------------------------
+
+TEST(RegistryTest, BreakerOpenDuringProbationRollsBackBitwise) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  ModelRegistry::Options options = PermissiveOptions();
+  options.probation_requests = 32;
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+      << report->reject_reason;
+  ASSERT_EQ((*registry)->current_version(), 2);
+  EXPECT_EQ((*registry)->probation_remaining(), 32);
+
+  // The new model goes sick inside the probation window (three failures
+  // open the default breaker).
+  std::shared_ptr<InferenceEngine> sick = (*registry)->current_engine();
+  for (int i = 0; i < 3; ++i) sick->breaker().RecordFailure();
+  ASSERT_EQ(sick->health(), InferenceEngine::HealthState::kDegraded);
+
+  // The next request triggers the watchdog *before* dispatch: it is
+  // served by the restored incumbent, bitwise -- no request is lost.
+  const text::Document& doc = shared.dataset.test.doc(0);
+  ModelRegistry::ThetaResult theta = (*registry)->InferTheta(ToBowDoc(doc));
+  ASSERT_TRUE(theta.ok()) << theta.status();
+  EXPECT_TRUE(BitwiseEqual(*theta, shared.incumbent_theta, 0));
+  EXPECT_EQ((*registry)->current_version(), 1);
+  EXPECT_EQ((*registry)->stats().rolled_back, 1);
+  // Post-rollback serving is bitwise-identical to pre-swap.
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 16);
+}
+
+TEST(RegistryTest, EstablishedSlotIsNotRolledBack) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  ModelRegistry::Options options = PermissiveOptions();
+  options.probation_requests = 2;
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+      << report->reject_reason;
+
+  // Serve through the probation window: the slot is now established.
+  ExpectServesBitwise(**registry, shared.candidate_theta, 2);
+  EXPECT_EQ((*registry)->probation_remaining(), 0);
+
+  std::shared_ptr<InferenceEngine> engine = (*registry)->current_engine();
+  for (int i = 0; i < 3; ++i) engine->breaker().RecordFailure();
+  const text::Document& doc = shared.dataset.test.doc(0);
+  (void)(*registry)->InferTheta(ToBowDoc(doc));  // may fast-fail: degraded
+  EXPECT_EQ((*registry)->current_version(), 2);
+  EXPECT_EQ((*registry)->stats().rolled_back, 0);
+}
+
+TEST(RegistryTest, RollbackFaultSiteCannotPreventRollback) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  ModelRegistry::Options options = PermissiveOptions();
+  options.probation_requests = 16;
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+      << report->reject_reason;
+
+  util::FaultSpec always;
+  always.every_nth = 1;  // the rollback site fails on every consult
+  util::FaultInjector::Global().Arm("registry.rollback", always);
+  std::shared_ptr<InferenceEngine> sick = (*registry)->current_engine();
+  for (int i = 0; i < 3; ++i) sick->breaker().RecordFailure();
+  const text::Document& doc = shared.dataset.test.doc(0);
+  ModelRegistry::ThetaResult theta = (*registry)->InferTheta(ToBowDoc(doc));
+  util::FaultInjector::Global().Reset();
+  ASSERT_TRUE(theta.ok()) << theta.status();
+  EXPECT_TRUE(BitwiseEqual(*theta, shared.incumbent_theta, 0));
+  EXPECT_EQ((*registry)->current_version(), 1) << "rollback must always win";
+  EXPECT_EQ((*registry)->stats().rolled_back, 1);
+}
+
+// --- Telemetry ----------------------------------------------------------
+
+TEST(RegistryTest, SwapOutcomesAreMirroredToTelemetry) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  util::RunTelemetry::Options topts;
+  topts.deterministic = true;
+  util::RunTelemetry telemetry(topts);
+  telemetry.RecordRunStart("registry_test", {});
+
+  ModelRegistry::Options options = PermissiveOptions();
+  options.probation_requests = 8;
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  (*registry)->SetTelemetry(&telemetry);
+
+  // One published swap, one rejected (strict churn via a junk candidate
+  // is overkill here: re-publish under a gate that rejects everything by
+  // arming the publish site), one rollback.
+  auto published = (*registry)->TryPublish(shared.candidate_ckpt);
+  ASSERT_TRUE(published.ok());
+  ASSERT_EQ(published->outcome, ModelRegistry::SwapOutcome::kPublished);
+
+  util::FaultSpec always;
+  always.every_nth = 1;
+  util::FaultInjector::Global().Arm("registry.load", always);
+  auto rejected = (*registry)->TryPublish(shared.candidate_ckpt);
+  util::FaultInjector::Global().Reset();
+  ASSERT_TRUE(rejected.ok());
+  ASSERT_EQ(rejected->outcome, ModelRegistry::SwapOutcome::kRejected);
+
+  std::shared_ptr<InferenceEngine> sick = (*registry)->current_engine();
+  for (int i = 0; i < 3; ++i) sick->breaker().RecordFailure();
+  const text::Document& doc = shared.dataset.test.doc(0);
+  ASSERT_TRUE((*registry)->InferTheta(ToBowDoc(doc)).ok());
+
+  int published_events = 0, rejected_events = 0, rolled_back_events = 0;
+  for (const std::string& line : telemetry.lines()) {
+    if (line.find("\"name\":\"swap.published\"") != std::string::npos) {
+      ++published_events;
+    }
+    if (line.find("\"name\":\"swap.rejected\"") != std::string::npos) {
+      ++rejected_events;
+    }
+    if (line.find("\"name\":\"swap.rolled_back\"") != std::string::npos) {
+      ++rolled_back_events;
+    }
+  }
+  EXPECT_EQ(published_events, 1);
+  EXPECT_EQ(rejected_events, 1);
+  EXPECT_EQ(rolled_back_events, 1);
+}
+
+// --- Gate helper units --------------------------------------------------
+
+TEST(RegistryGateTest, TopWordChurnComputesMeanMissingFraction) {
+  // Topic 0 keeps 2 of 4 words (churn 0.5); topic 1 keeps all (0.0).
+  std::vector<std::vector<int>> incumbent = {{1, 2, 3, 4}, {10, 11, 12, 13}};
+  std::vector<std::vector<int>> candidate = {{3, 4, 5, 6}, {13, 12, 11, 10}};
+  EXPECT_DOUBLE_EQ(TopWordChurn(incumbent, candidate, 4), 0.25);
+  // k restricts the comparison to each list's head: the head-2 sets are
+  // disjoint in both topics ({1,2} vs {3,4}; {10,11} vs {13,12}).
+  EXPECT_DOUBLE_EQ(TopWordChurn(incumbent, candidate, 2), 1.0);
+  EXPECT_DOUBLE_EQ(TopWordChurn({}, {}, 4), 0.0);
+  // Identical lists never churn.
+  EXPECT_DOUBLE_EQ(TopWordChurn(incumbent, incumbent, 4), 0.0);
+}
+
+TEST(RegistryGateTest, ScanCheckpointFiniteFlagsNaNAndInf) {
+  RegistryFixture& shared = Shared();
+  auto checkpoint = ReadCheckpoint(shared.incumbent_ckpt);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status();
+  EXPECT_TRUE(ScanCheckpointFinite(*checkpoint).ok());
+
+  Checkpoint poisoned = *checkpoint;
+  ASSERT_GT(poisoned.beta.numel(), 0);
+  poisoned.beta.data()[poisoned.beta.numel() - 1] =
+      std::numeric_limits<float>::infinity();
+  util::Status status = ScanCheckpointFinite(poisoned);
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+}
+
+// --- Fault-site registry audit ------------------------------------------
+// After a full train+serve+swap+rollback run, every injection site the
+// process exercised must be enumerable, armable, fire exactly per its
+// FaultSpec, and be handled without aborting the process.
+
+TEST(RegistryFaultAuditTest, EverySiteIsArmableAndFiresPerSpec) {
+  RegistryFixture& shared = Shared();  // train + checkpoint.write + serve
+  util::FaultInjector::Global().Reset();
+  // ShouldFail's disarmed fast path skips registration entirely, so arm a
+  // sentinel that never fires: every site consulted during the run below
+  // then lands in RegisteredSites().
+  util::FaultInjector::Global().Arm("audit.sentinel", util::FaultSpec{});
+
+  // A full checkpoint-write + swap + serve + rollback pass so the whole
+  // pipeline's sites register.
+  {
+    const std::string rewrite =
+        ::testing::TempDir() + "/registry_audit_rewrite.ckpt";
+    ASSERT_TRUE(SaveCheckpoint(*shared.incumbent,
+                               shared.dataset.train.vocab(), rewrite)
+                    .ok());
+    ModelRegistry::Options options = PermissiveOptions();
+    options.probation_requests = 8;
+    auto registry = ModelRegistry::Create(shared.incumbent_ckpt, options);
+    ASSERT_TRUE(registry.ok()) << registry.status();
+    auto report = (*registry)->TryPublish(shared.candidate_ckpt);
+    ASSERT_TRUE(report.ok());
+    ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished);
+    std::shared_ptr<InferenceEngine> sick = (*registry)->current_engine();
+    for (int i = 0; i < 3; ++i) sick->breaker().RecordFailure();
+    const text::Document& doc = shared.dataset.test.doc(0);
+    ASSERT_TRUE((*registry)->InferTheta(ToBowDoc(doc)).ok());
+    ASSERT_EQ((*registry)->stats().rolled_back, 1);
+  }
+
+  std::vector<std::string> sites =
+      util::FaultInjector::Global().RegisteredSites();
+  for (const char* required :
+       {"registry.load", "registry.validate", "registry.swap",
+        "registry.publish", "registry.rollback", "serve.batch",
+        "checkpoint.write"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), required), sites.end())
+        << "site never exercised: " << required;
+  }
+
+  // Every registered site honors its FaultSpec exactly: every-3rd-call
+  // with two fires max must fire on calls 3 and 6 and never again.
+  for (const std::string& site : sites) {
+    util::FaultSpec spec;
+    spec.every_nth = 3;
+    spec.max_fires = 2;
+    util::FaultInjector::Global().Arm(site, spec);
+    int fired = 0;
+    for (int call = 1; call <= 12; ++call) {
+      const bool fire = util::FaultInjector::Global().ShouldFail(site);
+      EXPECT_EQ(fire, (call == 3 || call == 6)) << site << " call " << call;
+      if (fire) ++fired;
+    }
+    EXPECT_EQ(fired, 2) << site;
+    EXPECT_EQ(util::FaultInjector::Global().fires(site), 2) << site;
+    util::FaultInjector::Global().Disarm(site);
+  }
+  util::FaultInjector::Global().Reset();
+}
+
+// With chaos armed probabilistically across every registry site (but
+// fires bounded below the retry budget), a burst of swaps must all
+// publish -- injected faults only ever cost retries.
+
+TEST(RegistryFaultAuditTest, ProbabilisticChaosNeverCostsASwap) {
+  RegistryFixture& shared = Shared();
+  util::FaultInjector::Global().Reset();
+  util::FaultInjector::Global().SetSeed(20260808);
+  for (const char* site : {"registry.load", "registry.validate",
+                           "registry.swap", "registry.publish"}) {
+    util::FaultSpec spec;
+    spec.probability = 0.4;
+    spec.max_fires = 3;  // < max_attempts=4: retries can always win
+    util::FaultInjector::Global().Arm(site, spec);
+  }
+  auto registry = ModelRegistry::Create(shared.incumbent_ckpt,
+                                        PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  const std::string paths[2] = {shared.candidate_ckpt, shared.incumbent_ckpt};
+  int total_retries = 0;
+  for (int swap = 0; swap < 6; ++swap) {
+    auto report = (*registry)->TryPublish(paths[swap % 2]);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+        << "swap " << swap << ": " << report->reject_reason;
+    total_retries += report->retries;
+  }
+  util::FaultInjector::Global().Reset();
+  EXPECT_EQ((*registry)->current_version(), 7);
+  EXPECT_GT(total_retries, 0) << "chaos seed never fired; pick another";
+  ExpectServesBitwise(**registry, shared.incumbent_theta, 8);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace contratopic

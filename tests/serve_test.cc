@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -419,6 +420,44 @@ TEST(ResilienceTest, BackoffScheduleIsDeterministicAndBounded) {
     any_differs |= reseeded.BackoffMs(attempt) != policy.BackoffMs(attempt);
   }
   EXPECT_TRUE(any_differs) << "jitter_seed had no effect";
+}
+
+TEST(ResilienceTest, BackoffStaysFiniteForHugeAttemptCounts) {
+  // multiplier^(attempt-1) overflows double around attempt ~1075 for
+  // multiplier 2; the schedule must stay finite, capped, and
+  // deterministic anyway -- a long outage must not produce inf/NaN waits.
+  RetryPolicy policy;
+  policy.base_backoff_ms = 2.0;
+  policy.max_backoff_ms = 16.0;
+  policy.backoff_multiplier = 2.0;
+  for (int attempt : {100, 1100, 100000, std::numeric_limits<int>::max()}) {
+    const double wait = policy.BackoffMs(attempt);
+    EXPECT_TRUE(std::isfinite(wait)) << "attempt " << attempt;
+    EXPECT_GE(wait, policy.max_backoff_ms) << "attempt " << attempt;
+    EXPECT_LT(wait, policy.max_backoff_ms * 1.5) << "attempt " << attempt;
+    EXPECT_EQ(wait, policy.BackoffMs(attempt)) << "attempt " << attempt;
+  }
+
+  // Zero base means "no backoff configured": never NaN, never max.
+  RetryPolicy zero_base = policy;
+  zero_base.base_backoff_ms = 0.0;
+  for (int attempt : {1, 4, 5000}) {
+    const double wait = zero_base.BackoffMs(attempt);
+    EXPECT_EQ(wait, 0.0) << "attempt " << attempt;
+  }
+
+  // Degenerate multipliers stay within [0, max * 1.5) too.
+  for (double multiplier : {0.0, 0.5, 1.0, 1e300}) {
+    RetryPolicy weird = policy;
+    weird.backoff_multiplier = multiplier;
+    for (int attempt : {1, 2, 64, 4096}) {
+      const double wait = weird.BackoffMs(attempt);
+      EXPECT_TRUE(std::isfinite(wait))
+          << "multiplier " << multiplier << " attempt " << attempt;
+      EXPECT_GE(wait, 0.0);
+      EXPECT_LT(wait, policy.max_backoff_ms * 1.5);
+    }
+  }
 }
 
 TEST(ResilienceTest, CircuitBreakerStateMachine) {
