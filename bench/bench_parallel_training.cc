@@ -42,12 +42,23 @@
 // hoist hits, and peak arena bytes. The comparison table lands in
 // bench_results/graph_engine_<preset>.tsv. --engine=tape skips the phase.
 //
+// Model axis: --model=<zoo name> (default contratopic) points every leg —
+// serial/parallel, graph, chaos, distributed — at another model from
+// core::CreateModel, so the whole bitwise gate battery runs against any
+// zoo member (the model-zoo invariance contract, e.g. --model=clntm or
+// --model=tsctm). --loss-weighting=moo switches neural models from the
+// fixed lambda to deterministic multi-objective gradient-norm weights
+// (topicmodel::LossWeighting::kMoo); every determinism gate must hold
+// there too.
+//
 // Usage: bench_parallel_training [--preset=20ng-sim] [--threads=4]
 //        [--epochs=...] [--docs=...] [--telemetry=<path>]
 //        [--kill-at-epoch=N] [--resume] [--workers=N] [--dist-chaos]
-//        [--engine=both|tape|graph]
-// Writes bench_results/parallel_training_<preset>.tsv and
-// bench_results/telemetry_<preset>.jsonl (override with --telemetry=).
+//        [--engine=both|tape|graph] [--model=<zoo name>]
+//        [--loss-weighting=fixed|moo]
+// Writes bench_results/parallel_training_<run>.tsv and
+// bench_results/telemetry_<run>.jsonl (override with --telemetry=),
+// where <run> is the preset plus non-default model/weighting tags.
 
 #include <sys/stat.h>
 
@@ -107,6 +118,35 @@ struct LegResult {
   graph::ExecStats graph_stats;
 };
 
+// Builds the model under bench (--model=) with the dataset-appropriate
+// ContraTopic options (ignored by non-contratopic names) and applies the
+// --loss-weighting axis to every neural model.
+std::unique_ptr<topicmodel::TopicModel> BuildBenchModel(
+    const bench::ExperimentContext& context,
+    const bench::BenchConfig& bench_config) {
+  core::ContraTopicOptions options;
+  options.lambda = bench::LambdaForDataset(context.config.name);
+  auto model = core::CreateModel(bench_config.model, bench_config.train,
+                                 context.embeddings, options);
+  if (auto* neural =
+          dynamic_cast<topicmodel::NeuralTopicModel*>(model.get())) {
+    neural->SetLossWeighting(bench_config.loss_weighting);
+  }
+  return model;
+}
+
+// The preset plus non-default axis tags; names every result artifact so
+// per-model runs don't overwrite the default contratopic tables.
+std::string RunTag(const std::string& dataset_name,
+                   const bench::BenchConfig& bench_config) {
+  std::string tag = dataset_name;
+  if (bench_config.model != "contratopic") tag += "_" + bench_config.model;
+  if (bench_config.loss_weighting == topicmodel::LossWeighting::kMoo) {
+    tag += "_moo";
+  }
+  return tag;
+}
+
 LegResult RunLeg(tensor::ExecEngine engine, int threads,
                  const bench::ExperimentContext& context,
                  const bench::BenchConfig& bench_config,
@@ -121,6 +161,11 @@ LegResult RunLeg(tensor::ExecEngine engine, int threads,
       util::StrFormat("parallel_training[engine=%s,threads=%d]",
                       tensor::ExecEngineName(engine), leg.threads),
       {{"dataset", context.config.name},
+       {"model", bench_config.model},
+       {"loss_weighting",
+        bench_config.loss_weighting == topicmodel::LossWeighting::kMoo
+            ? "moo"
+            : "fixed"},
        {"engine", tensor::ExecEngineName(engine)},
        {"threads", std::to_string(leg.threads)},
        {"epochs", std::to_string(bench_config.train.epochs)},
@@ -135,10 +180,7 @@ LegResult RunLeg(tensor::ExecEngine engine, int threads,
   }
   telemetry->RecordStage("npmi_precompute", leg.npmi_seconds);
 
-  core::ContraTopicOptions options;
-  options.lambda = bench::LambdaForDataset(context.config.name);
-  auto model = core::CreateModel("contratopic", bench_config.train,
-                                 context.embeddings, options);
+  auto model = BuildBenchModel(context, bench_config);
   bench::AttachTelemetry(model.get(), telemetry, context);
 
   const int steps_per_epoch =
@@ -263,15 +305,13 @@ bool RunKillLeg(int kill_epoch, const bench::ExperimentContext& context,
   telemetry->RecordRunStart(
       util::StrFormat("fault_injection[kill_at_epoch=%d]", kill_epoch),
       {{"dataset", context.config.name},
+       {"model", bench_config.model},
        {"kill_at_epoch", std::to_string(kill_epoch)},
        {"checkpoint", path}});
 
-  core::ContraTopicOptions options;
-  options.lambda = bench::LambdaForDataset(context.config.name);
-  auto model = core::CreateModel("contratopic", bench_config.train,
-                                 context.embeddings, options);
+  auto model = BuildBenchModel(context, bench_config);
   auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
-  CHECK(neural != nullptr);
+  CHECK(neural != nullptr) << "--kill-at-epoch needs a neural --model";
   bench::AttachTelemetry(model.get(), telemetry, context);
   neural->SetGuardRails(topicmodel::GuardRailOptions());
   neural->SetAutoCheckpoint(
@@ -447,16 +487,14 @@ DistLegResult RunDistLeg(int workers, int num_shards,
   telemetry->RecordRunStart(
       util::StrFormat("dist_training[workers=%d]", workers),
       {{"dataset", context.config.name},
+       {"model", bench_config.model},
        {"workers", std::to_string(workers)},
        {"shards", std::to_string(num_shards)},
        {"epochs", std::to_string(bench_config.train.epochs)}});
 
-  core::ContraTopicOptions options;
-  options.lambda = bench::LambdaForDataset(context.config.name);
-  auto model = core::CreateModel("contratopic", bench_config.train,
-                                 context.embeddings, options);
+  auto model = BuildBenchModel(context, bench_config);
   auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
-  CHECK(neural != nullptr);
+  CHECK(neural != nullptr) << "--workers needs a neural --model";
 
   dist::Options dist_options;
   dist_options.workers = workers;
@@ -516,12 +554,9 @@ bool RunDistChaosLeg(int num_shards, const bench::ExperimentContext& context,
                              {"checkpoint", path},
                              {"shards", std::to_string(num_shards)}});
 
-  core::ContraTopicOptions options;
-  options.lambda = bench::LambdaForDataset(context.config.name);
-  auto model = core::CreateModel("contratopic", bench_config.train,
-                                 context.embeddings, options);
+  auto model = BuildBenchModel(context, bench_config);
   auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
-  CHECK(neural != nullptr);
+  CHECK(neural != nullptr) << "--dist-chaos needs a neural --model";
 
   util::FaultSpec kill;
   kill.every_nth = steps_per_epoch + 2;
@@ -589,15 +624,22 @@ int main(int argc, char** argv) {
 
   const bench::ExperimentContext context =
       bench::LoadExperiment(dataset_name, bench_config.doc_scale);
-  std::printf("dataset=%s docs=%d vocab=%d hardware_threads=%u\n",
-              dataset_name.c_str(), context.config.num_docs,
-              static_cast<int>(context.dataset.train.vocab().size()), hw);
+  const std::string run_tag = RunTag(dataset_name, bench_config);
+  std::printf(
+      "dataset=%s model=%s loss_weighting=%s docs=%d vocab=%d "
+      "hardware_threads=%u\n",
+      dataset_name.c_str(), bench_config.model.c_str(),
+      bench_config.loss_weighting == topicmodel::LossWeighting::kMoo
+          ? "moo"
+          : "fixed",
+      context.config.num_docs,
+      static_cast<int>(context.dataset.train.vocab().size()), hw);
 
   ::mkdir(bench::kResultsDir, 0755);  // the sink opens its file eagerly
   util::RunTelemetry::Options telemetry_options;
   telemetry_options.path =
       bench_config.telemetry_path.empty()
-          ? std::string(bench::kResultsDir) + "/telemetry_" + dataset_name +
+          ? std::string(bench::kResultsDir) + "/telemetry_" + run_tag +
                 ".jsonl"
           : bench_config.telemetry_path;
   util::RunTelemetry telemetry(telemetry_options);
@@ -678,8 +720,8 @@ int main(int argc, char** argv) {
     bench::EmitTable(
         util::StrFormat("Graph vs tape execution engine on %s "
                         "(bitwise + arena gate)",
-                        dataset_name.c_str()),
-        "graph_engine_" + dataset_name, engine_table);
+                        run_tag.c_str()),
+        "graph_engine_" + run_tag, engine_table);
     std::printf(
         "engine phase: %s (tape %.1f heap allocs/step, graph %.1f; "
         "peak arena %.2f MB)\n",
@@ -759,8 +801,8 @@ int main(int argc, char** argv) {
     bench::EmitTable(
         util::StrFormat("Distributed data-parallel training, %d shard grid "
                         "on %s (process-count invariance gate)",
-                        num_shards, dataset_name.c_str()),
-        "dist_scaling_" + dataset_name, dist_table);
+                        num_shards, run_tag.c_str()),
+        "dist_scaling_" + run_tag, dist_table);
     if (dist_chaos && dist_ok) {
       dist_ok = RunDistChaosLeg(num_shards, context, bench_config,
                                 dist_legs.front(), &telemetry);
@@ -798,8 +840,8 @@ int main(int argc, char** argv) {
                {identical ? 1.0 : 0.0, identical ? 1.0 : 0.0, 1.0});
   bench::EmitTable(
       util::StrFormat("Parallel training engine, 1 vs %d threads on %s",
-                      parallel.threads, dataset_name.c_str()),
-      "parallel_training_" + dataset_name, table);
+                      parallel.threads, run_tag.c_str()),
+      "parallel_training_" + run_tag, table);
 
   std::vector<std::pair<std::string, double>> summary = {
       {"threads_serial", static_cast<double>(serial.threads)},

@@ -130,6 +130,14 @@ BenchConfig ParseBenchConfig(const util::Flags& flags) {
   bench.use_cache = flags.GetBool("cache", true);
   bench.telemetry_path = flags.GetString("telemetry", "");
   bench.checkpoint_path = flags.GetString("checkpoint", "");
+  bench.model = util::ToLower(flags.GetString("model", "contratopic"));
+  const std::string weighting =
+      util::ToLower(flags.GetString("loss-weighting", "fixed"));
+  CHECK(weighting == "fixed" || weighting == "moo")
+      << "--loss-weighting must be fixed or moo, got " << weighting;
+  bench.loss_weighting = weighting == "moo"
+                             ? topicmodel::LossWeighting::kMoo
+                             : topicmodel::LossWeighting::kFixed;
   // Training is bitwise-deterministic in the pool size (see DESIGN.md
   // "Parallelism & determinism"), so --threads only changes wall-clock.
   bench.num_threads = flags.GetInt("threads", 0);

@@ -52,6 +52,11 @@ ExperimentContext LoadExperiment(const std::string& preset_name,
 //                         empty disables the sink
 //   --checkpoint=<path>   frozen-model checkpoint path (serve/checkpoint.h);
 //                         bench_serve trains into / serves from it
+//   --model=<zoo name>    model under bench for the single-model benches
+//                         (bench_parallel_training); default contratopic
+//   --loss-weighting=fixed|moo
+//                         fixed lambda vs. multi-objective gradient-norm
+//                         weights (topicmodel::LossWeighting)
 //   --epochs, --topics, --seed overrides
 struct BenchConfig {
   double doc_scale = 0.5;
@@ -60,6 +65,8 @@ struct BenchConfig {
   bool use_cache = true;
   std::string telemetry_path;
   std::string checkpoint_path;
+  std::string model = "contratopic";
+  topicmodel::LossWeighting loss_weighting = topicmodel::LossWeighting::kFixed;
 };
 BenchConfig ParseBenchConfig(const util::Flags& flags);
 

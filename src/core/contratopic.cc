@@ -183,12 +183,23 @@ NeuralTopicModel::BatchGraph ContraTopicModel::BuildBatch(
   out.loss_components = std::move(base.loss_components);
   out.loss_components.emplace_back(
       "l_con", static_cast<float>(last_contrastive_loss_));
+  // Unweighted terms for --loss-weighting=moo: the backbone's objectives
+  // (empty for backbones that predate the split, which disables MOO) plus
+  // the raw contrastive terms -- MOO-derived weights then replace the
+  // fixed lambda / warmup ramp.
+  out.objectives = std::move(base.objectives);
+  if (!out.objectives.empty()) {
+    out.objectives.emplace_back("l_con", contrast);
+  }
   if (options_.document_contrast_weight > 0.0f) {
     Var doc_term = DocumentContrastTerm(batch);
     if (doc_term.defined()) {
       out.loss_components.emplace_back("l_doc", doc_term.value().scalar());
       loss = Add(loss,
                  MulScalar(doc_term, options_.document_contrast_weight));
+      if (!out.objectives.empty()) {
+        out.objectives.emplace_back("l_doc", doc_term);
+      }
     }
   }
   out.loss = loss;

@@ -6,6 +6,7 @@
 #include "topicmodel/nstm.h"
 #include "topicmodel/ntmr.h"
 #include "topicmodel/prodlda.h"
+#include "topicmodel/tsctm.h"
 #include "topicmodel/vtmrl.h"
 #include "topicmodel/wete.h"
 #include "topicmodel/wlda.h"
@@ -19,8 +20,8 @@ using topicmodel::TopicModel;
 using topicmodel::TrainConfig;
 
 std::vector<std::string> PaperModelNames() {
-  return {"lda",  "prodlda", "wlda",  "etm",   "nstm",
-          "wete", "ntmr",    "vtmrl", "clntm", "contratopic"};
+  return {"lda",  "prodlda", "wlda",  "etm",   "nstm",  "wete",
+          "ntmr", "vtmrl",   "clntm", "tsctm", "contratopic"};
 }
 
 std::vector<std::string> AblationModelNames() {
@@ -62,6 +63,9 @@ std::unique_ptr<TopicModel> CreateModel(
   }
   if (name == "clntm") {
     return std::make_unique<topicmodel::ClntmModel>(config, embeddings);
+  }
+  if (name == "tsctm") {
+    return std::make_unique<topicmodel::TsctmModel>(config, embeddings);
   }
 
   // ContraTopic family.
@@ -106,6 +110,7 @@ std::string DisplayName(const std::string& zoo_name) {
   if (name == "ntmr") return "NTM-R";
   if (name == "vtmrl") return "VTMRL";
   if (name == "clntm") return "CLNTM";
+  if (name == "tsctm") return "TSCTM";
   if (name == "contratopic") return "ContraTopic";
   if (name == "contratopic-p") return "ContraTopic-P";
   if (name == "contratopic-n") return "ContraTopic-N";

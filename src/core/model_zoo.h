@@ -23,7 +23,7 @@ std::vector<std::string> PaperModelNames();
 std::vector<std::string> AblationModelNames();
 
 // Builds a model by name. Accepted names (case-insensitive):
-//   lda, prodlda, wlda, etm, nstm, wete, ntmr, vtmrl, clntm,
+//   lda, prodlda, wlda, etm, nstm, wete, ntmr, vtmrl, clntm, tsctm,
 //   contratopic, contratopic-p, contratopic-n, contratopic-i,
 //   contratopic-s, contratopic-wlda, contratopic-wete.
 // `contra_options` applies to the contratopic* names (lambda, v, ...).

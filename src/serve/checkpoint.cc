@@ -37,7 +37,8 @@ const std::set<std::string>& RestorableTypes() {
   static const std::set<std::string>* const kTypes = new std::set<std::string>{
       "prodlda",       "wlda",          "etm",
       "nstm",          "wete",          "ntmr",
-      "vtmrl",         "clntm",         "contratopic",
+      "vtmrl",         "clntm",         "tsctm",
+      "contratopic",
       "contratopic-p", "contratopic-n", "contratopic-i",
       "contratopic-s", "contratopic-wlda", "contratopic-wete"};
   return *kTypes;

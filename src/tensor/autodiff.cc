@@ -1,5 +1,6 @@
 #include "tensor/autodiff.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
@@ -180,6 +181,13 @@ void Backward(const Var& loss) {
       node->grad = Tensor();
     }
   }
+}
+
+void ClearGraphGrads(const Var& root) {
+  if (!root.defined() || !root.requires_grad()) return;
+  std::vector<Node*> order;
+  TopoSort(root.node().get(), &order);
+  for (Node* node : order) node->grad = Tensor();
 }
 
 // ---------------------------------------------------------------------------
@@ -1001,6 +1009,7 @@ constexpr OpTraits kRowL2NormalizeTraits = {"row_l2_normalize", true, 0b1u,
 constexpr OpTraits kConcatRowsTraits = {"concat_rows", false, 0u, false};
 constexpr OpTraits kSelectColumnsTraits = {"select_columns", false, 0u,
                                            false};
+constexpr OpTraits kGatherRowsTraits = {"gather_rows", false, 0u, false};
 constexpr OpTraits kApplyMaskTraits = {"apply_mask", false, 0u, true};
 }  // namespace
 
@@ -1124,6 +1133,42 @@ Var SelectColumns(const Var& a, const std::vector<int>& indices) {
             }
           }
         });
+        n->parents[0]->AccumGrad(dx);
+      });
+}
+
+Var GatherRows(const Var& a, const std::vector<int>& indices) {
+  CHECK(!indices.empty());
+  // One shared copy of the index list serves both closures.
+  auto idx = std::make_shared<const std::vector<int>>(indices);
+  return MakeNode(
+      static_cast<int64_t>(indices.size()), a.cols(), {a}, kGatherRowsTraits,
+      /*attr_key=*/0,
+      [idx](Node* n, Tensor* out) {
+        const Tensor& x = n->parents[0]->value;
+        *out = Tensor(n->rows, n->cols);
+        Tensor* outp = out;
+        ParallelRows(n->rows, n->cols,
+                     [&x, outp, &idx](int64_t r_lo, int64_t r_hi) {
+                       for (int64_t r = r_lo; r < r_hi; ++r) {
+                         DCHECK_GE((*idx)[r], 0);
+                         DCHECK_LT((*idx)[r], x.rows());
+                         const float* src = x.row((*idx)[r]);
+                         std::copy(src, src + x.cols(), outp->row(r));
+                       }
+                     });
+      },
+      [idx](Node* n) {
+        const Tensor& g = n->grad;
+        Tensor dx(n->parents[0]->rows, n->parents[0]->cols);
+        // Serial scatter in gather order: duplicate indices land on the
+        // same destination row, so the accumulation order must not depend
+        // on a thread partition.
+        for (size_t j = 0; j < idx->size(); ++j) {
+          float* dst = dx.row((*idx)[j]);
+          const float* src = g.row(static_cast<int64_t>(j));
+          for (int64_t c = 0; c < dx.cols(); ++c) dst[c] += src[c];
+        }
         n->parents[0]->AccumGrad(dx);
       });
 }

@@ -158,6 +158,13 @@ void MarkInvariant(const Var& leaf);
 // arena as soon as their backward_fn has consumed them.
 void Backward(const Var& loss);
 
+// Clears every gradient reachable from `root`, intermediates and leaves
+// alike. Multi-objective training runs several Backward sweeps over one
+// shared graph; under the tape engine intermediate gradients survive a
+// sweep, so each objective's sweep must be wiped before the next one
+// starts or the shared subgraph would re-push stale gradients.
+void ClearGraphGrads(const Var& root);
+
 // ---------------------------------------------------------------------------
 // Differentiable ops. All return fresh Vars; inputs are never modified.
 // ---------------------------------------------------------------------------
@@ -230,6 +237,11 @@ Var ConcatRows(const std::vector<Var>& parts);
 
 // Gathers columns by index (duplicates allowed); gradient scatters back.
 Var SelectColumns(const Var& a, const std::vector<int>& indices);
+
+// Gathers rows by index (duplicates allowed) -- TSCTM's quantization-index
+// anchor lookup. The gradient scatter-adds back in serial gather order, so
+// repeated indices accumulate deterministically at any thread count.
+Var GatherRows(const Var& a, const std::vector<int>& indices);
 
 // Multiplies by a constant 0/1 (or scaled) mask; used for dropout.
 Var ApplyMask(const Var& a, const Tensor& mask);

@@ -40,5 +40,45 @@ void BuildTfIdfViews(const tensor::Tensor& normalized,
   }
 }
 
+void BuildReconSubstitutedViews(const tensor::Tensor& normalized,
+                                const tensor::Tensor& tfidf,
+                                const tensor::Tensor& reconstruction,
+                                float salient_fraction,
+                                tensor::Tensor* positive,
+                                tensor::Tensor* negative) {
+  CHECK(normalized.same_shape(tfidf));
+  CHECK(normalized.same_shape(reconstruction));
+  CHECK_GT(salient_fraction, 0.0f);
+  *positive = normalized;
+  *negative = normalized;
+  for (int64_t r = 0; r < normalized.rows(); ++r) {
+    std::vector<std::pair<float, int>> present;
+    for (int64_t c = 0; c < normalized.cols(); ++c) {
+      if (normalized.at(r, c) > 0.0f) {
+        present.emplace_back(tfidf.at(r, c), static_cast<int>(c));
+      }
+    }
+    if (present.empty()) continue;
+    const int k = std::max(
+        1, static_cast<int>(salient_fraction * present.size()));
+    // Strict-weak order with a word-id tiebreak: the ranking (and with it
+    // the views) is a pure function of the inputs.
+    std::sort(present.begin(), present.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (int i = 0; i < k; ++i) {
+      const int c = present[i].second;  // most salient
+      negative->at(r, c) = reconstruction.at(r, c);
+    }
+    const int n = static_cast<int>(present.size());
+    for (int i = std::max(0, n - k); i < n; ++i) {
+      const int c = present[i].second;  // least salient
+      positive->at(r, c) = reconstruction.at(r, c);
+    }
+  }
+}
+
 }  // namespace topicmodel
 }  // namespace contratopic

@@ -21,6 +21,20 @@ void BuildTfIdfViews(const tensor::Tensor& normalized,
                      const tensor::Tensor& tfidf, float salient_fraction,
                      tensor::Tensor* positive, tensor::Tensor* negative);
 
+// The full CLNTM sampling recipe: instead of zeroing entries, both views
+// substitute them with the model's own (detached) reconstruction
+// `reconstruction` = theta . beta. The *negative* view overwrites each
+// document's top-k highest-tf-idf present entries (k = salient_fraction of
+// its present words, at least 1); the *positive* view overwrites its
+// bottom-k lowest-tf-idf present entries. Salience ranks ties by word id,
+// so the views are one deterministic function of the inputs.
+void BuildReconSubstitutedViews(const tensor::Tensor& normalized,
+                                const tensor::Tensor& tfidf,
+                                const tensor::Tensor& reconstruction,
+                                float salient_fraction,
+                                tensor::Tensor* positive,
+                                tensor::Tensor* negative);
+
 }  // namespace topicmodel
 }  // namespace contratopic
 

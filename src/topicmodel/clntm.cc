@@ -25,20 +25,20 @@ void ClntmModel::Prepare(const text::BowCorpus& corpus) {
   doc_freq_ = corpus.DocumentFrequencies();
 }
 
-void ClntmModel::BuildViews(const Batch& batch, Tensor* positive,
-                            Tensor* negative) {
-  CHECK(batch.corpus != nullptr);
-  const Tensor tfidf = batch.corpus->TfIdfBatch(batch.indices, doc_freq_);
-  BuildTfIdfViews(batch.normalized, tfidf, options_.salient_fraction,
-                  positive, negative);
-}
-
 NeuralTopicModel::BatchGraph ClntmModel::BuildBatch(const Batch& batch) {
   ElboGraph g = BuildElbo(batch);
+  CHECK(batch.corpus != nullptr);
 
+  // Views driven by the detached reconstruction theta . beta: reading
+  // word_probs' value here forces the pending prefix under the graph
+  // engine (same precedent as ContraTopic's CandidateWords); the views
+  // themselves enter the graph as constants, so no gradient flows through
+  // the substitution.
+  const Tensor tfidf = batch.corpus->TfIdfBatch(batch.indices, doc_freq_);
   Tensor positive;
   Tensor negative;
-  BuildViews(batch, &positive, &negative);
+  BuildReconSubstitutedViews(batch.normalized, tfidf, g.word_probs.value(),
+                             options_.salient_fraction, &positive, &negative);
 
   // Representations: the (deterministic) encoder mean of each view,
   // L2-normalized; similarity = dot / temperature.
@@ -48,14 +48,29 @@ NeuralTopicModel::BatchGraph ClntmModel::BuildBatch(const Batch& batch) {
   Var h_neg = RowL2Normalize(
       encoder_->Forward(Var::Constant(negative), /*sample=*/false).mu);
   const float inv_tau = 1.0f / options_.temperature;
-  Var s_pos = MulScalar(RowSum(Mul(h, h_pos)), inv_tau);  // B x 1
-  Var s_neg = MulScalar(RowSum(Mul(h, h_neg)), inv_tau);  // B x 1
-  // InfoNCE with one positive and one negative:
-  //   -log(e^{s+} / (e^{s+} + e^{s-})) = softplus(s- - s+).
-  Var contrast = MeanAll(Softplus(Sub(s_neg, s_pos)));
+  // InfoNCE: each document's positive is its own perturbed view; the
+  // other documents' positive views act as in-batch negatives and the
+  // salient-substituted view as an extra hard negative.
+  Var sim = MulScalar(MatMul(h, h_pos, false, true), inv_tau);  // B x B
+  Var s_pos = MulScalar(RowSum(Mul(h, h_pos)), inv_tau);        // B x 1
+  Var s_neg = MulScalar(RowSum(Mul(h, h_neg)), inv_tau);        // B x 1
+  // Denominator log(sum_j e^{sim_ij} + e^{s_neg_i}), assembled as
+  // lse + softplus(s_neg - lse) so it stays one fixed op sequence.
+  Var lse = LogSumExpRows(sim);
+  Var denom = Add(lse, Softplus(Sub(s_neg, lse)));
+  Var contrast = MeanAll(Sub(denom, s_pos));
 
   Var loss = Add(g.loss, MulScalar(contrast, options_.contrast_weight));
-  return {loss, g.beta, {}};
+  BatchGraph out;
+  out.loss = loss;
+  out.beta = g.beta;
+  out.loss_components = {{"recon", g.recon},
+                         {"kl", g.kl},
+                         {"l_con", contrast.value().scalar()}};
+  out.objectives = {{"recon", g.recon_term},
+                    {"kl", g.kl_term},
+                    {"l_con", contrast}};
+  return out;
 }
 
 ModelDescriptor ClntmModel::Describe() const {

@@ -2,10 +2,15 @@
 #define CONTRATOPIC_TOPICMODEL_CLNTM_H_
 
 // CLNTM (Nguyen & Luu, 2021): ETM plus a *document-wise* contrastive term.
-// For each document, a positive view keeps its salient (high tf-idf) words
-// and a negative view removes them; an InfoNCE loss pulls the document
-// representation toward the positive and away from the negative. This is
-// the paper's principal contrastive-learning baseline -- it regularizes
+// Following the paper's sampling recipe, both views substitute entries of
+// the input BOW with the model's own reconstruction (theta . beta,
+// detached): the negative view overwrites the top-k highest-tf-idf
+// (salient) entries -- destroying the document's topical signature -- and
+// the positive view overwrites the bottom-k lowest-tf-idf entries, which
+// perturbs only background words. An InfoNCE loss over encoder
+// representations pulls each document toward its positive view against the
+// in-batch positives of other documents plus its own hard negative. This
+// is the paper's principal contrastive-learning baseline -- it regularizes
 // the document-topic side and only *implicitly* shapes the topic-word
 // distribution (paper §IV.E).
 
@@ -19,7 +24,9 @@ class ClntmModel : public EtmModel {
   struct Options {
     float contrast_weight = 1.0f;
     float temperature = 0.5f;
-    // Fraction of a document's tokens treated as salient by tf-idf.
+    // Fraction of a document's present words counted as salient (top by
+    // tf-idf) for the negative view; the positive view perturbs the same
+    // number of least-salient present words.
     float salient_fraction = 0.25f;
   };
 
@@ -33,9 +40,6 @@ class ClntmModel : public EtmModel {
   ModelDescriptor Describe() const override;
 
  private:
-  // Builds positive (salient-only) and negative (salient-removed) views.
-  void BuildViews(const Batch& batch, Tensor* positive, Tensor* negative);
-
   Options options_;
   std::vector<int> doc_freq_;
 };

@@ -42,11 +42,13 @@ EtmModel::ElboGraph EtmModel::BuildElbo(const Batch& batch) {
   g.encoded = encoder_->Forward(x_norm, /*sample=*/training_);
   g.beta = BetaVar();
   // Reconstruction: -sum_d sum_w x_dw log(theta_d . beta_w).
-  Var word_probs = MatMul(g.encoded.theta, g.beta);  // B x V
-  Var recon = Neg(SumAll(Mul(x_counts, Log(word_probs, 1e-10f))));
+  g.word_probs = MatMul(g.encoded.theta, g.beta);  // B x V
+  Var recon = Neg(SumAll(Mul(x_counts, Log(g.word_probs, 1e-10f))));
   Var kl = VaeEncoder::KlDivergence(g.encoded);
   const float inv_batch = 1.0f / static_cast<float>(batch.counts.rows());
   g.loss = MulScalar(Add(recon, kl), inv_batch);
+  g.recon_term = MulScalar(recon, inv_batch);
+  g.kl_term = MulScalar(kl, inv_batch);
   g.recon = recon.value().scalar() * inv_batch;
   g.kl = kl.value().scalar() * inv_batch;
   return g;
@@ -54,7 +56,12 @@ EtmModel::ElboGraph EtmModel::BuildElbo(const Batch& batch) {
 
 NeuralTopicModel::BatchGraph EtmModel::BuildBatch(const Batch& batch) {
   ElboGraph g = BuildElbo(batch);
-  return {g.loss, g.beta, {{"recon", g.recon}, {"kl", g.kl}}};
+  BatchGraph out;
+  out.loss = g.loss;
+  out.beta = g.beta;
+  out.loss_components = {{"recon", g.recon}, {"kl", g.kl}};
+  out.objectives = {{"recon", g.recon_term}, {"kl", g.kl_term}};
+  return out;
 }
 
 Tensor EtmModel::InferThetaBatch(const Tensor& x_normalized) {

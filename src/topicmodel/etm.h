@@ -44,11 +44,18 @@ class EtmModel : public NeuralTopicModel {
   Var BetaVar();
 
   // ELBO pieces shared with the ETM-derived baselines (NTM-R, VTMRL,
-  // CLNTM) and with ContraTopic.
+  // CLNTM, TSCTM) and with ContraTopic.
   struct ElboGraph {
     VaeEncoder::Output encoded;
     Var beta;
+    Var word_probs;     // B x V theta . beta (CLNTM reads its value for
+                        // the reconstruction-substituted views)
     Var loss;           // (reconstruction + KL) / batch_size
+    // The same two terms as standalone 1x1 nodes (extra MulScalar nodes
+    // off the identical recon/kl subgraphs -- `loss` is untouched). These
+    // are the per-term objectives the MOO weighting mode backpropagates.
+    Var recon_term;
+    Var kl_term;
     float recon = 0.0f;  // reconstruction term / batch_size (telemetry)
     float kl = 0.0f;     // KL term / batch_size (telemetry)
   };

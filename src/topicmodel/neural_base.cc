@@ -36,6 +36,31 @@ nn::Mlp::Config EncoderMlpConfig(int64_t vocab_size,
 
 }  // namespace
 
+std::vector<double> MultiObjectiveWeights(
+    const std::vector<std::vector<Tensor>>& objective_grads) {
+  std::vector<double> weights;
+  if (objective_grads.empty()) return weights;
+  weights.reserve(objective_grads.size());
+  double inverse_sum = 0.0;
+  for (const auto& grads : objective_grads) {
+    // Canonical serial double accumulation (tensor order, then row-major
+    // element order) -- the exact discipline nn::ClipGradNorm uses, so the
+    // norm is one fixed arithmetic sequence at any thread count/backend.
+    double total_sq = 0.0;
+    for (const Tensor& g : grads) {
+      const float* data = g.data();
+      for (int64_t i = 0; i < g.numel(); ++i) {
+        total_sq += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+      }
+    }
+    const double inverse = 1.0 / (std::sqrt(total_sq) + 1e-12);
+    weights.push_back(inverse);
+    inverse_sum += inverse;
+  }
+  for (double& w : weights) w /= inverse_sum;
+  return weights;
+}
+
 DistStepPartial CombineDistPartials(DistStepPartial left,
                                     DistStepPartial right) {
   if (left.empty) return right;
@@ -371,6 +396,12 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
       auto params = Parameters();
 
       bool beta_recorded = false;
+      // Objective names of this model's graphs, captured from the first
+      // non-empty shard (identical across shards and ranks -- same model
+      // code). In MOO mode part.grads is objective-major: one params-sized
+      // block per objective; the blocks fold elementwise like any other
+      // gradient and are weighted only after the allreduce.
+      std::vector<std::string> objective_names;
       const auto shard_partial = [&](int64_t s) {
         DistStepPartial part;
         const auto [lo, hi] = util::ShardRange(
@@ -414,20 +445,48 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
           comp[cname] += static_cast<double>(value);
         }
         part.components.assign(comp.begin(), comp.end());
-        {
+        const bool moo_shard = loss_weighting_ == LossWeighting::kMoo &&
+                               !graph.objectives.empty();
+        if (moo_shard) {
+          if (objective_names.empty()) {
+            for (const auto& [oname, objective] : graph.objectives) {
+              objective_names.push_back(oname);
+            }
+          }
+          CHECK_EQ(objective_names.size(), graph.objectives.size());
           util::TraceSpan span("backward");
-          autodiff::Backward(graph.loss);
+          part.grads.reserve(graph.objectives.size() * params.size());
+          for (auto& [oname, objective] : graph.objectives) {
+            CHECK(objective.defined())
+                << name_ << ": undefined MOO objective " << oname;
+            autodiff::Backward(objective);
+            for (auto& p : params) {
+              const Tensor& g = p.var.grad();
+              part.grads.push_back(g.numel() > 0
+                                       ? g
+                                       : Tensor(p.var.rows(), p.var.cols()));
+            }
+            // Wipe the shared graph (leaves included) before the next
+            // objective's sweep.
+            autodiff::ClearGraphGrads(objective);
+          }
           backward_seconds += span.ElapsedSeconds();
-        }
-        part.grads.reserve(params.size());
-        for (auto& p : params) {
-          const Tensor& g = p.var.grad();
-          // A parameter the graph never reached has no grad; a zero
-          // tensor keeps the fold shape-stable.
-          part.grads.push_back(g.numel() > 0
-                                   ? g
-                                   : Tensor(p.var.rows(), p.var.cols()));
-          p.var.ZeroGrad();
+        } else {
+          {
+            util::TraceSpan span("backward");
+            autodiff::Backward(graph.loss);
+            backward_seconds += span.ElapsedSeconds();
+          }
+          part.grads.reserve(params.size());
+          for (auto& p : params) {
+            const Tensor& g = p.var.grad();
+            // A parameter the graph never reached has no grad; a zero
+            // tensor keeps the fold shape-stable.
+            part.grads.push_back(g.numel() > 0
+                                     ? g
+                                     : Tensor(p.var.rows(), p.var.cols()));
+            p.var.ZeroGrad();
+          }
         }
         part.buffer_deltas.reserve(buffers.size());
         for (size_t b = 0; b < buffers.size(); ++b) {
@@ -460,11 +519,46 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
       if (!exchanged.ok()) return stop_early(exchanged.status());
       DistStepPartial combined = std::move(exchanged).value();
       CHECK(!combined.empty) << name_ << ": empty distributed step";
-      CHECK_EQ(combined.grads.size(), params.size());
+      const bool moo_step = !objective_names.empty();
+      CHECK_EQ(combined.grads.size(), moo_step
+                                          ? objective_names.size() *
+                                                params.size()
+                                          : params.size());
       CHECK_EQ(combined.buffer_deltas.size(), buffers.size());
 
       batch_loss = combined.loss;
       step_components = std::move(combined.components);
+      if (moo_step) {
+        // Weights from the *globally folded* per-objective gradients, so
+        // every rank computes identical weights and the merged update
+        // stays process-count-invariant.
+        std::vector<std::vector<Tensor>> objective_grads(
+            objective_names.size());
+        for (size_t k = 0; k < objective_names.size(); ++k) {
+          objective_grads[k].reserve(params.size());
+          for (size_t i = 0; i < params.size(); ++i) {
+            objective_grads[k].push_back(
+                std::move(combined.grads[k * params.size() + i]));
+          }
+        }
+        const std::vector<double> weights =
+            MultiObjectiveWeights(objective_grads);
+        std::vector<Tensor> merged;
+        merged.reserve(params.size());
+        for (size_t i = 0; i < params.size(); ++i) {
+          Tensor g(params[i].var.rows(), params[i].var.cols());
+          for (size_t k = 0; k < weights.size(); ++k) {
+            g.AddScaledInPlace(objective_grads[k][i],
+                               static_cast<float>(weights[k]));
+          }
+          merged.push_back(std::move(g));
+        }
+        combined.grads = std::move(merged);
+        for (size_t k = 0; k < weights.size(); ++k) {
+          step_components.emplace_back("moo_w_" + objective_names[k],
+                                       weights[k]);
+        }
+      }
       // Chaos: as below; the injector schedule is replica-invariant, so
       // every rank sees the same corrupted step.
       if (faults.ShouldFail("train.loss_corrupt")) {
@@ -532,6 +626,15 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
       }
       CHECK(graph.loss.defined());
       batch_loss = graph.loss.value().scalar();
+      if (!graph.beta.defined()) {
+        // Models must expose beta; guard against subclass bugs early.
+        LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
+      }
+      // Materialize beta before the optimizer mutates parameters. A beta
+      // the loss never consumes (ProdLDA, WeTe) is still pending under the
+      // graph engine here; forcing it after adam.Step() would read the
+      // post-update weights and break tape/graph bitwise identity.
+      step_beta = graph.beta.value();
       // Chaos: pretend the forward pass diverged. Checked by the guard
       // rails below exactly like an organic NaN.
       if (faults.ShouldFail("train.loss_corrupt")) {
@@ -560,9 +663,50 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
         }
       }
 
+      const bool moo_step = loss_weighting_ == LossWeighting::kMoo &&
+                            !graph.objectives.empty();
       {
         util::TraceSpan span("backward");
-        autodiff::Backward(graph.loss);
+        if (moo_step) {
+          // One reverse sweep per objective over the shared graph. Leaf
+          // grads are copied out after each sweep and the whole reachable
+          // graph is wiped (ClearGraphGrads) so sweeps never contaminate
+          // each other through shared intermediate nodes.
+          auto params = Parameters();
+          std::vector<std::vector<Tensor>> objective_grads;
+          objective_grads.reserve(graph.objectives.size());
+          for (auto& [oname, objective] : graph.objectives) {
+            CHECK(objective.defined())
+                << name_ << ": undefined MOO objective " << oname;
+            autodiff::Backward(objective);
+            std::vector<Tensor> grads;
+            grads.reserve(params.size());
+            for (auto& p : params) {
+              const Tensor& g = p.var.grad();
+              grads.push_back(g.numel() > 0
+                                  ? g
+                                  : Tensor(p.var.rows(), p.var.cols()));
+            }
+            objective_grads.push_back(std::move(grads));
+            autodiff::ClearGraphGrads(objective);
+          }
+          const std::vector<double> weights =
+              MultiObjectiveWeights(objective_grads);
+          for (size_t i = 0; i < params.size(); ++i) {
+            Tensor combined(params[i].var.rows(), params[i].var.cols());
+            for (size_t k = 0; k < weights.size(); ++k) {
+              combined.AddScaledInPlace(objective_grads[k][i],
+                                        static_cast<float>(weights[k]));
+            }
+            params[i].var.node()->grad = std::move(combined);
+          }
+          for (size_t k = 0; k < weights.size(); ++k) {
+            step_components.emplace_back(
+                "moo_w_" + graph.objectives[k].first, weights[k]);
+          }
+        } else {
+          autodiff::Backward(graph.loss);
+        }
         backward_seconds += span.ElapsedSeconds();
       }
       // Guard rail 2: the pre-clip gradient norm. A non-finite norm skips
@@ -580,11 +724,6 @@ TrainStats NeuralTopicModel::RunTrainingLoop(const text::BowCorpus& corpus,
       for (const auto& [cname, value] : graph.loss_components) {
         step_components.emplace_back(cname, static_cast<double>(value));
       }
-      if (!graph.beta.defined()) {
-        // Models must expose beta; guard against subclass bugs early.
-        LOG(FATAL) << name_ << "::BuildBatch returned undefined beta";
-      }
-      step_beta = graph.beta.value();
     }
 
     if (grad_bad) {

@@ -161,6 +161,30 @@ struct GuardRailOptions {
   int max_rollbacks = 3;
 };
 
+// How the training loop turns a BatchGraph into a descent direction
+// (DESIGN.md §17).
+enum class LossWeighting {
+  // Minimize BatchGraph::loss exactly as the model built it (the fixed-
+  // lambda composition; default).
+  kFixed,
+  // Multi-objective contrastive optimization (Nguyen et al. 2024): treat
+  // the named scalar objectives as a Pareto problem, backpropagate each
+  // separately, and descend the combination weighted by inverse per-
+  // objective gradient magnitude. Models that report no objectives fall
+  // back to kFixed behavior.
+  kMoo,
+};
+
+// Deterministic multi-objective weights: w_i proportional to
+// 1 / (||g_i||_2 + eps), normalized so the weights sum to 1. Each norm is
+// accumulated serially in double over tensors in list order and elements
+// in row-major order -- the same canonical-reduction rule the SIMD kernels
+// follow (DESIGN.md §12) -- so the weights, and with them the whole MOO
+// optimizer trajectory, are bitwise thread/backend/engine/process-
+// invariant.
+std::vector<double> MultiObjectiveWeights(
+    const std::vector<std::vector<Tensor>>& objective_grads);
+
 // Base class implementing Train()/InferTheta() on top of BuildBatch().
 class NeuralTopicModel : public TopicModel {
  public:
@@ -197,6 +221,13 @@ class NeuralTopicModel : public TopicModel {
     // telemetry stream; models that report nothing emit a loss-only
     // epoch record.
     std::vector<std::pair<std::string, float>> loss_components;
+    // Optional named scalar objective terms (each 1x1, sharing this
+    // graph's nodes), e.g. {"recon", ...}, {"kl", ...}, {"l_con", ...}.
+    // Under LossWeighting::kMoo the loop backpropagates each objective
+    // separately and descends the Pareto-weighted combination instead of
+    // d loss; models that leave this empty always train on `loss`. The
+    // unweighted terms belong here: MOO replaces the fixed lambda.
+    std::vector<std::pair<std::string, Var>> objectives;
   };
   // Builds the loss graph for one minibatch (training mode).
   virtual BatchGraph BuildBatch(const Batch& batch) = 0;
@@ -313,6 +344,18 @@ class NeuralTopicModel : public TopicModel {
   // than directly.
   void SetDistContext(const DistContext* context) { dist_ = context; }
 
+  // --- Multi-objective weighting (DESIGN.md §17) -----------------------
+
+  // Selects how the loop weighs BuildBatch's objectives. Deliberately NOT
+  // part of TrainConfig: the config is serialized field-by-field into
+  // checkpoints, and the weighting mode only shapes the training
+  // trajectory, never the restored inference path. Describe() extras carry
+  // it for observability instead.
+  void SetLossWeighting(LossWeighting weighting) {
+    loss_weighting_ = weighting;
+  }
+  LossWeighting loss_weighting() const { return loss_weighting_; }
+
  protected:
   // Shared epoch loop used by Train, TrainMore, and ResumeTraining.
   // `resume` is null for a fresh run.
@@ -333,6 +376,7 @@ class NeuralTopicModel : public TopicModel {
   GuardRailOptions guard_rails_;
   bool guard_rails_armed_ = false;
   const DistContext* dist_ = nullptr;  // not owned
+  LossWeighting loss_weighting_ = LossWeighting::kFixed;
 };
 
 }  // namespace topicmodel

@@ -1,0 +1,51 @@
+#ifndef CONTRATOPIC_TOPICMODEL_TSCTM_H_
+#define CONTRATOPIC_TOPICMODEL_TSCTM_H_
+
+// TSCTM-style topic-semantic contrastive topic model (Wu et al., 2022) on
+// the ETM backbone. Each document is *quantized* to its dominant topic
+// (argmax of theta, detached) and represented in topic-embedding space by
+// z = normalize(theta . t). The contrastive term has two parts:
+//
+//   l_tsc    -- a quantization-index-masked similarity contrast between
+//               documents: for each document, same-index documents are the
+//               positives (their similarities are pulled up against the
+//               masked log-sum-exp over different-index documents).
+//   l_anchor -- a cross-entropy pulling z toward its own topic anchor
+//               t_{q_i} (GatherRows over the normalized topic embeddings,
+//               so the gradient scatter-adds into the shared anchors)
+//               against the log-sum-exp over all K anchors.
+//
+// Unlike CLNTM this shapes the *topic-embedding* side directly: anchors of
+// different topics repel through the masked denominator, which is the
+// topic-semantic counterpart of the source paper's topic-wise objective.
+
+#include "topicmodel/etm.h"
+
+namespace contratopic {
+namespace topicmodel {
+
+class TsctmModel : public EtmModel {
+ public:
+  struct Options {
+    float contrast_weight = 1.0f;
+    float temperature = 0.1f;
+    // Weight of the anchor cross-entropy inside the contrastive term.
+    float anchor_weight = 0.5f;
+  };
+
+  TsctmModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings);
+  TsctmModel(const TrainConfig& config,
+             const embed::WordEmbeddings& embeddings, Options options);
+
+  BatchGraph BuildBatch(const Batch& batch) override;
+  ModelDescriptor Describe() const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace topicmodel
+}  // namespace contratopic
+
+#endif  // CONTRATOPIC_TOPICMODEL_TSCTM_H_

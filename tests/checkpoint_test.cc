@@ -108,8 +108,10 @@ TEST_P(CheckpointRoundTripTest, RoundTripsBitExactly) {
   auto model = core::CreateModel(name, TinyConfig(), shared.embeddings);
   model->Train(shared.dataset.train);
 
-  const std::string path =
-      ::testing::TempDir() + "/roundtrip_" + name + ".ckpt";
+  // "ckpt_" prefix + pid keep these paths disjoint from the precision
+  // round-trip tests and from parallel ctest workers sharing TempDir().
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip_" + name +
+                           "_" + std::to_string(::getpid()) + ".ckpt";
   util::Status saved = SaveCheckpoint(*model, shared.dataset.train.vocab(),
                                       path);
   ASSERT_TRUE(saved.ok()) << saved;
@@ -137,8 +139,9 @@ TEST_P(CheckpointRoundTripTest, RoundTripsBitExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Zoo, CheckpointRoundTripTest,
-                         ::testing::Values("etm", "prodlda", "nstm",
-                                           "contratopic", "contratopic-p",
+                         ::testing::Values("etm", "prodlda", "nstm", "clntm",
+                                           "tsctm", "contratopic",
+                                           "contratopic-p",
                                            "contratopic-wlda"));
 
 TEST(CheckpointTest, SavedFileIsByteStable) {

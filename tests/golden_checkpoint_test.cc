@@ -9,6 +9,8 @@
 //
 // and paste the printed constants below.
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -311,6 +313,104 @@ TEST(GoldenCheckpointTest, Int8ScaleTableCorruptionIsDataLossNotGarbage) {
     EXPECT_FALSE(InferenceEngine::Load(mutant).ok()) << c.what;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Contrastive zoo coverage (CLNTM / TSCTM): the model-zoo expansion rides
+// the same serving contracts as the golden ETM. Each new model must
+// round-trip bitwise at full precision, round-trip per quantized storage
+// tier, and fail closed (kIOError / kDataLoss) on the same corruption
+// grid the golden file is fuzzed with -- trained fresh at test time since
+// only the ETM checkpoint is committed.
+// ---------------------------------------------------------------------------
+
+class ContrastiveZooCheckpointTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ContrastiveZooCheckpointTest, RoundTripsPerTierAndFailsClosed) {
+  const std::string name = GetParam();
+  const text::SyntheticDataset dataset = GoldenDataset();
+  embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(dataset.train, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 24;
+        return c;
+      }());
+  auto model = core::CreateModel(name, GoldenConfig(), embeddings);
+  model->Train(dataset.train);
+  const tensor::Tensor reference_theta = model->InferTheta(dataset.test);
+  const std::string stem =
+      ::testing::TempDir() + "/zoo_" + name + "_" + std::to_string(::getpid());
+
+  // Full-precision round trip: the restored model serves bitwise.
+  const std::string fp32_path = stem + "_fp32.ckpt";
+  ASSERT_TRUE(
+      SaveCheckpoint(*model, dataset.train.vocab(), fp32_path).ok());
+  util::StatusOr<Checkpoint> ckpt = ReadCheckpoint(fp32_path);
+  ASSERT_TRUE(ckpt.ok()) << ckpt.status();
+  EXPECT_EQ(ckpt->descriptor.type, name);
+  auto restored = RestoreModel(*ckpt);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const tensor::Tensor restored_theta =
+      (*restored)->InferTheta(dataset.test);
+  ASSERT_TRUE(restored_theta.same_shape(reference_theta));
+  for (int64_t i = 0; i < restored_theta.numel(); ++i) {
+    ASSERT_EQ(restored_theta.data()[i], reference_theta.data()[i])
+        << name << " theta element " << i;
+  }
+
+  for (tensor::ServePrecision storage :
+       {tensor::ServePrecision::kBf16, tensor::ServePrecision::kInt8}) {
+    const std::string tier = tensor::ServePrecisionName(storage);
+    const std::string path = stem + "_" + tier + ".ckpt";
+    ASSERT_TRUE(SaveQuantizedCheckpoint(*model, dataset.train.vocab(), path,
+                                        storage)
+                    .ok());
+
+    // The intact quantized file loads, reports its tier, and serves.
+    util::StatusOr<Checkpoint> quant = ReadCheckpoint(path);
+    ASSERT_TRUE(quant.ok()) << name << " " << tier << ": " << quant.status();
+    EXPECT_EQ(quant->storage_precision, storage);
+    auto engine = InferenceEngine::Load(path);
+    ASSERT_TRUE(engine.ok()) << name << " " << tier << ": "
+                             << engine.status();
+
+    // Corruption fuzz, same grid as the golden file: truncation is
+    // kIOError, any payload bit flip is kDataLoss, and neither ever
+    // reaches the engine.
+    const std::string bytes = ReadFileBytes(path);
+    ASSERT_GT(bytes.size(), kHeaderBytes);
+    const std::string mutant = path + ".mut";
+    for (int i = 0; i < 8; ++i) {
+      const size_t cut = bytes.size() * static_cast<size_t>(i) / 8;
+      WriteFileBytes(mutant, bytes.substr(0, cut));
+      util::StatusOr<Checkpoint> got = ReadCheckpoint(mutant);
+      ASSERT_FALSE(got.ok()) << name << " " << tier << " truncated to "
+                             << cut;
+      EXPECT_EQ(got.status().code(), util::StatusCode::kIOError)
+          << name << " " << tier << " truncated to " << cut << ": "
+          << got.status();
+    }
+    for (int i = 0; i < 16; ++i) {
+      const size_t payload = bytes.size() - kHeaderBytes;
+      const size_t off = kHeaderBytes + payload * static_cast<size_t>(i) / 16;
+      std::string flipped = bytes;
+      flipped[off] = static_cast<char>(flipped[off] ^ (1 << (i % 8)));
+      WriteFileBytes(mutant, flipped);
+      util::StatusOr<Checkpoint> got = ReadCheckpoint(mutant);
+      ASSERT_FALSE(got.ok()) << name << " " << tier << " bit flip at "
+                             << off;
+      EXPECT_EQ(got.status().code(), util::StatusCode::kDataLoss)
+          << name << " " << tier << " bit flip at " << off << ": "
+          << got.status();
+      EXPECT_FALSE(InferenceEngine::Load(mutant).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NewModels, ContrastiveZooCheckpointTest,
+                         ::testing::Values("clntm", "tsctm"),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                info) { return info.param; });
 
 }  // namespace
 }  // namespace serve

@@ -1,0 +1,259 @@
+// Cross-model invariance harness (model-zoo expansion ISSUE, satellite
+// #1): every neural model in the zoo — including the new CLNTM / TSCTM
+// contrastive members and the multi-objective (MOO) weighting mode — must
+// honor the same determinism contracts the seed established one model at
+// a time:
+//
+//   * thread-count invariance (DESIGN.md "Parallelism & determinism"),
+//   * SIMD-backend invariance (scalar vs. the best supported backend),
+//   * execution-engine invariance (tape vs. the graph-compiled engine),
+//   * process-count invariance under dist::DataParallelTrainer (§13).
+//
+// Each model trains 2 epochs on the 20NG-sim preset under a grid of
+// {threads} x {backend} x {engine} variants; loss, beta, and test theta
+// must be bitwise identical to the (1 thread, scalar, tape) reference.
+// Gibbs LDA is excluded: it is not a NeuralTopicModel, so the engine /
+// backend axes do not apply.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_zoo.h"
+#include "dist/trainer.h"
+#include "embed/word_embeddings.h"
+#include "tensor/backend.h"
+#include "tensor/engine.h"
+#include "text/synthetic.h"
+#include "topicmodel/neural_base.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+// fork() under ThreadSanitizer trips on the sanitizer's own background
+// threads; the multiprocess legs are skipped there (same guard as
+// dist_determinism_test.cc).
+#if defined(__SANITIZE_THREAD__)
+#define CT_SKIP_FORK_TESTS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CT_SKIP_FORK_TESTS 1
+#endif
+#endif
+
+namespace contratopic {
+namespace {
+
+using tensor::Tensor;
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.same_shape(b)) << a.ShapeString() << " vs " << b.ShapeString();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i]) << "element " << i;
+  }
+}
+
+struct ZooRun {
+  float final_loss = 0.0f;
+  Tensor beta;
+  Tensor theta;
+};
+
+struct Variant {
+  int threads = 1;
+  tensor::KernelBackendKind backend = tensor::KernelBackendKind::kScalar;
+  tensor::ExecEngine engine = tensor::ExecEngine::kTape;
+};
+
+std::string VariantName(const Variant& v) {
+  return "threads=" + std::to_string(v.threads) +
+         " backend=" + std::string(tensor::KernelBackendName(v.backend)) +
+         " engine=" + std::string(tensor::ExecEngineName(v.engine));
+}
+
+// One from-scratch training run: corpus, embeddings, training, and
+// inference all execute under the requested variant, so the invariance
+// claim covers the whole pipeline, not just the step loop.
+ZooRun TrainZoo(const std::string& model_name, const Variant& variant,
+                topicmodel::LossWeighting weighting) {
+  tensor::ScopedExecEngine scoped_engine(variant.engine);
+  tensor::ScopedKernelBackend scoped_backend(variant.backend);
+  util::ThreadPool::SetGlobalNumThreads(variant.threads);
+
+  const text::SyntheticConfig config = text::Preset20NG(0.1);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus reference =
+      text::GenerateReferenceCorpus(config, dataset.train.vocab());
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(reference, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 16;
+        return c;
+      }());
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::CreateModel(model_name, tc, embeddings);
+  auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
+  CHECK(neural != nullptr) << model_name;
+  neural->SetLossWeighting(weighting);
+
+  const topicmodel::TrainStats stats = model->Train(dataset.train);
+  CHECK(stats.status.ok()) << stats.status.ToString();
+
+  ZooRun run;
+  run.final_loss = static_cast<float>(stats.final_loss);
+  run.beta = model->Beta();
+  run.theta = model->InferTheta(dataset.test);
+  util::ThreadPool::SetGlobalNumThreads(0);
+  return run;
+}
+
+void ExpectVariantGridInvariant(const std::string& model_name,
+                                topicmodel::LossWeighting weighting) {
+  const Variant reference_variant;  // 1 thread, scalar, tape
+  const ZooRun reference = TrainZoo(model_name, reference_variant, weighting);
+  ASSERT_GT(reference.beta.numel(), 0);
+
+  const tensor::KernelBackendKind best = tensor::BestSupportedBackend();
+  const std::vector<Variant> variants = {
+      {4, tensor::KernelBackendKind::kScalar, tensor::ExecEngine::kTape},
+      {1, best, tensor::ExecEngine::kTape},
+      {1, tensor::KernelBackendKind::kScalar, tensor::ExecEngine::kGraph},
+      {4, best, tensor::ExecEngine::kGraph},
+  };
+  for (const Variant& variant : variants) {
+    SCOPED_TRACE(VariantName(variant));
+    const ZooRun run = TrainZoo(model_name, variant, weighting);
+    EXPECT_EQ(reference.final_loss, run.final_loss);
+    ExpectBitwiseEqual(reference.beta, run.beta);
+    ExpectBitwiseEqual(reference.theta, run.theta);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread x backend x engine grid, fixed weighting: the full neural zoo.
+// ---------------------------------------------------------------------------
+
+class ModelZooInvarianceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZooInvarianceTest, ThreadBackendEngineGridIsBitwiseInvariant) {
+  ExpectVariantGridInvariant(GetParam(), topicmodel::LossWeighting::kFixed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NeuralZoo, ModelZooInvarianceTest,
+    ::testing::Values("prodlda", "wlda", "etm", "nstm", "wete", "ntmr",
+                      "vtmrl", "clntm", "tsctm", "contratopic"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// The same grid under --loss-weighting=moo for the models that populate
+// per-objective terms: the MOO weights are derived from canonical-order
+// gradient norms, so they must not perturb any invariance axis.
+// ---------------------------------------------------------------------------
+
+class MooInvarianceTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MooInvarianceTest, MooWeightingKeepsTheGridBitwiseInvariant) {
+  ExpectVariantGridInvariant(GetParam(), topicmodel::LossWeighting::kMoo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContrastiveZoo, MooInvarianceTest,
+    ::testing::Values("etm", "clntm", "tsctm", "contratopic"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+// ---------------------------------------------------------------------------
+// Process-count invariance: the contrastive trio through the distributed
+// trainer at 1 and 2 workers on one fixed shard grid. (The full zoo rides
+// the thread/backend/engine grid above; the fork-based legs are kept to
+// the new models plus the reference model to bound suite wall-clock.)
+// ---------------------------------------------------------------------------
+
+struct DistCase {
+  std::string model;
+  topicmodel::LossWeighting weighting = topicmodel::LossWeighting::kFixed;
+};
+
+ZooRun TrainZooDistributed(const DistCase& c, int workers) {
+  const text::SyntheticConfig config = text::Preset20NG(0.1);
+  text::SyntheticDataset dataset = text::GenerateSynthetic(config);
+  const text::BowCorpus reference =
+      text::GenerateReferenceCorpus(config, dataset.train.vocab());
+  const embed::WordEmbeddings embeddings =
+      embed::WordEmbeddings::Train(reference, [] {
+        embed::EmbeddingConfig c;
+        c.dimension = 16;
+        return c;
+      }());
+
+  topicmodel::TrainConfig tc;
+  tc.num_topics = 8;
+  tc.epochs = 2;
+  tc.batch_size = 128;
+  tc.encoder_hidden = 32;
+  tc.encoder_layers = 1;
+  auto model = core::CreateModel(c.model, tc, embeddings);
+  auto* neural = dynamic_cast<topicmodel::NeuralTopicModel*>(model.get());
+  CHECK(neural != nullptr) << c.model;
+  neural->SetLossWeighting(c.weighting);
+
+  dist::Options options;
+  options.workers = workers;
+  options.num_shards = 4;
+  dist::DataParallelTrainer trainer(neural, options);
+  util::StatusOr<topicmodel::TrainStats> stats = trainer.Train(dataset.train);
+  CHECK(stats.ok()) << stats.status().ToString();
+  CHECK(stats->status.ok()) << stats->status.ToString();
+
+  ZooRun run;
+  run.final_loss = static_cast<float>(stats->final_loss);
+  run.beta = model->Beta();
+  run.theta = model->InferTheta(dataset.test);
+  return run;
+}
+
+class DistZooInvarianceTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistZooInvarianceTest, WorkerCountIsBitwiseInvariant) {
+#ifdef CT_SKIP_FORK_TESTS
+  GTEST_SKIP() << "fork-based legs are disabled under ThreadSanitizer";
+#else
+  const DistCase c = GetParam();
+  const ZooRun one = TrainZooDistributed(c, 1);
+  ASSERT_GT(one.beta.numel(), 0);
+  const ZooRun two = TrainZooDistributed(c, 2);
+  EXPECT_EQ(one.final_loss, two.final_loss);
+  ExpectBitwiseEqual(one.beta, two.beta);
+  ExpectBitwiseEqual(one.theta, two.theta);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ContrastiveZoo, DistZooInvarianceTest,
+    ::testing::Values(DistCase{"clntm", topicmodel::LossWeighting::kFixed},
+                      DistCase{"tsctm", topicmodel::LossWeighting::kFixed},
+                      DistCase{"contratopic",
+                               topicmodel::LossWeighting::kFixed},
+                      DistCase{"clntm", topicmodel::LossWeighting::kMoo},
+                      DistCase{"contratopic",
+                               topicmodel::LossWeighting::kMoo}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return info.param.model +
+             (info.param.weighting == topicmodel::LossWeighting::kMoo
+                  ? "_moo"
+                  : "_fixed");
+    });
+
+}  // namespace
+}  // namespace contratopic

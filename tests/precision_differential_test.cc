@@ -524,7 +524,9 @@ TEST(PrecisionDifferentialTest, QuantizedCheckpointRoundTripsTheta) {
   };
   for (const Leg& leg : {Leg{ServePrecision::kBf16, kBf16ThetaTol},
                          Leg{ServePrecision::kInt8, kInt8ThetaTol}}) {
-    const std::string path = ::testing::TempDir() + "/roundtrip_" +
+    // "precision_" prefix keeps these paths disjoint from the model-zoo
+    // round-trip tests sharing TempDir().
+    const std::string path = ::testing::TempDir() + "/precision_roundtrip_" +
                              ServePrecisionName(leg.storage) + ".ckpt";
     ASSERT_TRUE(serve::SaveQuantizedCheckpoint(
                     *shared.etm, shared.dataset.train.vocab(), path,

@@ -547,6 +547,66 @@ TEST(RegistryTest, SwapOutcomesAreMirroredToTelemetry) {
   EXPECT_EQ(rolled_back_events, 1);
 }
 
+// --- Contrastive zoo swaps (CLNTM / TSCTM) ------------------------------
+// The model-zoo expansion must ride the hot-swap path like ETM: a fresh
+// candidate of the same architecture publishes through the gate, serving
+// flips to the candidate bitwise, and a corrupt candidate never unseats
+// the published engine.
+
+class ContrastiveSwapTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ContrastiveSwapTest, PublishGatesSwapAndServesBitwise) {
+  RegistryFixture& shared = Shared();
+  const std::string name = GetParam();
+  const std::string pid = std::to_string(::getpid());
+
+  auto incumbent = core::CreateModel(name, TinyConfig(7), shared.embeddings);
+  incumbent->Train(shared.dataset.train);
+  const Tensor incumbent_theta = incumbent->InferTheta(shared.dataset.test);
+  const std::string inc_path =
+      ::testing::TempDir() + "/swap_" + name + "_inc_" + pid + ".ckpt";
+  ASSERT_TRUE(
+      SaveCheckpoint(*incumbent, shared.dataset.train.vocab(), inc_path)
+          .ok());
+
+  auto candidate = core::CreateModel(name, TinyConfig(99), shared.embeddings);
+  candidate->Train(shared.dataset.train);
+  const Tensor candidate_theta = candidate->InferTheta(shared.dataset.test);
+  const std::string cand_path =
+      ::testing::TempDir() + "/swap_" + name + "_cand_" + pid + ".ckpt";
+  ASSERT_TRUE(
+      SaveCheckpoint(*candidate, shared.dataset.train.vocab(), cand_path)
+          .ok());
+
+  auto registry = ModelRegistry::Create(inc_path, PermissiveOptions());
+  ASSERT_TRUE(registry.ok()) << name << ": " << registry.status();
+  ExpectServesBitwise(**registry, incumbent_theta, 8);
+
+  auto report = (*registry)->TryPublish(cand_path);
+  ASSERT_TRUE(report.ok()) << name << ": " << report.status();
+  ASSERT_EQ(report->outcome, ModelRegistry::SwapOutcome::kPublished)
+      << name << ": " << report->reject_reason;
+  EXPECT_EQ((*registry)->current_version(), 2);
+  ExpectServesBitwise(**registry, candidate_theta, 8);
+
+  // A truncated re-publish attempt is rejected and the published
+  // candidate keeps serving bitwise.
+  const std::string bytes = ReadFileBytes(inc_path);
+  const std::string corrupt_path =
+      ::testing::TempDir() + "/swap_" + name + "_corrupt_" + pid + ".ckpt";
+  WriteFileBytes(corrupt_path, bytes.substr(0, bytes.size() / 2));
+  auto rejected = (*registry)->TryPublish(corrupt_path);
+  ASSERT_TRUE(rejected.ok()) << name << ": " << rejected.status();
+  EXPECT_EQ(rejected->outcome, ModelRegistry::SwapOutcome::kRejected);
+  EXPECT_EQ((*registry)->current_version(), 2);
+  ExpectServesBitwise(**registry, candidate_theta, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(NewModels, ContrastiveSwapTest,
+                         ::testing::Values("clntm", "tsctm"),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                info) { return info.param; });
+
 // --- Gate helper units --------------------------------------------------
 
 TEST(RegistryGateTest, TopWordChurnComputesMeanMissingFraction) {

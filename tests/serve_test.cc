@@ -3,6 +3,8 @@
 // bitwise -- at any thread count, batched or one-at-a-time, cached or
 // not -- and degrade gracefully (Status, never a crash) under overload.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -67,7 +69,11 @@ struct ServeFixture {
     etm = core::CreateModel("etm", TinyConfig(), embeddings);
     etm->Train(dataset.train);
     etm_theta = etm->InferTheta(dataset.test);
-    etm_checkpoint = ::testing::TempDir() + "/serve_fixture_etm.ckpt";
+    // gtest_discover_tests runs every TEST in its own process; the pid
+    // suffix keeps parallel ctest workers from clobbering each other's
+    // fixture checkpoint mid-read.
+    etm_checkpoint = ::testing::TempDir() + "/serve_fixture_etm_" +
+                     std::to_string(::getpid()) + ".ckpt";
     CHECK(SaveCheckpoint(*etm, dataset.train.vocab(), etm_checkpoint).ok());
   }
 };

@@ -14,7 +14,9 @@
 #include "serve/checkpoint.h"
 #include "text/synthetic.h"
 #include "topicmodel/lda.h"
+#include "topicmodel/neural_base.h"
 #include "util/fault.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -100,7 +102,7 @@ TEST_P(ModelZooTest, TrainsAndProducesValidDistributions) {
 INSTANTIATE_TEST_SUITE_P(
     AllModels, ModelZooTest,
     ::testing::Values("lda", "prodlda", "wlda", "etm", "nstm", "wete", "ntmr",
-                      "vtmrl", "clntm", "contratopic", "contratopic-p",
+                      "vtmrl", "clntm", "tsctm", "contratopic", "contratopic-p",
                       "contratopic-n", "contratopic-i", "contratopic-s",
                       "contratopic-wlda", "contratopic-wete"),
     [](const ::testing::TestParamInfo<std::string>& info) {
@@ -117,9 +119,88 @@ TEST(ModelZooTest, DisplayNames) {
   EXPECT_EQ(core::DisplayName("contratopic-wlda"), "ContraTopic(WLDA)");
 }
 
-TEST(ModelZooTest, PaperLineupHasTenModels) {
-  EXPECT_EQ(core::PaperModelNames().size(), 10u);
+TEST(ModelZooTest, PaperLineupHasElevenModels) {
+  EXPECT_EQ(core::PaperModelNames().size(), 11u);
   EXPECT_EQ(core::AblationModelNames().size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-objective (MOO) loss weighting: deterministic inverse-gradient-norm
+// weights over the per-objective terms (--loss-weighting=moo).
+// ---------------------------------------------------------------------------
+
+TEST(MultiObjectiveWeightsTest, WeightsAreNormalizedAndInverseToNorms) {
+  // Objective 0 has gradient norm 3 (a single 3.0 entry), objective 1 has
+  // norm 4: w0/w1 must equal 4/3 and the weights must sum to 1.
+  std::vector<std::vector<Tensor>> grads(2);
+  grads[0].push_back(Tensor(1, 2, {3.0f, 0.0f}));
+  grads[0].push_back(Tensor(1, 1, {0.0f}));
+  grads[1].push_back(Tensor(1, 2, {0.0f, 4.0f}));
+  grads[1].push_back(Tensor(1, 1, {0.0f}));
+  const std::vector<double> w = MultiObjectiveWeights(grads);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  EXPECT_NEAR(w[0] / w[1], 4.0 / 3.0, 1e-6);
+}
+
+TEST(MultiObjectiveWeightsTest, DeterministicAcrossRepeatedCalls) {
+  util::Rng rng(11);
+  std::vector<std::vector<Tensor>> grads(3);
+  for (auto& objective : grads) {
+    objective.push_back(Tensor::RandNormal(4, 5, rng, 0.0f, 1.0f));
+    objective.push_back(Tensor::RandNormal(2, 3, rng, 0.0f, 0.1f));
+  }
+  const std::vector<double> first = MultiObjectiveWeights(grads);
+  const std::vector<double> second = MultiObjectiveWeights(grads);
+  ASSERT_EQ(first.size(), 3u);
+  for (size_t k = 0; k < first.size(); ++k) {
+    EXPECT_EQ(first[k], second[k]) << "objective " << k;  // bitwise
+  }
+  double sum = 0.0;
+  for (double v : first) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(MultiObjectiveWeightsTest, ZeroGradientObjectiveDominates) {
+  // An all-zero gradient means the epsilon floor gives that objective the
+  // (finite) largest weight; nothing divides by zero.
+  std::vector<std::vector<Tensor>> grads(2);
+  grads[0].push_back(Tensor(2, 2));  // zeros
+  grads[1].push_back(Tensor(2, 2, {1.0f, 1.0f, 1.0f, 1.0f}));
+  const std::vector<double> w = MultiObjectiveWeights(grads);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_TRUE(std::isfinite(w[0]) && std::isfinite(w[1]));
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+}
+
+TEST(MultiObjectiveWeightsTest, EmptyInputYieldsNoWeights) {
+  EXPECT_TRUE(MultiObjectiveWeights({}).empty());
+}
+
+TEST(MooTrainingTest, MooRunDivergesFromFixedButStaysValid) {
+  // The weighting mode must actually change the optimization (different
+  // beta than fixed-lambda) while keeping every output finite and
+  // normalized. ETM populates {recon, kl} objectives.
+  SharedFixture& shared = Shared();
+  const auto train_with = [&](topicmodel::LossWeighting weighting) {
+    auto model = core::CreateModel("etm", TinyConfig(), shared.embeddings);
+    auto* neural = dynamic_cast<NeuralTopicModel*>(model.get());
+    CHECK(neural != nullptr);
+    neural->SetLossWeighting(weighting);
+    const TrainStats stats = model->Train(shared.dataset.train);
+    CHECK(stats.status.ok()) << stats.status.ToString();
+    return model->Beta();
+  };
+  const Tensor fixed = train_with(topicmodel::LossWeighting::kFixed);
+  const Tensor moo = train_with(topicmodel::LossWeighting::kMoo);
+  ExpectRowsSumToOne(moo);
+  int64_t diffs = 0;
+  for (int64_t i = 0; i < fixed.numel(); ++i) {
+    ASSERT_FALSE(std::isnan(moo.data()[i]));
+    if (fixed.data()[i] != moo.data()[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, 0) << "moo weighting had no effect on training";
 }
 
 // ---------------------------------------------------------------------------
